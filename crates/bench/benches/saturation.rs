@@ -1,0 +1,47 @@
+//! E9 — the §5.2 delta-driven claim: semi-naive (delta-driven) saturation
+//! beats naive tuple-at-a-time saturation, and the gap widens with database
+//! size (naive re-enumerates every derivation each pass).
+//!
+//! ```text
+//! cargo bench -p strata-bench --bench saturation
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use strata_datalog::model::StandardModel;
+use strata_workload::synth;
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    for &nodes in &[8usize, 16, 32] {
+        let program = synth::tc_complement(nodes, nodes * 2, 42);
+        group.bench_with_input(
+            BenchmarkId::new("naive", nodes),
+            &program,
+            |b, p| b.iter(|| black_box(StandardModel::compute_naive(p).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seminaive", nodes),
+            &program,
+            |b, p| b.iter(|| black_box(StandardModel::compute(p).unwrap())),
+        );
+    }
+    for &papers in &[50usize, 150] {
+        let program = synth::conference(papers, papers / 8 + 2, 7);
+        group.bench_with_input(
+            BenchmarkId::new("naive/conference", papers),
+            &program,
+            |b, p| b.iter(|| black_box(StandardModel::compute_naive(p).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seminaive/conference", papers),
+            &program,
+            |b, p| b.iter(|| black_box(StandardModel::compute(p).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturation);
+criterion_main!(benches);

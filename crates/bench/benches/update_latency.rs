@@ -1,0 +1,61 @@
+//! E8 (microbench) — per-update latency of every maintenance strategy on a
+//! mid-size conference pipeline, against the recompute baseline.
+//!
+//! Expected shape: incremental engines beat recompute; the static engine
+//! pays for its pessimistic removal; the cascade is the cheapest of the
+//! support-based engines (delta-driven, one-level supports).
+//!
+//! ```text
+//! cargo bench -p strata-bench --bench update_latency
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use strata_core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
+    StaticEngine,
+};
+use strata_core::{MaintenanceEngine, Update};
+use strata_datalog::Fact;
+use strata_workload::synth;
+
+fn one_round(engine: &mut dyn MaintenanceEngine, updates: &[Update]) {
+    for u in updates {
+        black_box(engine.apply(u).expect("valid update"));
+    }
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let program = synth::conference(80, 12, 7);
+    // Insert / delete pairs targeting existing EDB relations.
+    let updates = vec![
+        Update::InsertFact(Fact::parse("withdrawn(p3)").unwrap()),
+        Update::DeleteFact(Fact::parse("withdrawn(p3)").unwrap()),
+        Update::InsertFact(Fact::parse("strong(p5)").unwrap()),
+        Update::DeleteFact(Fact::parse("strong(p5)").unwrap()),
+    ];
+
+    let mut group = c.benchmark_group("update_latency/conference80");
+    group.sample_size(10);
+    macro_rules! bench_engine {
+        ($name:literal, $build:expr) => {
+            group.bench_function($name, |b| {
+                b.iter_batched_ref(
+                    || $build(program.clone()).expect("stratified"),
+                    |e| one_round(e, &updates),
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+    bench_engine!("recompute", RecomputeEngine::new);
+    bench_engine!("static", StaticEngine::new);
+    bench_engine!("dynamic-single", DynamicSingleEngine::new);
+    bench_engine!("dynamic-multi", DynamicMultiEngine::new);
+    bench_engine!("cascade", CascadeEngine::new);
+    bench_engine!("fact-level", FactLevelEngine::new);
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

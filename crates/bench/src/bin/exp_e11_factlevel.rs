@@ -1,0 +1,105 @@
+//! E11 — §5.2's rejected alternative, measured: supports recording **facts**
+//! rather than relations give a migration-free solution, at bookkeeping
+//! costs that grow far faster than the cascade's rule pointers.
+//!
+//! "This would be clearly preferable from the point of view of minimization
+//! of migration … however, this choice should be rejected in the framework
+//! of databases [as] the computation costs incurred in the task of keeping
+//! all possible deductions is clearly too prohibitive."
+//!
+//! Expected shape: fact-level migration = 0 everywhere; fact-level support
+//! bytes ≫ cascade support bytes, with the gap widening as the database
+//! grows (more facts, more alternative derivations).
+
+use std::time::Instant;
+
+use strata_bench::banner;
+use strata_core::strategy::{CascadeEngine, FactLevelEngine};
+use strata_core::{MaintenanceEngine, Update};
+use strata_workload::paper;
+use strata_workload::script::{random_fact_script, ScriptConfig};
+use strata_workload::synth;
+
+fn replay(engine: &mut dyn MaintenanceEngine, script: &[Update]) -> (usize, usize, usize, f64) {
+    let start = Instant::now();
+    let mut removed = 0;
+    let mut migrated = 0;
+    let mut support = 0;
+    for u in script {
+        let s = engine.apply(u).expect("valid script");
+        removed += s.removed;
+        migrated += s.migrated;
+        support = s.support_bytes;
+    }
+    (removed, migrated, support, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    banner("E11", "fact-level supports: zero migration, prohibitive bookkeeping (§5.2)");
+
+    let workloads = vec![
+        ("conf(40)", paper::conf(40)),
+        ("congress(40)", paper::congress(40)),
+        ("meet(30, 8)", paper::meet(30, 8)),
+        ("conference(40, 8)", synth::conference(40, 8, 21)),
+        ("bom(3, 3)", synth::bom(3, 3, 22)),
+    ];
+    let cfg = ScriptConfig { len: 40, insert_prob: 0.5 };
+
+    println!(
+        "\n{:<20} {:<14} {:>8} {:>9} {:>12} {:>9}",
+        "workload", "strategy", "removed", "migrated", "supportKiB", "ms"
+    );
+    for (name, program) in &workloads {
+        let script = random_fact_script(program, &cfg, 77);
+        let mut cascade = CascadeEngine::new(program.clone()).expect("stratified");
+        let mut factlevel = FactLevelEngine::new(program.clone()).expect("stratified");
+        let c = replay(&mut cascade, &script);
+        let f = replay(&mut factlevel, &script);
+        assert_eq!(
+            cascade.model().sorted_facts(),
+            factlevel.model().sorted_facts(),
+            "engines must agree on {name}"
+        );
+        for (strategy, (removed, migrated, support, ms)) in
+            [("cascade", c), ("fact-level", f)]
+        {
+            println!(
+                "{:<20} {:<14} {:>8} {:>9} {:>12.1} {:>9.2}",
+                name,
+                strategy,
+                removed,
+                migrated,
+                support as f64 / 1024.0,
+                ms
+            );
+        }
+        assert_eq!(f.1, 0, "fact-level supports must never migrate on {name}");
+    }
+
+    // Scaling series: the bookkeeping ratio fact-level/cascade widens with
+    // database size (the "prohibitive … when many facts are present" claim).
+    println!("\nscaling (bill of materials, depth d, width 3):");
+    println!("{:>3} {:>8} {:>14} {:>14} {:>8}", "d", "facts", "cascadeKiB", "factlevelKiB", "ratio");
+    let mut prev_ratio = 0.0;
+    let mut widening = true;
+    for depth in 1..=4 {
+        let program = synth::bom(depth, 3, 5);
+        let cascade = CascadeEngine::new(program.clone()).expect("stratified");
+        let factlevel = FactLevelEngine::new(program.clone()).expect("stratified");
+        let (cb, fb) = (cascade.support_bytes(), factlevel.support_bytes());
+        let ratio = fb as f64 / cb.max(1) as f64;
+        println!(
+            "{:>3} {:>8} {:>14.1} {:>14.1} {:>8.2}",
+            depth,
+            cascade.model().len(),
+            cb as f64 / 1024.0,
+            fb as f64 / 1024.0,
+            ratio
+        );
+        widening &= ratio >= prev_ratio * 0.9; // monotone up to noise
+        prev_ratio = ratio;
+    }
+    assert!(widening, "fact-level bookkeeping must outgrow the cascade's");
+    println!("\nE11 PASS: zero migration everywhere; bookkeeping ratio grows with size.");
+}

@@ -1,0 +1,66 @@
+//! E1 — §3 PODS example: `M(PODS)` and the paper's two update equations.
+//!
+//! * `INSERT(accepted(m))` for a failed paper `m`:
+//!   `M(PODS') = M(PODS) \ {rejected(m)} ∪ {accepted(m)}`
+//! * `DELETE(accepted(nj))`:
+//!   `M(PODS'') = M(PODS) \ {accepted(nj)} ∪ {rejected(nj)}`
+//!
+//! Every strategy must realize exactly these deltas.
+
+use strata_bench::{all_engines, banner};
+use strata_core::Update;
+use strata_datalog::Fact;
+use strata_workload::paper;
+
+fn main() {
+    banner("E1", "PODS database (§3): insertions cause deletions and vice versa");
+    let (k, l) = (3, 8);
+    let program = paper::pods(k, l);
+    println!("PODS with l = {l} submissions, k = {k} accepted\n");
+
+    // INSERT(accepted(m)) with m ∈ Failure = {k+1..l}.
+    let m = k + 2;
+    println!("{:<21} {:>10} {:>12} {:>22}", "strategy", "|M(P')|", "Δ as paper?", "rejected(m) removed?");
+    for mut engine in all_engines(&program) {
+        let before = engine.model().clone();
+        engine.apply(&Update::InsertFact(Fact::parse(&format!("accepted({m})")).unwrap())).unwrap();
+        let after = engine.model();
+        let gone = before.difference(after);
+        let new = after.difference(&before);
+        let delta_ok = gone.len() == 1
+            && gone[0] == Fact::parse(&format!("rejected({m})")).unwrap()
+            && new.len() == 1
+            && new[0] == Fact::parse(&format!("accepted({m})")).unwrap();
+        println!(
+            "{:<21} {:>10} {:>12} {:>22}",
+            engine.name(),
+            after.len(),
+            if delta_ok { "yes" } else { "NO" },
+            if !after.contains_parsed(&format!("rejected({m})")) { "yes" } else { "NO" },
+        );
+        assert!(delta_ok, "paper's insertion equation violated by {}", engine.name());
+    }
+
+    // DELETE(accepted(nj)) with nj = 1.
+    println!("\nDELETE(accepted(1)):");
+    println!("{:<21} {:>10} {:>12}", "strategy", "|M(P'')|", "Δ as paper?");
+    for mut engine in all_engines(&program) {
+        let before = engine.model().clone();
+        engine.apply(&Update::DeleteFact(Fact::parse("accepted(1)").unwrap())).unwrap();
+        let after = engine.model();
+        let gone = before.difference(after);
+        let new = after.difference(&before);
+        let delta_ok = gone.len() == 1
+            && gone[0] == Fact::parse("accepted(1)").unwrap()
+            && new.len() == 1
+            && new[0] == Fact::parse("rejected(1)").unwrap();
+        println!(
+            "{:<21} {:>10} {:>12}",
+            engine.name(),
+            after.len(),
+            if delta_ok { "yes" } else { "NO" },
+        );
+        assert!(delta_ok, "paper's deletion equation violated by {}", engine.name());
+    }
+    println!("\nE1 PASS: all strategies realize the paper's model deltas exactly.");
+}

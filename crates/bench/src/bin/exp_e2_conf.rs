@@ -1,0 +1,53 @@
+//! E2 — §4.1 Example 1 (CONF): "the static solution leads to a migration of
+//! the fact accepted(l+1)", which the dynamic solutions avoid.
+//!
+//! CONF asserts `accepted(l+1)` directly (a late paper accepted by fiat)
+//! while the rule `accepted(X) :- submitted(X), !rejected(X)` covers the
+//! rest. Inserting `rejected(l+1)` must not disturb `accepted(l+1)` — but
+//! the static removal phase cannot know that, because the dependency graph
+//! records only relation-level potential dependencies.
+
+use strata_bench::{all_engines, banner};
+use strata_core::Update;
+use strata_datalog::Fact;
+use strata_workload::paper;
+
+fn main() {
+    banner("E2", "CONF (Example 1): static analysis migrates the asserted fact");
+    let l = 6;
+    let program = paper::conf(l);
+    let target = Fact::parse(&format!("accepted({})", l + 1)).unwrap();
+    let update = Update::InsertFact(Fact::parse(&format!("rejected({})", l + 1)).unwrap());
+    println!("database: CONF with l = {l}; update: {update}\n");
+    println!(
+        "{:<21} {:>8} {:>9} {:>26}",
+        "strategy", "removed", "migrated", "accepted(l+1) migrated?"
+    );
+    let mut static_migrates = false;
+    let mut others_keep = true;
+    for mut engine in all_engines(&program) {
+        let before = engine.model().contains(&target);
+        assert!(before);
+        let stats = engine.apply(&update).unwrap();
+        assert!(engine.model().contains(&target), "accepted(l+1) must stay in the model");
+        // Did accepted(l+1) migrate? With CONF, the other candidates for
+        // removal are the l derived accepted facts. removed > l means the
+        // asserted one was (erroneously) removed too.
+        let asserted_migrated = stats.removed > l;
+        println!(
+            "{:<21} {:>8} {:>9} {:>26}",
+            engine.name(),
+            stats.removed,
+            stats.migrated,
+            if asserted_migrated { "yes (migrated)" } else { "no" }
+        );
+        match engine.name() {
+            "static" => static_migrates = asserted_migrated,
+            "recompute" => {}
+            _ => others_keep &= !asserted_migrated,
+        }
+    }
+    assert!(static_migrates, "paper: the static solution must migrate accepted(l+1)");
+    assert!(others_keep, "paper: dynamic solutions must not migrate accepted(l+1)");
+    println!("\nE2 PASS: static migrates accepted(l+1); dynamic/cascade engines do not.");
+}

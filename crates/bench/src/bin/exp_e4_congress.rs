@@ -1,0 +1,64 @@
+//! E4 — §4.2 Example 3 (CONGRESS): keeping the pairwise-smaller support
+//! avoids migration.
+//!
+//! `accepted(l)` has two derivations: via `accepted(X) :- submitted(X),
+//! !rejected(X)` (support Pos = {submitted, -rejected}, Neg = {+rejected})
+//! and via `accepted(l) :- submitted(l)` (support Pos = {submitted},
+//! Neg = ∅). "Clearly, the latter pair is preferable because an insertion of
+//! a fact rejected(i) will not lead then to a migration of accepted(l)."
+
+use strata_bench::banner;
+use strata_core::strategy::{DynamicSingleEngine, SingleConfig};
+use strata_core::verify::assert_matches_ground_truth;
+use strata_core::{MaintenanceEngine, Update};
+use strata_datalog::Fact;
+use strata_workload::paper;
+
+fn main() {
+    banner("E4", "CONGRESS (Example 3): prefer the pairwise-smaller support");
+    let l = 4;
+    let program = paper::congress(l);
+    let update = Update::InsertFact(Fact::parse(&format!("rejected({l})")).unwrap());
+    println!("database: CONGRESS with l = {l}; update: {update}\n");
+    println!("{:<26} {:>8} {:>9} {:>22}", "variant", "removed", "migrated", "accepted(l) migrated?");
+
+    let mut outcomes = Vec::new();
+    for (label, prefer) in [("prefer-smaller (paper)", true), ("keep-first (ablation)", false)] {
+        let mut engine = DynamicSingleEngine::with_config(
+            program.clone(),
+            SingleConfig { signed: true, prefer_smaller: prefer },
+        )
+        .unwrap();
+        let target = Fact::parse(&format!("accepted({l})")).unwrap();
+        let sup = engine.support_of(&target).unwrap().clone();
+        let stats = engine.apply(&update).unwrap();
+        assert!(engine.model().contains(&target));
+        assert_matches_ground_truth(&engine);
+        // With the smaller support kept, accepted(l)'s Neg' is empty, so it
+        // cannot be removed by the insertion.
+        let target_migrated = stats.removed == l; // l-1 derived others + accepted(l)
+        println!(
+            "{:<26} {:>8} {:>9} {:>22}",
+            label,
+            stats.removed,
+            stats.migrated,
+            if target_migrated { "yes (migrated)" } else { "no" }
+        );
+        outcomes.push((prefer, target_migrated, sup));
+    }
+    let (_, migrated_with_pref, sup) = &outcomes[0];
+    assert!(
+        !migrated_with_pref,
+        "with the preference, accepted(l) must not migrate"
+    );
+    assert!(
+        sup.neg.plain.is_empty() && sup.neg.signed.is_empty(),
+        "the kept support must be the smaller pair (Neg = ∅)"
+    );
+    let (_, migrated_without, _) = &outcomes[1];
+    assert!(
+        *migrated_without,
+        "without the preference the first (larger) support is kept, so accepted(l) migrates"
+    );
+    println!("\nE4 PASS: the pairwise-smaller preference saves accepted(l) from migration.");
+}

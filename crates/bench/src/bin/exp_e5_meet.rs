@@ -1,0 +1,66 @@
+//! E5 — §4.2/§4.3 Example 4 (MEET): one support per fact is not enough.
+//!
+//! `accepted(a)` is derivable both from `submitted ∧ ¬rejected` and from
+//! `author ∧ in_program_committee`. The single-support engine keeps only one
+//! pair; if it is the negation-based one, inserting `rejected(a)` migrates
+//! the fact. The sets-of-sets engine keeps both pairs: the second survives
+//! the insertion and the fact is never removed, "as desired".
+
+use strata_bench::banner;
+use strata_core::strategy::{DynamicMultiEngine, DynamicSingleEngine};
+use strata_core::verify::assert_matches_ground_truth;
+use strata_core::{MaintenanceEngine, Update};
+use strata_datalog::Fact;
+use strata_workload::paper;
+
+fn main() {
+    banner("E5", "MEET (Example 4): single support migrates, sets-of-sets do not");
+    let program = paper::meet(4, 1); // paper1 authored by the PC member
+    let target = Fact::parse("accepted(paper1)").unwrap();
+    let update = Update::InsertFact(Fact::parse("rejected(paper1)").unwrap());
+    println!("database: MEET; update: {update}; doubly-derived fact: {target}\n");
+
+    let mut single = DynamicSingleEngine::new(program.clone()).unwrap();
+    let s1 = single.apply(&update).unwrap();
+    assert!(single.model().contains(&target));
+    assert_matches_ground_truth(&single);
+
+    let mut multi = DynamicMultiEngine::new(program.clone()).unwrap();
+    let before = multi.support_of(&target).unwrap().pairs().len();
+    let s2 = multi.apply(&update).unwrap();
+    assert!(multi.model().contains(&target));
+    assert_matches_ground_truth(&multi);
+    let after = multi.support_of(&target).unwrap().pairs().len();
+
+    // The singly-derived accepted(paper2..4) migrate under *both* engines
+    // (supports are relation-granular); the difference Example 4 is about is
+    // the doubly-derived accepted(paper1): the single engine removes it too,
+    // the multi engine spares exactly it.
+    println!("{:<21} {:>8} {:>9} {:>26}", "strategy", "removed", "migrated", "accepted(paper1) removed?");
+    println!(
+        "{:<21} {:>8} {:>9} {:>26}",
+        single.name(),
+        s1.removed,
+        s1.migrated,
+        "yes (migrated)"
+    );
+    println!(
+        "{:<21} {:>8} {:>9} {:>26}",
+        multi.name(),
+        s2.removed,
+        s2.migrated,
+        "no (second pair survives)"
+    );
+    assert!(s1.migrated >= 1, "single support must migrate accepted(paper1)");
+    assert_eq!(
+        s2.removed,
+        s1.removed - 1,
+        "multi supports must spare exactly the doubly-derived fact"
+    );
+    println!(
+        "\nsets-of-sets support of {target}: {before} pairs before the insertion, {after} after"
+    );
+    assert_eq!(before, 2);
+    assert_eq!(after, 1, "the failed pair is dropped; the author/in_pc pair survives");
+    println!("\nE5 PASS: Example 4 reproduced — supports must be kept per derivation.");
+}

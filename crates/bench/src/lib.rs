@@ -1,0 +1,144 @@
+//! Shared harness for the experiment binaries (`exp_e1` … `exp_e8`) and the
+//! Criterion benches.
+//!
+//! The experiments regenerate the paper's worked examples and comparative
+//! claims; see `EXPERIMENTS.md` at the repository root for the index and the
+//! recorded paper-vs-measured outcomes.
+
+use std::time::{Duration, Instant};
+
+use strata_core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, RecomputeEngine, StaticEngine,
+};
+use strata_core::{MaintenanceEngine, Update, UpdateStats};
+use strata_datalog::Program;
+
+/// The strategies compared throughout the experiments, in paper order.
+pub fn all_engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+    vec![
+        Box::new(RecomputeEngine::new(program.clone()).expect("stratified")),
+        Box::new(StaticEngine::new(program.clone()).expect("stratified")),
+        Box::new(DynamicSingleEngine::new(program.clone()).expect("stratified")),
+        Box::new(DynamicMultiEngine::new(program.clone()).expect("stratified")),
+        Box::new(CascadeEngine::new(program.clone()).expect("stratified")),
+    ]
+}
+
+/// The incremental strategies only (no recompute baseline).
+pub fn incremental_engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+    all_engines(program).into_iter().skip(1).collect()
+}
+
+/// Outcome of replaying a script on one engine.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Engine name.
+    pub name: &'static str,
+    /// Aggregated update statistics.
+    pub total: UpdateStats,
+    /// Wall-clock time spent inside `apply`.
+    pub elapsed: Duration,
+    /// Final model size.
+    pub model_size: usize,
+    /// Final model facts, for cross-engine agreement checks.
+    pub final_facts: Vec<strata_datalog::Fact>,
+}
+
+/// Replays `script` on `engine`, aggregating statistics.
+///
+/// # Panics
+/// If any update is rejected (scripts are generated valid).
+pub fn replay(engine: &mut dyn MaintenanceEngine, script: &[Update]) -> ReplayResult {
+    let mut total = UpdateStats::default();
+    let start = Instant::now();
+    for update in script {
+        let stats = engine.apply(update).expect("script update must apply");
+        total.accumulate(&stats);
+    }
+    let elapsed = start.elapsed();
+    ReplayResult {
+        name: engine.name(),
+        total,
+        elapsed,
+        model_size: engine.model().len(),
+        final_facts: engine.model().sorted_facts(),
+    }
+}
+
+/// Replays a script on every strategy and asserts they agree on the final
+/// model.
+///
+/// # Panics
+/// If two engines disagree — that would be a correctness bug.
+pub fn compare_all(program: &Program, script: &[Update]) -> Vec<ReplayResult> {
+    let mut results = Vec::new();
+    for mut engine in all_engines(program) {
+        results.push(replay(engine.as_mut(), script));
+    }
+    let reference = &results[0].final_facts;
+    for r in &results[1..] {
+        assert_eq!(
+            reference, &r.final_facts,
+            "engine {} diverged from the recompute baseline",
+            r.name
+        );
+    }
+    results
+}
+
+/// Prints a migration/latency table for a set of replay results.
+pub fn print_table(workload: &str, results: &[ReplayResult]) {
+    println!(
+        "{:<26} {:<21} {:>8} {:>9} {:>10} {:>11} {:>10}",
+        "workload", "strategy", "removed", "migrated", "derivs", "supportKiB", "ms"
+    );
+    for r in results {
+        println!(
+            "{:<26} {:<21} {:>8} {:>9} {:>10} {:>11.1} {:>10.2}",
+            workload,
+            r.name,
+            r.total.removed,
+            r.total.migrated,
+            r.total.derivations,
+            r.total.support_bytes as f64 / 1024.0,
+            r.elapsed.as_secs_f64() * 1e3,
+        );
+    }
+}
+
+/// A minimal section header for experiment output.
+pub fn banner(id: &str, title: &str) {
+    println!("======================================================================");
+    println!("{id}: {title}");
+    println!("======================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_datalog::Fact;
+
+    #[test]
+    fn compare_all_agrees_on_paper_example() {
+        let program = strata_workload::paper::pods(2, 6);
+        let script = vec![
+            Update::InsertFact(Fact::parse("accepted(3)").unwrap()),
+            Update::DeleteFact(Fact::parse("accepted(1)").unwrap()),
+            Update::InsertFact(Fact::parse("submitted(7)").unwrap()),
+        ];
+        let results = compare_all(&program, &script);
+        assert_eq!(results.len(), 5);
+        // Recompute reports zero migration by definition.
+        assert_eq!(results[0].total.migrated, 0);
+    }
+
+    #[test]
+    fn replay_measures_time_and_size() {
+        let program = strata_workload::paper::chain(5);
+        let mut engines = all_engines(&program);
+        let script = vec![Update::InsertFact(Fact::parse("p0").unwrap())];
+        let r = replay(engines[4].as_mut(), &script);
+        assert_eq!(r.name, "cascade");
+        assert!(r.model_size > 0);
+    }
+}

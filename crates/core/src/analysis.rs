@@ -1,0 +1,117 @@
+//! Shared program analysis owned by each engine: the append-only relation
+//! index, the stratification, and the static dependency sets.
+
+use strata_datalog::deps::StaticDeps;
+use strata_datalog::error::StratificationError;
+use strata_datalog::graph::RelIndex;
+use strata_datalog::model::{StratKind, Strata};
+use strata_datalog::{Fact, Program, Symbol};
+
+/// Everything an engine derives from the program text.
+///
+/// The relation index is **append-only** across rebuilds: engines store
+/// relation indices inside per-fact supports (bitsets), so indices must
+/// survive rule updates that add relations.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    index: RelIndex,
+    strata: Strata,
+    deps: StaticDeps,
+}
+
+impl Analysis {
+    /// Analyzes `program` from scratch.
+    pub fn build(program: &Program, kind: StratKind) -> Result<Analysis, StratificationError> {
+        Self::rebuild(program, kind, RelIndex::new())
+    }
+
+    /// Re-analyzes `program`, extending (never reordering) `index`.
+    pub fn rebuild(
+        program: &Program,
+        kind: StratKind,
+        mut index: RelIndex,
+    ) -> Result<Analysis, StratificationError> {
+        index.extend_with(program);
+        let strata = Strata::build_with(program, kind, index.clone())?;
+        let deps = StaticDeps::compute(strata.graph());
+        Ok(Analysis { index, strata, deps })
+    }
+
+    /// The append-only relation index.
+    pub fn index(&self) -> &RelIndex {
+        &self.index
+    }
+
+    /// A clone of the index for rebuilding.
+    pub fn index_clone(&self) -> RelIndex {
+        self.index.clone()
+    }
+
+    /// The stratification and per-stratum rule/fact grouping.
+    pub fn strata(&self) -> &Strata {
+        &self.strata
+    }
+
+    /// The static `Pos`/`Neg` dependency sets.
+    pub fn deps(&self) -> &StaticDeps {
+        &self.deps
+    }
+
+    /// Number of indexed relations (the support bitset universe).
+    pub fn universe(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Dense index of a relation, if known.
+    pub fn rel(&self, sym: Symbol) -> Option<u32> {
+        self.index.get(sym)
+    }
+
+    /// Stratum of a relation (relations unknown to the stratification, e.g.
+    /// introduced by this very update, default to stratum 0).
+    pub fn stratum_of(&self, sym: Symbol) -> usize {
+        self.strata.stratum_of_rel(sym).unwrap_or(0)
+    }
+
+    /// Syncs the per-stratum fact grouping with a fact just asserted on the
+    /// program. Engines must call this (or rebuild) after `assert_fact`:
+    /// re-saturation re-injects asserted facts from the grouping, and a
+    /// stale grouping resurrects retracted facts / loses inserted ones.
+    pub fn note_assert(&mut self, f: &Fact) {
+        self.strata.note_fact_asserted(f.clone());
+    }
+
+    /// Syncs the grouping with a fact just retracted from the program.
+    pub fn note_retract(&mut self, f: &Fact) {
+        self.strata.note_fact_retracted(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_preserves_indices() {
+        let p1 = Program::parse("b(1). a(X) :- b(X).").unwrap();
+        let a1 = Analysis::build(&p1, StratKind::Maximal).unwrap();
+        let b_ix = a1.rel("b".into()).unwrap();
+        let p2 = Program::parse("b(1). a(X) :- b(X). c(X) :- b(X), !a(X).").unwrap();
+        let a2 = Analysis::rebuild(&p2, StratKind::Maximal, a1.index_clone()).unwrap();
+        assert_eq!(a2.rel("b".into()), Some(b_ix));
+        assert_eq!(a2.universe(), 3);
+    }
+
+    #[test]
+    fn build_rejects_unstratified() {
+        let p = Program::parse("p(X) :- e(X), !q(X). q(X) :- e(X), !p(X).").unwrap();
+        assert!(Analysis::build(&p, StratKind::ByLevels).is_err());
+    }
+
+    #[test]
+    fn stratum_of_unknown_relation_defaults_to_zero() {
+        let p = Program::parse("a(1).").unwrap();
+        let a = Analysis::build(&p, StratKind::ByLevels).unwrap();
+        assert_eq!(a.stratum_of("zzz_unknown".into()), 0);
+    }
+}

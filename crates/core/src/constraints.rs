@@ -1,0 +1,409 @@
+//! Integrity constraints (paper §3: "in addition a database contains a set
+//! of integrity constraints" — their *checking* theory is delegated to
+//! Lloyd, Sonenberg & Topor [LST]; this module supplies the enforcement
+//! layer over the maintained model).
+//!
+//! A constraint is a **denial**: a rule body that must never be satisfiable
+//! in `M(P)`. `:- accepted(X), rejected(X).` forbids a paper from being
+//! both. Because every engine keeps `M(P)` explicit, checking is a join
+//! over the materialized model — no deduction at check time.
+//!
+//! [`GuardedEngine`] wraps any [`MaintenanceEngine`]: an update whose
+//! result violates a constraint is **rolled back** by applying the inverse
+//! update (exact, since engines are differentially verified against the
+//! recomputed model) and reported as an error with the violating bindings.
+
+use std::fmt;
+
+use strata_datalog::query::{render_row, Query, Row};
+use strata_datalog::{Database, DatalogError, Fact, Program, Rule};
+
+use crate::engine::{MaintenanceEngine, MaintenanceError, Update};
+use crate::stats::UpdateStats;
+
+/// A denial constraint: a body that must have no answer in the model.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    query: Query,
+    text: String,
+}
+
+impl Constraint {
+    /// Parses a denial: `:- p(X), !q(X).` (the leading `:-` and trailing
+    /// `.` are optional).
+    pub fn parse(src: &str) -> Result<Constraint, DatalogError> {
+        let body = src.trim().trim_start_matches(":-").trim();
+        let query = Query::parse(body)?;
+        Ok(Constraint { text: format!(":- {query}."), query })
+    }
+
+    /// The violating bindings in `model` (empty = satisfied).
+    pub fn violations(&self, model: &Database) -> Vec<Row> {
+        self.query.eval(model)
+    }
+
+    /// Whether the constraint holds in `model`.
+    pub fn is_satisfied(&self, model: &Database) -> bool {
+        !self.query.holds(model)
+    }
+
+    /// Renders a violation row (`X = 1, Y = a`).
+    pub fn render_violation(&self, row: &[strata_datalog::Value]) -> String {
+        render_row(&self.query, row)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A set of denials checked together.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// An empty set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint.
+    pub fn add(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Parses and adds a denial.
+    pub fn add_parsed(&mut self, src: &str) -> Result<(), DatalogError> {
+        self.add(Constraint::parse(src)?);
+        Ok(())
+    }
+
+    /// The constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> + '_ {
+        self.constraints.iter()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// The first violated constraint with one witness, if any.
+    pub fn first_violation(&self, model: &Database) -> Option<(usize, &Constraint, Row)> {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if let Some(row) = c.violations(model).into_iter().next() {
+                return Some((i, c, row));
+            }
+        }
+        None
+    }
+
+    /// All violations of all constraints.
+    pub fn all_violations(&self, model: &Database) -> Vec<(usize, Row)> {
+        let mut out = Vec::new();
+        for (i, c) in self.constraints.iter().enumerate() {
+            for row in c.violations(model) {
+                out.push((i, row));
+            }
+        }
+        out
+    }
+}
+
+/// Why a guarded update failed.
+#[derive(Clone, Debug)]
+pub enum GuardError {
+    /// The underlying engine rejected the update.
+    Engine(MaintenanceError),
+    /// The update would violate a constraint; it was rolled back.
+    Violated {
+        /// The violated constraint, rendered.
+        constraint: String,
+        /// One violating binding, rendered.
+        witness: String,
+    },
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Engine(e) => write!(f, "{e}"),
+            GuardError::Violated { constraint, witness } => {
+                write!(f, "update violates `{constraint}` (witness: {witness}); rolled back")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+impl From<MaintenanceError> for GuardError {
+    fn from(e: MaintenanceError) -> GuardError {
+        GuardError::Engine(e)
+    }
+}
+
+/// The inverse of a fact/rule update (used for rollback).
+fn inverse(update: &Update) -> Update {
+    match update {
+        Update::InsertFact(f) => Update::DeleteFact(f.clone()),
+        Update::DeleteFact(f) => Update::InsertFact(f.clone()),
+        Update::InsertRule(r) => Update::DeleteRule(r.clone()),
+        Update::DeleteRule(r) => Update::InsertRule(r.clone()),
+    }
+}
+
+/// A maintenance engine guarded by integrity constraints.
+///
+/// The initial database is *not* required to satisfy the constraints
+/// (legacy data); the guard only prevents updates from *introducing*
+/// violations — new violations, not pre-existing ones, trigger rollback.
+pub struct GuardedEngine<E> {
+    inner: E,
+    constraints: ConstraintSet,
+}
+
+impl<E: MaintenanceEngine> GuardedEngine<E> {
+    /// Wraps `inner` with `constraints`.
+    pub fn new(inner: E, constraints: ConstraintSet) -> GuardedEngine<E> {
+        GuardedEngine { inner, constraints }
+    }
+
+    /// Wraps `inner` with no constraints yet.
+    pub fn unconstrained(inner: E) -> GuardedEngine<E> {
+        GuardedEngine::new(inner, ConstraintSet::new())
+    }
+
+    /// Adds a constraint. Fails if the *current* model already violates it
+    /// (a constraint must start satisfied to be enforceable).
+    pub fn add_constraint(&mut self, c: Constraint) -> Result<(), GuardError> {
+        if let Some(row) = c.violations(self.inner.model()).into_iter().next() {
+            return Err(GuardError::Violated {
+                constraint: c.to_string(),
+                witness: c.render_violation(&row),
+            });
+        }
+        self.constraints.add(c);
+        Ok(())
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Swaps the wrapped engine (e.g. a strategy switch over the same
+    /// program), returning the old one. The constraints carry over.
+    pub fn replace_inner(&mut self, inner: E) -> E {
+        std::mem::replace(&mut self.inner, inner)
+    }
+
+    /// The current program.
+    pub fn program(&self) -> &Program {
+        self.inner.program()
+    }
+
+    /// The current model.
+    pub fn model(&self) -> &Database {
+        self.inner.model()
+    }
+
+    /// Applies an update; rolls it back if it introduces a violation.
+    pub fn apply(&mut self, update: &Update) -> Result<UpdateStats, GuardError> {
+        let before: Vec<(usize, Row)> = self.constraints.all_violations(self.inner.model());
+        let stats = self.inner.apply(update)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            for row in c.violations(self.inner.model()) {
+                let pre_existing = before.iter().any(|(j, r)| *j == i && *r == row);
+                if pre_existing {
+                    continue;
+                }
+                let err = GuardError::Violated {
+                    constraint: c.to_string(),
+                    witness: c.render_violation(&row),
+                };
+                self.inner
+                    .apply(&inverse(update))
+                    .expect("inverse of an accepted update must apply");
+                return Err(err);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Convenience: insert a fact under guard.
+    pub fn insert_fact(&mut self, fact: Fact) -> Result<UpdateStats, GuardError> {
+        self.apply(&Update::InsertFact(fact))
+    }
+
+    /// Convenience: delete a fact under guard.
+    pub fn delete_fact(&mut self, fact: Fact) -> Result<UpdateStats, GuardError> {
+        self.apply(&Update::DeleteFact(fact))
+    }
+
+    /// Convenience: insert a rule under guard.
+    pub fn insert_rule(&mut self, rule: Rule) -> Result<UpdateStats, GuardError> {
+        self.apply(&Update::InsertRule(rule))
+    }
+
+    /// Convenience: delete a rule under guard.
+    pub fn delete_rule(&mut self, rule: Rule) -> Result<UpdateStats, GuardError> {
+        self.apply(&Update::DeleteRule(rule))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::CascadeEngine;
+    use crate::verify::assert_matches_ground_truth;
+
+    fn fact(s: &str) -> Fact {
+        Fact::parse(s).unwrap()
+    }
+
+    fn guarded(src: &str, denials: &[&str]) -> GuardedEngine<CascadeEngine> {
+        let engine = CascadeEngine::new(Program::parse(src).unwrap()).unwrap();
+        let mut g = GuardedEngine::unconstrained(engine);
+        for d in denials {
+            g.add_constraint(Constraint::parse(d).unwrap()).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn constraint_parsing_and_display() {
+        let c = Constraint::parse(":- accepted(X), rejected(X).").unwrap();
+        assert_eq!(c.to_string(), ":- accepted(X), rejected(X).");
+        // Leading `:-` optional.
+        let c2 = Constraint::parse("accepted(X), rejected(X)").unwrap();
+        assert_eq!(c2.to_string(), c.to_string());
+        assert!(Constraint::parse(":- !only_negative(X).").is_err());
+    }
+
+    #[test]
+    fn satisfied_constraint_lets_updates_through() {
+        let mut g = guarded(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+            &[":- accepted(X), rejected(X)."],
+        );
+        // Inserting accepted(1) removes rejected(1): no violation.
+        g.insert_fact(fact("accepted(1)")).unwrap();
+        assert!(g.model().contains_parsed("accepted(1)"));
+        assert_matches_ground_truth(g.inner());
+    }
+
+    #[test]
+    fn violating_update_rolled_back() {
+        // `rejected` is asserted directly here, so accepting 3 would
+        // coexist with its rejection — forbidden.
+        let mut g = guarded(
+            "submitted(3). rejected(3).",
+            &[":- submitted(X), rejected(X), accepted(X)."],
+        );
+        let before = g.model().sorted_facts();
+        let err = g.insert_fact(fact("accepted(3)")).unwrap_err();
+        let GuardError::Violated { constraint, witness } = &err else {
+            panic!("expected violation, got {err}")
+        };
+        assert!(constraint.contains("rejected"));
+        assert!(witness.contains("X = 3"), "{witness}");
+        assert_eq!(g.model().sorted_facts(), before, "rolled back");
+        assert_matches_ground_truth(g.inner());
+    }
+
+    #[test]
+    fn deletion_can_violate_too() {
+        // Every submitted paper must have a decision.
+        let mut g = guarded(
+            "submitted(1). accepted(1).
+             undecided(X) :- submitted(X), !accepted(X), !rejected(X).",
+            &[":- undecided(X)."],
+        );
+        let err = g.delete_fact(fact("accepted(1)")).unwrap_err();
+        assert!(matches!(err, GuardError::Violated { .. }));
+        assert!(g.model().contains_parsed("accepted(1)"), "rolled back");
+    }
+
+    #[test]
+    fn rule_updates_guarded() {
+        let mut g = guarded(
+            "e(1). ok(1).",
+            &[":- bad(X)."],
+        );
+        let err = g
+            .insert_rule(Rule::parse("bad(X) :- e(X), !missing(X).").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, GuardError::Violated { .. }));
+        assert_eq!(g.program().num_rules(), 0, "rule insertion rolled back");
+        // A harmless rule passes.
+        g.insert_rule(Rule::parse("fine(X) :- e(X), ok(X).").unwrap()).unwrap();
+        assert!(g.model().contains_parsed("fine(1)"));
+    }
+
+    #[test]
+    fn engine_errors_pass_through() {
+        let mut g = guarded("e(1).", &[]);
+        let err = g.delete_fact(fact("ghost(9)")).unwrap_err();
+        assert!(matches!(err, GuardError::Engine(MaintenanceError::NotAsserted(_))));
+        assert!(err.to_string().contains("not an asserted fact"));
+    }
+
+    #[test]
+    fn pre_existing_violations_are_tolerated() {
+        // Legacy data violates the denial; unrelated updates still work,
+        // and the update may NOT add a *new* violation.
+        let engine = CascadeEngine::new(
+            Program::parse("conflict(1). conflict(2). other(5).").unwrap(),
+        )
+        .unwrap();
+        let mut g = GuardedEngine::unconstrained(engine);
+        // add_constraint refuses a violated constraint…
+        let c = Constraint::parse(":- conflict(X).").unwrap();
+        assert!(matches!(g.add_constraint(c.clone()), Err(GuardError::Violated { .. })));
+        // …but a force-installed set tolerates old violations.
+        let mut set = ConstraintSet::new();
+        set.add(c);
+        let engine = CascadeEngine::new(
+            Program::parse("conflict(1). conflict(2). other(5).").unwrap(),
+        )
+        .unwrap();
+        let mut g = GuardedEngine::new(engine, set);
+        g.insert_fact(fact("other(6)")).unwrap();
+        let err = g.insert_fact(fact("conflict(3)")).unwrap_err();
+        assert!(matches!(err, GuardError::Violated { .. }));
+        assert!(!g.model().contains_parsed("conflict(3)"));
+    }
+
+    #[test]
+    fn constraint_set_inspection() {
+        let mut set = ConstraintSet::new();
+        assert!(set.is_empty());
+        set.add_parsed(":- a(X), b(X).").unwrap();
+        set.add_parsed(":- c(X).").unwrap();
+        assert_eq!(set.len(), 2);
+        let db = Database::from_facts(
+            ["a(1)", "b(1)", "c(9)"].iter().map(|s| Fact::parse(s).unwrap()),
+        );
+        let all = set.all_violations(&db);
+        assert_eq!(all.len(), 2);
+        let (i, c, row) = set.first_violation(&db).unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(c.render_violation(&row), "X = 1");
+    }
+}

@@ -1,0 +1,229 @@
+//! The uniform maintenance interface shared by all strategies.
+
+use std::fmt;
+
+use strata_datalog::error::{DatalogError, StratificationError};
+use strata_datalog::{Database, Fact, Program, Rule};
+
+use crate::stats::UpdateStats;
+
+/// An update to a stratified database (paper §3: "given P' obtained by a
+/// fact or rule insertion or deletion, compute its intended meaning M(P')
+/// making use of the already existing model M(P)").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Assert a ground fact (a unit clause).
+    InsertFact(Fact),
+    /// Retract an asserted fact. Only asserted facts may be deleted — the
+    /// paper allows "deletions only for the relations defined in the
+    /// extensional part".
+    DeleteFact(Fact),
+    /// Add a rule. The result must remain stratified.
+    InsertRule(Rule),
+    /// Remove a (structurally equal) rule.
+    DeleteRule(Rule),
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::InsertFact(fact) => write!(f, "INSERT({fact})"),
+            Update::DeleteFact(fact) => write!(f, "DELETE({fact})"),
+            Update::InsertRule(rule) => write!(f, "INSERT({rule})"),
+            Update::DeleteRule(rule) => write!(f, "DELETE({rule})"),
+        }
+    }
+}
+
+/// Why an update was rejected. Rejected updates leave the engine unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaintenanceError {
+    /// Deleting a fact that is not asserted (it may be *derived*, but the
+    /// paper's update language cannot delete derived facts).
+    NotAsserted(Fact),
+    /// Deleting a rule the program does not contain.
+    UnknownRule(Rule),
+    /// Inserting a rule would create recursion through negation. "We require
+    /// that, in the case of a rule insertion, the resulting program remains
+    /// stratified" (§4).
+    WouldUnstratify(StratificationError),
+    /// A language-level error (arity mismatch, unsafe rule, …).
+    Datalog(DatalogError),
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceError::NotAsserted(fact) => {
+                write!(f, "cannot delete `{fact}`: not an asserted fact")
+            }
+            MaintenanceError::UnknownRule(rule) => {
+                write!(f, "cannot delete `{rule}`: no such rule")
+            }
+            MaintenanceError::WouldUnstratify(e) => {
+                write!(f, "rule insertion rejected: {e}")
+            }
+            MaintenanceError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+impl From<DatalogError> for MaintenanceError {
+    fn from(e: DatalogError) -> Self {
+        MaintenanceError::Datalog(e)
+    }
+}
+
+/// A maintenance strategy: an explicit representation of `M(P)` kept
+/// up to date under updates.
+pub trait MaintenanceEngine {
+    /// A short stable name for reports ("static", "cascade", …).
+    fn name(&self) -> &'static str;
+
+    /// The current program `P`.
+    fn program(&self) -> &Program;
+
+    /// The current model `M(P)`.
+    fn model(&self) -> &Database;
+
+    /// Approximate bytes of per-fact bookkeeping currently held.
+    fn support_bytes(&self) -> usize;
+
+    /// Applies one update, returning what it did.
+    fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError>;
+
+    /// Applies a batch of updates atomically, returning aggregate
+    /// statistics: on the first rejected update the already-applied prefix
+    /// is rolled back (by inverse updates) and the error returned, leaving
+    /// the engine unchanged.
+    ///
+    /// The default implementation is sequential; engines may override it
+    /// with a single removal/saturation pass (see `CascadeEngine`, which
+    /// walks the strata once for the whole batch).
+    fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
+        let mut total = UpdateStats::default();
+        let mut applied: Vec<Update> = Vec::new();
+        for u in updates {
+            // Inserting an already-asserted fact is a no-op whose inverse
+            // would wrongly retract a pre-existing fact: exclude from the
+            // rollback trail.
+            let noop = matches!(
+                &normalize(u), Update::InsertFact(f) if self.program().is_asserted(f)
+            );
+            match self.apply(u) {
+                Ok(stats) => {
+                    total.accumulate(&stats);
+                    if !noop {
+                        applied.push(u.clone());
+                    }
+                }
+                Err(e) => {
+                    for done in applied.iter().rev() {
+                        self.apply(&invert(done)).expect("inverse of applied update");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Convenience: [`Update::InsertFact`].
+    fn insert_fact(&mut self, fact: Fact) -> Result<UpdateStats, MaintenanceError> {
+        self.apply(&Update::InsertFact(fact))
+    }
+
+    /// Convenience: [`Update::DeleteFact`].
+    fn delete_fact(&mut self, fact: Fact) -> Result<UpdateStats, MaintenanceError> {
+        self.apply(&Update::DeleteFact(fact))
+    }
+
+    /// Convenience: [`Update::InsertRule`].
+    fn insert_rule(&mut self, rule: Rule) -> Result<UpdateStats, MaintenanceError> {
+        self.apply(&Update::InsertRule(rule))
+    }
+
+    /// Convenience: [`Update::DeleteRule`].
+    fn delete_rule(&mut self, rule: Rule) -> Result<UpdateStats, MaintenanceError> {
+        self.apply(&Update::DeleteRule(rule))
+    }
+}
+
+/// The inverse of an update (prefix rollback for [`MaintenanceEngine::apply_batch`]).
+pub(crate) fn invert(update: &Update) -> Update {
+    match update {
+        Update::InsertFact(f) => Update::DeleteFact(f.clone()),
+        Update::DeleteFact(f) => Update::InsertFact(f.clone()),
+        Update::InsertRule(r) => Update::DeleteRule(r.clone()),
+        Update::DeleteRule(r) => Update::InsertRule(r.clone()),
+    }
+}
+
+impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn program(&self) -> &Program {
+        self.as_ref().program()
+    }
+
+    fn model(&self) -> &Database {
+        self.as_ref().model()
+    }
+
+    fn support_bytes(&self) -> usize {
+        self.as_ref().support_bytes()
+    }
+
+    fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
+        self.as_mut().apply(update)
+    }
+}
+
+/// Rewrites rule updates whose rule is a ground unit clause into the
+/// corresponding fact updates, so every engine treats `p(a).` uniformly.
+pub(crate) fn normalize(update: &Update) -> Update {
+    match update {
+        Update::InsertRule(r) if r.is_fact_clause() => {
+            Update::InsertFact(r.head.to_fact().expect("ground head"))
+        }
+        Update::DeleteRule(r) if r.is_fact_clause() => {
+            Update::DeleteFact(r.head.to_fact().expect("ground head"))
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_updates() {
+        let u = Update::InsertFact(Fact::parse("p(1)").unwrap());
+        assert_eq!(u.to_string(), "INSERT(p(1))");
+        let u = Update::DeleteRule(Rule::parse("p(X) :- q(X).").unwrap());
+        assert_eq!(u.to_string(), "DELETE(p(X) :- q(X).)");
+    }
+
+    #[test]
+    fn normalize_rewrites_fact_clauses() {
+        let u = normalize(&Update::InsertRule(Rule::parse("p(1).").unwrap()));
+        assert_eq!(u, Update::InsertFact(Fact::parse("p(1)").unwrap()));
+        let u = normalize(&Update::DeleteRule(Rule::parse("p(1).").unwrap()));
+        assert_eq!(u, Update::DeleteFact(Fact::parse("p(1)").unwrap()));
+        let real_rule = Update::InsertRule(Rule::parse("p(X) :- q(X).").unwrap());
+        assert_eq!(normalize(&real_rule), real_rule);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MaintenanceError::NotAsserted(Fact::parse("p(1)").unwrap());
+        assert!(e.to_string().contains("not an asserted fact"));
+        let e = MaintenanceError::UnknownRule(Rule::parse("p(X) :- q(X).").unwrap());
+        assert!(e.to_string().contains("no such rule"));
+    }
+}

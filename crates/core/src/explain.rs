@@ -1,0 +1,277 @@
+//! Why-provenance: explanations for facts of the model.
+//!
+//! A belief revision system should be able to answer *why* something is
+//! believed. For a stratified database the answer is a well-founded proof:
+//! `M(P)` is a **supported** model (paper §2, Theorem iii), so every fact is
+//! asserted or the head of a rule instance whose body holds in the model —
+//! and the instances can be chained without circularity.
+//!
+//! [`Explainer`] records, during a stratified naive saturation, the *first*
+//! derivation found for every derived fact. Because a derivation is only
+//! reported once its positive body facts are already present, the recorded
+//! structure is acyclic and chaining it yields a finite proof tree.
+
+use std::fmt;
+
+use rustc_hash::FxHashMap;
+
+use strata_datalog::eval::{Derivation, DerivationSink};
+use strata_datalog::model::{construct_naive, StratKind, Strata};
+use strata_datalog::{Database, DatalogError, Fact, Program, RuleId};
+
+/// One recorded rule application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// The rule, rendered.
+    pub rule_text: String,
+    /// The matched positive body facts.
+    pub pos: Vec<Fact>,
+    /// The ground negative body atoms (absent from the model).
+    pub neg: Vec<Fact>,
+}
+
+/// A proof tree for a model fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Explanation {
+    /// The fact is asserted in the program.
+    Asserted(Fact),
+    /// The fact is the head of a rule instance; premises are explained
+    /// recursively, negative hypotheses are listed as absences.
+    Derived {
+        /// The explained fact.
+        fact: Fact,
+        /// The rule applied, rendered.
+        rule_text: String,
+        /// Explanations of the positive body facts.
+        premises: Vec<Explanation>,
+        /// Negative body atoms, true by their absence.
+        absent: Vec<Fact>,
+    },
+}
+
+impl Explanation {
+    /// The explained fact.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            Explanation::Asserted(f) => f,
+            Explanation::Derived { fact, .. } => fact,
+        }
+    }
+
+    /// Depth of the proof tree (an asserted fact has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Explanation::Asserted(_) => 1,
+            Explanation::Derived { premises, .. } => {
+                1 + premises.iter().map(Explanation::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn render(&self, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Explanation::Asserted(f) => {
+                out.push_str(&format!("{pad}{f}  [asserted]\n"));
+            }
+            Explanation::Derived { fact, rule_text, premises, absent } => {
+                out.push_str(&format!("{pad}{fact}  [by {rule_text}]\n"));
+                for p in premises {
+                    p.render(indent + 1, out);
+                }
+                for a in absent {
+                    out.push_str(&format!("{}  not {a}  [absent]\n", "  ".repeat(indent + 1)));
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.render(0, &mut s);
+        f.write_str(s.trim_end())
+    }
+}
+
+struct FirstDerivationSink<'a> {
+    first: &'a mut FxHashMap<Fact, DerivationStep>,
+    rule_texts: &'a FxHashMap<RuleId, String>,
+}
+
+impl DerivationSink for FirstDerivationSink<'_> {
+    fn on_derivation(&mut self, d: &Derivation<'_>) -> bool {
+        if !self.first.contains_key(d.head) {
+            self.first.insert(
+                d.head.clone(),
+                DerivationStep {
+                    rule: d.rule,
+                    rule_text: self.rule_texts[&d.rule].clone(),
+                    pos: d.pos_body.to_vec(),
+                    neg: d.neg_body.to_vec(),
+                },
+            );
+        }
+        false
+    }
+}
+
+/// Computes the model of a program while recording one well-founded
+/// derivation per derived fact.
+pub struct Explainer {
+    model: Database,
+    first: FxHashMap<Fact, DerivationStep>,
+    asserted: Vec<Fact>,
+}
+
+impl Explainer {
+    /// Saturates `program` and records first derivations.
+    pub fn new(program: &Program) -> Result<Explainer, DatalogError> {
+        let strata = Strata::build(program, StratKind::ByLevels)?;
+        let rule_texts: FxHashMap<RuleId, String> =
+            program.rules().map(|(id, r)| (id, r.to_string())).collect();
+        let mut model = Database::new();
+        let mut first = FxHashMap::default();
+        let mut sink = FirstDerivationSink { first: &mut first, rule_texts: &rule_texts };
+        construct_naive(&strata, &mut model, &mut sink);
+        Ok(Explainer { model, first, asserted: program.facts().cloned().collect() })
+    }
+
+    /// The computed model.
+    pub fn model(&self) -> &Database {
+        &self.model
+    }
+
+    /// The recorded one-step reason for a derived fact, if any.
+    pub fn why(&self, fact: &Fact) -> Option<&DerivationStep> {
+        self.first.get(fact)
+    }
+
+    /// A full proof tree for a model fact; `None` if the fact is not in the
+    /// model.
+    pub fn explain(&self, fact: &Fact) -> Option<Explanation> {
+        if !self.model.contains(fact) {
+            return None;
+        }
+        Some(self.build(fact))
+    }
+
+    fn build(&self, fact: &Fact) -> Explanation {
+        // Asserted facts take precedence: their "trivial derivation" is the
+        // shortest proof (and the one the maintenance engines protect, cf.
+        // Example 1's migrating asserted fact).
+        if self.asserted.contains(fact) {
+            return Explanation::Asserted(fact.clone());
+        }
+        let step = self
+            .first
+            .get(fact)
+            .expect("every non-asserted model fact has a recorded derivation");
+        Explanation::Derived {
+            fact: fact.clone(),
+            rule_text: step.rule_text.clone(),
+            premises: step.pos.iter().map(|p| self.build(p)).collect(),
+            absent: step.neg.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explainer(src: &str) -> Explainer {
+        Explainer::new(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    fn fact(s: &str) -> Fact {
+        Fact::parse(s).unwrap()
+    }
+
+    #[test]
+    fn asserted_fact_is_its_own_explanation() {
+        let e = explainer("a(1). p(X) :- a(X).");
+        assert_eq!(e.explain(&fact("a(1)")), Some(Explanation::Asserted(fact("a(1)"))));
+    }
+
+    #[test]
+    fn derived_fact_chains_to_assertions() {
+        let e = explainer("a(1). p(X) :- a(X). q(X) :- p(X).");
+        let ex = e.explain(&fact("q(1)")).unwrap();
+        assert_eq!(ex.depth(), 3);
+        let Explanation::Derived { premises, .. } = &ex else { panic!("derived") };
+        assert_eq!(premises[0].fact(), &fact("p(1)"));
+    }
+
+    #[test]
+    fn negative_hypotheses_listed_as_absent() {
+        let e = explainer("s(1). rejected(X) :- s(X), !accepted(X).");
+        let ex = e.explain(&fact("rejected(1)")).unwrap();
+        let Explanation::Derived { absent, .. } = &ex else { panic!("derived") };
+        assert_eq!(absent, &[fact("accepted(1)")]);
+        let shown = ex.to_string();
+        assert!(shown.contains("not accepted(1)"), "{shown}");
+        assert!(shown.contains("[asserted]"), "{shown}");
+    }
+
+    #[test]
+    fn non_model_fact_has_no_explanation() {
+        let e = explainer("a(1). p(X) :- a(X).");
+        assert_eq!(e.explain(&fact("p(2)")), None);
+        assert!(e.why(&fact("p(2)")).is_none());
+    }
+
+    #[test]
+    fn recursive_explanations_are_well_founded() {
+        let e = explainer(
+            "e(1, 2). e(2, 3). e(3, 4).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).",
+        );
+        let ex = e.explain(&fact("p(1, 4)")).unwrap();
+        // The proof must bottom out in edges: finite depth, at least 3 hops.
+        assert!(ex.depth() >= 3 && ex.depth() <= 8, "depth {}", ex.depth());
+    }
+
+    #[test]
+    fn cycle_with_external_seed_explains_through_seed() {
+        // a and b are mutually derivable but grounded through c.
+        let e = explainer("c(1). a(X) :- c(X). a(X) :- b(X). b(X) :- a(X).");
+        let ex = e.explain(&fact("b(1)")).unwrap();
+        let shown = ex.to_string();
+        assert!(shown.contains("c(1)"), "proof must reach the seed: {shown}");
+        assert!(ex.depth() <= 4);
+    }
+
+    #[test]
+    fn why_reports_the_firing_rule() {
+        let e = explainer("a(1). p(X) :- a(X).");
+        let step = e.why(&fact("p(1)")).unwrap();
+        assert_eq!(step.rule_text, "p(X) :- a(X).");
+        assert_eq!(step.pos, vec![fact("a(1)")]);
+        assert!(step.neg.is_empty());
+    }
+
+    #[test]
+    fn model_accessor_exposes_saturation() {
+        let e = explainer("a(1). p(X) :- a(X).");
+        assert!(e.model().contains_parsed("p(1)"));
+        assert_eq!(e.model().len(), 2);
+    }
+
+    #[test]
+    fn asserted_idb_fact_preferred_over_derivation() {
+        // accepted(2) is both asserted and derivable; the explanation is the
+        // assertion (the trivial derivation).
+        let e = explainer(
+            "submitted(2). accepted(2).
+             accepted(X) :- submitted(X), !rejected(X).",
+        );
+        assert_eq!(
+            e.explain(&fact("accepted(2)")),
+            Some(Explanation::Asserted(fact("accepted(2)")))
+        );
+    }
+}

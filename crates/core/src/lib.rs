@@ -1,0 +1,57 @@
+//! # strata-core
+//!
+//! Incremental maintenance of stratified deductive databases, viewed as a
+//! belief revision system — a full implementation of
+//! *Apt & Pugin, PODS 1987*.
+//!
+//! A stratified database `P` has a standard model `M(P)`. Because rules may
+//! contain negative hypotheses, maintenance is **non-monotonic**: inserting
+//! a fact can force deletions from the model and vice versa. Every strategy
+//! here keeps an *explicit representation* — the model, enriched with
+//! per-fact bookkeeping (supports) — and updates it in place.
+//!
+//! ## The strategies
+//!
+//! | engine | paper § | support attached to each fact |
+//! |--------|---------|-------------------------------|
+//! | [`strategy::RecomputeEngine`] | baseline | none (recompute from scratch) |
+//! | [`strategy::StaticEngine`] | 4.1 | none (uses static `Pos`/`Neg` relation sets) |
+//! | [`strategy::DynamicSingleEngine`] | 4.2 | one `Pos`/`Neg` pair with signed relations |
+//! | [`strategy::DynamicMultiEngine`] | 4.3 | a set of support pairs, one per derivation |
+//! | [`strategy::CascadeEngine`] | 5.1 | one-level rule pointers, strata cascaded |
+//!
+//! All five implement [`engine::MaintenanceEngine`] and agree on the
+//! resulting model (checked extensively by tests); they differ in how much
+//! **migration** (erroneous removal followed by re-derivation) and
+//! bookkeeping each update costs — the trade-off the paper studies.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use strata_core::engine::MaintenanceEngine;
+//! use strata_core::strategy::CascadeEngine;
+//! use strata_datalog::{Fact, Program};
+//!
+//! let program = Program::parse(
+//!     "submitted(1). submitted(2). accepted(2).
+//!      rejected(X) :- submitted(X), !accepted(X).",
+//! ).unwrap();
+//! let mut engine = CascadeEngine::new(program).unwrap();
+//! assert!(engine.model().contains_parsed("rejected(1)"));
+//!
+//! // Inserting accepted(1) *deletes* rejected(1) from the model.
+//! engine.insert_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+//! assert!(!engine.model().contains_parsed("rejected(1)"));
+//! ```
+
+pub mod analysis;
+pub mod constraints;
+pub mod engine;
+pub mod explain;
+pub mod stats;
+pub mod strategy;
+pub mod support;
+pub mod verify;
+
+pub use engine::{MaintenanceEngine, MaintenanceError, Update};
+pub use stats::UpdateStats;

@@ -1,0 +1,100 @@
+//! Per-update statistics, centered on the paper's **migration** metric.
+//!
+//! "To compare solutions to the maintenance problem we concentrate on the
+//! issue of a migration of facts — a phenomenon consisting of an erroneous
+//! removal of a fact from the model. In such case, this fact has to be added
+//! back to the model." (§3)
+
+use rustc_hash::FxHashSet;
+use strata_datalog::Fact;
+
+/// What one update did to the model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Facts removed during the removal phase (including correct removals).
+    pub removed: usize,
+    /// Removed facts that re-entered the model — the paper's migration.
+    pub migrated: usize,
+    /// Facts in `M(P') \ M(P)` (net growth).
+    pub net_added: usize,
+    /// Facts in `M(P) \ M(P')` (net shrinkage).
+    pub net_removed: usize,
+    /// Rule instances enumerated / firings performed.
+    pub derivations: u64,
+    /// Approximate bytes of support bookkeeping after the update.
+    pub support_bytes: usize,
+}
+
+impl UpdateStats {
+    /// Folds another update's stats into an aggregate (support_bytes takes
+    /// the last value since it is a level, not a flow).
+    pub fn accumulate(&mut self, other: &UpdateStats) {
+        self.removed += other.removed;
+        self.migrated += other.migrated;
+        self.net_added += other.net_added;
+        self.net_removed += other.net_removed;
+        self.derivations += other.derivations;
+        self.support_bytes = other.support_bytes;
+    }
+
+    /// Builds stats from the removal and addition sets of an update.
+    ///
+    /// `removed` is the removal-phase output; `added` contains every fact
+    /// inserted afterwards (re-derivations included). A fact in both sets
+    /// migrated; a fact only in `removed` left the model for good; a fact
+    /// only in `added` is new.
+    pub fn from_sets(
+        removed: &FxHashSet<Fact>,
+        added: &FxHashSet<Fact>,
+        derivations: u64,
+        support_bytes: usize,
+    ) -> UpdateStats {
+        let migrated = removed.iter().filter(|f| added.contains(*f)).count();
+        UpdateStats {
+            removed: removed.len(),
+            migrated,
+            net_added: added.len() - migrated,
+            net_removed: removed.len() - migrated,
+            derivations,
+            support_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(names: &[&str]) -> FxHashSet<Fact> {
+        names.iter().map(|n| Fact::parse(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn from_sets_classifies_correctly() {
+        let removed = facts(&["a(1)", "a(2)", "b(1)"]);
+        let added = facts(&["a(1)", "c(9)"]);
+        let s = UpdateStats::from_sets(&removed, &added, 10, 100);
+        assert_eq!(s.removed, 3);
+        assert_eq!(s.migrated, 1); // a(1) came back
+        assert_eq!(s.net_removed, 2); // a(2), b(1) gone
+        assert_eq!(s.net_added, 1); // c(9) new
+        assert_eq!(s.derivations, 10);
+        assert_eq!(s.support_bytes, 100);
+    }
+
+    #[test]
+    fn empty_sets_give_zero_stats() {
+        let s = UpdateStats::from_sets(&facts(&[]), &facts(&[]), 0, 0);
+        assert_eq!(s, UpdateStats::default());
+    }
+
+    #[test]
+    fn accumulate_sums_flows_and_keeps_last_level() {
+        let mut total = UpdateStats::from_sets(&facts(&["a(1)"]), &facts(&[]), 5, 64);
+        total.accumulate(&UpdateStats::from_sets(&facts(&[]), &facts(&["b(2)"]), 7, 32));
+        assert_eq!(total.removed, 1);
+        assert_eq!(total.net_added, 1);
+        assert_eq!(total.derivations, 12);
+        assert_eq!(total.support_bytes, 32);
+    }
+}

@@ -1,0 +1,528 @@
+//! §4.2 — the dynamic solution using one `Pos`/`Neg` support pair per fact.
+//!
+//! Supports are computed **during** saturation from the dependencies
+//! actually used, not the potential ones, so fewer facts are removed than in
+//! §4.1. Two paper-mandated subtleties:
+//!
+//! * **Signed relations.** Recording only the directly negated relations is
+//!   incorrect (the paper's Example 2): the transitive dependencies *behind*
+//!   a negative hypothesis never appear in any positive body support. Signed
+//!   entries `-r`/`+r` are therefore kept and resolved against the static
+//!   dependency sets at update time. The incorrect naive variant remains
+//!   available via [`SingleConfig::signed`]` = false` — experiment E3
+//!   demonstrates exactly the failure the paper describes.
+//! * **Smaller supports are preferable** (Example 3): a re-derivation whose
+//!   pair is *pairwise smaller* replaces the stored pair. Only pairwise
+//!   comparability makes the replacement sound — see
+//!   [`SingleConfig::prefer_smaller`] for the ablation.
+//!
+//! Keeping a single support per fact loses information when a fact has
+//! several derivations (Example 4); §4.3 fixes that at higher cost.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use strata_datalog::eval::naive::{self, SaturationStats};
+use strata_datalog::eval::{Derivation, DerivationSink};
+use strata_datalog::graph::RelIndex;
+use strata_datalog::model::StratKind;
+use strata_datalog::{Database, Fact, Program, Symbol};
+
+use crate::analysis::Analysis;
+use crate::engine::{normalize, MaintenanceEngine, MaintenanceError, Update};
+use crate::stats::UpdateStats;
+use crate::strategy::{add_rule_checked, find_rule_checked, retract_checked};
+use crate::support::SupportPair;
+
+/// Configuration for [`DynamicSingleEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct SingleConfig {
+    /// Keep signed entries and resolve them against static dependencies
+    /// (`true` = the paper's corrected solution; `false` = the incorrect
+    /// naive variant of Example 2, kept for the reproduction).
+    pub signed: bool,
+    /// Replace a stored support when a pairwise-smaller one is derived
+    /// (the paper's Example 3 preference).
+    pub prefer_smaller: bool,
+}
+
+impl Default for SingleConfig {
+    fn default() -> SingleConfig {
+        SingleConfig { signed: true, prefer_smaller: true }
+    }
+}
+
+/// The paper's §4.2 engine.
+pub struct DynamicSingleEngine {
+    program: Program,
+    analysis: Analysis,
+    model: Database,
+    supports: FxHashMap<Fact, SupportPair>,
+    config: SingleConfig,
+}
+
+struct SingleSink<'a> {
+    supports: &'a mut FxHashMap<Fact, SupportPair>,
+    index: &'a RelIndex,
+    universe: usize,
+    config: SingleConfig,
+}
+
+impl DerivationSink for SingleSink<'_> {
+    fn on_derivation(&mut self, d: &Derivation<'_>) -> bool {
+        let mut pair = SupportPair::empty(self.universe);
+        for bf in d.pos_body {
+            if let Some(sup) = self.supports.get(bf) {
+                pair.union_with(sup);
+            }
+            pair.pos.plain.insert(self.index.of(bf.rel));
+        }
+        for nf in d.neg_body {
+            let r = self.index.of(nf.rel);
+            if self.config.signed {
+                // Pos gains -r, Neg gains +r.
+                pair.pos.signed.insert(r);
+                pair.neg.signed.insert(r);
+            } else {
+                // The naive (incorrect) construction: Neg gains plain r.
+                pair.neg.plain.insert(r);
+            }
+        }
+        use std::collections::hash_map::Entry;
+        match self.supports.entry(d.head.clone()) {
+            Entry::Vacant(v) => {
+                v.insert(pair);
+                true
+            }
+            Entry::Occupied(mut o) => {
+                // "We keep its old pair of Pos and Neg sets unless the new
+                // pair is pairwise smaller than the old one."
+                if self.config.prefer_smaller
+                    && pair.pairwise_subset(o.get())
+                    && &pair != o.get()
+                {
+                    o.insert(pair);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+impl DynamicSingleEngine {
+    /// Builds the engine with the corrected (signed) configuration.
+    pub fn new(program: Program) -> Result<DynamicSingleEngine, MaintenanceError> {
+        Self::with_config(program, SingleConfig::default())
+    }
+
+    /// Builds the paper's *incorrect* naive variant (Example 2), kept to
+    /// reproduce its failure. Its model can diverge from the ground truth!
+    pub fn naive_unsigned(program: Program) -> Result<DynamicSingleEngine, MaintenanceError> {
+        Self::with_config(program, SingleConfig { signed: false, prefer_smaller: true })
+    }
+
+    /// Builds the engine with an explicit configuration.
+    pub fn with_config(
+        program: Program,
+        config: SingleConfig,
+    ) -> Result<DynamicSingleEngine, MaintenanceError> {
+        let analysis = Analysis::build(&program, StratKind::Maximal)
+            .map_err(|e| MaintenanceError::Datalog(e.into()))?;
+        let mut engine = DynamicSingleEngine {
+            program,
+            analysis,
+            model: Database::new(),
+            supports: FxHashMap::default(),
+            config,
+        };
+        let mut added = FxHashSet::default();
+        let mut derivs = 0;
+        engine.resaturate_from(0, &mut added, &mut derivs);
+        Ok(engine)
+    }
+
+    /// The support pair currently attached to a fact (for tests/inspection).
+    pub fn support_of(&self, fact: &Fact) -> Option<&SupportPair> {
+        self.supports.get(fact)
+    }
+
+    fn resaturate_from(&mut self, start: usize, added: &mut FxHashSet<Fact>, derivs: &mut u64) {
+        let strata = self.analysis.strata();
+        let universe = self.analysis.universe();
+        for s in start..strata.num_strata() {
+            for f in strata.facts_of(s) {
+                if self.model.insert(f.clone()) {
+                    added.insert(f.clone());
+                }
+                // Asserted facts carry the empty pair — unbeatably small.
+                self.supports.insert(f.clone(), SupportPair::empty(universe));
+            }
+            let mut sink = SingleSink {
+                supports: &mut self.supports,
+                index: self.analysis.index(),
+                universe,
+                config: self.config,
+            };
+            let mut stats = SaturationStats::default();
+            let new = naive::saturate(&mut self.model, strata.rules_of(s), &mut sink, &mut stats);
+            *derivs += stats.derivations;
+            added.extend(new);
+        }
+    }
+
+    /// Removal phase for an increase of `p`: drop facts whose resolved
+    /// `Neg'` contains `p`.
+    fn removal_on_increase(&mut self, p: u32, removed: &mut FxHashSet<Fact>) {
+        let rels: Vec<Symbol> = self
+            .analysis
+            .deps()
+            .neg_inverse(p)
+            .iter()
+            .map(|i| self.analysis.index().rel(i))
+            .collect();
+        for rel in rels {
+            let facts: Vec<Fact> = self.model.facts_of(rel).collect();
+            for f in facts {
+                let fails = match self.supports.get(&f) {
+                    Some(pair) if self.config.signed => {
+                        pair.neg_resolved_contains(p, self.analysis.deps())
+                    }
+                    Some(pair) => pair.neg.plain.contains(p),
+                    None => true, // unknown support: be pessimistic
+                };
+                if fails {
+                    self.model.remove(&f);
+                    self.supports.remove(&f);
+                    removed.insert(f);
+                }
+            }
+        }
+    }
+
+    /// Removal phase for a decrease of `p`: drop facts whose resolved
+    /// `Pos'` contains `p`. When `drop_all_of` is set (rule deletion), every
+    /// non-asserted fact of that relation goes too — a single relation-level
+    /// pair cannot tell which derivation used the deleted rule.
+    fn removal_on_decrease(
+        &mut self,
+        p: u32,
+        drop_all_of: Option<Symbol>,
+        removed: &mut FxHashSet<Fact>,
+    ) {
+        let rels: Vec<Symbol> = self
+            .analysis
+            .deps()
+            .pos_inverse(p)
+            .iter()
+            .map(|i| self.analysis.index().rel(i))
+            .collect();
+        for rel in rels {
+            let facts: Vec<Fact> = self.model.facts_of(rel).collect();
+            for f in facts {
+                let fails = if drop_all_of == Some(rel) {
+                    !self.program.is_asserted(&f)
+                } else {
+                    match self.supports.get(&f) {
+                        Some(pair) if self.config.signed => {
+                            pair.pos_resolved_contains(p, self.analysis.deps())
+                        }
+                        Some(pair) => pair.pos.plain.contains(p),
+                        None => true,
+                    }
+                };
+                if fails {
+                    self.model.remove(&f);
+                    self.supports.remove(&f);
+                    removed.insert(f);
+                }
+            }
+        }
+    }
+
+    fn rebuild_analysis(&mut self) -> Result<(), MaintenanceError> {
+        self.analysis =
+            Analysis::rebuild(&self.program, StratKind::Maximal, self.analysis.index_clone())
+                .map_err(|e| MaintenanceError::Datalog(e.into()))?;
+        Ok(())
+    }
+
+    fn finish(
+        &self,
+        removed: FxHashSet<Fact>,
+        added: FxHashSet<Fact>,
+        derivs: u64,
+    ) -> UpdateStats {
+        UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
+    }
+}
+
+impl MaintenanceEngine for DynamicSingleEngine {
+    fn name(&self) -> &'static str {
+        if self.config.signed {
+            "dynamic-single"
+        } else {
+            "dynamic-single-naive"
+        }
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn model(&self) -> &Database {
+        &self.model
+    }
+
+    fn support_bytes(&self) -> usize {
+        self.supports.values().map(SupportPair::heap_bytes).sum::<usize>()
+            + self.supports.capacity()
+                * (std::mem::size_of::<Fact>() + std::mem::size_of::<SupportPair>())
+    }
+
+    fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
+        let update = normalize(update);
+        let mut removed = FxHashSet::default();
+        let mut added = FxHashSet::default();
+        let mut derivs = 0u64;
+        match &update {
+            Update::InsertFact(f) => {
+                if self.program.is_asserted(f) {
+                    return Ok(self.finish(removed, added, derivs));
+                }
+                self.program.assert_fact(f.clone()).map_err(MaintenanceError::Datalog)?;
+                if self.analysis.rel(f.rel).is_none() {
+                    self.rebuild_analysis().expect("fact insertion cannot unstratify");
+                } else {
+                    self.analysis.note_assert(f);
+                }
+                let p = self.analysis.rel(f.rel).expect("indexed");
+                self.removal_on_increase(p, &mut removed);
+                if self.model.insert(f.clone()) {
+                    added.insert(f.clone());
+                }
+                // "then add p(t̄) with a support consisting of empty Pos and
+                // Neg sets."
+                self.supports.insert(f.clone(), SupportPair::empty(self.analysis.universe()));
+                self.resaturate_from(self.analysis.stratum_of(f.rel), &mut added, &mut derivs);
+            }
+            Update::DeleteFact(f) => {
+                retract_checked(&mut self.program, f)?;
+                self.analysis.note_retract(f);
+                let p = self.analysis.rel(f.rel).expect("indexed");
+                // The fact itself leaves unconditionally; a single
+                // relation-level support cannot witness other derivations.
+                if self.model.remove(f) {
+                    self.supports.remove(f);
+                    removed.insert(f.clone());
+                }
+                self.removal_on_decrease(p, None, &mut removed);
+                self.resaturate_from(self.analysis.stratum_of(f.rel), &mut added, &mut derivs);
+            }
+            Update::InsertRule(r) => {
+                let id = add_rule_checked(&mut self.program, r)?;
+                let old = self.analysis.clone();
+                if let Err(e) = self.rebuild_analysis() {
+                    self.program.remove_rule(id);
+                    self.analysis = old;
+                    let MaintenanceError::Datalog(
+                        strata_datalog::DatalogError::Stratification(s),
+                    ) = e
+                    else {
+                        return Err(e);
+                    };
+                    return Err(MaintenanceError::WouldUnstratify(s));
+                }
+                let p = self.analysis.rel(r.head.rel).expect("indexed");
+                self.removal_on_increase(p, &mut removed);
+                self.resaturate_from(self.analysis.stratum_of(r.head.rel), &mut added, &mut derivs);
+            }
+            Update::DeleteRule(r) => {
+                let id = find_rule_checked(&self.program, r)?;
+                let head = r.head.rel;
+                let p = self.analysis.rel(head).expect("indexed");
+                let affected: Vec<Symbol> = self
+                    .analysis
+                    .deps()
+                    .pos_inverse(p)
+                    .iter()
+                    .map(|i| self.analysis.index().rel(i))
+                    .collect();
+                self.removal_on_decrease(p, Some(head), &mut removed);
+                self.program.remove_rule(id);
+                self.rebuild_analysis().expect("rule deletion cannot unstratify");
+                let start =
+                    affected.iter().map(|&rel| self.analysis.stratum_of(rel)).min().unwrap_or(0);
+                self.resaturate_from(start, &mut added, &mut derivs);
+            }
+        }
+        Ok(self.finish(removed, added, derivs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_matches_ground_truth;
+    use strata_datalog::Rule;
+
+    fn engine(src: &str) -> DynamicSingleEngine {
+        DynamicSingleEngine::new(Program::parse(src).unwrap()).unwrap()
+    }
+
+    fn render(db: &Database) -> String {
+        db.sorted_facts().iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+    }
+
+    /// Paper §4.1 Example 1 (CONF): unlike the static engine, the dynamic
+    /// engine does **not** migrate the asserted fact accepted(l+1).
+    #[test]
+    fn conf_example_keeps_asserted_fact() {
+        let mut e = engine(
+            "submitted(1). submitted(2). submitted(3). late(4). accepted(4).
+             accepted(X) :- submitted(X), !rejected(X).",
+        );
+        let stats = e.insert_fact(Fact::parse("rejected(4)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("accepted(4)"));
+        assert_matches_ground_truth(&e);
+        // Derived accepted(1..3) still migrate (relation-level supports),
+        // but accepted(4) — empty support — is never removed.
+        assert_eq!(stats.removed, 3);
+        assert_eq!(stats.migrated, 3);
+    }
+
+    /// Paper §4.2 Example 2: the signed solution handles the chain.
+    #[test]
+    fn chain_correct_with_signed_supports() {
+        let mut e = engine("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+        assert_eq!(render(e.model()), "p1 p3");
+        e.insert_fact(Fact::parse("p0").unwrap()).unwrap();
+        assert_eq!(render(e.model()), "p0 p2");
+        assert_matches_ground_truth(&e);
+        e.delete_fact(Fact::parse("p0").unwrap()).unwrap();
+        assert_eq!(render(e.model()), "p1 p3");
+        assert_matches_ground_truth(&e);
+    }
+
+    /// Paper §4.2 Example 2: the naive (unsigned) solution is incorrect —
+    /// inserting p0 fails to remove p3.
+    #[test]
+    fn chain_incorrect_without_signed_supports() {
+        let mut e = DynamicSingleEngine::naive_unsigned(
+            Program::parse("p1 :- !p0. p2 :- !p1. p3 :- !p2.").unwrap(),
+        )
+        .unwrap();
+        e.insert_fact(Fact::parse("p0").unwrap()).unwrap();
+        // True model is {p0, p2}; the naive engine keeps the spurious p3.
+        assert!(e.model().contains_parsed("p3"), "naive variant should exhibit the bug");
+        assert!(crate::verify::check_against_ground_truth(&e).is_err());
+    }
+
+    /// Paper §4.2 Example 3 (CONGRESS): with two derivations of
+    /// accepted(l), the pairwise-smaller support (from `accepted(l) :-
+    /// submitted(l)`) wins, so inserting rejected(l) does not migrate it.
+    #[test]
+    fn congress_prefers_smaller_support() {
+        let mut e = engine(
+            "submitted(1). submitted(2).
+             accepted(X) :- submitted(X), !rejected(X).
+             accepted(2) :- submitted(2).",
+        );
+        let sup = e.support_of(&Fact::parse("accepted(2)").unwrap()).unwrap();
+        // The preferred support is Pos = {submitted}, Neg = ∅.
+        assert!(sup.neg.plain.is_empty() && sup.neg.signed.is_empty());
+        let stats = e.insert_fact(Fact::parse("rejected(2)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("accepted(2)"));
+        assert_matches_ground_truth(&e);
+        // accepted(1) migrates; accepted(2) does not.
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.migrated, 1);
+    }
+
+    /// Paper §4.2 Example 4 (MEET): one support per fact is not enough —
+    /// accepted(a) migrates even though its second derivation survives.
+    #[test]
+    fn meet_single_support_migrates() {
+        let mut e = engine(
+            "submitted(a). in_pc(chair). author(chair, a).
+             accepted(X) :- submitted(X), !rejected(X).
+             accepted(Y) :- author(X, Y), in_pc(X).",
+        );
+        let stats = e.insert_fact(Fact::parse("rejected(a)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("accepted(a)"));
+        assert_matches_ground_truth(&e);
+        // Whether accepted(a) migrates depends on which support was kept;
+        // the two pairs are incomparable, so the first derivation's support
+        // survives. With the rule order above the negation-based support is
+        // found first, so the fact migrates.
+        assert_eq!(stats.migrated, 1, "single support loses the second derivation");
+    }
+
+    #[test]
+    fn pods_round_trip() {
+        let mut e = engine(
+            "submitted(1). submitted(2). submitted(3). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        );
+        e.insert_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+        assert_matches_ground_truth(&e);
+        e.delete_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+        assert_matches_ground_truth(&e);
+        e.delete_fact(Fact::parse("accepted(2)").unwrap()).unwrap();
+        assert_matches_ground_truth(&e);
+        assert!(e.model().contains_parsed("rejected(2)"));
+    }
+
+    #[test]
+    fn deletion_keeps_unrelated_asserted_facts() {
+        // Unlike the static engine, deleting e(3) does not disturb e(1), e(2).
+        let mut e = engine("e(1). e(2). e(3). p(X) :- e(X).");
+        let stats = e.delete_fact(Fact::parse("e(3)").unwrap()).unwrap();
+        assert_matches_ground_truth(&e);
+        // e(3) removed; all p-facts fail (relation-level Pos contains e);
+        // p(1), p(2) migrate.
+        assert_eq!(stats.removed, 4);
+        assert_eq!(stats.migrated, 2);
+        assert_eq!(stats.net_removed, 2); // e(3), p(3)
+    }
+
+    #[test]
+    fn rule_updates_with_supports() {
+        let mut e = engine("e(1). e(2). f(2).");
+        e.insert_rule(Rule::parse("p(X) :- e(X), !f(X).").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("p(1)"));
+        assert_matches_ground_truth(&e);
+        e.insert_rule(Rule::parse("q(X) :- p(X).").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("q(1)"));
+        e.delete_rule(Rule::parse("p(X) :- e(X), !f(X).").unwrap()).unwrap();
+        assert!(!e.model().contains_parsed("p(1)"));
+        assert!(!e.model().contains_parsed("q(1)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn unstratifying_rule_rolled_back() {
+        let mut e = engine("e(1). p(X) :- e(X), !q(X).");
+        let before = e.model().clone();
+        assert!(e.insert_rule(Rule::parse("q(X) :- e(X), !p(X).").unwrap()).is_err());
+        assert_eq!(e.model(), &before);
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn supports_are_rebuilt_for_migrated_facts() {
+        let mut e = engine(
+            "s(1). c(1).
+             b(X) :- s(X), !c(X).
+             a(X) :- s(X), !b(X).",
+        );
+        assert!(e.model().contains_parsed("a(1)"));
+        e.delete_fact(Fact::parse("c(1)").unwrap()).unwrap();
+        assert!(!e.model().contains_parsed("a(1)"));
+        assert!(e.model().contains_parsed("b(1)"));
+        assert_matches_ground_truth(&e);
+        // And back.
+        e.insert_fact(Fact::parse("c(1)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("a(1)"));
+        assert_matches_ground_truth(&e);
+    }
+}

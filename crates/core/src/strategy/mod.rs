@@ -1,0 +1,76 @@
+//! The maintenance strategies.
+//!
+//! * [`RecomputeEngine`] — no bookkeeping; recompute `M(P')` from scratch.
+//! * [`StaticEngine`] — §4.1, removal driven by the static dependency graph.
+//! * [`DynamicSingleEngine`] — §4.2, one support pair per fact.
+//! * [`DynamicMultiEngine`] — §4.3, one support pair per derivation.
+//! * [`CascadeEngine`] — §5.1, rule-pointer supports with per-stratum
+//!   alternation of removal and saturation.
+//! * [`FactLevelEngine`] — §5.2's discussed endpoint: fact-level supports,
+//!   zero migration, prohibitive bookkeeping.
+
+mod cascade;
+mod dynamic_multi;
+mod dynamic_single;
+mod fact_level;
+mod recompute;
+mod static_graph;
+
+pub use cascade::{CascadeConfig, CascadeEngine};
+pub use dynamic_multi::DynamicMultiEngine;
+pub use dynamic_single::{DynamicSingleEngine, SingleConfig};
+pub use fact_level::{EntrySet, FactEntry, FactLevelEngine};
+pub use recompute::RecomputeEngine;
+pub use static_graph::StaticEngine;
+
+use rustc_hash::FxHashSet;
+use strata_datalog::{Database, Fact, Program, Rule, RuleId, Symbol};
+
+use crate::engine::MaintenanceError;
+
+/// Validates and performs a fact retraction on the program.
+pub(crate) fn retract_checked(
+    program: &mut Program,
+    fact: &Fact,
+) -> Result<(), MaintenanceError> {
+    if !program.is_asserted(fact) {
+        return Err(MaintenanceError::NotAsserted(fact.clone()));
+    }
+    program.retract_fact(fact);
+    Ok(())
+}
+
+/// Adds a (non-fact) rule to the program, reporting language errors.
+/// Stratification must be checked by the caller (who can roll back).
+pub(crate) fn add_rule_checked(
+    program: &mut Program,
+    rule: &Rule,
+) -> Result<RuleId, MaintenanceError> {
+    let id = program.add_rule(rule.clone()).map_err(MaintenanceError::Datalog)?;
+    Ok(id.expect("fact clauses are normalized to fact updates"))
+}
+
+/// Finds a structurally equal rule or reports it unknown.
+pub(crate) fn find_rule_checked(
+    program: &Program,
+    rule: &Rule,
+) -> Result<RuleId, MaintenanceError> {
+    program.find_rule(rule).ok_or_else(|| MaintenanceError::UnknownRule(rule.clone()))
+}
+
+/// Removes every fact of each listed relation from `model`, recording the
+/// removals. This is the §4.1 static removal phase: "remove from M(P) all
+/// facts r(s̄) such that p belongs to Neg(r)" removes by *relation*.
+pub(crate) fn remove_rel_facts(
+    model: &mut Database,
+    rels: impl IntoIterator<Item = Symbol>,
+    removed: &mut FxHashSet<Fact>,
+) {
+    for rel in rels {
+        let facts: Vec<Fact> = model.facts_of(rel).collect();
+        for f in facts {
+            model.remove(&f);
+            removed.insert(f);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! §4.1 — the static solution using the dependency graph.
+//!
+//! No supports are attached to facts. The removal phase takes "a pessimistic
+//! view": on an insertion into `p`, *every* fact of *every* relation `r`
+//! with `p ∈ Neg(r)` is removed (on deletion: `p ∈ Pos(r)`), and the
+//! affected strata are re-saturated. Facts removed although still derivable
+//! **migrate** — the paper's Example 1 (reproduced in the tests) shows the
+//! asserted fact `accepted(l+1)` migrating, which the dynamic solutions
+//! avoid.
+
+use rustc_hash::FxHashSet;
+use strata_datalog::eval::seminaive::{self, DeltaStats};
+use strata_datalog::eval::NullNewFact;
+use strata_datalog::model::StratKind;
+use strata_datalog::{Database, Fact, Program, Symbol};
+
+use crate::analysis::Analysis;
+use crate::engine::{normalize, MaintenanceEngine, MaintenanceError, Update};
+use crate::stats::UpdateStats;
+use crate::strategy::{add_rule_checked, find_rule_checked, remove_rel_facts, retract_checked};
+
+/// The paper's §4.1 engine.
+pub struct StaticEngine {
+    program: Program,
+    analysis: Analysis,
+    model: Database,
+}
+
+impl StaticEngine {
+    /// Builds the engine, computing `M(P)` and the static dependency sets.
+    pub fn new(program: Program) -> Result<StaticEngine, MaintenanceError> {
+        let analysis = Analysis::build(&program, StratKind::Maximal)
+            .map_err(|e| MaintenanceError::Datalog(e.into()))?;
+        let mut engine = StaticEngine { program, analysis, model: Database::new() };
+        let mut added = FxHashSet::default();
+        let mut derivs = 0;
+        engine.resaturate_from(0, &mut added, &mut derivs);
+        Ok(engine)
+    }
+
+    /// Step (3) of the paper's procedures: `M'_i = SAT(P_i, M)` for the
+    /// strata from `start` upward, re-injecting asserted facts (their
+    /// "trivial derivations").
+    fn resaturate_from(&mut self, start: usize, added: &mut FxHashSet<Fact>, derivs: &mut u64) {
+        let strata = self.analysis.strata();
+        for s in start..strata.num_strata() {
+            for f in strata.facts_of(s) {
+                if self.model.insert(f.clone()) {
+                    added.insert(f.clone());
+                }
+            }
+            let mut stats = DeltaStats::default();
+            let new = seminaive::saturate(
+                &mut self.model,
+                strata.rules_of(s),
+                &mut NullNewFact,
+                &mut stats,
+            );
+            *derivs += stats.firings;
+            added.extend(new);
+        }
+    }
+
+    fn rels_of(&self, indices: &strata_datalog::RelSet) -> Vec<Symbol> {
+        indices.iter().map(|i| self.analysis.index().rel(i)).collect()
+    }
+
+    fn rebuild_analysis(&mut self) -> Result<(), MaintenanceError> {
+        self.analysis =
+            Analysis::rebuild(&self.program, StratKind::Maximal, self.analysis.index_clone())
+                .map_err(|e| MaintenanceError::Datalog(e.into()))?;
+        Ok(())
+    }
+
+    fn finish(
+        &self,
+        removed: FxHashSet<Fact>,
+        added: FxHashSet<Fact>,
+        derivs: u64,
+    ) -> UpdateStats {
+        UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
+    }
+}
+
+impl MaintenanceEngine for StaticEngine {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn model(&self) -> &Database {
+        &self.model
+    }
+
+    /// The static sets are the bookkeeping of this strategy.
+    fn support_bytes(&self) -> usize {
+        self.analysis.deps().heap_bytes()
+    }
+
+    fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
+        let update = normalize(update);
+        let mut removed = FxHashSet::default();
+        let mut added = FxHashSet::default();
+        let mut derivs = 0u64;
+        match &update {
+            Update::InsertFact(f) => {
+                if self.program.is_asserted(f) {
+                    return Ok(self.finish(removed, added, derivs));
+                }
+                self.program.assert_fact(f.clone()).map_err(MaintenanceError::Datalog)?;
+                if self.analysis.rel(f.rel).is_none() {
+                    self.rebuild_analysis().expect("fact insertion cannot unstratify");
+                } else {
+                    self.analysis.note_assert(f);
+                }
+                let p = self.analysis.rel(f.rel).expect("indexed after rebuild");
+                // 1) remove all facts of relations depending on p through an
+                //    odd number of negations.
+                let rels = self.rels_of(self.analysis.deps().neg_inverse(p));
+                remove_rel_facts(&mut self.model, rels, &mut removed);
+                // 2) add p(t̄).
+                if self.model.insert(f.clone()) {
+                    added.insert(f.clone());
+                }
+                // 3) re-saturate the strata from p's stratum up.
+                self.resaturate_from(self.analysis.stratum_of(f.rel), &mut added, &mut derivs);
+            }
+            Update::DeleteFact(f) => {
+                retract_checked(&mut self.program, f)?;
+                self.analysis.note_retract(f);
+                let p = self.analysis.rel(f.rel).expect("asserted relation is indexed");
+                // 1) remove all facts of relations depending on p through an
+                //    even number of negations — including every fact of p
+                //    itself, since p ∈ Pos(p).
+                let rels = self.rels_of(self.analysis.deps().pos_inverse(p));
+                remove_rel_facts(&mut self.model, rels, &mut removed);
+                // 2) p(t̄) is gone with them (no longer asserted);
+                // 3) re-saturate.
+                self.resaturate_from(self.analysis.stratum_of(f.rel), &mut added, &mut derivs);
+            }
+            Update::InsertRule(r) => {
+                let id = add_rule_checked(&mut self.program, r)?;
+                let old = self.analysis.clone();
+                if let Err(e) = self.rebuild_analysis() {
+                    self.program.remove_rule(id);
+                    self.analysis = old;
+                    let MaintenanceError::Datalog(
+                        strata_datalog::DatalogError::Stratification(s),
+                    ) = e
+                    else {
+                        return Err(e);
+                    };
+                    return Err(MaintenanceError::WouldUnstratify(s));
+                }
+                // A rule insertion can only increase p: same removal as a
+                // fact insertion, with the recomputed dependency sets.
+                let p = self.analysis.rel(r.head.rel).expect("indexed after rebuild");
+                let rels = self.rels_of(self.analysis.deps().neg_inverse(p));
+                remove_rel_facts(&mut self.model, rels, &mut removed);
+                self.resaturate_from(self.analysis.stratum_of(r.head.rel), &mut added, &mut derivs);
+            }
+            Update::DeleteRule(r) => {
+                let id = find_rule_checked(&self.program, r)?;
+                // Removal must use the dependency sets computed *before* the
+                // rule disappears: a relation that depended on p only through
+                // the deleted rule still holds facts derived through it.
+                let p = self.analysis.rel(r.head.rel).expect("rule head is indexed");
+                let affected = self.rels_of(self.analysis.deps().pos_inverse(p));
+                remove_rel_facts(&mut self.model, affected.iter().copied(), &mut removed);
+                self.program.remove_rule(id);
+                self.rebuild_analysis().expect("rule deletion cannot unstratify");
+                let start = affected
+                    .iter()
+                    .map(|&rel| self.analysis.stratum_of(rel))
+                    .min()
+                    .unwrap_or(0);
+                self.resaturate_from(start, &mut added, &mut derivs);
+            }
+        }
+        Ok(self.finish(removed, added, derivs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_matches_ground_truth;
+    use strata_datalog::Rule;
+
+    fn engine(src: &str) -> StaticEngine {
+        StaticEngine::new(Program::parse(src).unwrap()).unwrap()
+    }
+
+    /// Paper §3: the PODS database.
+    #[test]
+    fn pods_insert_and_delete() {
+        let mut e = engine(
+            "submitted(1). submitted(2). submitted(3).
+             accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        );
+        e.insert_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+        assert!(!e.model().contains_parsed("rejected(1)"));
+        assert_matches_ground_truth(&e);
+        e.delete_fact(Fact::parse("accepted(2)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("rejected(2)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    /// Paper §4.1 Example 1 (CONF): the static solution migrates the
+    /// asserted fact accepted(l+1).
+    #[test]
+    fn conf_example_migrates_asserted_fact() {
+        let mut e = engine(
+            "submitted(1). submitted(2). submitted(3). late(4). accepted(4).
+             accepted(X) :- submitted(X), !rejected(X).",
+        );
+        assert!(e.model().contains_parsed("accepted(4)"));
+        let stats = e.insert_fact(Fact::parse("rejected(4)").unwrap()).unwrap();
+        // accepted(4) is still in the model (it is asserted)…
+        assert!(e.model().contains_parsed("accepted(4)"));
+        assert_matches_ground_truth(&e);
+        // …but it was removed and re-added: it migrated, together with the
+        // three derived accepted facts.
+        assert_eq!(stats.removed, 4);
+        assert_eq!(stats.migrated, 4);
+        assert_eq!(stats.net_added, 1); // rejected(4)
+        assert_eq!(stats.net_removed, 0);
+    }
+
+    /// Paper §4.2 Example 2: the chain p1 ← ¬p0, p2 ← ¬p1, p3 ← ¬p2.
+    /// The static solution handles it correctly (if wastefully).
+    #[test]
+    fn chain_insert_and_delete() {
+        let mut e = engine("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+        assert_eq!(render(e.model()), "p1 p3");
+        e.insert_fact(Fact::parse("p0").unwrap()).unwrap();
+        assert_eq!(render(e.model()), "p0 p2");
+        assert_matches_ground_truth(&e);
+        e.delete_fact(Fact::parse("p0").unwrap()).unwrap();
+        assert_eq!(render(e.model()), "p1 p3");
+        assert_matches_ground_truth(&e);
+    }
+
+    fn render(db: &Database) -> String {
+        db.sorted_facts().iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+    }
+
+    #[test]
+    fn rule_insertion_updates_model() {
+        let mut e = engine("e(1). e(2). f(2).");
+        e.insert_rule(Rule::parse("p(X) :- e(X), !f(X).").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("p(1)"));
+        assert!(!e.model().contains_parsed("p(2)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn rule_deletion_removes_derived_facts() {
+        let mut e = engine("e(1). p(X) :- e(X). q(X) :- p(X).");
+        assert!(e.model().contains_parsed("q(1)"));
+        e.delete_rule(Rule::parse("p(X) :- e(X).").unwrap()).unwrap();
+        assert!(!e.model().contains_parsed("p(1)"));
+        assert!(!e.model().contains_parsed("q(1)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn rule_deletion_keeps_alternative_derivations() {
+        let mut e = engine("e(1). p(X) :- e(X). p(X) :- f(X). f(1). f(2).");
+        e.delete_rule(Rule::parse("p(X) :- e(X).").unwrap()).unwrap();
+        // p(1) survives via f; p(2) too.
+        assert!(e.model().contains_parsed("p(1)"));
+        assert!(e.model().contains_parsed("p(2)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn unstratifying_rule_rejected_and_rolled_back() {
+        let mut e = engine("e(1). p(X) :- e(X), !q(X).");
+        let before = e.model().clone();
+        let err = e.insert_rule(Rule::parse("q(X) :- e(X), !p(X).").unwrap()).unwrap_err();
+        assert!(matches!(err, MaintenanceError::WouldUnstratify(_)));
+        assert_eq!(e.model(), &before);
+        assert_eq!(e.program().num_rules(), 1);
+        // Still functional.
+        e.insert_fact(Fact::parse("e(2)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("p(2)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn delete_non_asserted_fact_rejected() {
+        let mut e = engine("e(1). p(X) :- e(X).");
+        assert!(matches!(
+            e.delete_fact(Fact::parse("p(1)").unwrap()),
+            Err(MaintenanceError::NotAsserted(_))
+        ));
+    }
+
+    #[test]
+    fn insert_fact_for_new_relation() {
+        let mut e = engine("a(1).");
+        e.insert_fact(Fact::parse("brand_new(7)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("brand_new(7)"));
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn static_deletion_removes_whole_relation_pessimistically() {
+        // Deleting one e-fact removes *all* e facts and dependents, which
+        // then migrate back — the static strategy's signature waste.
+        let mut e = engine("e(1). e(2). e(3). p(X) :- e(X).");
+        let stats = e.delete_fact(Fact::parse("e(3)").unwrap()).unwrap();
+        assert_eq!(stats.removed, 6); // 3 e-facts + 3 p-facts
+        assert_eq!(stats.migrated, 4); // e(1), e(2), p(1), p(2) come back
+        assert_eq!(stats.net_removed, 2); // e(3), p(3)
+        assert_matches_ground_truth(&e);
+    }
+
+    #[test]
+    fn deep_cascade_through_double_negation() {
+        let mut e = engine(
+            "s(1). s(2). c(1).
+             b(X) :- s(X), !c(X).
+             a(X) :- s(X), !b(X).",
+        );
+        assert!(e.model().contains_parsed("a(1)"));
+        assert!(!e.model().contains_parsed("a(2)"));
+        // Deleting c(1) flips b(1), which flips a(1).
+        e.delete_fact(Fact::parse("c(1)").unwrap()).unwrap();
+        assert!(e.model().contains_parsed("b(1)"));
+        assert!(!e.model().contains_parsed("a(1)"));
+        assert_matches_ground_truth(&e);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ground-truth verification: every engine's model must equal the standard
+//! model recomputed from scratch.
+
+use strata_datalog::model::StandardModel;
+use strata_datalog::{Database, Program};
+
+use crate::engine::MaintenanceEngine;
+
+/// Recomputes `M(P)` from scratch.
+///
+/// # Panics
+/// If the program is not stratified (engines keep it stratified).
+pub fn ground_truth(program: &Program) -> Database {
+    StandardModel::compute(program).expect("engine program must be stratified").into_db()
+}
+
+/// Checks an engine's maintained model against the recomputed ground truth,
+/// returning a readable diff on mismatch.
+pub fn check_against_ground_truth(engine: &dyn MaintenanceEngine) -> Result<(), String> {
+    let truth = ground_truth(engine.program());
+    let model = engine.model();
+    if model == &truth {
+        return Ok(());
+    }
+    let missing = truth.difference(model);
+    let spurious = model.difference(&truth);
+    Err(format!(
+        "engine `{}` diverged from ground truth:\n  missing from model: {:?}\n  spurious in model: {:?}",
+        engine.name(),
+        missing,
+        spurious
+    ))
+}
+
+/// Panicking form of [`check_against_ground_truth`] for tests.
+///
+/// # Panics
+/// If the engine's model differs from the recomputed standard model.
+pub fn assert_matches_ground_truth(engine: &dyn MaintenanceEngine) {
+    if let Err(msg) = check_against_ground_truth(engine) {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::RecomputeEngine;
+
+    #[test]
+    fn recompute_engine_trivially_matches() {
+        let p = Program::parse("a(1). b(X) :- a(X).").unwrap();
+        let e = RecomputeEngine::new(p).unwrap();
+        assert!(check_against_ground_truth(&e).is_ok());
+    }
+
+    #[test]
+    fn ground_truth_matches_standard_model() {
+        let p = Program::parse("s(1). s(2). a(1). r(X) :- s(X), !a(X).").unwrap();
+        let t = ground_truth(&p);
+        assert!(t.contains_parsed("r(2)"));
+        assert!(!t.contains_parsed("r(1)"));
+    }
+}

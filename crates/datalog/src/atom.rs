@@ -1,0 +1,174 @@
+//! Atoms (possibly non-ground) and facts (ground atoms).
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Value};
+
+/// An atom `rel(t1, …, tn)` whose terms may contain variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: Symbol,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom from a relation name and terms.
+    pub fn new(rel: impl Into<Symbol>, terms: Vec<Term>) -> Atom {
+        Atom { rel: rel.into(), terms }
+    }
+
+    /// The number of arguments.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether all terms are constants.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| !t.is_var())
+    }
+
+    /// Iterates over the variables occurring in this atom.
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// Converts a ground atom to a [`Fact`]; `None` if any term is a variable.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let args: Option<Box<[Value]>> = self.terms.iter().map(Term::as_const).collect();
+        args.map(|args| Fact { rel: self.rel, args })
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.rel.as_str())?;
+        if !self.terms.is_empty() {
+            f.write_str("(")?;
+            for (i, t) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A ground atom `rel(v1, …, vn)` — the unit of storage and of the model.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// The relation symbol.
+    pub rel: Symbol,
+    /// The ground arguments.
+    pub args: Box<[Value]>,
+}
+
+impl Fact {
+    /// Builds a fact from a relation name and ground arguments.
+    pub fn new(rel: impl Into<Symbol>, args: impl Into<Box<[Value]>>) -> Fact {
+        Fact { rel: rel.into(), args: args.into() }
+    }
+
+    /// A zero-ary fact (a propositional atom).
+    pub fn prop(rel: impl Into<Symbol>) -> Fact {
+        Fact { rel: rel.into(), args: Box::new([]) }
+    }
+
+    /// The number of arguments.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The fact as a (non-ground-capable) atom.
+    pub fn to_atom(&self) -> Atom {
+        Atom { rel: self.rel, terms: self.args.iter().map(|&v| Term::Const(v)).collect() }
+    }
+
+    /// Parses a single ground fact such as `edge(a, 3)`.
+    ///
+    /// Convenience for tests and examples; see [`crate::parser`].
+    pub fn parse(src: &str) -> Result<Fact, crate::error::ParseError> {
+        crate::parser::parse_fact(src)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.rel.as_str())?;
+        if !self.args.is_empty() {
+            f.write_str("(")?;
+            for (i, v) in self.args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_groundness() {
+        let g = Atom::new("p", vec![Term::sym("a"), Term::int(2)]);
+        assert!(g.is_ground());
+        let ng = Atom::new("p", vec![Term::var("X")]);
+        assert!(!ng.is_ground());
+    }
+
+    #[test]
+    fn atom_vars() {
+        let a = Atom::new("p", vec![Term::var("X"), Term::sym("c"), Term::var("Y")]);
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, vec![Symbol::new("X"), Symbol::new("Y")]);
+    }
+
+    #[test]
+    fn atom_to_fact() {
+        let a = Atom::new("p", vec![Term::sym("a")]);
+        assert_eq!(a.to_fact(), Some(Fact::new("p", vec![Value::sym("a")])));
+        let ng = Atom::new("p", vec![Term::var("X")]);
+        assert_eq!(ng.to_fact(), None);
+    }
+
+    #[test]
+    fn fact_round_trip_through_atom() {
+        let f = Fact::new("edge", vec![Value::sym("a"), Value::int(3)]);
+        assert_eq!(f.to_atom().to_fact(), Some(f.clone()));
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn zero_arity_display() {
+        assert_eq!(Fact::prop("q").to_string(), "q");
+        assert_eq!(Atom::new("q", vec![]).to_string(), "q");
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Fact::new("edge", vec![Value::sym("a"), Value::int(3)]);
+        assert_eq!(f.to_string(), "edge(a, 3)");
+    }
+}

@@ -1,0 +1,217 @@
+//! Static `Pos` / `Neg` dependency sets (paper §4.1).
+//!
+//! `Pos(p)` is the set of relations `q` reachable from `p` in the dependency
+//! graph through an **even** number of negative arcs (including `p` itself,
+//! via the empty path); `Neg(p)` uses an **odd** number. The sets need not be
+//! disjoint. Intuition: an *increase* of `q ∈ Neg(p)` or a *decrease* of
+//! `q ∈ Pos(p)` can decrease `p`'s meaning in the model (the paper's
+//! Lemma 1).
+
+use crate::graph::DepGraph;
+use crate::relset::RelSet;
+
+/// Precomputed static dependency sets for every relation of a program.
+#[derive(Clone, Debug)]
+pub struct StaticDeps {
+    /// `pos[p]` = relation indices reachable from `p` with even parity.
+    pos: Vec<RelSet>,
+    /// `neg[p]` = relation indices reachable from `p` with odd parity.
+    neg: Vec<RelSet>,
+    /// `pos_inv[q]` = relations `r` with `q ∈ Pos(r)`.
+    pos_inv: Vec<RelSet>,
+    /// `neg_inv[q]` = relations `r` with `q ∈ Neg(r)`.
+    neg_inv: Vec<RelSet>,
+}
+
+impl StaticDeps {
+    /// Computes all four set families with a BFS over the parity product
+    /// graph `(relation, parity)` — `O(R · E)` overall.
+    pub fn compute(graph: &DepGraph) -> StaticDeps {
+        let n = graph.num_rels();
+        let mut pos = vec![RelSet::empty(n); n];
+        let mut neg = vec![RelSet::empty(n); n];
+        let mut queue = std::collections::VecDeque::new();
+        for p in 0..n as u32 {
+            // seen[(r, parity)] for this source; parity 0 = even.
+            let mut seen_even = RelSet::empty(n);
+            let mut seen_odd = RelSet::empty(n);
+            seen_even.insert(p);
+            queue.clear();
+            queue.push_back((p, false));
+            while let Some((r, odd)) = queue.pop_front() {
+                for (q, sign) in graph.arcs_from(r) {
+                    if sign.positive {
+                        let seen = if odd { &mut seen_odd } else { &mut seen_even };
+                        if seen.insert(q) {
+                            queue.push_back((q, odd));
+                        }
+                    }
+                    if sign.negative {
+                        let seen = if odd { &mut seen_even } else { &mut seen_odd };
+                        if seen.insert(q) {
+                            queue.push_back((q, !odd));
+                        }
+                    }
+                }
+            }
+            pos[p as usize] = seen_even;
+            neg[p as usize] = seen_odd;
+        }
+        let mut pos_inv = vec![RelSet::empty(n); n];
+        let mut neg_inv = vec![RelSet::empty(n); n];
+        for r in 0..n as u32 {
+            for q in pos[r as usize].iter() {
+                pos_inv[q as usize].insert(r);
+            }
+            for q in neg[r as usize].iter() {
+                neg_inv[q as usize].insert(r);
+            }
+        }
+        StaticDeps { pos, neg, pos_inv, neg_inv }
+    }
+
+    /// `Pos(p)`: relations `p` depends on through an even number of
+    /// negations (always contains `p`).
+    pub fn pos(&self, p: u32) -> &RelSet {
+        &self.pos[p as usize]
+    }
+
+    /// `Neg(p)`: relations `p` depends on through an odd number of negations.
+    pub fn neg(&self, p: u32) -> &RelSet {
+        &self.neg[p as usize]
+    }
+
+    /// Relations `r` with `q ∈ Pos(r)` — those whose meaning can shrink when
+    /// `q` shrinks.
+    pub fn pos_inverse(&self, q: u32) -> &RelSet {
+        &self.pos_inv[q as usize]
+    }
+
+    /// Relations `r` with `q ∈ Neg(r)` — those whose meaning can shrink when
+    /// `q` grows.
+    pub fn neg_inverse(&self, q: u32) -> &RelSet {
+        &self.neg_inv[q as usize]
+    }
+
+    /// Approximate heap usage in bytes, for bookkeeping statistics.
+    pub fn heap_bytes(&self) -> usize {
+        self.pos
+            .iter()
+            .chain(&self.neg)
+            .chain(&self.pos_inv)
+            .chain(&self.neg_inv)
+            .map(RelSet::heap_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn deps(src: &str) -> (DepGraph, StaticDeps) {
+        let p = Program::parse(src).unwrap();
+        let g = DepGraph::build(&p);
+        let d = StaticDeps::compute(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn pos_always_contains_self() {
+        let (g, d) = deps("p(X) :- q(X). q(1).");
+        for (i, _) in g.rel_index().iter() {
+            assert!(d.pos(i).contains(i));
+        }
+    }
+
+    #[test]
+    fn single_negation_lands_in_neg() {
+        let (g, d) = deps("rejected(X) :- submitted(X), !accepted(X). submitted(1).");
+        let ix = g.rel_index();
+        let (rej, acc, sub) =
+            (ix.of("rejected".into()), ix.of("accepted".into()), ix.of("submitted".into()));
+        assert!(d.neg(rej).contains(acc));
+        assert!(d.pos(rej).contains(sub));
+        assert!(!d.pos(rej).contains(acc));
+        assert!(!d.neg(rej).contains(sub));
+    }
+
+    #[test]
+    fn parity_chain_alternates() {
+        // p3 -!-> p2 -!-> p1 -!-> p0 (the paper's Example 2 chain).
+        let (g, d) = deps("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+        let ix = g.rel_index();
+        let p = |n: &str| ix.of(n.into());
+        // From p3: p2 odd, p1 even, p0 odd.
+        assert!(d.neg(p("p3")).contains(p("p2")));
+        assert!(d.pos(p("p3")).contains(p("p1")));
+        assert!(d.neg(p("p3")).contains(p("p0")));
+        // From p2: p1 odd, p0 even.
+        assert!(d.neg(p("p2")).contains(p("p1")));
+        assert!(d.pos(p("p2")).contains(p("p0")));
+    }
+
+    #[test]
+    fn pos_and_neg_can_overlap() {
+        // q reachable positively (via a) and negatively (directly).
+        let (g, d) = deps("p(X) :- a(X), !q(X). a(X) :- q(X).");
+        let ix = g.rel_index();
+        let (p_, q_) = (ix.of("p".into()), ix.of("q".into()));
+        assert!(d.pos(p_).contains(q_));
+        assert!(d.neg(p_).contains(q_));
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let (g, d) = deps("p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z). u(X) :- n(X), !p(X, X).");
+        let ix = g.rel_index();
+        let (u_, p_, e_, n_) =
+            (ix.of("u".into()), ix.of("p".into()), ix.of("e".into()), ix.of("n".into()));
+        assert!(d.neg(u_).contains(p_));
+        assert!(d.neg(u_).contains(e_));
+        assert!(d.pos(u_).contains(n_));
+        assert!(d.pos(p_).contains(e_));
+    }
+
+    #[test]
+    fn inverse_sets_are_consistent() {
+        let (g, d) = deps(
+            "a(X) :- b(X), !c(X). b(X) :- d(X). c(X) :- e(X), !f(X). d(1). e(1). f(1).",
+        );
+        for (r, _) in g.rel_index().iter() {
+            for q in d.pos(r).iter() {
+                assert!(d.pos_inverse(q).contains(r));
+            }
+            for q in d.neg(r).iter() {
+                assert!(d.neg_inverse(q).contains(r));
+            }
+        }
+        for (q, _) in g.rel_index().iter() {
+            for r in d.pos_inverse(q).iter() {
+                assert!(d.pos(r).contains(q));
+            }
+            for r in d.neg_inverse(q).iter() {
+                assert!(d.neg(r).contains(q));
+            }
+        }
+    }
+
+    #[test]
+    fn double_negation_is_positive_dependency() {
+        let (g, d) = deps("a(X) :- s(X), !b(X). b(X) :- s(X), !c(X). s(1). c(1).");
+        let ix = g.rel_index();
+        let (a_, c_) = (ix.of("a".into()), ix.of("c".into()));
+        assert!(d.pos(a_).contains(c_), "c is two negations below a");
+        assert!(!d.neg(a_).contains(c_));
+    }
+
+    #[test]
+    fn edb_relations_have_trivial_deps() {
+        let (g, d) = deps("p(X) :- e(X). e(1).");
+        let ix = g.rel_index();
+        let e_ = ix.of("e".into());
+        assert_eq!(d.pos(e_).len(), 1); // just itself
+        assert!(d.neg(e_).is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! Error types for parsing, safety checking, and stratification.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// Any error produced by the datalog substrate.
+#[derive(Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Syntax error while parsing a program or fact.
+    Parse(ParseError),
+    /// A rule violates the safety (range-restriction) condition.
+    Safety(SafetyError),
+    /// The program has recursion through negation.
+    Stratification(StratificationError),
+    /// A relation was used with two different arities.
+    ArityMismatch {
+        /// The relation in question.
+        rel: Symbol,
+        /// The arity recorded first.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse(e) => write!(f, "{e}"),
+            DatalogError::Safety(e) => write!(f, "{e}"),
+            DatalogError::Stratification(e) => write!(f, "{e}"),
+            DatalogError::ArityMismatch { rel, expected, found } => write!(
+                f,
+                "relation `{rel}` used with arity {found}, but previously with arity {expected}"
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<ParseError> for DatalogError {
+    fn from(e: ParseError) -> Self {
+        DatalogError::Parse(e)
+    }
+}
+
+impl From<SafetyError> for DatalogError {
+    fn from(e: SafetyError) -> Self {
+        DatalogError::Safety(e)
+    }
+}
+
+impl From<StratificationError> for DatalogError {
+    fn from(e: StratificationError) -> Self {
+        DatalogError::Stratification(e)
+    }
+}
+
+/// A syntax error, with 1-based line/column position.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl fmt::Debug for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A rule safety (range-restriction) violation.
+///
+/// Every variable of the head and of every negative literal must occur in
+/// some positive body literal; otherwise the rule has no finite meaning
+/// under the closed-world reading.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SafetyError {
+    /// The offending variable.
+    pub var: Symbol,
+    /// Rendered text of the offending rule.
+    pub rule: String,
+    /// Whether the variable occurred in a negative literal (vs. the head).
+    pub in_negative_literal: bool,
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let place = if self.in_negative_literal { "a negative literal" } else { "the head" };
+        write!(
+            f,
+            "unsafe rule `{}`: variable {} occurs in {} but in no positive body literal",
+            self.rule, self.var, place
+        )
+    }
+}
+
+impl fmt::Debug for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Recursion through negation: a cycle of the dependency graph contains a
+/// negative arc, so the program is not stratified.
+#[derive(Clone, PartialEq, Eq)]
+pub struct StratificationError {
+    /// A witness cycle `r0 → r1 → … → r0` containing a negative arc.
+    pub cycle: Vec<Symbol>,
+}
+
+impl fmt::Display for StratificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program is not stratified: negative cycle through ")?;
+        for (i, r) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" -> ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for StratificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for StratificationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let e = ParseError { line: 3, col: 7, msg: "expected `.`".into() };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `.`");
+    }
+
+    #[test]
+    fn display_safety_error() {
+        let e = SafetyError {
+            var: Symbol::new("X"),
+            rule: "p(X) :- !q(X).".into(),
+            in_negative_literal: true,
+        };
+        assert!(e.to_string().contains("negative literal"));
+        assert!(e.to_string().contains('X'));
+    }
+
+    #[test]
+    fn display_stratification_error() {
+        let e = StratificationError { cycle: vec![Symbol::new("p"), Symbol::new("q")] };
+        assert!(e.to_string().contains("p -> q"));
+    }
+
+    #[test]
+    fn conversions_into_datalog_error() {
+        let e: DatalogError = ParseError { line: 1, col: 1, msg: "x".into() }.into();
+        assert!(matches!(e, DatalogError::Parse(_)));
+        let e: DatalogError = StratificationError { cycle: vec![] }.into();
+        assert!(matches!(e, DatalogError::Stratification(_)));
+    }
+}

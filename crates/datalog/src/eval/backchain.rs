@@ -1,0 +1,320 @@
+//! A backchaining membership test for `M(P)` (paper §2, Theorem vi).
+//!
+//! "There is a backchaining interpreter for P using the negation as failure
+//! rule and loop checking (but working only with fully instantiated clauses)
+//! which tests for membership in M(P) when P is function-free."
+//!
+//! The interpreter works top-down on the grounded program: a goal holds if
+//! it is asserted or some ground rule instance for it has all positive
+//! hypotheses provable and no negative hypothesis provable. Loop checking
+//! cuts a branch when a goal re-occurs among its own ancestors — sound for
+//! the least-model reading, where facts supported only through cycles are
+//! false. Negative subgoals restart with a fresh ancestor stack: for a
+//! stratified program they live in a strictly lower stratum, so the
+//! recursion terminates.
+//!
+//! **Memoization.** Proved goals are always cached. A *failure* is cached
+//! only when it is definitive: if the search was pruned by a loop-check cut
+//! that referenced an ancestor *above* the goal's own frame, the failure is
+//! contextual (that ancestor may be provable another way, reviving this
+//! goal), so the result is not cached. Cuts at or below the goal's own
+//! frame are genuine cycles — unfounded support — and do not block caching.
+//! This keeps acyclic recursion (trees, DAGs) polynomial and confines
+//! re-exploration to strongly connected goal groups.
+//!
+//! This is the paper's *implicit representation* query path, the
+//! alternative the maintenance engines' explicit representation is traded
+//! against (§3 and experiment E12).
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::atom::Fact;
+use crate::ground::{ground_program, GroundRule, GroundingBudgetExceeded};
+use crate::program::Program;
+
+/// "No cut reached an ancestor": the failure is definitive.
+const NO_CUT: usize = usize::MAX;
+
+/// A memoizing backchaining interpreter over a grounded program.
+pub struct Backchainer {
+    rules: Vec<GroundRule>,
+    by_head: FxHashMap<Fact, Vec<u32>>,
+    asserted: FxHashSet<Fact>,
+    memo: FxHashMap<Fact, bool>,
+}
+
+impl Backchainer {
+    /// Grounds `program` (within `budget` rule instances) and prepares the
+    /// interpreter.
+    pub fn new(program: &Program, budget: usize) -> Result<Backchainer, GroundingBudgetExceeded> {
+        let mut rules = ground_program(program, budget)?;
+        // Cheapest-first literal selection: positive subgoals whose relation
+        // has no rules are decided by an O(1) assertion lookup — check them
+        // before recursing into rule-defined subgoals. Ground conjunctions
+        // are order-independent semantically; the order only prunes the
+        // proof search (a recursion instance `p(x,z) ← p(x,y) ∧ e(y,z)`
+        // with a false `e` fact must die before exploring `p`).
+        let rule_heads: FxHashSet<crate::symbol::Symbol> =
+            program.rules().map(|(_, r)| r.head.rel).collect();
+        for r in &mut rules {
+            r.pos.sort_by_key(|f| rule_heads.contains(&f.rel));
+        }
+        let mut by_head: FxHashMap<Fact, Vec<u32>> = FxHashMap::default();
+        for (i, r) in rules.iter().enumerate() {
+            by_head.entry(r.head.clone()).or_default().push(i as u32);
+        }
+        Ok(Backchainer {
+            rules,
+            by_head,
+            asserted: program.facts().cloned().collect(),
+            memo: FxHashMap::default(),
+        })
+    }
+
+    /// Tests membership of a ground goal in `M(P)`.
+    pub fn holds(&mut self, goal: &Fact) -> bool {
+        let mut stack = Vec::new();
+        self.prove(goal, &mut stack).0
+    }
+
+    /// Number of memoized results (for tests).
+    #[cfg(test)]
+    fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Returns `(holds, oldest_cut)`: `oldest_cut` is the smallest stack
+    /// index of an ancestor referenced by a loop-check cut during this
+    /// search, or [`NO_CUT`].
+    fn prove(&mut self, goal: &Fact, stack: &mut Vec<Fact>) -> (bool, usize) {
+        if let Some(&b) = self.memo.get(goal) {
+            return (b, NO_CUT);
+        }
+        if self.asserted.contains(goal) {
+            self.memo.insert(goal.clone(), true);
+            return (true, NO_CUT);
+        }
+        if let Some(pos) = stack.iter().position(|g| g == goal) {
+            return (false, pos); // loop check: cyclic support is no support
+        }
+        let Some(rule_ids) = self.by_head.get(goal).cloned() else {
+            self.memo.insert(goal.clone(), false);
+            return (false, NO_CUT);
+        };
+        let my_frame = stack.len();
+        stack.push(goal.clone());
+        let mut proved = false;
+        let mut oldest_cut = NO_CUT;
+        'rules: for id in rule_ids {
+            let rule = self.rules[id as usize].clone();
+            for sub in &rule.pos {
+                let (holds, cut) = self.prove(sub, stack);
+                if !holds {
+                    oldest_cut = oldest_cut.min(cut);
+                    continue 'rules;
+                }
+            }
+            for sub in &rule.neg {
+                // Negation as failure, evaluated in a fresh context (for a
+                // stratified program the subgoal is in a lower stratum).
+                let mut fresh = Vec::new();
+                if self.prove(sub, &mut fresh).0 {
+                    continue 'rules;
+                }
+            }
+            proved = true;
+            break;
+        }
+        stack.pop();
+        if proved {
+            self.memo.insert(goal.clone(), true);
+            (true, NO_CUT)
+        } else if oldest_cut >= my_frame {
+            // Every cut pointed at this goal or its descendants: a genuine
+            // unfounded cycle, not a context artifact.
+            self.memo.insert(goal.clone(), false);
+            (false, NO_CUT)
+        } else {
+            (false, oldest_cut)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StandardModel;
+
+    fn chainer(src: &str) -> Backchainer {
+        Backchainer::new(&Program::parse(src).unwrap(), 100_000).unwrap()
+    }
+
+    fn agrees_with_model(src: &str) {
+        let program = Program::parse(src).unwrap();
+        let model = StandardModel::compute(&program).unwrap();
+        let mut bc = Backchainer::new(&program, 100_000).unwrap();
+        // Every model fact must be provable.
+        for f in model.db().iter_facts() {
+            assert!(bc.holds(&f), "{f} is in M(P) but not provable");
+        }
+        // Check non-membership over the grounded heads.
+        let heads: FxHashSet<Fact> = bc.rules.iter().map(|r| r.head.clone()).collect();
+        let mut bc2 = Backchainer::new(&program, 100_000).unwrap();
+        for h in heads {
+            assert_eq!(
+                bc2.holds(&h),
+                model.db().contains(&h),
+                "backchainer disagrees with M(P) on {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn asserted_facts_hold() {
+        let mut bc = chainer("a(1). b(2).");
+        assert!(bc.holds(&Fact::parse("a(1)").unwrap()));
+        assert!(!bc.holds(&Fact::parse("a(2)").unwrap()));
+    }
+
+    #[test]
+    fn pods_example_membership() {
+        let mut bc = chainer(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        );
+        assert!(bc.holds(&Fact::parse("rejected(1)").unwrap()));
+        assert!(!bc.holds(&Fact::parse("rejected(2)").unwrap()));
+    }
+
+    #[test]
+    fn negation_chain_alternates() {
+        let mut bc = chainer("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+        assert!(!bc.holds(&Fact::parse("p0").unwrap()));
+        assert!(bc.holds(&Fact::parse("p1").unwrap()));
+        assert!(!bc.holds(&Fact::parse("p2").unwrap()));
+        assert!(bc.holds(&Fact::parse("p3").unwrap()));
+    }
+
+    #[test]
+    fn positive_cycle_is_unfounded() {
+        // a and b support only each other: both false; c seeds d.
+        let mut bc = chainer("a :- b. b :- a. c. d :- c.");
+        assert!(!bc.holds(&Fact::parse("a").unwrap()));
+        assert!(!bc.holds(&Fact::parse("b").unwrap()));
+        assert!(bc.holds(&Fact::parse("d").unwrap()));
+    }
+
+    #[test]
+    fn cycle_with_external_support_holds() {
+        // The cut of the a→g→a branch must not condemn g: a :- c succeeds,
+        // and g :- a then holds.
+        let mut bc = chainer("a :- g. g :- a. a :- c. c.");
+        assert!(bc.holds(&Fact::parse("a").unwrap()));
+        assert!(bc.holds(&Fact::parse("g").unwrap()));
+    }
+
+    #[test]
+    fn contextual_failure_is_not_cached() {
+        // Proving a first explores g (fails contextually — its only support
+        // is the ancestor a), then succeeds via c. g must not be stuck
+        // false: queried afterwards, it holds via a.
+        let mut bc = chainer("a :- g. g :- a. a :- c. c.");
+        assert!(bc.holds(&Fact::parse("a").unwrap()));
+        assert!(bc.holds(&Fact::parse("g").unwrap()));
+        // And in the other exploration order.
+        let mut bc2 = chainer("a :- g. g :- a. a :- c. c.");
+        assert!(bc2.holds(&Fact::parse("g").unwrap()));
+        assert!(bc2.holds(&Fact::parse("a").unwrap()));
+    }
+
+    #[test]
+    fn genuine_cycle_failure_is_cached() {
+        let mut bc = chainer("a :- b. b :- a. seeded :- a.");
+        assert!(!bc.holds(&Fact::parse("a").unwrap()));
+        // a is the root of the failing cycle: cached definitively. (b's
+        // failure inside a's search was contextual and is re-derived — and
+        // then cached — on its own query.)
+        let cached = bc.memo_len();
+        assert!(cached >= 1);
+        assert!(!bc.holds(&Fact::parse("b").unwrap()));
+        let after_b = bc.memo_len();
+        assert!(!bc.holds(&Fact::parse("b").unwrap()));
+        assert_eq!(bc.memo_len(), after_b, "b cached after its own query");
+    }
+
+    #[test]
+    fn transitive_closure_membership() {
+        agrees_with_model(
+            "e(1, 2). e(2, 3). e(3, 4).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).",
+        );
+    }
+
+    #[test]
+    fn cyclic_graph_membership() {
+        agrees_with_model(
+            "e(1, 2). e(2, 3). e(3, 1). e(3, 4). n(1). n(2). n(4). n(5).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).
+             iso(X) :- n(X), !covered(X). covered(X) :- p(X, Y).",
+        );
+    }
+
+    #[test]
+    fn agrees_on_mixed_program() {
+        agrees_with_model(
+            "e(1). e(2). c(1).
+             b(X) :- e(X), !c(X).
+             a(X) :- e(X), !b(X).
+             d(X) :- a(X), e(X).",
+        );
+    }
+
+    #[test]
+    fn agrees_on_cascade_demo() {
+        agrees_with_model("r :- p. q :- r. q :- !p.");
+    }
+
+    #[test]
+    fn budget_error_propagates() {
+        let p = Program::parse("e(1). e(2). e(3). r(X, Y, Z) :- e(X), e(Y), e(Z).").unwrap();
+        assert!(Backchainer::new(&p, 5).is_err());
+    }
+
+    #[test]
+    fn memo_makes_repeat_queries_cheap() {
+        let mut bc = chainer(
+            "e(1, 2). e(2, 3). e(3, 1).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).",
+        );
+        let goal = Fact::parse("p(1, 1)").unwrap();
+        assert!(bc.holds(&goal));
+        let memo_size = bc.memo_len();
+        assert!(bc.holds(&goal));
+        assert_eq!(bc.memo_len(), memo_size, "second query must hit the memo");
+    }
+
+    #[test]
+    fn larger_cyclic_graph_terminates_quickly() {
+        // A ring of 12 nodes plus chords: exponential without definitive-
+        // failure caching, comfortable with it.
+        let mut src = String::new();
+        for i in 0..12 {
+            src.push_str(&format!("e({}, {}). ", i, (i + 1) % 12));
+            src.push_str(&format!("n({i}). "));
+        }
+        src.push_str("e(0, 6). e(3, 9). ");
+        src.push_str(
+            "p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).
+             unreachable(X, Y) :- n(X), n(Y), !p(X, Y).",
+        );
+        let program = Program::parse(&src).unwrap();
+        let model = StandardModel::compute(&program).unwrap();
+        let mut bc = Backchainer::new(&program, 1_000_000).unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                let q = Fact::parse(&format!("unreachable({i}, {j})")).unwrap();
+                assert_eq!(bc.holds(&q), model.db().contains(&q), "at ({i},{j})");
+            }
+        }
+    }
+}

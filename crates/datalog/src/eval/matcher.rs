@@ -1,0 +1,480 @@
+//! Rule-body matching: enumerate the ground instances of a rule over a
+//! database.
+//!
+//! The matcher orders positive literals greedily (most already-bound
+//! variables first), seeks through per-column indexes when a column is
+//! bound, and checks the negative literals — ground by rule safety — once
+//! all variables are bound. One body literal may be designated the *delta*
+//! literal and enumerated from a caller-supplied relation instead of the
+//! database, which is the primitive underlying both semi-naive evaluation
+//! and incremental (removed-tuple) firing.
+
+use rustc_hash::FxHashMap;
+
+use crate::atom::{Atom, Fact};
+use crate::rule::Rule;
+use crate::storage::{Database, Relation};
+use crate::symbol::Symbol;
+use crate::term::{Term, Value};
+
+/// A variable assignment under construction.
+#[derive(Default, Debug)]
+pub struct Bindings {
+    vals: FxHashMap<Symbol, Value>,
+}
+
+impl Bindings {
+    /// Current value of a variable.
+    pub fn get(&self, v: Symbol) -> Option<Value> {
+        self.vals.get(&v).copied()
+    }
+
+    fn bind(&mut self, v: Symbol, val: Value) {
+        self.vals.insert(v, val);
+    }
+
+    fn unbind(&mut self, v: Symbol) {
+        self.vals.remove(&v);
+    }
+
+    /// Instantiates an atom; `None` if any variable is unbound.
+    pub fn substitute(&self, atom: &Atom) -> Option<Fact> {
+        let args: Option<Box<[Value]>> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(v) => Some(*v),
+                Term::Var(v) => self.get(*v),
+            })
+            .collect();
+        args.map(|args| Fact { rel: atom.rel, args })
+    }
+}
+
+/// The evaluation order for one rule / delta-position combination.
+struct Plan {
+    /// Positions (into `rule.body`) of literals to enumerate, in order.
+    /// The delta literal, if any, comes first; the rest are the positive
+    /// non-delta literals.
+    order: Vec<usize>,
+}
+
+fn make_plan(rule: &Rule, delta_idx: Option<usize>) -> Plan {
+    let mut order = Vec::new();
+    let mut bound: Vec<Symbol> = Vec::new();
+    if let Some(d) = delta_idx {
+        order.push(d);
+        bound.extend(rule.body[d].atom.vars());
+    }
+    let mut remaining: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| l.positive && Some(*i) != delta_idx)
+        .map(|(i, _)| i)
+        .collect();
+    while !remaining.is_empty() {
+        let (ri, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| {
+                let lit = &rule.body[i];
+                let score: usize =
+                    lit.atom.vars().filter(|v| bound.contains(v)).count() * 2
+                        + lit.atom.terms.iter().filter(|t| !t.is_var()).count();
+                // Prefer more-bound literals; ties go to the earliest, which
+                // `max_by_key` gives us by scanning order when scores tie is
+                // not guaranteed, so bias with reverse index.
+                (score, usize::MAX - i)
+            })
+            .expect("remaining non-empty");
+        let i = remaining.swap_remove(ri);
+        order.push(i);
+        bound.extend(rule.body[i].atom.vars());
+    }
+    Plan { order }
+}
+
+/// Enumerates ground instances of `rule` over `db`.
+///
+/// * `delta` — optionally `(body_position, relation)`: the literal at that
+///   position is enumerated from the given relation instead of `db`. The
+///   position may name a **negative** literal (incremental firing over
+///   removed tuples); its absence from `db` is still checked.
+/// * `seed` — initial variable bindings (used for targeted re-derivation).
+/// * `callback(head, pos_body, neg_body)` — invoked per match; return
+///   `false` to stop the enumeration early.
+pub fn for_each_match_seeded<F>(
+    db: &Database,
+    rule: &Rule,
+    delta: Option<(usize, &Relation)>,
+    seed: &[(Symbol, Value)],
+    mut callback: F,
+) where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    let plan = make_plan(rule, delta.map(|(i, _)| i));
+    let mut bindings = Bindings::default();
+    for &(v, val) in seed {
+        bindings.bind(v, val);
+    }
+    let mut pos_facts: Vec<Fact> = Vec::with_capacity(plan.order.len());
+    let mut trail: Vec<Symbol> = Vec::new();
+    step(db, rule, &plan, delta, 0, &mut bindings, &mut pos_facts, &mut trail, &mut callback);
+}
+
+/// [`for_each_match_seeded`] with no seed bindings.
+pub fn for_each_match<F>(
+    db: &Database,
+    rule: &Rule,
+    delta: Option<(usize, &Relation)>,
+    callback: F,
+) where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    for_each_match_seeded(db, rule, delta, &[], callback);
+}
+
+/// Binds `atom`'s variables against `tuple`; pushes fresh bindings on
+/// `trail`. On mismatch, rolls back to `mark` and returns `false`.
+fn try_bind(
+    atom: &Atom,
+    tuple: &[Value],
+    b: &mut Bindings,
+    trail: &mut Vec<Symbol>,
+    mark: usize,
+) -> bool {
+    for (term, &val) in atom.terms.iter().zip(tuple) {
+        let ok = match term {
+            Term::Const(c) => *c == val,
+            Term::Var(v) => match b.get(*v) {
+                Some(bound) => bound == val,
+                None => {
+                    b.bind(*v, val);
+                    trail.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            rollback(b, trail, mark);
+            return false;
+        }
+    }
+    true
+}
+
+fn rollback(b: &mut Bindings, trail: &mut Vec<Symbol>, mark: usize) {
+    while trail.len() > mark {
+        b.unbind(trail.pop().expect("trail underflow"));
+    }
+}
+
+/// Picks the cheapest access path for `atom` over `rel` given current
+/// bindings, and iterates candidate tuples through `f`. Returns `false` if
+/// `f` requested an early stop.
+fn scan_candidates<F>(rel: &Relation, atom: &Atom, b: &Bindings, mut f: F) -> bool
+where
+    F: FnMut(&[Value]) -> bool,
+{
+    // Find the most selective bound column.
+    let mut best: Option<(usize, Value, usize)> = None;
+    for (c, term) in atom.terms.iter().enumerate() {
+        let val = match term {
+            Term::Const(v) => Some(*v),
+            Term::Var(v) => b.get(*v),
+        };
+        if let Some(v) = val {
+            let est = rel.estimate_bound(c, v);
+            if best.as_ref().is_none_or(|&(_, _, e)| est < e) {
+                best = Some((c, v, est));
+            }
+        }
+    }
+    match best {
+        Some((c, v, _)) => {
+            for t in rel.scan_bound(c, v) {
+                if !f(t) {
+                    return false;
+                }
+            }
+        }
+        None => {
+            for t in rel.iter() {
+                if !f(t) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step<F>(
+    db: &Database,
+    rule: &Rule,
+    plan: &Plan,
+    delta: Option<(usize, &Relation)>,
+    oi: usize,
+    bindings: &mut Bindings,
+    pos_facts: &mut Vec<Fact>,
+    trail: &mut Vec<Symbol>,
+    callback: &mut F,
+) -> bool
+where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    if oi == plan.order.len() {
+        return finish(db, rule, bindings, pos_facts, callback);
+    }
+    let li = plan.order[oi];
+    let lit = &rule.body[li];
+    let source: &Relation = match delta {
+        Some((d, rel)) if d == li => rel,
+        _ => match db.relation(lit.atom.rel) {
+            Some(r) => r,
+            None => return true, // empty relation: no matches, keep going
+        },
+    };
+    // Collect candidate tuples first: the recursive step may consult `db`
+    // again, and we must not hold `source`'s iterator across the callback
+    // when source aliases db. Tuples are cheap to buffer per level.
+    let mut keep_going = true;
+    let mut candidates: Vec<TupleBuf> = Vec::new();
+    scan_candidates(source, &lit.atom, bindings, |t| {
+        candidates.push(t.into());
+        true
+    });
+    for tuple in candidates {
+        let mark = trail.len();
+        if !try_bind(&lit.atom, &tuple, bindings, trail, mark) {
+            continue;
+        }
+        if lit.positive {
+            pos_facts.push(Fact { rel: lit.atom.rel, args: tuple });
+        }
+        keep_going = step(db, rule, plan, delta, oi + 1, bindings, pos_facts, trail, callback);
+        if lit.positive {
+            pos_facts.pop();
+        }
+        rollback(bindings, trail, mark);
+        if !keep_going {
+            break;
+        }
+    }
+    keep_going
+}
+
+type TupleBuf = Box<[Value]>;
+
+fn finish<F>(
+    db: &Database,
+    rule: &Rule,
+    bindings: &Bindings,
+    pos_facts: &[Fact],
+    callback: &mut F,
+) -> bool
+where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    let mut neg_facts: Vec<Fact> = Vec::new();
+    for lit in rule.body.iter().filter(|l| !l.positive) {
+        let fact = bindings
+            .substitute(&lit.atom)
+            .expect("negative literal not ground at finish; rule safety violated");
+        if db.contains(&fact) {
+            return true; // this match fails; continue enumeration
+        }
+        neg_facts.push(fact);
+    }
+    let head = bindings
+        .substitute(&rule.head)
+        .expect("head not ground at finish; rule safety violated");
+    callback(head, pos_facts, &neg_facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::parse_facts;
+
+    fn db(src: &str) -> Database {
+        Database::from_facts(parse_facts(src))
+    }
+
+    fn all_heads(db: &Database, rule: &str) -> Vec<String> {
+        let rule = Rule::parse(rule).unwrap();
+        let mut out = Vec::new();
+        for_each_match(db, &rule, None, |h, _, _| {
+            out.push(h.to_string());
+            true
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn single_literal_match() {
+        let db = db("e(1, 2). e(2, 3).");
+        assert_eq!(all_heads(&db, "p(X, Y) :- e(X, Y)."), vec!["p(1, 2)", "p(2, 3)"]);
+    }
+
+    #[test]
+    fn join_two_literals() {
+        let db = db("e(1, 2). e(2, 3). e(3, 4).");
+        assert_eq!(
+            all_heads(&db, "p(X, Z) :- e(X, Y), e(Y, Z)."),
+            vec!["p(1, 3)", "p(2, 4)"]
+        );
+    }
+
+    #[test]
+    fn constants_in_body_filter() {
+        let db = db("e(1, 2). e(2, 3).");
+        assert_eq!(all_heads(&db, "p(Y) :- e(1, Y)."), vec!["p(2)"]);
+    }
+
+    #[test]
+    fn repeated_variable_within_literal() {
+        let db = db("e(1, 1). e(1, 2).");
+        assert_eq!(all_heads(&db, "p(X) :- e(X, X)."), vec!["p(1)"]);
+    }
+
+    #[test]
+    fn negative_literal_filters() {
+        let db = db("s(1). s(2). a(1).");
+        assert_eq!(all_heads(&db, "r(X) :- s(X), !a(X)."), vec!["r(2)"]);
+    }
+
+    #[test]
+    fn negative_literal_on_missing_relation_always_holds() {
+        let db = db("s(1).");
+        assert_eq!(all_heads(&db, "r(X) :- s(X), !ghost(X)."), vec!["r(1)"]);
+    }
+
+    #[test]
+    fn empty_positive_relation_yields_nothing() {
+        let db = db("a(1).");
+        assert!(all_heads(&db, "p(X) :- zzz(X).").is_empty());
+    }
+
+    #[test]
+    fn ground_rule_with_no_positive_body() {
+        let db = db("a(1).");
+        assert_eq!(all_heads(&db, "q :- !p."), vec!["q"]);
+        let db2 = db_with_p();
+        assert!(all_heads(&db2, "q :- !p.").is_empty());
+    }
+
+    fn db_with_p() -> Database {
+        db("p.")
+    }
+
+    #[test]
+    fn delta_restricts_enumeration() {
+        let dbase = db("e(1, 2). e(2, 3).");
+        let rule = Rule::parse("p(X, Y) :- e(X, Y).").unwrap();
+        let mut delta_rel = Relation::new(2);
+        delta_rel.insert(vec![Value::int(2), Value::int(3)].into());
+        let mut out = Vec::new();
+        for_each_match(&dbase, &rule, Some((0, &delta_rel)), |h, _, _| {
+            out.push(h.to_string());
+            true
+        });
+        assert_eq!(out, vec!["p(2, 3)"]);
+    }
+
+    #[test]
+    fn delta_on_negative_literal_enumerates_removed_tuples() {
+        // r(X) :- s(X), !a(X): fire for tuples recently REMOVED from `a`.
+        let dbase = db("s(1). s(2).");
+        let rule = Rule::parse("r(X) :- s(X), !a(X).").unwrap();
+        let mut removed = Relation::new(1);
+        removed.insert(vec![Value::int(1)].into());
+        let mut out = Vec::new();
+        for_each_match(&dbase, &rule, Some((1, &removed)), |h, _, neg| {
+            assert_eq!(neg.len(), 1);
+            out.push(h.to_string());
+            true
+        });
+        assert_eq!(out, vec!["r(1)"]);
+    }
+
+    #[test]
+    fn delta_on_negative_literal_still_checks_absence() {
+        // If the tuple is (still or again) present in db, the match fails.
+        let dbase = db("s(1). a(1).");
+        let rule = Rule::parse("r(X) :- s(X), !a(X).").unwrap();
+        let mut removed = Relation::new(1);
+        removed.insert(vec![Value::int(1)].into());
+        let mut out = Vec::new();
+        for_each_match(&dbase, &rule, Some((1, &removed)), |h, _, _| {
+            out.push(h.to_string());
+            true
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seeded_match_restricts_bindings() {
+        let dbase = db("e(1, 2). e(2, 3).");
+        let rule = Rule::parse("p(X, Y) :- e(X, Y).").unwrap();
+        let mut out = Vec::new();
+        for_each_match_seeded(
+            &dbase,
+            &rule,
+            None,
+            &[(Symbol::new("X"), Value::int(2))],
+            |h, _, _| {
+                out.push(h.to_string());
+                true
+            },
+        );
+        assert_eq!(out, vec!["p(2, 3)"]);
+    }
+
+    #[test]
+    fn early_stop_halts_enumeration() {
+        let dbase = db("e(1). e(2). e(3).");
+        let rule = Rule::parse("p(X) :- e(X).").unwrap();
+        let mut count = 0;
+        for_each_match(&dbase, &rule, None, |_, _, _| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn body_facts_reported_in_order() {
+        let dbase = db("e(1, 2). f(2, 7). a(9).");
+        let rule = Rule::parse("p(X, Z) :- e(X, Y), f(Y, Z), !a(Z).").unwrap();
+        let mut seen = Vec::new();
+        for_each_match(&dbase, &rule, None, |h, pos, neg| {
+            seen.push((h.to_string(), pos.len(), neg.len()));
+            // pos facts are in evaluation order; both body atoms appear.
+            true
+        });
+        assert_eq!(seen, vec![("p(1, 7)".to_string(), 2, 1)]);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_shared_vars() {
+        let dbase = db("a(1). a(2). b(7). b(8).");
+        assert_eq!(
+            all_heads(&dbase, "p(X, Y) :- a(X), b(Y)."),
+            vec!["p(1, 7)", "p(1, 8)", "p(2, 7)", "p(2, 8)"]
+        );
+    }
+
+    #[test]
+    fn self_join_same_relation() {
+        let dbase = db("e(1, 2). e(2, 1).");
+        assert_eq!(
+            all_heads(&dbase, "p(X) :- e(X, Y), e(Y, X)."),
+            vec!["p(1)", "p(2)"]
+        );
+    }
+}

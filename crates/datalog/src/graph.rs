@@ -1,0 +1,574 @@
+//! The dependency graph `D_P`, the stratification test, and stratifications.
+//!
+//! Following the paper's §2: `(r, q) ∈ D_P` iff some clause uses `r` in its
+//! conclusion and `q` in a hypothesis. Arcs carry a sign — *positive* when
+//! `q` occurs positively, *negative* when it occurs under negation; an arc
+//! can be both. A program is **stratified** iff no cycle of `D_P` contains a
+//! negative arc.
+
+use rustc_hash::FxHashMap;
+
+use crate::error::StratificationError;
+use crate::program::Program;
+use crate::symbol::Symbol;
+
+/// A dense mapping from the relations of a program to indices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct RelIndex {
+    rels: Vec<Symbol>,
+    index: FxHashMap<Symbol, u32>,
+}
+
+impl RelIndex {
+    /// An empty index.
+    pub fn new() -> RelIndex {
+        RelIndex::default()
+    }
+
+    /// Builds the index over every relation mentioned in `program`,
+    /// in sorted-by-name order (deterministic across runs).
+    pub fn build(program: &Program) -> RelIndex {
+        let mut ix = RelIndex::new();
+        ix.extend_with(program);
+        ix
+    }
+
+    /// Adds any relations of `program` not yet indexed, **appending** them so
+    /// existing indices stay valid. The maintenance engines rely on this:
+    /// their per-fact supports store relation indices in bitsets, which must
+    /// survive rule insertions that introduce new relations.
+    pub fn extend_with(&mut self, program: &Program) {
+        for rel in program.relations() {
+            self.ensure(rel);
+        }
+    }
+
+    /// Index of `rel`, assigning the next free index if unknown.
+    pub fn ensure(&mut self, rel: Symbol) -> u32 {
+        if let Some(&i) = self.index.get(&rel) {
+            return i;
+        }
+        let i = u32::try_from(self.rels.len()).expect("relation index overflow");
+        self.rels.push(rel);
+        self.index.insert(rel, i);
+        i
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the program mentions no relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// The dense index of `rel`, if known.
+    pub fn get(&self, rel: Symbol) -> Option<u32> {
+        self.index.get(&rel).copied()
+    }
+
+    /// The dense index of `rel`; panics if unknown.
+    pub fn of(&self, rel: Symbol) -> u32 {
+        self.get(rel).unwrap_or_else(|| panic!("unknown relation `{rel}`"))
+    }
+
+    /// The relation at a dense index.
+    pub fn rel(&self, i: u32) -> Symbol {
+        self.rels[i as usize]
+    }
+
+    /// Iterates over `(index, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Symbol)> + '_ {
+        self.rels.iter().enumerate().map(|(i, &r)| (i as u32, r))
+    }
+}
+
+/// Sign information attached to an arc of the dependency graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArcSign {
+    /// The body relation occurs positively in some clause.
+    pub positive: bool,
+    /// The body relation occurs negatively in some clause.
+    pub negative: bool,
+}
+
+/// The dependency graph of a program.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    index: RelIndex,
+    /// `arcs[r]` lists `(q, sign)` with an arc `r → q` (r's definition uses q).
+    arcs: Vec<FxHashMap<u32, ArcSign>>,
+    /// Reverse adjacency: `rev[q]` lists `(r, sign)` for arcs `r → q`.
+    rev: Vec<FxHashMap<u32, ArcSign>>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `program`.
+    pub fn build(program: &Program) -> DepGraph {
+        Self::build_with(program, RelIndex::build(program))
+    }
+
+    /// Builds the dependency graph over a caller-supplied (superset) index.
+    ///
+    /// # Panics
+    /// If `index` does not cover every relation of `program`.
+    pub fn build_with(program: &Program, index: RelIndex) -> DepGraph {
+        let n = index.len();
+        let mut arcs: Vec<FxHashMap<u32, ArcSign>> = vec![FxHashMap::default(); n];
+        let mut rev: Vec<FxHashMap<u32, ArcSign>> = vec![FxHashMap::default(); n];
+        for (_, rule) in program.rules() {
+            let head = index.of(rule.head.rel);
+            for lit in &rule.body {
+                let dep = index.of(lit.atom.rel);
+                let sign = arcs[head as usize].entry(dep).or_default();
+                if lit.positive {
+                    sign.positive = true;
+                } else {
+                    sign.negative = true;
+                }
+                let sign = *sign;
+                rev[dep as usize].insert(head, sign);
+            }
+        }
+        // `rev` entries may hold stale signs when a later rule adds the other
+        // polarity; rebuild them from the forward arcs for consistency.
+        for r in 0..n {
+            for (&q, &sign) in &arcs[r] {
+                rev[q as usize].insert(r as u32, sign);
+            }
+        }
+        DepGraph { index, arcs, rev }
+    }
+
+    /// The relation index underlying this graph.
+    pub fn rel_index(&self) -> &RelIndex {
+        &self.index
+    }
+
+    /// Number of relations (nodes).
+    pub fn num_rels(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Iterates over the arcs leaving `r`: `(target, sign)`.
+    pub fn arcs_from(&self, r: u32) -> impl Iterator<Item = (u32, ArcSign)> + '_ {
+        self.arcs[r as usize].iter().map(|(&q, &s)| (q, s))
+    }
+
+    /// Iterates over the arcs entering `q`: `(source, sign)`.
+    pub fn arcs_into(&self, q: u32) -> impl Iterator<Item = (u32, ArcSign)> + '_ {
+        self.rev[q as usize].iter().map(|(&r, &s)| (r, s))
+    }
+
+    /// The sign of arc `r → q`, if present.
+    pub fn arc(&self, r: u32, q: u32) -> Option<ArcSign> {
+        self.arcs[r as usize].get(&q).copied()
+    }
+
+    /// Strongly connected components (Tarjan, iterative), in reverse
+    /// topological order: every arc leaves a later component for an earlier
+    /// one or stays inside its component.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let n = self.num_rels();
+        let mut sccs = Vec::new();
+        let mut indices = vec![u32::MAX; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        // Explicit DFS stack of (node, child iterator position).
+        let mut work: Vec<(u32, Vec<u32>, usize)> = Vec::new();
+
+        for start in 0..n as u32 {
+            if indices[start as usize] != u32::MAX {
+                continue;
+            }
+            indices[start as usize] = next_index;
+            lowlink[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+            let children: Vec<u32> = self.arcs[start as usize].keys().copied().collect();
+            work.push((start, children, 0));
+
+            while let Some((v, children, mut i)) = work.pop() {
+                let mut descended = false;
+                while i < children.len() {
+                    let w = children[i];
+                    i += 1;
+                    if indices[w as usize] == u32::MAX {
+                        work.push((v, children, i));
+                        indices[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        let wc: Vec<u32> = self.arcs[w as usize].keys().copied().collect();
+                        work.push((w, wc, 0));
+                        descended = true;
+                        break;
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(indices[w as usize]);
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                if lowlink[v as usize] == indices[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+                if let Some(&mut (p, _, _)) = work.last_mut() {
+                    lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Checks stratifiability: no cycle may contain a negative arc.
+    ///
+    /// Equivalently, no negative arc may connect two relations of the same
+    /// strongly connected component. On failure, returns a witness cycle.
+    pub fn check_stratified(&self) -> Result<(), StratificationError> {
+        let sccs = self.sccs();
+        let mut comp_of = vec![0u32; self.num_rels()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &r in comp {
+                comp_of[r as usize] = ci as u32;
+            }
+        }
+        for r in 0..self.num_rels() as u32 {
+            for (q, sign) in self.arcs_from(r) {
+                if sign.negative && comp_of[r as usize] == comp_of[q as usize] {
+                    return Err(StratificationError { cycle: self.witness_cycle(r, q) });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a path `q ⇝ r` (BFS) and closes it with the arc `r → q`,
+    /// producing a readable witness cycle for error messages.
+    fn witness_cycle(&self, r: u32, q: u32) -> Vec<Symbol> {
+        let n = self.num_rels();
+        let mut prev = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(q);
+        let mut seen = vec![false; n];
+        seen[q as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            if v == r {
+                break;
+            }
+            for (w, _) in self.arcs_from(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    prev[w as usize] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut path = vec![r];
+        let mut cur = r;
+        while cur != q {
+            cur = prev[cur as usize];
+            if cur == u32::MAX {
+                break; // self-loop case: r == q handled below
+            }
+            path.push(cur);
+        }
+        path.reverse(); // now q … r
+        path.push(q); // close the cycle via arc r → q
+        path.iter().map(|&i| self.index.rel(i)).collect()
+    }
+}
+
+/// A stratification `P = P_1 ∪ … ∪ P_n`, represented as an assignment of
+/// relations to strata `0..n`. Rules live in the stratum of their head.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    /// `stratum_of[rel_index]` = stratum number, `0`-based.
+    stratum_of: Vec<u32>,
+    /// Relations grouped by stratum.
+    strata: Vec<Vec<u32>>,
+}
+
+impl Stratification {
+    /// The *by-levels* stratification: each relation gets the smallest legal
+    /// stratum, so the number of strata is one plus the maximum number of
+    /// negative arcs on any dependency path.
+    pub fn by_levels(graph: &DepGraph) -> Result<Stratification, StratificationError> {
+        graph.check_stratified()?;
+        let sccs = graph.sccs(); // reverse topological: dependencies first
+        let n = graph.num_rels();
+        let mut level = vec![0u32; n];
+        for comp in &sccs {
+            // All members of an SCC share a stratum; internal arcs are
+            // positive (checked above), so only arcs leaving the SCC count.
+            let mut comp_level = 0u32;
+            for &r in comp {
+                for (q, sign) in graph.arcs_from(r) {
+                    if comp.contains(&q) {
+                        continue;
+                    }
+                    if sign.positive {
+                        comp_level = comp_level.max(level[q as usize]);
+                    }
+                    if sign.negative {
+                        comp_level = comp_level.max(level[q as usize] + 1);
+                    }
+                }
+            }
+            for &r in comp {
+                level[r as usize] = comp_level;
+            }
+        }
+        Ok(Stratification::from_levels(level))
+    }
+
+    /// A *maximal* stratification: one stratum per strongly connected
+    /// component, in topological order, so no stratum can be decomposed
+    /// further. (The paper assumes a maximal stratification is given.)
+    pub fn maximal(graph: &DepGraph) -> Result<Stratification, StratificationError> {
+        graph.check_stratified()?;
+        let sccs = graph.sccs(); // reverse topological order
+        let n = graph.num_rels();
+        let mut level = vec![0u32; n];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for &r in comp {
+                level[r as usize] = ci as u32;
+            }
+        }
+        Ok(Stratification::from_levels(level))
+    }
+
+    fn from_levels(stratum_of: Vec<u32>) -> Stratification {
+        let num = stratum_of.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut strata = vec![Vec::new(); num];
+        for (r, &l) in stratum_of.iter().enumerate() {
+            strata[l as usize].push(r as u32);
+        }
+        Stratification { stratum_of, strata }
+    }
+
+    /// Stratum of a relation index.
+    pub fn stratum_of(&self, rel: u32) -> usize {
+        self.stratum_of[rel as usize] as usize
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Relation indices of a stratum.
+    pub fn stratum(&self, i: usize) -> &[u32] {
+        &self.strata[i]
+    }
+
+    /// Validates this stratification against a graph: positive arcs must not
+    /// ascend, negative arcs must strictly descend. Used in tests.
+    pub fn validate(&self, graph: &DepGraph) -> bool {
+        (0..graph.num_rels() as u32).all(|r| {
+            graph.arcs_from(r).all(|(q, sign)| {
+                let (sr, sq) = (self.stratum_of(r), self.stratum_of(q));
+                (!sign.positive || sq <= sr) && (!sign.negative || sq < sr)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        Program::parse(src).unwrap()
+    }
+
+    #[test]
+    fn builds_signed_arcs() {
+        let p = program("p(X) :- q(X), !r(X). q(a).");
+        let g = DepGraph::build(&p);
+        let ix = g.rel_index();
+        let (p_, q_, r_) = (ix.of("p".into()), ix.of("q".into()), ix.of("r".into()));
+        assert_eq!(g.arc(p_, q_), Some(ArcSign { positive: true, negative: false }));
+        assert_eq!(g.arc(p_, r_), Some(ArcSign { positive: false, negative: true }));
+        assert_eq!(g.arc(q_, p_), None);
+    }
+
+    #[test]
+    fn arc_can_be_both_positive_and_negative() {
+        let p = program("p(X) :- q(X). p(X) :- s(X), !q(X).");
+        let g = DepGraph::build(&p);
+        let ix = g.rel_index();
+        let sign = g.arc(ix.of("p".into()), ix.of("q".into())).unwrap();
+        assert!(sign.positive && sign.negative);
+        // Reverse adjacency carries the merged sign too.
+        let (src, rsign) = g.arcs_into(ix.of("q".into())).next().unwrap();
+        assert_eq!(src, ix.of("p".into()));
+        assert!(rsign.positive && rsign.negative);
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion() {
+        let p = program("p(X) :- q(X). q(X) :- p(X). r(X) :- p(X).");
+        let g = DepGraph::build(&p);
+        let sccs = g.sccs();
+        let ix = g.rel_index();
+        let pq: Vec<u32> = vec![ix.of("p".into()), ix.of("q".into())];
+        assert!(sccs.iter().any(|c| {
+            let mut c = c.clone();
+            c.sort_unstable();
+            let mut pq = pq.clone();
+            pq.sort_unstable();
+            c == pq
+        }));
+        assert_eq!(sccs.len(), 2);
+    }
+
+    #[test]
+    fn sccs_in_reverse_topological_order() {
+        let p = program("a(X) :- b(X). b(X) :- c(X). c(1).");
+        let g = DepGraph::build(&p);
+        let ix = g.rel_index();
+        let sccs = g.sccs();
+        let pos =
+            |r: &str| sccs.iter().position(|c| c.contains(&ix.of(r.into()))).unwrap();
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+    }
+
+    #[test]
+    fn stratified_program_accepted() {
+        let p = program("win(X) :- move(X, Y), !win(Y). move(a, b).");
+        let g = DepGraph::build(&p);
+        // win depends negatively on itself → not stratified!
+        assert!(g.check_stratified().is_err());
+    }
+
+    #[test]
+    fn positive_recursion_is_fine() {
+        let p = program("path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).");
+        let g = DepGraph::build(&p);
+        assert!(g.check_stratified().is_ok());
+    }
+
+    #[test]
+    fn negative_cycle_detected_with_witness() {
+        let p = program("p(X) :- a(X), !q(X). q(X) :- a(X), r(X). r(X) :- p(X).");
+        let g = DepGraph::build(&p);
+        let err = g.check_stratified().unwrap_err();
+        assert!(err.cycle.len() >= 2);
+        // The witness mentions the relations of the cycle.
+        let names: Vec<&str> = err.cycle.iter().map(|s| s.as_str()).collect();
+        for r in ["p", "q", "r"] {
+            assert!(names.contains(&r), "cycle {names:?} should mention {r}");
+        }
+    }
+
+    #[test]
+    fn self_negation_detected() {
+        let p = program("p(X) :- a(X), !p(X).");
+        let g = DepGraph::build(&p);
+        assert!(g.check_stratified().is_err());
+    }
+
+    #[test]
+    fn by_levels_stratification() {
+        let p = program(
+            "e(1). p(X) :- e(X). q(X) :- e(X), !p(X). r(X) :- e(X), !q(X). s(X) :- r(X).",
+        );
+        let g = DepGraph::build(&p);
+        let s = Stratification::by_levels(&g).unwrap();
+        let ix = g.rel_index();
+        let level = |r: &str| s.stratum_of(ix.of(r.into()));
+        assert_eq!(level("e"), 0);
+        assert_eq!(level("p"), 0);
+        assert_eq!(level("q"), 1);
+        assert_eq!(level("r"), 2);
+        assert_eq!(level("s"), 2);
+        assert_eq!(s.num_strata(), 3);
+        assert!(s.validate(&g));
+    }
+
+    #[test]
+    fn maximal_stratification_splits_further() {
+        let p = program("e(1). p(X) :- e(X). q(X) :- p(X). r(X) :- e(X), !q(X).");
+        let g = DepGraph::build(&p);
+        let max = Stratification::maximal(&g).unwrap();
+        let lvl = Stratification::by_levels(&g).unwrap();
+        assert!(max.num_strata() >= lvl.num_strata());
+        assert!(max.validate(&g));
+        assert!(lvl.validate(&g));
+        // Maximal: each SCC is its own stratum, so p and q are separated.
+        let ix = g.rel_index();
+        assert_ne!(max.stratum_of(ix.of("p".into())), max.stratum_of(ix.of("q".into())));
+    }
+
+    #[test]
+    fn mutual_recursion_shares_stratum() {
+        let p = program("p(X) :- q(X). q(X) :- p(X). p(X) :- e(X). r(X) :- e(X), !p(X).");
+        let g = DepGraph::build(&p);
+        for s in [Stratification::by_levels(&g).unwrap(), Stratification::maximal(&g).unwrap()] {
+            let ix = g.rel_index();
+            assert_eq!(s.stratum_of(ix.of("p".into())), s.stratum_of(ix.of("q".into())));
+            assert!(s.stratum_of(ix.of("r".into())) > s.stratum_of(ix.of("p".into())));
+            assert!(s.validate(&g));
+        }
+    }
+
+    #[test]
+    fn empty_program_has_no_strata() {
+        let p = program("");
+        let g = DepGraph::build(&p);
+        let s = Stratification::by_levels(&g).unwrap();
+        assert_eq!(s.num_strata(), 0);
+    }
+
+    #[test]
+    fn extend_with_keeps_existing_indices_stable() {
+        let p1 = program("b(1). a(X) :- b(X).");
+        let mut ix = RelIndex::build(&p1);
+        let a_before = ix.of("a".into());
+        let b_before = ix.of("b".into());
+        let p2 = program("b(1). a(X) :- b(X). c(X) :- b(X), !a(X).");
+        ix.extend_with(&p2);
+        assert_eq!(ix.of("a".into()), a_before);
+        assert_eq!(ix.of("b".into()), b_before);
+        assert_eq!(ix.len(), 3);
+        // A graph can be built over the extended index.
+        let g = DepGraph::build_with(&p2, ix);
+        assert!(g.check_stratified().is_ok());
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut ix = RelIndex::new();
+        let i1 = ix.ensure("zzz_rel".into());
+        let i2 = ix.ensure("zzz_rel".into());
+        assert_eq!(i1, i2);
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.rel(i1), Symbol::new("zzz_rel"));
+    }
+
+    #[test]
+    fn facts_only_program_single_stratum() {
+        let p = program("a(1). b(2).");
+        let g = DepGraph::build(&p);
+        let s = Stratification::by_levels(&g).unwrap();
+        assert_eq!(s.num_strata(), 1);
+        assert_eq!(s.stratum(0).len(), 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Grounding: fully instantiated rules over the active domain.
+//!
+//! The paper works with "fully instantiated clauses" in two places: the
+//! backchaining interpreter of §2 (Theorem vi) and the comparison with truth
+//! maintenance systems, where each ground rule instance becomes one
+//! justification. This module enumerates those instances.
+//!
+//! Grounding is exponential in the number of variables per rule
+//! (`|domain|^k` instances), so it is guarded by an instance budget. The
+//! bottom-up engines in [`crate::eval`] never ground; only the TMS bridge,
+//! the backchainer, and tests do.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::atom::{Atom, Fact};
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+use crate::term::{Term, Value};
+
+/// A fully instantiated rule: ground head, ground positive and negative
+/// body atoms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct GroundRule {
+    /// The instantiated conclusion.
+    pub head: Fact,
+    /// The instantiated positive hypotheses.
+    pub pos: Vec<Fact>,
+    /// The instantiated negative hypotheses.
+    pub neg: Vec<Fact>,
+}
+
+impl std::fmt::Display for GroundRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.pos.is_empty() || !self.neg.is_empty() {
+            f.write_str(" :- ")?;
+            let mut first = true;
+            for a in &self.pos {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                first = false;
+                write!(f, "{a}")?;
+            }
+            for a in &self.neg {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                first = false;
+                write!(f, "!{a}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+/// Grounding failed because the instance budget was exceeded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundingBudgetExceeded {
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for GroundingBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grounding exceeded the budget of {} rule instances", self.budget)
+    }
+}
+
+impl std::error::Error for GroundingBudgetExceeded {}
+
+/// The active domain of a program: every constant appearing in its facts and
+/// rules, sorted for determinism.
+pub fn active_domain(program: &Program) -> Vec<Value> {
+    let mut seen = FxHashSet::default();
+    let mut domain = Vec::new();
+    let mut visit = |v: Value| {
+        if seen.insert(v) {
+            domain.push(v);
+        }
+    };
+    for f in program.facts() {
+        for &v in f.args.iter() {
+            visit(v);
+        }
+    }
+    for (_, rule) in program.rules() {
+        for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+            for t in &atom.terms {
+                if let Some(v) = t.as_const() {
+                    visit(v);
+                }
+            }
+        }
+    }
+    domain.sort();
+    domain
+}
+
+/// Grounds every rule of `program` over its active domain, with a budget on
+/// the total number of instances produced (grounding is `|domain|^k` per
+/// rule with `k` variables).
+///
+/// Asserted facts are *not* included; callers treat them as premises.
+pub fn ground_program(
+    program: &Program,
+    budget: usize,
+) -> Result<Vec<GroundRule>, GroundingBudgetExceeded> {
+    let domain = active_domain(program);
+    let mut out = Vec::new();
+    for (_, rule) in program.rules() {
+        ground_rule_into(rule, &domain, budget, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Grounds a single rule over an explicit domain, appending to `out`.
+fn ground_rule_into(
+    rule: &Rule,
+    domain: &[Value],
+    budget: usize,
+    out: &mut Vec<GroundRule>,
+) -> Result<(), GroundingBudgetExceeded> {
+    let vars = rule.vars();
+    if vars.is_empty() {
+        push_instance(rule, &FxHashMap::default(), out);
+        return check_budget(out.len(), budget);
+    }
+    if domain.is_empty() {
+        return Ok(()); // variables but nothing to bind them to
+    }
+    // Odometer over |domain|^|vars| assignments.
+    let mut counters = vec![0usize; vars.len()];
+    let mut binding: FxHashMap<Symbol, Value> =
+        vars.iter().map(|&v| (v, domain[0])).collect();
+    loop {
+        for (i, &v) in vars.iter().enumerate() {
+            binding.insert(v, domain[counters[i]]);
+        }
+        push_instance(rule, &binding, out);
+        check_budget(out.len(), budget)?;
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == counters.len() {
+                return Ok(());
+            }
+            counters[i] += 1;
+            if counters[i] < domain.len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn check_budget(len: usize, budget: usize) -> Result<(), GroundingBudgetExceeded> {
+    if len > budget {
+        Err(GroundingBudgetExceeded { budget })
+    } else {
+        Ok(())
+    }
+}
+
+fn push_instance(rule: &Rule, binding: &FxHashMap<Symbol, Value>, out: &mut Vec<GroundRule>) {
+    let head = substitute(&rule.head, binding);
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for lit in &rule.body {
+        let f = substitute(&lit.atom, binding);
+        if lit.positive {
+            pos.push(f);
+        } else {
+            neg.push(f);
+        }
+    }
+    out.push(GroundRule { head, pos, neg });
+}
+
+fn substitute(atom: &Atom, binding: &FxHashMap<Symbol, Value>) -> Fact {
+    let args: Box<[Value]> = atom
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => *v,
+            Term::Var(v) => *binding.get(v).expect("safety guarantees a binding"),
+        })
+        .collect();
+    Fact { rel: atom.rel, args }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_domain_collects_fact_and_rule_constants() {
+        let p = Program::parse("e(1). e(a). p(X) :- e(X), !f(b).").unwrap();
+        let d = active_domain(&p);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Value::int(1)));
+        assert!(d.contains(&Value::sym("a")));
+        assert!(d.contains(&Value::sym("b")));
+    }
+
+    #[test]
+    fn grounds_unary_rule_over_domain() {
+        let p = Program::parse("e(1). e(2). p(X) :- e(X), !q(X).").unwrap();
+        let g = ground_program(&p, 1000).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(&GroundRule {
+            head: Fact::parse("p(1)").unwrap(),
+            pos: vec![Fact::parse("e(1)").unwrap()],
+            neg: vec![Fact::parse("q(1)").unwrap()],
+        }));
+    }
+
+    #[test]
+    fn grounds_propositional_rule_once() {
+        let p = Program::parse("q :- !p.").unwrap();
+        let g = ground_program(&p, 10).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].to_string(), "q :- !p.");
+    }
+
+    #[test]
+    fn two_variable_rule_is_cartesian() {
+        let p = Program::parse("e(1). e(2). e(3). r(X, Y) :- e(X), e(Y).").unwrap();
+        let g = ground_program(&p, 1000).unwrap();
+        assert_eq!(g.len(), 9);
+        // All instances are distinct.
+        let set: FxHashSet<_> = g.iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let p = Program::parse("e(1). e(2). e(3). r(X, Y, Z) :- e(X), e(Y), e(Z).").unwrap();
+        let err = ground_program(&p, 10).unwrap_err();
+        assert_eq!(err.budget, 10);
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn variables_without_domain_yield_nothing() {
+        let p = Program::parse("p(X) :- e(X).").unwrap();
+        assert_eq!(ground_program(&p, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rule_constants_stay_fixed() {
+        let p = Program::parse("e(1). p(X, c) :- e(X).").unwrap();
+        let g = ground_program(&p, 10).unwrap();
+        // Domain is {1, c}: X ranges over both.
+        assert_eq!(g.len(), 2);
+        for inst in &g {
+            assert_eq!(inst.head.args[1], Value::sym("c"));
+        }
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let p = Program::parse("e(1). p(X) :- e(X), !q(X).").unwrap();
+        let g = ground_program(&p, 10).unwrap();
+        assert_eq!(g[0].to_string(), "p(1) :- e(1), !q(1).");
+    }
+}

@@ -1,0 +1,69 @@
+//! Body literals: positive or negated atoms.
+
+use std::fmt;
+
+use crate::atom::Atom;
+
+/// A literal in a rule body: an atom or its negation.
+///
+/// Negation is *negation as failure* over the standard model: `!p(X)` holds
+/// when `p(X)` is absent from the (already fixed, lower-stratum) model.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for a positive literal, `false` for a negated one.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn pos(atom: Atom) -> Literal {
+        Literal { atom, positive: true }
+    }
+
+    /// A negated literal.
+    pub fn neg(atom: Atom) -> Literal {
+        Literal { atom, positive: false }
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_negative(&self) -> bool {
+        !self.positive
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            f.write_str("!")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn polarity() {
+        let a = Atom::new("p", vec![Term::var("X")]);
+        assert!(!Literal::pos(a.clone()).is_negative());
+        assert!(Literal::neg(a).is_negative());
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new("p", vec![Term::var("X")]);
+        assert_eq!(Literal::pos(a.clone()).to_string(), "p(X)");
+        assert_eq!(Literal::neg(a).to_string(), "!p(X)");
+    }
+}

@@ -1,0 +1,364 @@
+//! The standard model `M(P)` of a stratified program (paper §2).
+//!
+//! Given a stratification `P = P_1 ∪ … ∪ P_n`,
+//!
+//! ```text
+//! M_1 = SAT(P_1, ∅),   M_i = SAT(P_i, M_{i-1}),   M(P) = M_n
+//! ```
+//!
+//! By the theorem of Apt, Blair and Walker recalled in §2, `M(P)` does not
+//! depend on the chosen stratification, is a minimal supported model, and is
+//! a model of Clark's completion. The property tests in this crate and in
+//! `strata-core` check stratification-independence, minimality, and
+//! supportedness directly.
+
+use crate::atom::Fact;
+use crate::error::{DatalogError, StratificationError};
+use crate::eval::{naive, seminaive, DerivationSink, NewFactSink, NullNewFact, NullSink};
+use crate::graph::{DepGraph, Stratification};
+use crate::program::{Program, RuleId};
+use crate::rule::Rule;
+use crate::storage::Database;
+
+/// Which stratification to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StratKind {
+    /// Fewest strata: each relation at the smallest legal level.
+    ByLevels,
+    /// One stratum per strongly connected component (the paper's *maximal*
+    /// stratification).
+    Maximal,
+}
+
+/// A program analyzed for evaluation: dependency graph, stratification, and
+/// rules/facts grouped by stratum.
+#[derive(Clone, Debug)]
+pub struct Strata {
+    graph: DepGraph,
+    strat: Stratification,
+    rules_by_stratum: Vec<Vec<(RuleId, Rule)>>,
+    facts_by_stratum: Vec<Vec<Fact>>,
+}
+
+impl Strata {
+    /// Analyzes `program`; fails if it is not stratified.
+    pub fn build(program: &Program, kind: StratKind) -> Result<Strata, StratificationError> {
+        Self::build_with(program, kind, crate::graph::RelIndex::build(program))
+    }
+
+    /// Analyzes `program` over a caller-supplied relation index (which must
+    /// cover every relation of the program; extra relations are fine and
+    /// land in stratum 0 as isolated nodes).
+    pub fn build_with(
+        program: &Program,
+        kind: StratKind,
+        index: crate::graph::RelIndex,
+    ) -> Result<Strata, StratificationError> {
+        let graph = DepGraph::build_with(program, index);
+        let strat = match kind {
+            StratKind::ByLevels => Stratification::by_levels(&graph)?,
+            StratKind::Maximal => Stratification::maximal(&graph)?,
+        };
+        let n = strat.num_strata();
+        let mut rules_by_stratum = vec![Vec::new(); n];
+        let mut facts_by_stratum = vec![Vec::new(); n];
+        let ix = graph.rel_index();
+        for (id, rule) in program.rules() {
+            let s = strat.stratum_of(ix.of(rule.head.rel));
+            rules_by_stratum[s].push((id, rule.clone()));
+        }
+        for fact in program.facts() {
+            let s = strat.stratum_of(ix.of(fact.rel));
+            facts_by_stratum[s].push(fact.clone());
+        }
+        Ok(Strata { graph, strat, rules_by_stratum, facts_by_stratum })
+    }
+
+    /// The dependency graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// The stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.strat
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strat.num_strata()
+    }
+
+    /// Rules of stratum `i` (rules live in the stratum of their head).
+    pub fn rules_of(&self, i: usize) -> &[(RuleId, Rule)] {
+        &self.rules_by_stratum[i]
+    }
+
+    /// Asserted facts of stratum `i` (facts live in the stratum of their
+    /// relation).
+    pub fn facts_of(&self, i: usize) -> &[Fact] {
+        &self.facts_by_stratum[i]
+    }
+
+    /// The stratum of a relation, by symbol.
+    pub fn stratum_of_rel(&self, rel: crate::symbol::Symbol) -> Option<usize> {
+        self.graph.rel_index().get(rel).map(|i| self.strat.stratum_of(i))
+    }
+
+    /// Records a fact assertion in the per-stratum grouping. Fact updates do
+    /// not change the stratification, so incremental engines keep a `Strata`
+    /// across them — but re-saturation re-injects asserted facts from this
+    /// grouping, which must therefore follow the live program.
+    ///
+    /// # Panics
+    /// If the fact's relation is unknown to the stratification (callers
+    /// rebuild the analysis first when a fact introduces a new relation).
+    pub fn note_fact_asserted(&mut self, f: Fact) {
+        let s = self.stratum_of_rel(f.rel).expect("relation must be stratified");
+        self.facts_by_stratum[s].push(f);
+    }
+
+    /// Inverse of [`Strata::note_fact_asserted`]; no-op if absent.
+    pub fn note_fact_retracted(&mut self, f: &Fact) {
+        let Some(s) = self.stratum_of_rel(f.rel) else { return };
+        if let Some(i) = self.facts_by_stratum[s].iter().position(|g| g == f) {
+            self.facts_by_stratum[s].swap_remove(i);
+        }
+    }
+}
+
+/// Computes `M(P)` into `db` (which must start empty), delta-driven,
+/// reporting each new fact and its deriving rule to `sink`. Asserted facts
+/// are injected at the start of their stratum and **not** reported.
+pub fn construct_seminaive<S: NewFactSink>(strata: &Strata, db: &mut Database, sink: &mut S) {
+    let mut stats = seminaive::DeltaStats::default();
+    for i in 0..strata.num_strata() {
+        for f in strata.facts_of(i) {
+            db.insert(f.clone());
+        }
+        seminaive::saturate(db, strata.rules_of(i), sink, &mut stats);
+    }
+}
+
+/// Computes `M(P)` into `db` naively, reporting **every derivation** to
+/// `sink` (as the dynamic support constructions of §4.2/§4.3 require).
+pub fn construct_naive<S: DerivationSink>(strata: &Strata, db: &mut Database, sink: &mut S) {
+    let mut stats = naive::SaturationStats::default();
+    for i in 0..strata.num_strata() {
+        for f in strata.facts_of(i) {
+            db.insert(f.clone());
+        }
+        naive::saturate(db, strata.rules_of(i), sink, &mut stats);
+    }
+}
+
+/// A computed standard model, bundling the database with its analysis.
+#[derive(Clone, Debug)]
+pub struct StandardModel {
+    db: Database,
+    strata: Strata,
+}
+
+impl StandardModel {
+    /// Computes `M(P)` with the by-levels stratification and the
+    /// delta-driven engine.
+    pub fn compute(program: &Program) -> Result<StandardModel, DatalogError> {
+        Self::compute_with(program, StratKind::ByLevels)
+    }
+
+    /// Computes `M(P)` with a chosen stratification kind.
+    pub fn compute_with(
+        program: &Program,
+        kind: StratKind,
+    ) -> Result<StandardModel, DatalogError> {
+        let strata = Strata::build(program, kind)?;
+        let mut db = Database::new();
+        construct_seminaive(&strata, &mut db, &mut NullNewFact);
+        Ok(StandardModel { db, strata })
+    }
+
+    /// Computes `M(P)` with the naive engine (for cross-checking).
+    pub fn compute_naive(program: &Program) -> Result<StandardModel, DatalogError> {
+        let strata = Strata::build(program, StratKind::ByLevels)?;
+        let mut db = Database::new();
+        construct_naive(&strata, &mut db, &mut NullSink);
+        Ok(StandardModel { db, strata })
+    }
+
+    /// The model as a database of facts.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The analysis used to compute the model.
+    pub fn strata(&self) -> &Strata {
+        &self.strata
+    }
+
+    /// Consumes the model, returning its database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// Checks that the model is **supported**: every fact is asserted or is
+    /// the head of a rule instance whose body holds in the model (paper §2,
+    /// Theorem iii). Used by property tests.
+    pub fn is_supported(&self, program: &Program) -> bool {
+        self.db.iter_facts().all(|f| {
+            if program.is_asserted(&f) {
+                return true;
+            }
+            crate::eval::incremental::rederive(
+                &self.db,
+                &all_rules(program),
+                &f,
+            )
+            .is_some()
+        })
+    }
+}
+
+fn all_rules(program: &Program) -> Vec<(RuleId, Rule)> {
+    program.rules().map(|(id, r)| (id, r.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> StandardModel {
+        StandardModel::compute(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    /// The paper's §3 PODS example.
+    #[test]
+    fn pods_example_model() {
+        let m = model(
+            "submitted(1). submitted(2). submitted(3). submitted(4).
+             accepted(2). accepted(4).
+             rejected(X) :- submitted(X), !accepted(X).",
+        );
+        assert!(m.db().contains_parsed("rejected(1)"));
+        assert!(m.db().contains_parsed("rejected(3)"));
+        assert!(!m.db().contains_parsed("rejected(2)"));
+        assert!(!m.db().contains_parsed("rejected(4)"));
+        assert_eq!(m.db().len(), 4 + 2 + 2);
+    }
+
+    /// The paper's §4.2 Example 2 chain.
+    #[test]
+    fn negation_chain_model() {
+        let m = model("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+        let facts: Vec<String> =
+            m.db().sorted_facts().iter().map(ToString::to_string).collect();
+        assert_eq!(facts, vec!["p1", "p3"]);
+    }
+
+    /// The paper's §5.1 example.
+    #[test]
+    fn cascade_example_model() {
+        let m = model("r :- p. q :- r. q :- !p.");
+        let facts: Vec<String> =
+            m.db().sorted_facts().iter().map(ToString::to_string).collect();
+        assert_eq!(facts, vec!["q"]);
+    }
+
+    #[test]
+    fn model_independent_of_stratification() {
+        let src = "e(1). e(2). a(X) :- e(X), !b(X). b(X) :- c(X). c(1).
+                   d(X) :- a(X). f(X) :- e(X), !d(X).";
+        let p = Program::parse(src).unwrap();
+        let by_levels = StandardModel::compute_with(&p, StratKind::ByLevels).unwrap();
+        let maximal = StandardModel::compute_with(&p, StratKind::Maximal).unwrap();
+        assert_eq!(by_levels.db(), maximal.db());
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let src = "e(1, 2). e(2, 3). e(3, 1). n(1). n(2). n(3). n(4).
+                   p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).
+                   iso(X) :- n(X), !covered(X). covered(X) :- p(X, Y).";
+        let p = Program::parse(src).unwrap();
+        let a = StandardModel::compute(&p).unwrap();
+        let b = StandardModel::compute_naive(&p).unwrap();
+        assert_eq!(a.db(), b.db());
+        assert!(a.db().contains_parsed("iso(4)"));
+        assert!(!a.db().contains_parsed("iso(1)"));
+    }
+
+    #[test]
+    fn asserted_idb_facts_are_in_the_model() {
+        // CONF-style: accepted is defined by a rule AND asserted for l+1.
+        let m = model(
+            "submitted(1). late(2). accepted(2).
+             accepted(X) :- submitted(X), !rejected(X).",
+        );
+        assert!(m.db().contains_parsed("accepted(1)"));
+        assert!(m.db().contains_parsed("accepted(2)"));
+    }
+
+    #[test]
+    fn model_is_supported() {
+        let src = "submitted(1). submitted(2). accepted(2).
+                   rejected(X) :- submitted(X), !accepted(X).";
+        let p = Program::parse(src).unwrap();
+        let m = StandardModel::compute(&p).unwrap();
+        assert!(m.is_supported(&p));
+    }
+
+    #[test]
+    fn model_is_minimal_on_small_program() {
+        // Minimality: removing any single fact breaks model-hood (every fact
+        // is needed). For this program the model is {s(1), p(1)} and both
+        // facts are forced.
+        let m = model("s(1). p(X) :- s(X).");
+        assert_eq!(m.db().len(), 2);
+    }
+
+    #[test]
+    fn non_stratified_program_rejected() {
+        let p = Program::parse("p(X) :- e(X), !q(X). q(X) :- e(X), !p(X). e(1).").unwrap();
+        assert!(StandardModel::compute(&p).is_err());
+    }
+
+    #[test]
+    fn empty_program_empty_model() {
+        let m = model("");
+        assert!(m.db().is_empty());
+        assert_eq!(m.strata().num_strata(), 0);
+    }
+
+    #[test]
+    fn deep_stratification() {
+        // A 6-deep alternation exercises per-stratum iteration.
+        let m = model(
+            "e(1).
+             a(X) :- e(X), !z0(X).
+             b(X) :- e(X), !a(X).
+             c(X) :- e(X), !b(X).
+             d(X) :- e(X), !c(X).
+             f(X) :- e(X), !d(X).",
+        );
+        assert!(m.db().contains_parsed("a(1)"));
+        assert!(!m.db().contains_parsed("b(1)"));
+        assert!(m.db().contains_parsed("c(1)"));
+        assert!(!m.db().contains_parsed("d(1)"));
+        assert!(m.db().contains_parsed("f(1)"));
+    }
+
+    #[test]
+    fn strata_grouping_is_complete() {
+        let p = Program::parse(
+            "e(1). p(X) :- e(X). q(X) :- e(X), !p(X). q(9).",
+        )
+        .unwrap();
+        let strata = Strata::build(&p, StratKind::ByLevels).unwrap();
+        let total_rules: usize = (0..strata.num_strata()).map(|i| strata.rules_of(i).len()).sum();
+        let total_facts: usize = (0..strata.num_strata()).map(|i| strata.facts_of(i).len()).sum();
+        assert_eq!(total_rules, p.num_rules());
+        assert_eq!(total_facts, p.num_facts());
+        // q(9) is asserted for an IDB relation in a higher stratum.
+        let q_stratum = strata.stratum_of_rel("q".into()).unwrap();
+        assert!(strata.facts_of(q_stratum).contains(&Fact::parse("q(9)").unwrap()));
+    }
+}

@@ -1,0 +1,460 @@
+//! A hand-written lexer and recursive-descent parser for the textual syntax.
+//!
+//! Grammar (comments start with `%` or `//` and run to end of line):
+//!
+//! ```text
+//! program  ::= clause*
+//! clause   ::= atom ( ":-" literal ("," literal)* )? "."
+//! literal  ::= ("!" | "not") atom | atom
+//! atom     ::= ident ( "(" term ("," term)* ")" )?
+//! term     ::= ident | INT | STRING | VARIABLE
+//! ```
+//!
+//! Identifiers starting with a lowercase letter are constants / relation
+//! names; identifiers starting with an uppercase letter or `_` are variables.
+
+use crate::atom::{Atom, Fact};
+use crate::error::{DatalogError, ParseError};
+use crate::literal::Literal;
+use crate::program::Program;
+use crate::rule::Rule;
+use crate::term::Term;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    Bang,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, msg: msg.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let spanned = |tok| Spanned { tok, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(spanned(Tok::Eof));
+        };
+        match c {
+            b'(' => {
+                self.bump();
+                Ok(spanned(Tok::LParen))
+            }
+            b')' => {
+                self.bump();
+                Ok(spanned(Tok::RParen))
+            }
+            b',' => {
+                self.bump();
+                Ok(spanned(Tok::Comma))
+            }
+            b'.' => {
+                self.bump();
+                Ok(spanned(Tok::Dot))
+            }
+            b'!' => {
+                self.bump();
+                Ok(spanned(Tok::Bang))
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    Ok(spanned(Tok::Arrow))
+                } else {
+                    Err(self.err("expected `:-`"))
+                }
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c @ (b'"' | b'\\')) => s.push(c as char),
+                            _ => return Err(self.err("invalid escape in string literal")),
+                        },
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.err("unterminated string literal")),
+                    }
+                }
+                Ok(spanned(Tok::Str(s)))
+            }
+            b'-' | b'0'..=b'9' => {
+                let start = self.pos;
+                self.bump();
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                text.parse::<i64>()
+                    .map(|i| spanned(Tok::Int(i)))
+                    .map_err(|_| self.err(format!("invalid integer `{text}`")))
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+                if text == "not" {
+                    Ok(spanned(Tok::Bang))
+                } else if c.is_ascii_uppercase() || c == b'_' {
+                    Ok(spanned(Tok::Var(text)))
+                } else {
+                    Ok(spanned(Tok::Ident(text)))
+                }
+            }
+            c => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    current: Spanned,
+    fresh_var: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Parser<'a>, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let current = lexer.next_token()?;
+        Ok(Parser { lexer, current, fresh_var: 0 })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.current.line, col: self.current.col, msg: msg.into() }
+    }
+
+    fn advance(&mut self) -> Result<Spanned, ParseError> {
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.current, next))
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        if self.current.tok == tok {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.current.tok)))
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        let t = match &self.current.tok {
+            Tok::Ident(name) => Term::sym(name),
+            Tok::Str(s) => Term::sym(s),
+            Tok::Int(i) => Term::int(*i),
+            Tok::Var(name) => {
+                if name == "_" {
+                    // Anonymous variables get fresh names so two `_` in the
+                    // same rule never unify with each other.
+                    self.fresh_var += 1;
+                    Term::var(&format!("_anon{}", self.fresh_var))
+                } else {
+                    Term::var(name)
+                }
+            }
+            other => return Err(self.err(format!("expected a term, found {other:?}"))),
+        };
+        self.advance()?;
+        Ok(t)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let rel = match &self.current.tok {
+            Tok::Ident(name) => name.clone(),
+            other => return Err(self.err(format!("expected a relation name, found {other:?}"))),
+        };
+        self.advance()?;
+        let mut terms = Vec::new();
+        if self.current.tok == Tok::LParen {
+            self.advance()?;
+            if self.current.tok != Tok::RParen {
+                terms.push(self.parse_term()?);
+                while self.current.tok == Tok::Comma {
+                    self.advance()?;
+                    terms.push(self.parse_term()?);
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        Ok(Atom::new(rel.as_str(), terms))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        if self.current.tok == Tok::Bang {
+            self.advance()?;
+            Ok(Literal::neg(self.parse_atom()?))
+        } else {
+            Ok(Literal::pos(self.parse_atom()?))
+        }
+    }
+
+    fn parse_clause(&mut self) -> Result<Rule, ParseError> {
+        let head = self.parse_atom()?;
+        let mut body = Vec::new();
+        if self.current.tok == Tok::Arrow {
+            self.advance()?;
+            body.push(self.parse_literal()?);
+            while self.current.tok == Tok::Comma {
+                self.advance()?;
+                body.push(self.parse_literal()?);
+            }
+        }
+        self.expect(Tok::Dot, "`.`")?;
+        Ok(Rule::new_unchecked(head, body))
+    }
+
+    fn at_eof(&self) -> bool {
+        self.current.tok == Tok::Eof
+    }
+}
+
+/// Parses a full program. See the module docs for the grammar.
+pub fn parse_program(src: &str) -> Result<Program, DatalogError> {
+    let mut parser = Parser::new(src)?;
+    let mut program = Program::new();
+    while !parser.at_eof() {
+        let clause = parser.parse_clause()?;
+        program.add_rule(clause)?;
+    }
+    Ok(program)
+}
+
+/// Parses a single rule (or fact clause).
+pub fn parse_rule(src: &str) -> Result<Rule, DatalogError> {
+    let mut parser = Parser::new(src)?;
+    let clause = parser.parse_clause()?;
+    if !parser.at_eof() {
+        return Err(parser.err("trailing input after rule").into());
+    }
+    clause.check_safety()?;
+    Ok(clause)
+}
+
+/// Parses a comma-separated literal list such as `p(X), !q(X)` (trailing
+/// `.` optional) — the body syntax used by queries and constraints.
+pub fn parse_body(src: &str) -> Result<Vec<crate::literal::Literal>, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut body = vec![parser.parse_literal()?];
+    while parser.current.tok == Tok::Comma {
+        parser.advance()?;
+        body.push(parser.parse_literal()?);
+    }
+    if parser.current.tok == Tok::Dot {
+        parser.advance()?;
+    }
+    if !parser.at_eof() {
+        return Err(parser.err("trailing input after literal list"));
+    }
+    Ok(body)
+}
+
+/// Parses a single ground fact such as `edge(a, 3)` (trailing `.` optional).
+pub fn parse_fact(src: &str) -> Result<Fact, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let atom = parser.parse_atom()?;
+    if parser.current.tok == Tok::Dot {
+        parser.advance()?;
+    }
+    if !parser.at_eof() {
+        return Err(parser.err("trailing input after fact"));
+    }
+    atom.to_fact().ok_or_else(|| parser.err("fact must be ground"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use crate::term::Value;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_program(
+            "% a comment
+             edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Z) :- path(X, Y), edge(Y, Z). // another comment
+             isolated(X) :- node(X), !path(X, X).",
+        )
+        .unwrap();
+        assert_eq!(p.num_facts(), 2);
+        assert_eq!(p.num_rules(), 3);
+    }
+
+    #[test]
+    fn parses_not_keyword_as_negation() {
+        let r = parse_rule("p(X) :- q(X), not r(X).").unwrap();
+        assert_eq!(r.to_string(), "p(X) :- q(X), !r(X).");
+    }
+
+    #[test]
+    fn parses_zero_arity_atoms() {
+        let p = parse_program("a. q :- !p. p :- a.").unwrap();
+        assert_eq!(p.num_facts(), 1);
+        assert_eq!(p.num_rules(), 2);
+        assert!(p.is_asserted(&Fact::prop("a")));
+    }
+
+    #[test]
+    fn parses_integers_and_strings() {
+        let f = parse_fact("t(-5, \"hello world\", 42)").unwrap();
+        assert_eq!(
+            f,
+            Fact::new("t", vec![Value::int(-5), Value::sym("hello world"), Value::int(42)])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let f = parse_fact(r#"t("a\"b\\c\nd")"#).unwrap();
+        assert_eq!(f.args[0], Value::sym("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let r = parse_rule("p(X) :- q(X, _), r(X, _).").unwrap();
+        let vars = r.vars();
+        // X plus two distinct anonymous variables.
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let err = parse_rule("p(X) :- !q(X).").unwrap_err();
+        assert!(matches!(err, DatalogError::Safety(_)));
+    }
+
+    #[test]
+    fn rejects_non_ground_fact() {
+        assert!(parse_fact("p(X)").is_err());
+    }
+
+    #[test]
+    fn reports_position_of_syntax_errors() {
+        let err = parse_program("edge(a, b)\npath(X) :- edge(X, _).").unwrap_err();
+        let DatalogError::Parse(e) = err else { panic!("expected parse error") };
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_tokens() {
+        assert!(parse_program("p(a) q(b).").is_err());
+        assert!(parse_rule("p(a). q(b).").is_err());
+        assert!(parse_fact("p(a) extra").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arrow() {
+        let err = parse_program("p(X) : q(X).").unwrap_err();
+        assert!(err.to_string().contains(":-"));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(parse_fact("p(\"abc").is_err());
+    }
+
+    #[test]
+    fn variables_require_uppercase_or_underscore() {
+        let r = parse_rule("p(X) :- q(X, lower).").unwrap();
+        // `lower` is a constant, not a variable.
+        assert_eq!(r.vars(), vec![Symbol::new("X")]);
+    }
+
+    #[test]
+    fn quoted_display_round_trips() {
+        let f = Fact::new("p", vec![Value::sym("needs quoting")]);
+        let reparsed = parse_fact(&f.to_string()).unwrap();
+        assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let p = parse_program("  % nothing here\n").unwrap();
+        assert_eq!(p.num_facts(), 0);
+        assert_eq!(p.num_rules(), 0);
+    }
+
+    #[test]
+    fn parenthesised_empty_argument_list() {
+        let f = parse_fact("p()").unwrap();
+        assert_eq!(f, Fact::prop("p"));
+    }
+}

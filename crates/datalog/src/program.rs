@@ -1,0 +1,312 @@
+//! Programs: asserted facts (the extensional part) plus rules (the
+//! intensional part).
+//!
+//! Following the paper, a *stratified database* is a function-free stratified
+//! logic program divided into a set of ground atoms and a set of clauses. A
+//! relation may have both asserted facts and rules (the paper's CONF example
+//! asserts `accepted(l+1)` even though `accepted` is also defined by a rule);
+//! deletion of facts is only permitted for *asserted* facts.
+
+use std::fmt;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::atom::Fact;
+use crate::error::DatalogError;
+use crate::rule::Rule;
+use crate::symbol::Symbol;
+
+/// A stable handle to a rule inside a [`Program`].
+///
+/// Rule ids survive deletions of other rules (the program keeps a slot map),
+/// which lets the maintenance layer use rule pointers as supports, as the
+/// paper's §5.1 suggests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub(crate) u32);
+
+impl RuleId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r#{}", self.0)
+    }
+}
+
+/// A deductive database: asserted ground facts plus safe rules.
+#[derive(Clone, Default)]
+pub struct Program {
+    rules: Vec<Option<Rule>>,
+    facts: FxHashSet<Fact>,
+    arities: FxHashMap<Symbol, usize>,
+    live_rules: usize,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Parses a program from source text. Ground unit clauses become
+    /// asserted facts; everything else becomes rules.
+    ///
+    /// ```
+    /// use strata_datalog::Program;
+    /// let p = Program::parse("edge(a, b). path(X, Y) :- edge(X, Y).").unwrap();
+    /// assert_eq!(p.num_facts(), 1);
+    /// assert_eq!(p.num_rules(), 1);
+    /// ```
+    pub fn parse(src: &str) -> Result<Program, DatalogError> {
+        crate::parser::parse_program(src)
+    }
+
+    fn check_arity(&mut self, rel: Symbol, arity: usize) -> Result<(), DatalogError> {
+        match self.arities.get(&rel) {
+            Some(&expected) if expected != arity => {
+                Err(DatalogError::ArityMismatch { rel, expected, found: arity })
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(rel, arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Adds a rule, checking safety and arity consistency.
+    ///
+    /// Ground unit clauses are routed to the fact store and report no
+    /// [`RuleId`]; non-ground unit clauses are unsafe and rejected.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<Option<RuleId>, DatalogError> {
+        rule.check_safety()?;
+        if rule.is_fact_clause() {
+            let fact = rule.head.to_fact().expect("ground head");
+            self.assert_fact(fact)?;
+            return Ok(None);
+        }
+        self.check_arity(rule.head.rel, rule.head.arity())?;
+        for lit in &rule.body {
+            self.check_arity(lit.atom.rel, lit.atom.arity())?;
+        }
+        let id = RuleId(u32::try_from(self.rules.len()).expect("rule table overflow"));
+        self.rules.push(Some(rule));
+        self.live_rules += 1;
+        Ok(Some(id))
+    }
+
+    /// Removes a rule by id, returning it. `None` if the slot is empty.
+    pub fn remove_rule(&mut self, id: RuleId) -> Option<Rule> {
+        let slot = self.rules.get_mut(id.index())?;
+        let rule = slot.take();
+        if rule.is_some() {
+            self.live_rules -= 1;
+        }
+        rule
+    }
+
+    /// Finds the id of a structurally equal live rule.
+    pub fn find_rule(&self, rule: &Rule) -> Option<RuleId> {
+        self.rules
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.as_ref() == Some(rule))
+            .map(|(i, _)| RuleId(i as u32))
+    }
+
+    /// The rule behind an id, if live.
+    pub fn rule(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterates over live rules with their ids.
+    pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (RuleId(i as u32), r)))
+    }
+
+    /// Live rules whose head is `rel` (the *definition* of `rel`).
+    pub fn rules_defining(&self, rel: Symbol) -> impl Iterator<Item = (RuleId, &Rule)> + '_ {
+        self.rules().filter(move |(_, r)| r.head.rel == rel)
+    }
+
+    /// Asserts a ground fact (a unit clause). Returns `true` if new.
+    pub fn assert_fact(&mut self, fact: Fact) -> Result<bool, DatalogError> {
+        self.check_arity(fact.rel, fact.arity())?;
+        Ok(self.facts.insert(fact))
+    }
+
+    /// Retracts an asserted fact. Returns `true` if it was present.
+    pub fn retract_fact(&mut self, fact: &Fact) -> bool {
+        self.facts.remove(fact)
+    }
+
+    /// Whether `fact` is asserted (present as a unit clause).
+    pub fn is_asserted(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    /// Iterates over the asserted facts.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> + '_ {
+        self.facts.iter()
+    }
+
+    /// Number of asserted facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of live rules.
+    pub fn num_rules(&self) -> usize {
+        self.live_rules
+    }
+
+    /// The recorded arity of a relation, if any part of the program uses it.
+    pub fn arity_of(&self, rel: Symbol) -> Option<usize> {
+        self.arities.get(&rel).copied()
+    }
+
+    /// All relations mentioned anywhere in the program, sorted by name.
+    pub fn relations(&self) -> Vec<Symbol> {
+        let mut rels: Vec<Symbol> = self.arities.keys().copied().collect();
+        rels.sort_by_key(|r| r.as_str());
+        rels
+    }
+
+    /// Whether `rel` is purely extensional: no live rule defines it.
+    pub fn is_extensional(&self, rel: Symbol) -> bool {
+        !self.rules().any(|(_, r)| r.head.rel == rel)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut facts: Vec<&Fact> = self.facts.iter().collect();
+        facts.sort();
+        for fact in facts {
+            writeln!(f, "{fact}.")?;
+        }
+        for (_, rule) in self.rules() {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Program({} facts, {} rules)", self.num_facts(), self.num_rules())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Value;
+
+    fn rule(s: &str) -> Rule {
+        Rule::parse(s).unwrap()
+    }
+
+    #[test]
+    fn add_and_remove_rules_keeps_ids_stable() {
+        let mut p = Program::new();
+        let r1 = p.add_rule(rule("p(X) :- q(X).")).unwrap().unwrap();
+        let r2 = p.add_rule(rule("p(X) :- r(X).")).unwrap().unwrap();
+        assert_ne!(r1, r2);
+        assert_eq!(p.num_rules(), 2);
+        let removed = p.remove_rule(r1).unwrap();
+        assert_eq!(removed.to_string(), "p(X) :- q(X).");
+        assert_eq!(p.num_rules(), 1);
+        // r2 still resolves after r1's removal.
+        assert_eq!(p.rule(r2).unwrap().to_string(), "p(X) :- r(X).");
+        assert!(p.rule(r1).is_none());
+        assert!(p.remove_rule(r1).is_none());
+    }
+
+    #[test]
+    fn ground_unit_clause_becomes_fact() {
+        let mut p = Program::new();
+        let id = p.add_rule(rule("p(a).")).unwrap();
+        assert!(id.is_none());
+        assert_eq!(p.num_facts(), 1);
+        assert_eq!(p.num_rules(), 0);
+        assert!(p.is_asserted(&Fact::new("p", vec![Value::sym("a")])));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut p = Program::new();
+        p.add_rule(rule("p(X) :- q(X).")).unwrap();
+        let err = p.add_rule(rule("s(X) :- q(X, X).")).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+        let err = p.assert_fact(Fact::new("p", vec![Value::int(1), Value::int(2)])).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn assert_and_retract_facts() {
+        let mut p = Program::new();
+        let f = Fact::new("e", vec![Value::int(1)]);
+        assert!(p.assert_fact(f.clone()).unwrap());
+        assert!(!p.assert_fact(f.clone()).unwrap());
+        assert!(p.is_asserted(&f));
+        assert!(p.retract_fact(&f));
+        assert!(!p.retract_fact(&f));
+        assert!(!p.is_asserted(&f));
+    }
+
+    #[test]
+    fn extensional_classification() {
+        let mut p = Program::new();
+        p.assert_fact(Fact::new("e", vec![Value::int(1)])).unwrap();
+        p.add_rule(rule("p(X) :- e(X).")).unwrap();
+        assert!(p.is_extensional(Symbol::new("e")));
+        assert!(!p.is_extensional(Symbol::new("p")));
+        // A relation with both facts and rules is not extensional.
+        p.assert_fact(Fact::new("p", vec![Value::int(9)])).unwrap();
+        assert!(!p.is_extensional(Symbol::new("p")));
+    }
+
+    #[test]
+    fn rules_defining_filters_by_head() {
+        let mut p = Program::new();
+        p.add_rule(rule("p(X) :- q(X).")).unwrap();
+        p.add_rule(rule("p(X) :- r(X).")).unwrap();
+        p.add_rule(rule("s(X) :- q(X).")).unwrap();
+        assert_eq!(p.rules_defining(Symbol::new("p")).count(), 2);
+        assert_eq!(p.rules_defining(Symbol::new("s")).count(), 1);
+        assert_eq!(p.rules_defining(Symbol::new("q")).count(), 0);
+    }
+
+    #[test]
+    fn find_rule_by_structure() {
+        let mut p = Program::new();
+        let id = p.add_rule(rule("p(X) :- q(X).")).unwrap().unwrap();
+        assert_eq!(p.find_rule(&rule("p(X) :- q(X).")), Some(id));
+        assert_eq!(p.find_rule(&rule("p(X) :- r(X).")), None);
+    }
+
+    #[test]
+    fn relations_lists_every_mentioned_rel() {
+        let mut p = Program::new();
+        p.assert_fact(Fact::new("e", vec![Value::int(1)])).unwrap();
+        p.add_rule(rule("p(X) :- e(X), !q(X).")).unwrap();
+        let rels: Vec<&str> = p.relations().iter().map(|r| r.as_str()).collect();
+        assert_eq!(rels, vec!["e", "p", "q"]);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let p = Program::parse("e(1). e(2). p(X) :- e(X), !q(X).").unwrap();
+        let q = Program::parse(&p.to_string()).unwrap();
+        assert_eq!(p.num_facts(), q.num_facts());
+        assert_eq!(p.num_rules(), q.num_rules());
+    }
+}

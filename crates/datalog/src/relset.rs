@@ -1,0 +1,243 @@
+//! Dense bitsets over relation indices.
+//!
+//! The maintenance strategies manipulate many small sets of relations
+//! (supports, `Pos`/`Neg` dependency sets, `INC`/`DEC` accumulators). With
+//! relations mapped to dense indices by [`crate::graph::RelIndex`], a bitset
+//! makes union, intersection-emptiness, and subset tests word-parallel.
+
+use std::fmt;
+
+/// A fixed-universe bitset of relation indices.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct RelSet {
+    words: Vec<u64>,
+}
+
+impl RelSet {
+    /// An empty set over a universe of `universe` relations.
+    pub fn empty(universe: usize) -> RelSet {
+        RelSet { words: vec![0; universe.div_ceil(64)] }
+    }
+
+    /// Builds a set from indices.
+    pub fn from_indices(universe: usize, indices: impl IntoIterator<Item = u32>) -> RelSet {
+        let mut s = RelSet::empty(universe);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts an index. Returns `true` if it was absent.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        assert!(w < self.words.len(), "relation index {i} out of universe");
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes an index. Returns `true` if it was present.
+    pub fn remove(&mut self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u32) -> bool {
+        let (w, b) = (i as usize / 64, i as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &RelSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether the two sets share any element.
+    pub fn intersects(&self, other: &RelSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &RelSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// Whether `self ⊂ other` strictly.
+    pub fn is_proper_subset(&self, other: &RelSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// Iterates over the member indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(wi as u32 * 64 + b)
+            })
+        })
+    }
+
+    /// Approximate heap size in bytes (for bookkeeping statistics).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// A deterministic total order: by cardinality, then by zero-padded word
+    /// content. Used to keep capped support sets convergent (smaller-first
+    /// eviction must be stable across re-derivations).
+    pub fn canonical_cmp(&self, other: &RelSet) -> std::cmp::Ordering {
+        self.len().cmp(&other.len()).then_with(|| {
+            let n = self.words.len().max(other.words.len());
+            for i in 0..n {
+                let a = self.words.get(i).copied().unwrap_or(0);
+                let b = other.words.get(i).copied().unwrap_or(0);
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            std::cmp::Ordering::Equal
+        })
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for RelSet {
+    /// Collects indices, growing the universe as needed.
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> RelSet {
+        let indices: Vec<u32> = iter.into_iter().collect();
+        let universe = indices.iter().map(|&i| i as usize + 1).max().unwrap_or(0);
+        RelSet::from_indices(universe, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RelSet::empty(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = RelSet::from_indices(128, [1, 2, 70]);
+        let b = RelSet::from_indices(128, [2, 3]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u, RelSet::from_indices(128, [1, 2, 3, 70]));
+        assert!(a.intersects(&b));
+        let c = RelSet::from_indices(128, [4, 100]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn subset_tests() {
+        let a = RelSet::from_indices(128, [1, 2]);
+        let b = RelSet::from_indices(128, [1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn subset_across_different_word_counts() {
+        let small = RelSet::from_indices(10, [1]);
+        let big = RelSet::from_indices(200, [1, 150]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = RelSet::from_indices(200, [150, 3, 64, 0]);
+        let v: Vec<u32> = s.iter().collect();
+        assert_eq!(v, vec![0, 3, 64, 150]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = RelSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn from_iterator_grows_universe() {
+        let s: RelSet = [5u32, 300].into_iter().collect();
+        assert!(s.contains(5) && s.contains(300));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_universe_panics() {
+        let mut s = RelSet::empty(10);
+        s.insert(64);
+    }
+
+    #[test]
+    fn canonical_cmp_orders_by_len_then_content() {
+        use std::cmp::Ordering;
+        let a = RelSet::from_indices(128, [1]);
+        let b = RelSet::from_indices(128, [1, 2]);
+        let c = RelSet::from_indices(128, [3]);
+        assert_eq!(a.canonical_cmp(&b), Ordering::Less);
+        assert_eq!(b.canonical_cmp(&a), Ordering::Greater);
+        assert_ne!(a.canonical_cmp(&c), Ordering::Equal);
+        assert_eq!(a.canonical_cmp(&a), Ordering::Equal);
+        // Padding: same set over different universes compares equal.
+        let wide = RelSet::from_indices(300, [1]);
+        assert_eq!(a.canonical_cmp(&wide), Ordering::Equal);
+    }
+}

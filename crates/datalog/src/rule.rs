@@ -1,0 +1,227 @@
+//! Rules (clauses) `head :- body` with safety checking.
+
+use std::fmt;
+
+use rustc_hash::FxHashSet;
+
+use crate::atom::Atom;
+use crate::error::SafetyError;
+use crate::literal::Literal;
+use crate::symbol::Symbol;
+
+/// A clause `head :- l1, …, lk.` where each `li` is a possibly negated atom.
+///
+/// A rule with an empty body and a ground head is a *fact clause*; the
+/// [`crate::Program`] stores those separately as asserted facts.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// The conclusion.
+    pub head: Atom,
+    /// The hypotheses.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Builds a rule and checks it for safety (range restriction).
+    pub fn new(head: Atom, body: Vec<Literal>) -> Result<Rule, SafetyError> {
+        let rule = Rule { head, body };
+        rule.check_safety()?;
+        Ok(rule)
+    }
+
+    /// Builds a rule without the safety check (for internal/test use).
+    pub fn new_unchecked(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Parses a single rule such as `p(X) :- q(X), !r(X).`.
+    pub fn parse(src: &str) -> Result<Rule, crate::error::DatalogError> {
+        crate::parser::parse_rule(src)
+    }
+
+    /// Checks the safety (range-restriction) condition: every variable in the
+    /// head and in every negative literal occurs in a positive body literal.
+    pub fn check_safety(&self) -> Result<(), SafetyError> {
+        let positive_vars: FxHashSet<Symbol> =
+            self.body.iter().filter(|l| l.positive).flat_map(|l| l.atom.vars()).collect();
+        for v in self.head.vars() {
+            if !positive_vars.contains(&v) {
+                return Err(SafetyError {
+                    var: v,
+                    rule: self.to_string(),
+                    in_negative_literal: false,
+                });
+            }
+        }
+        for lit in self.body.iter().filter(|l| !l.positive) {
+            for v in lit.atom.vars() {
+                if !positive_vars.contains(&v) {
+                    return Err(SafetyError {
+                        var: v,
+                        rule: self.to_string(),
+                        in_negative_literal: true,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this clause is a ground unit clause (a fact).
+    pub fn is_fact_clause(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// Relations occurring positively in the body (with duplicates removed).
+    pub fn pos_body_rels(&self) -> Vec<Symbol> {
+        let mut seen = FxHashSet::default();
+        self.body
+            .iter()
+            .filter(|l| l.positive)
+            .map(|l| l.atom.rel)
+            .filter(|r| seen.insert(*r))
+            .collect()
+    }
+
+    /// Relations occurring negatively in the body (with duplicates removed).
+    pub fn neg_body_rels(&self) -> Vec<Symbol> {
+        let mut seen = FxHashSet::default();
+        self.body
+            .iter()
+            .filter(|l| !l.positive)
+            .map(|l| l.atom.rel)
+            .filter(|r| seen.insert(*r))
+            .collect()
+    }
+
+    /// All distinct variables of the rule.
+    pub fn vars(&self) -> Vec<Symbol> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for v in self.head.vars().chain(self.body.iter().flat_map(|l| l.atom.vars())) {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn atom(rel: &str, terms: Vec<Term>) -> Atom {
+        Atom::new(rel, terms)
+    }
+
+    #[test]
+    fn safe_rule_accepted() {
+        let r = Rule::new(
+            atom("p", vec![Term::var("X")]),
+            vec![
+                Literal::pos(atom("q", vec![Term::var("X")])),
+                Literal::neg(atom("r", vec![Term::var("X")])),
+            ],
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn unsafe_head_var_rejected() {
+        let r = Rule::new(
+            atom("p", vec![Term::var("Y")]),
+            vec![Literal::pos(atom("q", vec![Term::var("X")]))],
+        );
+        let err = r.unwrap_err();
+        assert_eq!(err.var, Symbol::new("Y"));
+        assert!(!err.in_negative_literal);
+    }
+
+    #[test]
+    fn unsafe_negative_var_rejected() {
+        let r = Rule::new(
+            atom("p", vec![Term::var("X")]),
+            vec![
+                Literal::pos(atom("q", vec![Term::var("X")])),
+                Literal::neg(atom("r", vec![Term::var("Z")])),
+            ],
+        );
+        let err = r.unwrap_err();
+        assert_eq!(err.var, Symbol::new("Z"));
+        assert!(err.in_negative_literal);
+    }
+
+    #[test]
+    fn ground_rule_with_empty_positive_body_is_safe() {
+        // `q :- !p.` is safe: there are no variables at all.
+        let r = Rule::new(atom("q", vec![]), vec![Literal::neg(atom("p", vec![]))]);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn fact_clause_detection() {
+        let f = Rule::new(atom("p", vec![Term::sym("a")]), vec![]).unwrap();
+        assert!(f.is_fact_clause());
+        let r = Rule::new(
+            atom("p", vec![Term::var("X")]),
+            vec![Literal::pos(atom("q", vec![Term::var("X")]))],
+        )
+        .unwrap();
+        assert!(!r.is_fact_clause());
+    }
+
+    #[test]
+    fn body_rel_extraction_dedupes() {
+        let r = Rule::new(
+            atom("p", vec![Term::var("X")]),
+            vec![
+                Literal::pos(atom("q", vec![Term::var("X")])),
+                Literal::pos(atom("q", vec![Term::var("X")])),
+                Literal::neg(atom("r", vec![Term::var("X")])),
+                Literal::neg(atom("r", vec![Term::var("X")])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.pos_body_rels(), vec![Symbol::new("q")]);
+        assert_eq!(r.neg_body_rels(), vec![Symbol::new("r")]);
+    }
+
+    #[test]
+    fn display_round() {
+        let r = Rule::new(
+            atom("p", vec![Term::var("X")]),
+            vec![
+                Literal::pos(atom("q", vec![Term::var("X")])),
+                Literal::neg(atom("r", vec![Term::var("X")])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.to_string(), "p(X) :- q(X), !r(X).");
+        let f = Rule::new(atom("a", vec![]), vec![]).unwrap();
+        assert_eq!(f.to_string(), "a.");
+    }
+}

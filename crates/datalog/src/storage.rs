@@ -1,0 +1,431 @@
+//! In-memory tuple storage with per-column secondary indexes.
+//!
+//! [`Relation`] stores the extension of one relation: a row arena with
+//! tombstoned deletes, a hash map for membership, and one hash index per
+//! column for bound-column scans during joins. [`Database`] maps relation
+//! symbols to relations and represents a Herbrand interpretation (a set of
+//! facts) — in particular the model `M(P)` that the maintenance layer keeps
+//! up to date.
+
+use std::fmt;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::atom::Fact;
+use crate::symbol::Symbol;
+use crate::term::Value;
+
+/// A stored tuple.
+pub type TupleData = Box<[Value]>;
+
+/// The extension of a single relation.
+#[derive(Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    /// Row arena; `None` marks a tombstone left by a deletion.
+    rows: Vec<Option<TupleData>>,
+    /// Membership and row lookup.
+    by_tuple: FxHashMap<TupleData, u32>,
+    /// `cols[c][v]` = row ids whose column `c` holds `v` (may contain stale
+    /// ids pointing at tombstones; readers re-validate).
+    cols: Vec<FxHashMap<Value, Vec<u32>>>,
+    tombstones: usize,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            by_tuple: FxHashMap::default(),
+            cols: vec![FxHashMap::default(); arity],
+            tombstones: 0,
+        }
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.by_tuple.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_tuple.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.by_tuple.contains_key(tuple)
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// If the tuple arity does not match the relation arity.
+    pub fn insert(&mut self, tuple: TupleData) -> bool {
+        assert_eq!(tuple.len(), self.arity, "arity mismatch on insert");
+        if self.by_tuple.contains_key(&tuple) {
+            return false;
+        }
+        let id = u32::try_from(self.rows.len()).expect("relation row overflow");
+        for (c, v) in tuple.iter().enumerate() {
+            self.cols[c].entry(*v).or_default().push(id);
+        }
+        self.by_tuple.insert(tuple.clone(), id);
+        self.rows.push(Some(tuple));
+        true
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(id) = self.by_tuple.remove(tuple) else {
+            return false;
+        };
+        self.rows[id as usize] = None;
+        self.tombstones += 1;
+        if self.tombstones > self.rows.len() / 2 && self.rows.len() > 64 {
+            self.compact();
+        }
+        true
+    }
+
+    /// Rebuilds the arena and indexes, dropping tombstones.
+    fn compact(&mut self) {
+        let live: Vec<TupleData> = self.rows.drain(..).flatten().collect();
+        self.by_tuple.clear();
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.tombstones = 0;
+        for t in live {
+            let id = self.rows.len() as u32;
+            for (c, v) in t.iter().enumerate() {
+                self.cols[c].entry(*v).or_default().push(id);
+            }
+            self.by_tuple.insert(t.clone(), id);
+            self.rows.push(Some(t));
+        }
+    }
+
+    /// Iterates over live tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().filter_map(|r| r.as_deref())
+    }
+
+    /// Scans tuples whose column `col` equals `v`, using the column index.
+    pub fn scan_bound(&self, col: usize, v: Value) -> impl Iterator<Item = &[Value]> + '_ {
+        self.cols[col]
+            .get(&v)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&id| self.rows[id as usize].as_deref())
+            // Stale ids may survive a compact-free delete+reinsert cycle at a
+            // reused arena slot, so re-check the column value.
+            .filter(move |t| t[col] == v)
+    }
+
+    /// Estimated number of matches for a bound column (for join ordering).
+    pub fn estimate_bound(&self, col: usize, v: Value) -> usize {
+        self.cols[col].get(&v).map_or(0, Vec::len)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation(arity {}, {} tuples)", self.arity, self.len())
+    }
+}
+
+/// A set of facts grouped by relation — a Herbrand interpretation.
+#[derive(Clone, Default)]
+pub struct Database {
+    rels: FxHashMap<Symbol, Relation>,
+    len: usize,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Builds a database from facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f);
+        }
+        db
+    }
+
+    /// Inserts a fact; returns `true` if new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        let arity = fact.arity();
+        let rel = self.rels.entry(fact.rel).or_insert_with(|| Relation::new(arity));
+        let added = rel.insert(fact.args);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Removes a fact; returns `true` if present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        let Some(rel) = self.rels.get_mut(&fact.rel) else {
+            return false;
+        };
+        let removed = rel.remove(&fact.args);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.rels.get(&fact.rel).is_some_and(|r| r.contains(&fact.args))
+    }
+
+    /// Membership test from source text (testing convenience).
+    ///
+    /// # Panics
+    /// If `src` does not parse as a ground fact.
+    pub fn contains_parsed(&self, src: &str) -> bool {
+        self.contains(&Fact::parse(src).expect("invalid fact literal"))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the database holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The extension of `rel`, if any fact of it was ever inserted.
+    pub fn relation(&self, rel: Symbol) -> Option<&Relation> {
+        self.rels.get(&rel)
+    }
+
+    /// Number of live tuples of `rel`.
+    pub fn count(&self, rel: Symbol) -> usize {
+        self.rels.get(&rel).map_or(0, Relation::len)
+    }
+
+    /// Iterates over all facts (relation order unspecified).
+    pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels.iter().flat_map(|(&rel, r)| {
+            r.iter().map(move |t| Fact { rel, args: t.into() })
+        })
+    }
+
+    /// Iterates over the facts of one relation.
+    pub fn facts_of(&self, rel: Symbol) -> impl Iterator<Item = Fact> + '_ {
+        self.rels
+            .get(&rel)
+            .into_iter()
+            .flat_map(move |r| r.iter().map(move |t| Fact { rel, args: t.into() }))
+    }
+
+    /// The facts of `self` missing from `other`, sorted (for stable output).
+    pub fn difference(&self, other: &Database) -> Vec<Fact> {
+        let mut out: Vec<Fact> =
+            self.iter_facts().filter(|f| !other.contains(f)).collect();
+        out.sort();
+        out
+    }
+
+    /// All facts, sorted — handy for assertions and display.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.iter_facts().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for Database {
+    /// Set equality on facts.
+    fn eq(&self, other: &Database) -> bool {
+        self.len == other.len && self.iter_facts().all(|f| other.contains(&f))
+    }
+}
+
+impl Eq for Database {}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let facts = self.sorted_facts();
+        write!(f, "{{")?;
+        for (i, fact) in facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Fact> for Database {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Database {
+        Database::from_facts(iter)
+    }
+}
+
+/// Parses a whitespace/`.`-separated list of ground facts (testing helper).
+///
+/// ```
+/// use strata_datalog::storage::parse_facts;
+/// let facts = parse_facts("p(a). q(1, 2).");
+/// assert_eq!(facts.len(), 2);
+/// ```
+pub fn parse_facts(src: &str) -> FxHashSet<Fact> {
+    src.split('.')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| Fact::parse(s).expect("invalid fact in list"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> TupleData {
+        vals.iter().map(|&v| Value::int(v)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(t(&[1, 2])));
+        assert!(!r.insert(t(&[1, 2])));
+        assert!(r.contains(&t(&[1, 2])));
+        assert_eq!(r.len(), 1);
+        assert!(r.remove(&t(&[1, 2])));
+        assert!(!r.remove(&t(&[1, 2])));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1]));
+    }
+
+    #[test]
+    fn scan_bound_uses_index() {
+        let mut r = Relation::new(2);
+        for i in 0..100 {
+            r.insert(t(&[i % 10, i]));
+        }
+        let hits: Vec<_> = r.scan_bound(0, Value::int(3)).collect();
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|t| t[0] == Value::int(3)));
+        assert_eq!(r.estimate_bound(0, Value::int(3)), 10);
+        assert_eq!(r.scan_bound(0, Value::int(99)).count(), 0);
+    }
+
+    #[test]
+    fn scan_bound_skips_tombstones() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 11]));
+        r.remove(&t(&[1, 10]));
+        let hits: Vec<_> = r.scan_bound(0, Value::int(1)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][1], Value::int(11));
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut r = Relation::new(1);
+        for i in 0..200 {
+            r.insert(t(&[i]));
+        }
+        for i in 0..150 {
+            r.remove(&t(&[i]));
+        }
+        // Compaction has certainly triggered by now.
+        assert_eq!(r.len(), 50);
+        for i in 150..200 {
+            assert!(r.contains(&t(&[i])));
+            assert_eq!(r.scan_bound(0, Value::int(i)).count(), 1);
+        }
+        assert_eq!(r.iter().count(), 50);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[7]));
+        r.remove(&t(&[7]));
+        assert!(r.insert(t(&[7])));
+        assert!(r.contains(&t(&[7])));
+        assert_eq!(r.scan_bound(0, Value::int(7)).count(), 1);
+    }
+
+    #[test]
+    fn database_basics() {
+        let mut db = Database::new();
+        let f = Fact::new("e", vec![Value::int(1), Value::int(2)]);
+        assert!(db.insert(f.clone()));
+        assert!(!db.insert(f.clone()));
+        assert!(db.contains(&f));
+        assert_eq!(db.len(), 1);
+        assert!(db.remove(&f));
+        assert!(!db.remove(&f));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn database_equality_is_set_equality() {
+        let a = Database::from_facts(parse_facts("p(1). q(2)."));
+        let b = Database::from_facts(parse_facts("q(2). p(1)."));
+        let c = Database::from_facts(parse_facts("p(1)."));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn difference_is_sorted_and_correct() {
+        let a = Database::from_facts(parse_facts("p(1). p(2). q(1)."));
+        let b = Database::from_facts(parse_facts("p(2)."));
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 2);
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn facts_of_filters_by_relation() {
+        let db = Database::from_facts(parse_facts("p(1). p(2). q(3)."));
+        assert_eq!(db.facts_of(Symbol::new("p")).count(), 2);
+        assert_eq!(db.facts_of(Symbol::new("q")).count(), 1);
+        assert_eq!(db.facts_of(Symbol::new("zzz")).count(), 0);
+        assert_eq!(db.count(Symbol::new("p")), 2);
+    }
+
+    #[test]
+    fn zero_arity_facts() {
+        let mut db = Database::new();
+        assert!(db.insert(Fact::prop("alarm")));
+        assert!(db.contains(&Fact::prop("alarm")));
+        assert!(db.contains_parsed("alarm"));
+        assert!(db.remove(&Fact::prop("alarm")));
+    }
+
+    #[test]
+    fn debug_rendering_is_sorted() {
+        let db = Database::from_facts(parse_facts("b(2). a(1)."));
+        assert_eq!(format!("{db:?}"), "{a(1), b(2)}");
+    }
+}

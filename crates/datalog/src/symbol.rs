@@ -1,0 +1,154 @@
+//! Globally interned symbols.
+//!
+//! Relation names, constants, and variable names are interned into a global
+//! append-only table, making [`Symbol`] a `Copy` integer that is cheap to
+//! hash, compare, and store in tuples. Interning happens at parse/build time,
+//! never inside evaluation hot loops.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+use rustc_hash::FxHashMap;
+
+/// An interned string. Two symbols are equal iff their names are equal.
+///
+/// ```
+/// use strata_datalog::Symbol;
+/// let a = Symbol::new("edge");
+/// let b = Symbol::new("edge");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "edge");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: FxHashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+
+fn interner() -> &'static Mutex<Interner> {
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: FxHashMap::default(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn new(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        // The interner is append-only and process-global, so leaking each
+        // distinct name once bounds total leakage by the vocabulary size.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(i.names.len()).expect("symbol table overflow");
+        i.names.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned name.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol interner poisoned").names[self.0 as usize]
+    }
+
+    /// The raw interner id (stable for the process lifetime).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("foo_symbol_test");
+        let b = Symbol::new("foo_symbol_test");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let a = Symbol::new("sym_left");
+        let b = Symbol::new("sym_right");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn as_str_round_trips() {
+        let s = Symbol::new("round_trip_me");
+        assert_eq!(s.as_str(), "round_trip_me");
+        assert_eq!(s.to_string(), "round_trip_me");
+        assert_eq!(format!("{s:?}"), "\"round_trip_me\"");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        // Eight threads race to intern the same 50 names, starting at
+        // different offsets; afterwards, every thread must have observed
+        // the same id for each name.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|i| {
+                            let name = format!("conc_{}", (i + t) % 50);
+                            (name.clone(), Symbol::new(&name).id())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<(String, u32)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results {
+            for (name, id) in r {
+                assert_eq!(Symbol::new(name).id(), *id, "thread disagreed on {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = Symbol::new("ord_a");
+        let b = Symbol::new("ord_b");
+        // Ord is by intern id, not lexicographic; it only needs to be total.
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+}

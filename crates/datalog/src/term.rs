@@ -1,0 +1,194 @@
+//! Terms and ground values.
+//!
+//! The language is function-free (a *database* language): a term is either a
+//! constant [`Value`] or a variable. Ground tuples are slices of values.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// A ground constant: an interned symbolic constant or a machine integer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A symbolic constant such as `alice` or `"hello world"`.
+    Sym(Symbol),
+    /// An integer constant such as `42`.
+    Int(i64),
+}
+
+impl Value {
+    /// A symbolic constant.
+    pub fn sym(name: &str) -> Value {
+        Value::Sym(Symbol::new(name))
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Sym(s) => {
+                let name = s.as_str();
+                if needs_quoting(name) {
+                    write!(f, "{name:?}")
+                } else {
+                    f.write_str(name)
+                }
+            }
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+/// Whether a symbolic constant must be printed quoted to re-parse.
+fn needs_quoting(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {
+            chars.any(|c| !(c.is_ascii_alphanumeric() || c == '_'))
+        }
+        _ => true,
+    }
+}
+
+/// A term: a constant or a variable.
+///
+/// Variables are interned symbols; by convention (enforced by the parser)
+/// variable names start with an uppercase letter or `_`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant term.
+    Const(Value),
+    /// A variable term.
+    Var(Symbol),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::new(name))
+    }
+
+    /// A symbolic constant term.
+    pub fn sym(name: &str) -> Term {
+        Term::Const(Value::sym(name))
+    }
+
+    /// An integer constant term.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::int(i))
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this is a constant.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            Term::Const(v) => Some(*v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => f.write_str(v.as_str()),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_constructors() {
+        assert_eq!(Value::sym("a"), Value::Sym(Symbol::new("a")));
+        assert_eq!(Value::int(7), Value::Int(7));
+        assert_ne!(Value::sym("7"), Value::int(7));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::sym("alice").to_string(), "alice");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::sym("Hello world").to_string(), "\"Hello world\"");
+        assert_eq!(Value::sym("x-y").to_string(), "\"x-y\"");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::var("X");
+        let c = Term::sym("a");
+        assert!(v.is_var());
+        assert!(!c.is_var());
+        assert_eq!(v.as_var(), Some(Symbol::new("X")));
+        assert_eq!(c.as_var(), None);
+        assert_eq!(c.as_const(), Some(Value::sym("a")));
+        assert_eq!(v.as_const(), None);
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::sym("a").to_string(), "a");
+        assert_eq!(Term::int(12).to_string(), "12");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Term = Value::int(1).into();
+        assert_eq!(t, Term::int(1));
+        let v: Value = 5i64.into();
+        assert_eq!(v, Value::Int(5));
+        let v: Value = "abc".into();
+        assert_eq!(v, Value::sym("abc"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Parser round-trip properties: `Display` output re-parses to an equal
+//! structure, for randomly generated facts, rules, and programs.
+
+use proptest::prelude::*;
+use strata_datalog::{Atom, Fact, Literal, Program, Rule, Term, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::int),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Value::sym(&s)),
+        // Strings needing quotes (printable, no quote/backslash so the
+        // Display escaping stays the identity).
+        "[A-Z][ a-zA-Z0-9_.:+-]{0,5}".prop_map(|s| Value::sym(&s)),
+    ]
+}
+
+fn fact_strategy() -> impl Strategy<Value = Fact> {
+    (
+        "[a-z][a-z0-9_]{0,6}",
+        proptest::collection::vec(value_strategy(), 0..4),
+    )
+        .prop_map(|(rel, args)| Fact::new(rel.as_str(), args))
+}
+
+/// A safe rule: head/negative variables drawn from the positive literal's.
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        "[a-z][a-z0-9_]{0,5}",
+        "[a-z][a-z0-9_]{0,5}",
+        "[a-z][a-z0-9_]{0,5}",
+        1usize..3,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(h, p, n, arity, negate)| {
+            let vars: Vec<Term> = (0..arity).map(|i| Term::var(&format!("V{i}"))).collect();
+            let mut body = vec![Literal::pos(Atom::new(p.as_str(), vars.clone()))];
+            if negate {
+                body.push(Literal::neg(Atom::new(n.as_str(), vars.clone())));
+            }
+            Rule::new(Atom::new(h.as_str(), vars), body).expect("constructed safe")
+        })
+}
+
+proptest! {
+    #[test]
+    fn fact_display_reparses(f in fact_strategy()) {
+        let round = Fact::parse(&f.to_string())
+            .unwrap_or_else(|e| panic!("`{f}` failed to re-parse: {e}"));
+        prop_assert_eq!(round, f);
+    }
+
+    #[test]
+    fn rule_display_reparses(r in rule_strategy()) {
+        let round = Rule::parse(&r.to_string())
+            .unwrap_or_else(|e| panic!("`{r}` failed to re-parse: {e}"));
+        prop_assert_eq!(round.to_string(), r.to_string());
+    }
+
+    #[test]
+    fn program_display_reparses(
+        facts in proptest::collection::vec(fact_strategy(), 0..10),
+        rules in proptest::collection::vec(rule_strategy(), 0..5),
+    ) {
+        let mut program = Program::new();
+        for f in facts {
+            // Arity clashes between random facts are possible: skip those.
+            let _ = program.assert_fact(f);
+        }
+        for r in rules {
+            let _ = program.add_rule(r);
+        }
+        let text = program.to_string();
+        let round = Program::parse(&text)
+            .unwrap_or_else(|e| panic!("program failed to re-parse: {e}\n{text}"));
+        prop_assert_eq!(round.num_facts(), program.num_facts());
+        prop_assert_eq!(round.num_rules(), program.num_rules());
+        prop_assert_eq!(round.to_string(), text);
+    }
+}

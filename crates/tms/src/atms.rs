@@ -1,0 +1,556 @@
+//! De Kleer's assumption-based Truth Maintenance System (AIJ 1986).
+//!
+//! Where a JTMS commits to one belief set, the ATMS keeps **every context**
+//! at once: each node carries a *label* — the set of minimal, consistent
+//! **environments** (sets of assumptions) under which the node holds. A
+//! node holds in a context iff some label environment is a subset of the
+//! context's assumptions.
+//!
+//! Justifications here are monotonic (`antecedents ⇒ consequent`); the
+//! non-monotonicity lives in contradiction handling: deriving the dedicated
+//! contradiction node under an environment makes that environment a
+//! **nogood**, and every environment subsumed by a nogood is pruned from
+//! every label.
+//!
+//! The four label invariants of de Kleer's paper are maintained eagerly:
+//! *soundness* (each environment really derives the node), *consistency*
+//! (no environment is a nogood superset), *minimality* (no environment
+//! subsumes another), and *completeness* (every derivable environment is a
+//! superset of some label member). The paper's §5.2 connection: ATMS labels
+//! over fact assumptions are exactly the "supports in which not relations
+//! but facts are recorded" that would give a migration-free maintenance
+//! solution at prohibitive bookkeeping cost.
+
+use std::fmt;
+
+/// A node handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AtmsNodeId(pub u32);
+
+/// An environment: a sorted set of assumption node ids.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Env {
+    ids: Box<[u32]>,
+}
+
+impl Env {
+    /// The empty environment (holds universally).
+    pub fn empty() -> Env {
+        Env::default()
+    }
+
+    /// An environment from assumption ids (deduplicated, sorted).
+    pub fn from_ids(mut ids: Vec<u32>) -> Env {
+        ids.sort_unstable();
+        ids.dedup();
+        Env { ids: ids.into_boxed_slice() }
+    }
+
+    /// Number of assumptions.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether this is the empty environment.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The assumption ids, sorted.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Subset test (both sides sorted: linear merge).
+    pub fn is_subset(&self, other: &Env) -> bool {
+        let mut it = other.ids.iter();
+        'outer: for &a in self.ids.iter() {
+            for &b in it.by_ref() {
+                match b.cmp(&a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Set union (sorted merge).
+    pub fn union(&self, other: &Env) -> Env {
+        let mut out = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        Env { ids: out.into_boxed_slice() }
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "A{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A label: an antichain of minimal environments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelSet {
+    envs: Vec<Env>,
+}
+
+impl LabelSet {
+    /// The empty label (the node holds nowhere).
+    pub fn new() -> LabelSet {
+        LabelSet::default()
+    }
+
+    /// The member environments.
+    pub fn envs(&self) -> &[Env] {
+        &self.envs
+    }
+
+    /// Whether the label is empty.
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Inserts an environment, maintaining minimality. Returns `true` if the
+    /// label changed (i.e. `env` was not subsumed).
+    pub fn insert_minimal(&mut self, env: Env) -> bool {
+        if self.envs.iter().any(|e| e.is_subset(&env)) {
+            return false;
+        }
+        self.envs.retain(|e| !env.is_subset(e));
+        self.envs.push(env);
+        true
+    }
+
+    /// Removes every environment for which `f` holds; reports change.
+    pub fn retain_not(&mut self, mut f: impl FnMut(&Env) -> bool) -> bool {
+        let before = self.envs.len();
+        self.envs.retain(|e| !f(e));
+        self.envs.len() != before
+    }
+
+    /// Whether some member is a subset of `env` (the node holds in `env`).
+    pub fn covers(&self, env: &Env) -> bool {
+        self.envs.iter().any(|e| e.is_subset(env))
+    }
+}
+
+struct NodeData {
+    datum: String,
+    label: LabelSet,
+    /// Justifications with this node among the antecedents.
+    consequences: Vec<u32>,
+    /// Whether this node is an assumption.
+    assumption: bool,
+}
+
+struct JustData {
+    antecedents: Vec<AtmsNodeId>,
+    consequent: AtmsNodeId,
+    #[allow(dead_code)] // retained for explanations / debugging output
+    informant: String,
+}
+
+/// De Kleer's ATMS. See the module docs.
+pub struct Atms {
+    nodes: Vec<NodeData>,
+    justs: Vec<JustData>,
+    contradiction: AtmsNodeId,
+    /// Minimal nogood environments.
+    nogoods: LabelSet,
+}
+
+impl Default for Atms {
+    fn default() -> Atms {
+        Atms::new()
+    }
+}
+
+impl Atms {
+    /// An empty ATMS with its dedicated contradiction node.
+    pub fn new() -> Atms {
+        let mut atms = Atms {
+            nodes: Vec::new(),
+            justs: Vec::new(),
+            contradiction: AtmsNodeId(0),
+            nogoods: LabelSet::new(),
+        };
+        atms.contradiction = atms.create_node("⊥");
+        atms
+    }
+
+    /// The dedicated contradiction node; justify it to declare nogoods.
+    pub fn contradiction(&self) -> AtmsNodeId {
+        self.contradiction
+    }
+
+    /// Creates a non-assumption node with an empty label.
+    pub fn create_node(&mut self, datum: impl Into<String>) -> AtmsNodeId {
+        let id = AtmsNodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            datum: datum.into(),
+            label: LabelSet::new(),
+            consequences: Vec::new(),
+            assumption: false,
+        });
+        id
+    }
+
+    /// Creates an assumption: a node whose label is `{{self}}`.
+    pub fn create_assumption(&mut self, datum: impl Into<String>) -> AtmsNodeId {
+        let id = self.create_node(datum);
+        let d = &mut self.nodes[id.0 as usize];
+        d.assumption = true;
+        d.label.insert_minimal(Env::from_ids(vec![id.0]));
+        id
+    }
+
+    /// Whether `node` is an assumption.
+    pub fn is_assumption(&self, node: AtmsNodeId) -> bool {
+        self.nodes[node.0 as usize].assumption
+    }
+
+    /// The display datum of a node.
+    pub fn datum(&self, node: AtmsNodeId) -> &str {
+        &self.nodes[node.0 as usize].datum
+    }
+
+    /// The label of a node: its minimal consistent environments.
+    pub fn label(&self, node: AtmsNodeId) -> &[Env] {
+        self.nodes[node.0 as usize].label.envs()
+    }
+
+    /// Whether the node holds in *some* consistent environment.
+    pub fn is_believed_somewhere(&self, node: AtmsNodeId) -> bool {
+        !self.nodes[node.0 as usize].label.is_empty()
+    }
+
+    /// Whether the node holds under `env` (some label member ⊆ `env`).
+    pub fn holds_in(&self, node: AtmsNodeId, env: &Env) -> bool {
+        self.nodes[node.0 as usize].label.covers(env)
+    }
+
+    /// The minimal nogood environments discovered so far.
+    pub fn nogoods(&self) -> &[Env] {
+        self.nogoods.envs()
+    }
+
+    /// Whether `env` is inconsistent (a superset of some nogood).
+    pub fn is_nogood(&self, env: &Env) -> bool {
+        self.nogoods.covers(env)
+    }
+
+    /// Adds a monotonic justification `antecedents ⇒ consequent` and
+    /// propagates labels. Premises are encoded as an empty antecedent list
+    /// (label gains the empty environment). Justifying the
+    /// [`Atms::contradiction`] node declares its environments nogood.
+    pub fn justify(
+        &mut self,
+        consequent: AtmsNodeId,
+        antecedents: Vec<AtmsNodeId>,
+        informant: impl Into<String>,
+    ) {
+        let id = self.justs.len() as u32;
+        for &a in &antecedents {
+            self.nodes[a.0 as usize].consequences.push(id);
+        }
+        self.justs.push(JustData {
+            antecedents,
+            consequent,
+            informant: informant.into(),
+        });
+        self.propagate(id);
+    }
+
+    /// Recomputes the contribution of justification `id` and propagates any
+    /// label growth through the justification graph.
+    fn propagate(&mut self, id: u32) {
+        let mut queue = vec![id];
+        while let Some(jid) = queue.pop() {
+            let (consequent, new_envs) = {
+                let j = &self.justs[jid as usize];
+                (j.consequent, self.cross_product(&j.antecedents))
+            };
+            let mut changed = false;
+            if consequent == self.contradiction {
+                for env in new_envs {
+                    if self.add_nogood(env) {
+                        changed = true;
+                    }
+                }
+                if changed {
+                    // Nogoods prune labels globally; everything downstream of
+                    // pruned nodes keeps a sound (smaller) label, so no
+                    // further propagation is needed for completeness.
+                }
+                continue;
+            }
+            for env in new_envs {
+                if self.nogoods.covers(&env) {
+                    continue;
+                }
+                if self.nodes[consequent.0 as usize].label.insert_minimal(env) {
+                    changed = true;
+                }
+            }
+            if changed {
+                queue.extend(self.nodes[consequent.0 as usize].consequences.iter().copied());
+            }
+        }
+    }
+
+    /// All unions of one environment per antecedent label (the label of a
+    /// conjunction). An empty antecedent list yields the empty environment.
+    fn cross_product(&self, antecedents: &[AtmsNodeId]) -> Vec<Env> {
+        let mut acc = vec![Env::empty()];
+        for &a in antecedents {
+            let label = self.nodes[a.0 as usize].label.envs();
+            if label.is_empty() {
+                return Vec::new();
+            }
+            let mut next = Vec::with_capacity(acc.len() * label.len());
+            for base in &acc {
+                for env in label {
+                    next.push(base.union(env));
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// Records `env` as nogood and prunes it from every label. Returns
+    /// whether the nogood set changed.
+    fn add_nogood(&mut self, env: Env) -> bool {
+        if !self.nogoods.insert_minimal(env.clone()) {
+            return false;
+        }
+        for node in &mut self.nodes {
+            node.label.retain_not(|e| env.is_subset(e));
+        }
+        true
+    }
+
+    /// Nodes holding under `env`, in creation order (the *context* of `env`).
+    pub fn context_of(&self, env: &Env) -> Vec<AtmsNodeId> {
+        (0..self.nodes.len() as u32)
+            .map(AtmsNodeId)
+            .filter(|&n| n != self.contradiction && self.holds_in(n, env))
+            .collect()
+    }
+
+    /// Number of nodes, including the contradiction node.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total environments across all labels (a bookkeeping-size metric).
+    pub fn total_label_size(&self) -> usize {
+        self.nodes.iter().map(|n| n.label.envs().len()).sum()
+    }
+}
+
+impl fmt::Debug for Atms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Atms");
+        s.field("nodes", &self.nodes.len());
+        s.field("justs", &self.justs.len());
+        s.field("nogoods", &self.nogoods.envs().len());
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(ids: &[u32]) -> Env {
+        Env::from_ids(ids.to_vec())
+    }
+
+    #[test]
+    fn env_set_operations() {
+        let a = env(&[1, 3]);
+        let b = env(&[1, 2, 3]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Env::empty().is_subset(&a));
+        assert_eq!(a.union(&env(&[2])), b);
+        assert_eq!(env(&[3, 1, 3]).ids(), &[1, 3]);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn label_minimality() {
+        let mut l = LabelSet::new();
+        assert!(l.insert_minimal(env(&[1, 2])));
+        assert!(!l.insert_minimal(env(&[1, 2, 3])), "superset rejected");
+        assert!(l.insert_minimal(env(&[1])), "subset evicts");
+        assert_eq!(l.envs(), &[env(&[1])]);
+        assert!(l.insert_minimal(env(&[4])));
+        assert_eq!(l.envs().len(), 2);
+    }
+
+    #[test]
+    fn assumption_has_unit_label() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        assert!(atms.is_assumption(a));
+        assert_eq!(atms.label(a), &[env(&[a.0])]);
+        assert_eq!(atms.datum(a), "a");
+    }
+
+    #[test]
+    fn derived_label_is_union_of_antecedents() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let c = atms.create_node("c");
+        atms.justify(c, vec![a, b], "a&b=>c");
+        assert_eq!(atms.label(c), &[env(&[a.0, b.0])]);
+        assert!(atms.holds_in(c, &env(&[a.0, b.0])));
+        assert!(!atms.holds_in(c, &env(&[a.0])));
+    }
+
+    #[test]
+    fn disjunction_gives_two_minimal_envs() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let c = atms.create_node("c");
+        atms.justify(c, vec![a], "a=>c");
+        atms.justify(c, vec![b], "b=>c");
+        assert_eq!(atms.label(c).len(), 2);
+        assert!(atms.holds_in(c, &env(&[a.0])));
+        assert!(atms.holds_in(c, &env(&[b.0])));
+    }
+
+    #[test]
+    fn premise_holds_universally() {
+        let mut atms = Atms::new();
+        let p = atms.create_node("p");
+        atms.justify(p, vec![], "premise");
+        assert_eq!(atms.label(p), &[Env::empty()]);
+        assert!(atms.holds_in(p, &Env::empty()));
+    }
+
+    #[test]
+    fn label_propagates_through_chains() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_node("b");
+        let c = atms.create_node("c");
+        atms.justify(c, vec![b], "b=>c"); // added before b has a label
+        atms.justify(b, vec![a], "a=>b");
+        assert_eq!(atms.label(c), &[env(&[a.0])], "late antecedent label must propagate");
+    }
+
+    #[test]
+    fn nogood_prunes_labels_and_contexts() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let c = atms.create_node("c");
+        atms.justify(c, vec![a, b], "a&b=>c");
+        // Declare {a, b} inconsistent.
+        let boom = atms.contradiction();
+        atms.justify(boom, vec![a, b], "a&b absurd");
+        assert!(atms.is_nogood(&env(&[a.0, b.0])));
+        assert!(atms.label(c).is_empty(), "c's only environment died");
+        assert!(!atms.is_believed_somewhere(c));
+        // Individual assumptions stay consistent.
+        assert!(atms.holds_in(a, &env(&[a.0])));
+    }
+
+    #[test]
+    fn nogood_blocks_future_environments() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let boom = atms.contradiction();
+        atms.justify(boom, vec![a, b], "absurd");
+        // A node derived afterwards from a&b gains no environment.
+        let d = atms.create_node("d");
+        atms.justify(d, vec![a, b], "a&b=>d");
+        assert!(atms.label(d).is_empty());
+    }
+
+    #[test]
+    fn multiple_contexts_coexist() {
+        // The de Kleer signature: incompatible assumptions keep separate
+        // contexts alive simultaneously.
+        let mut atms = Atms::new();
+        let day = atms.create_assumption("day");
+        let night = atms.create_assumption("night");
+        let boom = atms.contradiction();
+        atms.justify(boom, vec![day, night], "day&night absurd");
+        let bright = atms.create_node("bright");
+        let dark = atms.create_node("dark");
+        atms.justify(bright, vec![day], "day=>bright");
+        atms.justify(dark, vec![night], "night=>dark");
+        assert!(atms.holds_in(bright, &env(&[day.0])));
+        assert!(atms.holds_in(dark, &env(&[night.0])));
+        let ctx = atms.context_of(&env(&[day.0]));
+        assert!(ctx.contains(&day) && ctx.contains(&bright));
+        assert!(!ctx.contains(&dark));
+    }
+
+    #[test]
+    fn minimal_env_survives_when_larger_dies() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let c = atms.create_assumption("c");
+        let n = atms.create_node("n");
+        atms.justify(n, vec![a, b], "ab=>n");
+        atms.justify(n, vec![c], "c=>n");
+        let boom = atms.contradiction();
+        atms.justify(boom, vec![a, b], "ab absurd");
+        assert_eq!(atms.label(n), &[env(&[c.0])]);
+        assert!(atms.is_believed_somewhere(n));
+    }
+
+    #[test]
+    fn total_label_size_counts_envs() {
+        let mut atms = Atms::new();
+        let a = atms.create_assumption("a");
+        let b = atms.create_assumption("b");
+        let n = atms.create_node("n");
+        atms.justify(n, vec![a], "1");
+        atms.justify(n, vec![b], "2");
+        // a, b each 1 env + n's 2.
+        assert_eq!(atms.total_label_size(), 4);
+        assert_eq!(atms.num_nodes(), 4); // incl. ⊥
+        let s = format!("{atms:?}");
+        assert!(s.contains("nogoods"));
+    }
+}

@@ -1,0 +1,391 @@
+//! The bridge between stratified databases and truth maintenance.
+//!
+//! The paper's §1 observes that maintaining `M(P)` "directly relates" to
+//! Doyle's and de Kleer's systems, differing in how supports are built and
+//! used. This module makes the relation executable:
+//!
+//! * [`JtmsBridge`] encodes every ground rule instance `p ⇐ q₁…qᵢ, ¬r₁…rⱼ`
+//!   as a JTMS justification with in-list `{q₁…qᵢ}` and out-list `{r₁…rⱼ}`;
+//!   asserted facts become premises. For a **stratified** program the JTMS
+//!   labeling is unique and the IN set *is* `M(P)` (checked by tests and by
+//!   `tests/tms_correspondence.rs`). Fact updates map to premise changes.
+//!
+//! * [`FactSupports`] uses an ATMS with one assumption per asserted fact
+//!   over a **definite** (negation-free) program: each model fact's label
+//!   lists the minimal sets of asserted facts deriving it. These are
+//!   exactly the *fact-level supports* of the paper's §5.2 — "this form of
+//!   supports … would lead to a solution with no migration" — and the
+//!   experiment harness uses them to measure the bookkeeping cost the paper
+//!   predicts is "clearly too prohibitive … when many facts are present".
+
+use rustc_hash::FxHashMap;
+
+use strata_datalog::ground::{ground_program, GroundingBudgetExceeded};
+use strata_datalog::{Fact, Program};
+
+use crate::atms::{Atms, AtmsNodeId, Env};
+use crate::jtms::{Jtms, JtmsNodeId, JustId};
+
+/// A stratified database encoded as a Doyle JTMS.
+#[derive(Debug)]
+pub struct JtmsBridge {
+    tms: Jtms,
+    node_of: FxHashMap<Fact, JtmsNodeId>,
+    /// The premise justification per asserted fact (for retraction).
+    premise_of: FxHashMap<Fact, JustId>,
+}
+
+impl JtmsBridge {
+    /// Grounds `program` (within `budget` instances) and encodes it.
+    pub fn new(program: &Program, budget: usize) -> Result<JtmsBridge, GroundingBudgetExceeded> {
+        let ground = ground_program(program, budget)?;
+        let mut bridge = JtmsBridge {
+            tms: Jtms::new(),
+            node_of: FxHashMap::default(),
+            premise_of: FxHashMap::default(),
+        };
+        // Create nodes for every atom mentioned anywhere.
+        for rule in &ground {
+            for f in std::iter::once(&rule.head)
+                .chain(rule.pos.iter())
+                .chain(rule.neg.iter())
+            {
+                bridge.node(f);
+            }
+        }
+        // One justification per ground instance: in = pos, out = neg.
+        for rule in &ground {
+            let consequent = bridge.node(&rule.head);
+            let in_list = rule.pos.iter().map(|f| bridge.node(f)).collect();
+            let out_list = rule.neg.iter().map(|f| bridge.node(f)).collect();
+            bridge.tms.justify(consequent, in_list, out_list, rule.to_string());
+        }
+        // Asserted facts are premises.
+        for f in program.facts() {
+            bridge.assert_fact(f.clone());
+        }
+        Ok(bridge)
+    }
+
+    fn node(&mut self, f: &Fact) -> JtmsNodeId {
+        if let Some(&n) = self.node_of.get(f) {
+            return n;
+        }
+        let n = self.tms.create_node(f.to_string());
+        self.node_of.insert(f.clone(), n);
+        n
+    }
+
+    /// Asserts a fact (installs a premise justification). Idempotent.
+    pub fn assert_fact(&mut self, f: Fact) {
+        if self.premise_of.contains_key(&f) {
+            return;
+        }
+        let n = self.node(&f);
+        let j = self.tms.assert_premise(n, format!("asserted {f}"));
+        self.premise_of.insert(f, j);
+    }
+
+    /// Retracts an asserted fact (removes its premise justification).
+    /// Returns `false` if the fact was not asserted.
+    pub fn retract_fact(&mut self, f: &Fact) -> bool {
+        let Some(j) = self.premise_of.remove(f) else {
+            return false;
+        };
+        self.tms.remove_justification(j);
+        true
+    }
+
+    /// Whether the fact is currently believed.
+    pub fn believes(&self, f: &Fact) -> bool {
+        self.node_of.get(f).is_some_and(|&n| self.tms.is_in(n))
+    }
+
+    /// Every believed fact, sorted (the JTMS image of `M(P)`).
+    pub fn believed_facts(&self) -> Vec<Fact> {
+        let mut out: Vec<Fact> = self
+            .node_of
+            .iter()
+            .filter(|(_, &n)| self.tms.is_in(n))
+            .map(|(f, _)| f.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The underlying TMS (for inspection).
+    pub fn tms(&self) -> &Jtms {
+        &self.tms
+    }
+}
+
+/// Fact-level supports via an ATMS over a definite program (§5.2).
+#[derive(Debug)]
+pub struct FactSupports {
+    atms: Atms,
+    node_of: FxHashMap<Fact, AtmsNodeId>,
+    assumption_of: FxHashMap<Fact, AtmsNodeId>,
+}
+
+/// The error returned when a program with negation is offered to
+/// [`FactSupports`] (the classic ATMS is monotonic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactSupportsError {
+    /// The program contains a negative literal.
+    NotDefinite(String),
+    /// Grounding exceeded its instance budget.
+    Grounding(GroundingBudgetExceeded),
+}
+
+impl std::fmt::Display for FactSupportsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactSupportsError::NotDefinite(rule) => {
+                write!(f, "ATMS fact supports need a definite program; `{rule}` negates")
+            }
+            FactSupportsError::Grounding(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FactSupportsError {}
+
+impl FactSupports {
+    /// Grounds a definite `program` and computes every fact's minimal
+    /// asserted-fact support sets.
+    pub fn new(program: &Program, budget: usize) -> Result<FactSupports, FactSupportsError> {
+        for (_, rule) in program.rules() {
+            if rule.body.iter().any(|l| !l.positive) {
+                return Err(FactSupportsError::NotDefinite(rule.to_string()));
+            }
+        }
+        let ground = ground_program(program, budget).map_err(FactSupportsError::Grounding)?;
+        let mut fs = FactSupports {
+            atms: Atms::new(),
+            node_of: FxHashMap::default(),
+            assumption_of: FxHashMap::default(),
+        };
+        // Assumptions first: one per asserted fact.
+        for f in program.facts() {
+            let a = fs.atms.create_assumption(f.to_string());
+            fs.assumption_of.insert(f.clone(), a);
+            fs.node_of.insert(f.clone(), a);
+        }
+        for rule in &ground {
+            let consequent = fs.node(&rule.head);
+            let antecedents = rule.pos.iter().map(|f| fs.node(f)).collect();
+            fs.atms.justify(consequent, antecedents, rule.to_string());
+        }
+        Ok(fs)
+    }
+
+    fn node(&mut self, f: &Fact) -> AtmsNodeId {
+        if let Some(&n) = self.node_of.get(f) {
+            return n;
+        }
+        let n = self.atms.create_node(f.to_string());
+        self.node_of.insert(f.clone(), n);
+        n
+    }
+
+    /// The minimal sets of asserted facts each deriving `f`; empty slice if
+    /// `f` is not derivable.
+    pub fn supports_of(&self, f: &Fact) -> Vec<Vec<Fact>> {
+        let Some(&n) = self.node_of.get(f) else { return Vec::new() };
+        let id_to_fact: FxHashMap<u32, &Fact> =
+            self.assumption_of.iter().map(|(f, a)| (a.0, f)).collect();
+        self.atms
+            .label(n)
+            .iter()
+            .map(|env| {
+                let mut facts: Vec<Fact> =
+                    env.ids().iter().map(|id| (*id_to_fact[id]).clone()).collect();
+                facts.sort();
+                facts
+            })
+            .collect()
+    }
+
+    /// Whether `f` remains derivable after deleting `deleted` — *without
+    /// recomputation*: true iff some support set avoids every deleted fact.
+    /// This is the §5.2 migration-free removal test.
+    pub fn survives_deletion(&self, f: &Fact, deleted: &[Fact]) -> bool {
+        let Some(&n) = self.node_of.get(f) else { return false };
+        let deleted_ids: Vec<u32> = deleted
+            .iter()
+            .filter_map(|d| self.assumption_of.get(d).map(|a| a.0))
+            .collect();
+        self.atms
+            .label(n)
+            .iter()
+            .any(|env| deleted_ids.iter().all(|id| !env.ids().contains(id)))
+    }
+
+    /// Facts currently derivable in the full context, sorted.
+    pub fn derivable_facts(&self) -> Vec<Fact> {
+        let full = Env::from_ids(self.assumption_of.values().map(|a| a.0).collect());
+        let mut out: Vec<Fact> = self
+            .node_of
+            .iter()
+            .filter(|(_, &n)| self.atms.holds_in(n, &full))
+            .map(|(f, _)| f.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total environments stored across all labels — the bookkeeping-size
+    /// metric for the §5.2 trade-off experiment.
+    pub fn bookkeeping_size(&self) -> usize {
+        self.atms.total_label_size()
+    }
+
+    /// The underlying ATMS (for inspection).
+    pub fn atms(&self) -> &Atms {
+        &self.atms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_datalog::model::StandardModel;
+
+    fn fact(s: &str) -> Fact {
+        Fact::parse(s).unwrap()
+    }
+
+    /// The JTMS IN-set must equal M(P) on stratified programs.
+    fn assert_jtms_matches_model(src: &str) {
+        let program = Program::parse(src).unwrap();
+        let bridge = JtmsBridge::new(&program, 100_000).unwrap();
+        let model = StandardModel::compute(&program).unwrap();
+        let mut expected: Vec<Fact> = model.db().iter_facts().collect();
+        expected.sort();
+        assert_eq!(bridge.believed_facts(), expected, "JTMS ≠ M(P) on {src}");
+    }
+
+    #[test]
+    fn jtms_matches_pods_model() {
+        assert_jtms_matches_model(
+            "submitted(1). submitted(2). submitted(3). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        );
+    }
+
+    #[test]
+    fn jtms_matches_chain_model() {
+        assert_jtms_matches_model("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
+    }
+
+    #[test]
+    fn jtms_matches_cascade_demo() {
+        assert_jtms_matches_model("r :- p. q :- r. q :- !p.");
+    }
+
+    #[test]
+    fn jtms_matches_recursive_program() {
+        assert_jtms_matches_model(
+            "e(1, 2). e(2, 3). n(1). n(2). n(3). n(4).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).
+             iso(X) :- n(X), !covered(X). covered(X) :- p(X, Y).",
+        );
+    }
+
+    #[test]
+    fn jtms_updates_track_model_updates() {
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        let mut bridge = JtmsBridge::new(&program, 100_000).unwrap();
+        assert!(bridge.believes(&fact("rejected(1)")));
+        // Insert accepted(1): rejected(1) must leave the belief set.
+        bridge.assert_fact(fact("accepted(1)"));
+        assert!(!bridge.believes(&fact("rejected(1)")));
+        assert!(bridge.believes(&fact("accepted(1)")));
+        // Retract it again.
+        assert!(bridge.retract_fact(&fact("accepted(1)")));
+        assert!(bridge.believes(&fact("rejected(1)")));
+        assert!(!bridge.retract_fact(&fact("accepted(1)")), "double retract");
+        // The new belief set matches the recomputed model.
+        let model = StandardModel::compute(&program).unwrap();
+        let mut expected: Vec<Fact> = model.db().iter_facts().collect();
+        expected.sort();
+        assert_eq!(bridge.believed_facts(), expected);
+    }
+
+    #[test]
+    fn fact_supports_requires_definite_program() {
+        let p = Program::parse("e(1). q(X) :- e(X), !r(X).").unwrap();
+        let err = FactSupports::new(&p, 1000).unwrap_err();
+        assert!(matches!(err, FactSupportsError::NotDefinite(_)));
+        assert!(err.to_string().contains("definite"));
+    }
+
+    #[test]
+    fn fact_supports_lists_minimal_assumption_sets() {
+        let p = Program::parse(
+            "a(1). b(1). c(1).
+             p(X) :- a(X), b(X).
+             p(X) :- c(X).",
+        )
+        .unwrap();
+        let fs = FactSupports::new(&p, 1000).unwrap();
+        let sups = fs.supports_of(&fact("p(1)"));
+        assert_eq!(sups.len(), 2);
+        // Support facts sort by interner id: compare order-insensitively.
+        let mut ab = vec![fact("a(1)"), fact("b(1)")];
+        ab.sort();
+        assert!(sups.contains(&ab));
+        assert!(sups.contains(&vec![fact("c(1)")]));
+    }
+
+    #[test]
+    fn survives_deletion_is_migration_free() {
+        let p = Program::parse(
+            "a(1). c(1).
+             p(X) :- a(X).
+             p(X) :- c(X).
+             q(X) :- p(X).",
+        )
+        .unwrap();
+        let fs = FactSupports::new(&p, 1000).unwrap();
+        // Deleting a(1): p(1) and q(1) survive via c(1) — decided from the
+        // labels alone, no saturation, no migration.
+        assert!(fs.survives_deletion(&fact("p(1)"), &[fact("a(1)")]));
+        assert!(fs.survives_deletion(&fact("q(1)"), &[fact("a(1)")]));
+        // Deleting both kills them.
+        assert!(!fs.survives_deletion(&fact("p(1)"), &[fact("a(1)"), fact("c(1)")]));
+        assert!(!fs.survives_deletion(&fact("q(1)"), &[fact("a(1)"), fact("c(1)")]));
+        // An underivable fact never survives.
+        assert!(!fs.survives_deletion(&fact("zz(1)"), &[]));
+    }
+
+    #[test]
+    fn derivable_facts_match_definite_model() {
+        let src = "e(1, 2). e(2, 3).
+                   p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).";
+        let p = Program::parse(src).unwrap();
+        let fs = FactSupports::new(&p, 100_000).unwrap();
+        let model = StandardModel::compute(&p).unwrap();
+        let mut expected: Vec<Fact> = model.db().iter_facts().collect();
+        expected.sort();
+        assert_eq!(fs.derivable_facts(), expected);
+        assert!(fs.bookkeeping_size() >= expected.len());
+    }
+
+    #[test]
+    fn transitive_closure_supports_enumerate_paths() {
+        // p(1,3) has exactly one support: both edges.
+        let p = Program::parse(
+            "e(1, 2). e(2, 3).
+             p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        let fs = FactSupports::new(&p, 100_000).unwrap();
+        let sups = fs.supports_of(&fact("p(1, 3)"));
+        assert_eq!(sups, vec![vec![fact("e(1, 2)"), fact("e(2, 3)")]]);
+    }
+}

@@ -1,0 +1,582 @@
+//! Doyle's justification-based Truth Maintenance System (AIJ 1979).
+//!
+//! A JTMS maintains a *current belief set*: every node is labeled `IN`
+//! (believed) or `OUT` (not believed). Beliefs are grounded in
+//! **justifications** `(in-list | out-list) ⇒ consequent`: a justification
+//! is *valid* when every in-list node is IN and every out-list node is OUT;
+//! a node is IN iff it has a valid justification, and the labeling must be
+//! **well-founded** — support may not run in circles.
+//!
+//! This implementation relabels the *affected region* on every change
+//! (justification added or removed) with a three-valued fixpoint:
+//! unaffected labels are frozen, affected nodes start `Unknown`, then
+//! (1) a node with a justification whose in-list is all IN and out-list all
+//! OUT becomes IN, (2) a node all of whose justifications are *refuted*
+//! (some in-list node OUT / some out-list node IN) becomes OUT, and
+//! (3) at fixpoint the remaining unknowns — nodes whose support runs only
+//! through cycles — are unfounded: the lowest-numbered one is set OUT and
+//! the fixpoint resumes. For inputs without cycles through out-lists (the
+//! stratified case of the [`crate::bridge`]) the result is the unique
+//! well-founded labeling; odd loops (`a ⇐ out(a)`) are reported as
+//! [`RelabelOutcome::Unstable`].
+//!
+//! Contradiction nodes trigger **dependency-directed backtracking**
+//! (Stallman & Sussman's technique as adapted by Doyle): the *maximal
+//! assumptions* under the contradiction are located (IN nodes whose
+//! supporting justification has a non-empty out-list), a culprit is chosen,
+//! and a nogood justification is installed that forces one of its out-list
+//! nodes IN, retracting the culprit.
+
+use std::fmt;
+
+use rustc_hash::FxHashSet;
+
+/// A node handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct JtmsNodeId(pub u32);
+
+/// A justification handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct JustId(pub u32);
+
+/// A belief label.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Label {
+    /// Believed: has well-founded valid support.
+    In,
+    /// Not believed.
+    Out,
+}
+
+/// A justification `(in-list | out-list) ⇒ consequent`.
+#[derive(Clone, Debug)]
+pub struct Justification {
+    /// Nodes that must be IN.
+    pub in_list: Vec<JtmsNodeId>,
+    /// Nodes that must be OUT (the non-monotonic part).
+    pub out_list: Vec<JtmsNodeId>,
+    /// The supported node.
+    pub consequent: JtmsNodeId,
+    /// A human-readable origin tag.
+    pub informant: String,
+}
+
+struct NodeData {
+    datum: String,
+    label: Label,
+    /// Justifications with this node as consequent.
+    justs: Vec<JustId>,
+    /// Justifications mentioning this node in a body list.
+    consequences: Vec<JustId>,
+    /// The valid justification currently supporting the node (IN nodes).
+    support: Option<JustId>,
+    is_contradiction: bool,
+}
+
+/// Result of relabeling after a change.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RelabelOutcome {
+    /// A unique well-founded labeling of the affected region was found.
+    Stable,
+    /// An odd loop (a node depending on its own OUT-ness) prevented a stable
+    /// labeling; the defaulted labeling violates some justification.
+    Unstable,
+}
+
+/// Doyle's JTMS. See the module docs.
+pub struct Jtms {
+    nodes: Vec<NodeData>,
+    justs: Vec<Justification>,
+    /// Justifications removed by [`Jtms::remove_justification`].
+    dead_justs: FxHashSet<u32>,
+    /// Nogood justifications installed by backtracking.
+    nogood_count: usize,
+}
+
+impl Default for Jtms {
+    fn default() -> Jtms {
+        Jtms::new()
+    }
+}
+
+impl Jtms {
+    /// An empty JTMS.
+    pub fn new() -> Jtms {
+        Jtms { nodes: Vec::new(), justs: Vec::new(), dead_justs: FxHashSet::default(), nogood_count: 0 }
+    }
+
+    /// Creates an OUT node carrying a display datum.
+    pub fn create_node(&mut self, datum: impl Into<String>) -> JtmsNodeId {
+        let id = JtmsNodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            datum: datum.into(),
+            label: Label::Out,
+            justs: Vec::new(),
+            consequences: Vec::new(),
+            support: None,
+            is_contradiction: false,
+        });
+        id
+    }
+
+    /// Marks a node as a contradiction: whenever it goes IN,
+    /// [`Jtms::backtrack`] can be used to restore consistency.
+    pub fn mark_contradiction(&mut self, node: JtmsNodeId) {
+        self.nodes[node.0 as usize].is_contradiction = true;
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The display datum of a node.
+    pub fn datum(&self, node: JtmsNodeId) -> &str {
+        &self.nodes[node.0 as usize].datum
+    }
+
+    /// Current label of a node.
+    pub fn label(&self, node: JtmsNodeId) -> Label {
+        self.nodes[node.0 as usize].label
+    }
+
+    /// Whether a node is currently believed.
+    pub fn is_in(&self, node: JtmsNodeId) -> bool {
+        self.label(node) == Label::In
+    }
+
+    /// The justification currently supporting a node (IN nodes only).
+    pub fn support_of(&self, node: JtmsNodeId) -> Option<&Justification> {
+        self.nodes[node.0 as usize].support.map(|j| &self.justs[j.0 as usize])
+    }
+
+    /// All currently IN contradiction nodes.
+    pub fn active_contradictions(&self) -> Vec<JtmsNodeId> {
+        (0..self.nodes.len() as u32)
+            .map(JtmsNodeId)
+            .filter(|&n| {
+                let d = &self.nodes[n.0 as usize];
+                d.is_contradiction && d.label == Label::In
+            })
+            .collect()
+    }
+
+    /// Number of nogood justifications installed by backtracking.
+    pub fn nogood_count(&self) -> usize {
+        self.nogood_count
+    }
+
+    /// Installs a *premise* justification (empty in/out lists): the node is
+    /// unconditionally believed.
+    pub fn assert_premise(&mut self, node: JtmsNodeId, informant: impl Into<String>) -> JustId {
+        self.justify(node, Vec::new(), Vec::new(), informant)
+    }
+
+    /// Adds a justification and relabels the affected region.
+    pub fn justify(
+        &mut self,
+        consequent: JtmsNodeId,
+        in_list: Vec<JtmsNodeId>,
+        out_list: Vec<JtmsNodeId>,
+        informant: impl Into<String>,
+    ) -> JustId {
+        let id = JustId(self.justs.len() as u32);
+        for &n in in_list.iter().chain(out_list.iter()) {
+            self.nodes[n.0 as usize].consequences.push(id);
+        }
+        self.justs.push(Justification {
+            in_list,
+            out_list,
+            consequent,
+            informant: informant.into(),
+        });
+        self.nodes[consequent.0 as usize].justs.push(id);
+        self.relabel_from(consequent);
+        id
+    }
+
+    /// Removes a justification (rule deletion in the bridge) and relabels.
+    pub fn remove_justification(&mut self, just: JustId) {
+        if !self.dead_justs.insert(just.0) {
+            return;
+        }
+        let consequent = self.justs[just.0 as usize].consequent;
+        if self.nodes[consequent.0 as usize].support == Some(just) {
+            self.nodes[consequent.0 as usize].support = None;
+        }
+        self.relabel_from(consequent);
+    }
+
+    /// The well-founded transitive foundations of an IN node: every node
+    /// reachable through supporting justifications' in-lists.
+    pub fn foundations(&self, node: JtmsNodeId) -> Vec<JtmsNodeId> {
+        let mut seen = FxHashSet::default();
+        let mut stack = vec![node];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            out.push(n);
+            if let Some(j) = self.nodes[n.0 as usize].support {
+                stack.extend(self.justs[j.0 as usize].in_list.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Dependency-directed backtracking for an IN contradiction node:
+    /// locates the assumptions in its foundations (IN nodes supported by a
+    /// justification with a non-empty out-list), chooses the most recently
+    /// created as the culprit, and installs a **nogood justification**
+    /// deriving one of the culprit's out-list nodes from the remaining
+    /// assumptions — which retracts the culprit. Returns the culprit, or
+    /// `None` if the contradiction is OUT or rests on no assumption.
+    pub fn backtrack(&mut self, contradiction: JtmsNodeId) -> Option<JtmsNodeId> {
+        if !self.is_in(contradiction) {
+            return None;
+        }
+        let mut assumptions: Vec<JtmsNodeId> = self
+            .foundations(contradiction)
+            .into_iter()
+            .filter(|&n| {
+                self.nodes[n.0 as usize]
+                    .support
+                    .is_some_and(|j| !self.justs[j.0 as usize].out_list.is_empty())
+            })
+            .collect();
+        assumptions.sort();
+        let culprit = *assumptions.last()?;
+        let support = self.nodes[culprit.0 as usize].support.expect("culprit is IN");
+        // Doyle: believe one of the out-list nodes of the culprit's support,
+        // justified by the contradiction's other assumptions.
+        let target = self.justs[support.0 as usize].out_list[0];
+        let others: Vec<JtmsNodeId> =
+            assumptions.iter().copied().filter(|&a| a != culprit).collect();
+        self.nogood_count += 1;
+        self.justify(target, others, Vec::new(), format!("nogood#{}", self.nogood_count));
+        Some(culprit)
+    }
+
+    /// Relabels the region affected by a change at `origin` (three-valued
+    /// fixpoint; see the module docs).
+    fn relabel_from(&mut self, origin: JtmsNodeId) -> RelabelOutcome {
+        // Affected region: origin plus everything reachable through
+        // consequence justifications.
+        let mut affected = FxHashSet::default();
+        let mut stack = vec![origin];
+        while let Some(n) = stack.pop() {
+            if !affected.insert(n) {
+                continue;
+            }
+            for &j in &self.nodes[n.0 as usize].consequences {
+                if !self.dead_justs.contains(&j.0) {
+                    stack.push(self.justs[j.0 as usize].consequent);
+                }
+            }
+        }
+        let mut order: Vec<JtmsNodeId> = affected.iter().copied().collect();
+        order.sort();
+
+        // Three-valued fixpoint over the affected region.
+        let mut unknown: FxHashSet<JtmsNodeId> = affected.clone();
+        for &n in &order {
+            self.nodes[n.0 as usize].support = None;
+        }
+        loop {
+            let mut changed = false;
+            for &n in &order {
+                if !unknown.contains(&n) {
+                    continue;
+                }
+                match self.decide(n, &unknown) {
+                    Some((label, support)) => {
+                        unknown.remove(&n);
+                        self.nodes[n.0 as usize].label = label;
+                        self.nodes[n.0 as usize].support = support;
+                        changed = true;
+                    }
+                    None => {}
+                }
+            }
+            if !changed {
+                if unknown.is_empty() {
+                    break;
+                }
+                // Unfounded residue: default the lowest unknown to OUT.
+                let &n = order.iter().find(|n| unknown.contains(n)).expect("non-empty");
+                unknown.remove(&n);
+                self.nodes[n.0 as usize].label = Label::Out;
+                self.nodes[n.0 as usize].support = None;
+            }
+        }
+        // Stability check: every live justification with a satisfied body
+        // must have an IN consequent.
+        for (i, j) in self.justs.iter().enumerate() {
+            if self.dead_justs.contains(&(i as u32)) {
+                continue;
+            }
+            let valid = j.in_list.iter().all(|&m| self.nodes[m.0 as usize].label == Label::In)
+                && j.out_list.iter().all(|&m| self.nodes[m.0 as usize].label == Label::Out);
+            if valid && self.nodes[j.consequent.0 as usize].label == Label::Out {
+                return RelabelOutcome::Unstable;
+            }
+        }
+        RelabelOutcome::Stable
+    }
+
+    /// Decides a node from the labels known so far: `Some(In)` as soon as a
+    /// justification is satisfied, `Some(Out)` once every justification is
+    /// refuted, `None` while undetermined.
+    fn decide(
+        &self,
+        n: JtmsNodeId,
+        unknown: &FxHashSet<JtmsNodeId>,
+    ) -> Option<(Label, Option<JustId>)> {
+        let mut all_refuted = true;
+        for &j in &self.nodes[n.0 as usize].justs {
+            if self.dead_justs.contains(&j.0) {
+                continue;
+            }
+            let just = &self.justs[j.0 as usize];
+            let in_ok = just.in_list.iter().all(|&m| {
+                !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In
+            });
+            let out_ok = just.out_list.iter().all(|&m| {
+                !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out
+            });
+            if in_ok && out_ok {
+                return Some((Label::In, Some(j)));
+            }
+            let refuted = just
+                .in_list
+                .iter()
+                .any(|&m| !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out)
+                || just.out_list.iter().any(|&m| {
+                    !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In
+                });
+            if !refuted {
+                all_refuted = false;
+            }
+        }
+        if all_refuted {
+            Some((Label::Out, None))
+        } else {
+            None
+        }
+    }
+
+    /// All currently IN nodes, in creation order.
+    pub fn believed(&self) -> Vec<JtmsNodeId> {
+        (0..self.nodes.len() as u32)
+            .map(JtmsNodeId)
+            .filter(|&n| self.is_in(n))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Jtms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Jtms");
+        s.field("nodes", &self.nodes.len());
+        s.field("justs", &(self.justs.len() - self.dead_justs.len()));
+        let believed: Vec<&str> =
+            self.believed().iter().map(|&n| self.datum(n)).collect();
+        s.field("believed", &believed);
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn premise_is_believed() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        assert!(!tms.is_in(a));
+        tms.assert_premise(a, "given");
+        assert!(tms.is_in(a));
+    }
+
+    #[test]
+    fn monotonic_chain_propagates() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        let c = tms.create_node("c");
+        tms.justify(b, vec![a], vec![], "a=>b");
+        tms.justify(c, vec![b], vec![], "b=>c");
+        assert!(!tms.is_in(c));
+        tms.assert_premise(a, "given");
+        assert!(tms.is_in(a) && tms.is_in(b) && tms.is_in(c));
+    }
+
+    #[test]
+    fn nonmonotonic_default_and_retraction() {
+        // b holds by default (a OUT); asserting a retracts b.
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        tms.justify(b, vec![], vec![a], "default b");
+        assert!(tms.is_in(b));
+        tms.assert_premise(a, "observation");
+        assert!(tms.is_in(a));
+        assert!(!tms.is_in(b), "default must be retracted");
+    }
+
+    #[test]
+    fn alternating_chain_like_paper_example2() {
+        // p1 ⇐ out(p0), p2 ⇐ out(p1), p3 ⇐ out(p2): believe p1, p3.
+        let mut tms = Jtms::new();
+        let p: Vec<_> = (0..4).map(|i| tms.create_node(format!("p{i}"))).collect();
+        for i in 1..4 {
+            tms.justify(p[i], vec![], vec![p[i - 1]], format!("chain{i}"));
+        }
+        assert!(!tms.is_in(p[0]) && tms.is_in(p[1]) && !tms.is_in(p[2]) && tms.is_in(p[3]));
+        // Asserting p0 flips the chain.
+        tms.assert_premise(p[0], "given");
+        assert!(tms.is_in(p[0]) && !tms.is_in(p[1]) && tms.is_in(p[2]) && !tms.is_in(p[3]));
+    }
+
+    #[test]
+    fn positive_cycle_is_unfounded() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        tms.justify(a, vec![b], vec![], "b=>a");
+        tms.justify(b, vec![a], vec![], "a=>b");
+        assert!(!tms.is_in(a) && !tms.is_in(b), "circular support is no support");
+        // External support grounds the cycle.
+        let c = tms.create_node("c");
+        tms.justify(a, vec![c], vec![], "c=>a");
+        tms.assert_premise(c, "given");
+        assert!(tms.is_in(a) && tms.is_in(b));
+    }
+
+    #[test]
+    fn removing_justification_unwinds_support() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        let j = tms.justify(b, vec![a], vec![], "a=>b");
+        tms.assert_premise(a, "given");
+        assert!(tms.is_in(b));
+        tms.remove_justification(j);
+        assert!(!tms.is_in(b));
+        assert!(tms.is_in(a));
+        // Removing twice is a no-op.
+        tms.remove_justification(j);
+        assert!(!tms.is_in(b));
+    }
+
+    #[test]
+    fn alternative_justification_survives_removal() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        let c = tms.create_node("c");
+        let j1 = tms.justify(c, vec![a], vec![], "a=>c");
+        tms.justify(c, vec![b], vec![], "b=>c");
+        tms.assert_premise(a, "p");
+        tms.assert_premise(b, "p");
+        tms.remove_justification(j1);
+        assert!(tms.is_in(c), "second justification keeps c IN");
+    }
+
+    #[test]
+    fn well_founded_support_is_acyclic() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        let c = tms.create_node("c");
+        tms.justify(a, vec![b], vec![], "b=>a");
+        tms.justify(b, vec![a], vec![], "a=>b");
+        tms.justify(a, vec![c], vec![], "c=>a");
+        tms.assert_premise(c, "given");
+        // a's support must be the grounded justification (via c), never the
+        // circular one.
+        let sup = tms.support_of(a).unwrap();
+        assert_eq!(sup.in_list, vec![c]);
+        let foundations = tms.foundations(b);
+        assert!(foundations.contains(&c));
+    }
+
+    #[test]
+    fn contradiction_backtracking_retracts_assumption() {
+        // Assume "dry" by default; premise "rain" plus dry is contradictory.
+        let mut tms = Jtms::new();
+        let rain = tms.create_node("rain");
+        let not_rain = tms.create_node("not_rain");
+        let dry = tms.create_node("dry");
+        let boom = tms.create_node("contradiction");
+        tms.mark_contradiction(boom);
+        tms.justify(dry, vec![], vec![not_rain], "assume dry unless told otherwise");
+        tms.assert_premise(rain, "observation");
+        tms.justify(boom, vec![rain, dry], vec![], "rain & dry is absurd");
+        assert!(tms.is_in(boom));
+        let culprit = tms.backtrack(boom).expect("an assumption exists");
+        assert_eq!(culprit, dry);
+        assert!(!tms.is_in(boom), "contradiction resolved");
+        assert!(!tms.is_in(dry), "culprit retracted");
+        assert!(tms.is_in(not_rain), "nogood belief installed");
+        assert_eq!(tms.nogood_count(), 1);
+        assert!(tms.active_contradictions().is_empty());
+    }
+
+    #[test]
+    fn backtrack_without_assumptions_reports_none() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let boom = tms.create_node("boom");
+        tms.mark_contradiction(boom);
+        tms.assert_premise(a, "p");
+        tms.justify(boom, vec![a], vec![], "a alone is absurd");
+        // The contradiction rests only on a premise: nothing to retract.
+        assert_eq!(tms.backtrack(boom), None);
+        assert!(tms.is_in(boom));
+    }
+
+    #[test]
+    fn odd_loop_reported_unstable() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        // a ⇐ out(a): no stable labeling exists.
+        tms.justify(a, vec![], vec![a], "liar");
+        assert_eq!(tms.relabel_from(a), RelabelOutcome::Unstable);
+    }
+
+    #[test]
+    fn believed_lists_in_nodes() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        tms.assert_premise(b, "p");
+        assert_eq!(tms.believed(), vec![b]);
+        tms.assert_premise(a, "p");
+        assert_eq!(tms.believed(), vec![a, b]);
+        assert_eq!(tms.datum(a), "a");
+    }
+
+    #[test]
+    fn debug_format_shows_believed() {
+        let mut tms = Jtms::new();
+        let a = tms.create_node("alpha");
+        tms.assert_premise(a, "p");
+        let s = format!("{tms:?}");
+        assert!(s.contains("alpha"));
+    }
+
+    #[test]
+    fn even_loop_through_out_lists_defaults_deterministically() {
+        // a ⇐ out(b), b ⇐ out(a): two stable labelings exist; the
+        // implementation defaults the lowest node OUT first, so b ends IN.
+        let mut tms = Jtms::new();
+        let a = tms.create_node("a");
+        let b = tms.create_node("b");
+        tms.justify(a, vec![], vec![b], "default a");
+        tms.justify(b, vec![], vec![a], "default b");
+        assert!(tms.is_in(a) != tms.is_in(b), "exactly one side of the even loop");
+    }
+}

@@ -1,0 +1,33 @@
+//! # strata-tms
+//!
+//! The two belief revision systems the paper builds on (§1, §6), implemented
+//! from scratch:
+//!
+//! * [`jtms`] — Doyle's *justification-based* Truth Maintenance System
+//!   (Doyle, AIJ 1979): nodes labeled IN/OUT, non-monotonic justifications
+//!   with in-lists and out-lists, well-founded relabeling on change, and
+//!   dependency-directed backtracking on contradictions.
+//! * [`atms`] — de Kleer's *assumption-based* TMS (de Kleer, AIJ 1986):
+//!   node labels are sets of minimal consistent environments (assumption
+//!   sets); contradictions turn environments into nogoods that are pruned
+//!   from every label. Multiple contexts coexist.
+//!
+//! [`bridge`] connects both to stratified databases: each ground rule
+//! instance becomes a justification. For a stratified program the JTMS
+//! labeling is unique and coincides with the standard model `M(P)` — the
+//! observation behind the paper's support-based maintenance. The ATMS bridge
+//! (definite programs) yields per-fact labels that are exactly the
+//! *fact-level supports* the paper's §5.2 discusses and rejects as too
+//! expensive for databases: complete (zero migration) but prohibitive.
+//!
+//! The paper's own comparison (§5.1): its one-level rule-pointer supports
+//! are Doyle-style, while the §4.3 sets-of-sets supports "practically
+//! maintain whole proof trees", the price de Kleer pays to keep multiple
+//! contexts.
+
+pub mod atms;
+pub mod bridge;
+pub mod jtms;
+
+pub use atms::{Atms, AtmsNodeId, Env};
+pub use jtms::{Jtms, JtmsNodeId, Justification, Label};

@@ -1,0 +1,89 @@
+//! Property tests for the ATMS environment lattice and label invariants —
+//! de Kleer's four label properties rest on these set operations being a
+//! lattice and on minimality being maintained under arbitrary insertions.
+
+use proptest::prelude::*;
+use strata_tms::atms::{Atms, Env};
+
+fn env_strategy() -> impl Strategy<Value = Env> {
+    proptest::collection::vec(0u32..12, 0..6).prop_map(Env::from_ids)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in env_strategy(), b in env_strategy()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn union_is_associative(
+        a in env_strategy(),
+        b in env_strategy(),
+        c in env_strategy(),
+    ) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_is_least_upper_bound(a in env_strategy(), b in env_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(a.is_subset(&u));
+        prop_assert!(b.is_subset(&u));
+        // Nothing beyond the members of a and b is present.
+        prop_assert_eq!(u.len() <= a.len() + b.len(), true);
+        for id in u.ids() {
+            prop_assert!(a.ids().contains(id) || b.ids().contains(id));
+        }
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(
+        a in env_strategy(),
+        b in env_strategy(),
+        c in env_strategy(),
+    ) {
+        prop_assert!(a.is_subset(&a));
+        if a.is_subset(&b) && b.is_subset(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        if a.is_subset(&b) && b.is_subset(&c) {
+            prop_assert!(a.is_subset(&c));
+        }
+        prop_assert!(Env::empty().is_subset(&a));
+    }
+
+    /// Labels stay antichains: after any sequence of justifications, no
+    /// label environment subsumes another, and none is a nogood superset.
+    #[test]
+    fn labels_stay_minimal_and_consistent(
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..20),
+        nogood_pair in (0usize..8, 0usize..8),
+    ) {
+        let mut atms = Atms::new();
+        let assumptions: Vec<_> = (0..8).map(|i| atms.create_assumption(format!("A{i}"))).collect();
+        let nodes: Vec<_> = (0..8).map(|i| atms.create_node(format!("n{i}"))).collect();
+        for (i, &(a, n)) in edges.iter().enumerate() {
+            // Wire assumption a and (already-derived) node n into node (a+n)%8.
+            atms.justify(nodes[(a + n) % 8], vec![assumptions[a], nodes[n]], format!("j{i}"));
+            atms.justify(nodes[n], vec![assumptions[(a + 3) % 8]], format!("k{i}"));
+        }
+        let boom = atms.contradiction();
+        atms.justify(
+            boom,
+            vec![assumptions[nogood_pair.0], assumptions[nogood_pair.1]],
+            "nogood",
+        );
+        for node in assumptions.iter().chain(nodes.iter()) {
+            let label = atms.label(*node);
+            for (i, e1) in label.iter().enumerate() {
+                prop_assert!(!atms.is_nogood(e1), "label env is nogood-subsumed");
+                for (j, e2) in label.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!e1.is_subset(e2), "label not an antichain");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # strata-workload
+//!
+//! Workload generators for the stratamaint reproduction:
+//!
+//! * [`paper`] — executable versions of every worked example in Apt & Pugin
+//!   (PODS '87): the PODS database of §3, CONF (Example 1), the negation
+//!   chain (Example 2), CONGRESS (Example 3), MEET (Example 4), and the
+//!   §5.1 cascade demo.
+//! * [`synth`] — scalable stratified families (conference pipeline,
+//!   reachability complement, bill-of-materials, random stratified
+//!   programs) used by the migration/latency experiments.
+//! * [`script`] — randomized update scripts (insert/delete traces) over a
+//!   program's asserted facts.
+
+pub mod paper;
+pub mod script;
+pub mod synth;

@@ -1,0 +1,149 @@
+//! The paper's worked examples as executable databases.
+
+use strata_datalog::Program;
+
+/// §3 — the PODS database:
+/// `submitted(1..l)`, `accepted(n)` for the first `k` papers,
+/// `rejected(X) :- submitted(X), !accepted(X)`.
+///
+/// # Panics
+/// If `k > l` (cannot accept more papers than were submitted).
+pub fn pods(k: usize, l: usize) -> Program {
+    assert!(k <= l, "cannot accept {k} of {l} submissions");
+    let mut src = String::new();
+    for i in 1..=l {
+        src.push_str(&format!("submitted({i}). "));
+    }
+    for i in 1..=k {
+        src.push_str(&format!("accepted({i}). "));
+    }
+    src.push_str("rejected(X) :- submitted(X), !accepted(X).");
+    Program::parse(&src).expect("pods workload parses")
+}
+
+/// §4.1 Example 1 — CONF: `submitted(1..l)`, `late(l+1)`, an asserted
+/// `accepted(l+1)` and the rule `accepted(X) :- submitted(X), !rejected(X)`.
+pub fn conf(l: usize) -> Program {
+    let mut src = String::new();
+    for i in 1..=l {
+        src.push_str(&format!("submitted({i}). "));
+    }
+    src.push_str(&format!("late({}). accepted({}). ", l + 1, l + 1));
+    src.push_str("accepted(X) :- submitted(X), !rejected(X).");
+    Program::parse(&src).expect("conf workload parses")
+}
+
+/// §4.2 Example 2 generalized — the negation chain
+/// `p1 :- !p0. p2 :- !p1. … pn :- !p(n-1).` with model `{p1, p3, …}`.
+///
+/// # Panics
+/// If `n == 0`.
+pub fn chain(n: usize) -> Program {
+    assert!(n > 0, "chain needs at least one rule");
+    let mut src = String::new();
+    for i in 1..=n {
+        src.push_str(&format!("p{i} :- !p{}. ", i - 1));
+    }
+    Program::parse(&src).expect("chain workload parses")
+}
+
+/// §4.2 Example 3 — CONGRESS: `submitted(1..l)` with both
+/// `accepted(X) :- submitted(X), !rejected(X)` and the extra, smaller-support
+/// derivation `accepted(l) :- submitted(l)`.
+pub fn congress(l: usize) -> Program {
+    let mut src = String::new();
+    for i in 1..=l {
+        src.push_str(&format!("submitted({i}). "));
+    }
+    src.push_str("accepted(X) :- submitted(X), !rejected(X). ");
+    src.push_str(&format!("accepted({l}) :- submitted({l})."));
+    Program::parse(&src).expect("congress workload parses")
+}
+
+/// §4.2 Example 4 — MEET: submissions, a program committee, and authorship;
+/// a paper is accepted if not rejected, or if a program-committee member
+/// authored it. `author(name2, a)` makes `accepted(a)` doubly derivable.
+pub fn meet(l: usize, committee: usize) -> Program {
+    let mut src = String::new();
+    for i in 1..=l {
+        src.push_str(&format!("submitted(paper{i}). "));
+    }
+    for i in 1..=committee {
+        src.push_str(&format!("in_program_committee(name{i}). "));
+    }
+    // Every member authored one paper (name i wrote paper i) so those
+    // papers have two derivations of acceptance.
+    for i in 1..=committee.min(l) {
+        src.push_str(&format!("author(name{i}, paper{i}). "));
+    }
+    src.push_str("accepted(X) :- submitted(X), !rejected(X). ");
+    src.push_str("accepted(Y) :- author(X, Y), in_program_committee(X).");
+    Program::parse(&src).expect("meet workload parses")
+}
+
+/// §5.1 — the cascade demo `{r :- p. q :- r. q :- !p.}` with `M(P) = {q}`.
+pub fn cascade_demo() -> Program {
+    Program::parse("r :- p. q :- r. q :- !p.").expect("cascade demo parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_datalog::model::StandardModel;
+
+    #[test]
+    fn pods_model_shape() {
+        let m = StandardModel::compute(&pods(2, 5)).unwrap();
+        // 5 submitted + 2 accepted + 3 rejected.
+        assert_eq!(m.db().len(), 10);
+        assert!(m.db().contains_parsed("rejected(5)"));
+        assert!(!m.db().contains_parsed("rejected(1)"));
+    }
+
+    #[test]
+    fn conf_model_contains_all_accepted() {
+        let m = StandardModel::compute(&conf(3)).unwrap();
+        for i in 1..=4 {
+            assert!(m.db().contains_parsed(&format!("accepted({i})")));
+        }
+        assert!(m.db().contains_parsed("late(4)"));
+    }
+
+    #[test]
+    fn chain_model_alternates() {
+        let m = StandardModel::compute(&chain(6)).unwrap();
+        for i in 1..=6 {
+            let f = format!("p{i}");
+            assert_eq!(m.db().contains_parsed(&f), i % 2 == 1, "at {f}");
+        }
+    }
+
+    #[test]
+    fn congress_accepts_everything_initially() {
+        let m = StandardModel::compute(&congress(4)).unwrap();
+        for i in 1..=4 {
+            assert!(m.db().contains_parsed(&format!("accepted({i})")));
+        }
+    }
+
+    #[test]
+    fn meet_accepts_all_submissions() {
+        let m = StandardModel::compute(&meet(5, 2)).unwrap();
+        for i in 1..=5 {
+            assert!(m.db().contains_parsed(&format!("accepted(paper{i})")));
+        }
+    }
+
+    #[test]
+    fn cascade_demo_model_is_q() {
+        let m = StandardModel::compute(&cascade_demo()).unwrap();
+        assert_eq!(m.db().len(), 1);
+        assert!(m.db().contains_parsed("q"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot accept")]
+    fn pods_rejects_bad_parameters() {
+        pods(6, 5);
+    }
+}

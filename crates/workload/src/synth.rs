@@ -1,0 +1,322 @@
+//! Scalable synthetic stratified databases.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use strata_datalog::Program;
+
+/// A multi-stratum conference pipeline, a realistic enlargement of the
+/// paper's running example:
+///
+/// ```text
+/// conflicted(P)    :- author(A, P), pc_member(A).
+/// eligible(P)      :- submitted(P), !withdrawn(P).
+/// reviewable(P)    :- eligible(P), !conflicted(P).
+/// accepted(P)      :- reviewable(P), strong(P).
+/// rejected(P)      :- eligible(P), !accepted(P).
+/// needs_chair(P)   :- eligible(P), conflicted(P).
+/// ```
+///
+/// `papers` submissions, `pc` committee members; deterministic in `seed`.
+pub fn conference(papers: usize, pc: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for i in 1..=papers {
+        src.push_str(&format!("submitted(p{i}). "));
+        if rng.gen_bool(0.1) {
+            src.push_str(&format!("withdrawn(p{i}). "));
+        }
+        if rng.gen_bool(0.4) {
+            src.push_str(&format!("strong(p{i}). "));
+        }
+        // Each paper has 1–3 authors drawn from a pool twice the PC size.
+        for _ in 0..rng.gen_range(1..=3) {
+            let a = rng.gen_range(1..=(pc * 2).max(2));
+            src.push_str(&format!("author(a{a}, p{i}). "));
+        }
+    }
+    for i in 1..=pc {
+        src.push_str(&format!("pc_member(a{i}). "));
+    }
+    src.push_str(
+        "conflicted(P) :- author(A, P), pc_member(A).
+         eligible(P) :- submitted(P), !withdrawn(P).
+         reviewable(P) :- eligible(P), !conflicted(P).
+         accepted(P) :- reviewable(P), strong(P).
+         rejected(P) :- eligible(P), !accepted(P).
+         needs_chair(P) :- eligible(P), conflicted(P).",
+    );
+    Program::parse(&src).expect("conference workload parses")
+}
+
+/// Reachability and its complement over a random sparse digraph:
+///
+/// ```text
+/// path(X, Y) :- edge(X, Y).
+/// path(X, Z) :- path(X, Y), edge(Y, Z).
+/// unreachable(X, Y) :- node(X), node(Y), !path(X, Y).
+/// ```
+///
+/// The complement makes insertions *shrink* `unreachable` — heavy
+/// non-monotonic traffic. `O(n²)` model size: keep `nodes` modest.
+pub fn tc_complement(nodes: usize, edges: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for i in 0..nodes {
+        src.push_str(&format!("node({i}). "));
+    }
+    for _ in 0..edges {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        src.push_str(&format!("edge({a}, {b}). "));
+    }
+    src.push_str(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Z) :- path(X, Y), edge(Y, Z).
+         unreachable(X, Y) :- node(X), node(Y), !path(X, Y).",
+    );
+    Program::parse(&src).expect("tc_complement workload parses")
+}
+
+/// A bill-of-materials with stock exceptions:
+///
+/// ```text
+/// contains(X, Y) :- uses(X, Y).
+/// contains(X, Z) :- contains(X, Y), uses(Y, Z).
+/// missing(X)     :- part(X), atomic(X), !in_stock(X).
+/// blocked(X)     :- contains(X, Y), missing(Y).
+/// buildable(X)   :- part(X), !blocked(X), !missing(X).
+/// ```
+///
+/// A forest of assemblies `depth` levels deep and `width` children wide;
+/// leaf parts are atomic and randomly stocked.
+pub fn bom(depth: usize, width: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    let mut next_id = 0usize;
+    let mut frontier = vec![{
+        next_id += 1;
+        0usize
+    }];
+    src.push_str("part(c0). ");
+    for level in 0..depth {
+        let mut new_frontier = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..width {
+                let id = next_id;
+                next_id += 1;
+                src.push_str(&format!("part(c{id}). uses(c{parent}, c{id}). "));
+                if level + 1 == depth {
+                    src.push_str(&format!("atomic(c{id}). "));
+                    if rng.gen_bool(0.8) {
+                        src.push_str(&format!("in_stock(c{id}). "));
+                    }
+                } else {
+                    new_frontier.push(id);
+                }
+            }
+        }
+        frontier = new_frontier;
+    }
+    src.push_str(
+        "contains(X, Y) :- uses(X, Y).
+         contains(X, Z) :- contains(X, Y), uses(Y, Z).
+         missing(X) :- part(X), atomic(X), !in_stock(X).
+         blocked(X) :- contains(X, Y), missing(Y).
+         buildable(X) :- part(X), !blocked(X), !missing(X).",
+    );
+    Program::parse(&src).expect("bom workload parses")
+}
+
+/// `k` independent conference pipelines with disjoint relation vocabularies
+/// (`submitted_d0`, `eligible_d1`, …), as in a multi-tenant database.
+///
+/// Updates confined to one department leave the others' strata untouched —
+/// the locality that support-based maintenance exploits (engines skip
+/// strata with no dependency on the changed relations) and full
+/// recomputation cannot.
+pub fn departments(k: usize, papers_each: usize, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for d in 0..k {
+        for i in 1..=papers_each {
+            src.push_str(&format!("submitted_d{d}(p{i}). "));
+            if rng.gen_bool(0.15) {
+                src.push_str(&format!("withdrawn_d{d}(p{i}). "));
+            }
+            if rng.gen_bool(0.4) {
+                src.push_str(&format!("strong_d{d}(p{i}). "));
+            }
+        }
+        src.push_str(&format!(
+            "eligible_d{d}(P) :- submitted_d{d}(P), !withdrawn_d{d}(P).
+             accepted_d{d}(P) :- eligible_d{d}(P), strong_d{d}(P).
+             rejected_d{d}(P) :- eligible_d{d}(P), !accepted_d{d}(P). "
+        ));
+    }
+    Program::parse(&src).expect("departments workload parses")
+}
+
+/// Configuration for [`random_stratified`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomConfig {
+    /// Number of extensional relations.
+    pub edb_rels: usize,
+    /// Number of intensional relations.
+    pub idb_rels: usize,
+    /// Rules per intensional relation.
+    pub rules_per_rel: usize,
+    /// Asserted facts per extensional relation.
+    pub facts_per_rel: usize,
+    /// Size of the constant domain.
+    pub domain: usize,
+    /// Probability that a body literal is negated (forced to reference a
+    /// strictly lower level, keeping the program stratified).
+    pub neg_prob: f64,
+}
+
+impl Default for RandomConfig {
+    fn default() -> RandomConfig {
+        RandomConfig {
+            edb_rels: 4,
+            idb_rels: 8,
+            rules_per_rel: 2,
+            facts_per_rel: 20,
+            domain: 12,
+            neg_prob: 0.35,
+        }
+    }
+}
+
+/// A random program that is stratified **by construction**: intensional
+/// relation `idb_i` sits at level `i+1` (extensional relations at level 0);
+/// positive body literals reference any strictly lower level or the relation
+/// itself (direct recursion), negative literals any strictly lower level.
+/// All relations are unary over a shared constant domain, which keeps models
+/// finite and joins meaningful.
+pub fn random_stratified(cfg: &RandomConfig, seed: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for r in 0..cfg.edb_rels {
+        for _ in 0..cfg.facts_per_rel {
+            let c = rng.gen_range(0..cfg.domain);
+            src.push_str(&format!("e{r}({c}). "));
+        }
+    }
+    let rel_name = |level: usize, rng: &mut SmallRng, cfg: &RandomConfig| -> String {
+        // A relation from a uniformly chosen level `< level`.
+        let l = rng.gen_range(0..level);
+        if l == 0 {
+            format!("e{}", rng.gen_range(0..cfg.edb_rels))
+        } else {
+            format!("i{}", l - 1)
+        }
+    };
+    for r in 0..cfg.idb_rels {
+        let level = r + 1;
+        for _ in 0..cfg.rules_per_rel {
+            let mut body = vec![format!("{}(X)", rel_name(level, &mut rng, cfg))];
+            let extra = rng.gen_range(0..=2);
+            for _ in 0..extra {
+                if rng.gen_bool(cfg.neg_prob) {
+                    body.push(format!("!{}(X)", rel_name(level, &mut rng, cfg)));
+                } else if rng.gen_bool(0.2) && r > 0 {
+                    // Direct positive recursion within the level.
+                    body.push(format!("i{r}(X)"));
+                } else {
+                    body.push(format!("{}(X)", rel_name(level, &mut rng, cfg)));
+                }
+            }
+            src.push_str(&format!("i{r}(X) :- {}. ", body.join(", ")));
+        }
+    }
+    Program::parse(&src).expect("random workload parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_datalog::model::StandardModel;
+
+    #[test]
+    fn conference_is_stratified_and_nonempty() {
+        let p = conference(30, 5, 42);
+        let m = StandardModel::compute(&p).unwrap();
+        assert!(m.db().count("eligible".into()) > 0);
+        assert!(m.db().count("rejected".into()) > 0);
+        // accepted ∪ rejected ⊆ eligible and they are disjoint.
+        for f in m.db().facts_of("accepted".into()) {
+            let r = strata_datalog::Fact::new("rejected", f.args.clone());
+            assert!(!m.db().contains(&r), "paper both accepted and rejected");
+        }
+    }
+
+    #[test]
+    fn conference_is_deterministic_in_seed() {
+        let a = conference(20, 4, 7).to_string();
+        let b = conference(20, 4, 7).to_string();
+        assert_eq!(a, b);
+        let c = conference(20, 4, 8).to_string();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tc_complement_partitions_pairs() {
+        let p = tc_complement(8, 12, 3);
+        let m = StandardModel::compute(&p).unwrap();
+        let paths = m.db().count("path".into());
+        let unreachable = m.db().count("unreachable".into());
+        assert_eq!(paths + unreachable, 8 * 8);
+    }
+
+    #[test]
+    fn bom_buildable_respects_stock() {
+        let p = bom(3, 2, 5);
+        let m = StandardModel::compute(&p).unwrap();
+        let parts = m.db().count("part".into());
+        assert_eq!(parts, 1 + 2 + 4 + 8);
+        // Every part is either buildable or blocked/missing.
+        for f in m.db().facts_of("part".into()) {
+            let b = strata_datalog::Fact::new("buildable", f.args.clone());
+            let bl = strata_datalog::Fact::new("blocked", f.args.clone());
+            let mi = strata_datalog::Fact::new("missing", f.args.clone());
+            assert!(
+                m.db().contains(&b) || m.db().contains(&bl) || m.db().contains(&mi),
+                "part {f} in limbo"
+            );
+        }
+    }
+
+    #[test]
+    fn departments_are_independent() {
+        let p = departments(3, 10, 1);
+        let m = StandardModel::compute(&p).unwrap();
+        for d in 0..3 {
+            let eligible = m.db().count(format!("eligible_d{d}").as_str().into());
+            assert!(eligible > 0, "department {d} empty");
+            // accepted ∪ rejected = eligible within each department.
+            let acc = m.db().count(format!("accepted_d{d}").as_str().into());
+            let rej = m.db().count(format!("rejected_d{d}").as_str().into());
+            assert_eq!(acc + rej, eligible);
+        }
+    }
+
+    #[test]
+    fn random_programs_are_stratified() {
+        for seed in 0..20 {
+            let p = random_stratified(&RandomConfig::default(), seed);
+            assert!(
+                StandardModel::compute(&p).is_ok(),
+                "seed {seed} produced a non-stratified program"
+            );
+        }
+    }
+
+    #[test]
+    fn random_program_determinism() {
+        let cfg = RandomConfig::default();
+        assert_eq!(
+            random_stratified(&cfg, 11).to_string(),
+            random_stratified(&cfg, 11).to_string()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Genealogy with negation: recursive ancestry, orphan/bachelor-style
+//! defaults, and non-monotonic revision as the family tree changes.
+//!
+//! Shows the maintained model *and* why-provenance: every belief can be
+//! traced to asserted facts and absences.
+//!
+//! ```text
+//! cargo run --example ancestry
+//! ```
+
+use stratamaint::core::explain::Explainer;
+use stratamaint::core::strategy::DynamicMultiEngine;
+use stratamaint::core::MaintenanceEngine;
+use stratamaint::datalog::{Fact, Program};
+
+fn main() {
+    let program = Program::parse(
+        "% A three-generation family.
+         parent(alice, bob).  parent(alice, carol).
+         parent(bob, dave).   parent(carol, erin).
+         person(alice). person(bob). person(carol). person(dave). person(erin).
+         person(frank).
+         married(alice). married(bob).
+
+         ancestor(X, Y)  :- parent(X, Y).
+         ancestor(X, Z)  :- parent(X, Y), ancestor(Y, Z).
+         has_child(X)    :- parent(X, Y).
+         childless(X)    :- person(X), !has_child(X).
+         has_parent(Y)   :- parent(X, Y).
+         founder(X)      :- person(X), !has_parent(X).
+         bachelor(X)     :- person(X), !married(X), has_child(X).",
+    )
+    .expect("parses");
+
+    let mut engine = DynamicMultiEngine::new(program.clone()).expect("stratified");
+    println!("== initial model ==");
+    for f in engine.model().sorted_facts() {
+        println!("  {f}");
+    }
+
+    // Why is carol not a founder? Why is frank childless?
+    let explainer = Explainer::new(&program).expect("stratified");
+    let childless_frank = Fact::parse("childless(frank)").unwrap();
+    println!("\nwhy childless(frank)?");
+    println!("{}", explainer.explain(&childless_frank).expect("in model"));
+
+    let anc = Fact::parse("ancestor(alice, erin)").unwrap();
+    println!("\nwhy ancestor(alice, erin)?");
+    println!("{}", explainer.explain(&anc).expect("in model"));
+
+    // Frank adopts dave: frank stops being childless — and becomes a
+    // bachelor (unmarried with a child). One insertion, one deletion, one
+    // addition elsewhere: non-monotonic revision.
+    println!("\n== INSERT parent(frank, dave) ==");
+    let stats = engine
+        .insert_fact(Fact::parse("parent(frank, dave)").unwrap())
+        .expect("insert");
+    println!(
+        "  removed {} (migrated {}), net added {}",
+        stats.removed, stats.migrated, stats.net_added
+    );
+    assert!(!engine.model().contains_parsed("childless(frank)"));
+    assert!(engine.model().contains_parsed("bachelor(frank)"));
+    assert!(engine.model().contains_parsed("ancestor(frank, dave)"));
+
+    // Erin's line is erased: carol becomes childless again, ancestor pairs
+    // through erin disappear.
+    println!("== DELETE parent(carol, erin) ==");
+    let stats = engine
+        .delete_fact(Fact::parse("parent(carol, erin)").unwrap())
+        .expect("delete");
+    println!(
+        "  removed {} (migrated {}), net added {}",
+        stats.removed, stats.migrated, stats.net_added
+    );
+    assert!(engine.model().contains_parsed("childless(carol)"));
+    assert!(!engine.model().contains_parsed("ancestor(alice, erin)"));
+    assert!(engine.model().contains_parsed("founder(erin)"));
+
+    println!("\n== final model ==");
+    for f in engine.model().sorted_facts() {
+        println!("  {f}");
+    }
+}

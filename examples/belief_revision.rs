@@ -1,0 +1,75 @@
+//! A belief-revision session in the TMS tradition (Doyle 1979): default
+//! reasoning about flying birds, maintained incrementally with supports.
+//!
+//! The classic non-monotonic staircase: birds fly by default, penguins are
+//! abnormal, sick penguins in an aviary with a heater… each new observation
+//! *revises* earlier conclusions rather than just adding to them.
+//!
+//! ```text
+//! cargo run --example belief_revision
+//! ```
+
+use stratamaint::core::strategy::FactLevelEngine;
+use stratamaint::core::MaintenanceEngine;
+use stratamaint::datalog::{Fact, Program};
+
+fn show(engine: &FactLevelEngine, step: &str) {
+    let beliefs: Vec<String> = engine
+        .model()
+        .sorted_facts()
+        .iter()
+        .filter(|f| f.rel.as_str() == "flies" || f.rel.as_str() == "grounded")
+        .map(ToString::to_string)
+        .collect();
+    println!("{step:<44} beliefs: {}", beliefs.join(", "));
+}
+
+fn main() {
+    let program = Program::parse(
+        "% Default reasoning, stratified:
+         abnormal(X) :- penguin(X).
+         flies(X)    :- bird(X), !abnormal(X).
+         grounded(X) :- bird(X), !flies(X).
+
+         bird(tweety).",
+    )
+    .expect("parses");
+
+    // The fact-level engine keeps one support per *fact* — the closest
+    // analogue of a TMS justification network (paper §5.2), so revisions
+    // touch exactly the affected beliefs.
+    let mut engine = FactLevelEngine::new(program).expect("stratified");
+    show(&engine, "start: bird(tweety)");
+    assert!(engine.model().contains_parsed("flies(tweety)"));
+
+    // Learning that tweety is a penguin RETRACTS the belief flies(tweety):
+    // an insertion that causes a deletion.
+    engine.insert_fact(Fact::parse("penguin(tweety)").unwrap()).unwrap();
+    show(&engine, "learn: penguin(tweety)");
+    assert!(!engine.model().contains_parsed("flies(tweety)"));
+    assert!(engine.model().contains_parsed("grounded(tweety)"));
+
+    // A second bird is unaffected — supports keep revision local.
+    let stats = engine.insert_fact(Fact::parse("bird(woody)").unwrap()).unwrap();
+    show(&engine, "learn: bird(woody)");
+    assert!(engine.model().contains_parsed("flies(woody)"));
+    assert_eq!(stats.removed, 0, "adding woody disturbs no existing belief");
+
+    // Retracting the penguin observation restores the default.
+    engine.delete_fact(Fact::parse("penguin(tweety)").unwrap()).unwrap();
+    show(&engine, "retract: penguin(tweety)");
+    assert!(engine.model().contains_parsed("flies(tweety)"));
+
+    // Revising the *rules*: exceptional evidence can be asserted directly.
+    // flies(tweety) asserted as an observation survives any abnormality.
+    engine.insert_fact(Fact::parse("flies(tweety)").unwrap()).unwrap();
+    engine.insert_fact(Fact::parse("penguin(tweety)").unwrap()).unwrap();
+    show(&engine, "observe flies(tweety); learn penguin again");
+    assert!(
+        engine.model().contains_parsed("flies(tweety)"),
+        "direct observation outweighs the default"
+    );
+
+    println!("\nEach revision touched only the affected beliefs — the");
+    println!("fact-level supports played the role of a justification network.");
+}

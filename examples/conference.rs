@@ -1,0 +1,72 @@
+//! The paper's conference examples (CONF, CONGRESS, MEET) run against every
+//! maintenance strategy, showing exactly where each one migrates facts.
+//!
+//! ```text
+//! cargo run --example conference
+//! ```
+
+use stratamaint::core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, StaticEngine,
+};
+use stratamaint::core::{MaintenanceEngine, Update};
+use stratamaint::datalog::Fact;
+use stratamaint::workload::paper;
+
+fn engines_for(
+    program: &stratamaint::datalog::Program,
+) -> Vec<Box<dyn MaintenanceEngine>> {
+    vec![
+        Box::new(StaticEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
+        Box::new(CascadeEngine::new(program.clone()).unwrap()),
+    ]
+}
+
+fn run(title: &str, program: stratamaint::datalog::Program, update: Update) {
+    println!("── {title} ──");
+    println!("   update: {update}");
+    println!("   {:<16} {:>8} {:>9}", "strategy", "removed", "migrated");
+    for mut engine in engines_for(&program) {
+        let stats = engine.apply(&update).expect("update applies");
+        println!("   {:<16} {:>8} {:>9}", engine.name(), stats.removed, stats.migrated);
+    }
+    println!();
+}
+
+fn main() {
+    // Example 1 (CONF): inserting rejected(4) — the static solution
+    // migrates the *asserted* fact accepted(4); the others keep it put.
+    run(
+        "Example 1: CONF, insert rejected(l+1)",
+        paper::conf(3),
+        Update::InsertFact(Fact::parse("rejected(4)").unwrap()),
+    );
+
+    // Example 3 (CONGRESS): accepted(l) has a second, smaller derivation;
+    // keeping the pairwise-smaller support avoids migrating it.
+    run(
+        "Example 3: CONGRESS, insert rejected(l)",
+        paper::congress(3),
+        Update::InsertFact(Fact::parse("rejected(3)").unwrap()),
+    );
+
+    // Example 4 (MEET): accepted(paper1) is derivable two ways; a single
+    // support migrates it, sets-of-sets (and rule pointers) do not.
+    run(
+        "Example 4: MEET, insert rejected(paper1)",
+        paper::meet(3, 1),
+        Update::InsertFact(Fact::parse("rejected(paper1)").unwrap()),
+    );
+
+    // §5.1 cascade demo: INSERT(p) into {r ← p, q ← r, q ← ¬p}.
+    // Only the cascade engine leaves q untouched.
+    run(
+        "§5.1 demo: insert p into {r ← p, q ← r, q ← ¬p}",
+        paper::cascade_demo(),
+        Update::InsertFact(Fact::parse("p").unwrap()),
+    );
+
+    println!("All strategies agree on the final model; they differ only in");
+    println!("how many facts they removed erroneously along the way.");
+}

@@ -1,0 +1,83 @@
+//! An access-control policy as a maintained stratified database: deny by
+//! default, explicit grants, revocations that dominate, and an integrity
+//! constraint guarding every update.
+//!
+//! Shows the full read/write surface: incremental updates, conjunctive
+//! queries with negation over the maintained model, and denial constraints
+//! with automatic rollback.
+//!
+//! ```text
+//! cargo run --example policy
+//! ```
+
+use stratamaint::core::constraints::{Constraint, GuardedEngine};
+use stratamaint::core::strategy::CascadeEngine;
+use stratamaint::datalog::{Fact, Program, Query};
+
+fn main() {
+    let program = Program::parse(
+        "% Subjects, resources, grants.
+         employee(ann). employee(bob). employee(cat).
+         resource(payroll). resource(wiki). resource(deploy_key).
+         public(wiki).
+         granted(ann, payroll). granted(bob, deploy_key).
+         suspended(bob).
+
+         % Policy: public resources are open to all employees; otherwise a
+         % grant is needed; suspension revokes everything.
+         may_access(U, R) :- employee(U), resource(R), public(R), !suspended(U).
+         may_access(U, R) :- granted(U, R), !suspended(U).
+         denied(U, R) :- employee(U), resource(R), !may_access(U, R).",
+    )
+    .expect("parses");
+
+    let engine = CascadeEngine::new(program).expect("stratified");
+    let mut db = GuardedEngine::unconstrained(engine);
+
+    // Nobody may ever access the payroll while suspended — as a denial.
+    db.add_constraint(
+        Constraint::parse(":- suspended(U), may_access(U, payroll).").unwrap(),
+    )
+    .expect("initially satisfied");
+
+    let who_can = Query::parse("may_access(U, R)").unwrap();
+    println!("== access matrix ==");
+    for row in who_can.eval(db.model()) {
+        println!("  {}", stratamaint::datalog::query::render_row(&who_can, &row));
+    }
+
+    // Bob is suspended: the deploy key grant is dormant.
+    let bob_key = Fact::parse("may_access(bob, deploy_key)").unwrap();
+    assert!(!db.model().contains(&bob_key));
+
+    // Reinstating bob revives his grant AND his wiki access — one deletion,
+    // several additions.
+    println!("\n== DELETE suspended(bob) ==");
+    let stats = db.delete_fact(Fact::parse("suspended(bob)").unwrap()).expect("allowed");
+    println!("  net added {}, net removed {}", stats.net_added, stats.net_removed);
+    assert!(db.model().contains(&bob_key));
+
+    // The constraint guards *combinations*: granting payroll to cat is
+    // fine, but granting it and suspending her afterwards is fine too —
+    // the constraint only forbids access-while-suspended, and suspension
+    // retracts access. Try to sneak a violation in: a rule that bypasses
+    // the suspension check.
+    println!("\n== try to install a backdoor rule ==");
+    let backdoor =
+        stratamaint::datalog::Rule::parse("may_access(U, payroll) :- granted(U, payroll).")
+            .unwrap();
+    db.insert_fact(Fact::parse("suspended(ann)").unwrap()).expect("suspending ann is fine");
+    match db.insert_rule(backdoor) {
+        Err(e) => println!("  rejected: {e}"),
+        Ok(_) => unreachable!("the backdoor would let suspended ann reach payroll"),
+    }
+    assert_eq!(db.program().num_rules(), 3, "backdoor rolled back");
+
+    // Queries keep answering from the maintained model.
+    let denied = Query::parse("denied(U, R), !suspended(U)").unwrap();
+    println!("\n== denied pairs (non-suspended users) ==");
+    for row in denied.eval(db.model()) {
+        println!("  {}", stratamaint::datalog::query::render_row(&denied, &row));
+    }
+    println!("\nEvery update kept the policy model exact and the invariant enforced.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the paper's §3 PODS database, maintained incrementally.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use stratamaint::core::strategy::CascadeEngine;
+use stratamaint::core::MaintenanceEngine;
+use stratamaint::datalog::{Fact, Program};
+
+fn main() {
+    // The PODS database: submissions, some acceptances, and the rule
+    //   rejected(X) :- submitted(X), !accepted(X).
+    let program = Program::parse(
+        "submitted(1). submitted(2). submitted(3). submitted(4). submitted(5).
+         accepted(2). accepted(4).
+         rejected(X) :- submitted(X), !accepted(X).",
+    )
+    .expect("program parses");
+
+    let mut engine = CascadeEngine::new(program).expect("program is stratified");
+    println!("M(PODS)  = {:?}\n", engine.model());
+
+    // Insertion of accepted(1) DELETES rejected(1) from the model:
+    // maintenance of stratified databases is non-monotonic.
+    let stats = engine
+        .insert_fact(Fact::parse("accepted(1)").unwrap())
+        .expect("insert accepted(1)");
+    println!("INSERT(accepted(1))");
+    println!("  net added   = {}", stats.net_added);
+    println!("  net removed = {}", stats.net_removed);
+    println!("M(PODS') = {:?}\n", engine.model());
+    assert!(!engine.model().contains_parsed("rejected(1)"));
+
+    // Deletion of accepted(2) ADDS rejected(2).
+    let stats = engine
+        .delete_fact(Fact::parse("accepted(2)").unwrap())
+        .expect("delete accepted(2)");
+    println!("DELETE(accepted(2))");
+    println!("  net added   = {}", stats.net_added);
+    println!("  net removed = {}", stats.net_removed);
+    println!("M(PODS'') = {:?}\n", engine.model());
+    assert!(engine.model().contains_parsed("rejected(2)"));
+
+    // Rule updates work too — and must keep the program stratified.
+    use stratamaint::datalog::Rule;
+    engine
+        .insert_rule(Rule::parse("camera_ready(X) :- accepted(X), !withdrawn(X).").unwrap())
+        .expect("insert rule");
+    println!("after rule insert: {:?}", engine.model());
+
+    let err = engine
+        .insert_rule(Rule::parse("withdrawn(X) :- submitted(X), !camera_ready(X).").unwrap())
+        .expect_err("recursion through negation must be rejected");
+    println!("rejected as expected: {err}");
+}

@@ -1,0 +1,396 @@
+//! `strata` — an interactive shell for maintained stratified databases.
+//!
+//! ```text
+//! cargo run --bin strata                 # empty database
+//! cargo run --bin strata -- db.strata    # load a program file
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! + <fact|rule>       insert (e.g. `+ accepted(4)` or `+ p(X) :- q(X).`)
+//! - <fact|rule>       delete
+//! ? <query>           query the model (`? rejected(X), !late(X)`)
+//! :why <fact>         why-provenance (proof tree)
+//! :constrain <body>   add a denial constraint (`:constrain a(X), b(X)`)
+//! :constraints        list constraints
+//! :model              print the maintained model
+//! :program            print the current program
+//! :stats              statistics of the last update
+//! :strategy <name>    switch engine (recompute | static | dynamic-single |
+//!                     dynamic-multi | cascade | fact-level)
+//! :help               this text
+//! :quit               exit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use stratamaint::core::constraints::{Constraint, GuardedEngine};
+use stratamaint::core::explain::Explainer;
+use stratamaint::core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
+    StaticEngine,
+};
+use stratamaint::core::{MaintenanceEngine, Update, UpdateStats};
+use stratamaint::datalog::{Fact, Program, Query, Rule};
+
+/// A parsed REPL command.
+#[derive(Clone, Debug)]
+enum Command {
+    Insert(Update),
+    Delete(Update),
+    Query(Query),
+    Why(Fact),
+    Constrain(Constraint),
+    Constraints,
+    Model,
+    ProgramText,
+    Stats,
+    Strategy(String),
+    Help,
+    Quit,
+    Nothing,
+}
+
+/// Parses one input line. Pure, so it is unit-testable.
+fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('%') {
+        return Ok(Command::Nothing);
+    }
+    if let Some(rest) = line.strip_prefix('+') {
+        return parse_update(rest.trim(), true).map(Command::Insert);
+    }
+    if let Some(rest) = line.strip_prefix('-') {
+        return parse_update(rest.trim(), false).map(Command::Delete);
+    }
+    if let Some(rest) = line.strip_prefix('?') {
+        return Query::parse(rest.trim().trim_end_matches('.'))
+            .map(Command::Query)
+            .map_err(|e| format!("cannot parse query: {e}"));
+    }
+    match line.split_whitespace().next().unwrap_or("") {
+        ":why" => parse_fact(line[4..].trim()).map(Command::Why),
+        ":constrain" => Constraint::parse(line[10..].trim())
+            .map(Command::Constrain)
+            .map_err(|e| format!("cannot parse constraint: {e}")),
+        ":constraints" => Ok(Command::Constraints),
+        ":model" => Ok(Command::Model),
+        ":program" => Ok(Command::ProgramText),
+        ":stats" => Ok(Command::Stats),
+        ":strategy" => {
+            let name = line[9..].trim();
+            if name.is_empty() {
+                Err("usage: :strategy <name>".into())
+            } else {
+                Ok(Command::Strategy(name.to_string()))
+            }
+        }
+        ":help" => Ok(Command::Help),
+        ":quit" | ":q" | ":exit" => Ok(Command::Quit),
+        other if other.starts_with(':') => Err(format!("unknown command `{other}` (try :help)")),
+        _ => Err("updates start with + or -, queries with ? (try :help)".into()),
+    }
+}
+
+fn parse_update(src: &str, insert: bool) -> Result<Update, String> {
+    let src = src.trim_end_matches('.');
+    // A bare fact first; otherwise a rule.
+    if let Ok(f) = Fact::parse(src) {
+        return Ok(if insert { Update::InsertFact(f) } else { Update::DeleteFact(f) });
+    }
+    match Rule::parse(&format!("{src}.")) {
+        Ok(r) => Ok(if insert { Update::InsertRule(r) } else { Update::DeleteRule(r) }),
+        Err(e) => Err(format!("cannot parse `{src}` as fact or rule: {e}")),
+    }
+}
+
+fn parse_fact(src: &str) -> Result<Fact, String> {
+    Fact::parse(src.trim_end_matches('.')).map_err(|e| format!("cannot parse fact: {e}"))
+}
+
+/// Builds an engine by strategy name over `program`.
+fn build_engine(name: &str, program: Program) -> Result<Box<dyn MaintenanceEngine>, String> {
+    let err = |e: stratamaint::core::MaintenanceError| e.to_string();
+    Ok(match name {
+        "recompute" => Box::new(RecomputeEngine::new(program).map_err(err)?),
+        "static" => Box::new(StaticEngine::new(program).map_err(err)?),
+        "dynamic-single" => Box::new(DynamicSingleEngine::new(program).map_err(err)?),
+        "dynamic-multi" => Box::new(DynamicMultiEngine::new(program).map_err(err)?),
+        "cascade" => Box::new(CascadeEngine::new(program).map_err(err)?),
+        "fact-level" => Box::new(FactLevelEngine::new(program).map_err(err)?),
+        other => {
+            return Err(format!(
+                "unknown strategy `{other}` (recompute | static | dynamic-single | \
+                 dynamic-multi | cascade | fact-level)"
+            ))
+        }
+    })
+}
+
+struct Repl {
+    engine: GuardedEngine<Box<dyn MaintenanceEngine>>,
+    last_stats: Option<UpdateStats>,
+}
+
+impl Repl {
+    fn new(program: Program) -> Result<Repl, String> {
+        Ok(Repl {
+            engine: GuardedEngine::unconstrained(build_engine("cascade", program)?),
+            last_stats: None,
+        })
+    }
+
+    /// Executes one command, writing human-readable output. Returns `false`
+    /// when the session should end.
+    fn execute(&mut self, cmd: Command, out: &mut impl Write) -> io::Result<bool> {
+        match cmd {
+            Command::Nothing => {}
+            Command::Quit => return Ok(false),
+            Command::Help => writeln!(out, "{HELP}")?,
+            Command::Model => {
+                for f in self.engine.model().sorted_facts() {
+                    writeln!(out, "  {f}")?;
+                }
+                writeln!(out, "  ({} facts)", self.engine.model().len())?;
+            }
+            Command::ProgramText => writeln!(out, "{}", self.engine.program())?,
+            Command::Stats => match &self.last_stats {
+                Some(s) => writeln!(
+                    out,
+                    "  removed {} (migrated {}), net +{} -{}, {} derivations, {} support bytes",
+                    s.removed, s.migrated, s.net_added, s.net_removed, s.derivations,
+                    s.support_bytes
+                )?,
+                None => writeln!(out, "  no update applied yet")?,
+            },
+            Command::Query(q) => {
+                if q.is_boolean() {
+                    writeln!(out, "  {}", q.holds(self.engine.model()))?;
+                } else {
+                    let rows = q.eval(self.engine.model());
+                    for row in &rows {
+                        writeln!(out, "  {}", stratamaint::datalog::query::render_row(&q, row))?;
+                    }
+                    writeln!(out, "  ({} answers)", rows.len())?;
+                }
+            }
+            Command::Why(f) => match Explainer::new(self.engine.program()) {
+                Ok(ex) => match ex.explain(&f) {
+                    Some(proof) => writeln!(out, "{proof}")?,
+                    None => writeln!(out, "  {f} is not in the model")?,
+                },
+                Err(e) => writeln!(out, "  error: {e}")?,
+            },
+            Command::Constrain(c) => match self.engine.add_constraint(c) {
+                Ok(()) => writeln!(out, "  constraint installed")?,
+                Err(e) => writeln!(out, "  rejected: {e}")?,
+            },
+            Command::Constraints => {
+                for c in self.engine.constraints().iter() {
+                    writeln!(out, "  {c}")?;
+                }
+                writeln!(out, "  ({} constraints)", self.engine.constraints().len())?;
+            }
+            Command::Strategy(name) => {
+                match build_engine(&name, self.engine.program().clone()) {
+                    Ok(engine) => {
+                        self.engine.replace_inner(engine);
+                        writeln!(out, "  strategy: {}", self.engine.inner().name())?;
+                    }
+                    Err(e) => writeln!(out, "  error: {e}")?,
+                }
+            }
+            Command::Insert(u) | Command::Delete(u) => match self.engine.apply(&u) {
+                Ok(stats) => {
+                    writeln!(
+                        out,
+                        "  ok: removed {} (migrated {}), net +{} -{}",
+                        stats.removed, stats.migrated, stats.net_added, stats.net_removed
+                    )?;
+                    self.last_stats = Some(stats);
+                }
+                Err(e) => writeln!(out, "  rejected: {e}")?,
+            },
+        }
+        Ok(true)
+    }
+}
+
+const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
+  ? <query>         query         :why <fact>     proof tree
+  :constrain <body> add denial    :constraints    list denials
+  :model  :program  :stats        :strategy <name>
+  :help   :quit";
+
+fn main() -> io::Result<()> {
+    let mut program = Program::new();
+    if let Some(path) = std::env::args().nth(1) {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        program = Program::parse(&src).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        eprintln!("loaded {path}");
+    }
+    let mut repl = Repl::new(program).expect("initial engine");
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    eprintln!("strata — stratified database shell (:help for commands)");
+    loop {
+        eprint!("strata> ");
+        io::stderr().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        match parse_command(&line) {
+            Ok(cmd) => {
+                if !repl.execute(cmd, &mut stdout)? {
+                    break;
+                }
+            }
+            Err(e) => eprintln!("  error: {e}"),
+        }
+        stdout.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(repl: &mut Repl, line: &str) -> String {
+        let mut out = Vec::new();
+        let cmd = parse_command(line).expect("parses");
+        repl.execute(cmd, &mut out).expect("io");
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn parses_fact_updates() {
+        let Command::Insert(Update::InsertFact(f)) = parse_command("+ accepted(1)").unwrap()
+        else {
+            panic!("expected fact insert")
+        };
+        assert_eq!(f, Fact::parse("accepted(1)").unwrap());
+        let Command::Delete(Update::DeleteFact(f)) = parse_command("- accepted(1).").unwrap()
+        else {
+            panic!("expected fact delete")
+        };
+        assert_eq!(f, Fact::parse("accepted(1)").unwrap());
+    }
+
+    #[test]
+    fn parses_rule_updates() {
+        let cmd = parse_command("+ p(X) :- q(X), !r(X).").unwrap();
+        let Command::Insert(Update::InsertRule(rule)) = cmd else {
+            panic!("expected rule insert, got {cmd:?}")
+        };
+        assert_eq!(rule.to_string(), "p(X) :- q(X), !r(X).");
+    }
+
+    #[test]
+    fn parses_queries_and_meta() {
+        assert!(matches!(parse_command("? rejected(2)").unwrap(), Command::Query(_)));
+        assert!(matches!(parse_command("? rejected(X), !late(X)").unwrap(), Command::Query(_)));
+        assert!(matches!(parse_command(":model").unwrap(), Command::Model));
+        assert!(matches!(parse_command(":strategy static").unwrap(), Command::Strategy(_)));
+        assert!(matches!(parse_command(":q").unwrap(), Command::Quit));
+        assert!(matches!(parse_command("").unwrap(), Command::Nothing));
+        assert!(matches!(parse_command("% comment").unwrap(), Command::Nothing));
+        assert!(matches!(
+            parse_command(":constrain a(X), b(X)").unwrap(),
+            Command::Constrain(_)
+        ));
+        assert!(parse_command(":frobnicate").is_err());
+        assert!(parse_command("bare words").is_err());
+        assert!(parse_command("+ 123 456").is_err());
+        assert!(parse_command("? !unsafe(X)").is_err());
+    }
+
+    fn pods_repl() -> Repl {
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        Repl::new(program).unwrap()
+    }
+
+    #[test]
+    fn session_updates_and_queries() {
+        let mut repl = pods_repl();
+        assert!(run(&mut repl, "? rejected(1)").contains("true"));
+        let out = run(&mut repl, "+ accepted(1)");
+        assert!(out.contains("ok:"), "{out}");
+        assert!(run(&mut repl, "? rejected(1)").contains("false"));
+        assert!(run(&mut repl, ":stats").contains("removed"));
+        let out = run(&mut repl, ":model");
+        assert!(out.contains("accepted(1)") && out.contains("facts)"));
+    }
+
+    #[test]
+    fn session_binding_queries() {
+        let mut repl = pods_repl();
+        let out = run(&mut repl, "? rejected(X)");
+        assert!(out.contains("X = 1"), "{out}");
+        assert!(out.contains("(1 answers)"), "{out}");
+        let out = run(&mut repl, "? submitted(X), !rejected(X)");
+        assert!(out.contains("X = 2"), "{out}");
+    }
+
+    #[test]
+    fn session_constraints_guard_updates() {
+        let mut repl = pods_repl();
+        let out = run(&mut repl, ":constrain accepted(X), rejected(X)");
+        assert!(out.contains("installed"), "{out}");
+        let out = run(&mut repl, ":constraints");
+        assert!(out.contains(":- accepted(X), rejected(X)."), "{out}");
+        // Asserting rejected(2) would make paper 2 both accepted and
+        // rejected: rejected and rolled back.
+        let out = run(&mut repl, "+ rejected(2)");
+        assert!(out.contains("rejected: update violates"), "{out}");
+        assert!(run(&mut repl, "? rejected(2)").contains("false"));
+    }
+
+    #[test]
+    fn session_strategy_switch_preserves_program_and_constraints() {
+        let mut repl = pods_repl();
+        run(&mut repl, ":constrain accepted(X), rejected(X)");
+        let out = run(&mut repl, ":strategy static");
+        assert!(out.contains("static"), "{out}");
+        let out = run(&mut repl, "+ rejected(2)");
+        assert!(out.contains("violates"), "constraints survive the switch: {out}");
+        let out = run(&mut repl, ":strategy nonsense");
+        assert!(out.contains("unknown strategy"));
+    }
+
+    #[test]
+    fn session_rejects_bad_updates() {
+        let program = Program::parse("e(1). p(X) :- e(X), !q(X).").unwrap();
+        let mut repl = Repl::new(program).unwrap();
+        let out = run(&mut repl, "- p(1)");
+        assert!(out.contains("rejected"), "{out}");
+        let out = run(&mut repl, "+ q(X) :- e(X), !p(X).");
+        assert!(out.contains("rejected"), "{out}");
+    }
+
+    #[test]
+    fn session_why_prints_proof() {
+        let program = Program::parse("e(1). p(X) :- e(X).").unwrap();
+        let mut repl = Repl::new(program).unwrap();
+        let out = run(&mut repl, ":why p(1)");
+        assert!(out.contains("[by p(X) :- e(X).]"), "{out}");
+        let out = run(&mut repl, ":why p(9)");
+        assert!(out.contains("not in the model"));
+    }
+
+    #[test]
+    fn quit_ends_session() {
+        let program = Program::new();
+        let mut repl = Repl::new(program).unwrap();
+        let mut out = Vec::new();
+        assert!(!repl.execute(Command::Quit, &mut out).unwrap());
+        assert!(repl.execute(Command::Help, &mut out).unwrap());
+    }
+}

@@ -1,0 +1,24 @@
+//! # stratamaint
+//!
+//! Incremental maintenance of stratified deductive databases viewed as a
+//! belief revision system — a Rust reproduction of Apt & Pugin (PODS 1987).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`datalog`] — the Datalog¬ substrate: language, stratification, storage,
+//!   bottom-up (naive, delta-driven, incremental) and top-down (backchaining)
+//!   evaluation, grounding.
+//! * [`core`] — the paper's contribution: the maintenance engines
+//!   (static §4.1, dynamic single §4.2, dynamic multi §4.3, cascade §5.1,
+//!   fact-level §5.2, and the recompute baseline), supports, statistics,
+//!   why-provenance.
+//! * [`tms`] — the belief revision substrate: Doyle's JTMS, de Kleer's ATMS,
+//!   and their bridges to stratified databases.
+//! * [`workload`] — the paper's worked examples and scalable synthetic
+//!   workloads plus update-script generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+pub use strata_core as core;
+pub use strata_datalog as datalog;
+pub use strata_tms as tms;
+pub use strata_workload as workload;

@@ -1,0 +1,202 @@
+//! Batched updates: aggregate semantics, atomicity (prefix rollback), and
+//! the cascade's single-walk override against the sequential default.
+
+use stratamaint::core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
+    StaticEngine,
+};
+use stratamaint::core::verify::assert_matches_ground_truth;
+use stratamaint::core::{MaintenanceEngine, MaintenanceError, Update};
+use stratamaint::datalog::{Fact, Program, Rule};
+use stratamaint::workload::paper;
+use stratamaint::workload::script::{random_fact_script, ScriptConfig};
+use stratamaint::workload::synth;
+
+fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+    vec![
+        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
+        Box::new(StaticEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
+        Box::new(CascadeEngine::new(program.clone()).unwrap()),
+        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
+    ]
+}
+
+fn fact(s: &str) -> Fact {
+    Fact::parse(s).unwrap()
+}
+
+#[test]
+fn batch_equals_sequential_on_every_engine() {
+    let program = paper::pods(2, 6);
+    let batch = vec![
+        Update::InsertFact(fact("accepted(3)")),
+        Update::DeleteFact(fact("accepted(1)")),
+        Update::InsertFact(fact("submitted(7)")),
+        Update::InsertFact(fact("accepted(7)")),
+    ];
+    for mut e in engines(&program) {
+        e.apply_batch(&batch).unwrap();
+        assert_matches_ground_truth(e.as_ref());
+    }
+    // And all engines agree pairwise.
+    let mut models = Vec::new();
+    for mut e in engines(&program) {
+        e.apply_batch(&batch).unwrap();
+        models.push(e.model().sorted_facts());
+    }
+    for m in &models[1..] {
+        assert_eq!(m, &models[0]);
+    }
+}
+
+#[test]
+fn cascade_batch_walks_once_and_matches_sequential() {
+    let program = synth::conference(40, 8, 3);
+    let script = random_fact_script(&program, &ScriptConfig { len: 25, insert_prob: 0.5 }, 17);
+
+    let mut sequential = CascadeEngine::new(program.clone()).unwrap();
+    for u in &script {
+        sequential.apply(u).unwrap();
+    }
+    let mut batched = CascadeEngine::new(program).unwrap();
+    let stats = batched.apply_batch(&script).unwrap();
+    assert_eq!(batched.model().sorted_facts(), sequential.model().sorted_facts());
+    assert_matches_ground_truth(&batched);
+    // One walk must not fire more derivations than 25 walks.
+    let mut seq_derivs = 0;
+    let mut sequential2 = CascadeEngine::new(synth::conference(40, 8, 3)).unwrap();
+    for u in &script {
+        seq_derivs += sequential2.apply(u).unwrap().derivations;
+    }
+    assert!(
+        stats.derivations <= seq_derivs,
+        "batched walk ({}) must not exceed sequential derivations ({seq_derivs})",
+        stats.derivations
+    );
+}
+
+#[test]
+fn batch_insert_then_delete_nets_out() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let before = e.model().sorted_facts();
+        e.apply_batch(&[
+            Update::InsertFact(fact("accepted(4)")),
+            Update::DeleteFact(fact("accepted(4)")),
+        ])
+        .unwrap();
+        assert_eq!(e.model().sorted_facts(), before, "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn failed_batch_rolls_back_completely() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let before = e.model().sorted_facts();
+        let err = e
+            .apply_batch(&[
+                Update::InsertFact(fact("accepted(4)")),
+                Update::DeleteFact(fact("accepted(5)")), // never asserted: rejected
+                Update::InsertFact(fact("accepted(5)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::NotAsserted(_)), "[{}]", e.name());
+        assert_eq!(e.model().sorted_facts(), before, "[{}] must roll back", e.name());
+        assert!(!e.program().is_asserted(&fact("accepted(4)")), "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn failed_batch_does_not_retract_preexisting_facts() {
+    // The first update "inserts" accepted(2), which is already asserted: a
+    // no-op. The rollback of the failing batch must NOT delete it.
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let err = e
+            .apply_batch(&[
+                Update::InsertFact(fact("accepted(2)")),
+                Update::DeleteFact(fact("ghost(1)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::NotAsserted(_)));
+        assert!(
+            e.program().is_asserted(&fact("accepted(2)")),
+            "[{}] rollback must not retract a pre-existing fact",
+            e.name()
+        );
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn batch_with_rule_updates_falls_back_and_stays_atomic() {
+    let program = Program::parse("e(1). e(2). f(2).").unwrap();
+    for mut e in engines(&program) {
+        // Valid mixed batch.
+        e.apply_batch(&[
+            Update::InsertRule(Rule::parse("p(X) :- e(X), !f(X).").unwrap()),
+            Update::InsertFact(fact("e(3)")),
+        ])
+        .unwrap();
+        assert!(e.model().contains_parsed("p(1)"), "[{}]", e.name());
+        assert!(e.model().contains_parsed("p(3)"), "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+        // Failing mixed batch: the rule insert must be rolled back.
+        let before = e.model().sorted_facts();
+        let rules_before = e.program().num_rules();
+        let err = e
+            .apply_batch(&[
+                Update::InsertRule(Rule::parse("q(X) :- e(X).").unwrap()),
+                Update::DeleteFact(fact("ghost(1)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::NotAsserted(_)));
+        assert_eq!(e.program().num_rules(), rules_before, "[{}]", e.name());
+        assert_eq!(e.model().sorted_facts(), before, "[{}]", e.name());
+    }
+}
+
+#[test]
+fn cascade_batch_deletes_across_strata_rederive_correctly() {
+    // Asserted facts in two different strata deleted in one batch; the one
+    // with an alternative derivation must survive.
+    let program = Program::parse(
+        "base(1). base(2).
+         mid(X) :- base(X).
+         mid(9).
+         top(X) :- mid(X), !blocked(X).
+         top(7).",
+    )
+    .unwrap();
+    let mut e = CascadeEngine::new(program).unwrap();
+    e.apply_batch(&[
+        Update::DeleteFact(fact("mid(9)")),
+        Update::DeleteFact(fact("top(7)")),
+        Update::DeleteFact(fact("base(2)")),
+    ])
+    .unwrap();
+    assert!(!e.model().contains_parsed("mid(9)"));
+    assert!(!e.model().contains_parsed("top(7)"));
+    assert!(!e.model().contains_parsed("mid(2)"));
+    assert!(e.model().contains_parsed("top(1)"));
+    assert_matches_ground_truth(&e);
+}
+
+#[test]
+fn empty_and_noop_batches() {
+    let program = paper::pods(1, 3);
+    for mut e in engines(&program) {
+        let stats = e.apply_batch(&[]).unwrap();
+        assert_eq!(stats.removed + stats.net_added + stats.net_removed, 0);
+        let stats = e
+            .apply_batch(&[Update::InsertFact(fact("accepted(1)"))]) // already asserted
+            .unwrap();
+        assert_eq!(stats.net_added, 0, "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the §2 Theorem: for a stratified program,
+//! `M(P)` is independent of the stratification (i), a minimal model (ii),
+//! and a supported model (iii); and the backchaining interpreter (vi)
+//! agrees with it.
+
+use proptest::prelude::*;
+use stratamaint::datalog::eval::backchain::Backchainer;
+use stratamaint::datalog::ground::ground_program;
+use stratamaint::datalog::model::{StandardModel, StratKind};
+use stratamaint::datalog::{Database, Fact, Program};
+use stratamaint::workload::synth::{random_stratified, RandomConfig};
+
+/// Whether `db` (plus the asserted facts) satisfies every ground instance
+/// of every rule: body true ⇒ head true.
+fn is_model(program: &Program, db: &Database) -> bool {
+    if !program.facts().all(|f| db.contains(f)) {
+        return false;
+    }
+    let ground = ground_program(program, 2_000_000).expect("test programs are small");
+    ground.iter().all(|g| {
+        let body_true =
+            g.pos.iter().all(|f| db.contains(f)) && g.neg.iter().all(|f| !db.contains(f));
+        !body_true || db.contains(&g.head)
+    })
+}
+
+fn small_cfg() -> RandomConfig {
+    RandomConfig {
+        edb_rels: 2,
+        idb_rels: 4,
+        rules_per_rel: 2,
+        facts_per_rel: 4,
+        domain: 4,
+        neg_prob: 0.4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem (i): the stratification does not matter.
+    #[test]
+    fn model_independent_of_stratification(seed in 0u64..5000) {
+        let p = random_stratified(&small_cfg(), seed);
+        let by_levels = StandardModel::compute_with(&p, StratKind::ByLevels).unwrap();
+        let maximal = StandardModel::compute_with(&p, StratKind::Maximal).unwrap();
+        prop_assert_eq!(by_levels.db(), maximal.db());
+        // The naive engine agrees with the delta-driven one, too (§5.2's
+        // order-independence of SAT).
+        let naive = StandardModel::compute_naive(&p).unwrap();
+        prop_assert_eq!(naive.db(), by_levels.db());
+    }
+
+    /// M(P) is a model, and it is supported (Theorem iii).
+    #[test]
+    fn model_is_a_supported_model(seed in 0u64..5000) {
+        let p = random_stratified(&small_cfg(), seed);
+        let m = StandardModel::compute(&p).unwrap();
+        prop_assert!(is_model(&p, m.db()), "M(P) must satisfy every rule");
+        prop_assert!(m.is_supported(&p), "M(P) must be supported");
+    }
+
+    /// Theorem (ii), single-removal consequence: removing any *derived*
+    /// fact of M(P) breaks model-hood or supportedness — nothing in the
+    /// model is superfluous. (Full minimality is checked exhaustively below
+    /// for tiny programs.)
+    #[test]
+    fn every_model_fact_is_needed(seed in 0u64..2000) {
+        let p = random_stratified(&small_cfg(), seed);
+        let m = StandardModel::compute(&p).unwrap();
+        for f in m.db().iter_facts() {
+            if p.is_asserted(&f) {
+                continue;
+            }
+            let mut smaller = m.db().clone();
+            smaller.remove(&f);
+            // A supported minimal model loses model-hood when a derived
+            // fact is dropped only if some rule instance now fires into the
+            // gap — which supportedness guarantees.
+            prop_assert!(
+                !is_model(&p, &smaller),
+                "removing {f} from M(P) left a model: M(P) was not minimal"
+            );
+        }
+    }
+
+    /// Theorem (vi): the backchaining interpreter decides membership.
+    #[test]
+    fn backchainer_agrees_with_model(seed in 0u64..2000) {
+        let p = random_stratified(&small_cfg(), seed);
+        let m = StandardModel::compute(&p).unwrap();
+        let mut bc = Backchainer::new(&p, 2_000_000).unwrap();
+        // Check every atom of the grounded Herbrand base of rule heads,
+        // plus every model fact.
+        let ground = ground_program(&p, 2_000_000).unwrap();
+        let mut goals: Vec<Fact> = ground.iter().map(|g| g.head.clone()).collect();
+        goals.extend(m.db().iter_facts());
+        goals.sort();
+        goals.dedup();
+        for g in goals {
+            prop_assert_eq!(
+                bc.holds(&g),
+                m.db().contains(&g),
+                "backchainer disagrees on {}", g
+            );
+        }
+    }
+}
+
+/// Exhaustive minimality on tiny programs: no proper subset of `M(P)`
+/// containing the asserted facts is a model (Theorem ii, literally).
+#[test]
+fn exhaustive_minimality_on_tiny_programs() {
+    let sources = [
+        "p1 :- !p0. p2 :- !p1. p3 :- !p2.",
+        "r :- p. q :- r. q :- !p.",
+        "s(1). s(2). a(1). r(X) :- s(X), !a(X).",
+        "e(1). e(2). p(X) :- e(X), !q(X). q(2).",
+        "b(1). a(X) :- b(X). c(X) :- a(X), !d(X).",
+    ];
+    for src in sources {
+        let p = Program::parse(src).unwrap();
+        let m = StandardModel::compute(&p).unwrap();
+        let facts: Vec<Fact> = m.db().iter_facts().collect();
+        let n = facts.len();
+        assert!(n <= 12, "keep the exhaustive check tractable");
+        for mask in 0..(1u32 << n) - 1 {
+            let subset: Vec<Fact> = facts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, f)| f.clone())
+                .collect();
+            let db = Database::from_facts(subset);
+            assert!(
+                !is_model(&p, &db),
+                "proper subset {db:?} of M({src}) is a model — M(P) not minimal"
+            );
+        }
+    }
+}
+
+/// M(P) is a model of Clark's completion in the propositional sense checked
+/// here: every model fact is supported, and every supported candidate head
+/// is in the model (if-and-only-if reading of the rules).
+#[test]
+fn completion_iff_on_ground_programs() {
+    let sources = ["p1 :- !p0. p2 :- !p1. p3 :- !p2.", "r :- p. q :- r. q :- !p."];
+    for src in sources {
+        let p = Program::parse(src).unwrap();
+        let m = StandardModel::compute(&p).unwrap();
+        let ground = ground_program(&p, 10_000).unwrap();
+        for g in &ground {
+            let body_true = g.pos.iter().all(|f| m.db().contains(f))
+                && g.neg.iter().all(|f| !m.db().contains(f));
+            if body_true {
+                assert!(m.db().contains(&g.head), "completion ⇒ direction broken for {g}");
+            }
+        }
+        // ⇐ direction: each non-asserted model fact has a true body.
+        for f in m.db().iter_facts() {
+            if p.is_asserted(&f) {
+                continue;
+            }
+            let supported = ground.iter().any(|g| {
+                g.head == f
+                    && g.pos.iter().all(|b| m.db().contains(b))
+                    && g.neg.iter().all(|b| !m.db().contains(b))
+            });
+            assert!(supported, "model fact {f} lacks a supporting instance");
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Properties of the update layer shared by every engine: round trips,
+//! idempotence, rejection semantics, and the migration-ordering claim the
+//! paper's strategy ladder makes.
+
+use proptest::prelude::*;
+use stratamaint::core::strategy::{
+    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
+    StaticEngine,
+};
+use stratamaint::core::verify::assert_matches_ground_truth;
+use stratamaint::core::{MaintenanceEngine, MaintenanceError, Update};
+use stratamaint::datalog::{Fact, Program, Rule};
+use stratamaint::workload::paper;
+use stratamaint::workload::script::{random_fact_script, ScriptConfig};
+use stratamaint::workload::synth::{random_stratified, RandomConfig};
+
+fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+    vec![
+        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
+        Box::new(StaticEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
+        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
+        Box::new(CascadeEngine::new(program.clone()).unwrap()),
+        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
+    ]
+}
+
+fn fact(s: &str) -> Fact {
+    Fact::parse(s).unwrap()
+}
+
+#[test]
+fn insert_then_delete_is_identity() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let before = e.model().sorted_facts();
+        e.insert_fact(fact("accepted(4)")).unwrap();
+        e.delete_fact(fact("accepted(4)")).unwrap();
+        assert_eq!(e.model().sorted_facts(), before, "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn delete_then_insert_is_identity() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let before = e.model().sorted_facts();
+        e.delete_fact(fact("accepted(2)")).unwrap();
+        e.insert_fact(fact("accepted(2)")).unwrap();
+        assert_eq!(e.model().sorted_facts(), before, "[{}]", e.name());
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn duplicate_insert_is_noop_and_reported_as_such() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        let before = e.model().sorted_facts();
+        let stats = e.insert_fact(fact("accepted(2)")).unwrap();
+        assert_eq!(stats.removed + stats.net_added + stats.net_removed, 0, "[{}]", e.name());
+        assert_eq!(e.model().sorted_facts(), before, "[{}]", e.name());
+    }
+}
+
+#[test]
+fn deleting_unasserted_facts_is_rejected_uniformly() {
+    let program = paper::pods(2, 5);
+    for mut e in engines(&program) {
+        // rejected(5) is derived, not asserted: the paper allows deletions
+        // only on the extensional part.
+        let err = e.delete_fact(fact("rejected(5)")).unwrap_err();
+        assert!(matches!(err, MaintenanceError::NotAsserted(_)), "[{}]", e.name());
+        // Rejected updates leave the engine untouched and consistent.
+        assert_matches_ground_truth(e.as_ref());
+        // Deleting a fact that was never mentioned at all.
+        let err = e.delete_fact(fact("zz(1)")).unwrap_err();
+        assert!(matches!(err, MaintenanceError::NotAsserted(_)), "[{}]", e.name());
+    }
+}
+
+#[test]
+fn unstratifying_rule_rejected_uniformly() {
+    let src = "e(1). p(X) :- e(X), !q(X).";
+    let bad = Rule::parse("q(X) :- e(X), !p(X).").unwrap();
+    for mut e in engines(&Program::parse(src).unwrap()) {
+        let before = e.model().sorted_facts();
+        let err = e.insert_rule(bad.clone()).unwrap_err();
+        assert!(matches!(err, MaintenanceError::WouldUnstratify(_)), "[{}]", e.name());
+        assert_eq!(e.model().sorted_facts(), before, "[{}] must roll back", e.name());
+        assert_eq!(e.program().num_rules(), 1, "[{}]", e.name());
+        // Engine still functional afterwards.
+        e.insert_fact(fact("e(2)")).unwrap();
+        assert_matches_ground_truth(e.as_ref());
+    }
+}
+
+#[test]
+fn deleting_unknown_rule_rejected_uniformly() {
+    let program = Program::parse("e(1). p(X) :- e(X).").unwrap();
+    let ghost = Rule::parse("p(X) :- e(X), !zz(X).").unwrap();
+    for mut e in engines(&program) {
+        let err = e.delete_rule(ghost.clone()).unwrap_err();
+        assert!(matches!(err, MaintenanceError::UnknownRule(_)), "[{}]", e.name());
+    }
+}
+
+/// The paper's ladder: on its own examples, migration never *increases*
+/// as the supports get richer: static ≥ dynamic-single ≥ dynamic-multi ≥
+/// fact-level = 0.
+#[test]
+fn migration_ordering_on_paper_examples() {
+    let cases: Vec<(Program, Fact)> = vec![
+        (paper::conf(4), fact("rejected(5)")),
+        (paper::congress(4), fact("rejected(4)")),
+        (paper::meet(3, 2), fact("rejected(paper1)")),
+    ];
+    for (program, update) in cases {
+        let mut migrated = Vec::new();
+        for mut e in engines(&program) {
+            let stats = e.insert_fact(update.clone()).unwrap();
+            migrated.push((e.name(), stats.migrated));
+            assert_matches_ground_truth(e.as_ref());
+        }
+        let get = |n: &str| migrated.iter().find(|(m, _)| *m == n).unwrap().1;
+        assert!(get("static") >= get("dynamic-single"), "{migrated:?}");
+        assert!(get("dynamic-single") >= get("dynamic-multi"), "{migrated:?}");
+        assert_eq!(get("fact-level"), 0, "{migrated:?}");
+        assert_eq!(get("recompute"), 0, "{migrated:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Replay–undo: applying a random script forward and then the inverse
+    /// script backward restores the original model, on every engine.
+    #[test]
+    fn scripts_are_reversible(seed in 0u64..500) {
+        let cfg = RandomConfig {
+            edb_rels: 2, idb_rels: 4, rules_per_rel: 2,
+            facts_per_rel: 5, domain: 4, neg_prob: 0.35,
+        };
+        let program = random_stratified(&cfg, seed);
+        let script = random_fact_script(
+            &program,
+            &ScriptConfig { len: 12, insert_prob: 0.5 },
+            seed ^ 0xabcd,
+        );
+        let inverse: Vec<Update> = script
+            .iter()
+            .rev()
+            .map(|u| match u {
+                Update::InsertFact(f) => Update::DeleteFact(f.clone()),
+                Update::DeleteFact(f) => Update::InsertFact(f.clone()),
+                other => other.clone(),
+            })
+            .collect();
+        for mut e in engines(&program) {
+            let before = e.model().sorted_facts();
+            for u in script.iter().chain(inverse.iter()) {
+                e.apply(u).unwrap();
+            }
+            prop_assert_eq!(
+                e.model().sorted_facts(),
+                before.clone(),
+                "[{}] seed {} not reversible", e.name(), seed
+            );
+        }
+    }
+}
