@@ -16,24 +16,18 @@ fn bench_saturation(c: &mut Criterion) {
     group.sample_size(10);
     for &nodes in &[8usize, 16, 32] {
         let program = synth::tc_complement(nodes, nodes * 2, 42);
-        group.bench_with_input(
-            BenchmarkId::new("naive", nodes),
-            &program,
-            |b, p| b.iter(|| black_box(StandardModel::compute_naive(p).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("seminaive", nodes),
-            &program,
-            |b, p| b.iter(|| black_box(StandardModel::compute(p).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("naive", nodes), &program, |b, p| {
+            b.iter(|| black_box(StandardModel::compute_naive(p).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("seminaive", nodes), &program, |b, p| {
+            b.iter(|| black_box(StandardModel::compute(p).unwrap()))
+        });
     }
     for &papers in &[50usize, 150] {
         let program = synth::conference(papers, papers / 8 + 2, 7);
-        group.bench_with_input(
-            BenchmarkId::new("naive/conference", papers),
-            &program,
-            |b, p| b.iter(|| black_box(StandardModel::compute_naive(p).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("naive/conference", papers), &program, |b, p| {
+            b.iter(|| black_box(StandardModel::compute_naive(p).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("seminaive/conference", papers),
             &program,

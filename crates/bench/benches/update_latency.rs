@@ -11,10 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use strata_core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
-    StaticEngine,
-};
+use strata_core::registry::EngineRegistry;
 use strata_core::{MaintenanceEngine, Update};
 use strata_datalog::Fact;
 use strata_workload::synth;
@@ -37,23 +34,16 @@ fn bench_updates(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("update_latency/conference80");
     group.sample_size(10);
-    macro_rules! bench_engine {
-        ($name:literal, $build:expr) => {
-            group.bench_function($name, |b| {
-                b.iter_batched_ref(
-                    || $build(program.clone()).expect("stratified"),
-                    |e| one_round(e, &updates),
-                    BatchSize::SmallInput,
-                )
-            });
-        };
+    let registry = EngineRegistry::standard();
+    for name in registry.names() {
+        group.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || registry.build(name, program.clone()).expect("stratified"),
+                |e| one_round(e.as_mut(), &updates),
+                BatchSize::SmallInput,
+            )
+        });
     }
-    bench_engine!("recompute", RecomputeEngine::new);
-    bench_engine!("static", StaticEngine::new);
-    bench_engine!("dynamic-single", DynamicSingleEngine::new);
-    bench_engine!("dynamic-multi", DynamicMultiEngine::new);
-    bench_engine!("cascade", CascadeEngine::new);
-    bench_engine!("fact-level", FactLevelEngine::new);
     group.finish();
 }
 

@@ -61,9 +61,7 @@ fn main() {
             factlevel.model().sorted_facts(),
             "engines must agree on {name}"
         );
-        for (strategy, (removed, migrated, support, ms)) in
-            [("cascade", c), ("fact-level", f)]
-        {
+        for (strategy, (removed, migrated, support, ms)) in [("cascade", c), ("fact-level", f)] {
             println!(
                 "{:<20} {:<14} {:>8} {:>9} {:>12.1} {:>9.2}",
                 name,
@@ -80,7 +78,10 @@ fn main() {
     // Scaling series: the bookkeeping ratio fact-level/cascade widens with
     // database size (the "prohibitive … when many facts are present" claim).
     println!("\nscaling (bill of materials, depth d, width 3):");
-    println!("{:>3} {:>8} {:>14} {:>14} {:>8}", "d", "facts", "cascadeKiB", "factlevelKiB", "ratio");
+    println!(
+        "{:>3} {:>8} {:>14} {:>14} {:>8}",
+        "d", "facts", "cascadeKiB", "factlevelKiB", "ratio"
+    );
     let mut prev_ratio = 0.0;
     let mut widening = true;
     for depth in 1..=4 {

@@ -112,11 +112,8 @@ fn main() {
     let program = synth::bom(3, 3, 9);
     let num_parts = 1 + 3 + 9 + 27;
     // Toggling stocked leaves drives real non-monotonic maintenance.
-    let mut stocked: Vec<Fact> = program
-        .facts()
-        .filter(|f| f.rel.as_str() == "in_stock")
-        .cloned()
-        .collect();
+    let mut stocked: Vec<Fact> =
+        program.facts().filter(|f| f.rel.as_str() == "in_stock").cloned().collect();
     stocked.sort();
     let mk_ops = |updates: usize, queries: usize| -> Vec<Op> {
         let mut ops = Vec::new();
@@ -132,7 +129,7 @@ fn main() {
             }));
             for _ in 0..period {
                 if qi < queries {
-                    let rel = if qi % 2 == 0 { "blocked" } else { "buildable" };
+                    let rel = if qi.is_multiple_of(2) { "blocked" } else { "buildable" };
                     let q = Fact::parse(&format!("{rel}(c{})", qi % num_parts)).unwrap();
                     ops.push(Op::Query(q));
                     qi += 1;
@@ -140,7 +137,7 @@ fn main() {
             }
         }
         while qi < queries {
-            let rel = if qi % 2 == 0 { "blocked" } else { "buildable" };
+            let rel = if qi.is_multiple_of(2) { "blocked" } else { "buildable" };
             let q = Fact::parse(&format!("{rel}(c{})", qi % num_parts)).unwrap();
             ops.push(Op::Query(q));
             qi += 1;
@@ -149,7 +146,10 @@ fn main() {
     };
 
     println!("\nmixed sessions on bom(3, 3) (updates interleaved with queries):");
-    println!("{:<16} {:>14} {:>14} {:>10}", "updates:queries", "implicit ms", "explicit ms", "winner");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "updates:queries", "implicit ms", "explicit ms", "winner"
+    );
     let mut explicit_wins_query_heavy = false;
     let mut implicit_wins_update_heavy = false;
     for (updates, queries) in [(1usize, 200usize), (5, 100), (25, 25), (50, 2)] {
@@ -158,7 +158,13 @@ fn main() {
         let (exp, h2) = explicit_session(&program, &ops);
         assert_eq!(h1, h2, "representations disagree on query answers");
         let winner = if exp <= imp { "explicit" } else { "implicit" };
-        println!("{:<16} {:>14.2} {:>14.2} {:>10}", format!("{updates}:{queries}"), imp, exp, winner);
+        println!(
+            "{:<16} {:>14.2} {:>14.2} {:>10}",
+            format!("{updates}:{queries}"),
+            imp,
+            exp,
+            winner
+        );
         if updates == 1 && exp <= imp {
             explicit_wins_query_heavy = true;
         }

@@ -20,7 +20,10 @@ fn main() {
 
     // INSERT(accepted(m)) with m ∈ Failure = {k+1..l}.
     let m = k + 2;
-    println!("{:<21} {:>10} {:>12} {:>22}", "strategy", "|M(P')|", "Δ as paper?", "rejected(m) removed?");
+    println!(
+        "{:<21} {:>10} {:>12} {:>22}",
+        "strategy", "|M(P')|", "Δ as paper?", "rejected(m) removed?"
+    );
     for mut engine in all_engines(&program) {
         let before = engine.model().clone();
         engine.apply(&Update::InsertFact(Fact::parse(&format!("accepted({m})")).unwrap())).unwrap();

@@ -20,7 +20,10 @@ fn main() {
     let program = paper::congress(l);
     let update = Update::InsertFact(Fact::parse(&format!("rejected({l})")).unwrap());
     println!("database: CONGRESS with l = {l}; update: {update}\n");
-    println!("{:<26} {:>8} {:>9} {:>22}", "variant", "removed", "migrated", "accepted(l) migrated?");
+    println!(
+        "{:<26} {:>8} {:>9} {:>22}",
+        "variant", "removed", "migrated", "accepted(l) migrated?"
+    );
 
     let mut outcomes = Vec::new();
     for (label, prefer) in [("prefer-smaller (paper)", true), ("keep-first (ablation)", false)] {
@@ -47,10 +50,7 @@ fn main() {
         outcomes.push((prefer, target_migrated, sup));
     }
     let (_, migrated_with_pref, sup) = &outcomes[0];
-    assert!(
-        !migrated_with_pref,
-        "with the preference, accepted(l) must not migrate"
-    );
+    assert!(!migrated_with_pref, "with the preference, accepted(l) must not migrate");
     assert!(
         sup.neg.plain.is_empty() && sup.neg.signed.is_empty(),
         "the kept support must be the smaller pair (Neg = ∅)"

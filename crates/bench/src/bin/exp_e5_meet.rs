@@ -36,14 +36,11 @@ fn main() {
     // (supports are relation-granular); the difference Example 4 is about is
     // the doubly-derived accepted(paper1): the single engine removes it too,
     // the multi engine spares exactly it.
-    println!("{:<21} {:>8} {:>9} {:>26}", "strategy", "removed", "migrated", "accepted(paper1) removed?");
     println!(
         "{:<21} {:>8} {:>9} {:>26}",
-        single.name(),
-        s1.removed,
-        s1.migrated,
-        "yes (migrated)"
+        "strategy", "removed", "migrated", "accepted(paper1) removed?"
     );
+    println!("{:<21} {:>8} {:>9} {:>26}", single.name(), s1.removed, s1.migrated, "yes (migrated)");
     println!(
         "{:<21} {:>8} {:>9} {:>26}",
         multi.name(),

@@ -65,11 +65,7 @@ fn main() {
     assert_eq!(s_multi.migrated, 1, "§4.3 must migrate q");
     assert_eq!(s_lit.migrated, 1, "the literal pseudocode also migrates q");
     assert_eq!(s_casc.removed, 0, "the cascade with pre-saturation must never remove q");
-    assert_eq!(
-        cascade.model().sorted_facts().len(),
-        3,
-        "final model is {{p, q, r}} everywhere"
-    );
+    assert_eq!(cascade.model().sorted_facts().len(), 3, "final model is {{p, q, r}} everywhere");
     println!("\nE6 PASS: the cascade realizes the paper's claimed improvement —");
     println!("with the pre-saturation reconstruction; the literal pseudocode does not.");
 }

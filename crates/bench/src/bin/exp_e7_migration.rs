@@ -29,9 +29,8 @@ fn main() {
         println!("\nworkload {name}: {} updates", script.len());
         let results = compare_all(program, &script);
         print_table(name, &results);
-        let by_name = |n: &str| {
-            results.iter().find(|r| r.name == n).map(|r| r.total.migrated).unwrap()
-        };
+        let by_name =
+            |n: &str| results.iter().find(|r| r.name == n).map(|r| r.total.migrated).unwrap();
         let (stat, single, multi, casc) = (
             by_name("static"),
             by_name("dynamic-single"),

@@ -25,11 +25,7 @@ fn main() {
         let results = compare_all(&program, &script);
         print_table(&format!("conference({papers})"), &results);
         let ms = |n: &str| {
-            results
-                .iter()
-                .find(|r| r.name == n)
-                .map(|r| r.elapsed.as_secs_f64() * 1e3)
-                .unwrap()
+            results.iter().find(|r| r.name == n).map(|r| r.elapsed.as_secs_f64() * 1e3).unwrap()
         };
         cascade_vs_recompute.push((papers, ms("recompute"), ms("cascade")));
     }
@@ -72,12 +68,10 @@ fn main() {
             }
             t.elapsed().as_secs_f64() * 1e3
         };
-        let rec = time(Box::new(
-            strata_core::strategy::RecomputeEngine::new(program.clone()).unwrap(),
-        ));
-        let casc = time(Box::new(
-            strata_core::strategy::CascadeEngine::new(program.clone()).unwrap(),
-        ));
+        let rec =
+            time(Box::new(strata_core::strategy::RecomputeEngine::new(program.clone()).unwrap()));
+        let casc =
+            time(Box::new(strata_core::strategy::CascadeEngine::new(program.clone()).unwrap()));
         println!("{:>4} {:>12.2} {:>10.2} {:>10.2}", k, rec, casc, rec / casc);
         ratios.push(rec / casc);
     }
@@ -85,10 +79,7 @@ fn main() {
         ratios.last().unwrap() > ratios.first().unwrap(),
         "the incremental advantage must grow with the number of unaffected departments"
     );
-    assert!(
-        ratios.last().unwrap() > &1.0,
-        "cascade must beat recompute when updates are local"
-    );
+    assert!(ratios.last().unwrap() > &1.0, "cascade must beat recompute when updates are local");
     println!("\nE8 PASS: support memory ranks cascade < dynamic-single < dynamic-multi;");
     println!("the incremental advantage grows with the share of unaffected strata.");
 }

@@ -152,16 +152,6 @@ impl From<MaintenanceError> for GuardError {
     }
 }
 
-/// The inverse of a fact/rule update (used for rollback).
-fn inverse(update: &Update) -> Update {
-    match update {
-        Update::InsertFact(f) => Update::DeleteFact(f.clone()),
-        Update::DeleteFact(f) => Update::InsertFact(f.clone()),
-        Update::InsertRule(r) => Update::DeleteRule(r.clone()),
-        Update::DeleteRule(r) => Update::InsertRule(r.clone()),
-    }
-}
-
 /// A maintenance engine guarded by integrity constraints.
 ///
 /// The initial database is *not* required to satisfy the constraints
@@ -237,8 +227,67 @@ impl<E: MaintenanceEngine> GuardedEngine<E> {
                     witness: c.render_violation(&row),
                 };
                 self.inner
-                    .apply(&inverse(update))
+                    .apply(&crate::engine::invert(update))
                     .expect("inverse of an accepted update must apply");
+                return Err(err);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Applies a batch of updates as one guarded transaction: the engine's
+    /// [`MaintenanceEngine::apply_all`] runs the whole batch (with its own
+    /// prefix rollback on engine-level rejection), and the constraints are
+    /// checked once against the **final** state. A batch may therefore pass
+    /// through intermediate states that would violate a constraint, as long
+    /// as the end state does not — the transactional reading of denials.
+    /// On a new violation the entire batch is rolled back.
+    pub fn apply_all(&mut self, updates: &[Update]) -> Result<UpdateStats, GuardError> {
+        if self.constraints.is_empty() {
+            return Ok(self.inner.apply_all(updates)?);
+        }
+        // Record the rollback trail *before* applying: inserts of facts
+        // already asserted at that point in the batch are no-ops whose
+        // inverse would wrongly retract a pre-existing fact. Assertedness
+        // is tracked as a batch-local overlay over the program (O(|batch|),
+        // not a clone of the fact base).
+        let mut overlay: rustc_hash::FxHashMap<Fact, bool> = rustc_hash::FxHashMap::default();
+        let mut trail: Vec<Update> = Vec::with_capacity(updates.len());
+        for u in updates {
+            match crate::engine::normalize(u) {
+                Update::InsertFact(f) => {
+                    let already = overlay
+                        .get(&f)
+                        .copied()
+                        .unwrap_or_else(|| self.inner.program().is_asserted(&f));
+                    if !already {
+                        overlay.insert(f.clone(), true);
+                        trail.push(Update::InsertFact(f));
+                    }
+                }
+                Update::DeleteFact(f) => {
+                    overlay.insert(f.clone(), false);
+                    trail.push(Update::DeleteFact(f));
+                }
+                other => trail.push(other),
+            }
+        }
+        let before: Vec<(usize, Row)> = self.constraints.all_violations(self.inner.model());
+        let stats = self.inner.apply_all(updates)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            for row in c.violations(self.inner.model()) {
+                if before.iter().any(|(j, r)| *j == i && *r == row) {
+                    continue;
+                }
+                let err = GuardError::Violated {
+                    constraint: c.to_string(),
+                    witness: c.render_violation(&row),
+                };
+                for done in trail.iter().rev() {
+                    self.inner
+                        .apply(&crate::engine::invert(done))
+                        .expect("inverse of an applied update must apply");
+                }
                 return Err(err);
             }
         }
@@ -312,10 +361,8 @@ mod tests {
     fn violating_update_rolled_back() {
         // `rejected` is asserted directly here, so accepting 3 would
         // coexist with its rejection — forbidden.
-        let mut g = guarded(
-            "submitted(3). rejected(3).",
-            &[":- submitted(X), rejected(X), accepted(X)."],
-        );
+        let mut g =
+            guarded("submitted(3). rejected(3).", &[":- submitted(X), rejected(X), accepted(X)."]);
         let before = g.model().sorted_facts();
         let err = g.insert_fact(fact("accepted(3)")).unwrap_err();
         let GuardError::Violated { constraint, witness } = &err else {
@@ -342,13 +389,8 @@ mod tests {
 
     #[test]
     fn rule_updates_guarded() {
-        let mut g = guarded(
-            "e(1). ok(1).",
-            &[":- bad(X)."],
-        );
-        let err = g
-            .insert_rule(Rule::parse("bad(X) :- e(X), !missing(X).").unwrap())
-            .unwrap_err();
+        let mut g = guarded("e(1). ok(1).", &[":- bad(X)."]);
+        let err = g.insert_rule(Rule::parse("bad(X) :- e(X), !missing(X).").unwrap()).unwrap_err();
         assert!(matches!(err, GuardError::Violated { .. }));
         assert_eq!(g.program().num_rules(), 0, "rule insertion rolled back");
         // A harmless rule passes.
@@ -368,10 +410,9 @@ mod tests {
     fn pre_existing_violations_are_tolerated() {
         // Legacy data violates the denial; unrelated updates still work,
         // and the update may NOT add a *new* violation.
-        let engine = CascadeEngine::new(
-            Program::parse("conflict(1). conflict(2). other(5).").unwrap(),
-        )
-        .unwrap();
+        let engine =
+            CascadeEngine::new(Program::parse("conflict(1). conflict(2). other(5).").unwrap())
+                .unwrap();
         let mut g = GuardedEngine::unconstrained(engine);
         // add_constraint refuses a violated constraint…
         let c = Constraint::parse(":- conflict(X).").unwrap();
@@ -379,15 +420,74 @@ mod tests {
         // …but a force-installed set tolerates old violations.
         let mut set = ConstraintSet::new();
         set.add(c);
-        let engine = CascadeEngine::new(
-            Program::parse("conflict(1). conflict(2). other(5).").unwrap(),
-        )
-        .unwrap();
+        let engine =
+            CascadeEngine::new(Program::parse("conflict(1). conflict(2). other(5).").unwrap())
+                .unwrap();
         let mut g = GuardedEngine::new(engine, set);
         g.insert_fact(fact("other(6)")).unwrap();
         let err = g.insert_fact(fact("conflict(3)")).unwrap_err();
         assert!(matches!(err, GuardError::Violated { .. }));
         assert!(!g.model().contains_parsed("conflict(3)"));
+    }
+
+    #[test]
+    fn guarded_batch_checks_only_the_final_state() {
+        // accepted(1) + rejected(1) coexisting is forbidden, but a batch
+        // may pass through that state as long as it ends clean.
+        let mut g = guarded("submitted(1). rejected(1).", &[":- accepted(X), rejected(X)."]);
+        g.apply_all(&[
+            Update::InsertFact(fact("accepted(1)")),
+            Update::DeleteFact(fact("rejected(1)")),
+        ])
+        .unwrap();
+        assert!(g.model().contains_parsed("accepted(1)"));
+        assert!(!g.model().contains_parsed("rejected(1)"));
+    }
+
+    #[test]
+    fn guarded_batch_rolls_back_whole_transaction_on_violation() {
+        let mut g =
+            guarded("submitted(1). submitted(2). rejected(2).", &[":- accepted(X), rejected(X)."]);
+        let before = g.model().sorted_facts();
+        // The first two updates are fine; the last leaves accepted(2)
+        // coexisting with rejected(2) in the final state.
+        let err = g
+            .apply_all(&[
+                Update::InsertFact(fact("accepted(1)")),
+                Update::InsertFact(fact("submitted(3)")),
+                Update::InsertFact(fact("accepted(2)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GuardError::Violated { .. }), "{err}");
+        assert_eq!(g.model().sorted_facts(), before, "whole batch rolled back");
+        assert_matches_ground_truth(g.inner());
+    }
+
+    #[test]
+    fn guarded_batch_rollback_spares_preexisting_facts() {
+        // Re-inserting an already-asserted fact is a no-op: when the batch
+        // is rolled back, that fact must survive.
+        let mut g = guarded("submitted(1). rejected(2).", &[":- accepted(X), rejected(X)."]);
+        let err = g
+            .apply_all(&[
+                Update::InsertFact(fact("submitted(1)")), // no-op insert
+                Update::InsertFact(fact("accepted(2)")),  // violates
+            ])
+            .unwrap_err();
+        assert!(matches!(err, GuardError::Violated { .. }));
+        assert!(g.model().contains_parsed("submitted(1)"), "pre-existing fact survived");
+        assert!(!g.model().contains_parsed("accepted(2)"));
+    }
+
+    #[test]
+    fn guarded_batch_engine_rejection_passes_through() {
+        let mut g = guarded("e(1).", &[":- bad(X)."]);
+        let before = g.model().sorted_facts();
+        let err = g
+            .apply_all(&[Update::InsertFact(fact("e(2)")), Update::DeleteFact(fact("ghost(9)"))])
+            .unwrap_err();
+        assert!(matches!(err, GuardError::Engine(MaintenanceError::NotAsserted(_))));
+        assert_eq!(g.model().sorted_facts(), before, "engine prefix rollback held");
     }
 
     #[test]
@@ -397,9 +497,8 @@ mod tests {
         set.add_parsed(":- a(X), b(X).").unwrap();
         set.add_parsed(":- c(X).").unwrap();
         assert_eq!(set.len(), 2);
-        let db = Database::from_facts(
-            ["a(1)", "b(1)", "c(9)"].iter().map(|s| Fact::parse(s).unwrap()),
-        );
+        let db =
+            Database::from_facts(["a(1)", "b(1)", "c(9)"].iter().map(|s| Fact::parse(s).unwrap()));
         let all = set.all_violations(&db);
         assert_eq!(all.len(), 2);
         let (i, c, row) = set.first_violation(&db).unwrap();

@@ -94,40 +94,17 @@ pub trait MaintenanceEngine {
     /// Applies one update, returning what it did.
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError>;
 
-    /// Applies a batch of updates atomically, returning aggregate
-    /// statistics: on the first rejected update the already-applied prefix
-    /// is rolled back (by inverse updates) and the error returned, leaving
-    /// the engine unchanged.
+    /// The batch-update transaction entry point: applies `updates` as one
+    /// atomic group, returning aggregate statistics. On the first rejected
+    /// update the already-applied prefix is rolled back (by inverse
+    /// updates) and the error returned — a rejected batch leaves the
+    /// engine exactly as it was.
     ///
     /// The default implementation is sequential; engines may override it
     /// with a single removal/saturation pass (see `CascadeEngine`, which
     /// walks the strata once for the whole batch).
-    fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
-        let mut total = UpdateStats::default();
-        let mut applied: Vec<Update> = Vec::new();
-        for u in updates {
-            // Inserting an already-asserted fact is a no-op whose inverse
-            // would wrongly retract a pre-existing fact: exclude from the
-            // rollback trail.
-            let noop = matches!(
-                &normalize(u), Update::InsertFact(f) if self.program().is_asserted(f)
-            );
-            match self.apply(u) {
-                Ok(stats) => {
-                    total.accumulate(&stats);
-                    if !noop {
-                        applied.push(u.clone());
-                    }
-                }
-                Err(e) => {
-                    for done in applied.iter().rev() {
-                        self.apply(&invert(done)).expect("inverse of applied update");
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        Ok(total)
+    fn apply_all(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
+        apply_all_sequential(self, updates)
     }
 
     /// Convenience: [`Update::InsertFact`].
@@ -151,7 +128,52 @@ pub trait MaintenanceEngine {
     }
 }
 
-/// The inverse of an update (prefix rollback for [`MaintenanceEngine::apply_batch`]).
+/// The sequential batch transaction: apply one by one, accumulating, and
+/// roll back the applied prefix on the first rejection. This is the
+/// [`MaintenanceEngine::apply_all`] default, shared as a free function so
+/// overrides (e.g. the cascade's mixed-batch fallback) reuse it instead of
+/// duplicating the rollback-trail logic.
+pub(crate) fn apply_all_sequential<E: MaintenanceEngine + ?Sized>(
+    engine: &mut E,
+    updates: &[Update],
+) -> Result<UpdateStats, MaintenanceError> {
+    let mut total = UpdateStats::default();
+    let mut applied: Vec<Update> = Vec::new();
+    for u in updates {
+        // Inserting an already-asserted fact is a no-op whose inverse
+        // would wrongly retract a pre-existing fact: exclude from the
+        // rollback trail.
+        let noop = matches!(
+            &normalize(u), Update::InsertFact(f) if engine.program().is_asserted(f)
+        );
+        match engine.apply(u) {
+            Ok(stats) => {
+                total.accumulate(&stats);
+                if !noop {
+                    applied.push(u.clone());
+                }
+            }
+            Err(e) => {
+                for done in applied.iter().rev() {
+                    engine.apply(&invert(done)).expect("inverse of applied update");
+                }
+                return Err(e);
+            }
+        }
+    }
+    Ok(total)
+}
+
+impl fmt::Debug for dyn MaintenanceEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaintenanceEngine")
+            .field("name", &self.name())
+            .field("model_facts", &self.model().len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The inverse of an update (prefix rollback for [`MaintenanceEngine::apply_all`]).
 pub(crate) fn invert(update: &Update) -> Update {
     match update {
         Update::InsertFact(f) => Update::DeleteFact(f.clone()),
@@ -180,6 +202,13 @@ impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
 
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
         self.as_mut().apply(update)
+    }
+
+    // Forwarded explicitly so a boxed engine keeps its concrete batch
+    // override (e.g. the cascade's single stratum walk) instead of the
+    // sequential default.
+    fn apply_all(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
+        self.as_mut().apply_all(updates)
     }
 }
 

@@ -166,10 +166,8 @@ impl Explainer {
         if self.asserted.contains(fact) {
             return Explanation::Asserted(fact.clone());
         }
-        let step = self
-            .first
-            .get(fact)
-            .expect("every non-asserted model fact has a recorded derivation");
+        let step =
+            self.first.get(fact).expect("every non-asserted model fact has a recorded derivation");
         Explanation::Derived {
             fact: fact.clone(),
             rule_text: step.rule_text.clone(),

@@ -12,18 +12,28 @@
 //!
 //! ## The strategies
 //!
-//! | engine | paper § | support attached to each fact |
-//! |--------|---------|-------------------------------|
-//! | [`strategy::RecomputeEngine`] | baseline | none (recompute from scratch) |
-//! | [`strategy::StaticEngine`] | 4.1 | none (uses static `Pos`/`Neg` relation sets) |
-//! | [`strategy::DynamicSingleEngine`] | 4.2 | one `Pos`/`Neg` pair with signed relations |
-//! | [`strategy::DynamicMultiEngine`] | 4.3 | a set of support pairs, one per derivation |
-//! | [`strategy::CascadeEngine`] | 5.1 | one-level rule pointers, strata cascaded |
+//! | engine | name | paper § | support attached to each fact |
+//! |--------|------|---------|-------------------------------|
+//! | [`strategy::RecomputeEngine`] | `recompute` | baseline | none (recompute from scratch) |
+//! | [`strategy::StaticEngine`] | `static` | 4.1 | none (uses static `Pos`/`Neg` relation sets) |
+//! | [`strategy::DynamicSingleEngine`] | `dynamic-single` | 4.2 | one `Pos`/`Neg` pair with signed relations |
+//! | [`strategy::DynamicMultiEngine`] | `dynamic-multi` | 4.3 | a set of support pairs, one per derivation |
+//! | [`strategy::CascadeEngine`] | `cascade` | 5.1 | one-level rule pointers, strata cascaded |
+//! | [`strategy::FactLevelEngine`] | `fact-level` | 5.2 | full fact-level supports (zero migration) |
 //!
-//! All five implement [`engine::MaintenanceEngine`] and agree on the
+//! All six implement [`engine::MaintenanceEngine`] and agree on the
 //! resulting model (checked extensively by tests); they differ in how much
 //! **migration** (erroneous removal followed by re-derivation) and
 //! bookkeeping each update costs — the trade-off the paper studies.
+//!
+//! The **name** column is the key in [`registry::EngineRegistry`], the one
+//! place strategy names map to constructors: runtime strategy selection
+//! (the `strata` shell, the bench harness, the equivalence tests) builds
+//! `Box<dyn MaintenanceEngine>` through the registry instead of matching on
+//! names locally. Updates are applied one at a time with
+//! [`engine::MaintenanceEngine::apply`] or as an atomic batch with
+//! [`engine::MaintenanceEngine::apply_all`], whose rejection semantics
+//! (reject leaves the engine unchanged) every engine shares.
 //!
 //! ## Quick example
 //!
@@ -48,10 +58,12 @@ pub mod analysis;
 pub mod constraints;
 pub mod engine;
 pub mod explain;
+pub mod registry;
 pub mod stats;
 pub mod strategy;
 pub mod support;
 pub mod verify;
 
 pub use engine::{MaintenanceEngine, MaintenanceError, Update};
+pub use registry::{EngineRegistry, RegistryError};
 pub use stats::UpdateStats;

@@ -333,7 +333,12 @@ impl CascadeEngine {
         }
         let mut sink = CascadeSink { supports: &mut self.supports };
         let mut dstats = DeltaStats::default();
-        seminaive::saturate(&mut self.model, self.analysis.strata().rules_of(s), &mut sink, &mut dstats);
+        seminaive::saturate(
+            &mut self.model,
+            self.analysis.strata().rules_of(s),
+            &mut sink,
+            &mut dstats,
+        );
         *derivs += dstats.firings;
         // Net diff against the pre-sweep residents.
         for f in &resident {
@@ -406,12 +411,7 @@ impl CascadeEngine {
         new_facts
     }
 
-    fn finish(
-        &self,
-        removed: FxHashSet<Fact>,
-        added: FxHashSet<Fact>,
-        derivs: u64,
-    ) -> UpdateStats {
+    fn finish(&self, removed: FxHashSet<Fact>, added: FxHashSet<Fact>, derivs: u64) -> UpdateStats {
         UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
     }
 }
@@ -475,42 +475,12 @@ impl MaintenanceEngine for CascadeEngine {
     /// all program changes are validated and staged first, then a single
     /// cascade propagates the combined deltas. Batches containing rule
     /// updates fall back to the default sequential path.
-    fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
+    fn apply_all(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
         let normalized: Vec<Update> = updates.iter().map(normalize).collect();
-        if normalized
-            .iter()
-            .any(|u| matches!(u, Update::InsertRule(_) | Update::DeleteRule(_)))
-        {
+        if normalized.iter().any(|u| matches!(u, Update::InsertRule(_) | Update::DeleteRule(_))) {
             // Mixed batches: sequential default (rule updates rebuild the
             // analysis, which invalidates a shared stratum walk).
-            let mut total = UpdateStats::default();
-            let mut applied: Vec<Update> = Vec::new();
-            for u in updates {
-                let noop = matches!(
-                    &normalize(u), Update::InsertFact(f) if self.program.is_asserted(f)
-                );
-                match self.apply(u) {
-                    Ok(stats) => {
-                        total.accumulate(&stats);
-                        if !noop {
-                            applied.push(u.clone());
-                        }
-                    }
-                    Err(e) => {
-                        for done in applied.iter().rev() {
-                            let inv = match done {
-                                Update::InsertFact(f) => Update::DeleteFact(f.clone()),
-                                Update::DeleteFact(f) => Update::InsertFact(f.clone()),
-                                Update::InsertRule(r) => Update::DeleteRule(r.clone()),
-                                Update::DeleteRule(r) => Update::InsertRule(r.clone()),
-                            };
-                            self.apply(&inv).expect("inverse of applied update");
-                        }
-                        return Err(e);
-                    }
-                }
-            }
-            return Ok(total);
+            return crate::engine::apply_all_sequential(self, updates);
         }
 
         // Stage 1: validate & apply all program changes (rolled back in
@@ -523,7 +493,10 @@ impl MaintenanceEngine for CascadeEngine {
                     if self.program.is_asserted(f) {
                         continue; // no-op inside the batch
                     }
-                    self.program.assert_fact(f.clone()).map(|_| ()).map_err(MaintenanceError::Datalog)
+                    self.program
+                        .assert_fact(f.clone())
+                        .map(|_| ())
+                        .map_err(MaintenanceError::Datalog)
                 }
                 Update::DeleteFact(f) => retract_checked(&mut self.program, f),
                 _ => unreachable!("rule updates handled above"),
@@ -544,11 +517,10 @@ impl MaintenanceEngine for CascadeEngine {
             }
             staged.push(u.clone());
         }
-        let introduces_new_rel =
-            staged.iter().any(|u| match u {
-                Update::InsertFact(f) => self.analysis.rel(f.rel).is_none(),
-                _ => false,
-            });
+        let introduces_new_rel = staged.iter().any(|u| match u {
+            Update::InsertFact(f) => self.analysis.rel(f.rel).is_none(),
+            _ => false,
+        });
         if introduces_new_rel {
             self.rebuild_all().expect("fact insertion cannot unstratify");
         }

@@ -243,12 +243,7 @@ impl DynamicMultiEngine {
         Ok(())
     }
 
-    fn finish(
-        &self,
-        removed: FxHashSet<Fact>,
-        added: FxHashSet<Fact>,
-        derivs: u64,
-    ) -> UpdateStats {
+    fn finish(&self, removed: FxHashSet<Fact>, added: FxHashSet<Fact>, derivs: u64) -> UpdateStats {
         UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
     }
 }
@@ -323,9 +318,8 @@ impl MaintenanceEngine for DynamicMultiEngine {
                 if let Err(e) = self.rebuild_analysis() {
                     self.program.remove_rule(id);
                     self.analysis = old;
-                    let MaintenanceError::Datalog(
-                        strata_datalog::DatalogError::Stratification(s),
-                    ) = e
+                    let MaintenanceError::Datalog(strata_datalog::DatalogError::Stratification(s)) =
+                        e
                     else {
                         return Err(e);
                     };

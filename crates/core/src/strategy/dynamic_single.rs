@@ -95,10 +95,7 @@ impl DerivationSink for SingleSink<'_> {
             Entry::Occupied(mut o) => {
                 // "We keep its old pair of Pos and Neg sets unless the new
                 // pair is pairwise smaller than the old one."
-                if self.config.prefer_smaller
-                    && pair.pairwise_subset(o.get())
-                    && &pair != o.get()
-                {
+                if self.config.prefer_smaller && pair.pairwise_subset(o.get()) && &pair != o.get() {
                     o.insert(pair);
                     true
                 } else {
@@ -246,12 +243,7 @@ impl DynamicSingleEngine {
         Ok(())
     }
 
-    fn finish(
-        &self,
-        removed: FxHashSet<Fact>,
-        added: FxHashSet<Fact>,
-        derivs: u64,
-    ) -> UpdateStats {
+    fn finish(&self, removed: FxHashSet<Fact>, added: FxHashSet<Fact>, derivs: u64) -> UpdateStats {
         UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
     }
 }
@@ -324,9 +316,8 @@ impl MaintenanceEngine for DynamicSingleEngine {
                 if let Err(e) = self.rebuild_analysis() {
                     self.program.remove_rule(id);
                     self.analysis = old;
-                    let MaintenanceError::Datalog(
-                        strata_datalog::DatalogError::Stratification(s),
-                    ) = e
+                    let MaintenanceError::Datalog(strata_datalog::DatalogError::Stratification(s)) =
+                        e
                     else {
                         return Err(e);
                     };

@@ -58,8 +58,7 @@ impl FactEntry {
 
     /// Whether the witness stands: leaves asserted, absences absent.
     fn valid(&self, asserted: &FxHashSet<Fact>, model: &Database) -> bool {
-        self.pos.iter().all(|f| asserted.contains(f))
-            && self.neg.iter().all(|f| !model.contains(f))
+        self.pos.iter().all(|f| asserted.contains(f)) && self.neg.iter().all(|f| !model.contains(f))
     }
 
     fn heap_bytes(&self) -> usize {
@@ -312,12 +311,7 @@ impl FactLevelEngine {
         Ok(())
     }
 
-    fn finish(
-        &self,
-        removed: FxHashSet<Fact>,
-        added: FxHashSet<Fact>,
-        derivs: u64,
-    ) -> UpdateStats {
+    fn finish(&self, removed: FxHashSet<Fact>, added: FxHashSet<Fact>, derivs: u64) -> UpdateStats {
         UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
     }
 }
@@ -376,9 +370,8 @@ impl MaintenanceEngine for FactLevelEngine {
                 if let Err(e) = self.rebuild_analysis() {
                     self.program.remove_rule(id);
                     self.analysis = old;
-                    let MaintenanceError::Datalog(
-                        strata_datalog::DatalogError::Stratification(s),
-                    ) = e
+                    let MaintenanceError::Datalog(strata_datalog::DatalogError::Stratification(s)) =
+                        e
                     else {
                         return Err(e);
                     };

@@ -29,10 +29,7 @@ use strata_datalog::{Database, Fact, Program, Rule, RuleId, Symbol};
 use crate::engine::MaintenanceError;
 
 /// Validates and performs a fact retraction on the program.
-pub(crate) fn retract_checked(
-    program: &mut Program,
-    fact: &Fact,
-) -> Result<(), MaintenanceError> {
+pub(crate) fn retract_checked(program: &mut Program, fact: &Fact) -> Result<(), MaintenanceError> {
     if !program.is_asserted(fact) {
         return Err(MaintenanceError::NotAsserted(fact.clone()));
     }

@@ -97,8 +97,7 @@ impl MaintenanceEngine for RecomputeEngine {
         // No removal phase exists: report the net difference, zero migration.
         let removed: FxHashSet<Fact> =
             old.iter_facts().filter(|f| !self.model.contains(f)).collect();
-        let added: FxHashSet<Fact> =
-            self.model.iter_facts().filter(|f| !old.contains(f)).collect();
+        let added: FxHashSet<Fact> = self.model.iter_facts().filter(|f| !old.contains(f)).collect();
         Ok(UpdateStats::from_sets(&removed, &added, firings, 0))
     }
 }

@@ -72,12 +72,7 @@ impl StaticEngine {
         Ok(())
     }
 
-    fn finish(
-        &self,
-        removed: FxHashSet<Fact>,
-        added: FxHashSet<Fact>,
-        derivs: u64,
-    ) -> UpdateStats {
+    fn finish(&self, removed: FxHashSet<Fact>, added: FxHashSet<Fact>, derivs: u64) -> UpdateStats {
         UpdateStats::from_sets(&removed, &added, derivs, self.support_bytes())
     }
 }
@@ -147,9 +142,8 @@ impl MaintenanceEngine for StaticEngine {
                 if let Err(e) = self.rebuild_analysis() {
                     self.program.remove_rule(id);
                     self.analysis = old;
-                    let MaintenanceError::Datalog(
-                        strata_datalog::DatalogError::Stratification(s),
-                    ) = e
+                    let MaintenanceError::Datalog(strata_datalog::DatalogError::Stratification(s)) =
+                        e
                     else {
                         return Err(e);
                     };
@@ -172,11 +166,8 @@ impl MaintenanceEngine for StaticEngine {
                 remove_rel_facts(&mut self.model, affected.iter().copied(), &mut removed);
                 self.program.remove_rule(id);
                 self.rebuild_analysis().expect("rule deletion cannot unstratify");
-                let start = affected
-                    .iter()
-                    .map(|&rel| self.analysis.stratum_of(rel))
-                    .min()
-                    .unwrap_or(0);
+                let start =
+                    affected.iter().map(|&rel| self.analysis.stratum_of(rel)).min().unwrap_or(0);
                 self.resaturate_from(start, &mut added, &mut derivs);
             }
         }

@@ -428,10 +428,8 @@ mod tests {
         // RuleIds come from Programs; build one for testing.
         let mut p = strata_datalog::Program::new();
         for k in 0..=i {
-            p.add_rule(
-                strata_datalog::Rule::parse(&format!("r{k}(X) :- s{k}(X).")).unwrap(),
-            )
-            .unwrap();
+            p.add_rule(strata_datalog::Rule::parse(&format!("r{k}(X) :- s{k}(X).")).unwrap())
+                .unwrap();
         }
         p.rules().last().unwrap().0
     }

@@ -79,9 +79,8 @@ fn make_plan(rule: &Rule, delta_idx: Option<usize>) -> Plan {
             .enumerate()
             .max_by_key(|(_, &i)| {
                 let lit = &rule.body[i];
-                let score: usize =
-                    lit.atom.vars().filter(|v| bound.contains(v)).count() * 2
-                        + lit.atom.terms.iter().filter(|t| !t.is_var()).count();
+                let score: usize = lit.atom.vars().filter(|v| bound.contains(v)).count() * 2
+                    + lit.atom.terms.iter().filter(|t| !t.is_var()).count();
                 // Prefer more-bound literals; ties go to the earliest, which
                 // `max_by_key` gives us by scanning order when scores tie is
                 // not guaranteed, so bias with reverse index.
@@ -124,12 +123,8 @@ pub fn for_each_match_seeded<F>(
 }
 
 /// [`for_each_match_seeded`] with no seed bindings.
-pub fn for_each_match<F>(
-    db: &Database,
-    rule: &Rule,
-    delta: Option<(usize, &Relation)>,
-    callback: F,
-) where
+pub fn for_each_match<F>(db: &Database, rule: &Rule, delta: Option<(usize, &Relation)>, callback: F)
+where
     F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
 {
     for_each_match_seeded(db, rule, delta, &[], callback);
@@ -288,9 +283,8 @@ where
         }
         neg_facts.push(fact);
     }
-    let head = bindings
-        .substitute(&rule.head)
-        .expect("head not ground at finish; rule safety violated");
+    let head =
+        bindings.substitute(&rule.head).expect("head not ground at finish; rule safety violated");
     callback(head, pos_facts, &neg_facts)
 }
 
@@ -324,10 +318,7 @@ mod tests {
     #[test]
     fn join_two_literals() {
         let db = db("e(1, 2). e(2, 3). e(3, 4).");
-        assert_eq!(
-            all_heads(&db, "p(X, Z) :- e(X, Y), e(Y, Z)."),
-            vec!["p(1, 3)", "p(2, 4)"]
-        );
+        assert_eq!(all_heads(&db, "p(X, Z) :- e(X, Y), e(Y, Z)."), vec!["p(1, 3)", "p(2, 4)"]);
     }
 
     #[test]
@@ -472,9 +463,6 @@ mod tests {
     #[test]
     fn self_join_same_relation() {
         let dbase = db("e(1, 2). e(2, 1).");
-        assert_eq!(
-            all_heads(&dbase, "p(X) :- e(X, Y), e(Y, X)."),
-            vec!["p(1)", "p(2)"]
-        );
+        assert_eq!(all_heads(&dbase, "p(X) :- e(X, Y), e(Y, X)."), vec!["p(1)", "p(2)"]);
     }
 }

@@ -34,10 +34,7 @@ pub struct DeltaStats {
 pub(crate) fn group_deltas(facts: &[Fact]) -> FxHashMap<Symbol, Relation> {
     let mut by_rel: FxHashMap<Symbol, Relation> = FxHashMap::default();
     for f in facts {
-        by_rel
-            .entry(f.rel)
-            .or_insert_with(|| Relation::new(f.arity()))
-            .insert(f.args.clone());
+        by_rel.entry(f.rel).or_insert_with(|| Relation::new(f.arity())).insert(f.args.clone());
     }
     by_rel
 }

@@ -134,8 +134,8 @@ impl DepGraph {
         }
         // `rev` entries may hold stale signs when a later rule adds the other
         // polarity; rebuild them from the forward arcs for consistency.
-        for r in 0..n {
-            for (&q, &sign) in &arcs[r] {
+        for (r, row) in arcs.iter().enumerate().take(n) {
+            for (&q, &sign) in row {
                 rev[q as usize].insert(r as u32, sign);
             }
         }
@@ -444,8 +444,7 @@ mod tests {
         let g = DepGraph::build(&p);
         let ix = g.rel_index();
         let sccs = g.sccs();
-        let pos =
-            |r: &str| sccs.iter().position(|c| c.contains(&ix.of(r.into()))).unwrap();
+        let pos = |r: &str| sccs.iter().position(|c| c.contains(&ix.of(r.into()))).unwrap();
         assert!(pos("c") < pos("b"));
         assert!(pos("b") < pos("a"));
     }
@@ -487,9 +486,8 @@ mod tests {
 
     #[test]
     fn by_levels_stratification() {
-        let p = program(
-            "e(1). p(X) :- e(X). q(X) :- e(X), !p(X). r(X) :- e(X), !q(X). s(X) :- r(X).",
-        );
+        let p =
+            program("e(1). p(X) :- e(X). q(X) :- e(X), !p(X). r(X) :- e(X), !q(X). s(X) :- r(X).");
         let g = DepGraph::build(&p);
         let s = Stratification::by_levels(&g).unwrap();
         let ix = g.rel_index();

@@ -132,8 +132,7 @@ fn ground_rule_into(
     }
     // Odometer over |domain|^|vars| assignments.
     let mut counters = vec![0usize; vars.len()];
-    let mut binding: FxHashMap<Symbol, Value> =
-        vars.iter().map(|&v| (v, domain[0])).collect();
+    let mut binding: FxHashMap<Symbol, Value> = vars.iter().map(|&v| (v, domain[0])).collect();
     loop {
         for (i, &v) in vars.iter().enumerate() {
             binding.insert(v, domain[counters[i]]);

@@ -167,10 +167,7 @@ impl StandardModel {
     }
 
     /// Computes `M(P)` with a chosen stratification kind.
-    pub fn compute_with(
-        program: &Program,
-        kind: StratKind,
-    ) -> Result<StandardModel, DatalogError> {
+    pub fn compute_with(program: &Program, kind: StratKind) -> Result<StandardModel, DatalogError> {
         let strata = Strata::build(program, kind)?;
         let mut db = Database::new();
         construct_seminaive(&strata, &mut db, &mut NullNewFact);
@@ -208,12 +205,7 @@ impl StandardModel {
             if program.is_asserted(&f) {
                 return true;
             }
-            crate::eval::incremental::rederive(
-                &self.db,
-                &all_rules(program),
-                &f,
-            )
-            .is_some()
+            crate::eval::incremental::rederive(&self.db, &all_rules(program), &f).is_some()
         })
     }
 }
@@ -249,8 +241,7 @@ mod tests {
     #[test]
     fn negation_chain_model() {
         let m = model("p1 :- !p0. p2 :- !p1. p3 :- !p2.");
-        let facts: Vec<String> =
-            m.db().sorted_facts().iter().map(ToString::to_string).collect();
+        let facts: Vec<String> = m.db().sorted_facts().iter().map(ToString::to_string).collect();
         assert_eq!(facts, vec!["p1", "p3"]);
     }
 
@@ -258,8 +249,7 @@ mod tests {
     #[test]
     fn cascade_example_model() {
         let m = model("r :- p. q :- r. q :- !p.");
-        let facts: Vec<String> =
-            m.db().sorted_facts().iter().map(ToString::to_string).collect();
+        let facts: Vec<String> = m.db().sorted_facts().iter().map(ToString::to_string).collect();
         assert_eq!(facts, vec!["q"]);
     }
 
@@ -348,10 +338,7 @@ mod tests {
 
     #[test]
     fn strata_grouping_is_complete() {
-        let p = Program::parse(
-            "e(1). p(X) :- e(X). q(X) :- e(X), !p(X). q(9).",
-        )
-        .unwrap();
+        let p = Program::parse("e(1). p(X) :- e(X). q(X) :- e(X), !p(X). q(9).").unwrap();
         let strata = Strata::build(&p, StratKind::ByLevels).unwrap();
         let total_rules: usize = (0..strata.num_strata()).map(|i| strata.rules_of(i).len()).sum();
         let total_facts: usize = (0..strata.num_strata()).map(|i| strata.facts_of(i).len()).sum();

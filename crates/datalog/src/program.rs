@@ -125,10 +125,7 @@ impl Program {
 
     /// Iterates over live rules with their ids.
     pub fn rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> + '_ {
-        self.rules
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().map(|r| (RuleId(i as u32), r)))
+        self.rules.iter().enumerate().filter_map(|(i, r)| r.as_ref().map(|r| (RuleId(i as u32), r)))
     }
 
     /// Live rules whose head is `rel` (the *definition* of `rel`).

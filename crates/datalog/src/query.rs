@@ -139,11 +139,7 @@ mod tests {
 
     fn rows(q: &str, dbase: &Database) -> Vec<String> {
         let query = Query::parse(q).unwrap();
-        query
-            .eval(dbase)
-            .iter()
-            .map(|r| render_row(&query, r))
-            .collect()
+        query.eval(dbase).iter().map(|r| render_row(&query, r)).collect()
     }
 
     #[test]
@@ -155,7 +151,10 @@ mod tests {
     #[test]
     fn join_query() {
         let dbase = db("e(1, 2). e(2, 3). e(3, 4).");
-        assert_eq!(rows("e(X, Y), e(Y, Z)", &dbase), vec!["X = 1, Y = 2, Z = 3", "X = 2, Y = 3, Z = 4"]);
+        assert_eq!(
+            rows("e(X, Y), e(Y, Z)", &dbase),
+            vec!["X = 1, Y = 2, Z = 3", "X = 2, Y = 3, Z = 4"]
+        );
     }
 
     #[test]

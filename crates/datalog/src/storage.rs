@@ -222,9 +222,7 @@ impl Database {
 
     /// Iterates over all facts (relation order unspecified).
     pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.rels.iter().flat_map(|(&rel, r)| {
-            r.iter().map(move |t| Fact { rel, args: t.into() })
-        })
+        self.rels.iter().flat_map(|(&rel, r)| r.iter().map(move |t| Fact { rel, args: t.into() }))
     }
 
     /// Iterates over the facts of one relation.
@@ -237,8 +235,7 @@ impl Database {
 
     /// The facts of `self` missing from `other`, sorted (for stable output).
     pub fn difference(&self, other: &Database) -> Vec<Fact> {
-        let mut out: Vec<Fact> =
-            self.iter_facts().filter(|f| !other.contains(f)).collect();
+        let mut out: Vec<Fact> = self.iter_facts().filter(|f| !other.contains(f)).collect();
         out.sort();
         out
     }

@@ -30,12 +30,7 @@ struct Interner {
 static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
 
 fn interner() -> &'static Mutex<Interner> {
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: FxHashMap::default(),
-            names: Vec::new(),
-        })
-    })
+    INTERNER.get_or_init(|| Mutex::new(Interner { map: FxHashMap::default(), names: Vec::new() }))
 }
 
 impl Symbol {

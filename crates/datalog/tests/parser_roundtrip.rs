@@ -15,10 +15,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 }
 
 fn fact_strategy() -> impl Strategy<Value = Fact> {
-    (
-        "[a-z][a-z0-9_]{0,6}",
-        proptest::collection::vec(value_strategy(), 0..4),
-    )
+    ("[a-z][a-z0-9_]{0,6}", proptest::collection::vec(value_strategy(), 0..4))
         .prop_map(|(rel, args)| Fact::new(rel.as_str(), args))
 }
 

@@ -282,11 +282,7 @@ impl Atms {
         for &a in &antecedents {
             self.nodes[a.0 as usize].consequences.push(id);
         }
-        self.justs.push(JustData {
-            antecedents,
-            consequent,
-            informant: informant.into(),
-        });
+        self.justs.push(JustData { antecedents, consequent, informant: informant.into() });
         self.propagate(id);
     }
 

@@ -46,10 +46,7 @@ impl JtmsBridge {
         };
         // Create nodes for every atom mentioned anywhere.
         for rule in &ground {
-            for f in std::iter::once(&rule.head)
-                .chain(rule.pos.iter())
-                .chain(rule.neg.iter())
-            {
+            for f in std::iter::once(&rule.head).chain(rule.pos.iter()).chain(rule.neg.iter()) {
                 bridge.node(f);
             }
         }
@@ -211,14 +208,9 @@ impl FactSupports {
     /// This is the §5.2 migration-free removal test.
     pub fn survives_deletion(&self, f: &Fact, deleted: &[Fact]) -> bool {
         let Some(&n) = self.node_of.get(f) else { return false };
-        let deleted_ids: Vec<u32> = deleted
-            .iter()
-            .filter_map(|d| self.assumption_of.get(d).map(|a| a.0))
-            .collect();
-        self.atms
-            .label(n)
-            .iter()
-            .any(|env| deleted_ids.iter().all(|id| !env.ids().contains(id)))
+        let deleted_ids: Vec<u32> =
+            deleted.iter().filter_map(|d| self.assumption_of.get(d).map(|a| a.0)).collect();
+        self.atms.label(n).iter().any(|env| deleted_ids.iter().all(|id| !env.ids().contains(id)))
     }
 
     /// Facts currently derivable in the full context, sorted.

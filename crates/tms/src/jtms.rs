@@ -102,7 +102,12 @@ impl Default for Jtms {
 impl Jtms {
     /// An empty JTMS.
     pub fn new() -> Jtms {
-        Jtms { nodes: Vec::new(), justs: Vec::new(), dead_justs: FxHashSet::default(), nogood_count: 0 }
+        Jtms {
+            nodes: Vec::new(),
+            justs: Vec::new(),
+            dead_justs: FxHashSet::default(),
+            nogood_count: 0,
+        }
     }
 
     /// Creates an OUT node carrying a display datum.
@@ -289,14 +294,11 @@ impl Jtms {
                 if !unknown.contains(&n) {
                     continue;
                 }
-                match self.decide(n, &unknown) {
-                    Some((label, support)) => {
-                        unknown.remove(&n);
-                        self.nodes[n.0 as usize].label = label;
-                        self.nodes[n.0 as usize].support = support;
-                        changed = true;
-                    }
-                    None => {}
+                if let Some((label, support)) = self.decide(n, &unknown) {
+                    unknown.remove(&n);
+                    self.nodes[n.0 as usize].label = label;
+                    self.nodes[n.0 as usize].support = support;
+                    changed = true;
                 }
             }
             if !changed {
@@ -339,22 +341,24 @@ impl Jtms {
                 continue;
             }
             let just = &self.justs[j.0 as usize];
-            let in_ok = just.in_list.iter().all(|&m| {
-                !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In
-            });
-            let out_ok = just.out_list.iter().all(|&m| {
-                !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out
-            });
+            let in_ok = just
+                .in_list
+                .iter()
+                .all(|&m| !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In);
+            let out_ok = just
+                .out_list
+                .iter()
+                .all(|&m| !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out);
             if in_ok && out_ok {
                 return Some((Label::In, Some(j)));
             }
-            let refuted = just
-                .in_list
-                .iter()
-                .any(|&m| !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out)
-                || just.out_list.iter().any(|&m| {
-                    !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In
-                });
+            let refuted =
+                just.in_list.iter().any(|&m| {
+                    !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::Out
+                }) || just
+                    .out_list
+                    .iter()
+                    .any(|&m| !unknown.contains(&m) && self.nodes[m.0 as usize].label == Label::In);
             if !refuted {
                 all_refuted = false;
             }
@@ -368,10 +372,7 @@ impl Jtms {
 
     /// All currently IN nodes, in creation order.
     pub fn believed(&self) -> Vec<JtmsNodeId> {
-        (0..self.nodes.len() as u32)
-            .map(JtmsNodeId)
-            .filter(|&n| self.is_in(n))
-            .collect()
+        (0..self.nodes.len() as u32).map(JtmsNodeId).filter(|&n| self.is_in(n)).collect()
     }
 }
 
@@ -380,8 +381,7 @@ impl fmt::Debug for Jtms {
         let mut s = f.debug_struct("Jtms");
         s.field("nodes", &self.nodes.len());
         s.field("justs", &(self.justs.len() - self.dead_justs.len()));
-        let believed: Vec<&str> =
-            self.believed().iter().map(|&n| self.datum(n)).collect();
+        let believed: Vec<&str> = self.believed().iter().map(|&n| self.datum(n)).collect();
         s.field("believed", &believed);
         s.finish()
     }

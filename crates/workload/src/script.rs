@@ -119,8 +119,7 @@ mod tests {
         // Replay the script against a shadow assertion set: every delete
         // must hit, every insert must be fresh.
         let p = program();
-        let script =
-            random_fact_script(&p, &ScriptConfig { len: 200, insert_prob: 0.4 }, 123);
+        let script = random_fact_script(&p, &ScriptConfig { len: 200, insert_prob: 0.4 }, 123);
         let mut live: FxHashSet<Fact> = p.facts().cloned().collect();
         for u in &script {
             match u {

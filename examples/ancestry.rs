@@ -52,9 +52,7 @@ fn main() {
     // bachelor (unmarried with a child). One insertion, one deletion, one
     // addition elsewhere: non-monotonic revision.
     println!("\n== INSERT parent(frank, dave) ==");
-    let stats = engine
-        .insert_fact(Fact::parse("parent(frank, dave)").unwrap())
-        .expect("insert");
+    let stats = engine.insert_fact(Fact::parse("parent(frank, dave)").unwrap()).expect("insert");
     println!(
         "  removed {} (migrated {}), net added {}",
         stats.removed, stats.migrated, stats.net_added
@@ -66,9 +64,7 @@ fn main() {
     // Erin's line is erased: carol becomes childless again, ancestor pairs
     // through erin disappear.
     println!("== DELETE parent(carol, erin) ==");
-    let stats = engine
-        .delete_fact(Fact::parse("parent(carol, erin)").unwrap())
-        .expect("delete");
+    let stats = engine.delete_fact(Fact::parse("parent(carol, erin)").unwrap()).expect("delete");
     println!(
         "  removed {} (migrated {}), net added {}",
         stats.removed, stats.migrated, stats.net_added

@@ -30,11 +30,8 @@ fn main() {
     let mut engine = CascadeEngine::new(program).expect("stratified");
 
     let report = |e: &CascadeEngine, label: &str| {
-        let buildable: Vec<String> = e
-            .model()
-            .facts_of("buildable".into())
-            .map(|f| f.args[0].to_string())
-            .collect();
+        let buildable: Vec<String> =
+            e.model().facts_of("buildable".into()).map(|f| f.args[0].to_string()).collect();
         let mut buildable = buildable;
         buildable.sort();
         println!("{label:<38} buildable: {}", buildable.join(", "));
@@ -53,9 +50,7 @@ fn main() {
     // A redesign: tubes no longer need valves (tubeless!). The rule update
     // unblocks the wheel and the bike without touching stock.
     use stratamaint::datalog::Rule;
-    engine
-        .delete_rule(Rule::parse("contains(X, Y) :- uses(X, Y).").unwrap())
-        .unwrap();
+    engine.delete_rule(Rule::parse("contains(X, Y) :- uses(X, Y).").unwrap()).unwrap();
     engine
         .insert_rule(Rule::parse("contains(X, Y) :- uses(X, Y), !deprecated(Y).").unwrap())
         .unwrap();

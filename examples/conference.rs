@@ -12,9 +12,7 @@ use stratamaint::core::{MaintenanceEngine, Update};
 use stratamaint::datalog::Fact;
 use stratamaint::workload::paper;
 
-fn engines_for(
-    program: &stratamaint::datalog::Program,
-) -> Vec<Box<dyn MaintenanceEngine>> {
+fn engines_for(program: &stratamaint::datalog::Program) -> Vec<Box<dyn MaintenanceEngine>> {
     vec![
         Box::new(StaticEngine::new(program.clone()).unwrap()),
         Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),

@@ -5,9 +5,7 @@
 //! cargo run --release --example migration_report
 //! ```
 
-use stratamaint::core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, RecomputeEngine, StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::{MaintenanceEngine, UpdateStats};
 use stratamaint::datalog::Program;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
@@ -36,13 +34,14 @@ fn main() {
     );
     for (name, program) in &workloads {
         let script = random_fact_script(program, &cfg, 42);
-        let mut engines: Vec<Box<dyn MaintenanceEngine>> = vec![
-            Box::new(RecomputeEngine::new(program.clone()).unwrap()),
-            Box::new(StaticEngine::new(program.clone()).unwrap()),
-            Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
-            Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
-            Box::new(CascadeEngine::new(program.clone()).unwrap()),
-        ];
+        // Fact-level supports are excluded as in E7 (their bookkeeping
+        // dominates the table); everything else comes from the registry.
+        let registry = EngineRegistry::standard();
+        let mut engines: Vec<Box<dyn MaintenanceEngine>> = registry
+            .entries()
+            .filter(|e| e.name != "fact-level")
+            .map(|e| registry.build(e.name, program.clone()).unwrap())
+            .collect();
         let mut reference: Option<Vec<stratamaint::datalog::Fact>> = None;
         for engine in &mut engines {
             let total = replay(engine.as_mut(), &script);

@@ -35,10 +35,8 @@ fn main() {
     let mut db = GuardedEngine::unconstrained(engine);
 
     // Nobody may ever access the payroll while suspended — as a denial.
-    db.add_constraint(
-        Constraint::parse(":- suspended(U), may_access(U, payroll).").unwrap(),
-    )
-    .expect("initially satisfied");
+    db.add_constraint(Constraint::parse(":- suspended(U), may_access(U, payroll).").unwrap())
+        .expect("initially satisfied");
 
     let who_can = Query::parse("may_access(U, R)").unwrap();
     println!("== access matrix ==");

@@ -23,9 +23,8 @@ fn main() {
 
     // Insertion of accepted(1) DELETES rejected(1) from the model:
     // maintenance of stratified databases is non-monotonic.
-    let stats = engine
-        .insert_fact(Fact::parse("accepted(1)").unwrap())
-        .expect("insert accepted(1)");
+    let stats =
+        engine.insert_fact(Fact::parse("accepted(1)").unwrap()).expect("insert accepted(1)");
     println!("INSERT(accepted(1))");
     println!("  net added   = {}", stats.net_added);
     println!("  net removed = {}", stats.net_removed);
@@ -33,9 +32,8 @@ fn main() {
     assert!(!engine.model().contains_parsed("rejected(1)"));
 
     // Deletion of accepted(2) ADDS rejected(2).
-    let stats = engine
-        .delete_fact(Fact::parse("accepted(2)").unwrap())
-        .expect("delete accepted(2)");
+    let stats =
+        engine.delete_fact(Fact::parse("accepted(2)").unwrap()).expect("delete accepted(2)");
     println!("DELETE(accepted(2))");
     println!("  net added   = {}", stats.net_added);
     println!("  net removed = {}", stats.net_removed);

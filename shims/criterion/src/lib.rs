@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the harness subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`, `bench_with_input`,
+//! `finish`), [`Bencher`] (`iter`, `iter_batched`, `iter_batched_ref`),
+//! [`BenchmarkId`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It measures honestly but simply: each benchmark runs `sample_size`
+//! samples and reports the median wall-clock time per iteration on stdout.
+//! There is no statistical analysis, warm-up calibration, or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// How batched setups are sized. The shim runs one setup per measured
+/// routine invocation regardless of the variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Names a benchmark: either a bare string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs and times one benchmark's iterations.
+pub struct Bencher {
+    samples: usize,
+    collected: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.collected.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value each sample, consuming it.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.collected.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on a fresh `setup()` value each sample, by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.collected.push(start.elapsed());
+        }
+    }
+}
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), samples: 20 }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) {
+        let mut group = BenchmarkGroup { _parent: self, name: String::new(), samples: 20 };
+        group.bench_function(id, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.samples = n;
+        self
+    }
+
+    /// Benches `f`, reporting under `id`.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { samples: self.samples, collected: Vec::new() };
+        f(&mut bencher);
+        self.report(&id.into_id(), &mut bencher.collected);
+    }
+
+    /// Benches `f` with an input, reporting under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut bencher = Bencher { samples: self.samples, collected: Vec::new() };
+        f(&mut bencher, input);
+        self.report(&id.into_id(), &mut bencher.collected);
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, times: &mut [Duration]) {
+        let full =
+            if self.name.is_empty() { id.to_string() } else { format!("{}/{}", self.name, id) };
+        if times.is_empty() {
+            println!("{full:<50} no samples");
+            return;
+        }
+        times.sort_unstable();
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        println!(
+            "{full:<50} median {:>12.3?}   min {:>12.3?}   max {:>12.3?}   ({} samples)",
+            median,
+            lo,
+            hi,
+            times.len()
+        );
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("iter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+        let mut batched = 0;
+        group.bench_function(BenchmarkId::new("batched", 7), |b| {
+            b.iter_batched_ref(|| vec![1, 2, 3], |v| batched += v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 9);
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| ()));
+    }
+}

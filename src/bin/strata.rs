@@ -19,6 +19,7 @@
 //! :stats              statistics of the last update
 //! :strategy <name>    switch engine (recompute | static | dynamic-single |
 //!                     dynamic-multi | cascade | fact-level)
+//! :strategies         list the registered engines (from the EngineRegistry)
 //! :help               this text
 //! :quit               exit
 //! ```
@@ -27,10 +28,7 @@ use std::io::{self, BufRead, Write};
 
 use stratamaint::core::constraints::{Constraint, GuardedEngine};
 use stratamaint::core::explain::Explainer;
-use stratamaint::core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
-    StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::{MaintenanceEngine, Update, UpdateStats};
 use stratamaint::datalog::{Fact, Program, Query, Rule};
 
@@ -43,6 +41,7 @@ enum Command {
     Why(Fact),
     Constrain(Constraint),
     Constraints,
+    Strategies,
     Model,
     ProgramText,
     Stats,
@@ -75,6 +74,7 @@ fn parse_command(line: &str) -> Result<Command, String> {
             .map(Command::Constrain)
             .map_err(|e| format!("cannot parse constraint: {e}")),
         ":constraints" => Ok(Command::Constraints),
+        ":strategies" => Ok(Command::Strategies),
         ":model" => Ok(Command::Model),
         ":program" => Ok(Command::ProgramText),
         ":stats" => Ok(Command::Stats),
@@ -109,36 +109,18 @@ fn parse_fact(src: &str) -> Result<Fact, String> {
     Fact::parse(src.trim_end_matches('.')).map_err(|e| format!("cannot parse fact: {e}"))
 }
 
-/// Builds an engine by strategy name over `program`.
-fn build_engine(name: &str, program: Program) -> Result<Box<dyn MaintenanceEngine>, String> {
-    let err = |e: stratamaint::core::MaintenanceError| e.to_string();
-    Ok(match name {
-        "recompute" => Box::new(RecomputeEngine::new(program).map_err(err)?),
-        "static" => Box::new(StaticEngine::new(program).map_err(err)?),
-        "dynamic-single" => Box::new(DynamicSingleEngine::new(program).map_err(err)?),
-        "dynamic-multi" => Box::new(DynamicMultiEngine::new(program).map_err(err)?),
-        "cascade" => Box::new(CascadeEngine::new(program).map_err(err)?),
-        "fact-level" => Box::new(FactLevelEngine::new(program).map_err(err)?),
-        other => {
-            return Err(format!(
-                "unknown strategy `{other}` (recompute | static | dynamic-single | \
-                 dynamic-multi | cascade | fact-level)"
-            ))
-        }
-    })
-}
-
 struct Repl {
+    /// The one name → constructor mapping; `:strategy` goes through here.
+    registry: EngineRegistry,
     engine: GuardedEngine<Box<dyn MaintenanceEngine>>,
     last_stats: Option<UpdateStats>,
 }
 
 impl Repl {
     fn new(program: Program) -> Result<Repl, String> {
-        Ok(Repl {
-            engine: GuardedEngine::unconstrained(build_engine("cascade", program)?),
-            last_stats: None,
-        })
+        let registry = EngineRegistry::standard();
+        let engine = registry.build("cascade", program).map_err(|e| e.to_string())?;
+        Ok(Repl { registry, engine: GuardedEngine::unconstrained(engine), last_stats: None })
     }
 
     /// Executes one command, writing human-readable output. Returns `false`
@@ -155,15 +137,19 @@ impl Repl {
                 writeln!(out, "  ({} facts)", self.engine.model().len())?;
             }
             Command::ProgramText => writeln!(out, "{}", self.engine.program())?,
-            Command::Stats => match &self.last_stats {
-                Some(s) => writeln!(
+            Command::Stats => {
+                match &self.last_stats {
+                    Some(s) => {
+                        writeln!(
                     out,
                     "  removed {} (migrated {}), net +{} -{}, {} derivations, {} support bytes",
                     s.removed, s.migrated, s.net_added, s.net_removed, s.derivations,
                     s.support_bytes
-                )?,
-                None => writeln!(out, "  no update applied yet")?,
-            },
+                )?
+                    }
+                    None => writeln!(out, "  no update applied yet")?,
+                }
+            }
             Command::Query(q) => {
                 if q.is_boolean() {
                     writeln!(out, "  {}", q.holds(self.engine.model()))?;
@@ -192,8 +178,14 @@ impl Repl {
                 }
                 writeln!(out, "  ({} constraints)", self.engine.constraints().len())?;
             }
+            Command::Strategies => {
+                for entry in self.registry.entries() {
+                    let marker = if entry.name == self.engine.inner().name() { "*" } else { " " };
+                    writeln!(out, "  {marker} {:<15} {}", entry.name, entry.summary)?;
+                }
+            }
             Command::Strategy(name) => {
-                match build_engine(&name, self.engine.program().clone()) {
+                match self.registry.build(&name, self.engine.program().clone()) {
                     Ok(engine) => {
                         self.engine.replace_inner(engine);
                         writeln!(out, "  strategy: {}", self.engine.inner().name())?;
@@ -221,13 +213,13 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   ? <query>         query         :why <fact>     proof tree
   :constrain <body> add denial    :constraints    list denials
   :model  :program  :stats        :strategy <name>
-  :help   :quit";
+  :strategies       list engines  :help  :quit";
 
 fn main() -> io::Result<()> {
     let mut program = Program::new();
     if let Some(path) = std::env::args().nth(1) {
-        let src = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let src =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         program = Program::parse(&src).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
         eprintln!("loaded {path}");
     }
@@ -268,8 +260,7 @@ mod tests {
 
     #[test]
     fn parses_fact_updates() {
-        let Command::Insert(Update::InsertFact(f)) = parse_command("+ accepted(1)").unwrap()
-        else {
+        let Command::Insert(Update::InsertFact(f)) = parse_command("+ accepted(1)").unwrap() else {
             panic!("expected fact insert")
         };
         assert_eq!(f, Fact::parse("accepted(1)").unwrap());
@@ -298,10 +289,7 @@ mod tests {
         assert!(matches!(parse_command(":q").unwrap(), Command::Quit));
         assert!(matches!(parse_command("").unwrap(), Command::Nothing));
         assert!(matches!(parse_command("% comment").unwrap(), Command::Nothing));
-        assert!(matches!(
-            parse_command(":constrain a(X), b(X)").unwrap(),
-            Command::Constrain(_)
-        ));
+        assert!(matches!(parse_command(":constrain a(X), b(X)").unwrap(), Command::Constrain(_)));
         assert!(parse_command(":frobnicate").is_err());
         assert!(parse_command("bare words").is_err());
         assert!(parse_command("+ 123 456").is_err());
@@ -351,6 +339,40 @@ mod tests {
         let out = run(&mut repl, "+ rejected(2)");
         assert!(out.contains("rejected: update violates"), "{out}");
         assert!(run(&mut repl, "? rejected(2)").contains("false"));
+    }
+
+    #[test]
+    fn parses_strategy_for_every_registered_name() {
+        for name in EngineRegistry::standard().names() {
+            let cmd = parse_command(&format!(":strategy {name}")).unwrap();
+            let Command::Strategy(parsed) = cmd else {
+                panic!(":strategy {name} must parse as a strategy switch")
+            };
+            assert_eq!(parsed, name);
+        }
+        assert!(parse_command(":strategy").is_err(), "missing name is an error");
+        assert!(matches!(parse_command(":strategies").unwrap(), Command::Strategies));
+    }
+
+    #[test]
+    fn session_switches_through_every_strategy() {
+        let mut repl = pods_repl();
+        for name in EngineRegistry::standard().names() {
+            let out = run(&mut repl, &format!(":strategy {name}"));
+            assert!(out.contains(name), "switch to {name}: {out}");
+            // The model is preserved across the switch.
+            assert!(run(&mut repl, "? rejected(1)").contains("true"), "[{name}]");
+        }
+    }
+
+    #[test]
+    fn session_lists_strategies_with_current_marked() {
+        let mut repl = pods_repl();
+        let out = run(&mut repl, ":strategies");
+        for name in EngineRegistry::standard().names() {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("* cascade"), "current strategy marked: {out}");
     }
 
     #[test]

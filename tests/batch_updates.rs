@@ -1,10 +1,8 @@
 //! Batched updates: aggregate semantics, atomicity (prefix rollback), and
 //! the cascade's single-walk override against the sequential default.
 
-use stratamaint::core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
-    StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::strategy::CascadeEngine;
 use stratamaint::core::verify::assert_matches_ground_truth;
 use stratamaint::core::{MaintenanceEngine, MaintenanceError, Update};
 use stratamaint::datalog::{Fact, Program, Rule};
@@ -13,14 +11,7 @@ use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth;
 
 fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
-    vec![
-        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
-        Box::new(StaticEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
-        Box::new(CascadeEngine::new(program.clone()).unwrap()),
-        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
-    ]
+    EngineRegistry::standard().build_all(program)
 }
 
 fn fact(s: &str) -> Fact {
@@ -37,13 +28,13 @@ fn batch_equals_sequential_on_every_engine() {
         Update::InsertFact(fact("accepted(7)")),
     ];
     for mut e in engines(&program) {
-        e.apply_batch(&batch).unwrap();
+        e.apply_all(&batch).unwrap();
         assert_matches_ground_truth(e.as_ref());
     }
     // And all engines agree pairwise.
     let mut models = Vec::new();
     for mut e in engines(&program) {
-        e.apply_batch(&batch).unwrap();
+        e.apply_all(&batch).unwrap();
         models.push(e.model().sorted_facts());
     }
     for m in &models[1..] {
@@ -61,7 +52,7 @@ fn cascade_batch_walks_once_and_matches_sequential() {
         sequential.apply(u).unwrap();
     }
     let mut batched = CascadeEngine::new(program).unwrap();
-    let stats = batched.apply_batch(&script).unwrap();
+    let stats = batched.apply_all(&script).unwrap();
     assert_eq!(batched.model().sorted_facts(), sequential.model().sorted_facts());
     assert_matches_ground_truth(&batched);
     // One walk must not fire more derivations than 25 walks.
@@ -82,7 +73,7 @@ fn batch_insert_then_delete_nets_out() {
     let program = paper::pods(2, 5);
     for mut e in engines(&program) {
         let before = e.model().sorted_facts();
-        e.apply_batch(&[
+        e.apply_all(&[
             Update::InsertFact(fact("accepted(4)")),
             Update::DeleteFact(fact("accepted(4)")),
         ])
@@ -98,7 +89,7 @@ fn failed_batch_rolls_back_completely() {
     for mut e in engines(&program) {
         let before = e.model().sorted_facts();
         let err = e
-            .apply_batch(&[
+            .apply_all(&[
                 Update::InsertFact(fact("accepted(4)")),
                 Update::DeleteFact(fact("accepted(5)")), // never asserted: rejected
                 Update::InsertFact(fact("accepted(5)")),
@@ -118,7 +109,7 @@ fn failed_batch_does_not_retract_preexisting_facts() {
     let program = paper::pods(2, 5);
     for mut e in engines(&program) {
         let err = e
-            .apply_batch(&[
+            .apply_all(&[
                 Update::InsertFact(fact("accepted(2)")),
                 Update::DeleteFact(fact("ghost(1)")),
             ])
@@ -138,7 +129,7 @@ fn batch_with_rule_updates_falls_back_and_stays_atomic() {
     let program = Program::parse("e(1). e(2). f(2).").unwrap();
     for mut e in engines(&program) {
         // Valid mixed batch.
-        e.apply_batch(&[
+        e.apply_all(&[
             Update::InsertRule(Rule::parse("p(X) :- e(X), !f(X).").unwrap()),
             Update::InsertFact(fact("e(3)")),
         ])
@@ -150,7 +141,7 @@ fn batch_with_rule_updates_falls_back_and_stays_atomic() {
         let before = e.model().sorted_facts();
         let rules_before = e.program().num_rules();
         let err = e
-            .apply_batch(&[
+            .apply_all(&[
                 Update::InsertRule(Rule::parse("q(X) :- e(X).").unwrap()),
                 Update::DeleteFact(fact("ghost(1)")),
             ])
@@ -174,7 +165,7 @@ fn cascade_batch_deletes_across_strata_rederive_correctly() {
     )
     .unwrap();
     let mut e = CascadeEngine::new(program).unwrap();
-    e.apply_batch(&[
+    e.apply_all(&[
         Update::DeleteFact(fact("mid(9)")),
         Update::DeleteFact(fact("top(7)")),
         Update::DeleteFact(fact("base(2)")),
@@ -191,10 +182,10 @@ fn cascade_batch_deletes_across_strata_rederive_correctly() {
 fn empty_and_noop_batches() {
     let program = paper::pods(1, 3);
     for mut e in engines(&program) {
-        let stats = e.apply_batch(&[]).unwrap();
+        let stats = e.apply_all(&[]).unwrap();
         assert_eq!(stats.removed + stats.net_added + stats.net_removed, 0);
         let stats = e
-            .apply_batch(&[Update::InsertFact(fact("accepted(1)"))]) // already asserted
+            .apply_all(&[Update::InsertFact(fact("accepted(1)"))]) // already asserted
             .unwrap();
         assert_eq!(stats.net_added, 0, "[{}]", e.name());
         assert_matches_ground_truth(e.as_ref());

@@ -27,11 +27,7 @@ fn queries_over_maintained_model_match_ground_truth() {
         engine.apply(u).unwrap();
         let truth = ground_truth(engine.program());
         for q in &compiled {
-            assert_eq!(
-                q.eval(engine.model()),
-                q.eval(&truth),
-                "query `{q}` diverged after {u}"
-            );
+            assert_eq!(q.eval(engine.model()), q.eval(&truth), "query `{q}` diverged after {u}");
         }
     }
 }
@@ -44,16 +40,11 @@ fn guarded_engine_holds_invariant_across_script() {
     let program = synth::conference(20, 4, 11);
     let engine = DynamicSingleEngine::new(program.clone()).unwrap();
     let mut guarded = GuardedEngine::unconstrained(engine);
-    guarded
-        .add_constraint(Constraint::parse(":- accepted(P), rejected(P).").unwrap())
-        .unwrap();
+    guarded.add_constraint(Constraint::parse(":- accepted(P), rejected(P).").unwrap()).unwrap();
     let script = random_fact_script(&program, &ScriptConfig { len: 40, insert_prob: 0.5 }, 13);
     for u in &script {
         guarded.apply(u).unwrap_or_else(|e| panic!("pipeline invariant broken by {u}: {e}"));
-        assert!(guarded
-            .constraints()
-            .first_violation(guarded.model())
-            .is_none());
+        assert!(guarded.constraints().first_violation(guarded.model()).is_none());
     }
 }
 
@@ -67,10 +58,8 @@ fn guarded_engine_blocks_direct_contradiction() {
     .unwrap();
     let engine = CascadeEngine::new(program).unwrap();
     let mut g = GuardedEngine::unconstrained(engine);
-    g.add_constraint(
-        Constraint::parse(":- verdict(P, accept), verdict(P, reject).").unwrap(),
-    )
-    .unwrap();
+    g.add_constraint(Constraint::parse(":- verdict(P, accept), verdict(P, reject).").unwrap())
+        .unwrap();
     let err = g.insert_fact(Fact::parse("verdict(1, reject)").unwrap()).unwrap_err();
     assert!(err.to_string().contains("violates"));
     assert!(!g.program().is_asserted(&Fact::parse("verdict(1, reject)").unwrap()));

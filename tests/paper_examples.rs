@@ -5,24 +5,15 @@
 //! (MEET), and the §5.1 cascade demo. `EXPERIMENTS.md` records the
 //! corresponding measured tables (exp_e1 … exp_e6).
 
-use stratamaint::core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
-    StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::strategy::{CascadeEngine, DynamicMultiEngine};
 use stratamaint::core::verify::assert_matches_ground_truth;
 use stratamaint::core::{MaintenanceEngine, Update};
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::workload::paper;
 
 fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
-    vec![
-        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
-        Box::new(StaticEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
-        Box::new(CascadeEngine::new(program.clone()).unwrap()),
-        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
-    ]
+    EngineRegistry::standard().build_all(program)
 }
 
 fn fact(s: &str) -> Fact {
@@ -154,8 +145,10 @@ fn cascade_example_improves_on_dynamic_multi() {
 #[test]
 fn rule_updates_agree_across_engines() {
     let program = paper::pods(1, 4);
-    let rule: Update =
-        Update::InsertRule(stratamaint::datalog::Rule::parse("late(X) :- submitted(X), !accepted(X), !rejected(X).").unwrap());
+    let rule: Update = Update::InsertRule(
+        stratamaint::datalog::Rule::parse("late(X) :- submitted(X), !accepted(X), !rejected(X).")
+            .unwrap(),
+    );
     for mut e in engines(&program) {
         // rejected(X) already holds for 2..4, so `late` stays empty…
         e.apply(&rule).unwrap();

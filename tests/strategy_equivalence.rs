@@ -2,33 +2,36 @@
 //! valid update scripts — the reproduction's central correctness property
 //! (paper §2 Theorem + §4/§5 lemmas rolled together).
 
-use stratamaint::core::strategy::{
-    CascadeConfig, CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine,
-    RecomputeEngine, StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::strategy::{CascadeConfig, CascadeEngine, FactLevelEngine};
 use stratamaint::core::verify::check_against_ground_truth;
 use stratamaint::core::MaintenanceEngine;
+use stratamaint::workload::paper;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth::{self, RandomConfig};
-use stratamaint::workload::paper;
 
+/// The six standard strategies plus two configured variants, all built
+/// through the registry (the variants exercise its extension seam).
 fn engines(program: &stratamaint::datalog::Program) -> Vec<Box<dyn MaintenanceEngine>> {
-    vec![
-        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
-        Box::new(StaticEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
-        Box::new(CascadeEngine::new(program.clone()).unwrap()),
-        Box::new(
-            CascadeEngine::with_config(
-                program.clone(),
+    let mut registry = EngineRegistry::standard();
+    registry.register(
+        "cascade-literal",
+        "§5.1 cascade without stratum skipping or pre-saturation",
+        true,
+        |p| {
+            Ok(Box::new(CascadeEngine::with_config(
+                p,
                 CascadeConfig { skip_unaffected: false, presaturate: false },
-            )
-            .unwrap(),
-        ),
-        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
-        Box::new(FactLevelEngine::with_cap(program.clone(), 2).unwrap()),
-    ]
+            )?))
+        },
+    );
+    registry.register(
+        "fact-level-cap2",
+        "§5.2 fact-level supports with the per-fact entry cap at 2",
+        true,
+        |p| Ok(Box::new(FactLevelEngine::with_cap(p, 2)?)),
+    );
+    registry.build_all(program)
 }
 
 fn replay_and_check(program: &stratamaint::datalog::Program, seed: u64, len: usize) {

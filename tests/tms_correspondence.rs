@@ -14,8 +14,7 @@ use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth::{random_stratified, RandomConfig};
 
 fn model_facts(program: &Program) -> Vec<Fact> {
-    let mut v: Vec<Fact> =
-        StandardModel::compute(program).unwrap().db().iter_facts().collect();
+    let mut v: Vec<Fact> = StandardModel::compute(program).unwrap().db().iter_facts().collect();
     v.sort();
     v
 }
@@ -95,7 +94,7 @@ proptest! {
         smaller.retract_fact(&victim);
         let recomputed = model_facts(&smaller);
         for f in model_facts(&program) {
-            let survives = fs.survives_deletion(&f, &[victim.clone()]);
+            let survives = fs.survives_deletion(&f, std::slice::from_ref(&victim));
             let really = recomputed.contains(&f);
             prop_assert_eq!(
                 survives, really,

@@ -3,10 +3,7 @@
 //! paper's strategy ladder makes.
 
 use proptest::prelude::*;
-use stratamaint::core::strategy::{
-    CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
-    StaticEngine,
-};
+use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::verify::assert_matches_ground_truth;
 use stratamaint::core::{MaintenanceEngine, MaintenanceError, Update};
 use stratamaint::datalog::{Fact, Program, Rule};
@@ -15,14 +12,7 @@ use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth::{random_stratified, RandomConfig};
 
 fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
-    vec![
-        Box::new(RecomputeEngine::new(program.clone()).unwrap()),
-        Box::new(StaticEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),
-        Box::new(DynamicMultiEngine::new(program.clone()).unwrap()),
-        Box::new(CascadeEngine::new(program.clone()).unwrap()),
-        Box::new(FactLevelEngine::new(program.clone()).unwrap()),
-    ]
+    EngineRegistry::standard().build_all(program)
 }
 
 fn fact(s: &str) -> Fact {
