@@ -1,0 +1,323 @@
+//! E9 — what plan compilation buys on the matcher hot path.
+//!
+//! Every maintenance strategy bottoms out in rule-body matching, so the
+//! matcher dominates both saturation and update latency. This experiment
+//! runs the same workloads through
+//!
+//! * **interpreted** — the legacy path
+//!   ([`strata_datalog::eval::matcher::for_each_match_interpreted`]): the
+//!   literal order is re-derived per invocation and bindings live in a
+//!   hash map keyed by variable symbols;
+//! * **compiled** — [`strata_datalog::eval::plan`]: plans built once per
+//!   `(rule, delta_position)`, slot-register bindings, reusable scratch
+//!   buffers;
+//!
+//! and records the timings in `BENCH_plan.json` so future PRs have a
+//! trajectory to beat. Workloads: transitive-closure saturation (the
+//! canonical 2-literal recursive join), a 3-literal join with negation, and
+//! an insert-update latency stream over a maintained closure.
+//!
+//! Usage: `exp_e9_plancache [--smoke] [--out PATH]`. `--smoke` runs a tiny
+//! workload (CI bit-rot guard) and skips the file unless `--out` is given;
+//! the full run writes `BENCH_plan.json` in the current directory.
+
+use std::time::Instant;
+
+use strata_bench::banner;
+use strata_datalog::eval::matcher::for_each_match_interpreted;
+use strata_datalog::eval::plan::{compile_rules, CompiledRule};
+use strata_datalog::eval::seminaive::DeltaStats;
+use strata_datalog::eval::{incremental, seminaive, NewFactSink, NullNewFact};
+use strata_datalog::{Database, Fact, Program, Rule, RuleId, Symbol};
+
+/// A deterministic LCG for workload generation.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+fn rules_of(program: &Program) -> Vec<(RuleId, Rule)> {
+    program.rules().map(|(id, r)| (id, r.clone())).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The interpreted baseline: the semi-naive loop re-implemented over the
+// legacy matcher (identical control flow to `seminaive::saturate`/`drive`,
+// so the measured difference is the matcher alone).
+// ---------------------------------------------------------------------------
+
+fn saturate_interpreted(db: &mut Database, rules: &[(RuleId, Rule)]) -> Vec<Fact> {
+    let mut delta: Vec<Fact> = Vec::new();
+    for (_, rule) in rules {
+        let mut out: Vec<Fact> = Vec::new();
+        for_each_match_interpreted(db, rule, None, &[], |head, _, _| {
+            if !db.contains(&head) {
+                out.push(head);
+            }
+            true
+        });
+        for f in out {
+            if db.insert(f.clone()) {
+                delta.push(f);
+            }
+        }
+    }
+    let mut added = delta.clone();
+    drive_interpreted(db, rules, delta, &mut added);
+    added
+}
+
+fn drive_interpreted(
+    db: &mut Database,
+    rules: &[(RuleId, Rule)],
+    mut delta: Vec<Fact>,
+    added: &mut Vec<Fact>,
+) {
+    while !delta.is_empty() {
+        let by_rel = group(&delta);
+        let mut next: Vec<Fact> = Vec::new();
+        for (_, rule) in rules {
+            for (li, lit) in rule.body.iter().enumerate() {
+                if !lit.positive {
+                    continue;
+                }
+                let Some(drel) = by_rel.get(&lit.atom.rel) else { continue };
+                let mut out: Vec<Fact> = Vec::new();
+                for_each_match_interpreted(db, rule, Some((li, drel)), &[], |head, _, _| {
+                    if !db.contains(&head) {
+                        out.push(head);
+                    }
+                    true
+                });
+                for f in out {
+                    if db.insert(f.clone()) {
+                        next.push(f.clone());
+                        added.push(f);
+                    }
+                }
+            }
+        }
+        delta = next;
+    }
+}
+
+fn group(facts: &[Fact]) -> rustc_hash::FxHashMap<Symbol, strata_datalog::Relation> {
+    let mut by_rel: rustc_hash::FxHashMap<Symbol, strata_datalog::Relation> = Default::default();
+    for f in facts {
+        by_rel
+            .entry(f.rel)
+            .or_insert_with(|| strata_datalog::Relation::new(f.arity()))
+            .insert(f.args.clone());
+    }
+    by_rel
+}
+
+fn saturate_compiled(db: &mut Database, rules: &[CompiledRule]) -> Vec<Fact> {
+    seminaive::saturate(db, rules, &mut NullNewFact, &mut DeltaStats::default())
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------------
+
+fn tc_program(nodes: u64, edges: usize, seed: u64) -> Program {
+    let mut lcg = Lcg(seed);
+    let mut src = String::new();
+    for _ in 0..edges {
+        let a = lcg.next() % nodes;
+        let b = lcg.next() % nodes;
+        src.push_str(&format!("e({a}, {b}). "));
+    }
+    src.push_str("p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).");
+    Program::parse(&src).expect("generated TC program parses")
+}
+
+fn triple_join_program(domain: u64, per_rel: usize, seed: u64) -> Program {
+    let mut lcg = Lcg(seed);
+    let mut src = String::new();
+    for rel in ["e", "f", "g"] {
+        for _ in 0..per_rel {
+            let a = lcg.next() % domain;
+            let b = lcg.next() % domain;
+            src.push_str(&format!("{rel}({a}, {b}). "));
+        }
+    }
+    for _ in 0..(per_rel / 10) {
+        src.push_str(&format!("blocked({}). ", lcg.next() % domain));
+    }
+    src.push_str("t(X, W) :- e(X, Y), f(Y, Z), g(Z, W), !blocked(X).");
+    Program::parse(&src).expect("generated join program parses")
+}
+
+/// Times `f` over `reps` repetitions and returns the best wall-clock
+/// seconds (least-noise estimator) plus the last result for agreement checks.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Row {
+    workload: String,
+    params: String,
+    interpreted_ms: f64,
+    compiled_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interpreted_ms / self.compiled_ms
+    }
+}
+
+fn bench_saturation(name: &str, program: &Program, reps: usize) -> Row {
+    let base = Database::from_facts(program.facts().cloned());
+    let rules = rules_of(program);
+    let compiled = compile_rules(rules.iter().cloned());
+
+    let (ti, size_i) = best_of(reps, || {
+        let mut db = base.clone();
+        saturate_interpreted(&mut db, &rules);
+        db.len()
+    });
+    let (tc, size_c) = best_of(reps, || {
+        let mut db = base.clone();
+        saturate_compiled(&mut db, &compiled);
+        db.len()
+    });
+    assert_eq!(size_i, size_c, "paths must agree on the saturated model");
+    Row {
+        workload: name.to_string(),
+        params: format!("{} facts, {} rules -> {} total", base.len(), rules.len(), size_c),
+        interpreted_ms: ti * 1e3,
+        compiled_ms: tc * 1e3,
+    }
+}
+
+/// Insert-update latency over a maintained closure: each update adds one
+/// fresh edge and runs delta rounds to fixpoint.
+fn bench_update_latency(nodes: u64, edges: usize, updates: usize, reps: usize) -> Row {
+    let program = tc_program(nodes, edges, 11);
+    let rules = rules_of(&program);
+    let compiled = compile_rules(rules.iter().cloned());
+    let mut base = Database::from_facts(program.facts().cloned());
+    saturate_compiled(&mut base, &compiled);
+    let mut lcg = Lcg(99);
+    let stream: Vec<Fact> = (0..updates)
+        .map(|_| {
+            Fact::parse(&format!("e({}, {})", lcg.next() % nodes, lcg.next() % nodes)).unwrap()
+        })
+        .collect();
+
+    struct Null;
+    impl NewFactSink for Null {
+        fn on_new_fact(&mut self, _: RuleId, _: &Fact) {}
+    }
+
+    let (ti, size_i) = best_of(reps, || {
+        let mut db = base.clone();
+        for f in &stream {
+            if db.insert(f.clone()) {
+                let mut added = Vec::new();
+                drive_interpreted(&mut db, &rules, vec![f.clone()], &mut added);
+            }
+        }
+        db.len()
+    });
+    let (tc, size_c) = best_of(reps, || {
+        let mut db = base.clone();
+        for f in &stream {
+            if db.insert(f.clone()) {
+                incremental::stratum_saturate(
+                    &mut db,
+                    &compiled,
+                    std::slice::from_ref(f),
+                    &[],
+                    &[],
+                    &mut Null,
+                    &mut DeltaStats::default(),
+                );
+            }
+        }
+        db.len()
+    });
+    assert_eq!(size_i, size_c, "paths must agree on the maintained model");
+    Row {
+        workload: "update_latency_tc".to_string(),
+        params: format!("{nodes} nodes, {edges} edges, {updates} inserts"),
+        interpreted_ms: ti * 1e3,
+        compiled_ms: tc * 1e3,
+    }
+}
+
+fn write_json(path: &str, rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e9_plancache\",\n");
+    out.push_str("  \"description\": \"matcher hot path: interpreted (per-call plan + hash-map bindings) vs compiled (cached CompiledPlan + slot registers)\",\n");
+    out.push_str("  \"unit\": \"ms, best-of-N wall clock\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"params\": \"{}\", \"interpreted_ms\": {:.3}, \"compiled_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            r.workload,
+            r.params,
+            r.interpreted_ms,
+            r.compiled_ms,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E9", "plan cache: interpreted vs compiled matcher");
+    let (reps, tc_nodes, tc_edges, tj_domain, tj_per_rel, updates) =
+        if smoke { (2, 16, 40, 12, 60, 10) } else { (5, 64, 420, 48, 1400, 400) };
+
+    let rows = vec![
+        bench_saturation("tc_saturation", &tc_program(tc_nodes, tc_edges, 7), reps),
+        bench_saturation(
+            "triple_join_negation",
+            &triple_join_program(tj_domain, tj_per_rel, 13),
+            reps,
+        ),
+        bench_update_latency(tc_nodes, tc_edges, updates, reps),
+    ];
+
+    println!(
+        "{:<24} {:<44} {:>14} {:>12} {:>9}",
+        "workload", "params", "interpreted ms", "compiled ms", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:<44} {:>14.2} {:>12.2} {:>8.2}x",
+            r.workload,
+            r.params,
+            r.interpreted_ms,
+            r.compiled_ms,
+            r.speedup()
+        );
+    }
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &rows),
+        (false, None) => write_json("BENCH_plan.json", &rows),
+        (true, None) => println!("\n--smoke: skipping BENCH_plan.json"),
+    }
+}

@@ -41,10 +41,11 @@
 use rustc_hash::{FxHashMap, FxHashSet};
 use strata_datalog::eval::incremental::{self};
 use strata_datalog::eval::matcher::for_each_match;
+use strata_datalog::eval::plan::MatchScratch;
 use strata_datalog::eval::seminaive::{self, DeltaStats};
 use strata_datalog::eval::NewFactSink;
 use strata_datalog::model::StratKind;
-use strata_datalog::{Database, Fact, Program, RelSet, Rule, RuleId, Symbol};
+use strata_datalog::{Database, Fact, Program, RelSet, RuleId, Symbol};
 
 use crate::analysis::Analysis;
 use crate::engine::{normalize, MaintenanceEngine, MaintenanceError, Update};
@@ -191,8 +192,8 @@ impl CascadeEngine {
             });
 
             // Skip strata whose rules touch nothing in INC ∪ DEC.
-            let touched = self.analysis.strata().rules_of(s).iter().any(|(rid, _)| {
-                let sig = &self.rule_sigs[rid];
+            let touched = self.analysis.strata().rules_of(s).iter().any(|cr| {
+                let sig = &self.rule_sigs[&cr.id()];
                 sig.pos.intersects(&inc)
                     || sig.pos.intersects(&dec)
                     || sig.neg.intersects(&inc)
@@ -215,7 +216,7 @@ impl CascadeEngine {
                 .strata()
                 .rules_of(s)
                 .iter()
-                .any(|(rid, _)| self.rule_sigs[rid].max_body_stratum == s);
+                .any(|cr| self.rule_sigs[&cr.id()].max_body_stratum == s);
             if recursive {
                 self.sweep_stratum(
                     s,
@@ -374,17 +375,14 @@ impl CascadeEngine {
     ) -> Vec<Fact> {
         let added_by_rel = group(added_list);
         let removed_by_rel = group(removed_list);
-        let rules: Vec<(RuleId, Rule)> = self
-            .analysis
-            .strata()
-            .rules_of(s)
-            .iter()
-            .filter(|(rid, _)| self.rule_sigs[rid].max_body_stratum < s)
-            .cloned()
-            .collect();
+        let mut scratch = MatchScratch::new();
         let mut new_facts: Vec<Fact> = Vec::new();
-        for (rid, rule) in &rules {
-            for (li, lit) in rule.body.iter().enumerate() {
+        for cr in self.analysis.strata().rules_of(s) {
+            let rid = cr.id();
+            if self.rule_sigs[&rid].max_body_stratum >= s {
+                continue;
+            }
+            for (li, lit) in cr.rule().body.iter().enumerate() {
                 let drel = if lit.positive {
                     added_by_rel.get(&lit.atom.rel)
                 } else {
@@ -393,16 +391,22 @@ impl CascadeEngine {
                 let Some(drel) = drel else { continue };
                 *derivs += 1;
                 let mut out: Vec<(Fact, bool)> = Vec::new();
-                for_each_match(&self.model, rule, Some((li, drel)), |head, _, _| {
-                    let existed = self.model.contains(&head);
-                    out.push((head, existed));
-                    true
-                });
+                cr.delta_plan(li).for_each_head(
+                    &self.model,
+                    Some(drel),
+                    &[],
+                    &mut scratch,
+                    |head| {
+                        let existed = self.model.contains(&head);
+                        out.push((head, existed));
+                        true
+                    },
+                );
                 for (f, existed) in out {
                     if existed {
-                        self.supports.entry(f).or_default().rules.insert(*rid);
+                        self.supports.entry(f).or_default().rules.insert(rid);
                     } else if self.model.insert(f.clone()) {
-                        self.supports.entry(f.clone()).or_default().rules.insert(*rid);
+                        self.supports.entry(f.clone()).or_default().rules.insert(rid);
                         new_facts.push(f);
                     }
                 }
@@ -714,6 +718,7 @@ impl MaintenanceEngine for CascadeEngine {
 mod tests {
     use super::*;
     use crate::verify::assert_matches_ground_truth;
+    use strata_datalog::Rule;
 
     fn engine(src: &str) -> CascadeEngine {
         CascadeEngine::new(Program::parse(src).unwrap()).unwrap()

@@ -21,7 +21,7 @@ use crate::storage::{Database, Relation};
 use crate::symbol::Symbol;
 use crate::term::{Term, Value};
 
-use super::matcher::for_each_match_seeded;
+use super::plan::{CompiledRule, MatchScratch};
 use super::seminaive::{self, DeltaStats};
 use super::NewFactSink;
 
@@ -66,20 +66,32 @@ impl DeltaSet {
 ///
 /// This is the rederivation step of DRed: a removed fact with an alternative
 /// derivation must come back.
-pub fn rederive(db: &Database, rules: &[(RuleId, Rule)], fact: &Fact) -> Option<RuleId> {
-    for (rid, rule) in rules {
+pub fn rederive(db: &Database, rules: &[CompiledRule], fact: &Fact) -> Option<RuleId> {
+    rederive_with(db, rules, fact, &mut MatchScratch::new())
+}
+
+/// [`rederive`] with caller-owned scratch buffers (the hot path inside
+/// [`stratum_saturate`]).
+pub fn rederive_with(
+    db: &Database,
+    rules: &[CompiledRule],
+    fact: &Fact,
+    scratch: &mut MatchScratch,
+) -> Option<RuleId> {
+    for cr in rules {
+        let rule = cr.rule();
         if rule.head.rel != fact.rel {
             continue;
         }
         let Some(seed) = head_seed(rule, fact) else { continue };
         let mut found = false;
-        for_each_match_seeded(db, rule, None, &seed, |head, _, _| {
+        cr.plan().for_each_head(db, None, &seed, scratch, |head| {
             debug_assert_eq!(&head, fact);
             found = true;
             false // stop at the first witness
         });
         if found {
-            return Some(*rid);
+            return Some(cr.id());
         }
     }
     None
@@ -124,13 +136,14 @@ fn head_seed(rule: &Rule, fact: &Fact) -> Option<Vec<(Symbol, Value)>> {
 /// Returns the facts added to `db` (including re-derived ones).
 pub fn stratum_saturate<S: NewFactSink>(
     db: &mut Database,
-    rules: &[(RuleId, Rule)],
+    rules: &[CompiledRule],
     pos_delta: &[Fact],
     neg_delta: &[Fact],
     rederive_candidates: &[Fact],
     sink: &mut S,
     stats: &mut DeltaStats,
 ) -> Vec<Fact> {
+    let mut scratch = MatchScratch::new();
     let mut added: Vec<Fact> = Vec::new();
     let mut frontier: Vec<Fact> = pos_delta.to_vec();
 
@@ -139,7 +152,7 @@ pub fn stratum_saturate<S: NewFactSink>(
         if db.contains(fact) {
             continue;
         }
-        if let Some(rid) = rederive(db, rules, fact) {
+        if let Some(rid) = rederive_with(db, rules, fact, &mut scratch) {
             db.insert(fact.clone());
             sink.on_new_fact(rid, fact);
             frontier.push(fact.clone());
@@ -151,17 +164,18 @@ pub fn stratum_saturate<S: NewFactSink>(
     //    negative hypotheses.
     if !neg_delta.is_empty() {
         let removed_by_rel: FxHashMap<Symbol, Relation> = group(neg_delta);
-        for (rid, rule) in rules {
-            for (li, lit) in rule.body.iter().enumerate() {
+        for cr in rules {
+            let rid = cr.id();
+            for (li, lit) in cr.rule().body.iter().enumerate() {
                 if lit.positive {
                     continue;
                 }
                 let Some(drel) = removed_by_rel.get(&lit.atom.rel) else { continue };
                 stats.firings += 1;
                 let mut out: Vec<Fact> = Vec::new();
-                for_each_match_seeded(db, rule, Some((li, drel)), &[], |head, _, _| {
+                cr.delta_plan(li).for_each_head(db, Some(drel), &[], &mut scratch, |head| {
                     if db.contains(&head) {
-                        sink.on_existing_fact(*rid, &head);
+                        sink.on_existing_fact(rid, &head);
                     } else {
                         out.push(head);
                     }
@@ -169,7 +183,7 @@ pub fn stratum_saturate<S: NewFactSink>(
                 });
                 for f in out {
                     if db.insert(f.clone()) {
-                        sink.on_new_fact(*rid, &f);
+                        sink.on_new_fact(rid, &f);
                         frontier.push(f.clone());
                         added.push(f);
                     }
@@ -201,10 +215,10 @@ mod tests {
     use crate::program::Program;
     use crate::storage::parse_facts;
 
-    fn setup(src: &str) -> (Database, Vec<(RuleId, Rule)>) {
+    fn setup(src: &str) -> (Database, Vec<CompiledRule>) {
         let p = Program::parse(src).unwrap();
         let db = Database::from_facts(p.facts().cloned());
-        let rules: Vec<(RuleId, Rule)> = p.rules().map(|(id, r)| (id, r.clone())).collect();
+        let rules = crate::eval::plan::compile_rules(p.rules().map(|(id, r)| (id, r.clone())));
         (db, rules)
     }
 
@@ -216,7 +230,7 @@ mod tests {
         db.remove(&Fact::parse("p(1)").unwrap());
         db.remove(&Fact::parse("a(1)").unwrap());
         let rid = rederive(&db, &rules, &Fact::parse("p(1)").unwrap());
-        assert_eq!(rid, Some(rules[1].0), "should re-derive via the b-rule");
+        assert_eq!(rid, Some(rules[1].id()), "should re-derive via the b-rule");
     }
 
     #[test]

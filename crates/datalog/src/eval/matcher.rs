@@ -4,10 +4,24 @@
 //! The matcher orders positive literals greedily (most already-bound
 //! variables first), seeks through per-column indexes when a column is
 //! bound, and checks the negative literals — ground by rule safety — once
-//! all variables are bound. One body literal may be designated the *delta*
+//! their variables are bound. One body literal may be designated the *delta*
 //! literal and enumerated from a caller-supplied relation instead of the
 //! database, which is the primitive underlying both semi-naive evaluation
 //! and incremental (removed-tuple) firing.
+//!
+//! Two implementations share this contract:
+//!
+//! * the **compiled** path ([`super::plan`]) — plans built once per
+//!   `(rule, delta_position)` and executed with a flat slot register file;
+//!   the engines hold [`super::plan::CompiledRule`]s and call it directly.
+//!   [`for_each_match_seeded`] / [`for_each_match`] are thin compatibility
+//!   wrappers that compile on the fly (convenient for one-shot matching:
+//!   tests, REPL queries, firing a freshly inserted rule once);
+//! * the **interpreted** path ([`for_each_match_interpreted`]) — the
+//!   original tuple-at-a-time interpreter with hash-map bindings, kept as
+//!   the executable reference: the differential property suite checks the
+//!   compiled matcher against it, and the plan-cache benchmark
+//!   (`exp_e9_plancache`) measures what compilation buys.
 
 use rustc_hash::FxHashMap;
 
@@ -17,7 +31,47 @@ use crate::storage::{Database, Relation};
 use crate::symbol::Symbol;
 use crate::term::{Term, Value};
 
-/// A variable assignment under construction.
+use super::plan::{greedy_order, CompiledPlan, MatchScratch};
+
+/// Enumerates ground instances of `rule` over `db` (compiled path).
+///
+/// * `delta` — optionally `(body_position, relation)`: the literal at that
+///   position is enumerated from the given relation instead of `db`. The
+///   position may name a **negative** literal (incremental firing over
+///   removed tuples); its absence from `db` is still checked.
+/// * `seed` — initial variable bindings (used for targeted re-derivation).
+/// * `callback(head, pos_body, neg_body)` — invoked per match; return
+///   `false` to stop the enumeration early.
+///
+/// This compiles a [`CompiledPlan`] per invocation; callers on a hot path
+/// should compile once and execute the plan directly.
+pub fn for_each_match_seeded<F>(
+    db: &Database,
+    rule: &Rule,
+    delta: Option<(usize, &Relation)>,
+    seed: &[(Symbol, Value)],
+    callback: F,
+) where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    let plan = CompiledPlan::compile(rule, delta.map(|(i, _)| i));
+    let mut scratch = MatchScratch::new();
+    plan.for_each_derivation(db, delta.map(|(_, r)| r), seed, &mut scratch, callback);
+}
+
+/// [`for_each_match_seeded`] with no seed bindings.
+pub fn for_each_match<F>(db: &Database, rule: &Rule, delta: Option<(usize, &Relation)>, callback: F)
+where
+    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
+{
+    for_each_match_seeded(db, rule, delta, &[], callback);
+}
+
+// ---------------------------------------------------------------------------
+// The interpreted reference implementation.
+// ---------------------------------------------------------------------------
+
+/// A variable assignment under construction (interpreted path).
 #[derive(Default, Debug)]
 pub struct Bindings {
     vals: FxHashMap<Symbol, Value>,
@@ -55,55 +109,15 @@ impl Bindings {
 struct Plan {
     /// Positions (into `rule.body`) of literals to enumerate, in order.
     /// The delta literal, if any, comes first; the rest are the positive
-    /// non-delta literals.
+    /// non-delta literals, greedily ordered ([`greedy_order`]).
     order: Vec<usize>,
 }
 
-fn make_plan(rule: &Rule, delta_idx: Option<usize>) -> Plan {
-    let mut order = Vec::new();
-    let mut bound: Vec<Symbol> = Vec::new();
-    if let Some(d) = delta_idx {
-        order.push(d);
-        bound.extend(rule.body[d].atom.vars());
-    }
-    let mut remaining: Vec<usize> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter(|(i, l)| l.positive && Some(*i) != delta_idx)
-        .map(|(i, _)| i)
-        .collect();
-    while !remaining.is_empty() {
-        let (ri, _) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| {
-                let lit = &rule.body[i];
-                let score: usize = lit.atom.vars().filter(|v| bound.contains(v)).count() * 2
-                    + lit.atom.terms.iter().filter(|t| !t.is_var()).count();
-                // Prefer more-bound literals; ties go to the earliest, which
-                // `max_by_key` gives us by scanning order when scores tie is
-                // not guaranteed, so bias with reverse index.
-                (score, usize::MAX - i)
-            })
-            .expect("remaining non-empty");
-        let i = remaining.swap_remove(ri);
-        order.push(i);
-        bound.extend(rule.body[i].atom.vars());
-    }
-    Plan { order }
-}
-
-/// Enumerates ground instances of `rule` over `db`.
-///
-/// * `delta` — optionally `(body_position, relation)`: the literal at that
-///   position is enumerated from the given relation instead of `db`. The
-///   position may name a **negative** literal (incremental firing over
-///   removed tuples); its absence from `db` is still checked.
-/// * `seed` — initial variable bindings (used for targeted re-derivation).
-/// * `callback(head, pos_body, neg_body)` — invoked per match; return
-///   `false` to stop the enumeration early.
-pub fn for_each_match_seeded<F>(
+/// Same contract as [`for_each_match_seeded`], evaluated by the original
+/// interpreter: the literal order is re-derived per call and bindings live
+/// in a hash map. Kept as the reference implementation for differential
+/// tests and as the benchmark baseline.
+pub fn for_each_match_interpreted<F>(
     db: &Database,
     rule: &Rule,
     delta: Option<(usize, &Relation)>,
@@ -112,7 +126,7 @@ pub fn for_each_match_seeded<F>(
 ) where
     F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
 {
-    let plan = make_plan(rule, delta.map(|(i, _)| i));
+    let plan = Plan { order: greedy_order(rule, delta.map(|(i, _)| i)) };
     let mut bindings = Bindings::default();
     for &(v, val) in seed {
         bindings.bind(v, val);
@@ -120,14 +134,6 @@ pub fn for_each_match_seeded<F>(
     let mut pos_facts: Vec<Fact> = Vec::with_capacity(plan.order.len());
     let mut trail: Vec<Symbol> = Vec::new();
     step(db, rule, &plan, delta, 0, &mut bindings, &mut pos_facts, &mut trail, &mut callback);
-}
-
-/// [`for_each_match_seeded`] with no seed bindings.
-pub fn for_each_match<F>(db: &Database, rule: &Rule, delta: Option<(usize, &Relation)>, callback: F)
-where
-    F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
-{
-    for_each_match_seeded(db, rule, delta, &[], callback);
 }
 
 /// Binds `atom`'s variables against `tuple`; pushes fresh bindings on
@@ -297,6 +303,28 @@ mod tests {
         Database::from_facts(parse_facts(src))
     }
 
+    /// Both implementations, under one test body.
+    fn for_both(
+        db: &Database,
+        rule: &Rule,
+        delta: Option<(usize, &Relation)>,
+        seed: &[(Symbol, Value)],
+        mut check: impl FnMut(&str, Vec<(String, usize, usize)>),
+    ) {
+        let mut compiled = Vec::new();
+        for_each_match_seeded(db, rule, delta, seed, |h, p, n| {
+            compiled.push((h.to_string(), p.len(), n.len()));
+            true
+        });
+        check("compiled", compiled);
+        let mut interpreted = Vec::new();
+        for_each_match_interpreted(db, rule, delta, seed, |h, p, n| {
+            interpreted.push((h.to_string(), p.len(), n.len()));
+            true
+        });
+        check("interpreted", interpreted);
+    }
+
     fn all_heads(db: &Database, rule: &str) -> Vec<String> {
         let rule = Rule::parse(rule).unwrap();
         let mut out = Vec::new();
@@ -369,12 +397,10 @@ mod tests {
         let rule = Rule::parse("p(X, Y) :- e(X, Y).").unwrap();
         let mut delta_rel = Relation::new(2);
         delta_rel.insert(vec![Value::int(2), Value::int(3)].into());
-        let mut out = Vec::new();
-        for_each_match(&dbase, &rule, Some((0, &delta_rel)), |h, _, _| {
-            out.push(h.to_string());
-            true
+        for_both(&dbase, &rule, Some((0, &delta_rel)), &[], |path, out| {
+            assert_eq!(out.len(), 1, "[{path}]");
+            assert_eq!(out[0].0, "p(2, 3)", "[{path}]");
         });
-        assert_eq!(out, vec!["p(2, 3)"]);
     }
 
     #[test]
@@ -384,13 +410,9 @@ mod tests {
         let rule = Rule::parse("r(X) :- s(X), !a(X).").unwrap();
         let mut removed = Relation::new(1);
         removed.insert(vec![Value::int(1)].into());
-        let mut out = Vec::new();
-        for_each_match(&dbase, &rule, Some((1, &removed)), |h, _, neg| {
-            assert_eq!(neg.len(), 1);
-            out.push(h.to_string());
-            true
+        for_both(&dbase, &rule, Some((1, &removed)), &[], |path, out| {
+            assert_eq!(out, vec![("r(1)".to_string(), 1, 1)], "[{path}]");
         });
-        assert_eq!(out, vec!["r(1)"]);
     }
 
     #[test]
@@ -400,30 +422,20 @@ mod tests {
         let rule = Rule::parse("r(X) :- s(X), !a(X).").unwrap();
         let mut removed = Relation::new(1);
         removed.insert(vec![Value::int(1)].into());
-        let mut out = Vec::new();
-        for_each_match(&dbase, &rule, Some((1, &removed)), |h, _, _| {
-            out.push(h.to_string());
-            true
+        for_both(&dbase, &rule, Some((1, &removed)), &[], |path, out| {
+            assert!(out.is_empty(), "[{path}]");
         });
-        assert!(out.is_empty());
     }
 
     #[test]
     fn seeded_match_restricts_bindings() {
         let dbase = db("e(1, 2). e(2, 3).");
         let rule = Rule::parse("p(X, Y) :- e(X, Y).").unwrap();
-        let mut out = Vec::new();
-        for_each_match_seeded(
-            &dbase,
-            &rule,
-            None,
-            &[(Symbol::new("X"), Value::int(2))],
-            |h, _, _| {
-                out.push(h.to_string());
-                true
-            },
-        );
-        assert_eq!(out, vec!["p(2, 3)"]);
+        let seed = [(Symbol::new("X"), Value::int(2))];
+        for_both(&dbase, &rule, None, &seed, |path, out| {
+            assert_eq!(out.len(), 1, "[{path}]");
+            assert_eq!(out[0].0, "p(2, 3)", "[{path}]");
+        });
     }
 
     #[test]
@@ -442,13 +454,9 @@ mod tests {
     fn body_facts_reported_in_order() {
         let dbase = db("e(1, 2). f(2, 7). a(9).");
         let rule = Rule::parse("p(X, Z) :- e(X, Y), f(Y, Z), !a(Z).").unwrap();
-        let mut seen = Vec::new();
-        for_each_match(&dbase, &rule, None, |h, pos, neg| {
-            seen.push((h.to_string(), pos.len(), neg.len()));
-            // pos facts are in evaluation order; both body atoms appear.
-            true
+        for_both(&dbase, &rule, None, &[], |path, seen| {
+            assert_eq!(seen, vec![("p(1, 7)".to_string(), 2, 1)], "[{path}]");
         });
-        assert_eq!(seen, vec![("p(1, 7)".to_string(), 2, 1)]);
     }
 
     #[test]

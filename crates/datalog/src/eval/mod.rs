@@ -23,6 +23,7 @@ pub mod backchain;
 pub mod incremental;
 pub mod matcher;
 pub mod naive;
+pub mod plan;
 pub mod seminaive;
 
 use crate::atom::Fact;

@@ -7,11 +7,9 @@
 //! be applied here" (paper, §5.2).
 
 use crate::atom::Fact;
-use crate::program::RuleId;
-use crate::rule::Rule;
 use crate::storage::Database;
 
-use super::matcher::for_each_match;
+use super::plan::{CompiledRule, MatchScratch};
 use super::{Derivation, DerivationSink};
 
 /// Statistics from one saturation run.
@@ -32,20 +30,22 @@ pub struct SaturationStats {
 /// Returns the facts added, in insertion order.
 pub fn saturate<S: DerivationSink>(
     db: &mut Database,
-    rules: &[(RuleId, Rule)],
+    rules: &[CompiledRule],
     sink: &mut S,
     stats: &mut SaturationStats,
 ) -> Vec<Fact> {
+    let mut scratch = MatchScratch::new();
     let mut added_total = Vec::new();
     loop {
         stats.passes += 1;
         let mut changed = false;
-        for (rid, rule) in rules {
+        for cr in rules {
+            let rid = cr.id();
             let mut new_facts: Vec<Fact> = Vec::new();
             let derivations = &mut stats.derivations;
-            for_each_match(db, rule, None, |head, pos, neg| {
+            cr.plan().for_each_derivation(db, None, &[], &mut scratch, |head, pos, neg| {
                 *derivations += 1;
-                let d = Derivation { rule: *rid, head: &head, pos_body: pos, neg_body: neg };
+                let d = Derivation { rule: rid, head: &head, pos_body: pos, neg_body: neg };
                 if sink.on_derivation(&d) {
                     changed = true;
                 }
@@ -75,10 +75,10 @@ mod tests {
     use crate::program::Program;
     use crate::storage::parse_facts;
 
-    fn setup(src: &str) -> (Database, Vec<(RuleId, Rule)>) {
+    fn setup(src: &str) -> (Database, Vec<CompiledRule>) {
         let p = Program::parse(src).unwrap();
         let db = Database::from_facts(p.facts().cloned());
-        let rules: Vec<(RuleId, Rule)> = p.rules().map(|(id, r)| (id, r.clone())).collect();
+        let rules = crate::eval::plan::compile_rules(p.rules().map(|(id, r)| (id, r.clone())));
         (db, rules)
     }
 

@@ -13,12 +13,10 @@
 use rustc_hash::FxHashMap;
 
 use crate::atom::Fact;
-use crate::program::RuleId;
-use crate::rule::Rule;
 use crate::storage::{Database, Relation, TupleData};
 use crate::symbol::Symbol;
 
-use super::matcher::for_each_match;
+use super::plan::{CompiledRule, MatchScratch};
 use super::NewFactSink;
 
 /// Statistics from one delta-driven run.
@@ -48,17 +46,19 @@ pub(crate) fn group_deltas(facts: &[Fact]) -> FxHashMap<Symbol, Relation> {
 /// produced it. Returns the facts added.
 pub fn saturate<S: NewFactSink>(
     db: &mut Database,
-    rules: &[(RuleId, Rule)],
+    rules: &[CompiledRule],
     sink: &mut S,
     stats: &mut DeltaStats,
 ) -> Vec<Fact> {
+    let mut scratch = MatchScratch::new();
     let mut delta: Vec<Fact> = Vec::new();
-    for (rid, rule) in rules {
+    for cr in rules {
         stats.firings += 1;
+        let rid = cr.id();
         let mut out: Vec<Fact> = Vec::new();
-        for_each_match(db, rule, None, |head, _, _| {
+        cr.plan().for_each_head(db, None, &[], &mut scratch, |head| {
             if db.contains(&head) {
-                sink.on_existing_fact(*rid, &head);
+                sink.on_existing_fact(rid, &head);
             } else {
                 out.push(head);
             }
@@ -66,40 +66,55 @@ pub fn saturate<S: NewFactSink>(
         });
         for f in out {
             if db.insert(f.clone()) {
-                sink.on_new_fact(*rid, &f);
+                sink.on_new_fact(rid, &f);
                 delta.push(f);
             }
         }
     }
     let mut added = delta.clone();
-    drive(db, rules, delta, sink, stats, &mut added);
+    drive_with(db, rules, delta, sink, stats, &mut added, &mut scratch);
     added
 }
 
 /// Runs delta rounds from an initial increase until all increases are empty.
 pub(crate) fn drive<S: NewFactSink>(
     db: &mut Database,
-    rules: &[(RuleId, Rule)],
+    rules: &[CompiledRule],
+    delta: Vec<Fact>,
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    added: &mut Vec<Fact>,
+) {
+    drive_with(db, rules, delta, sink, stats, added, &mut MatchScratch::new());
+}
+
+/// [`drive`] with caller-owned scratch buffers (saturation reuses the ones
+/// warmed by its first full round).
+pub(crate) fn drive_with<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
     mut delta: Vec<Fact>,
     sink: &mut S,
     stats: &mut DeltaStats,
     added: &mut Vec<Fact>,
+    scratch: &mut MatchScratch,
 ) {
     while !delta.is_empty() {
         stats.rounds += 1;
         let by_rel = group_deltas(&delta);
         let mut next: Vec<Fact> = Vec::new();
-        for (rid, rule) in rules {
-            for (li, lit) in rule.body.iter().enumerate() {
+        for cr in rules {
+            let rid = cr.id();
+            for (li, lit) in cr.rule().body.iter().enumerate() {
                 if !lit.positive {
                     continue;
                 }
                 let Some(drel) = by_rel.get(&lit.atom.rel) else { continue };
                 stats.firings += 1;
                 let mut out: Vec<Fact> = Vec::new();
-                for_each_match(db, rule, Some((li, drel)), |head, _, _| {
+                cr.delta_plan(li).for_each_head(db, Some(drel), &[], scratch, |head| {
                     if db.contains(&head) {
-                        sink.on_existing_fact(*rid, &head);
+                        sink.on_existing_fact(rid, &head);
                     } else {
                         out.push(head);
                     }
@@ -107,7 +122,7 @@ pub(crate) fn drive<S: NewFactSink>(
                 });
                 for f in out {
                     if db.insert(f.clone()) {
-                        sink.on_new_fact(*rid, &f);
+                        sink.on_new_fact(rid, &f);
                         next.push(f.clone());
                         added.push(f);
                     }
@@ -130,12 +145,12 @@ mod tests {
     use super::*;
     use crate::eval::naive;
     use crate::eval::{NullNewFact, NullSink};
-    use crate::program::Program;
+    use crate::program::{Program, RuleId};
 
-    fn setup(src: &str) -> (Database, Vec<(RuleId, Rule)>) {
+    fn setup(src: &str) -> (Database, Vec<CompiledRule>) {
         let p = Program::parse(src).unwrap();
         let db = Database::from_facts(p.facts().cloned());
-        let rules: Vec<(RuleId, Rule)> = p.rules().map(|(id, r)| (id, r.clone())).collect();
+        let rules = crate::eval::plan::compile_rules(p.rules().map(|(id, r)| (id, r.clone())));
         (db, rules)
     }
 
@@ -169,8 +184,8 @@ mod tests {
         let (mut db, rules) = setup("a(1). p(X) :- a(X). q(X) :- p(X).");
         let mut sink = Collect(Vec::new());
         saturate(&mut db, &rules, &mut sink, &mut Default::default());
-        let p_rule = rules[0].0;
-        let q_rule = rules[1].0;
+        let p_rule = rules[0].id();
+        let q_rule = rules[1].id();
         assert!(sink.0.contains(&(p_rule, "p(1)".to_string())));
         assert!(sink.0.contains(&(q_rule, "q(1)".to_string())));
         assert_eq!(sink.0.len(), 2);

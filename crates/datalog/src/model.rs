@@ -14,10 +14,10 @@
 
 use crate::atom::Fact;
 use crate::error::{DatalogError, StratificationError};
+use crate::eval::plan::{compile_rules, CompiledRule};
 use crate::eval::{naive, seminaive, DerivationSink, NewFactSink, NullNewFact, NullSink};
 use crate::graph::{DepGraph, Stratification};
-use crate::program::{Program, RuleId};
-use crate::rule::Rule;
+use crate::program::Program;
 use crate::storage::Database;
 
 /// Which stratification to use.
@@ -32,11 +32,16 @@ pub enum StratKind {
 
 /// A program analyzed for evaluation: dependency graph, stratification, and
 /// rules/facts grouped by stratum.
+///
+/// Rules are stored **compiled** ([`CompiledRule`]): every
+/// `(rule, delta_position)` matching plan is built once here, at analysis
+/// time, and reused by each saturation round of every engine that holds the
+/// `Strata`.
 #[derive(Clone, Debug)]
 pub struct Strata {
     graph: DepGraph,
     strat: Stratification,
-    rules_by_stratum: Vec<Vec<(RuleId, Rule)>>,
+    rules_by_stratum: Vec<Vec<CompiledRule>>,
     facts_by_stratum: Vec<Vec<Fact>>,
 }
 
@@ -65,7 +70,7 @@ impl Strata {
         let ix = graph.rel_index();
         for (id, rule) in program.rules() {
             let s = strat.stratum_of(ix.of(rule.head.rel));
-            rules_by_stratum[s].push((id, rule.clone()));
+            rules_by_stratum[s].push(CompiledRule::compile(id, rule.clone()));
         }
         for fact in program.facts() {
             let s = strat.stratum_of(ix.of(fact.rel));
@@ -89,8 +94,9 @@ impl Strata {
         self.strat.num_strata()
     }
 
-    /// Rules of stratum `i` (rules live in the stratum of their head).
-    pub fn rules_of(&self, i: usize) -> &[(RuleId, Rule)] {
+    /// Compiled rules of stratum `i` (rules live in the stratum of their
+    /// head).
+    pub fn rules_of(&self, i: usize) -> &[CompiledRule] {
         &self.rules_by_stratum[i]
     }
 
@@ -201,17 +207,14 @@ impl StandardModel {
     /// the head of a rule instance whose body holds in the model (paper §2,
     /// Theorem iii). Used by property tests.
     pub fn is_supported(&self, program: &Program) -> bool {
+        let rules = compile_rules(program.rules().map(|(id, r)| (id, r.clone())));
         self.db.iter_facts().all(|f| {
             if program.is_asserted(&f) {
                 return true;
             }
-            crate::eval::incremental::rederive(&self.db, &all_rules(program), &f).is_some()
+            crate::eval::incremental::rederive(&self.db, &rules, &f).is_some()
         })
     }
-}
-
-fn all_rules(program: &Program) -> Vec<(RuleId, Rule)> {
-    program.rules().map(|(id, r)| (id, r.clone())).collect()
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use rustc_hash::FxHashSet;
 
 use crate::atom::Atom;
 use crate::error::{DatalogError, SafetyError};
-use crate::eval::matcher::for_each_match;
+use crate::eval::plan::{CompiledPlan, MatchScratch};
 use crate::literal::Literal;
 use crate::rule::Rule;
 use crate::storage::Database;
@@ -33,6 +33,9 @@ pub struct Query {
     /// The query as a synthetic rule `__answer__(vars…) :- body`, which
     /// reuses the rule matcher (join planning, index selection).
     rule: Rule,
+    /// The matching plan, compiled once at construction and reused by every
+    /// evaluation.
+    plan: CompiledPlan,
 }
 
 impl Query {
@@ -50,7 +53,8 @@ impl Query {
         }
         let head = Atom::new("__answer__", vars.iter().map(|&v| Term::Var(v)).collect());
         let rule = Rule::new(head, body)?;
-        Ok(Query { vars, rule })
+        let plan = CompiledPlan::compile(&rule, None);
+        Ok(Query { vars, rule, plan })
     }
 
     /// Parses a query such as `p(X), !q(X)`.
@@ -72,8 +76,20 @@ impl Query {
 
     /// Evaluates over `db`, invoking `f` per answer; return `false` from
     /// `f` to stop early.
-    pub fn for_each(&self, db: &Database, mut f: impl FnMut(&[Value]) -> bool) {
-        for_each_match(db, &self.rule, None, |head, _, _| f(&head.args));
+    pub fn for_each(&self, db: &Database, f: impl FnMut(&[Value]) -> bool) {
+        self.for_each_with(db, &mut MatchScratch::new(), f);
+    }
+
+    /// [`Query::for_each`] with caller-owned scratch buffers — repeated
+    /// evaluation of the same (or any) query through one `scratch` keeps
+    /// the inner loop allocation-free, as the engine APIs do.
+    pub fn for_each_with(
+        &self,
+        db: &Database,
+        scratch: &mut MatchScratch,
+        mut f: impl FnMut(&[Value]) -> bool,
+    ) {
+        self.plan.for_each_head(db, None, &[], scratch, |head| f(&head.args));
     }
 
     /// All answers, sorted and deduplicated.
@@ -220,5 +236,27 @@ mod tests {
             false
         });
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries() {
+        let dbase = db("e(1, 2). e(2, 3). s(1).");
+        let join = Query::parse("e(X, Y), e(Y, Z)").unwrap();
+        let filter = Query::parse("s(X), !missing(X)").unwrap();
+        let mut scratch = MatchScratch::new();
+        for _ in 0..3 {
+            let mut n = 0;
+            join.for_each_with(&dbase, &mut scratch, |_| {
+                n += 1;
+                true
+            });
+            assert_eq!(n, 1);
+            let mut m = 0;
+            filter.for_each_with(&dbase, &mut scratch, |_| {
+                m += 1;
+                true
+            });
+            assert_eq!(m, 1);
+        }
     }
 }

@@ -18,6 +18,16 @@ use crate::term::Value;
 /// A stored tuple.
 pub type TupleData = Box<[Value]>;
 
+/// Compaction triggers when tombstones exceed this fraction of the arena
+/// (denominator: `tombstones > rows / COMPACT_DIVISOR`). At 2, the arena —
+/// and with it the stale ids lingering in the per-column posting lists —
+/// never exceeds twice the live tuple count.
+const COMPACT_DIVISOR: usize = 2;
+
+/// Arenas at or below this size skip compaction: rebuilding is not worth it
+/// and the waste is bounded by a constant.
+const COMPACT_MIN_ROWS: usize = 64;
+
 /// The extension of a single relation.
 #[derive(Clone, Default)]
 pub struct Relation {
@@ -83,16 +93,39 @@ impl Relation {
     }
 
     /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// Deletion tombstones the arena row and leaves the row id stale in
+    /// every per-column posting list; when tombstones pass the
+    /// [`COMPACT_DIVISOR`] threshold the relation is compacted — rows *and*
+    /// indexes rebuilt — so neither accumulates beyond a constant factor of
+    /// the live size under sustained insert/delete churn.
     pub fn remove(&mut self, tuple: &[Value]) -> bool {
         let Some(id) = self.by_tuple.remove(tuple) else {
             return false;
         };
         self.rows[id as usize] = None;
         self.tombstones += 1;
-        if self.tombstones > self.rows.len() / 2 && self.rows.len() > 64 {
+        if self.tombstones > self.rows.len() / COMPACT_DIVISOR && self.rows.len() > COMPACT_MIN_ROWS
+        {
             self.compact();
         }
         true
+    }
+
+    /// Arena length including tombstones (compaction bound checks).
+    pub fn arena_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of tombstoned arena rows.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Total entries across the per-column posting lists, stale ids
+    /// included (compaction bound checks).
+    pub fn index_entries(&self) -> usize {
+        self.cols.iter().flat_map(|c| c.values()).map(Vec::len).sum()
     }
 
     /// Rebuilds the arena and indexes, dropping tombstones.
@@ -359,6 +392,50 @@ mod tests {
             assert_eq!(r.scan_bound(0, Value::int(i)).count(), 1);
         }
         assert_eq!(r.iter().count(), 50);
+    }
+
+    #[test]
+    fn churn_keeps_iteration_correct_and_arena_bounded() {
+        // Sustained insert/delete churn (including delete+reinsert of the
+        // same tuples, which strands stale ids in the posting lists): live
+        // iteration must stay exact and compaction must bound both the
+        // arena and the index entries by a constant factor of live size.
+        let mut r = Relation::new(2);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut live: std::collections::BTreeSet<(i64, i64)> = Default::default();
+        for round in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((x >> 33) % 50) as i64;
+            let b = ((x >> 13) % 50) as i64;
+            if round % 3 == 0 {
+                if r.remove(&t(&[a, b])) {
+                    live.remove(&(a, b));
+                }
+            } else if r.insert(t(&[a, b])) {
+                live.insert((a, b));
+            }
+            assert_eq!(r.len(), live.len(), "round {round}");
+        }
+        // Exact live contents, via full iteration and via indexed scans.
+        let mut seen: Vec<(i64, i64)> = r
+            .iter()
+            .map(|t| match (t[0], t[1]) {
+                (Value::Int(a), Value::Int(b)) => (a, b),
+                _ => unreachable!(),
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, live.iter().copied().collect::<Vec<_>>());
+        for a in 0..50 {
+            let expect = live.iter().filter(|&&(x0, _)| x0 == a).count();
+            assert_eq!(r.scan_bound(0, Value::int(a)).count(), expect, "column 0 = {a}");
+        }
+        // Compaction bounds: arena ≤ 2× live (or the small-relation floor),
+        // and posting lists hold one entry per arena row per column.
+        let bound = (r.len() * 2).max(COMPACT_MIN_ROWS + 1);
+        assert!(r.arena_len() <= bound, "arena {} vs live {}", r.arena_len(), r.len());
+        assert!(r.index_entries() <= 2 * bound, "index entries {}", r.index_entries());
+        assert!(r.tombstone_count() <= r.arena_len());
     }
 
     #[test]
