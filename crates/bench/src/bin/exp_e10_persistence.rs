@@ -1,0 +1,237 @@
+//! E10 — what durability costs and what recovery buys.
+//!
+//! Three measurements over [`strata_core::durable::DurableEngine`] (cascade
+//! inner engine, conference workload):
+//!
+//! * **commit throughput** — the same update stream applied (a) one
+//!   update per transaction with fsync-on-commit, (b) batched into
+//!   `apply_all` transactions (one fsync per batch), and (c) per-update
+//!   with buffered durability (no fsync; isolates the fsync cost).
+//! * **recovery time vs WAL length** — `open` on a store whose WAL holds
+//!   increasing numbers of committed transactions (snapshot + replay).
+//! * **snapshot + compaction cost** — `compact()` wall time and the
+//!   resulting snapshot size, after the same WAL lengths.
+//!
+//! Results go to `BENCH_store.json` so future storage PRs have a baseline
+//! to beat. Usage: `exp_e10_persistence [--smoke] [--out PATH]`; `--smoke`
+//! runs tiny sizes (the CI bit-rot guard) and skips the file unless
+//! `--out` is given.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use strata_bench::banner;
+use strata_core::durable::DurableEngine;
+use strata_core::registry::EngineRegistry;
+use strata_core::{MaintenanceEngine, Update};
+use strata_store::{Durability, SNAPSHOT_FILE};
+use strata_workload::script::{random_fact_script, ScriptConfig};
+use strata_workload::synth;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_e10_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_cascade(
+    dir: &std::path::Path,
+    program: strata_datalog::Program,
+    durability: Durability,
+) -> DurableEngine {
+    let registry = EngineRegistry::standard();
+    DurableEngine::open(dir, "cascade", registry.ctor("cascade").unwrap(), program, durability)
+        .expect("open durable engine")
+}
+
+struct ThroughputRow {
+    mode: String,
+    updates: usize,
+    elapsed_ms: f64,
+    per_sec: f64,
+    wal_kib: f64,
+}
+
+fn bench_throughput(
+    mode: &str,
+    script: &[Update],
+    batch: usize,
+    durability: Durability,
+    program: &strata_datalog::Program,
+) -> ThroughputRow {
+    let dir = scratch(&format!("tp_{mode}"));
+    let mut engine = open_cascade(&dir, program.clone(), durability);
+    let t0 = Instant::now();
+    if batch <= 1 {
+        for u in script {
+            engine.apply(u).expect("script update applies");
+        }
+    } else {
+        for chunk in script.chunks(batch) {
+            engine.apply_all(chunk).expect("script batch applies");
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let wal_kib = engine.wal_bytes() as f64 / 1024.0;
+    let _ = std::fs::remove_dir_all(&dir);
+    ThroughputRow {
+        mode: mode.to_string(),
+        updates: script.len(),
+        elapsed_ms: elapsed * 1e3,
+        per_sec: script.len() as f64 / elapsed,
+        wal_kib,
+    }
+}
+
+struct RecoveryRow {
+    wal_txns: usize,
+    wal_kib: f64,
+    recover_ms: f64,
+    model_facts: usize,
+    compact_ms: f64,
+    snapshot_kib: f64,
+}
+
+fn bench_recovery(
+    wal_txns: usize,
+    script: &[Update],
+    program: &strata_datalog::Program,
+) -> RecoveryRow {
+    let dir = scratch(&format!("rec_{wal_txns}"));
+    {
+        let mut engine = open_cascade(&dir, program.clone(), Durability::Buffered);
+        for u in script.iter().take(wal_txns) {
+            engine.apply(u).expect("script update applies");
+        }
+    } // dropped: the next open performs real recovery
+    let wal_kib =
+        std::fs::metadata(dir.join(strata_store::WAL_FILE)).map_or(0, |m| m.len()) as f64 / 1024.0;
+    let t0 = Instant::now();
+    let mut engine = open_cascade(&dir, strata_datalog::Program::new(), Durability::Buffered);
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let model_facts = engine.model().len();
+    let t0 = Instant::now();
+    engine.compact().expect("compaction succeeds");
+    let compact_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot_kib =
+        std::fs::metadata(dir.join(SNAPSHOT_FILE)).map_or(0, |m| m.len()) as f64 / 1024.0;
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryRow { wal_txns, wal_kib, recover_ms, model_facts, compact_ms, snapshot_kib }
+}
+
+fn write_json(path: &str, tp: &[ThroughputRow], rec: &[RecoveryRow]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e10_persistence\",\n");
+    out.push_str(
+        "  \"description\": \"durable store: commit throughput (per-update vs batched fsync), \
+         recovery time vs WAL length, snapshot+compaction cost\",\n",
+    );
+    out.push_str("  \"throughput\": [\n");
+    for (i, r) in tp.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"updates\": {}, \"elapsed_ms\": {:.3}, \
+             \"updates_per_sec\": {:.0}, \"wal_kib\": {:.1}}}{}\n",
+            r.mode,
+            r.updates,
+            r.elapsed_ms,
+            r.per_sec,
+            r.wal_kib,
+            if i + 1 == tp.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"recovery\": [\n");
+    for (i, r) in rec.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"wal_txns\": {}, \"wal_kib\": {:.1}, \"recover_ms\": {:.3}, \
+             \"model_facts\": {}, \"compact_ms\": {:.3}, \"snapshot_kib\": {:.1}}}{}\n",
+            r.wal_txns,
+            r.wal_kib,
+            r.recover_ms,
+            r.model_facts,
+            r.compact_ms,
+            r.snapshot_kib,
+            if i + 1 == rec.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E10", "persistence: WAL commit throughput, recovery, compaction");
+    let (papers, pc, script_len, batch, wal_lengths): (usize, usize, usize, usize, Vec<usize>) =
+        if smoke {
+            (40, 6, 60, 16, vec![20, 60])
+        } else {
+            (250, 25, 1000, 64, vec![100, 500, 1000, 4000])
+        };
+    let program = synth::conference(papers, pc, 42);
+    let script = random_fact_script(
+        &program,
+        &ScriptConfig {
+            len: script_len.max(wal_lengths.iter().copied().max().unwrap_or(0)),
+            insert_prob: 0.6,
+        },
+        7,
+    );
+
+    let tp = vec![
+        bench_throughput(
+            "per_update_fsync",
+            &script[..script_len.min(script.len())],
+            1,
+            Durability::Fsync,
+            &program,
+        ),
+        bench_throughput(
+            "batched_fsync",
+            &script[..script_len.min(script.len())],
+            batch,
+            Durability::Fsync,
+            &program,
+        ),
+        bench_throughput(
+            "per_update_buffered",
+            &script[..script_len.min(script.len())],
+            1,
+            Durability::Buffered,
+            &program,
+        ),
+    ];
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>10}",
+        "mode", "updates", "elapsed ms", "updates/sec", "wal KiB"
+    );
+    for r in &tp {
+        println!(
+            "{:<22} {:>8} {:>12.2} {:>14.0} {:>10.1}",
+            r.mode, r.updates, r.elapsed_ms, r.per_sec, r.wal_kib
+        );
+    }
+
+    let rec: Vec<RecoveryRow> = wal_lengths
+        .iter()
+        .map(|&n| bench_recovery(n.min(script.len()), &script, &program))
+        .collect();
+    println!(
+        "\n{:>9} {:>9} {:>11} {:>12} {:>11} {:>13}",
+        "wal txns", "wal KiB", "recover ms", "model facts", "compact ms", "snapshot KiB"
+    );
+    for r in &rec {
+        println!(
+            "{:>9} {:>9.1} {:>11.2} {:>12} {:>11.2} {:>13.1}",
+            r.wal_txns, r.wal_kib, r.recover_ms, r.model_facts, r.compact_ms, r.snapshot_kib
+        );
+    }
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &tp, &rec),
+        (false, None) => write_json("BENCH_store.json", &tp, &rec),
+        (true, None) => println!("\n--smoke: skipping BENCH_store.json"),
+    }
+}

@@ -29,6 +29,19 @@ pub fn engines_by_name(program: &Program, names: &[&str]) -> Vec<Box<dyn Mainten
         .collect()
 }
 
+/// Builds one strategy with an explicit storage config (`mem` or
+/// `wal:<dir>`) through the registry — the durable counterpart of
+/// [`engines_by_name`], used by the persistence experiments.
+pub fn engine_with_storage(
+    program: &Program,
+    name: &str,
+    storage: &strata_core::StorageConfig,
+) -> Box<dyn MaintenanceEngine> {
+    EngineRegistry::standard()
+        .build_with_storage(name, program.clone(), storage)
+        .expect("registered, stratified, and storable")
+}
+
 /// The strategies compared throughout the experiments, in paper order.
 pub fn all_engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
     engines_by_name(program, COMPARED_STRATEGIES)
@@ -184,6 +197,21 @@ mod tests {
             let b = replay_all(bat.as_mut(), &script);
             assert_eq!(a.final_facts, b.final_facts, "[{}]", a.name);
         }
+    }
+
+    #[test]
+    fn engine_with_storage_replays_into_a_durable_store() {
+        let dir = std::env::temp_dir().join(format!("strata_bench_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let storage = strata_core::StorageConfig::Wal(dir.clone());
+        let program = strata_workload::paper::pods(2, 6);
+        {
+            let mut e = engine_with_storage(&program, "cascade", &storage);
+            replay(e.as_mut(), &[Update::InsertFact(Fact::parse("accepted(1)").unwrap())]);
+        }
+        let e = engine_with_storage(&strata_datalog::Program::new(), "cascade", &storage);
+        assert!(e.model().contains_parsed("accepted(1)"), "state survived the drop");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -196,6 +196,14 @@ impl<E: MaintenanceEngine> GuardedEngine<E> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped engine, for operations outside the
+    /// guarded update path (e.g. [`MaintenanceEngine::checkpoint`] on a
+    /// durable engine). Constraint enforcement only covers updates applied
+    /// through the guard.
+    pub fn inner_mut(&mut self) -> &mut E {
+        &mut self.inner
+    }
+
     /// Swaps the wrapped engine (e.g. a strategy switch over the same
     /// program), returning the old one. The constraints carry over.
     pub fn replace_inner(&mut self, inner: E) -> E {

@@ -1,0 +1,706 @@
+//! Durable maintenance: [`DurableEngine`] makes any engine's belief state —
+//! the model *and* the supports that justify it — survive restart.
+//!
+//! ## Write path
+//!
+//! Every [`MaintenanceEngine::apply_all`] batch becomes one WAL transaction,
+//! logged **before** the in-memory engine sees it:
+//!
+//! ```text
+//! BEGIN(seq)  DATA(update)*            buffered
+//! … inner.apply_all(batch) …           in memory
+//! COMMIT(seq) | ABORT(seq)             fsync — the batch's commit point
+//! ```
+//!
+//! A batch the engine rejects writes `ABORT`, so the durable history
+//! records the decision; a crash mid-batch leaves an unterminated
+//! transaction that recovery discards — either way the store replays to the
+//! exact pre-batch state, which is the `apply_all` contract ("reject leaves
+//! the engine unchanged") extended to disk.
+//!
+//! ## Recovery
+//!
+//! `open` = load the latest snapshot (program + model + support dump),
+//! rebuild the engine from the snapshot's program, verify the rebuilt model
+//! against the snapshot's model section, then replay the committed WAL
+//! suffix through `apply_all`. Engines are deterministic functions of
+//! (program, update sequence), so replay reproduces the supports as well as
+//! the model.
+//!
+//! ## Compaction
+//!
+//! [`DurableEngine::compact`] writes a fresh snapshot and empties the WAL.
+//! It first **canonicalizes** the live engine — rebuilds it from its
+//! current program — so that the live support state and the
+//! recovered-from-snapshot support state are the same object by
+//! construction. (Support sets are sound approximations either way; the
+//! canonical form is what a fresh engine would believe, which is the
+//! natural normal form for a belief state checkpoint.)
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use strata_datalog::wire::{self, Reader, WireError};
+use strata_datalog::{Database, Fact, Program, Rule};
+use strata_store::{Durability, Store};
+
+use crate::engine::{MaintenanceEngine, MaintenanceError, Update};
+use crate::stats::UpdateStats;
+use crate::support::{FactSupport, PairDump, SupportDump, WitnessDump};
+
+/// Where a registry-built engine keeps its state.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum StorageConfig {
+    /// Purely in-memory (the default): state dies with the process.
+    #[default]
+    Mem,
+    /// Durable: WAL + snapshots in this directory.
+    Wal(PathBuf),
+}
+
+impl StorageConfig {
+    /// Parses `"mem"` or `"wal:<path>"`.
+    pub fn parse(s: &str) -> Result<StorageConfig, String> {
+        if s == "mem" {
+            return Ok(StorageConfig::Mem);
+        }
+        match s.strip_prefix("wal:") {
+            Some(path) if !path.is_empty() => Ok(StorageConfig::Wal(PathBuf::from(path))),
+            _ => Err(format!("invalid storage config `{s}` (expected `mem` or `wal:<path>`)")),
+        }
+    }
+}
+
+impl fmt::Display for StorageConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageConfig::Mem => f.write_str("mem"),
+            StorageConfig::Wal(path) => write!(f, "wal:{}", path.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for StorageConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StorageConfig, String> {
+        StorageConfig::parse(s)
+    }
+}
+
+fn storage_err(e: impl fmt::Display) -> MaintenanceError {
+    MaintenanceError::Storage(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Update codec (WAL data records).
+// ---------------------------------------------------------------------------
+
+/// Transaction kind byte: logged by [`MaintenanceEngine::apply`].
+const TXN_APPLY: u8 = 0;
+/// Transaction kind byte: logged by [`MaintenanceEngine::apply_all`].
+const TXN_APPLY_ALL: u8 = 1;
+
+const UPD_INSERT_FACT: u8 = 0;
+const UPD_DELETE_FACT: u8 = 1;
+const UPD_INSERT_RULE: u8 = 2;
+const UPD_DELETE_RULE: u8 = 3;
+
+/// Encodes one update as a WAL data record. Facts are structural; rules go
+/// through their display form, which round-trips by construction.
+pub fn encode_update(u: &Update) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match u {
+        Update::InsertFact(f) => {
+            buf.push(UPD_INSERT_FACT);
+            wire::put_fact(&mut buf, f);
+        }
+        Update::DeleteFact(f) => {
+            buf.push(UPD_DELETE_FACT);
+            wire::put_fact(&mut buf, f);
+        }
+        Update::InsertRule(r) => {
+            buf.push(UPD_INSERT_RULE);
+            wire::put_str(&mut buf, &r.to_string());
+        }
+        Update::DeleteRule(r) => {
+            buf.push(UPD_DELETE_RULE);
+            wire::put_str(&mut buf, &r.to_string());
+        }
+    }
+    buf
+}
+
+/// Decodes one WAL data record.
+pub fn decode_update(bytes: &[u8]) -> Result<Update, MaintenanceError> {
+    let mut r = Reader::new(bytes);
+    let tag = r.get_u8().map_err(storage_err)?;
+    let update = match tag {
+        UPD_INSERT_FACT => Update::InsertFact(r.get_fact().map_err(storage_err)?),
+        UPD_DELETE_FACT => Update::DeleteFact(r.get_fact().map_err(storage_err)?),
+        UPD_INSERT_RULE | UPD_DELETE_RULE => {
+            let text = r.get_str().map_err(storage_err)?;
+            let rule = Rule::parse(&text)
+                .map_err(|e| storage_err(format!("unparseable rule in WAL: {e}")))?;
+            if tag == UPD_INSERT_RULE {
+                Update::InsertRule(rule)
+            } else {
+                Update::DeleteRule(rule)
+            }
+        }
+        other => return Err(storage_err(format!("unknown update tag {other}"))),
+    };
+    if !r.is_at_end() {
+        return Err(storage_err("trailing bytes in update record"));
+    }
+    Ok(update)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot payload codec: program + model + support dump.
+// ---------------------------------------------------------------------------
+
+fn put_program(buf: &mut Vec<u8>, program: &Program) {
+    let mut facts: Vec<Fact> = program.facts().cloned().collect();
+    facts.sort_by(wire::fact_wire_cmp);
+    wire::put_u32(buf, facts.len() as u32);
+    for f in &facts {
+        wire::put_fact(buf, f);
+    }
+    // Rules in slot order: recovery re-adds them in sequence, so rule ids
+    // come out dense and deterministic.
+    let rules: Vec<String> = program.rules().map(|(_, r)| r.to_string()).collect();
+    wire::put_u32(buf, rules.len() as u32);
+    for r in &rules {
+        wire::put_str(buf, r);
+    }
+}
+
+fn get_program(r: &mut Reader<'_>) -> Result<Program, MaintenanceError> {
+    let mut program = Program::new();
+    let nfacts = r.get_u32().map_err(storage_err)?;
+    for _ in 0..nfacts {
+        let f = r.get_fact().map_err(storage_err)?;
+        program.assert_fact(f).map_err(|e| storage_err(format!("snapshot fact: {e}")))?;
+    }
+    let nrules = r.get_u32().map_err(storage_err)?;
+    for _ in 0..nrules {
+        let text = r.get_str().map_err(storage_err)?;
+        let rule = Rule::parse(&text)
+            .map_err(|e| storage_err(format!("unparseable rule in snapshot: {e}")))?;
+        program.add_rule(rule).map_err(|e| storage_err(format!("snapshot rule: {e}")))?;
+    }
+    Ok(program)
+}
+
+fn put_string_list(buf: &mut Vec<u8>, items: &[String]) {
+    wire::put_u32(buf, items.len() as u32);
+    for s in items {
+        wire::put_str(buf, s);
+    }
+}
+
+fn get_string_list(r: &mut Reader<'_>) -> Result<Vec<String>, WireError> {
+    let n = r.get_u32()?;
+    (0..n).map(|_| r.get_str()).collect()
+}
+
+fn put_pair_dump(buf: &mut Vec<u8>, p: &PairDump) {
+    put_string_list(buf, &p.pos);
+    put_string_list(buf, &p.pos_signed);
+    put_string_list(buf, &p.neg);
+    put_string_list(buf, &p.neg_signed);
+}
+
+fn get_pair_dump(r: &mut Reader<'_>) -> Result<PairDump, WireError> {
+    Ok(PairDump {
+        pos: get_string_list(r)?,
+        pos_signed: get_string_list(r)?,
+        neg: get_string_list(r)?,
+        neg_signed: get_string_list(r)?,
+    })
+}
+
+const SUP_SINGLE: u8 = 0;
+const SUP_MULTI: u8 = 1;
+const SUP_RULES: u8 = 2;
+const SUP_ENTRIES: u8 = 3;
+
+fn put_support_dump(buf: &mut Vec<u8>, dump: &SupportDump) {
+    wire::put_u32(buf, dump.entries.len() as u32);
+    for (fact, support) in &dump.entries {
+        wire::put_fact(buf, fact);
+        match support {
+            FactSupport::Single(p) => {
+                buf.push(SUP_SINGLE);
+                put_pair_dump(buf, p);
+            }
+            FactSupport::Multi { asserted, pairs } => {
+                buf.push(SUP_MULTI);
+                buf.push(u8::from(*asserted));
+                wire::put_u32(buf, pairs.len() as u32);
+                for p in pairs {
+                    put_pair_dump(buf, p);
+                }
+            }
+            FactSupport::Rules { asserted, rules } => {
+                buf.push(SUP_RULES);
+                buf.push(u8::from(*asserted));
+                put_string_list(buf, rules);
+            }
+            FactSupport::Entries(entries) => {
+                buf.push(SUP_ENTRIES);
+                wire::put_u32(buf, entries.len() as u32);
+                for e in entries {
+                    put_string_list(buf, &e.pos);
+                    put_string_list(buf, &e.neg);
+                }
+            }
+        }
+    }
+}
+
+fn get_support_dump(r: &mut Reader<'_>) -> Result<SupportDump, WireError> {
+    let n = r.get_u32()?;
+    let mut entries = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let fact = r.get_fact()?;
+        let support = match r.get_u8()? {
+            SUP_SINGLE => FactSupport::Single(get_pair_dump(r)?),
+            SUP_MULTI => {
+                let asserted = r.get_u8()? != 0;
+                let k = r.get_u32()?;
+                let pairs = (0..k).map(|_| get_pair_dump(r)).collect::<Result<_, _>>()?;
+                FactSupport::Multi { asserted, pairs }
+            }
+            SUP_RULES => {
+                let asserted = r.get_u8()? != 0;
+                FactSupport::Rules { asserted, rules: get_string_list(r)? }
+            }
+            SUP_ENTRIES => {
+                let k = r.get_u32()?;
+                let entries = (0..k)
+                    .map(|_| Ok(WitnessDump { pos: get_string_list(r)?, neg: get_string_list(r)? }))
+                    .collect::<Result<_, WireError>>()?;
+                FactSupport::Entries(entries)
+            }
+            _ => {
+                return Err(WireError { at: r.pos(), msg: "unknown support tag" });
+            }
+        };
+        entries.push((fact, support));
+    }
+    Ok(SupportDump { entries })
+}
+
+/// The decoded contents of a snapshot payload.
+pub struct SnapshotState {
+    /// The program (asserted EDB + rules) — the authoritative recovery base.
+    pub program: Program,
+    /// The model at snapshot time, used as a recovery integrity check.
+    pub model: Database,
+    /// The per-fact support dump (audit; recovery rebuilds supports).
+    pub supports: SupportDump,
+}
+
+/// Encodes the full belief state of `engine` into a snapshot payload.
+pub fn encode_state(engine: &dyn MaintenanceEngine) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_program(&mut buf, engine.program());
+    wire::put_store(&mut buf, engine.model());
+    put_support_dump(&mut buf, &engine.support_dump());
+    buf
+}
+
+/// Decodes a snapshot payload.
+pub fn decode_state(bytes: &[u8]) -> Result<SnapshotState, MaintenanceError> {
+    let mut r = Reader::new(bytes);
+    let program = get_program(&mut r)?;
+    let mut model = Database::new();
+    r.get_store(&mut model).map_err(storage_err)?;
+    let supports = get_support_dump(&mut r).map_err(storage_err)?;
+    if !r.is_at_end() {
+        return Err(storage_err("trailing bytes in snapshot payload"));
+    }
+    Ok(SnapshotState { program, model, supports })
+}
+
+// ---------------------------------------------------------------------------
+// The durable engine.
+// ---------------------------------------------------------------------------
+
+/// A shared engine constructor — the one alias for it in the workspace
+/// (re-exported by `registry`). `Arc` rather than `Box` so the registry can
+/// hand a clone to a [`DurableEngine`], which needs the constructor again
+/// at recovery and compaction time.
+pub type EngineCtor = std::sync::Arc<
+    dyn Fn(Program) -> Result<Box<dyn MaintenanceEngine>, MaintenanceError> + Send + Sync,
+>;
+
+/// A [`MaintenanceEngine`] whose belief state survives restart.
+///
+/// Wraps any engine built by `ctor`; all reads and the maintenance
+/// semantics are the inner engine's. See the module docs for the write,
+/// recovery, and compaction protocols.
+pub struct DurableEngine {
+    strategy: String,
+    ctor: EngineCtor,
+    inner: Box<dyn MaintenanceEngine>,
+    store: Store,
+}
+
+impl DurableEngine {
+    /// Opens (or creates) the durable engine stored at `path`.
+    ///
+    /// * Fresh directory: the engine is built from `initial` under
+    ///   `strategy` and an initial snapshot is written immediately, so the
+    ///   store is recoverable from its first moment.
+    /// * Existing store: the state is recovered (snapshot + committed WAL
+    ///   suffix) and **`initial` is ignored** — what was persisted wins.
+    ///   `strategy` selects the engine that interprets the recovered
+    ///   program; all strategies agree on the model, so reopening under a
+    ///   different strategy is sound (the supports take that strategy's
+    ///   form).
+    pub fn open(
+        path: impl AsRef<Path>,
+        strategy: &str,
+        ctor: EngineCtor,
+        initial: Program,
+        durability: Durability,
+    ) -> Result<DurableEngine, MaintenanceError> {
+        let (store, recovered) = Store::open(path.as_ref(), durability).map_err(storage_err)?;
+        let fresh = recovered.snapshot.is_none();
+        let base = match recovered.snapshot {
+            Some(snap) => {
+                let state = decode_state(&snap.payload)?;
+                let inner = ctor(state.program)?;
+                if inner.model() != &state.model {
+                    return Err(storage_err(
+                        "snapshot integrity check failed: rebuilt model differs from the \
+                         snapshot's model section",
+                    ));
+                }
+                inner
+            }
+            None => ctor(initial)?,
+        };
+        let mut inner = base;
+        for txn in &recovered.committed {
+            let updates: Vec<Update> =
+                txn.records.iter().map(|r| decode_update(r)).collect::<Result<_, _>>()?;
+            // Replay through the entry point that produced the transaction:
+            // engines may override `apply_all` with a distinct batch path,
+            // and exact support reproduction requires the same code path.
+            let result = match txn.kind {
+                TXN_APPLY => updates.iter().try_fold(UpdateStats::default(), |mut acc, u| {
+                    acc.accumulate(&inner.apply(u)?);
+                    Ok(acc)
+                }),
+                _ => inner.apply_all(&updates),
+            };
+            result.map_err(|e| {
+                storage_err(format!("committed WAL transaction {} failed to replay: {e}", txn.seq))
+            })?;
+        }
+        let mut engine = DurableEngine { strategy: strategy.to_string(), ctor, inner, store };
+        if fresh {
+            engine.write_snapshot()?;
+        }
+        Ok(engine)
+    }
+
+    fn write_snapshot(&mut self) -> Result<(), MaintenanceError> {
+        let payload = encode_state(self.inner.as_ref());
+        self.store.write_snapshot(&self.strategy, payload).map_err(storage_err)
+    }
+
+    /// Snapshots the current state and empties the WAL.
+    ///
+    /// The live engine is first rebuilt from its current program
+    /// (*canonicalized*), so the post-compaction live state is identical —
+    /// supports included — to what [`DurableEngine::open`] reconstructs.
+    pub fn compact(&mut self) -> Result<(), MaintenanceError> {
+        let program = self.inner.program().clone();
+        self.inner = (self.ctor)(program)?;
+        self.write_snapshot()
+    }
+
+    /// The strategy name this engine logs into snapshots.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        self.store.dir()
+    }
+
+    /// Bytes of terminated transactions currently in the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.store.wal_bytes()
+    }
+
+    fn log_and_apply<T>(
+        &mut self,
+        updates: &[Update],
+        kind: u8,
+        apply: impl FnOnce(&mut Box<dyn MaintenanceEngine>, &[Update]) -> Result<T, MaintenanceError>,
+    ) -> Result<T, MaintenanceError> {
+        // Rollback trail, computed against the pre-batch program: if the
+        // COMMIT write fails after the engine applied the batch, the
+        // in-memory state must be unwound to match the disk (which, with
+        // no terminator record, replays to the pre-batch state). Inserts
+        // of facts already asserted at that point are no-ops whose inverse
+        // would wrongly retract a pre-existing fact — excluded, as in the
+        // sequential batch rollback.
+        let mut overlay: rustc_hash::FxHashMap<Fact, bool> = rustc_hash::FxHashMap::default();
+        let mut trail: Vec<Update> = Vec::with_capacity(updates.len());
+        for u in updates {
+            match crate::engine::normalize(u) {
+                Update::InsertFact(f) => {
+                    let already = overlay
+                        .get(&f)
+                        .copied()
+                        .unwrap_or_else(|| self.inner.program().is_asserted(&f));
+                    if !already {
+                        overlay.insert(f.clone(), true);
+                        trail.push(Update::InsertFact(f));
+                    }
+                }
+                Update::DeleteFact(f) => {
+                    overlay.insert(f.clone(), false);
+                    trail.push(Update::DeleteFact(f));
+                }
+                other => trail.push(other),
+            }
+        }
+        let records: Vec<Vec<u8>> = updates.iter().map(encode_update).collect();
+        let seq = self.store.begin(&records, kind);
+        match apply(&mut self.inner, updates) {
+            Ok(out) => {
+                // The commit point: the batch is durable once this returns.
+                if let Err(e) = self.store.commit(seq) {
+                    // Applied in memory but not durable: unwind so memory
+                    // and disk agree on the pre-batch state instead of
+                    // silently diverging until the next checkpoint.
+                    for done in trail.iter().rev() {
+                        self.inner
+                            .apply(&crate::engine::invert(done))
+                            .expect("inverse of an applied update must apply");
+                    }
+                    return Err(storage_err(format!(
+                        "commit failed, batch rolled back in memory: {e}"
+                    )));
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                // The engine rejected the batch and (per the apply_all
+                // contract) rolled itself back; record the decision.
+                self.store.abort(seq).map_err(storage_err)?;
+                Err(e)
+            }
+        }
+    }
+}
+
+impl MaintenanceEngine for DurableEngine {
+    fn name(&self) -> &'static str {
+        // Transparent wrapper: report the inner strategy, as every
+        // comparative harness keys on it.
+        self.inner.name()
+    }
+
+    fn program(&self) -> &Program {
+        self.inner.program()
+    }
+
+    fn model(&self) -> &Database {
+        self.inner.model()
+    }
+
+    fn support_bytes(&self) -> usize {
+        self.inner.support_bytes()
+    }
+
+    fn support_dump(&self) -> SupportDump {
+        self.inner.support_dump()
+    }
+
+    fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
+        self.log_and_apply(std::slice::from_ref(update), TXN_APPLY, |inner, u| inner.apply(&u[0]))
+    }
+
+    fn apply_all(&mut self, updates: &[Update]) -> Result<UpdateStats, MaintenanceError> {
+        self.log_and_apply(updates, TXN_APPLY_ALL, |inner, u| inner.apply_all(u))
+    }
+
+    fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
+        self.compact()?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::CascadeEngine;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("strata_durable_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cascade_ctor() -> EngineCtor {
+        std::sync::Arc::new(|p| Ok(Box::new(CascadeEngine::new(p)?) as Box<dyn MaintenanceEngine>))
+    }
+
+    fn pods() -> Program {
+        Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn storage_config_parse_and_display() {
+        assert_eq!(StorageConfig::parse("mem").unwrap(), StorageConfig::Mem);
+        assert_eq!(
+            StorageConfig::parse("wal:/tmp/x").unwrap(),
+            StorageConfig::Wal(PathBuf::from("/tmp/x"))
+        );
+        assert!(StorageConfig::parse("wal:").is_err());
+        assert!(StorageConfig::parse("nvram:/x").is_err());
+        assert_eq!(StorageConfig::Wal(PathBuf::from("/a/b")).to_string(), "wal:/a/b");
+        assert_eq!("mem".parse::<StorageConfig>().unwrap(), StorageConfig::Mem);
+    }
+
+    #[test]
+    fn update_codec_round_trips() {
+        let updates = [
+            Update::InsertFact(Fact::parse("p(\"weird value.\")").unwrap()),
+            Update::DeleteFact(Fact::parse("\"weird rel\"(1, x)").unwrap()),
+            Update::InsertRule(Rule::parse("p(X) :- q(X), !r(X).").unwrap()),
+            Update::DeleteRule(Rule::parse("p(X) :- q(X).").unwrap()),
+        ];
+        for u in &updates {
+            assert_eq!(&decode_update(&encode_update(u)).unwrap(), u);
+        }
+        assert!(decode_update(&[99]).is_err());
+        assert!(decode_update(&[]).is_err());
+        let mut extra = encode_update(&updates[0]);
+        extra.push(0);
+        assert!(decode_update(&extra).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn state_codec_round_trips() {
+        let engine = CascadeEngine::new(pods()).unwrap();
+        let bytes = encode_state(&engine);
+        let state = decode_state(&bytes).unwrap();
+        assert_eq!(&state.model, engine.model());
+        assert_eq!(state.supports, engine.support_dump());
+        assert_eq!(state.program.num_facts(), engine.program().num_facts());
+        assert_eq!(state.program.num_rules(), engine.program().num_rules());
+        // Truncations are rejected, never misread.
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_state(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn fresh_open_apply_reopen_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let expected = {
+            let mut e =
+                DurableEngine::open(&dir, "cascade", cascade_ctor(), pods(), Durability::Fsync)
+                    .unwrap();
+            assert!(e.model().contains_parsed("rejected(1)"));
+            e.insert_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+            e.apply_all(&[
+                Update::InsertFact(Fact::parse("submitted(3)").unwrap()),
+                Update::InsertFact(Fact::parse("submitted(4)").unwrap()),
+            ])
+            .unwrap();
+            (e.model().sorted_facts(), e.support_dump())
+        }; // dropped = simulated process exit
+        let e =
+            DurableEngine::open(&dir, "cascade", cascade_ctor(), Program::new(), Durability::Fsync)
+                .unwrap();
+        assert_eq!(e.model().sorted_facts(), expected.0);
+        assert_eq!(e.support_dump(), expected.1);
+        assert!(!e.model().contains_parsed("rejected(1)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejected_batch_aborts_and_recovers_clean() {
+        let dir = tmpdir("abort");
+        let before;
+        {
+            let mut e =
+                DurableEngine::open(&dir, "cascade", cascade_ctor(), pods(), Durability::Fsync)
+                    .unwrap();
+            before = (e.model().sorted_facts(), e.support_dump());
+            // Second update deletes an unasserted fact: engine rejects, the
+            // whole batch rolls back, an ABORT lands in the WAL.
+            let err = e
+                .apply_all(&[
+                    Update::InsertFact(Fact::parse("submitted(9)").unwrap()),
+                    Update::DeleteFact(Fact::parse("ghost(1)").unwrap()),
+                ])
+                .unwrap_err();
+            assert!(matches!(err, MaintenanceError::NotAsserted(_)));
+            assert_eq!((e.model().sorted_facts(), e.support_dump()), before);
+        }
+        let e =
+            DurableEngine::open(&dir, "cascade", cascade_ctor(), Program::new(), Durability::Fsync)
+                .unwrap();
+        assert_eq!((e.model().sorted_facts(), e.support_dump()), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_empties_wal_and_preserves_state() {
+        let dir = tmpdir("compact");
+        let mut e = DurableEngine::open(&dir, "cascade", cascade_ctor(), pods(), Durability::Fsync)
+            .unwrap();
+        e.insert_fact(Fact::parse("accepted(1)").unwrap()).unwrap();
+        assert!(e.wal_bytes() > 0);
+        let model = e.model().sorted_facts();
+        assert!(e.checkpoint().unwrap());
+        assert_eq!(e.wal_bytes(), 0);
+        assert_eq!(e.model().sorted_facts(), model);
+        // Post-compaction live state ≡ recovered state, supports included.
+        let dump = e.support_dump();
+        drop(e);
+        let e =
+            DurableEngine::open(&dir, "cascade", cascade_ctor(), Program::new(), Durability::Fsync)
+                .unwrap();
+        assert_eq!(e.model().sorted_facts(), model);
+        assert_eq!(e.support_dump(), dump);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rule_updates_are_durable() {
+        let dir = tmpdir("rules");
+        {
+            let mut e =
+                DurableEngine::open(&dir, "cascade", cascade_ctor(), pods(), Durability::Fsync)
+                    .unwrap();
+            e.insert_rule(Rule::parse("late(X) :- submitted(X), !reviewed(X).").unwrap()).unwrap();
+            e.delete_rule(Rule::parse("late(X) :- submitted(X), !reviewed(X).").unwrap()).unwrap();
+            e.insert_rule(Rule::parse("flagged(X) :- rejected(X).").unwrap()).unwrap();
+        }
+        let e =
+            DurableEngine::open(&dir, "cascade", cascade_ctor(), Program::new(), Durability::Fsync)
+                .unwrap();
+        assert!(e.model().contains_parsed("flagged(1)"));
+        assert_eq!(e.program().num_rules(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -49,6 +49,9 @@ pub enum MaintenanceError {
     WouldUnstratify(StratificationError),
     /// A language-level error (arity mismatch, unsafe rule, …).
     Datalog(DatalogError),
+    /// The durable backing store failed (I/O error, corrupt file). Only
+    /// raised by storage-backed engines ([`crate::durable::DurableEngine`]).
+    Storage(String),
 }
 
 impl fmt::Display for MaintenanceError {
@@ -64,6 +67,7 @@ impl fmt::Display for MaintenanceError {
                 write!(f, "rule insertion rejected: {e}")
             }
             MaintenanceError::Datalog(e) => write!(f, "{e}"),
+            MaintenanceError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -90,6 +94,24 @@ pub trait MaintenanceEngine {
 
     /// Approximate bytes of per-fact bookkeeping currently held.
     fn support_bytes(&self) -> usize;
+
+    /// A symbolic dump of the per-fact support state, in canonical order.
+    ///
+    /// The default (engines with no per-fact bookkeeping: `recompute`,
+    /// `static`) is empty. Dumps are the comparison currency of the
+    /// persistence layer: a recovered engine must reproduce its
+    /// predecessor's dump exactly, and snapshots embed the dump for audit.
+    fn support_dump(&self) -> crate::support::SupportDump {
+        crate::support::SupportDump::default()
+    }
+
+    /// Durability hook: if this engine is backed by a durable store,
+    /// snapshot the current state and compact the log, returning
+    /// `Ok(true)`. The default — a purely in-memory engine — does nothing
+    /// and returns `Ok(false)`.
+    fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
+        Ok(false)
+    }
 
     /// Applies one update, returning what it did.
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError>;
@@ -198,6 +220,16 @@ impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
 
     fn support_bytes(&self) -> usize {
         self.as_ref().support_bytes()
+    }
+
+    // Forwarded so a boxed engine reports its concrete dump / durability
+    // behavior instead of the trait defaults.
+    fn support_dump(&self) -> crate::support::SupportDump {
+        self.as_ref().support_dump()
+    }
+
+    fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
+        self.as_mut().checkpoint()
     }
 
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {

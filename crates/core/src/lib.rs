@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod constraints;
+pub mod durable;
 pub mod engine;
 pub mod explain;
 pub mod registry;
@@ -64,6 +65,8 @@ pub mod strategy;
 pub mod support;
 pub mod verify;
 
+pub use durable::{DurableEngine, StorageConfig};
 pub use engine::{MaintenanceEngine, MaintenanceError, Update};
 pub use registry::{EngineRegistry, RegistryError};
 pub use stats::UpdateStats;
+pub use support::SupportDump;

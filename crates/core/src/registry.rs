@@ -33,18 +33,18 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 
 use strata_datalog::Program;
 
+use crate::durable::{DurableEngine, StorageConfig};
 use crate::engine::{MaintenanceEngine, MaintenanceError};
 use crate::strategy::{
     CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
     StaticEngine,
 };
 
-/// A boxed engine constructor.
-pub type EngineCtor =
-    Box<dyn Fn(Program) -> Result<Box<dyn MaintenanceEngine>, MaintenanceError> + Send + Sync>;
+pub use crate::durable::EngineCtor;
 
 /// Why [`EngineRegistry::build`] failed.
 #[derive(Debug)]
@@ -89,6 +89,10 @@ pub struct StrategyEntry {
     /// Whether the engine maintains the model incrementally (false only
     /// for the recompute-from-scratch baseline).
     pub incremental: bool,
+    /// Where engines built from this entry keep their state. Defaults to
+    /// [`StorageConfig::Mem`]; set via [`EngineRegistry::set_storage`] to
+    /// make every [`EngineRegistry::build`] of this strategy durable.
+    pub storage: StorageConfig,
     ctor: EngineCtor,
 }
 
@@ -154,11 +158,36 @@ impl EngineRegistry {
             + Sync
             + 'static,
     ) {
-        let entry = StrategyEntry { name, summary, incremental, ctor: Box::new(ctor) };
+        let entry = StrategyEntry {
+            name,
+            summary,
+            incremental,
+            storage: StorageConfig::Mem,
+            ctor: Arc::new(ctor),
+        };
         match self.entries.iter_mut().find(|e| e.name == name) {
             Some(slot) => *slot = entry,
             None => self.entries.push(entry),
         }
+    }
+
+    /// Sets the storage config of a registered strategy (subsequent
+    /// [`build`]s honor it). Returns `false` if the name is unknown.
+    ///
+    /// [`build`]: EngineRegistry::build
+    pub fn set_storage(&mut self, name: &str, storage: StorageConfig) -> bool {
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.storage = storage;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A clone of the named strategy's constructor.
+    pub fn ctor(&self, name: &str) -> Option<EngineCtor> {
+        self.entries.iter().find(|e| e.name == name).map(|e| Arc::clone(&e.ctor))
     }
 
     /// The registered names, in registration order.
@@ -176,7 +205,8 @@ impl EngineRegistry {
         self.entries.iter().any(|e| e.name == name)
     }
 
-    /// Builds the named engine over `program`.
+    /// Builds the named engine over `program`, honoring the entry's
+    /// [`StorageConfig`] (in-memory by default; durable if configured).
     pub fn build(
         &self,
         name: &str,
@@ -185,11 +215,49 @@ impl EngineRegistry {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
         })?;
-        Ok((entry.ctor)(program)?)
+        self.build_entry(entry, program, &entry.storage)
+    }
+
+    /// Builds the named engine with an explicit storage config, overriding
+    /// the entry's own. `Mem` yields the plain engine; `Wal(path)` opens
+    /// (or recovers) a [`DurableEngine`] at that directory, seeded with
+    /// `program` if the store is fresh.
+    pub fn build_with_storage(
+        &self,
+        name: &str,
+        program: Program,
+        storage: &StorageConfig,
+    ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
+        let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
+            RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
+        })?;
+        self.build_entry(entry, program, storage)
+    }
+
+    fn build_entry(
+        &self,
+        entry: &StrategyEntry,
+        program: Program,
+        storage: &StorageConfig,
+    ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
+        match storage {
+            StorageConfig::Mem => Ok((entry.ctor)(program)?),
+            StorageConfig::Wal(path) => {
+                let engine = DurableEngine::open(
+                    path,
+                    entry.name,
+                    Arc::clone(&entry.ctor),
+                    program,
+                    strata_store::Durability::Fsync,
+                )?;
+                Ok(Box::new(engine))
+            }
+        }
     }
 
     /// Builds every registered engine over `program`, in registration
-    /// order.
+    /// order. Always in-memory: comparative harnesses would otherwise race
+    /// every strategy onto the same store directory.
     ///
     /// # Panics
     /// If any constructor rejects the program — callers building *all*
@@ -279,6 +347,39 @@ mod tests {
         for e in &engines[1..] {
             assert_eq!(e.model().sorted_facts(), reference, "[{}] diverged", e.name());
         }
+    }
+
+    #[test]
+    fn storage_config_defaults_to_mem_and_is_settable() {
+        let mut r = EngineRegistry::standard();
+        assert!(r.entries().all(|e| e.storage == crate::durable::StorageConfig::Mem));
+        let dir =
+            std::env::temp_dir().join(format!("strata_registry_storage_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(r.set_storage("cascade", crate::durable::StorageConfig::Wal(dir.clone())));
+        assert!(!r.set_storage("nonsense", crate::durable::StorageConfig::Mem));
+        // A build now goes durable: state survives a rebuild from scratch.
+        {
+            let mut e = r.build("cascade", pods()).unwrap();
+            e.apply(&Update::InsertFact(Fact::parse("accepted(1)").unwrap())).unwrap();
+            assert!(e.checkpoint().unwrap(), "registry-built engine is durable");
+        }
+        let e = r.build("cascade", Program::new()).unwrap();
+        assert!(e.model().contains_parsed("accepted(1)"), "recovered via registry");
+        // Explicit override back to memory ignores the entry config.
+        let mut e =
+            r.build_with_storage("cascade", pods(), &crate::durable::StorageConfig::Mem).unwrap();
+        assert!(!e.checkpoint().unwrap(), "in-memory engine has nothing to checkpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ctor_hands_out_shared_constructors() {
+        let r = EngineRegistry::standard();
+        let ctor = r.ctor("static").unwrap();
+        let engine = ctor(pods()).unwrap();
+        assert_eq!(engine.name(), "static");
+        assert!(r.ctor("nope").is_none());
     }
 
     #[test]

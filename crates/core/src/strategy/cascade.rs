@@ -475,6 +475,30 @@ impl MaintenanceEngine for CascadeEngine {
                 * (std::mem::size_of::<Fact>() + std::mem::size_of::<RuleSupport>())
     }
 
+    fn support_dump(&self) -> crate::support::SupportDump {
+        // Rule pointers are rendered as rule text: slot indices are not
+        // stable across a snapshot round-trip (snapshots re-pack deleted
+        // slots), rule structure is.
+        crate::support::SupportDump::from_entries(
+            self.supports
+                .iter()
+                .map(|(fact, sup)| {
+                    let mut rules: Vec<String> = sup
+                        .rules
+                        .iter()
+                        .filter_map(|id| self.program.rule(*id))
+                        .map(|r| r.to_string())
+                        .collect();
+                    rules.sort();
+                    (
+                        fact.clone(),
+                        crate::support::FactSupport::Rules { asserted: sup.asserted, rules },
+                    )
+                })
+                .collect(),
+        )
+    }
+
     /// Batched fact updates walk the strata **once** for the whole group:
     /// all program changes are validated and staged first, then a single
     /// cascade propagates the combined deltas. Batches containing rule

@@ -267,6 +267,24 @@ impl MaintenanceEngine for DynamicMultiEngine {
                 * (std::mem::size_of::<Fact>() + std::mem::size_of::<MultiSupport>())
     }
 
+    fn support_dump(&self) -> crate::support::SupportDump {
+        let index = self.analysis.index();
+        crate::support::SupportDump::from_entries(
+            self.supports
+                .iter()
+                .map(|(f, sup)| {
+                    let mut pairs: Vec<crate::support::PairDump> =
+                        sup.pairs().iter().map(|p| p.dump(index)).collect();
+                    pairs.sort();
+                    (
+                        f.clone(),
+                        crate::support::FactSupport::Multi { asserted: sup.asserted, pairs },
+                    )
+                })
+                .collect(),
+        )
+    }
+
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
         let update = normalize(update);
         let mut removed = FxHashSet::default();

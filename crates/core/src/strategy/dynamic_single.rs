@@ -271,6 +271,16 @@ impl MaintenanceEngine for DynamicSingleEngine {
                 * (std::mem::size_of::<Fact>() + std::mem::size_of::<SupportPair>())
     }
 
+    fn support_dump(&self) -> crate::support::SupportDump {
+        let index = self.analysis.index();
+        crate::support::SupportDump::from_entries(
+            self.supports
+                .iter()
+                .map(|(f, pair)| (f.clone(), crate::support::FactSupport::Single(pair.dump(index))))
+                .collect(),
+        )
+    }
+
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
         let update = normalize(update);
         let mut removed = FxHashSet::default();

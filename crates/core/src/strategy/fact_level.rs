@@ -335,6 +335,30 @@ impl MaintenanceEngine for FactLevelEngine {
                 * (std::mem::size_of::<Fact>() + std::mem::size_of::<EntrySet>())
     }
 
+    fn support_dump(&self) -> crate::support::SupportDump {
+        crate::support::SupportDump::from_entries(
+            self.supports
+                .iter()
+                .map(|(f, set)| {
+                    let mut entries: Vec<crate::support::WitnessDump> = set
+                        .entries()
+                        .iter()
+                        .map(|e| {
+                            let render = |fs: &[Fact]| {
+                                let mut v: Vec<String> = fs.iter().map(|f| f.to_string()).collect();
+                                v.sort();
+                                v
+                            };
+                            crate::support::WitnessDump { pos: render(&e.pos), neg: render(&e.neg) }
+                        })
+                        .collect();
+                    entries.sort();
+                    (f.clone(), crate::support::FactSupport::Entries(entries))
+                })
+                .collect(),
+        )
+    }
+
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {
         let update = normalize(update);
         let mut removed = FxHashSet::default();

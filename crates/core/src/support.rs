@@ -24,7 +24,8 @@
 use std::cmp::Ordering;
 
 use strata_datalog::deps::StaticDeps;
-use strata_datalog::{RelSet, RuleId};
+use strata_datalog::graph::RelIndex;
+use strata_datalog::{Fact, RelSet, RuleId};
 
 use rustc_hash::FxHashSet;
 
@@ -300,6 +301,104 @@ impl RuleSupport {
     }
 }
 
+/// A symbolic, engine-independent rendering of one [`SupportPair`]:
+/// relation **names** instead of dense indices, sorted. Names survive
+/// process restarts and index reassignment (interner ids and `RelIndex`
+/// slots do not), so dumps are comparable across recovery boundaries.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct PairDump {
+    /// Plain `Pos` relations.
+    pub pos: Vec<String>,
+    /// Signed (`-r`) `Pos` relations.
+    pub pos_signed: Vec<String>,
+    /// Plain `Neg` relations.
+    pub neg: Vec<String>,
+    /// Signed (`+r`) `Neg` relations.
+    pub neg_signed: Vec<String>,
+}
+
+fn named(set: &RelSet, index: &RelIndex) -> Vec<String> {
+    let mut v: Vec<String> = set.iter().map(|i| index.rel(i).as_str().to_string()).collect();
+    v.sort();
+    v
+}
+
+impl SupportPair {
+    /// Renders the pair symbolically through the relation index.
+    pub fn dump(&self, index: &RelIndex) -> PairDump {
+        PairDump {
+            pos: named(&self.pos.plain, index),
+            pos_signed: named(&self.pos.signed, index),
+            neg: named(&self.neg.plain, index),
+            neg_signed: named(&self.neg.signed, index),
+        }
+    }
+}
+
+/// The symbolic support of one fact, across every representation the
+/// engines use. Produced by [`crate::MaintenanceEngine::support_dump`];
+/// serialized into snapshots and compared by the recovery tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FactSupport {
+    /// §4.2: one signed support pair.
+    Single(PairDump),
+    /// §4.3: one pair per remembered derivation, plus the asserted flag.
+    Multi {
+        /// Whether the fact is asserted as a unit clause.
+        asserted: bool,
+        /// The derivation pairs, canonically sorted.
+        pairs: Vec<PairDump>,
+    },
+    /// §5.1: rule-pointer supports, rendered as rule text.
+    Rules {
+        /// Whether the fact is asserted as a unit clause.
+        asserted: bool,
+        /// The supporting rules' display forms, sorted.
+        rules: Vec<String>,
+    },
+    /// §5.2: fact-level witnesses (`pos` leaves / `neg` absences), rendered.
+    Entries(Vec<WitnessDump>),
+}
+
+/// One rendered fact-level witness.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WitnessDump {
+    /// Display forms of the asserted leaves, sorted.
+    pub pos: Vec<String>,
+    /// Display forms of the required absences, sorted.
+    pub neg: Vec<String>,
+}
+
+/// The full per-fact support state of an engine, in a canonical order.
+///
+/// Engines without per-fact bookkeeping (`recompute`, `static`) dump an
+/// empty list — their belief state is fully determined by the program.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SupportDump {
+    /// `(fact, support)` pairs, sorted by the process-independent fact
+    /// order of [`strata_datalog::wire::fact_wire_cmp`].
+    pub entries: Vec<(Fact, FactSupport)>,
+}
+
+impl SupportDump {
+    /// Builds a dump from unsorted entries, establishing the canonical
+    /// order.
+    pub fn from_entries(mut entries: Vec<(Fact, FactSupport)>) -> SupportDump {
+        entries.sort_by(|a, b| strata_datalog::wire::fact_wire_cmp(&a.0, &b.0));
+        SupportDump { entries }
+    }
+
+    /// Number of facts carrying support information.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dump is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +531,32 @@ mod tests {
                 .unwrap();
         }
         p.rules().last().unwrap().0
+    }
+
+    #[test]
+    fn pair_dump_is_symbolic_and_sorted() {
+        use strata_datalog::{DepGraph, Program};
+        let program = Program::parse("z(X) :- b(X), a(X), !c(X).").unwrap();
+        let graph = DepGraph::build(&program);
+        let ix = graph.rel_index();
+        let n = graph.num_rels();
+        let (a, b, c) = (ix.of("a".into()), ix.of("b".into()), ix.of("c".into()));
+        let p = pair(n, &[b, a], &[], &[], &[c]);
+        let d = p.dump(ix);
+        assert_eq!(d.pos, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(d.neg_signed, vec!["c".to_string()]);
+        assert!(d.pos_signed.is_empty() && d.neg.is_empty());
+    }
+
+    #[test]
+    fn support_dump_canonical_order() {
+        let d = SupportDump::from_entries(vec![
+            (Fact::parse("zz(1)").unwrap(), FactSupport::Entries(vec![])),
+            (Fact::parse("aa(2)").unwrap(), FactSupport::Entries(vec![])),
+        ]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.entries[0].0, Fact::parse("aa(2)").unwrap());
     }
 
     /// Resolution against static dependencies: the paper's Example 2.

@@ -44,7 +44,7 @@ impl Atom {
 
 impl fmt::Display for Atom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.rel.as_str())?;
+        crate::term::write_symbol(f, self.rel.as_str())?;
         if !self.terms.is_empty() {
             f.write_str("(")?;
             for (i, t) in self.terms.iter().enumerate() {
@@ -105,7 +105,7 @@ impl Fact {
 
 impl fmt::Display for Fact {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.rel.as_str())?;
+        crate::term::write_symbol(f, self.rel.as_str())?;
         if !self.args.is_empty() {
             f.write_str("(")?;
             for (i, v) in self.args.iter().enumerate() {

@@ -13,7 +13,9 @@
 //!   *by-levels* and *maximal* stratifications,
 //! * static `Pos(p)` / `Neg(p)` dependency sets — relations reachable through
 //!   an even / odd number of negations ([`deps`]),
-//! * an in-memory tuple store with per-column secondary indexes ([`storage`]),
+//! * a [`storage::TupleStore`] abstraction with the in-memory, per-column
+//!   indexed [`Database`] as default implementation ([`storage`]), plus the
+//!   binary codec durable backends serialize through ([`wire`]),
 //! * bottom-up evaluation: naive saturation, the delta-driven (semi-naive)
 //!   mechanism of the paper's §5.2, and a DRed-style incremental stratum
 //!   saturation used by the maintenance engines ([`eval`]),
@@ -50,6 +52,7 @@ pub mod rule;
 pub mod storage;
 pub mod symbol;
 pub mod term;
+pub mod wire;
 
 pub use atom::{Atom, Fact};
 pub use error::{DatalogError, ParseError, SafetyError, StratificationError};
@@ -59,6 +62,6 @@ pub use program::{Program, RuleId};
 pub use query::Query;
 pub use relset::RelSet;
 pub use rule::Rule;
-pub use storage::{Database, Relation};
+pub use storage::{Database, Relation, TupleStore};
 pub use symbol::Symbol;
 pub use term::{Term, Value};

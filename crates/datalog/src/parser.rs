@@ -6,12 +6,15 @@
 //! program  ::= clause*
 //! clause   ::= atom ( ":-" literal ("," literal)* )? "."
 //! literal  ::= ("!" | "not") atom | atom
-//! atom     ::= ident ( "(" term ("," term)* ")" )?
+//! atom     ::= (ident | STRING) ( "(" term ("," term)* ")" )?
 //! term     ::= ident | INT | STRING | VARIABLE
 //! ```
 //!
 //! Identifiers starting with a lowercase letter are constants / relation
 //! names; identifiers starting with an uppercase letter or `_` are variables.
+//! Strings (`"…"`, escapes `\" \\ \n \t \r \u{hex}`) denote symbols that
+//! would not lex as identifiers — as constants *and* as relation names — so
+//! `Display` output re-parses for arbitrary symbol content.
 
 use crate::atom::{Atom, Fact};
 use crate::error::{DatalogError, ParseError};
@@ -98,6 +101,26 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    /// Reads the `{hex}` tail of a `\u{…}` escape (the `u` is consumed).
+    fn lex_unicode_escape(&mut self) -> Result<char, ParseError> {
+        if self.bump() != Some(b'{') {
+            return Err(self.err("expected `{` after `\\u`"));
+        }
+        let mut code: u32 = 0;
+        let mut digits = 0;
+        loop {
+            match self.bump() {
+                Some(b'}') if digits > 0 => break,
+                Some(c) if c.is_ascii_hexdigit() && digits < 6 => {
+                    code = code * 16 + (c as char).to_digit(16).unwrap();
+                    digits += 1;
+                }
+                _ => return Err(self.err("invalid `\\u{…}` escape")),
+            }
+        }
+        char::from_u32(code).ok_or_else(|| self.err("`\\u{…}` escape is not a scalar value"))
+    }
+
     fn next_token(&mut self) -> Result<Spanned, ParseError> {
         self.skip_trivia();
         let (line, col) = (self.line, self.col);
@@ -137,20 +160,30 @@ impl<'a> Lexer<'a> {
             }
             b'"' => {
                 self.bump();
-                let mut s = String::new();
+                // Accumulate raw bytes and decode once, so multi-byte UTF-8
+                // sequences survive the byte-oriented lexer.
+                let mut bytes = Vec::new();
                 loop {
                     match self.bump() {
                         Some(b'"') => break,
                         Some(b'\\') => match self.bump() {
-                            Some(b'n') => s.push('\n'),
-                            Some(b't') => s.push('\t'),
-                            Some(c @ (b'"' | b'\\')) => s.push(c as char),
+                            Some(b'n') => bytes.push(b'\n'),
+                            Some(b't') => bytes.push(b'\t'),
+                            Some(b'r') => bytes.push(b'\r'),
+                            Some(c @ (b'"' | b'\\')) => bytes.push(c),
+                            Some(b'u') => {
+                                let c = self.lex_unicode_escape()?;
+                                let mut utf8 = [0u8; 4];
+                                bytes.extend_from_slice(c.encode_utf8(&mut utf8).as_bytes());
+                            }
                             _ => return Err(self.err("invalid escape in string literal")),
                         },
-                        Some(c) => s.push(c as char),
+                        Some(c) => bytes.push(c),
                         None => return Err(self.err("unterminated string literal")),
                     }
                 }
+                let s = String::from_utf8(bytes)
+                    .map_err(|_| self.err("invalid UTF-8 in string literal"))?;
                 Ok(spanned(Tok::Str(s)))
             }
             b'-' | b'0'..=b'9' => {
@@ -238,6 +271,9 @@ impl<'a> Parser<'a> {
     fn parse_atom(&mut self) -> Result<Atom, ParseError> {
         let rel = match &self.current.tok {
             Tok::Ident(name) => name.clone(),
+            // A quoted relation name: how symbols that would not re-lex as
+            // identifiers (spaces, punctuation, `not`) round-trip.
+            Tok::Str(name) => name.clone(),
             other => return Err(self.err(format!("expected a relation name, found {other:?}"))),
         };
         self.advance()?;
@@ -323,6 +359,28 @@ pub fn parse_body(src: &str) -> Result<Vec<crate::literal::Literal>, ParseError>
         return Err(parser.err("trailing input after literal list"));
     }
     Ok(body)
+}
+
+/// Parses a `.`-separated list of ground facts (`p(a). q(1, 2).`, final `.`
+/// optional).
+///
+/// Unlike naive splitting on `.`, this goes through the lexer, so quoted
+/// symbols containing dots or any other parser-significant characters are
+/// handled correctly.
+pub fn parse_fact_list(src: &str) -> Result<Vec<Fact>, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !parser.at_eof() {
+        let atom = parser.parse_atom()?;
+        let fact = atom.to_fact().ok_or_else(|| parser.err("fact must be ground"))?;
+        out.push(fact);
+        if parser.current.tok == Tok::Dot {
+            parser.advance()?;
+        } else if !parser.at_eof() {
+            return Err(parser.err("expected `.` between facts"));
+        }
+    }
+    Ok(out)
 }
 
 /// Parses a single ground fact such as `edge(a, 3)` (trailing `.` optional).
@@ -443,6 +501,75 @@ mod tests {
         let f = Fact::new("p", vec![Value::sym("needs quoting")]);
         let reparsed = parse_fact(&f.to_string()).unwrap();
         assert_eq!(f, reparsed);
+    }
+
+    #[test]
+    fn hostile_symbols_round_trip() {
+        // Whitespace, parser-significant characters, escapes, keywords,
+        // unicode, control characters — in constants AND relation names.
+        let names = [
+            "a b",
+            "a.b",
+            "a,b",
+            "a(b)",
+            "a\"b",
+            "a\\b",
+            "a\nb",
+            "a\tb",
+            "a\rb",
+            "not",
+            "Not lower",
+            "_under",
+            "7start",
+            "",
+            "héllo wörld",
+            "日本語",
+            "a\u{1}b",
+            ":-",
+            "%cmt",
+            "// slash",
+            "!bang",
+        ];
+        for rel in &names {
+            for arg in &names {
+                let f = Fact::new(*rel, vec![Value::sym(arg), Value::int(-3)]);
+                let text = f.to_string();
+                let reparsed = parse_fact(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+                assert_eq!(f, reparsed, "`{text}`");
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_escape_forms() {
+        assert_eq!(parse_fact("p(\"\\u{48}\\u{69}\")").unwrap().args[0], Value::sym("Hi"));
+        assert!(parse_fact("p(\"\\u{}\")").is_err());
+        assert!(parse_fact("p(\"\\u{d800}\")").is_err(), "surrogates rejected");
+        assert!(parse_fact("p(\"\\uXX\")").is_err());
+    }
+
+    #[test]
+    fn quoted_relation_names_parse_everywhere() {
+        let p =
+            parse_program("\"rel name\"(a). p(X) :- \"rel name\"(X), !\"other.rel\"(X).").unwrap();
+        assert_eq!(p.num_facts(), 1);
+        assert_eq!(p.num_rules(), 1);
+        // Rule display round-trips through the quoted form.
+        let (_, r) = p.rules().next().unwrap();
+        assert_eq!(parse_rule(&r.to_string()).unwrap(), *r);
+    }
+
+    #[test]
+    fn fact_list_respects_quoted_dots() {
+        let facts = parse_fact_list("p(\"a.b\"). \"q.r\"(1). s.").unwrap();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[0].args[0], Value::sym("a.b"));
+        assert_eq!(facts[1].rel, Symbol::new("q.r"));
+        // Missing separator is an error; trailing dot optional.
+        assert!(parse_fact_list("p(a) q(b)").is_err());
+        assert_eq!(parse_fact_list("p(a). q(b)").unwrap().len(), 2);
+        assert!(parse_fact_list("p(X).").is_err(), "non-ground rejected");
+        assert!(parse_fact_list("").unwrap().is_empty());
     }
 
     #[test]

@@ -18,6 +18,61 @@ use crate::term::Value;
 /// A stored tuple.
 pub type TupleData = Box<[Value]>;
 
+/// The storage abstraction the persistence layer programs against: a
+/// mutable set of ground facts.
+///
+/// [`Database`] is the default, in-memory implementation (row arenas with
+/// per-column indexes). A durable backend materializes recovered state into
+/// any `TupleStore`, and the snapshot writer drains one through
+/// [`TupleStore::for_each_fact`] — neither needs to know how tuples are
+/// laid out. Method names carry a `_fact` suffix so the trait can coexist
+/// with `Database`'s richer inherent API.
+pub trait TupleStore {
+    /// Inserts a fact; returns `true` if it was new.
+    fn insert_fact(&mut self, fact: Fact) -> bool;
+
+    /// Removes a fact; returns `true` if it was present.
+    fn remove_fact(&mut self, fact: &Fact) -> bool;
+
+    /// Membership test.
+    fn contains_fact(&self, fact: &Fact) -> bool;
+
+    /// Number of stored facts.
+    fn fact_count(&self) -> usize;
+
+    /// Whether the store holds no facts.
+    fn is_empty_store(&self) -> bool {
+        self.fact_count() == 0
+    }
+
+    /// Calls `f` for every stored fact (order unspecified).
+    fn for_each_fact(&self, f: &mut dyn FnMut(&Fact));
+}
+
+impl TupleStore for Database {
+    fn insert_fact(&mut self, fact: Fact) -> bool {
+        self.insert(fact)
+    }
+
+    fn remove_fact(&mut self, fact: &Fact) -> bool {
+        self.remove(fact)
+    }
+
+    fn contains_fact(&self, fact: &Fact) -> bool {
+        self.contains(fact)
+    }
+
+    fn fact_count(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_fact(&self, f: &mut dyn FnMut(&Fact)) {
+        for fact in self.iter_facts() {
+            f(&fact);
+        }
+    }
+}
+
 /// Compaction triggers when tombstones exceed this fraction of the arena
 /// (denominator: `tombstones > rows / COMPACT_DIVISOR`). At 2, the arena —
 /// and with it the stale ids lingering in the per-column posting lists —
@@ -310,18 +365,21 @@ impl FromIterator<Fact> for Database {
     }
 }
 
-/// Parses a whitespace/`.`-separated list of ground facts (testing helper).
+/// Parses a `.`-separated list of ground facts (testing helper).
+///
+/// Goes through the real lexer (not naive `.`-splitting), so quoted symbols
+/// containing dots or other parser-significant characters are safe — the
+/// property the snapshot debug-dump and `:save` text export rely on.
 ///
 /// ```
 /// use strata_datalog::storage::parse_facts;
-/// let facts = parse_facts("p(a). q(1, 2).");
-/// assert_eq!(facts.len(), 2);
+/// let facts = parse_facts("p(a). q(1, 2). r(\"dotted.name\").");
+/// assert_eq!(facts.len(), 3);
 /// ```
 pub fn parse_facts(src: &str) -> FxHashSet<Fact> {
-    src.split('.')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(|s| Fact::parse(s).expect("invalid fact in list"))
+    crate::parser::parse_fact_list(src)
+        .unwrap_or_else(|e| panic!("invalid fact in list: {e}"))
+        .into_iter()
         .collect()
 }
 
@@ -501,5 +559,31 @@ mod tests {
     fn debug_rendering_is_sorted() {
         let db = Database::from_facts(parse_facts("b(2). a(1)."));
         assert_eq!(format!("{db:?}"), "{a(1), b(2)}");
+    }
+
+    #[test]
+    fn parse_facts_handles_quoted_separators() {
+        let facts = parse_facts("p(\"a.b\"). q(\"x. y. z\").");
+        assert_eq!(facts.len(), 2);
+        assert!(facts.contains(&Fact::new("p", vec![Value::sym("a.b")])));
+    }
+
+    #[test]
+    fn tuple_store_default_impl_is_the_database() {
+        fn exercise(store: &mut dyn TupleStore) {
+            let f = Fact::parse("e(1, 2)").unwrap();
+            assert!(store.is_empty_store());
+            assert!(store.insert_fact(f.clone()));
+            assert!(!store.insert_fact(f.clone()));
+            assert!(store.contains_fact(&f));
+            assert_eq!(store.fact_count(), 1);
+            let mut seen = Vec::new();
+            store.for_each_fact(&mut |f| seen.push(f.clone()));
+            assert_eq!(seen, vec![f.clone()]);
+            assert!(store.remove_fact(&f));
+            assert!(!store.remove_fact(&f));
+            assert!(store.is_empty_store());
+        }
+        exercise(&mut Database::new());
     }
 }

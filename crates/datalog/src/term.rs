@@ -31,14 +31,7 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Value::Sym(s) => {
-                let name = s.as_str();
-                if needs_quoting(name) {
-                    write!(f, "{name:?}")
-                } else {
-                    f.write_str(name)
-                }
-            }
+            Value::Sym(s) => write_symbol(f, s.as_str()),
             Value::Int(i) => write!(f, "{i}"),
         }
     }
@@ -62,8 +55,13 @@ impl From<&str> for Value {
     }
 }
 
-/// Whether a symbolic constant must be printed quoted to re-parse.
-fn needs_quoting(name: &str) -> bool {
+/// Whether a symbol must be printed quoted to re-parse: anything that the
+/// lexer would not read back as a plain identifier, including the `not`
+/// keyword (which lexes as negation).
+pub(crate) fn needs_quoting(name: &str) -> bool {
+    if name == "not" {
+        return true;
+    }
     let mut chars = name.chars();
     match chars.next() {
         Some(c) if c.is_ascii_lowercase() => {
@@ -71,6 +69,32 @@ fn needs_quoting(name: &str) -> bool {
         }
         _ => true,
     }
+}
+
+/// Writes a symbol name, quoting and escaping when required.
+///
+/// The escape set is deliberately closed — exactly what the lexer accepts
+/// (`\"`, `\\`, `\n`, `\t`, `\r`, `\u{…}` for other control characters) —
+/// so `Display` output always re-parses, independent of how Rust's own
+/// `Debug` string escaping evolves. Used for constants and relation names.
+pub(crate) fn write_symbol(f: &mut fmt::Formatter<'_>, name: &str) -> fmt::Result {
+    use fmt::Write;
+    if !needs_quoting(name) {
+        return f.write_str(name);
+    }
+    f.write_char('"')?;
+    for c in name.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 || (c as u32) == 0x7f => write!(f, "\\u{{{:x}}}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
 }
 
 /// A term: a constant or a variable.
@@ -161,6 +185,22 @@ mod tests {
         assert_eq!(Value::int(-3).to_string(), "-3");
         assert_eq!(Value::sym("Hello world").to_string(), "\"Hello world\"");
         assert_eq!(Value::sym("x-y").to_string(), "\"x-y\"");
+    }
+
+    #[test]
+    fn value_display_escapes_are_closed() {
+        assert_eq!(Value::sym("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::sym("a\\b").to_string(), "\"a\\\\b\"");
+        assert_eq!(Value::sym("a\nb\tc\rd").to_string(), "\"a\\nb\\tc\\rd\"");
+        assert_eq!(Value::sym("a\u{1}b").to_string(), "\"a\\u{1}b\"");
+        assert_eq!(Value::sym("").to_string(), "\"\"");
+        // `not` lexes as negation, so it must be quoted to survive.
+        assert_eq!(Value::sym("not").to_string(), "\"not\"");
+        // Non-ASCII passes through verbatim inside quotes.
+        assert_eq!(Value::sym("héllo wörld").to_string(), "\"héllo wörld\"");
+        // Parser-significant characters force quoting.
+        assert_eq!(Value::sym("a.b").to_string(), "\"a.b\"");
+        assert_eq!(Value::sym("7up").to_string(), "\"7up\"");
     }
 
     #[test]

@@ -4,18 +4,41 @@
 use proptest::prelude::*;
 use strata_datalog::{Atom, Fact, Literal, Program, Rule, Term, Value};
 
+/// Arbitrary symbol content: whitespace, quotes, backslashes, escapes,
+/// control characters, unicode, keywords — everything quote-on-write must
+/// survive.
+fn hostile_symbol_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
+        "[A-Z][ a-zA-Z0-9_.:+-]{0,5}".prop_map(|s| s),
+        "[ -~]{0,8}".prop_map(|s| s), // any printable ASCII, incl. \ " ( ) , . ! %
+        prop_oneof![
+            Just("not".to_string()),
+            Just(String::new()),
+            Just("a\"b\\c".to_string()),
+            Just("line\nbreak\ttab\rret".to_string()),
+            Just("héllo wörld 日本".to_string()),
+            Just("ctrl\u{1}\u{7f}chars".to_string()),
+            Just("// comment % comment".to_string()),
+        ],
+    ]
+}
+
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         (-1000i64..1000).prop_map(Value::int),
-        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Value::sym(&s)),
-        // Strings needing quotes (printable, no quote/backslash so the
-        // Display escaping stays the identity).
-        "[A-Z][ a-zA-Z0-9_.:+-]{0,5}".prop_map(|s| Value::sym(&s)),
+        hostile_symbol_strategy().prop_map(|s| Value::sym(&s)),
     ]
 }
 
 fn fact_strategy() -> impl Strategy<Value = Fact> {
     ("[a-z][a-z0-9_]{0,6}", proptest::collection::vec(value_strategy(), 0..4))
+        .prop_map(|(rel, args)| Fact::new(rel.as_str(), args))
+}
+
+/// Facts whose relation names are hostile too.
+fn hostile_fact_strategy() -> impl Strategy<Value = Fact> {
+    (hostile_symbol_strategy(), proptest::collection::vec(value_strategy(), 0..3))
         .prop_map(|(rel, args)| Fact::new(rel.as_str(), args))
 }
 
@@ -44,6 +67,27 @@ proptest! {
         let round = Fact::parse(&f.to_string())
             .unwrap_or_else(|e| panic!("`{f}` failed to re-parse: {e}"));
         prop_assert_eq!(round, f);
+    }
+
+    #[test]
+    fn hostile_fact_display_reparses(f in hostile_fact_strategy()) {
+        let round = Fact::parse(&f.to_string())
+            .unwrap_or_else(|e| panic!("`{f}` failed to re-parse: {e}"));
+        prop_assert_eq!(round, f);
+    }
+
+    #[test]
+    fn hostile_fact_lists_reparse(
+        facts in proptest::collection::vec(hostile_fact_strategy(), 0..6),
+    ) {
+        // The `.`-separated list form the snapshot debug-dump and `:save`
+        // export use: lexer-aware splitting must survive dots and quotes
+        // inside symbols.
+        let text: String =
+            facts.iter().map(|f| format!("{f}. ")).collect();
+        let round = strata_datalog::parser::parse_fact_list(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+        prop_assert_eq!(round, facts);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Checksummed, length-prefixed record frames — the unit of both the WAL
+//! and the snapshot file.
+//!
+//! ```text
+//! frame ::= len:u32  payload:len-bytes  crc:u32
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE, reflected — the zlib/ethernet polynomial) over
+//! the payload, implemented here because the workspace vendors no external
+//! crates. A frame whose length field runs past the input, or whose
+//! checksum does not match, is a **torn frame**: the reader reports how
+//! many bytes of intact frames precede it so the caller can truncate.
+
+/// Frame overhead: the `u32` length prefix plus the `u32` checksum.
+pub const FRAME_OVERHEAD: usize = 8;
+
+/// Frames larger than this are treated as corruption rather than attempted
+/// (a torn length field can otherwise masquerade as a multi-gigabyte
+/// allocation).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table-driven, table built on first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Appends one frame around `payload`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// One step of frame reading.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead<'a> {
+    /// An intact frame; `next` is the offset just past it.
+    Ok {
+        /// The frame payload.
+        payload: &'a [u8],
+        /// Offset of the byte after this frame.
+        next: usize,
+    },
+    /// Clean end of input at the given offset.
+    End,
+    /// A torn or corrupt frame starts at this offset; bytes before it are
+    /// intact.
+    Torn,
+}
+
+/// Reads the frame starting at `at`.
+pub fn read_frame(buf: &[u8], at: usize) -> FrameRead<'_> {
+    if at == buf.len() {
+        return FrameRead::End;
+    }
+    if buf.len() - at < FRAME_OVERHEAD {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN || buf.len() - at < FRAME_OVERHEAD + len {
+        return FrameRead::Torn;
+    }
+    let payload = &buf[at + 4..at + 4 + len];
+    let crc = u32::from_le_bytes(buf[at + 4 + len..at + FRAME_OVERHEAD + len].try_into().unwrap());
+    if crc != crc32(payload) {
+        return FrameRead::Torn;
+    }
+    FrameRead::Ok { payload, next: at + FRAME_OVERHEAD + len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, &[0xff; 100]);
+        let FrameRead::Ok { payload, next } = read_frame(&buf, 0) else { panic!() };
+        assert_eq!(payload, b"hello");
+        let FrameRead::Ok { payload, next } = read_frame(&buf, next) else { panic!() };
+        assert_eq!(payload, b"");
+        let FrameRead::Ok { payload, next } = read_frame(&buf, next) else { panic!() };
+        assert_eq!(payload, &[0xff; 100]);
+        assert_eq!(read_frame(&buf, next), FrameRead::End);
+    }
+
+    #[test]
+    fn every_truncation_is_torn_not_misread() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"second");
+        let first_end = FRAME_OVERHEAD + 5;
+        assert_eq!(read_frame(&buf[..first_end], first_end), FrameRead::End, "clean boundary");
+        for cut in first_end + 1..buf.len() {
+            assert_eq!(read_frame(&buf[..cut], first_end), FrameRead::Torn, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload");
+        for bit in 0..buf.len() * 8 {
+            let mut corrupted = buf.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            // Either torn, or (for length-field flips that still parse) the
+            // payload must differ from a clean read — never a silent wrong
+            // accept of the same-length payload.
+            match read_frame(&corrupted, 0) {
+                FrameRead::Torn | FrameRead::End => {}
+                FrameRead::Ok { .. } => panic!("bit {bit} accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_field_is_torn() {
+        let mut buf = vec![0xff, 0xff, 0xff, 0x7f];
+        buf.extend_from_slice(&[0u8; 64]);
+        assert_eq!(read_frame(&buf, 0), FrameRead::Torn);
+    }
+}

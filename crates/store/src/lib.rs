@@ -1,0 +1,441 @@
+//! # strata-store
+//!
+//! Durable storage for maintained stratified databases: an append-only
+//! write-ahead log ([`wal`]) plus atomic snapshots ([`snapshot`]), combined
+//! by [`Store`] into an open/commit/compact lifecycle.
+//!
+//! The store is deliberately **content-agnostic**: WAL data records and
+//! snapshot payloads are opaque byte strings. The maintenance layer
+//! (`strata_core::durable`) owns their encoding — updates, the program,
+//! the model, and the per-fact support dump — through the
+//! `strata_datalog::wire` codec. This keeps the crate dependency order
+//! acyclic (`store` sits below `core`) and the file formats reusable.
+//!
+//! ## On-disk layout
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! <dir>/snapshot.snap   the belief state at WAL position `seq`
+//! <dir>/wal.log         BEGIN/DATA/COMMIT|ABORT transactions after it
+//! ```
+//!
+//! ## Recovery
+//!
+//! [`Store::open`] = read the snapshot (if any), replay the WAL, truncate
+//! any torn tail, and hand back the committed transactions with
+//! `seq > snapshot.seq` — exactly the suffix the snapshot does not cover.
+//! A crash between "snapshot renamed" and "WAL truncated" is benign: the
+//! stale WAL prefix is skipped by sequence number.
+
+pub mod frame;
+pub mod snapshot;
+pub mod wal;
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+pub use frame::crc32;
+pub use snapshot::{Snapshot, SnapshotError};
+pub use wal::{Durability, Wal, WalReplay, WalTxn};
+
+/// File name of the snapshot inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+
+/// File name of the write-ahead log inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// File name of the single-writer lock inside a store directory.
+pub const LOCK_FILE: &str = "store.lock";
+
+/// Why a store failed to open or persist.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The snapshot file exists but cannot be decoded.
+    Corrupt(String),
+    /// Another live process holds the store open.
+    Locked {
+        /// The pid recorded in the lock file.
+        pid: u32,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Locked { pid } => {
+                write!(f, "store is locked by another live process (pid {pid})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> StoreError {
+        match e {
+            SnapshotError::Io(e) => StoreError::Io(e),
+            SnapshotError::Corrupt(msg) => StoreError::Corrupt(msg.to_string()),
+        }
+    }
+}
+
+/// What [`Store::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The snapshot, if one was ever written.
+    pub snapshot: Option<Snapshot>,
+    /// Committed transactions not covered by the snapshot, in log order.
+    pub committed: Vec<WalTxn>,
+    /// Whether a torn WAL tail (crash evidence) was truncated away.
+    pub torn_tail: bool,
+}
+
+/// An open durable store: one snapshot plus the WAL of transactions since.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    next_seq: u64,
+    /// Sequence number the current snapshot covers (0 = none).
+    snapshot_seq: u64,
+    /// This store's lock-file content; Drop releases the lock only while
+    /// it still holds it (same-process re-entry hands the lock to the
+    /// newest opener).
+    lock_token: String,
+}
+
+/// Distinguishes multiple stores opened by one process in the lock file.
+static LOCK_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Whether the lock-holding process is still alive. On Linux this is a
+/// `/proc` probe; elsewhere liveness cannot be checked cheaply, so a held
+/// lock is conservatively treated as live (delete the lock file manually
+/// after a crash).
+fn lock_holder_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        std::path::Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Claims the store's single-writer lock via an atomic `O_EXCL` create:
+/// refuses if the lock file names a different, still-live process; steals
+/// stale locks (dead pid — the crash case). Re-entry from the same process
+/// is allowed and transfers the lock to the newest opener (e.g. a strategy
+/// switch opens the new engine before dropping the old): in-process
+/// coordination is the caller's job, the lock guards *processes*.
+fn acquire_lock(dir: &std::path::Path) -> Result<String, StoreError> {
+    let path = dir.join(LOCK_FILE);
+    let my_pid = std::process::id();
+    let token =
+        format!("{my_pid}:{}\n", LOCK_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+    for _ in 0..16 {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+            Ok(mut f) => {
+                use std::io::Write;
+                f.write_all(token.as_bytes())?;
+                return Ok(token);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let held = std::fs::read_to_string(&path).unwrap_or_default();
+                let pid = held.trim().split(':').next().and_then(|p| p.parse::<u32>().ok());
+                match pid {
+                    Some(pid) if pid != my_pid && lock_holder_alive(pid) => {
+                        return Err(StoreError::Locked { pid });
+                    }
+                    // Same process (re-entry) or dead holder: take over.
+                    // Remove-then-retry keeps the common path atomic; two
+                    // simultaneous stealers race on the `create_new`, and
+                    // the loser loops back to re-examine.
+                    _ => {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(StoreError::Io(std::io::Error::other("could not acquire store lock (livelock)")))
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        let path = self.dir.join(LOCK_FILE);
+        // Release only a lock this store still owns: after same-process
+        // re-entry the newer Store holds it, and removing it out from
+        // under them would let a second process in.
+        if std::fs::read_to_string(&path).is_ok_and(|held| held == self.lock_token) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Store {
+    /// Opens (creating if missing) the store directory and performs
+    /// recovery. The returned [`Recovered`] carries everything needed to
+    /// rebuild the in-memory state; the [`Store`] is ready for appends.
+    ///
+    /// Single-writer: a lock file refuses concurrent opens from other live
+    /// processes (interleaved appends from two writers would corrupt the
+    /// WAL); a lock left by a dead process is stolen.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+    ) -> Result<(Store, Recovered), StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        // Persist the directory entries themselves: a fresh store whose
+        // parent dirent only lives in the page cache can vanish wholesale
+        // on power loss, taking "durably committed" transactions with it.
+        File::open(&dir)?.sync_all()?;
+        if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            // Best-effort (the parent may not be openable, e.g. `/`).
+            if let Ok(f) = File::open(parent) {
+                let _ = f.sync_all();
+            }
+        }
+        let lock_token = acquire_lock(&dir)?;
+        let recover = || -> Result<(Store, Recovered), StoreError> {
+            let snapshot = Snapshot::read(&dir.join(SNAPSHOT_FILE))?;
+            let snapshot_seq = snapshot.as_ref().map_or(0, |s| s.seq);
+            let (wal, replay) = Wal::open(dir.join(WAL_FILE), durability)?;
+            let mut last_seq = snapshot_seq;
+            let mut committed = Vec::new();
+            for txn in replay.txns {
+                last_seq = last_seq.max(txn.seq);
+                if txn.committed && txn.seq > snapshot_seq {
+                    committed.push(txn);
+                }
+            }
+            let store = Store {
+                dir: dir.clone(),
+                wal,
+                next_seq: last_seq + 1,
+                snapshot_seq,
+                lock_token: lock_token.clone(),
+            };
+            Ok((store, Recovered { snapshot, committed, torn_tail: replay.torn_tail }))
+        };
+        let result = recover();
+        if result.is_err() {
+            // Failed after claiming the lock (e.g. corrupt snapshot): no
+            // Store exists to release it on drop, so release it here.
+            let _ = std::fs::remove_file(dir.join(LOCK_FILE));
+        }
+        result
+    }
+
+    /// Begins a transaction over `records`, appending BEGIN and the data
+    /// frames (buffered; nothing is durable yet). `kind` is an opaque
+    /// caller byte handed back by recovery with the transaction. Returns
+    /// the sequence number to pass to [`Store::commit`] or [`Store::abort`].
+    pub fn begin(&mut self, records: &[Vec<u8>], kind: u8) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.wal.begin(seq, kind);
+        for r in records {
+            self.wal.data(r);
+        }
+        seq
+    }
+
+    /// Durably commits the open transaction.
+    pub fn commit(&mut self, seq: u64) -> Result<(), StoreError> {
+        self.wal.commit(seq).map_err(StoreError::Io)
+    }
+
+    /// Durably records the open transaction as rejected.
+    pub fn abort(&mut self, seq: u64) -> Result<(), StoreError> {
+        self.wal.abort(seq).map_err(StoreError::Io)
+    }
+
+    /// Drops an open transaction without writing a terminator (used when an
+    /// I/O failure makes the outcome unknowable; replay discards it).
+    pub fn discard(&mut self) {
+        self.wal.discard_open();
+    }
+
+    /// Writes a snapshot covering everything committed so far, then empties
+    /// the WAL — compaction. Crash-ordering: the snapshot rename lands
+    /// first, so a crash before the truncate only leaves WAL entries that
+    /// recovery skips by sequence number.
+    pub fn write_snapshot(&mut self, meta: &str, payload: Vec<u8>) -> Result<(), StoreError> {
+        let seq = self.next_seq - 1;
+        let snap = Snapshot { seq, meta: meta.to_string(), payload };
+        snap.write_atomic(&self.dir.join(SNAPSHOT_FILE))?;
+        self.snapshot_seq = seq;
+        self.wal.truncate_all()?;
+        Ok(())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes of terminated transactions currently in the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+
+    /// The sequence number the snapshot covers (0 = no snapshot yet).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("strata_store_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_store_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.committed.is_empty());
+        assert!(!rec.torn_tail);
+        assert_eq!(store.wal_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transactions_survive_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"u1".to_vec(), b"u2".to_vec()], 0);
+            store.commit(seq).unwrap();
+            let seq = store.begin(&[b"rejected".to_vec()], 0);
+            store.abort(seq).unwrap();
+        }
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(rec.committed.len(), 1, "aborted txn not replayed");
+        assert_eq!(rec.committed[0].records, vec![b"u1".to_vec(), b"u2".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_resets_wal_and_replay_skips_covered_seqs() {
+        let dir = tmpdir("snap");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"before".to_vec()], 0);
+            store.commit(seq).unwrap();
+            store.write_snapshot("cascade", b"state-at-1".to_vec()).unwrap();
+            assert_eq!(store.wal_bytes(), 0);
+            let seq = store.begin(&[b"after".to_vec()], 0);
+            store.commit(seq).unwrap();
+        }
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        let snap = rec.snapshot.unwrap();
+        assert_eq!(snap.meta, "cascade");
+        assert_eq!(snap.payload, b"state-at-1");
+        assert_eq!(rec.committed.len(), 1);
+        assert_eq!(rec.committed[0].records, vec![b"after".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_wal_after_snapshot_crash_is_skipped() {
+        // Crash between snapshot rename and WAL truncate: simulate by
+        // writing the snapshot file directly, leaving the WAL intact.
+        let dir = tmpdir("stale");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"covered".to_vec()], 0);
+            store.commit(seq).unwrap();
+        }
+        Snapshot { seq: 1, meta: "m".into(), payload: b"p".to_vec() }
+            .write_atomic(&dir.join(SNAPSHOT_FILE))
+            .unwrap();
+        let (mut store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.committed.is_empty(), "covered txn skipped by seq");
+        // New sequence numbers continue past the snapshot.
+        let seq = store.begin(&[b"new".to_vec()], 0);
+        assert_eq!(seq, 2);
+        store.commit(seq).unwrap();
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(rec.committed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_refuses_live_foreign_pid_and_steals_stale() {
+        let dir = tmpdir("lock");
+        {
+            let (_store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            assert!(dir.join(LOCK_FILE).exists());
+            // Same process re-entry is allowed (strategy-switch pattern).
+            let second = Store::open(&dir, Durability::Fsync);
+            assert!(second.is_ok());
+        }
+        // Both stores dropped: the lock is released.
+        assert!(!dir.join(LOCK_FILE).exists());
+        // A lock held by a live foreign process (pid 1 on Linux) refuses.
+        std::fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+        match Store::open(&dir, Durability::Fsync) {
+            Err(StoreError::Locked { pid: 1 }) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // A stale lock (dead pid) is stolen.
+        std::fs::write(dir.join(LOCK_FILE), "999999999\n").unwrap();
+        assert!(Store::open(&dir, Durability::Fsync).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reentry_transfers_lock_to_newest_opener() {
+        // The strategy-switch pattern: a second same-process open takes the
+        // lock over; dropping the *older* store must not release it.
+        let dir = tmpdir("lock_reentry");
+        let (older, _) = Store::open(&dir, Durability::Fsync).unwrap();
+        let (newer, _) = Store::open(&dir, Durability::Fsync).unwrap();
+        drop(older);
+        assert!(dir.join(LOCK_FILE).exists(), "newest opener still holds the lock");
+        drop(newer);
+        assert!(!dir.join(LOCK_FILE).exists(), "owner's drop releases it");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_reported_and_dropped() {
+        let dir = tmpdir("torn");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"good".to_vec()], 0);
+            store.commit(seq).unwrap();
+        }
+        // Append garbage (a torn record).
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.join(WAL_FILE)).unwrap();
+        f.write_all(&[0x55; 5]).unwrap();
+        drop(f);
+        let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.torn_tail);
+        assert_eq!(rec.committed.len(), 1);
+        // The tail is gone from disk.
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), store.wal_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,193 @@
+//! Snapshot files: the full belief state at one WAL position, written
+//! atomically.
+//!
+//! File layout:
+//!
+//! ```text
+//! magic:"SSNP" version:u32 seq:u64 frame(meta) frame(payload)
+//! ```
+//!
+//! `meta` is a short UTF-8 string (the engine strategy that wrote the
+//! snapshot); `payload` is opaque to the store — the maintenance layer
+//! encodes the program, the model, and the per-fact support dump into it.
+//! Both are [`crate::frame`] frames, so each carries its own CRC-32.
+//!
+//! Writes go to a temp file in the same directory, are fsynced, and then
+//! renamed over the live name — readers see either the old snapshot or the
+//! new one, never a prefix. The directory is fsynced after the rename so
+//! the rename itself is durable.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+
+const MAGIC: &[u8; 4] = b"SSNP";
+const VERSION: u32 = 1;
+
+/// A decoded snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The WAL sequence number this snapshot covers: recovery replays only
+    /// transactions with `seq` greater than this.
+    pub seq: u64,
+    /// Writer metadata (the strategy name).
+    pub meta: String,
+    /// The encoded belief state (opaque to the store).
+    pub payload: Vec<u8>,
+}
+
+/// Why a snapshot failed to decode.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes are not a valid snapshot (bad magic/version/frame).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+impl Snapshot {
+    /// Encodes the snapshot to its file representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + self.meta.len() + 32);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        write_frame(&mut out, self.meta.as_bytes());
+        write_frame(&mut out, &self.payload);
+        out
+    }
+
+    /// Decodes a snapshot from file bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 16 || &bytes[..4] != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt("unsupported version"));
+        }
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let FrameRead::Ok { payload: meta, next } = read_frame(bytes, 16) else {
+            return Err(SnapshotError::Corrupt("torn meta frame"));
+        };
+        let meta = std::str::from_utf8(meta)
+            .map_err(|_| SnapshotError::Corrupt("meta is not UTF-8"))?
+            .to_string();
+        let FrameRead::Ok { payload, next } = read_frame(bytes, next) else {
+            return Err(SnapshotError::Corrupt("torn payload frame"));
+        };
+        if next != bytes.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(Snapshot { seq, meta, payload: payload.to_vec() })
+    }
+
+    /// Writes the snapshot to `path` atomically: temp file in the same
+    /// directory, fsync, rename, fsync directory.
+    ///
+    /// Errors (rather than panicking in `write_frame`) if the payload
+    /// exceeds the 64 MiB single-frame cap — the current format's size
+    /// limit for one belief state.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        if self.payload.len() > crate::frame::MAX_FRAME_LEN
+            || self.meta.len() > crate::frame::MAX_FRAME_LEN
+        {
+            return Err(SnapshotError::Corrupt("snapshot payload exceeds the 64 MiB frame cap"));
+        }
+        let dir = path.parent().ok_or(SnapshotError::Corrupt("snapshot path has no parent"))?;
+        let tmp = path.with_extension("snap.tmp");
+        {
+            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself.
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads the snapshot at `path`; `Ok(None)` if the file does not exist.
+    pub fn read(path: &Path) -> Result<Option<Snapshot>, SnapshotError> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => f.read_to_end(&mut bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Self::decode(&bytes).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("strata_snap_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = Snapshot { seq: 42, meta: "cascade".into(), payload: vec![1, 2, 3, 0, 255] };
+        assert_eq!(Snapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn write_read_missing_and_corrupt() {
+        let dir = tmpdir("rw");
+        let path = dir.join("snapshot.snap");
+        assert!(Snapshot::read(&path).unwrap().is_none());
+        let s = Snapshot { seq: 7, meta: "static".into(), payload: b"state".to_vec() };
+        s.write_atomic(&path).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap(), Some(s.clone()));
+        // Overwrite is atomic: the temp file never lingers.
+        s.write_atomic(&path).unwrap();
+        assert!(!dir.join("snapshot.snap.tmp").exists());
+        // Any truncation is rejected, never misread.
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(Snapshot::read(&path).is_err(), "cut {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_and_magic_checked() {
+        let s = Snapshot { seq: 1, meta: String::new(), payload: vec![] };
+        let mut bytes = s.encode();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::decode(&bytes), Err(SnapshotError::Corrupt("bad magic"))));
+        let mut bytes = s.encode();
+        bytes[4] = 99;
+        assert!(Snapshot::decode(&bytes).is_err());
+        let mut bytes = s.encode();
+        bytes.push(0);
+        assert!(Snapshot::decode(&bytes).is_err(), "trailing bytes rejected");
+    }
+}

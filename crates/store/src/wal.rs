@@ -1,0 +1,401 @@
+//! The append-only write-ahead log.
+//!
+//! Record payloads (inside [`crate::frame`] frames):
+//!
+//! ```text
+//! BEGIN  ::= 0x01 seq:u64 kind:u8
+//! DATA   ::= 0x02 bytes…          (opaque to the store; one update each)
+//! COMMIT ::= 0x03 seq:u64
+//! ABORT  ::= 0x04 seq:u64
+//! ```
+//!
+//! `kind` is an opaque caller byte replayed back with the transaction (the
+//! maintenance layer uses it to record which entry point — single apply or
+//! batch — produced the transaction, so recovery replays through the same
+//! code path).
+//!
+//! A transaction is `BEGIN data* (COMMIT | ABORT)`. Replay applies only
+//! committed transactions; an `ABORT` records a rejected batch (the
+//! engine-level "reject leaves the engine unchanged" contract, made
+//! durable), and a transaction with no terminator — the torn tail a crash
+//! mid-batch leaves — is discarded and truncated away on open, so recovery
+//! lands exactly on the pre-batch state.
+//!
+//! Durability: appends are buffered in the OS page cache; `commit` and
+//! `abort` optionally `fsync` (see [`Durability`]). A transaction is
+//! considered applied only once its terminator frame is on disk, so the
+//! single fsync at the terminator is enough for crash safety.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{read_frame, write_frame, FrameRead};
+
+/// Whether terminator records are fsynced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// `fsync` on every commit/abort — survives power loss.
+    #[default]
+    Fsync,
+    /// Leave flushing to the OS — survives process crash only. For
+    /// benchmarks and tests.
+    Buffered,
+}
+
+/// One replayed transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalTxn {
+    /// The sequence number from the BEGIN/terminator records.
+    pub seq: u64,
+    /// The caller's opaque kind byte from the BEGIN record.
+    pub kind: u8,
+    /// The DATA payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// `true` for COMMIT, `false` for ABORT.
+    pub committed: bool,
+}
+
+/// What replay found.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Terminated transactions, in log order (aborted ones included, marked).
+    pub txns: Vec<WalTxn>,
+    /// Bytes of intact, terminated-transaction prefix; everything after —
+    /// torn frames or an unterminated transaction — was truncated on open.
+    pub valid_len: u64,
+    /// Whether a torn tail (crash evidence) was found and dropped.
+    pub torn_tail: bool,
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_DATA: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+
+/// The append-only log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    len: u64,
+    durability: Durability,
+    /// Bytes appended since the last terminator, so an abandoned
+    /// transaction (e.g. an I/O error mid-append) never counts as length.
+    pending: Vec<u8>,
+    /// Set when a flush failed partway: the file may hold a partial frame
+    /// at an unknown offset, so any further append could interleave with
+    /// the garbage and corrupt *later* transactions. A poisoned log only
+    /// errors; reopening (which truncates the torn region) clears it.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log at `path`, replays it, and
+    /// truncates any torn tail so subsequent appends start on a record
+    /// boundary.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        durability: Durability,
+    ) -> std::io::Result<(Wal, WalReplay)> {
+        let path = path.into();
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let replay = Self::replay(&bytes);
+        if replay.valid_len < bytes.len() as u64 {
+            file.set_len(replay.valid_len)?;
+            file.sync_data()?;
+        }
+        // `set_len` does not move the cursor: position appends explicitly,
+        // or a truncated file would grow a zero-filled gap.
+        file.seek(SeekFrom::Start(replay.valid_len))?;
+        let wal = Wal {
+            file,
+            path,
+            len: replay.valid_len,
+            durability,
+            pending: Vec::new(),
+            poisoned: false,
+        };
+        Ok((wal, replay))
+    }
+
+    /// Decodes `bytes` into terminated transactions plus the intact prefix
+    /// length. Pure, so crash-simulation tests can call it on arbitrary
+    /// prefixes.
+    pub fn replay(bytes: &[u8]) -> WalReplay {
+        let mut out = WalReplay::default();
+        let mut at = 0usize;
+        // The currently open (BEGIN seen, not yet terminated) transaction.
+        let mut open: Option<(u64, u8, Vec<Vec<u8>>)> = None;
+        loop {
+            match read_frame(bytes, at) {
+                FrameRead::End => break,
+                FrameRead::Torn => {
+                    out.torn_tail = true;
+                    break;
+                }
+                FrameRead::Ok { payload, next } => {
+                    let Some((&tag, body)) = payload.split_first() else {
+                        out.torn_tail = true;
+                        break;
+                    };
+                    match tag {
+                        TAG_BEGIN if body.len() == 9 => {
+                            // A BEGIN while a transaction is open means the
+                            // previous one was never terminated: drop it.
+                            let seq = u64::from_le_bytes(body[..8].try_into().unwrap());
+                            open = Some((seq, body[8], Vec::new()));
+                        }
+                        TAG_DATA if open.is_some() => {
+                            open.as_mut().unwrap().2.push(body.to_vec());
+                        }
+                        TAG_COMMIT | TAG_ABORT if body.len() == 8 => {
+                            let seq = u64::from_le_bytes(body.try_into().unwrap());
+                            if let Some((begin_seq, kind, records)) = open.take() {
+                                if begin_seq == seq {
+                                    out.txns.push(WalTxn {
+                                        seq,
+                                        kind,
+                                        records,
+                                        committed: tag == TAG_COMMIT,
+                                    });
+                                    // Only a terminated transaction advances
+                                    // the intact prefix.
+                                    out.valid_len = next as u64;
+                                }
+                            }
+                        }
+                        _ => {
+                            // Unknown tag or malformed body: treat like a
+                            // torn record.
+                            out.torn_tail = true;
+                            return out;
+                        }
+                    }
+                    at = next;
+                }
+            }
+        }
+        if open.is_some() {
+            out.torn_tail = true;
+        }
+        out
+    }
+
+    fn push_record(&mut self, tag: u8, body: &[u8]) {
+        if 1 + body.len() > crate::frame::MAX_FRAME_LEN {
+            // An unframeable record: fail the whole transaction at its
+            // terminator instead of panicking inside `write_frame`.
+            self.pending.clear();
+            self.poisoned = true;
+            return;
+        }
+        let mut payload = Vec::with_capacity(1 + body.len());
+        payload.push(tag);
+        payload.extend_from_slice(body);
+        write_frame(&mut self.pending, &payload);
+    }
+
+    /// Starts a transaction; `kind` is an opaque caller byte returned by
+    /// replay.
+    pub fn begin(&mut self, seq: u64, kind: u8) {
+        let mut body = [0u8; 9];
+        body[..8].copy_from_slice(&seq.to_le_bytes());
+        body[8] = kind;
+        self.push_record(TAG_BEGIN, &body);
+    }
+
+    /// Appends one opaque data record to the open transaction.
+    pub fn data(&mut self, bytes: &[u8]) {
+        self.push_record(TAG_DATA, bytes);
+    }
+
+    /// Terminates the open transaction as committed; the write is durable
+    /// (per the [`Durability`] policy) when this returns.
+    pub fn commit(&mut self, seq: u64) -> std::io::Result<()> {
+        self.push_record(TAG_COMMIT, &seq.to_le_bytes());
+        self.flush_pending()
+    }
+
+    /// Terminates the open transaction as rejected.
+    pub fn abort(&mut self, seq: u64) -> std::io::Result<()> {
+        self.push_record(TAG_ABORT, &seq.to_le_bytes());
+        self.flush_pending()
+    }
+
+    fn flush_pending(&mut self) -> std::io::Result<()> {
+        if self.poisoned {
+            // Drop the unwritable frames so repeated attempts don't grow
+            // the buffer; `truncate_all` (compaction) or a reopen heals.
+            self.pending.clear();
+            return Err(std::io::Error::other(
+                "WAL poisoned by an earlier write failure or oversized record",
+            ));
+        }
+        let result = self.file.write_all(&self.pending).and_then(|()| {
+            if self.durability == Durability::Fsync {
+                self.file.sync_data()?;
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                self.len += self.pending.len() as u64;
+                self.pending.clear();
+                Ok(())
+            }
+            Err(e) => {
+                // An unknown prefix of `pending` may have reached the file;
+                // re-sending it (or appending anything after it) would
+                // corrupt the log mid-file and take later transactions down
+                // with it at the next replay. Poison: replay of the current
+                // on-disk bytes still recovers everything terminated before
+                // this transaction.
+                self.pending.clear();
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops an un-terminated transaction that will not be completed (e.g.
+    /// the engine failed before a terminator could be chosen). Nothing was
+    /// written to the file yet, so this is purely in-memory.
+    pub fn discard_open(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Empties the log (after a snapshot made its contents redundant).
+    pub fn truncate_all(&mut self) -> std::io::Result<()> {
+        self.pending.clear();
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.len = 0;
+        // Emptying the file discards any partial garbage a failed flush
+        // left behind, so the log is clean again.
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Bytes of terminated transactions currently in the file.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("strata_wal_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn commit_abort_replay() {
+        let dir = tmpdir("car");
+        let path = dir.join("w.wal");
+        {
+            let (mut wal, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+            assert!(replay.txns.is_empty());
+            wal.begin(1, 0);
+            wal.data(b"alpha");
+            wal.data(b"beta");
+            wal.commit(1).unwrap();
+            wal.begin(2, 0);
+            wal.data(b"gamma");
+            wal.abort(2).unwrap();
+        }
+        let (_, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert_eq!(replay.txns.len(), 2);
+        assert_eq!(replay.txns[0].records, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert!(replay.txns[0].committed);
+        assert!(!replay.txns[1].committed);
+        assert!(!replay.torn_tail);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unterminated_tail_is_truncated_on_open() {
+        let dir = tmpdir("tail");
+        let path = dir.join("w.wal");
+        let committed_len;
+        {
+            let (mut wal, _) = Wal::open(&path, Durability::Fsync).unwrap();
+            wal.begin(1, 0);
+            wal.data(b"ok");
+            wal.commit(1).unwrap();
+            committed_len = wal.len_bytes();
+            // A transaction that never terminates: force the frames to disk
+            // without a terminator by writing them directly.
+            wal.begin(2, 0);
+            wal.data(b"torn");
+            let pending = wal.pending.clone();
+            wal.discard_open();
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&pending).unwrap();
+        }
+        assert!(std::fs::metadata(&path).unwrap().len() > committed_len);
+        let (wal, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert_eq!(replay.txns.len(), 1);
+        assert!(replay.torn_tail);
+        assert_eq!(wal.len_bytes(), committed_len);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_byte_prefix_yields_a_terminated_prefix_of_txns() {
+        let dir = tmpdir("prefix");
+        let path = dir.join("w.wal");
+        let mut boundaries = vec![0u64];
+        {
+            let (mut wal, _) = Wal::open(&path, Durability::Buffered).unwrap();
+            for seq in 1..=4u64 {
+                wal.begin(seq, 0);
+                wal.data(format!("payload-{seq}").as_bytes());
+                wal.commit(seq).unwrap();
+                boundaries.push(wal.len_bytes());
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..=bytes.len() {
+            let replay = Wal::replay(&bytes[..cut]);
+            let expect = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(replay.txns.len(), expect, "cut {cut}");
+            assert_eq!(replay.valid_len, boundaries[expect], "cut {cut}");
+            for (i, t) in replay.txns.iter().enumerate() {
+                assert_eq!(t.seq, i as u64 + 1);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_all_empties_the_log() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("w.wal");
+        let (mut wal, _) = Wal::open(&path, Durability::Fsync).unwrap();
+        wal.begin(1, 0);
+        wal.commit(1).unwrap();
+        assert!(wal.len_bytes() > 0);
+        wal.truncate_all().unwrap();
+        assert_eq!(wal.len_bytes(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -110,6 +110,19 @@ pub mod strategy {
         }
     }
 
+    /// A strategy that always yields a clone of its value (proptest's
+    /// `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn sample(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -340,7 +353,7 @@ pub mod test_runner {
 pub mod prelude {
     //! The glob-imported surface: `use proptest::prelude::*;`.
 
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }

@@ -20,6 +20,10 @@
 //! :strategy <name>    switch engine (recompute | static | dynamic-single |
 //!                     dynamic-multi | cascade | fact-level)
 //! :strategies         list the registered engines (from the EngineRegistry)
+//! :open <path>        make the session durable: WAL + snapshots at <path>
+//!                     (recovers the stored state if the path already holds one)
+//! :save <path>        export the current program as text
+//! :compact            snapshot the durable store and empty its WAL
 //! :help               this text
 //! :quit               exit
 //! ```
@@ -29,7 +33,7 @@ use std::io::{self, BufRead, Write};
 use stratamaint::core::constraints::{Constraint, GuardedEngine};
 use stratamaint::core::explain::Explainer;
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{MaintenanceEngine, Update, UpdateStats};
+use stratamaint::core::{MaintenanceEngine, StorageConfig, Update, UpdateStats};
 use stratamaint::datalog::{Fact, Program, Query, Rule};
 
 /// A parsed REPL command.
@@ -46,6 +50,9 @@ enum Command {
     ProgramText,
     Stats,
     Strategy(String),
+    Open(String),
+    Save(String),
+    Compact,
     Help,
     Quit,
     Nothing,
@@ -86,6 +93,23 @@ fn parse_command(line: &str) -> Result<Command, String> {
                 Ok(Command::Strategy(name.to_string()))
             }
         }
+        ":open" => {
+            let path = line[5..].trim();
+            if path.is_empty() {
+                Err("usage: :open <path>".into())
+            } else {
+                Ok(Command::Open(path.to_string()))
+            }
+        }
+        ":save" => {
+            let path = line[5..].trim();
+            if path.is_empty() {
+                Err("usage: :save <path>".into())
+            } else {
+                Ok(Command::Save(path.to_string()))
+            }
+        }
+        ":compact" => Ok(Command::Compact),
         ":help" => Ok(Command::Help),
         ":quit" | ":q" | ":exit" => Ok(Command::Quit),
         other if other.starts_with(':') => Err(format!("unknown command `{other}` (try :help)")),
@@ -110,9 +134,13 @@ fn parse_fact(src: &str) -> Result<Fact, String> {
 }
 
 struct Repl {
-    /// The one name → constructor mapping; `:strategy` goes through here.
+    /// The one name → constructor mapping; `:strategy` and `:open` go
+    /// through here.
     registry: EngineRegistry,
     engine: GuardedEngine<Box<dyn MaintenanceEngine>>,
+    /// Directory of the durable store, once `:open` has been issued.
+    /// `:strategy` reopens the store under the new engine when set.
+    durable_path: Option<String>,
     last_stats: Option<UpdateStats>,
 }
 
@@ -120,7 +148,26 @@ impl Repl {
     fn new(program: Program) -> Result<Repl, String> {
         let registry = EngineRegistry::standard();
         let engine = registry.build("cascade", program).map_err(|e| e.to_string())?;
-        Ok(Repl { registry, engine: GuardedEngine::unconstrained(engine), last_stats: None })
+        Ok(Repl {
+            registry,
+            engine: GuardedEngine::unconstrained(engine),
+            durable_path: None,
+            last_stats: None,
+        })
+    }
+
+    /// Builds the current (or a new) strategy over `program` under the
+    /// session's storage config: durable when a store is open.
+    fn build_engine(
+        &self,
+        name: &str,
+        program: Program,
+    ) -> Result<Box<dyn MaintenanceEngine>, String> {
+        let storage = match &self.durable_path {
+            Some(path) => StorageConfig::Wal(path.into()),
+            None => StorageConfig::Mem,
+        };
+        self.registry.build_with_storage(name, program, &storage).map_err(|e| e.to_string())
     }
 
     /// Executes one command, writing human-readable output. Returns `false`
@@ -185,7 +232,10 @@ impl Repl {
                 }
             }
             Command::Strategy(name) => {
-                match self.registry.build(&name, self.engine.program().clone()) {
+                // When a durable store is open, the switch reopens it: the
+                // recovered program is replayed under the new strategy (all
+                // strategies agree on the model, so this is sound).
+                match self.build_engine(&name, self.engine.program().clone()) {
                     Ok(engine) => {
                         self.engine.replace_inner(engine);
                         writeln!(out, "  strategy: {}", self.engine.inner().name())?;
@@ -193,6 +243,37 @@ impl Repl {
                     Err(e) => writeln!(out, "  error: {e}")?,
                 }
             }
+            Command::Open(path) => {
+                let name = self.engine.inner().name().to_string();
+                let program = self.engine.program().clone();
+                let storage = StorageConfig::Wal(path.clone().into());
+                match self.registry.build_with_storage(&name, program, &storage) {
+                    Ok(engine) => {
+                        self.engine.replace_inner(engine);
+                        self.durable_path = Some(path.clone());
+                        writeln!(
+                            out,
+                            "  durable at {path} ({} facts in model)",
+                            self.engine.model().len()
+                        )?;
+                    }
+                    Err(e) => writeln!(out, "  error: {e}")?,
+                }
+            }
+            Command::Save(path) => match std::fs::write(&path, self.engine.program().to_string()) {
+                Ok(()) => writeln!(
+                    out,
+                    "  saved {} facts, {} rules to {path}",
+                    self.engine.program().num_facts(),
+                    self.engine.program().num_rules()
+                )?,
+                Err(e) => writeln!(out, "  error: cannot write {path}: {e}")?,
+            },
+            Command::Compact => match self.engine.inner_mut().checkpoint() {
+                Ok(true) => writeln!(out, "  compacted (snapshot written, WAL emptied)")?,
+                Ok(false) => writeln!(out, "  not a durable session (use :open <path> first)")?,
+                Err(e) => writeln!(out, "  error: {e}")?,
+            },
             Command::Insert(u) | Command::Delete(u) => match self.engine.apply(&u) {
                 Ok(stats) => {
                     writeln!(
@@ -213,7 +294,9 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   ? <query>         query         :why <fact>     proof tree
   :constrain <body> add denial    :constraints    list denials
   :model  :program  :stats        :strategy <name>
-  :strategies       list engines  :help  :quit";
+  :strategies       list engines  :open <path>    durable store (WAL)
+  :save <path>      text export   :compact        snapshot + empty WAL
+  :help  :quit";
 
 fn main() -> io::Result<()> {
     let mut program = Program::new();
@@ -405,6 +488,75 @@ mod tests {
         assert!(out.contains("[by p(X) :- e(X).]"), "{out}");
         let out = run(&mut repl, ":why p(9)");
         assert!(out.contains("not in the model"));
+    }
+
+    #[test]
+    fn parses_persistence_commands() {
+        assert!(
+            matches!(parse_command(":open /tmp/db").unwrap(), Command::Open(p) if p == "/tmp/db")
+        );
+        assert!(
+            matches!(parse_command(":save out.strata").unwrap(), Command::Save(p) if p == "out.strata")
+        );
+        assert!(matches!(parse_command(":compact").unwrap(), Command::Compact));
+        assert!(parse_command(":open").is_err());
+        assert!(parse_command(":save").is_err());
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("strata_repl_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn session_durable_open_survives_restart() {
+        let dir = scratch("open");
+        let store = dir.join("db");
+        {
+            let mut repl = pods_repl();
+            let out = run(&mut repl, &format!(":open {}", store.display()));
+            assert!(out.contains("durable at"), "{out}");
+            run(&mut repl, "+ accepted(1)");
+            let out = run(&mut repl, ":compact");
+            assert!(out.contains("compacted"), "{out}");
+            run(&mut repl, "+ submitted(9)");
+        } // simulated exit
+        let mut repl = Repl::new(Program::new()).unwrap();
+        run(&mut repl, &format!(":open {}", store.display()));
+        assert!(run(&mut repl, "? accepted(1)").contains("true"));
+        assert!(run(&mut repl, "? submitted(9)").contains("true"));
+        assert!(run(&mut repl, "? rejected(1)").contains("false"));
+        // Strategy switches stay durable: the reopened engine still
+        // checkpoints.
+        let out = run(&mut repl, ":strategy dynamic-multi");
+        assert!(out.contains("dynamic-multi"), "{out}");
+        assert!(run(&mut repl, ":compact").contains("compacted"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_compact_without_open_reports() {
+        let mut repl = pods_repl();
+        let out = run(&mut repl, ":compact");
+        assert!(out.contains("not a durable session"), "{out}");
+    }
+
+    #[test]
+    fn session_save_exports_reparseable_text() {
+        let dir = scratch("save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("export.strata");
+        let mut repl = pods_repl();
+        // A symbol that breaks naive text export without quote-on-write.
+        run(&mut repl, "+ submitted(\"tricky. name\")");
+        let out = run(&mut repl, &format!(":save {}", file.display()));
+        assert!(out.contains("saved"), "{out}");
+        let text = std::fs::read_to_string(&file).unwrap();
+        let reloaded = Program::parse(&text).unwrap();
+        assert_eq!(reloaded.num_facts(), repl.engine.program().num_facts());
+        assert_eq!(reloaded.num_rules(), repl.engine.program().num_rules());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   (static §4.1, dynamic single §4.2, dynamic multi §4.3, cascade §5.1,
 //!   fact-level §5.2, and the recompute baseline), supports, statistics,
 //!   why-provenance.
+//! * [`store`] — the durability substrate: checksummed record frames, the
+//!   append-only write-ahead log, atomic snapshots, and the recovering
+//!   [`store::Store`] that `core`'s `DurableEngine` builds on.
 //! * [`tms`] — the belief revision substrate: Doyle's JTMS, de Kleer's ATMS,
 //!   and their bridges to stratified databases.
 //! * [`workload`] — the paper's worked examples and scalable synthetic
@@ -20,5 +23,6 @@
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 pub use strata_core as core;
 pub use strata_datalog as datalog;
+pub use strata_store as store;
 pub use strata_tms as tms;
 pub use strata_workload as workload;

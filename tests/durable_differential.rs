@@ -1,0 +1,226 @@
+//! `DurableEngine`-wrapped engines must be observationally identical to
+//! their in-memory counterparts — model, support dumps, accept/reject
+//! decisions, statistics — and must reproduce that state exactly after a
+//! kill-and-reopen. The durable layer is a *logger*, never a participant.
+
+use std::path::PathBuf;
+
+use stratamaint::core::constraints::{Constraint, GuardedEngine};
+use stratamaint::core::durable::DurableEngine;
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::{MaintenanceEngine, StorageConfig, Update};
+use stratamaint::datalog::{Fact, Program, Rule};
+use stratamaint::store::{Durability, SNAPSHOT_FILE};
+use stratamaint::workload::paper;
+use stratamaint::workload::script::{random_fact_script, ScriptConfig};
+use stratamaint::workload::synth;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_diff_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The full observable state of an engine.
+fn state(e: &dyn MaintenanceEngine) -> (Vec<Fact>, stratamaint::core::SupportDump) {
+    (e.model().sorted_facts(), e.support_dump())
+}
+
+/// The snapshot's *state* bytes (the canonical payload: program + model +
+/// support dump). The header's sequence number records how much history
+/// preceded the snapshot, so it is excluded from byte-identity claims.
+fn snapshot_state_bytes(dir: &std::path::Path) -> Vec<u8> {
+    let bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+    stratamaint::store::Snapshot::decode(&bytes).unwrap().payload
+}
+
+/// A script with engine-rejected updates spliced in, so the differential
+/// covers the error path too.
+fn script_with_rejections(program: &Program, seed: u64, len: usize) -> Vec<Update> {
+    let mut script = random_fact_script(program, &ScriptConfig { len, insert_prob: 0.5 }, seed);
+    let ghost = Update::DeleteFact(Fact::parse("absolutely_not_asserted(999)").unwrap());
+    let step = (script.len() / 3).max(1);
+    let mut at = step;
+    while at <= script.len() {
+        script.insert(at, ghost.clone());
+        at += step + 1;
+    }
+    script
+}
+
+/// Replays `script` step-by-step on the plain and durable builds of every
+/// registered strategy, checking observational equality at each step, then
+/// kills the durable engine and checks the reopened state.
+fn differential_on(program: &Program, label: &str, seed: u64, len: usize) {
+    let registry = EngineRegistry::standard();
+    let script = script_with_rejections(program, seed, len);
+    for name in registry.names() {
+        let dir = scratch(&format!("{label}_{name}"));
+        let storage = StorageConfig::Wal(dir.clone());
+        let mut plain = registry.build(name, program.clone()).unwrap();
+        let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
+        assert_eq!(state(plain.as_ref()), state(durable.as_ref()), "[{name}] initial");
+        for (i, u) in script.iter().enumerate() {
+            let a = plain.apply(u);
+            let b = durable.apply(u);
+            match (&a, &b) {
+                (Ok(sa), Ok(sb)) => assert_eq!(sa, sb, "[{name}] step {i} stats"),
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea.to_string(), eb.to_string(), "[{name}] step {i} error")
+                }
+                _ => panic!("[{name}] step {i}: decisions diverged ({a:?} vs {b:?})"),
+            }
+            assert_eq!(state(plain.as_ref()), state(durable.as_ref()), "[{name}] step {i}");
+        }
+        // Kill (drop) and reopen: the recovered state must be exact.
+        let expected = state(plain.as_ref());
+        drop(durable);
+        let reopened = registry.build_with_storage(name, Program::new(), &storage).unwrap();
+        assert_eq!(state(reopened.as_ref()), expected, "[{name}] kill-and-reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn durable_equals_inmemory_on_paper_workload() {
+    differential_on(
+        &Program::parse(
+            "submitted(1). submitted(2). submitted(3). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap(),
+        "pods",
+        1,
+        30,
+    );
+    differential_on(&paper::congress(4), "congress", 2, 25);
+}
+
+#[test]
+fn durable_equals_inmemory_on_conference_pipeline() {
+    differential_on(&synth::conference(12, 4, 7), "conf", 3, 25);
+}
+
+#[test]
+fn durable_equals_inmemory_on_tc_complement() {
+    differential_on(&synth::tc_complement(5, 8, 11), "tc", 4, 20);
+}
+
+#[test]
+fn durable_equals_inmemory_on_random_programs() {
+    for pseed in 0..2 {
+        let cfg = synth::RandomConfig {
+            edb_rels: 3,
+            idb_rels: 5,
+            rules_per_rel: 2,
+            facts_per_rel: 10,
+            domain: 8,
+            neg_prob: 0.35,
+        };
+        let program = synth::random_stratified(&cfg, pseed);
+        differential_on(&program, &format!("rand{pseed}"), 5 + pseed, 20);
+    }
+}
+
+#[test]
+fn durable_batches_equal_inmemory_batches() {
+    let program = synth::conference(10, 3, 5);
+    let registry = EngineRegistry::standard();
+    let script = random_fact_script(&program, &ScriptConfig { len: 24, insert_prob: 0.5 }, 9);
+    for name in registry.names() {
+        let dir = scratch(&format!("batch_{name}"));
+        let storage = StorageConfig::Wal(dir.clone());
+        let mut plain = registry.build(name, program.clone()).unwrap();
+        let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
+        for chunk in script.chunks(6) {
+            let a = plain.apply_all(chunk);
+            let b = durable.apply_all(chunk);
+            assert_eq!(a.is_ok(), b.is_ok(), "[{name}]");
+            assert_eq!(state(plain.as_ref()), state(durable.as_ref()), "[{name}]");
+        }
+        drop(durable);
+        let reopened = registry.build_with_storage(name, Program::new(), &storage).unwrap();
+        assert_eq!(state(reopened.as_ref()), state(plain.as_ref()), "[{name}] reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn rule_updates_differential() {
+    let program = Program::parse("e(1). e(2). base(X) :- e(X).").unwrap();
+    let registry = EngineRegistry::standard();
+    let updates = [
+        Update::InsertRule(Rule::parse("p(X) :- e(X), !q(X).").unwrap()),
+        Update::InsertFact(Fact::parse("q(1)").unwrap()),
+        Update::InsertRule(Rule::parse("r(X) :- p(X).").unwrap()),
+        Update::DeleteRule(Rule::parse("p(X) :- e(X), !q(X).").unwrap()),
+        Update::InsertFact(Fact::parse("e(3)").unwrap()),
+        // A rejected rule insertion: recursion through negation.
+        Update::InsertRule(Rule::parse("q(X) :- e(X), !r2(X).").unwrap()),
+        Update::DeleteRule(Rule::parse("never_added(X) :- e(X).").unwrap()),
+    ];
+    for name in registry.names() {
+        let dir = scratch(&format!("rules_{name}"));
+        let storage = StorageConfig::Wal(dir.clone());
+        let mut plain = registry.build(name, program.clone()).unwrap();
+        let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
+        for (i, u) in updates.iter().enumerate() {
+            let a = plain.apply(u);
+            let b = durable.apply(u);
+            assert_eq!(a.is_ok(), b.is_ok(), "[{name}] step {i}");
+            assert_eq!(state(plain.as_ref()), state(durable.as_ref()), "[{name}] step {i}");
+        }
+        drop(durable);
+        let reopened = registry.build_with_storage(name, Program::new(), &storage).unwrap();
+        assert_eq!(state(reopened.as_ref()), state(plain.as_ref()), "[{name}] reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Acceptance criterion: a batch rejected by `GuardedEngine` leaves the
+/// on-disk state equivalent to the pre-batch state after recovery — and the
+/// compacted snapshot is byte-identical to one taken at the pre-batch
+/// state.
+#[test]
+fn guarded_rejection_leaves_disk_state_byte_identical() {
+    let program = Program::parse("submitted(1). submitted(2). rejected(2).").unwrap();
+    let registry = EngineRegistry::standard();
+    let ctor = registry.ctor("cascade").unwrap();
+
+    // Reference: the pre-batch state, compacted, snapshot bytes captured.
+    let ref_dir = scratch("guard_ref");
+    let mut reference =
+        DurableEngine::open(&ref_dir, "cascade", ctor.clone(), program.clone(), Durability::Fsync)
+            .unwrap();
+    reference.compact().unwrap();
+    let ref_snapshot = snapshot_state_bytes(&ref_dir);
+    let pre_state = state(&reference);
+
+    // Subject: same state, then a guarded batch that violates a denial.
+    let dir = scratch("guard_subj");
+    let subject =
+        DurableEngine::open(&dir, "cascade", ctor.clone(), program, Durability::Fsync).unwrap();
+    let mut guarded = GuardedEngine::unconstrained(subject);
+    guarded.add_constraint(Constraint::parse(":- accepted(X), rejected(X).").unwrap()).unwrap();
+    let err = guarded
+        .apply_all(&[
+            Update::InsertFact(Fact::parse("submitted(7)").unwrap()),
+            Update::InsertFact(Fact::parse("accepted(2)").unwrap()), // violates
+        ])
+        .unwrap_err();
+    assert!(err.to_string().contains("violates"), "{err}");
+    assert_eq!(state(guarded.inner()), pre_state, "live state rolled back");
+
+    // Kill, recover, compact: the snapshot must equal the reference's
+    // byte for byte.
+    drop(guarded);
+    let mut reopened =
+        DurableEngine::open(&dir, "cascade", ctor, Program::new(), Durability::Fsync).unwrap();
+    assert_eq!(state(&reopened), pre_state, "recovered state is pre-batch");
+    reopened.compact().unwrap();
+    let subj_snapshot = snapshot_state_bytes(&dir);
+    assert_eq!(subj_snapshot, ref_snapshot, "compacted snapshot payloads byte-identical");
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
