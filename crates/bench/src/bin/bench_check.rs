@@ -1,0 +1,207 @@
+//! `bench_check` — the CI bench-regression guard.
+//!
+//! Compares a freshly measured `BENCH_*.json` (produced by running the
+//! matching experiment binary with `--smoke --out <path>`) against the
+//! committed **smoke baseline** (`BENCH_<kind>.smoke.json`, regenerated
+//! with the same `--smoke --out` invocation) and exits non-zero if any
+//! **headline metric** regressed more than [`TOLERANCE`]× (2×). Smoke runs
+//! are compared to smoke baselines — ratios shift with workload size, so
+//! full-size baselines would false-alarm. Headline metrics are chosen to
+//! be *ratios*, not absolute times, so the check is meaningful across
+//! machines of different speed:
+//!
+//! * `plan`     — per workload, the compiled-vs-interpreted `speedup`.
+//! * `store`    — batched-fsync vs per-update-fsync commit throughput.
+//! * `parallel` — per workload, the best multi-thread speedup over the
+//!   sequential engine. (Bounded by host cores: a baseline recorded on a
+//!   many-core box checked on a single-core runner would always "regress",
+//!   which is why CI runs this as a separate, non-required job.)
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check <plan|store|parallel> <baseline.json> <fresh.json>
+//! ```
+
+use std::process::ExitCode;
+
+use strata_bench::json::{parse, Json};
+
+/// A fresh headline metric must be at least `baseline / TOLERANCE`.
+const TOLERANCE: f64 = 2.0;
+
+/// One comparable headline metric.
+struct Metric {
+    label: String,
+    value: f64,
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `plan`: the per-workload compiled-vs-interpreted speedup.
+fn plan_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let results = doc.get("results").ok_or("missing `results`")?.items();
+    results
+        .iter()
+        .map(|r| {
+            let workload = r.get("workload").and_then(Json::as_str).ok_or("missing workload")?;
+            let speedup = r.get("speedup").and_then(Json::as_f64).ok_or("missing speedup")?;
+            Ok(Metric { label: format!("speedup[{workload}]"), value: speedup })
+        })
+        .collect()
+}
+
+/// `store`: batched-fsync over per-update-fsync commit throughput.
+fn store_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let throughput = doc.get("throughput").ok_or("missing `throughput`")?.items();
+    let rate = |mode: &str| -> Result<f64, String> {
+        throughput
+            .iter()
+            .find(|r| r.get("mode").and_then(Json::as_str) == Some(mode))
+            .and_then(|r| r.get("updates_per_sec").and_then(Json::as_f64))
+            .ok_or_else(|| format!("missing updates_per_sec for mode {mode}"))
+    };
+    let ratio = rate("batched_fsync")? / rate("per_update_fsync")?;
+    Ok(vec![Metric { label: "batched/per-update fsync throughput".into(), value: ratio }])
+}
+
+/// `parallel`: the best multi-thread speedup per workload.
+fn parallel_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let results = doc.get("results").ok_or("missing `results`")?.items();
+    results
+        .iter()
+        .map(|r| {
+            let workload = r.get("workload").and_then(Json::as_str).ok_or("missing workload")?;
+            let best = r
+                .get("threads")
+                .ok_or("missing threads")?
+                .items()
+                .iter()
+                .filter_map(|t| t.get("speedup").and_then(Json::as_f64))
+                .fold(f64::NEG_INFINITY, f64::max);
+            if best == f64::NEG_INFINITY {
+                return Err(format!("no thread entries for {workload}"));
+            }
+            Ok(Metric { label: format!("best speedup[{workload}]"), value: best })
+        })
+        .collect()
+}
+
+fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
+    match kind {
+        "plan" => plan_metrics(doc),
+        "store" => store_metrics(doc),
+        "parallel" => parallel_metrics(doc),
+        other => Err(format!("unknown kind `{other}` (plan | store | parallel)")),
+    }
+}
+
+fn check(kind: &str, baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
+    let baseline = metrics(kind, &load(baseline_path)?)?;
+    let fresh = metrics(kind, &load(fresh_path)?)?;
+    let mut ok = true;
+    for b in &baseline {
+        let Some(f) = fresh.iter().find(|m| m.label == b.label) else {
+            println!("MISSING  {:<40} (in baseline, absent from fresh run)", b.label);
+            ok = false;
+            continue;
+        };
+        let floor = b.value / TOLERANCE;
+        let verdict = if f.value >= floor { "ok      " } else { "REGRESSED" };
+        println!(
+            "{verdict} {:<40} baseline {:.2}, fresh {:.2} (floor {:.2})",
+            b.label, b.value, f.value, floor
+        );
+        if f.value < floor {
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [kind, baseline, fresh] = args.as_slice() else {
+        eprintln!("usage: bench_check <plan|store|parallel> <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    match check(kind, baseline, fresh) {
+        Ok(true) => {
+            println!("\nbench_check: {kind} headline metrics within {TOLERANCE}x of baseline");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("\nbench_check: {kind} headline metrics regressed more than {TOLERANCE}x");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(src: &str) -> Json {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn plan_passes_within_tolerance_and_fails_beyond() {
+        let base = doc(r#"{"results": [{"workload": "tc", "speedup": 4.0}]}"#);
+        let good = doc(r#"{"results": [{"workload": "tc", "speedup": 2.1}]}"#);
+        let bad = doc(r#"{"results": [{"workload": "tc", "speedup": 1.9}]}"#);
+        let bm = plan_metrics(&base).unwrap();
+        assert_eq!(bm.len(), 1);
+        assert!(plan_metrics(&good).unwrap()[0].value >= bm[0].value / TOLERANCE);
+        assert!(plan_metrics(&bad).unwrap()[0].value < bm[0].value / TOLERANCE);
+    }
+
+    #[test]
+    fn store_metric_is_the_fsync_ratio() {
+        let base = doc(r#"{"throughput": [
+                {"mode": "per_update_fsync", "updates_per_sec": 100},
+                {"mode": "batched_fsync", "updates_per_sec": 1800},
+                {"mode": "per_update_buffered", "updates_per_sec": 9000}
+            ]}"#);
+        let m = store_metrics(&base).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!((m[0].value - 18.0).abs() < 1e-9);
+        assert!(store_metrics(&doc(r#"{"throughput": []}"#)).is_err());
+    }
+
+    #[test]
+    fn parallel_metric_is_the_best_thread_speedup() {
+        let base = doc(r#"{"results": [{"workload": "tc", "seq_ms": 10.0, "threads": [
+                {"threads": 1, "ms": 10.5, "speedup": 0.95},
+                {"threads": 4, "ms": 4.0, "speedup": 2.5}
+            ]}]}"#);
+        let m = parallel_metrics(&base).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!((m[0].value - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_compares_files_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("strata_benchcheck_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let fresh = dir.join("fresh.json");
+        std::fs::write(&base, r#"{"results": [{"workload": "tc", "speedup": 4.0}]}"#).unwrap();
+        std::fs::write(&fresh, r#"{"results": [{"workload": "tc", "speedup": 3.0}]}"#).unwrap();
+        assert!(check("plan", base.to_str().unwrap(), fresh.to_str().unwrap()).unwrap());
+        std::fs::write(&fresh, r#"{"results": [{"workload": "tc", "speedup": 0.5}]}"#).unwrap();
+        assert!(!check("plan", base.to_str().unwrap(), fresh.to_str().unwrap()).unwrap());
+        // A fresh run missing a baseline workload fails the check.
+        std::fs::write(&fresh, r#"{"results": []}"#).unwrap();
+        assert!(!check("plan", base.to_str().unwrap(), fresh.to_str().unwrap()).unwrap());
+        assert!(check("nonsense", base.to_str().unwrap(), fresh.to_str().unwrap()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

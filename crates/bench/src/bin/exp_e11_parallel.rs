@@ -1,0 +1,241 @@
+//! E11 — what per-stratum parallel saturation buys.
+//!
+//! Runs the same batched update workloads through the sequential `cascade`
+//! engine and through `cascade-parallel` at 1/2/4/8 worker threads,
+//! recording wall-clock time and the speedup over sequential. The engines
+//! are bit-identical in results (gated by `tests/parallel_equivalence.rs`
+//! and the CI `parallel-equivalence` job); this experiment measures the
+//! wall-clock side of that trade. Workloads:
+//!
+//! * **tc_batch_insert** — a maintained transitive closure receiving a
+//!   large edge batch: the recursive stratum re-saturates with big per-round
+//!   deltas, the sharded hot path.
+//! * **triple_join_negation** — a 3-literal join with negation fed a large
+//!   EDB batch: one wide delta firing per rule, sharded across workers.
+//! * **batch_update_mixed** — a reachability-complement database replaying
+//!   a random insert/delete script in `apply_all` batches.
+//!
+//! Results go to `BENCH_parallel.json`, including `host_cpus` — speedups
+//! are bounded by the physical cores of the machine that wrote the file
+//! (a single-core host records ≈1× at every thread count; the numbers are
+//! honest, not simulated).
+//!
+//! Usage: `exp_e11_parallel [--smoke] [--out PATH]`; `--smoke` runs tiny
+//! sizes (the CI bit-rot guard) and skips the file unless `--out` is given.
+
+use std::time::Instant;
+
+use strata_bench::banner;
+use strata_core::strategy::CascadeEngine;
+use strata_core::{MaintenanceEngine, Parallelism, Update};
+use strata_datalog::{Fact, Program};
+use strata_workload::script::{random_fact_script, ScriptConfig};
+use strata_workload::synth;
+
+/// A deterministic LCG for workload generation.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// One benchmark case: a program plus the update batches replayed onto it.
+struct Workload {
+    name: &'static str,
+    params: String,
+    program: Program,
+    batches: Vec<Vec<Update>>,
+}
+
+fn tc_batch_insert(nodes: u64, base_edges: usize, batch_edges: usize) -> Workload {
+    let mut lcg = Lcg(42);
+    let mut src = String::new();
+    for _ in 0..base_edges {
+        src.push_str(&format!("e({}, {}). ", lcg.next() % nodes, lcg.next() % nodes));
+    }
+    src.push_str("p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).");
+    let batch: Vec<Update> = (0..batch_edges)
+        .map(|_| {
+            Update::InsertFact(
+                Fact::parse(&format!("e({}, {})", lcg.next() % nodes, lcg.next() % nodes)).unwrap(),
+            )
+        })
+        .collect();
+    Workload {
+        name: "tc_batch_insert",
+        params: format!("{nodes} nodes, {base_edges} base edges, {batch_edges}-edge batch"),
+        program: Program::parse(&src).expect("generated TC program parses"),
+        batches: vec![batch],
+    }
+}
+
+fn triple_join_negation(domain: u64, per_rel: usize, batch_size: usize) -> Workload {
+    let mut lcg = Lcg(7);
+    let mut src = String::new();
+    for rel in ["e", "f", "g"] {
+        for _ in 0..per_rel {
+            src.push_str(&format!("{rel}({}, {}). ", lcg.next() % domain, lcg.next() % domain));
+        }
+    }
+    for _ in 0..(per_rel / 10) {
+        src.push_str(&format!("blocked({}). ", lcg.next() % domain));
+    }
+    src.push_str("t(X, W) :- e(X, Y), f(Y, Z), g(Z, W), !blocked(X).");
+    let batch: Vec<Update> = (0..batch_size)
+        .map(|_| {
+            Update::InsertFact(
+                Fact::parse(&format!("e({}, {})", lcg.next() % domain, lcg.next() % domain))
+                    .unwrap(),
+            )
+        })
+        .collect();
+    Workload {
+        name: "triple_join_negation",
+        params: format!("domain {domain}, {per_rel}/rel, {batch_size}-fact batch"),
+        program: Program::parse(&src).expect("generated join program parses"),
+        batches: vec![batch],
+    }
+}
+
+fn batch_update_mixed(nodes: usize, edges: usize, script_len: usize, batch: usize) -> Workload {
+    let program = synth::tc_complement(nodes, edges, 23);
+    let script =
+        random_fact_script(&program, &ScriptConfig { len: script_len, insert_prob: 0.6 }, 31);
+    let batches: Vec<Vec<Update>> = script.chunks(batch).map(<[Update]>::to_vec).collect();
+    Workload {
+        name: "batch_update_mixed",
+        params: format!("{nodes} nodes, {edges} edges, {script_len} updates in {batch}s"),
+        program,
+        batches,
+    }
+}
+
+/// Times `reps` runs of the workload on a fresh engine each time (build
+/// excluded from the clock) and returns the best wall-clock seconds plus
+/// the final model for agreement checks.
+fn run_case(w: &Workload, threads: Option<usize>, reps: usize) -> (f64, Vec<strata_datalog::Fact>) {
+    let mut best = f64::INFINITY;
+    let mut model = Vec::new();
+    for _ in 0..reps {
+        let mut engine = match threads {
+            None => CascadeEngine::new(w.program.clone()).expect("workload is stratified"),
+            Some(t) => CascadeEngine::parallel(w.program.clone(), Parallelism::new(t))
+                .expect("workload is stratified"),
+        };
+        let t0 = Instant::now();
+        for batch in &w.batches {
+            engine.apply_all(batch).expect("bench batch applies");
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        model = engine.model().sorted_facts();
+    }
+    (best, model)
+}
+
+struct Row {
+    workload: &'static str,
+    params: String,
+    seq_ms: f64,
+    /// `(threads, ms, speedup)` per measured thread count.
+    per_threads: Vec<(usize, f64, f64)>,
+}
+
+fn bench_workload(w: &Workload, thread_counts: &[usize], reps: usize) -> Row {
+    let (seq_s, seq_model) = run_case(w, None, reps);
+    let per_threads = thread_counts
+        .iter()
+        .map(|&t| {
+            let (s, model) = run_case(w, Some(t), reps);
+            assert_eq!(model, seq_model, "[{} x{t}] parallel engine diverged", w.name);
+            (t, s * 1e3, seq_s / s)
+        })
+        .collect();
+    Row { workload: w.name, params: w.params.clone(), seq_ms: seq_s * 1e3, per_threads }
+}
+
+fn write_json(path: &str, host_cpus: usize, rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e11_parallel\",\n");
+    out.push_str(
+        "  \"description\": \"per-stratum parallel saturation: cascade-parallel at 1/2/4/8 \
+         worker threads vs the sequential cascade engine (bit-identical results; wall clock \
+         only)\",\n",
+    );
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"unit\": \"ms, best-of-N wall clock; speedup = seq_ms / ms\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"params\": \"{}\", \"seq_ms\": {:.3}, \"threads\": [",
+            r.workload, r.params, r.seq_ms
+        ));
+        for (j, (t, ms, speedup)) in r.per_threads.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"threads\": {t}, \"ms\": {ms:.3}, \"speedup\": {speedup:.2}}}",
+                if j == 0 { "" } else { ", " }
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 == rows.len() { "" } else { "," }));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E11", "per-stratum parallel saturation: cascade-parallel vs cascade");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cpus: {host_cpus}\n");
+
+    let (workloads, thread_counts, reps): (Vec<Workload>, Vec<usize>, usize) = if smoke {
+        (
+            vec![
+                tc_batch_insert(24, 60, 80),
+                triple_join_negation(12, 120, 80),
+                batch_update_mixed(6, 10, 24, 8),
+            ],
+            vec![1, 2],
+            2,
+        )
+    } else {
+        (
+            vec![
+                tc_batch_insert(96, 280, 200),
+                triple_join_negation(48, 2400, 400),
+                batch_update_mixed(11, 30, 120, 24),
+            ],
+            vec![1, 2, 4, 8],
+            5,
+        )
+    };
+
+    let rows: Vec<Row> =
+        workloads.iter().map(|w| bench_workload(w, &thread_counts, reps)).collect();
+
+    println!("{:<22} {:>10} {:>9} {:>10} {:>9}", "workload", "seq ms", "threads", "ms", "speedup");
+    for r in &rows {
+        for (i, (t, ms, speedup)) in r.per_threads.iter().enumerate() {
+            if i == 0 {
+                println!(
+                    "{:<22} {:>10.2} {:>9} {:>10.2} {:>8.2}x",
+                    r.workload, r.seq_ms, t, ms, speedup
+                );
+            } else {
+                println!("{:<22} {:>10} {:>9} {:>10.2} {:>8.2}x", "", "", t, ms, speedup);
+            }
+        }
+    }
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, host_cpus, &rows),
+        (false, None) => write_json("BENCH_parallel.json", host_cpus, &rows),
+        (true, None) => println!("\n--smoke: skipping BENCH_parallel.json"),
+    }
+}

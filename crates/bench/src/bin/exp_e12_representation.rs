@@ -129,7 +129,7 @@ fn main() {
             }));
             for _ in 0..period {
                 if qi < queries {
-                    let rel = if qi.is_multiple_of(2) { "blocked" } else { "buildable" };
+                    let rel = if qi % 2 == 0 { "blocked" } else { "buildable" };
                     let q = Fact::parse(&format!("{rel}(c{})", qi % num_parts)).unwrap();
                     ops.push(Op::Query(q));
                     qi += 1;
@@ -137,7 +137,7 @@ fn main() {
             }
         }
         while qi < queries {
-            let rel = if qi.is_multiple_of(2) { "blocked" } else { "buildable" };
+            let rel = if qi % 2 == 0 { "blocked" } else { "buildable" };
             let q = Fact::parse(&format!("{rel}(c{})", qi % num_parts)).unwrap();
             ops.push(Op::Query(q));
             qi += 1;

@@ -11,6 +11,8 @@ use strata_core::registry::EngineRegistry;
 use strata_core::{MaintenanceEngine, Update, UpdateStats};
 use strata_datalog::Program;
 
+pub mod json;
+
 /// The strategy names compared throughout the experiments, in paper order.
 ///
 /// `fact-level` is excluded from the comparative set — its bookkeeping is

@@ -539,6 +539,10 @@ impl MaintenanceEngine for DurableEngine {
         self.compact()?;
         Ok(true)
     }
+
+    fn set_parallelism(&mut self, parallelism: strata_datalog::Parallelism) -> bool {
+        self.inner.set_parallelism(parallelism)
+    }
 }
 
 #[cfg(test)]

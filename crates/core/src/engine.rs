@@ -113,6 +113,16 @@ pub trait MaintenanceEngine {
         Ok(false)
     }
 
+    /// Parallelism hook: set the worker count the engine's saturation may
+    /// use, returning `true` if the engine honors the knob. Results never
+    /// depend on it — parallel saturation is bit-identical to sequential —
+    /// so it is safe to change at any point in an engine's life. The
+    /// default (engines with purely sequential evaluation) ignores it.
+    fn set_parallelism(&mut self, parallelism: strata_datalog::Parallelism) -> bool {
+        let _ = parallelism;
+        false
+    }
+
     /// Applies one update, returning what it did.
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError>;
 
@@ -230,6 +240,10 @@ impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
 
     fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
         self.as_mut().checkpoint()
+    }
+
+    fn set_parallelism(&mut self, parallelism: strata_datalog::Parallelism) -> bool {
+        self.as_mut().set_parallelism(parallelism)
     }
 
     fn apply(&mut self, update: &Update) -> Result<UpdateStats, MaintenanceError> {

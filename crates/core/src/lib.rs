@@ -21,7 +21,13 @@
 //! | [`strategy::CascadeEngine`] | `cascade` | 5.1 | one-level rule pointers, strata cascaded |
 //! | [`strategy::FactLevelEngine`] | `fact-level` | 5.2 | full fact-level supports (zero migration) |
 //!
-//! All six implement [`engine::MaintenanceEngine`] and agree on the
+//! Two **parallel** variants ride on top: `cascade-parallel` and
+//! `recompute-parallel` run the same engines with per-stratum saturation
+//! sharded across a worker pool (`STRATA_THREADS`, see
+//! [`strata_datalog::eval::par`]); their results are bit-identical to the
+//! sequential strategies at any thread count.
+//!
+//! All of them implement [`engine::MaintenanceEngine`] and agree on the
 //! resulting model (checked extensively by tests); they differ in how much
 //! **migration** (erroneous removal followed by re-derivation) and
 //! bookkeeping each update costs — the trade-off the paper studies.
@@ -69,4 +75,5 @@ pub use durable::{DurableEngine, StorageConfig};
 pub use engine::{MaintenanceEngine, MaintenanceError, Update};
 pub use registry::{EngineRegistry, RegistryError};
 pub use stats::UpdateStats;
+pub use strata_datalog::Parallelism;
 pub use support::SupportDump;

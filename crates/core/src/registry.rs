@@ -35,7 +35,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use strata_datalog::Program;
+use strata_datalog::{Parallelism, Program};
 
 use crate::durable::{DurableEngine, StorageConfig};
 use crate::engine::{MaintenanceEngine, MaintenanceError};
@@ -93,6 +93,12 @@ pub struct StrategyEntry {
     /// [`StorageConfig::Mem`]; set via [`EngineRegistry::set_storage`] to
     /// make every [`EngineRegistry::build`] of this strategy durable.
     pub storage: StorageConfig,
+    /// Worker-count override applied (via
+    /// [`crate::engine::MaintenanceEngine::set_parallelism`]) to every
+    /// engine built from this entry. `None` leaves the constructor's own
+    /// choice — `STRATA_THREADS`-aware for the `*-parallel` strategies —
+    /// untouched. Set via [`EngineRegistry::set_parallelism`].
+    pub parallelism: Option<Parallelism>,
     ctor: EngineCtor,
 }
 
@@ -143,6 +149,22 @@ impl EngineRegistry {
             true,
             |p| Ok(Box::new(FactLevelEngine::new(p)?)),
         );
+        // The parallel variants follow the paper's six: the same semantics,
+        // with per-stratum saturation sharded across a worker pool
+        // (STRATA_THREADS, or the CPU count). Results are bit-identical to
+        // their sequential counterparts at any thread count.
+        r.register(
+            "cascade-parallel",
+            "§5.1 cascade with per-stratum parallel saturation (STRATA_THREADS workers)",
+            true,
+            |p| Ok(Box::new(CascadeEngine::parallel(p, Parallelism::auto())?)),
+        );
+        r.register(
+            "recompute-parallel",
+            "recompute baseline with parallel saturation (STRATA_THREADS workers)",
+            false,
+            |p| Ok(Box::new(RecomputeEngine::parallel(p, Parallelism::auto())?)),
+        );
         r
     }
 
@@ -163,6 +185,7 @@ impl EngineRegistry {
             summary,
             incremental,
             storage: StorageConfig::Mem,
+            parallelism: None,
             ctor: Arc::new(ctor),
         };
         match self.entries.iter_mut().find(|e| e.name == name) {
@@ -179,6 +202,24 @@ impl EngineRegistry {
         match self.entries.iter_mut().find(|e| e.name == name) {
             Some(entry) => {
                 entry.storage = storage;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the worker count of a registered strategy: every subsequent
+    /// [`build`] applies it through the engine's `set_parallelism` hook.
+    /// Returns `false` if the name is unknown. The knob never changes
+    /// results — only how many threads saturation uses — so it composes
+    /// freely with [`set_storage`].
+    ///
+    /// [`build`]: EngineRegistry::build
+    /// [`set_storage`]: EngineRegistry::set_storage
+    pub fn set_parallelism(&mut self, name: &str, parallelism: Parallelism) -> bool {
+        match self.entries.iter_mut().find(|e| e.name == name) {
+            Some(entry) => {
+                entry.parallelism = Some(parallelism);
                 true
             }
             None => false,
@@ -240,19 +281,23 @@ impl EngineRegistry {
         program: Program,
         storage: &StorageConfig,
     ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
-        match storage {
-            StorageConfig::Mem => Ok((entry.ctor)(program)?),
-            StorageConfig::Wal(path) => {
-                let engine = DurableEngine::open(
-                    path,
-                    entry.name,
-                    Arc::clone(&entry.ctor),
-                    program,
-                    strata_store::Durability::Fsync,
-                )?;
-                Ok(Box::new(engine))
-            }
+        let mut engine: Box<dyn MaintenanceEngine> = match storage {
+            StorageConfig::Mem => (entry.ctor)(program)?,
+            StorageConfig::Wal(path) => Box::new(DurableEngine::open(
+                path,
+                entry.name,
+                Arc::clone(&entry.ctor),
+                program,
+                strata_store::Durability::Fsync,
+            )?),
+        };
+        if let Some(par) = entry.parallelism {
+            // Applied after construction (and after any WAL replay): the
+            // knob only affects wall-clock time, never results, so late
+            // application is sound.
+            engine.set_parallelism(par);
         }
+        Ok(engine)
     }
 
     /// Builds every registered engine over `program`, in registration
@@ -291,14 +336,23 @@ mod tests {
     }
 
     #[test]
-    fn standard_registers_six_strategies_in_paper_order() {
+    fn standard_registers_strategies_in_paper_order() {
         let r = EngineRegistry::standard();
         assert_eq!(
             r.names(),
-            vec!["recompute", "static", "dynamic-single", "dynamic-multi", "cascade", "fact-level"]
+            vec![
+                "recompute",
+                "static",
+                "dynamic-single",
+                "dynamic-multi",
+                "cascade",
+                "fact-level",
+                "cascade-parallel",
+                "recompute-parallel",
+            ]
         );
         assert!(r.entries().all(|e| !e.summary.is_empty()));
-        assert_eq!(r.entries().filter(|e| !e.incremental).count(), 1);
+        assert_eq!(r.entries().filter(|e| !e.incremental).count(), 2);
     }
 
     #[test]
@@ -319,7 +373,7 @@ mod tests {
             panic!("expected UnknownStrategy, got {err}")
         };
         assert_eq!(name, "nonsense");
-        assert_eq!(known.len(), 6);
+        assert_eq!(known.len(), 8);
         let msg = err.to_string();
         assert!(msg.contains("nonsense") && msg.contains("cascade"), "{msg}");
     }
@@ -338,7 +392,7 @@ mod tests {
     fn build_all_agrees_across_strategies() {
         let r = EngineRegistry::standard();
         let mut engines = r.build_all(&pods());
-        assert_eq!(engines.len(), 6);
+        assert_eq!(engines.len(), 8);
         let update = Update::InsertFact(Fact::parse("accepted(1)").unwrap());
         for e in &mut engines {
             e.apply(&update).unwrap();
@@ -386,9 +440,45 @@ mod tests {
     fn register_replaces_in_place() {
         let mut r = EngineRegistry::standard();
         r.register("cascade", "configured variant", true, |p| Ok(Box::new(CascadeEngine::new(p)?)));
-        assert_eq!(r.names().len(), 6, "replacement must not duplicate");
+        assert_eq!(r.names().len(), 8, "replacement must not duplicate");
         let entry = r.entries().find(|e| e.name == "cascade").unwrap();
         assert_eq!(entry.summary, "configured variant");
         assert!(r.contains("cascade") && !r.contains("casc"));
+    }
+
+    #[test]
+    fn parallel_strategies_agree_with_their_sequential_counterparts() {
+        let r = EngineRegistry::standard();
+        for (seq, par) in [("cascade", "cascade-parallel"), ("recompute", "recompute-parallel")] {
+            let mut a = r.build(seq, pods()).unwrap();
+            let mut b = r.build(par, pods()).unwrap();
+            assert_eq!(b.name(), par);
+            let update = Update::InsertFact(Fact::parse("accepted(1)").unwrap());
+            let sa = a.apply(&update).unwrap();
+            let sb = b.apply(&update).unwrap();
+            assert_eq!(sa, sb, "[{par}] stats");
+            assert_eq!(a.model().sorted_facts(), b.model().sorted_facts(), "[{par}] model");
+            assert_eq!(a.support_dump(), b.support_dump(), "[{par}] supports");
+        }
+    }
+
+    #[test]
+    fn set_parallelism_applies_on_build() {
+        let mut r = EngineRegistry::standard();
+        assert!(r.entries().all(|e| e.parallelism.is_none()));
+        assert!(r.set_parallelism("cascade-parallel", Parallelism::new(2)));
+        assert!(!r.set_parallelism("nonsense", Parallelism::new(2)));
+        // The configured build still agrees with the sequential engine.
+        let mut a = r.build("cascade", pods()).unwrap();
+        let mut b = r.build("cascade-parallel", pods()).unwrap();
+        let update = Update::InsertFact(Fact::parse("submitted(7)").unwrap());
+        assert_eq!(a.apply(&update).unwrap(), b.apply(&update).unwrap());
+        assert_eq!(a.model().sorted_facts(), b.model().sorted_facts());
+        // Sequential engines ignore the knob; parallel ones honor it.
+        assert!(!r.build("static", pods()).unwrap().set_parallelism(Parallelism::new(4)));
+        assert!(r
+            .build("recompute-parallel", pods())
+            .unwrap()
+            .set_parallelism(Parallelism::new(4)));
     }
 }

@@ -187,7 +187,12 @@ where
         };
         if let Some(v) = val {
             let est = rel.estimate_bound(c, v);
-            if best.as_ref().is_none_or(|&(_, _, e)| est < e) {
+            // (`match` rather than `Option::is_none_or`: MSRV 1.75.)
+            let better = match best {
+                Some((_, _, e)) => est < e,
+                None => true,
+            };
+            if better {
                 best = Some((c, v, est));
             }
         }

@@ -1,0 +1,647 @@
+//! Per-stratum parallel saturation.
+//!
+//! Stratified semantics is what makes this safe: within one stratum, rule
+//! firings are independent — negative hypotheses only consult *earlier*
+//! strata, which are already final — so the per-round delta can be sharded
+//! and matched on several workers, and the merged result is the same
+//! fixpoint the sequential engine computes (paper §2: the standard model is
+//! unique and stratification-independent).
+//!
+//! The implementation goes further than same-fixpoint: it is **bit-identical
+//! to sequential evaluation regardless of thread count**, which lets the
+//! equivalence and differential suites gate it with exact comparisons of
+//! models, supports, and statistics. Three properties make that hold:
+//!
+//! 1. **Frozen database per firing.** A firing (one rule × one delta
+//!    position) never mutates the database while matching — the sequential
+//!    engine already buffers its output (`out`) and inserts afterwards.
+//!    Workers therefore read the same `&Database` the sequential enumeration
+//!    would, and every `contains` pre-check agrees.
+//! 2. **Order-preserving sharding.** The delta relation is split into
+//!    *contiguous chunks of its iteration order*. Relation scans — full
+//!    iteration and bound-column index scans alike — enumerate tuples in
+//!    insertion (arena) order, so concatenating the per-shard outputs in
+//!    shard order reproduces the sequential enumeration order exactly.
+//! 3. **Sequential structure everywhere else.** Rules fire in the same
+//!    order, rounds have the same boundaries, and insertion happens on the
+//!    merge thread in enumeration order, so `DeltaStats`, sink callbacks,
+//!    and the returned `added` list match the sequential engine's.
+//!
+//! Workers are `std::thread::scope` threads (no external dependencies —
+//! consistent with the offline-shims constraint) pulling shards off an
+//! atomic counter; each owns its [`MatchScratch`], so no mutable scratch is
+//! ever shared (`MatchScratch` reuse is thread-safe by construction — one
+//! scratch per worker, created inside the worker).
+//!
+//! Firings whose delta is smaller than [`MIN_PARALLEL_TUPLES`] run on the
+//! calling thread: spawning workers for a handful of tuples costs more than
+//! the join. With [`Parallelism::sequential`] every entry point delegates to
+//! the sequential modules unchanged.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::atom::Fact;
+use crate::storage::{Database, Relation};
+
+use super::incremental;
+use super::plan::{CompiledPlan, CompiledRule, MatchScratch};
+use super::seminaive::{self, DeltaStats};
+use super::NewFactSink;
+
+/// Deltas with fewer tuples than this run on the calling thread: the join
+/// work they drive is too small to amortize spawning workers.
+pub const MIN_PARALLEL_TUPLES: usize = 64;
+
+/// Shards per worker thread. More shards than workers lets the atomic
+/// work-queue rebalance skewed shards (a hot join key makes some chunks far
+/// more expensive than others).
+const SHARDS_PER_THREAD: usize = 4;
+
+/// Hard cap applied when auto-detecting the thread count: saturation shards
+/// one delta relation, and past a small pool the merge and memory traffic
+/// dominate.
+const MAX_AUTO_THREADS: usize = 8;
+
+/// Hard cap on any requested thread count. Workers are spawned per firing
+/// inside `std::thread::scope`, and `Scope::spawn` panics — aborting the
+/// process — if the OS refuses a thread; clamping bounds the spawn count no
+/// matter what reaches [`Parallelism::new`] (e.g. a REPL `:threads 100000`).
+pub const MAX_THREADS: usize = 64;
+
+/// How many worker threads saturation may use.
+///
+/// `sequential()` (the default) keeps everything on the calling thread and
+/// delegates to the sequential evaluation modules; results are identical
+/// either way — the knob only trades wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Single-threaded evaluation (the default).
+    pub fn sequential() -> Parallelism {
+        Parallelism { threads: 1 }
+    }
+
+    /// Evaluation on up to `threads` workers (clamped to
+    /// `1..=`[`MAX_THREADS`]).
+    pub fn new(threads: usize) -> Parallelism {
+        Parallelism { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// Reads `STRATA_THREADS` from the environment; an unset or unparseable
+    /// value falls back to the detected CPU count, capped at
+    /// [`MAX_AUTO_THREADS`].
+    pub fn auto() -> Parallelism {
+        Self::from_env_value(std::env::var("STRATA_THREADS").ok().as_deref())
+    }
+
+    /// The [`auto`](Parallelism::auto) resolution rule, split out so tests
+    /// can exercise it without mutating the process environment.
+    pub fn from_env_value(value: Option<&str>) -> Parallelism {
+        match value.and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(n) => Parallelism::new(n),
+            None => {
+                let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+                Parallelism::new(cpus.min(MAX_AUTO_THREADS))
+            }
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Whether more than one worker is in play.
+    pub fn is_parallel(self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::sequential()
+    }
+}
+
+/// Splits `rel` into at most `shards` sub-relations of contiguous chunks of
+/// its iteration order, so that scanning the shards in order enumerates
+/// exactly the tuples of `rel` in exactly its order.
+fn shard_relation(rel: &Relation, shards: usize) -> Vec<Relation> {
+    let per = rel.len().div_ceil(shards.max(1)).max(1);
+    let mut out: Vec<Relation> = Vec::with_capacity(shards);
+    let mut cur = Relation::new(rel.arity());
+    for t in rel.iter() {
+        if cur.len() == per {
+            out.push(std::mem::replace(&mut cur, Relation::new(rel.arity())));
+        }
+        cur.insert(t.into());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Runs `plan` over the delta `shards` on up to `threads` scoped workers and
+/// merges the per-shard buffers in shard order, yielding `(head, existed)`
+/// pairs — `existed` being `db.contains(head)` under the frozen database —
+/// in exactly the order the sequential enumeration over the unsharded delta
+/// produces them.
+fn fire_sharded(
+    plan: &CompiledPlan,
+    db: &Database,
+    shards: &[Relation],
+    threads: usize,
+    out: &mut Vec<(Fact, bool)>,
+) {
+    let slots: Vec<OnceLock<Vec<(Fact, bool)>>> = shards.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(shards.len()) {
+            s.spawn(|| {
+                // One scratch per worker, created inside the worker: no
+                // mutable evaluation state crosses a thread boundary.
+                let mut scratch = MatchScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(shard) = shards.get(i) else { break };
+                    let mut buf: Vec<(Fact, bool)> = Vec::new();
+                    plan.for_each_head(db, Some(shard), &[], &mut scratch, |head| {
+                        let existed = db.contains(&head);
+                        buf.push((head, existed));
+                        true
+                    });
+                    slots[i].set(buf).unwrap_or_else(|_| panic!("shard {i} emitted twice"));
+                }
+            });
+        }
+    });
+    for slot in slots {
+        out.extend(slot.into_inner().expect("every shard processed by some worker"));
+    }
+}
+
+/// One delta firing: appends `(head, existed)` pairs to `out` in sequential
+/// enumeration order, sharding across workers when the delta is large
+/// enough and `par` allows it.
+pub fn collect_delta_heads(
+    plan: &CompiledPlan,
+    db: &Database,
+    delta: &Relation,
+    par: Parallelism,
+    scratch: &mut MatchScratch,
+    out: &mut Vec<(Fact, bool)>,
+) {
+    if par.is_parallel() && delta.len() >= MIN_PARALLEL_TUPLES {
+        let shards = shard_relation(delta, par.threads() * SHARDS_PER_THREAD);
+        fire_sharded(plan, db, &shards, par.threads(), out);
+    } else {
+        plan.for_each_head(db, Some(delta), &[], scratch, |head| {
+            let existed = db.contains(&head);
+            out.push((head, existed));
+            true
+        });
+    }
+}
+
+/// Parallel counterpart of [`seminaive::saturate`]: closes `db` under
+/// `rules`, delta-driven, sharding each round's large deltas across `par`
+/// workers. Model, sink callbacks, statistics, and the returned fact list
+/// are identical to the sequential engine's.
+pub fn saturate<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    par: Parallelism,
+) -> Vec<Fact> {
+    if !par.is_parallel() {
+        return seminaive::saturate(db, rules, sink, stats);
+    }
+    // The initial full round stays on the calling thread: full-enumeration
+    // plans have no delta to shard, and each rule must see its
+    // predecessors' insertions exactly as the sequential engine does.
+    let mut scratch = MatchScratch::new();
+    let delta = seminaive::full_round(db, rules, sink, stats, &mut scratch);
+    let mut added = delta.clone();
+    drive_par(db, rules, delta, sink, stats, &mut added, par, &mut scratch);
+    added
+}
+
+/// Parallel counterpart of [`seminaive::drive`]: runs delta rounds from an
+/// initial increase until all increases are empty.
+pub fn drive<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
+    delta: Vec<Fact>,
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    added: &mut Vec<Fact>,
+    par: Parallelism,
+) {
+    if !par.is_parallel() {
+        return seminaive::drive(db, rules, delta, sink, stats, added);
+    }
+    drive_par(db, rules, delta, sink, stats, added, par, &mut MatchScratch::new());
+}
+
+/// The parallel delta-round loop — the same structure as
+/// `seminaive::drive_with`, with each sufficiently large firing sharded.
+/// Each round's big delta relations are sharded **once** and the shards
+/// reused by every rule firing on them.
+#[allow(clippy::too_many_arguments)]
+fn drive_par<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
+    mut delta: Vec<Fact>,
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    added: &mut Vec<Fact>,
+    par: Parallelism,
+    scratch: &mut MatchScratch,
+) {
+    let mut heads: Vec<(Fact, bool)> = Vec::new();
+    while !delta.is_empty() {
+        stats.rounds += 1;
+        let by_rel = seminaive::group_deltas(&delta);
+        let sharded: rustc_hash::FxHashMap<crate::symbol::Symbol, Vec<Relation>> = by_rel
+            .iter()
+            .filter(|(_, r)| r.len() >= MIN_PARALLEL_TUPLES)
+            .map(|(&rel, r)| (rel, shard_relation(r, par.threads() * SHARDS_PER_THREAD)))
+            .collect();
+        let mut next: Vec<Fact> = Vec::new();
+        for cr in rules {
+            let rid = cr.id();
+            for (li, lit) in cr.rule().body.iter().enumerate() {
+                if !lit.positive {
+                    continue;
+                }
+                let Some(drel) = by_rel.get(&lit.atom.rel) else { continue };
+                stats.firings += 1;
+                heads.clear();
+                match sharded.get(&lit.atom.rel) {
+                    Some(shards) => {
+                        fire_sharded(cr.delta_plan(li), db, shards, par.threads(), &mut heads)
+                    }
+                    None => cr.delta_plan(li).for_each_head(db, Some(drel), &[], scratch, |head| {
+                        let existed = db.contains(&head);
+                        heads.push((head, existed));
+                        true
+                    }),
+                }
+                // Two phases, like the sequential engine: existing-fact
+                // callbacks fire during enumeration, insertions (and their
+                // callbacks) only after the whole firing enumerated.
+                let mut out: Vec<Fact> = Vec::new();
+                for (f, existed) in heads.drain(..) {
+                    if existed {
+                        sink.on_existing_fact(rid, &f);
+                    } else {
+                        out.push(f);
+                    }
+                }
+                for f in out {
+                    if db.insert(f.clone()) {
+                        sink.on_new_fact(rid, &f);
+                        next.push(f.clone());
+                        added.push(f);
+                    }
+                }
+            }
+        }
+        delta = next;
+    }
+}
+
+/// Parallel counterpart of [`incremental::stratum_saturate`]: incremental
+/// `SAT(P_i, M)` for one stratum — re-derivation of removal victims,
+/// negative-delta firing over removed tuples, then positive delta rounds —
+/// with the firings sharded across `par` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn stratum_saturate<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
+    pos_delta: &[Fact],
+    neg_delta: &[Fact],
+    rederive_candidates: &[Fact],
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    par: Parallelism,
+) -> Vec<Fact> {
+    if !par.is_parallel() {
+        return incremental::stratum_saturate(
+            db,
+            rules,
+            pos_delta,
+            neg_delta,
+            rederive_candidates,
+            sink,
+            stats,
+        );
+    }
+    let mut scratch = MatchScratch::new();
+    let mut added: Vec<Fact> = Vec::new();
+    let mut frontier: Vec<Fact> = pos_delta.to_vec();
+
+    // 1. Re-derivation of this stratum's removed facts: point queries with
+    //    first-witness early exit — sequential on purpose.
+    for fact in rederive_candidates {
+        if db.contains(fact) {
+            continue;
+        }
+        if let Some(rid) = incremental::rederive_with(db, rules, fact, &mut scratch) {
+            db.insert(fact.clone());
+            sink.on_new_fact(rid, fact);
+            frontier.push(fact.clone());
+            added.push(fact.clone());
+        }
+    }
+
+    // 2. Negative-delta firing: removed lower-stratum tuples newly satisfy
+    //    negative hypotheses.
+    if !neg_delta.is_empty() {
+        let removed_by_rel = seminaive::group_deltas(neg_delta);
+        let mut heads: Vec<(Fact, bool)> = Vec::new();
+        for cr in rules {
+            let rid = cr.id();
+            for (li, lit) in cr.rule().body.iter().enumerate() {
+                if lit.positive {
+                    continue;
+                }
+                let Some(drel) = removed_by_rel.get(&lit.atom.rel) else { continue };
+                stats.firings += 1;
+                heads.clear();
+                collect_delta_heads(cr.delta_plan(li), db, drel, par, &mut scratch, &mut heads);
+                let mut out: Vec<Fact> = Vec::new();
+                for (f, existed) in heads.drain(..) {
+                    if existed {
+                        sink.on_existing_fact(rid, &f);
+                    } else {
+                        out.push(f);
+                    }
+                }
+                for f in out {
+                    if db.insert(f.clone()) {
+                        sink.on_new_fact(rid, &f);
+                        frontier.push(f.clone());
+                        added.push(f);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Ordinary semi-naive rounds over the positive frontier.
+    drive_par(db, rules, frontier, sink, stats, &mut added, par, &mut scratch);
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NullNewFact;
+    use crate::model::{StratKind, Strata};
+    use crate::program::{Program, RuleId};
+    use crate::symbol::Symbol;
+    use crate::term::Value;
+
+    fn setup(src: &str) -> (Database, Vec<CompiledRule>) {
+        let p = Program::parse(src).unwrap();
+        let db = Database::from_facts(p.facts().cloned());
+        let rules = crate::eval::plan::compile_rules(p.rules().map(|(id, r)| (id, r.clone())));
+        (db, rules)
+    }
+
+    /// A transitive-closure program with enough edges that delta rounds
+    /// clear [`MIN_PARALLEL_TUPLES`] and actually shard.
+    fn big_tc(nodes: u64, edges: usize, seed: u64) -> String {
+        let mut src = String::new();
+        let mut x = seed | 1;
+        for _ in 0..edges {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 33) % nodes;
+            let b = (x >> 13) % nodes;
+            src.push_str(&format!("e({a}, {b}). "));
+        }
+        src.push_str("p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).");
+        src
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert!(!Parallelism::sequential().is_parallel());
+        assert_eq!(Parallelism::new(0).threads(), 1, "clamped to one worker");
+        assert_eq!(Parallelism::new(4).threads(), 4);
+        assert_eq!(Parallelism::new(100_000).threads(), MAX_THREADS, "clamped to the cap");
+        assert_eq!(Parallelism::from_env_value(Some("100000")).threads(), MAX_THREADS);
+        assert!(Parallelism::new(4).is_parallel());
+        assert_eq!(Parallelism::default(), Parallelism::sequential());
+        // STRATA_THREADS resolution, without touching the environment.
+        assert_eq!(Parallelism::from_env_value(Some("3")).threads(), 3);
+        assert_eq!(Parallelism::from_env_value(Some(" 2 ")).threads(), 2);
+        assert_eq!(Parallelism::from_env_value(Some("0")).threads(), 1);
+        let auto = Parallelism::from_env_value(None);
+        assert!((1..=MAX_AUTO_THREADS).contains(&auto.threads()));
+        assert_eq!(Parallelism::from_env_value(Some("not a number")), auto);
+    }
+
+    #[test]
+    fn sharding_preserves_order_and_partitions() {
+        let mut rel = Relation::new(2);
+        for i in 0..100i64 {
+            rel.insert(vec![Value::int(i % 7), Value::int(i)].into());
+        }
+        let original: Vec<Vec<Value>> = rel.iter().map(<[Value]>::to_vec).collect();
+        for shards in [1, 3, 8, 100, 1000] {
+            let split = shard_relation(&rel, shards);
+            assert!(split.len() <= shards.max(1));
+            let rejoined: Vec<Vec<Value>> =
+                split.iter().flat_map(|s| s.iter().map(<[Value]>::to_vec)).collect();
+            assert_eq!(rejoined, original, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn saturate_matches_sequential_across_thread_counts() {
+        let src = big_tc(24, 160, 7);
+        let (seq_db, rules) = {
+            let (mut db, rules) = setup(&src);
+            let mut stats = DeltaStats::default();
+            seminaive::saturate(&mut db, &rules, &mut NullNewFact, &mut stats);
+            (db, rules)
+        };
+        for threads in [1, 2, 3, 8] {
+            let (mut db, _) = setup(&src);
+            let mut stats = DeltaStats::default();
+            let added =
+                saturate(&mut db, &rules, &mut NullNewFact, &mut stats, Parallelism::new(threads));
+            assert_eq!(db, seq_db, "{threads} threads");
+            assert!(!added.is_empty());
+        }
+    }
+
+    #[test]
+    fn stats_and_sink_are_bit_identical_to_sequential() {
+        struct Collect(Vec<(&'static str, RuleId, String)>);
+        impl NewFactSink for Collect {
+            fn on_new_fact(&mut self, rule: RuleId, fact: &Fact) {
+                self.0.push(("new", rule, fact.to_string()));
+            }
+            fn on_existing_fact(&mut self, rule: RuleId, fact: &Fact) {
+                self.0.push(("existing", rule, fact.to_string()));
+            }
+        }
+        let src = big_tc(16, 120, 3);
+        let (mut db_a, rules) = setup(&src);
+        let mut stats_a = DeltaStats::default();
+        let mut sink_a = Collect(Vec::new());
+        let added_a = seminaive::saturate(&mut db_a, &rules, &mut sink_a, &mut stats_a);
+
+        let (mut db_b, _) = setup(&src);
+        let mut stats_b = DeltaStats::default();
+        let mut sink_b = Collect(Vec::new());
+        let added_b = saturate(&mut db_b, &rules, &mut sink_b, &mut stats_b, Parallelism::new(4));
+
+        assert_eq!(stats_a, stats_b, "firings and rounds must match");
+        assert_eq!(added_a, added_b, "added facts, in order");
+        assert_eq!(sink_a.0, sink_b.0, "sink callbacks, in order");
+        assert_eq!(db_a, db_b);
+    }
+
+    #[test]
+    fn negation_delta_firing_matches_sequential() {
+        // Many removed tuples → the negative-delta path shards.
+        let mut src = String::new();
+        for i in 0..200 {
+            src.push_str(&format!("s({i}). "));
+        }
+        src.push_str("r(X) :- s(X), !a(X).");
+        let (db_base, rules) = setup(&src);
+        let removed: Vec<Fact> =
+            (0..150).map(|i| Fact::parse(&format!("a({i})")).unwrap()).collect();
+        let run = |par: Parallelism| {
+            let mut db = db_base.clone();
+            let mut stats = DeltaStats::default();
+            let added = stratum_saturate(
+                &mut db,
+                &rules,
+                &[],
+                &removed,
+                &[],
+                &mut NullNewFact,
+                &mut stats,
+                par,
+            );
+            (db, stats, added)
+        };
+        let seq = run(Parallelism::sequential());
+        for threads in [2, 8] {
+            let par = run(Parallelism::new(threads));
+            assert_eq!(seq.0, par.0, "{threads} threads: model");
+            assert_eq!(seq.1, par.1, "{threads} threads: stats");
+            assert_eq!(seq.2, par.2, "{threads} threads: added order");
+        }
+    }
+
+    #[test]
+    fn positive_delta_rounds_match_sequential() {
+        let src = big_tc(20, 140, 11);
+        let (db_base, rules) = setup(&src);
+        // Saturate a copy first, then drive a fresh seed through both paths.
+        let mut warmed = db_base.clone();
+        seminaive::saturate(&mut warmed, &rules, &mut NullNewFact, &mut DeltaStats::default());
+        let seeds: Vec<Fact> = (0..80)
+            .map(|i| Fact::parse(&format!("p({}, {})", i % 20, (i * 7) % 20)).unwrap())
+            .collect();
+        let run = |par: Parallelism| {
+            let mut db = warmed.clone();
+            let mut fresh = Vec::new();
+            for s in &seeds {
+                if db.insert(s.clone()) {
+                    fresh.push(s.clone());
+                }
+            }
+            let mut added = Vec::new();
+            let mut stats = DeltaStats::default();
+            drive(&mut db, &rules, fresh, &mut NullNewFact, &mut stats, &mut added, par);
+            (db, stats, added)
+        };
+        let seq = run(Parallelism::sequential());
+        let par = run(Parallelism::new(8));
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.1, par.1);
+        assert_eq!(seq.2, par.2);
+    }
+
+    /// Regression test for the scratch-buffer sharing hazard: two threads
+    /// saturating from the **same** (shared, immutable) `Strata` must not
+    /// corrupt each other's buffers — every evaluation scratch is created
+    /// thread-locally, never shared.
+    #[test]
+    fn shared_strata_saturated_from_two_threads() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<MatchScratch>();
+        assert_sync::<CompiledRule>();
+        assert_sync::<Database>();
+
+        let src = big_tc(18, 130, 5);
+        let program = Program::parse(&src).unwrap();
+        let strata = Strata::build(&program, StratKind::ByLevels).unwrap();
+        let expected = {
+            let mut db = Database::new();
+            crate::model::construct_seminaive(&strata, &mut db, &mut NullNewFact);
+            db
+        };
+        let results: Vec<Database> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut db = Database::new();
+                        for i in 0..strata.num_strata() {
+                            for f in strata.facts_of(i) {
+                                db.insert(f.clone());
+                            }
+                            saturate(
+                                &mut db,
+                                strata.rules_of(i),
+                                &mut NullNewFact,
+                                &mut DeltaStats::default(),
+                                Parallelism::new(2),
+                            );
+                        }
+                        db
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        });
+        for db in &results {
+            assert_eq!(db, &expected);
+        }
+        assert!(expected.count(Symbol::new("p")) > 0);
+    }
+
+    #[test]
+    fn small_deltas_stay_on_the_calling_thread() {
+        // Below MIN_PARALLEL_TUPLES nothing shards, but results still match.
+        let (mut db_seq, rules) =
+            setup("e(1, 2). e(2, 3). p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).");
+        let (mut db_par, _) =
+            setup("e(1, 2). e(2, 3). p(X, Y) :- e(X, Y). p(X, Z) :- p(X, Y), e(Y, Z).");
+        seminaive::saturate(&mut db_seq, &rules, &mut NullNewFact, &mut DeltaStats::default());
+        saturate(
+            &mut db_par,
+            &rules,
+            &mut NullNewFact,
+            &mut DeltaStats::default(),
+            Parallelism::new(8),
+        );
+        assert_eq!(db_seq, db_par);
+    }
+}

@@ -479,7 +479,12 @@ impl CompiledPlan {
             };
             if let Some(v) = val {
                 let est = source.estimate_bound(c, v);
-                if best.is_none_or(|(_, _, e)| est < e) {
+                // (`match` rather than `Option::is_none_or`: MSRV 1.75.)
+                let better = match best {
+                    Some((_, _, e)) => est < e,
+                    None => true,
+                };
+                if better {
                     best = Some((c, v, est));
                 }
             }

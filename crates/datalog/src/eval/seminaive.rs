@@ -51,12 +51,31 @@ pub fn saturate<S: NewFactSink>(
     stats: &mut DeltaStats,
 ) -> Vec<Fact> {
     let mut scratch = MatchScratch::new();
+    let delta = full_round(db, rules, sink, stats, &mut scratch);
+    let mut added = delta.clone();
+    drive_with(db, rules, delta, sink, stats, &mut added, &mut scratch);
+    added
+}
+
+/// The initial full round: fires every rule once over the whole database
+/// (covering rules with no positive hypotheses, whose value cannot change
+/// afterwards within the stratum) and returns the facts added — the first
+/// increase. Rules fire in order with immediate insertion, so each rule
+/// sees its predecessors' new facts. Shared with [`super::par`], whose
+/// first round must match this one exactly.
+pub(crate) fn full_round<S: NewFactSink>(
+    db: &mut Database,
+    rules: &[CompiledRule],
+    sink: &mut S,
+    stats: &mut DeltaStats,
+    scratch: &mut MatchScratch,
+) -> Vec<Fact> {
     let mut delta: Vec<Fact> = Vec::new();
     for cr in rules {
         stats.firings += 1;
         let rid = cr.id();
         let mut out: Vec<Fact> = Vec::new();
-        cr.plan().for_each_head(db, None, &[], &mut scratch, |head| {
+        cr.plan().for_each_head(db, None, &[], scratch, |head| {
             if db.contains(&head) {
                 sink.on_existing_fact(rid, &head);
             } else {
@@ -71,9 +90,7 @@ pub fn saturate<S: NewFactSink>(
             }
         }
     }
-    let mut added = delta.clone();
-    drive_with(db, rules, delta, sink, stats, &mut added, &mut scratch);
-    added
+    delta
 }
 
 /// Runs delta rounds from an initial increase until all increases are empty.

@@ -71,7 +71,7 @@ fn make_delta(
     let mut delta = Relation::new(arity);
     if let Some(rel) = db.relation(atom.rel) {
         for t in rel.iter() {
-            if lcg.next().is_multiple_of(2) {
+            if lcg.next() % 2 == 0 {
                 delta.insert(t.into());
             }
         }
@@ -145,7 +145,7 @@ proptest! {
             }
             let mut bound = Vec::new();
             for &v in &vars {
-                if lcg.next().is_multiple_of(2) {
+                if lcg.next() % 2 == 0 {
                     bound.push((v, Value::int((lcg.next() % cfg().domain as u64) as i64)));
                 }
             }

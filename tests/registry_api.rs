@@ -19,8 +19,17 @@ fn every_name_builds_a_matching_engine() {
     let names = registry.names();
     assert_eq!(
         names,
-        vec!["recompute", "static", "dynamic-single", "dynamic-multi", "cascade", "fact-level"],
-        "the six paper strategies, in paper order"
+        vec![
+            "recompute",
+            "static",
+            "dynamic-single",
+            "dynamic-multi",
+            "cascade",
+            "fact-level",
+            "cascade-parallel",
+            "recompute-parallel",
+        ],
+        "the six paper strategies in paper order, then the parallel variants"
     );
     for name in names {
         let engine = registry.build(name, paper::pods(2, 6)).unwrap();

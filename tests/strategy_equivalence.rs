@@ -21,7 +21,11 @@ fn engines(program: &stratamaint::datalog::Program) -> Vec<Box<dyn MaintenanceEn
         |p| {
             Ok(Box::new(CascadeEngine::with_config(
                 p,
-                CascadeConfig { skip_unaffected: false, presaturate: false },
+                CascadeConfig {
+                    skip_unaffected: false,
+                    presaturate: false,
+                    ..CascadeConfig::default()
+                },
             )?))
         },
     );
