@@ -16,11 +16,13 @@
 //!   sequential engine. (Bounded by host cores: a baseline recorded on a
 //!   many-core box checked on a single-core runner would always "regress",
 //!   which is why CI runs this as a separate, non-required job.)
+//! * `service`  — coalesced group-commit vs per-request ingest throughput
+//!   (the `strata-service` headline ratio).
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_check <plan|store|parallel> <baseline.json> <fresh.json>
+//! bench_check <plan|store|parallel|service> <baseline.json> <fresh.json>
 //! ```
 
 use std::process::ExitCode;
@@ -90,12 +92,27 @@ fn parallel_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
         .collect()
 }
 
+/// `service`: coalesced group-commit over per-request ingest throughput.
+fn service_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let ingest = doc.get("ingest").ok_or("missing `ingest`")?.items();
+    let rate = |mode: &str| -> Result<f64, String> {
+        ingest
+            .iter()
+            .find(|r| r.get("mode").and_then(Json::as_str) == Some(mode))
+            .and_then(|r| r.get("updates_per_sec").and_then(Json::as_f64))
+            .ok_or_else(|| format!("missing updates_per_sec for mode {mode}"))
+    };
+    let ratio = rate("service_coalesced")? / rate("per_update_fsync")?;
+    Ok(vec![Metric { label: "coalesced/per-request ingest throughput".into(), value: ratio }])
+}
+
 fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
     match kind {
         "plan" => plan_metrics(doc),
         "store" => store_metrics(doc),
         "parallel" => parallel_metrics(doc),
-        other => Err(format!("unknown kind `{other}` (plan | store | parallel)")),
+        "service" => service_metrics(doc),
+        other => Err(format!("unknown kind `{other}` (plan | store | parallel | service)")),
     }
 }
 
@@ -125,7 +142,7 @@ fn check(kind: &str, baseline_path: &str, fresh_path: &str) -> Result<bool, Stri
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, baseline, fresh] = args.as_slice() else {
-        eprintln!("usage: bench_check <plan|store|parallel> <baseline.json> <fresh.json>");
+        eprintln!("usage: bench_check <plan|store|parallel|service> <baseline.json> <fresh.json>");
         return ExitCode::from(2);
     };
     match check(kind, baseline, fresh) {
@@ -174,6 +191,19 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert!((m[0].value - 18.0).abs() < 1e-9);
         assert!(store_metrics(&doc(r#"{"throughput": []}"#)).is_err());
+    }
+
+    #[test]
+    fn service_metric_is_the_coalescing_ratio() {
+        let base = doc(r#"{"ingest": [
+                {"mode": "per_update_fsync", "updates_per_sec": 900},
+                {"mode": "service_coalesced", "updates_per_sec": 10800}
+            ]}"#);
+        let m = service_metrics(&base).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!((m[0].value - 12.0).abs() < 1e-9);
+        assert!(service_metrics(&doc(r#"{"ingest": []}"#)).is_err());
+        assert!(service_metrics(&doc(r#"{}"#)).is_err());
     }
 
     #[test]

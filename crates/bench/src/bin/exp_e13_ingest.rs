@@ -1,0 +1,202 @@
+//! E13 — what the ingest service buys: coalescing + group commit.
+//!
+//! Three measurements against the **durable cascade engine**
+//! (fsync-on-commit, the production configuration):
+//!
+//! * **per-request vs coalesced-group throughput** — the same update
+//!   stream (a) applied one update per transaction directly on the
+//!   engine (one fsync each), (b) pushed through the ingest service,
+//!   which coalesces and cuts watermark-sized groups, committing each
+//!   group with one `apply_all` — one fsync per *group*.
+//! * **multi-client scaling** — the same total stream split across 1–8
+//!   producer threads submitting concurrently to one service; group
+//!   commit amortizes the fsyncs across clients, so throughput should
+//!   hold (or improve) as producers are added.
+//!
+//! Results go to `BENCH_service.json`. Usage:
+//! `exp_e13_ingest [--smoke] [--out PATH]`; `--smoke` runs tiny sizes
+//! (the CI bit-rot guard) and skips the file unless `--out` is given.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strata_bench::banner;
+use strata_core::registry::EngineRegistry;
+use strata_core::{EngineBox, MaintenanceEngine, StorageConfig, Update};
+use strata_service::{IngestConfig, Service};
+use strata_workload::script::{random_fact_script, ScriptConfig};
+use strata_workload::synth;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_e13_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_cascade(dir: &std::path::Path, program: strata_datalog::Program) -> EngineBox {
+    EngineRegistry::standard()
+        .build_with_storage("cascade", program, &StorageConfig::Wal(dir.to_path_buf()))
+        .expect("open durable cascade")
+}
+
+struct IngestRow {
+    mode: String,
+    updates: usize,
+    elapsed_ms: f64,
+    per_sec: f64,
+    wal_txns: u64,
+}
+
+/// (a) the baseline: every update is its own durable transaction.
+fn bench_per_update(script: &[Update], program: &strata_datalog::Program) -> IngestRow {
+    let dir = scratch("per_update");
+    let mut engine = durable_cascade(&dir, program.clone());
+    let t0 = Instant::now();
+    for u in script {
+        let _ = engine.apply(u); // rejections are decisions, not failures
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let wal_txns = engine.durability().map_or(0, |d| d.wal_txns);
+    let _ = std::fs::remove_dir_all(&dir);
+    IngestRow {
+        mode: "per_update_fsync".into(),
+        updates: script.len(),
+        elapsed_ms: elapsed * 1e3,
+        per_sec: script.len() as f64 / elapsed,
+        wal_txns,
+    }
+}
+
+/// (b) the service: coalescing queue + group commit, `clients` producer
+/// threads sharing one worker.
+fn bench_service(
+    label: &str,
+    script: &[Update],
+    clients: usize,
+    program: &strata_datalog::Program,
+) -> IngestRow {
+    let dir = scratch(&format!("svc_{label}_{clients}"));
+    let engine = durable_cascade(&dir, program.clone());
+    let service = Arc::new(Service::start(
+        engine,
+        IngestConfig { max_group: 64, max_delay: Duration::from_millis(2), max_pending: 8192 },
+    ));
+    let chunk = script.len().div_ceil(clients);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for part in script.chunks(chunk) {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let handles: Vec<_> = part.iter().map(|u| service.submit(u.clone())).collect();
+                for h in handles {
+                    h.wait();
+                }
+            });
+        }
+    });
+    service.flush();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.stats();
+    let wal_txns = stats.durability.map_or(0, |d| d.wal_txns);
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+    IngestRow {
+        mode: label.to_string(),
+        updates: script.len(),
+        elapsed_ms: elapsed * 1e3,
+        per_sec: script.len() as f64 / elapsed,
+        wal_txns,
+    }
+}
+
+fn write_json(path: &str, ingest: &[IngestRow], scaling: &[IngestRow]) {
+    let row = |r: &IngestRow, key: &str, last: bool| {
+        format!(
+            "    {{\"{key}\": \"{}\", \"updates\": {}, \"elapsed_ms\": {:.3}, \
+             \"updates_per_sec\": {:.0}, \"wal_txns\": {}}}{}\n",
+            r.mode,
+            r.updates,
+            r.elapsed_ms,
+            r.per_sec,
+            r.wal_txns,
+            if last { "" } else { "," }
+        )
+    };
+    let mut out = String::from("{\n  \"bench\": \"exp_e13_ingest\",\n");
+    out.push_str(
+        "  \"description\": \"ingest service: per-request vs coalesced group-commit throughput \
+         (durable cascade, fsync), multi-client scaling\",\n",
+    );
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"ingest\": [\n");
+    for (i, r) in ingest.iter().enumerate() {
+        out.push_str(&row(r, "mode", i + 1 == ingest.len()));
+    }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, r) in scaling.iter().enumerate() {
+        out.push_str(&row(r, "clients", i + 1 == scaling.len()));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E13", "ingest service: coalescing, group commit, multi-client scaling");
+    let (papers, pc, script_len, client_counts): (usize, usize, usize, Vec<usize>) =
+        if smoke { (40, 6, 120, vec![1, 2]) } else { (250, 25, 2000, vec![1, 2, 4, 8]) };
+    let program = synth::conference(papers, pc, 42);
+    let script =
+        random_fact_script(&program, &ScriptConfig { len: script_len, insert_prob: 0.6 }, 7);
+
+    let ingest = vec![
+        bench_per_update(&script, &program),
+        bench_service("service_coalesced", &script, 1, &program),
+    ];
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>9}",
+        "mode", "updates", "elapsed ms", "updates/sec", "wal txns"
+    );
+    for r in &ingest {
+        println!(
+            "{:<22} {:>8} {:>12.2} {:>14.0} {:>9}",
+            r.mode, r.updates, r.elapsed_ms, r.per_sec, r.wal_txns
+        );
+    }
+    let speedup = ingest[1].per_sec / ingest[0].per_sec;
+    println!("coalesced group commit is {speedup:.1}x per-request throughput");
+
+    let scaling: Vec<IngestRow> = client_counts
+        .iter()
+        .map(|&c| {
+            let mut r = bench_service("clients", &script, c, &program);
+            r.mode = c.to_string();
+            r
+        })
+        .collect();
+    println!(
+        "\n{:>8} {:>8} {:>12} {:>14} {:>9}",
+        "clients", "updates", "elapsed ms", "updates/sec", "wal txns"
+    );
+    for r in &scaling {
+        println!(
+            "{:>8} {:>8} {:>12.2} {:>14.0} {:>9}",
+            r.mode, r.updates, r.elapsed_ms, r.per_sec, r.wal_txns
+        );
+    }
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &ingest, &scaling),
+        (false, None) => write_json("BENCH_service.json", &ingest, &scaling),
+        (true, None) => println!("\n--smoke: skipping BENCH_service.json"),
+    }
+}

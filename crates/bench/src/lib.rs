@@ -8,7 +8,7 @@
 use std::time::{Duration, Instant};
 
 use strata_core::registry::EngineRegistry;
-use strata_core::{MaintenanceEngine, Update, UpdateStats};
+use strata_core::{EngineBox, MaintenanceEngine, Update, UpdateStats};
 use strata_datalog::Program;
 
 pub mod json;
@@ -23,7 +23,7 @@ pub const COMPARED_STRATEGIES: &[&str] =
     &["recompute", "static", "dynamic-single", "dynamic-multi", "cascade"];
 
 /// Builds the named strategies over `program` through the registry.
-pub fn engines_by_name(program: &Program, names: &[&str]) -> Vec<Box<dyn MaintenanceEngine>> {
+pub fn engines_by_name(program: &Program, names: &[&str]) -> Vec<EngineBox> {
     let registry = EngineRegistry::standard();
     names
         .iter()
@@ -38,19 +38,19 @@ pub fn engine_with_storage(
     program: &Program,
     name: &str,
     storage: &strata_core::StorageConfig,
-) -> Box<dyn MaintenanceEngine> {
+) -> EngineBox {
     EngineRegistry::standard()
         .build_with_storage(name, program.clone(), storage)
         .expect("registered, stratified, and storable")
 }
 
 /// The strategies compared throughout the experiments, in paper order.
-pub fn all_engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+pub fn all_engines(program: &Program) -> Vec<EngineBox> {
     engines_by_name(program, COMPARED_STRATEGIES)
 }
 
 /// The incremental strategies only (no recompute baseline).
-pub fn incremental_engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+pub fn incremental_engines(program: &Program) -> Vec<EngineBox> {
     engines_by_name(program, &COMPARED_STRATEGIES[1..])
 }
 

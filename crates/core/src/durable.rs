@@ -44,7 +44,7 @@ use strata_datalog::wire::{self, Reader, WireError};
 use strata_datalog::{Database, Fact, Program, Rule};
 use strata_store::{Durability, Store};
 
-use crate::engine::{MaintenanceEngine, MaintenanceError, Update};
+use crate::engine::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
 use crate::stats::UpdateStats;
 use crate::support::{FactSupport, PairDump, SupportDump, WitnessDump};
 
@@ -332,10 +332,11 @@ pub fn decode_state(bytes: &[u8]) -> Result<SnapshotState, MaintenanceError> {
 /// A shared engine constructor — the one alias for it in the workspace
 /// (re-exported by `registry`). `Arc` rather than `Box` so the registry can
 /// hand a clone to a [`DurableEngine`], which needs the constructor again
-/// at recovery and compaction time.
-pub type EngineCtor = std::sync::Arc<
-    dyn Fn(Program) -> Result<Box<dyn MaintenanceEngine>, MaintenanceError> + Send + Sync,
->;
+/// at recovery and compaction time. Constructors produce [`EngineBox`]
+/// (`Send`) engines so registry-built engines can be moved onto service
+/// worker threads.
+pub type EngineCtor =
+    std::sync::Arc<dyn Fn(Program) -> Result<EngineBox, MaintenanceError> + Send + Sync>;
 
 /// A [`MaintenanceEngine`] whose belief state survives restart.
 ///
@@ -345,8 +346,13 @@ pub type EngineCtor = std::sync::Arc<
 pub struct DurableEngine {
     strategy: String,
     ctor: EngineCtor,
-    inner: Box<dyn MaintenanceEngine>,
+    inner: EngineBox,
     store: Store,
+    /// What `open` replayed, frozen for the engine's lifetime — restart
+    /// metrics (`:stats`, the ingest service's `stats` verb) report it.
+    recovered_txns: u64,
+    recovered_updates: u64,
+    recovered_torn_tail: bool,
 }
 
 impl DurableEngine {
@@ -385,9 +391,11 @@ impl DurableEngine {
             None => ctor(initial)?,
         };
         let mut inner = base;
+        let mut recovered_updates = 0u64;
         for txn in &recovered.committed {
             let updates: Vec<Update> =
                 txn.records.iter().map(|r| decode_update(r)).collect::<Result<_, _>>()?;
+            recovered_updates += updates.len() as u64;
             // Replay through the entry point that produced the transaction:
             // engines may override `apply_all` with a distinct batch path,
             // and exact support reproduction requires the same code path.
@@ -402,7 +410,15 @@ impl DurableEngine {
                 storage_err(format!("committed WAL transaction {} failed to replay: {e}", txn.seq))
             })?;
         }
-        let mut engine = DurableEngine { strategy: strategy.to_string(), ctor, inner, store };
+        let mut engine = DurableEngine {
+            strategy: strategy.to_string(),
+            ctor,
+            inner,
+            store,
+            recovered_txns: recovered.committed.len() as u64,
+            recovered_updates,
+            recovered_torn_tail: recovered.torn_tail,
+        };
         if fresh {
             engine.write_snapshot()?;
         }
@@ -440,11 +456,18 @@ impl DurableEngine {
         self.store.wal_bytes()
     }
 
+    /// Terminated transactions currently in the WAL. A coalesced group
+    /// committed via one `apply_all` counts once, however many updates it
+    /// carried — the group-commit observable.
+    pub fn wal_txns(&self) -> u64 {
+        self.store.wal_txns()
+    }
+
     fn log_and_apply<T>(
         &mut self,
         updates: &[Update],
         kind: u8,
-        apply: impl FnOnce(&mut Box<dyn MaintenanceEngine>, &[Update]) -> Result<T, MaintenanceError>,
+        apply: impl FnOnce(&mut EngineBox, &[Update]) -> Result<T, MaintenanceError>,
     ) -> Result<T, MaintenanceError> {
         // Rollback trail, computed against the pre-batch program: if the
         // COMMIT write fails after the engine applied the batch, the
@@ -540,6 +563,16 @@ impl MaintenanceEngine for DurableEngine {
         Ok(true)
     }
 
+    fn durability(&self) -> Option<DurabilityStats> {
+        Some(DurabilityStats {
+            recovered_txns: self.recovered_txns,
+            recovered_updates: self.recovered_updates,
+            recovered_torn_tail: self.recovered_torn_tail,
+            wal_txns: self.store.wal_txns(),
+            wal_bytes: self.store.wal_bytes(),
+        })
+    }
+
     fn set_parallelism(&mut self, parallelism: strata_datalog::Parallelism) -> bool {
         self.inner.set_parallelism(parallelism)
     }
@@ -558,7 +591,7 @@ mod tests {
     }
 
     fn cascade_ctor() -> EngineCtor {
-        std::sync::Arc::new(|p| Ok(Box::new(CascadeEngine::new(p)?) as Box<dyn MaintenanceEngine>))
+        std::sync::Arc::new(|p| Ok(Box::new(CascadeEngine::new(p)?) as EngineBox))
     }
 
     fn pods() -> Program {

@@ -80,6 +80,33 @@ impl From<DatalogError> for MaintenanceError {
     }
 }
 
+/// The workspace's boxed-engine currency: every registry-built engine is
+/// `Send`, so it can be handed to a service worker thread (the concurrent
+/// ingest layer) or parked behind a shared `Mutex` for readers.
+pub type EngineBox = Box<dyn MaintenanceEngine + Send>;
+
+/// Durability counters reported by storage-backed engines
+/// ([`crate::durable::DurableEngine`]); `None` for in-memory engines.
+///
+/// `recovered_*` describe what `open` replayed — they make restart metrics
+/// honest: a session that recovered 10k transactions from the WAL did real
+/// work before its first update, and `:stats`/service dashboards should say
+/// so instead of starting from zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Committed WAL transactions replayed at open (after the snapshot).
+    pub recovered_txns: u64,
+    /// Individual updates carried by those replayed transactions.
+    pub recovered_updates: u64,
+    /// Whether open found (and truncated) a torn WAL tail — crash evidence.
+    pub recovered_torn_tail: bool,
+    /// Terminated transactions currently in the WAL. Under group commit
+    /// this grows by one per *group*, not per update.
+    pub wal_txns: u64,
+    /// Bytes of terminated transactions currently in the WAL.
+    pub wal_bytes: u64,
+}
+
 /// A maintenance strategy: an explicit representation of `M(P)` kept
 /// up to date under updates.
 pub trait MaintenanceEngine {
@@ -111,6 +138,12 @@ pub trait MaintenanceEngine {
     /// and returns `Ok(false)`.
     fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
         Ok(false)
+    }
+
+    /// Durability counters: what recovery replayed at open and what the WAL
+    /// holds now. `None` (the default) for purely in-memory engines.
+    fn durability(&self) -> Option<DurabilityStats> {
+        None
     }
 
     /// Parallelism hook: set the worker count the engine's saturation may
@@ -205,6 +238,15 @@ impl fmt::Debug for dyn MaintenanceEngine {
     }
 }
 
+impl fmt::Debug for dyn MaintenanceEngine + Send {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaintenanceEngine")
+            .field("name", &self.name())
+            .field("model_facts", &self.model().len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// The inverse of an update (prefix rollback for [`MaintenanceEngine::apply_all`]).
 pub(crate) fn invert(update: &Update) -> Update {
     match update {
@@ -215,7 +257,9 @@ pub(crate) fn invert(update: &Update) -> Update {
     }
 }
 
-impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
+// One generic impl covers `Box<dyn MaintenanceEngine>`, [`EngineBox`], and
+// boxed concrete engines alike.
+impl<E: MaintenanceEngine + ?Sized> MaintenanceEngine for Box<E> {
     fn name(&self) -> &'static str {
         self.as_ref().name()
     }
@@ -242,6 +286,10 @@ impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
         self.as_mut().checkpoint()
     }
 
+    fn durability(&self) -> Option<DurabilityStats> {
+        self.as_ref().durability()
+    }
+
     fn set_parallelism(&mut self, parallelism: strata_datalog::Parallelism) -> bool {
         self.as_mut().set_parallelism(parallelism)
     }
@@ -260,7 +308,9 @@ impl MaintenanceEngine for Box<dyn MaintenanceEngine> {
 
 /// Rewrites rule updates whose rule is a ground unit clause into the
 /// corresponding fact updates, so every engine treats `p(a).` uniformly.
-pub(crate) fn normalize(update: &Update) -> Update {
+/// Public because ingest front-ends (the `strata-service` coalescing queue)
+/// must classify updates exactly the way the engines will.
+pub fn normalize(update: &Update) -> Update {
     match update {
         Update::InsertRule(r) if r.is_fact_clause() => {
             Update::InsertFact(r.head.to_fact().expect("ground head"))

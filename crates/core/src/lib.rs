@@ -72,7 +72,7 @@ pub mod support;
 pub mod verify;
 
 pub use durable::{DurableEngine, StorageConfig};
-pub use engine::{MaintenanceEngine, MaintenanceError, Update};
+pub use engine::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
 pub use registry::{EngineRegistry, RegistryError};
 pub use stats::UpdateStats;
 pub use strata_datalog::Parallelism;

@@ -15,9 +15,11 @@
 //! still exported and are the right choice when the strategy is fixed at
 //! compile time or a non-default config is needed
 //! (`CascadeEngine::with_config`). The registry is for the *runtime* choice:
-//! it hands out `Box<dyn MaintenanceEngine>`, which itself implements
-//! [`MaintenanceEngine`], so registry-built engines drop into any generic
-//! engine consumer (e.g. [`crate::constraints::GuardedEngine`]).
+//! it hands out [`EngineBox`] (`Box<dyn MaintenanceEngine + Send>`), which
+//! itself implements [`MaintenanceEngine`], so registry-built engines drop
+//! into any generic engine consumer (e.g.
+//! [`crate::constraints::GuardedEngine`]) and can be moved onto worker
+//! threads (the `strata-service` ingest layer).
 //!
 //! ```
 //! use strata_core::registry::EngineRegistry;
@@ -38,7 +40,7 @@ use std::sync::Arc;
 use strata_datalog::{Parallelism, Program};
 
 use crate::durable::{DurableEngine, StorageConfig};
-use crate::engine::{MaintenanceEngine, MaintenanceError};
+use crate::engine::{EngineBox, MaintenanceError};
 use crate::strategy::{
     CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
     StaticEngine,
@@ -175,10 +177,7 @@ impl EngineRegistry {
         name: &'static str,
         summary: &'static str,
         incremental: bool,
-        ctor: impl Fn(Program) -> Result<Box<dyn MaintenanceEngine>, MaintenanceError>
-            + Send
-            + Sync
-            + 'static,
+        ctor: impl Fn(Program) -> Result<EngineBox, MaintenanceError> + Send + Sync + 'static,
     ) {
         let entry = StrategyEntry {
             name,
@@ -248,11 +247,7 @@ impl EngineRegistry {
 
     /// Builds the named engine over `program`, honoring the entry's
     /// [`StorageConfig`] (in-memory by default; durable if configured).
-    pub fn build(
-        &self,
-        name: &str,
-        program: Program,
-    ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
+    pub fn build(&self, name: &str, program: Program) -> Result<EngineBox, RegistryError> {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
         })?;
@@ -268,7 +263,7 @@ impl EngineRegistry {
         name: &str,
         program: Program,
         storage: &StorageConfig,
-    ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
+    ) -> Result<EngineBox, RegistryError> {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
         })?;
@@ -280,8 +275,8 @@ impl EngineRegistry {
         entry: &StrategyEntry,
         program: Program,
         storage: &StorageConfig,
-    ) -> Result<Box<dyn MaintenanceEngine>, RegistryError> {
-        let mut engine: Box<dyn MaintenanceEngine> = match storage {
+    ) -> Result<EngineBox, RegistryError> {
+        let mut engine: EngineBox = match storage {
             StorageConfig::Mem => (entry.ctor)(program)?,
             StorageConfig::Wal(path) => Box::new(DurableEngine::open(
                 path,
@@ -307,7 +302,7 @@ impl EngineRegistry {
     /// # Panics
     /// If any constructor rejects the program — callers building *all*
     /// strategies are comparative harnesses that require a valid program.
-    pub fn build_all(&self, program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+    pub fn build_all(&self, program: &Program) -> Vec<EngineBox> {
         self.entries
             .iter()
             .map(|e| (e.ctor)(program.clone()).expect("program must be stratified"))

@@ -1,0 +1,384 @@
+//! The coalescing decision layer: per-request oracle decisions + net batch.
+//!
+//! [`Coalescer::plan_group`] takes a group of fact updates (in submission
+//! order) and answers, without touching the engine: which requests would
+//! the per-update oracle accept, and what is the smallest batch whose
+//! single `apply_all` leaves the engine exactly where the oracle would?
+//!
+//! The decision rules mirror the engines' validation *exactly* (the
+//! differential tests hold the two to equality, error values included):
+//!
+//! * insert of a fact — accepted, including duplicates (a no-op for the
+//!   oracle), unless its arity contradicts the relation's recorded arity
+//!   (`DatalogError::ArityMismatch`, as `Program::assert_fact` raises);
+//! * delete of a fact — accepted iff the fact is asserted at that point in
+//!   the stream ([`MaintenanceError::NotAsserted`] otherwise);
+//! * rule updates never reach `plan_group`: they are group **barriers**
+//!   the service applies directly through the engine (stratification
+//!   checking belongs to the engines). [`Coalescer::precheck_rule`] covers
+//!   the one part the engine cannot see — arities recorded by updates that
+//!   coalesced away before the engine ever saw them.
+//!
+//! ## Sticky arities
+//!
+//! `Program` records a relation's arity on first mention and keeps it even
+//! if every fact of the relation is later retracted — so the oracle
+//! rejects `p(1,2)` after `+p(1) -p(1)` although its program no longer
+//! holds any `p` fact. A coalesced engine never sees that transient
+//! insert, so the coalescer keeps its own append-only arity overlay of
+//! everything the *stream* has mentioned, consulted before the engine's
+//! program. The overlay only ever grows, mirroring `Program`'s behavior.
+
+use rustc_hash::FxHashMap;
+use strata_core::engine::normalize;
+use strata_core::{MaintenanceError, Update};
+use strata_datalog::error::DatalogError;
+use strata_datalog::{Fact, Program, Rule, Symbol};
+
+/// The oracle decision for one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The per-update oracle would accept this request.
+    Accepted,
+    /// The per-update oracle would reject it with exactly this error.
+    Rejected(MaintenanceError),
+}
+
+impl Decision {
+    /// Whether this is [`Decision::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Decision::Accepted)
+    }
+}
+
+/// What [`Coalescer::plan_group`] computed for one group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// Per-request decisions, aligned with the input updates.
+    pub decisions: Vec<Decision>,
+    /// The net batch: one update per fact whose asserted-state differs
+    /// between group entry and group exit, in first-touch order. Applying
+    /// it as one `apply_all` reproduces the oracle's post-group state.
+    pub batch: Vec<Update>,
+    /// Accepted requests that left no trace in the batch — duplicate
+    /// inserts, re-deletes, and insert/delete pairs that cancelled. The
+    /// throughput the coalescer won before the engine ran at all.
+    pub coalesced: usize,
+    /// Relations whose arity this group recorded into the overlay for the
+    /// first time. If the group's commit fails at the storage layer — so
+    /// every request is rejected and the oracle history never happened —
+    /// pass these to [`Coalescer::forget_relations`] to unwind them.
+    pub new_relations: Vec<Symbol>,
+}
+
+/// The decision-and-coalescing state for one ingest session.
+///
+/// One coalescer lives in the service worker for the engine's lifetime;
+/// its arity overlay accumulates across groups (see module docs).
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    /// Stream-recorded arities the engine may not know about (sticky, like
+    /// `Program`'s own arity map).
+    arities: FxHashMap<Symbol, usize>,
+}
+
+impl Coalescer {
+    /// A fresh coalescer with no stream history.
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// The recorded arity of `rel`: the stream overlay first, then the
+    /// engine's program.
+    fn arity(&self, program: &Program, rel: Symbol) -> Option<usize> {
+        self.arities.get(&rel).copied().or_else(|| program.arity_of(rel))
+    }
+
+    /// Checks one atom against the recorded arity, recording it if new —
+    /// the exact behavior of `Program::check_arity`. A first-time
+    /// recording is also pushed onto `recorded`, so a caller whose commit
+    /// later fails can unwind it.
+    fn check_arity(
+        &mut self,
+        program: &Program,
+        rel: Symbol,
+        found: usize,
+        recorded: &mut Vec<Symbol>,
+    ) -> Result<(), MaintenanceError> {
+        match self.arity(program, rel) {
+            Some(expected) if expected != found => {
+                Err(MaintenanceError::Datalog(DatalogError::ArityMismatch { rel, expected, found }))
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.arities.insert(rel, found);
+                recorded.push(rel);
+                Ok(())
+            }
+        }
+    }
+
+    /// Unwinds overlay recordings from a group whose commit failed (its
+    /// requests were all rejected, so the oracle history they would have
+    /// created never happened).
+    pub fn forget_relations(&mut self, rels: &[Symbol]) {
+        for rel in rels {
+            self.arities.remove(rel);
+        }
+    }
+
+    /// Plans one group of **fact** updates (rule updates are barriers and
+    /// must not appear here; fact-clause rule updates are normalized to
+    /// fact updates first).
+    ///
+    /// # Panics
+    /// If a (non-fact-clause) rule update is passed — the queue layer
+    /// guarantees groups are fact-only.
+    pub fn plan_group<'a>(
+        &mut self,
+        program: &Program,
+        updates: impl IntoIterator<Item = &'a Update>,
+    ) -> GroupPlan {
+        // The group-local overlay: facts whose asserted-state the group
+        // has (so far) changed relative to the engine, plus first-touch
+        // order for a deterministic batch.
+        let mut overlay: FxHashMap<Fact, bool> = FxHashMap::default();
+        let mut order: Vec<Fact> = Vec::new();
+        let mut decisions = Vec::new();
+        let mut new_relations = Vec::new();
+        let mut accepted = 0usize;
+        for u in updates {
+            match normalize(u) {
+                Update::InsertFact(f) => {
+                    if let Err(e) = self.check_arity(program, f.rel, f.arity(), &mut new_relations)
+                    {
+                        decisions.push(Decision::Rejected(e));
+                        continue;
+                    }
+                    let asserted =
+                        overlay.get(&f).copied().unwrap_or_else(|| program.is_asserted(&f));
+                    if !asserted {
+                        if !overlay.contains_key(&f) {
+                            order.push(f.clone());
+                        }
+                        overlay.insert(f, true);
+                    }
+                    decisions.push(Decision::Accepted);
+                    accepted += 1;
+                }
+                Update::DeleteFact(f) => {
+                    let asserted =
+                        overlay.get(&f).copied().unwrap_or_else(|| program.is_asserted(&f));
+                    if !asserted {
+                        decisions.push(Decision::Rejected(MaintenanceError::NotAsserted(f)));
+                        continue;
+                    }
+                    if !overlay.contains_key(&f) {
+                        order.push(f.clone());
+                    }
+                    overlay.insert(f, false);
+                    decisions.push(Decision::Accepted);
+                    accepted += 1;
+                }
+                Update::InsertRule(_) | Update::DeleteRule(_) => {
+                    panic!("rule updates are group barriers; plan_group takes fact updates only")
+                }
+            }
+        }
+        let mut batch = Vec::new();
+        for f in order {
+            let target = overlay[&f];
+            if target != program.is_asserted(&f) {
+                batch.push(if target { Update::InsertFact(f) } else { Update::DeleteFact(f) });
+            }
+        }
+        let coalesced = accepted - batch.len();
+        GroupPlan { decisions, batch, coalesced, new_relations }
+    }
+
+    /// Pre-checks a rule insertion against stream-recorded arities before
+    /// it is handed to the engine, mirroring `Program::add_rule`'s
+    /// check-and-record order (head first, then body literals): on a
+    /// mismatch the atoms *before* the offending one stay recorded, just
+    /// as the oracle's program would keep them.
+    ///
+    /// `Ok` means the engine sees at least the arities the overlay knows
+    /// (its own map is a subset), so passing the rule through cannot
+    /// produce an arity decision the oracle would not.
+    pub fn precheck_rule(
+        &mut self,
+        program: &Program,
+        rule: &Rule,
+    ) -> Result<(), MaintenanceError> {
+        // Recordings here are permanent even on failure: the oracle's own
+        // `add_rule` keeps the arity prefix of a rejected rule too.
+        let mut recorded = Vec::new();
+        self.check_arity(program, rule.head.rel, rule.head.arity(), &mut recorded)?;
+        for lit in &rule.body {
+            self.check_arity(program, lit.atom.rel, lit.atom.arity(), &mut recorded)?;
+        }
+        Ok(())
+    }
+
+    /// Number of relations in the stream-recorded arity overlay.
+    pub fn recorded_relations(&self) -> usize {
+        self.arities.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(s: &str) -> Fact {
+        Fact::parse(s).unwrap()
+    }
+
+    fn ins(s: &str) -> Update {
+        Update::InsertFact(fact(s))
+    }
+
+    fn del(s: &str) -> Update {
+        Update::DeleteFact(fact(s))
+    }
+
+    fn pods() -> Program {
+        Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn opposing_updates_cancel_and_repeats_dedup() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(
+            &program,
+            &[ins("accepted(1)"), ins("accepted(1)"), del("accepted(1)"), ins("submitted(9)")],
+        );
+        assert!(plan.decisions.iter().all(Decision::is_accepted), "{:?}", plan.decisions);
+        assert_eq!(plan.batch, vec![ins("submitted(9)")]);
+        assert_eq!(plan.coalesced, 3);
+    }
+
+    #[test]
+    fn delete_then_reinsert_of_preexisting_fact_nets_out() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[del("accepted(2)"), ins("accepted(2)")]);
+        assert!(plan.decisions.iter().all(Decision::is_accepted));
+        assert!(plan.batch.is_empty(), "{:?}", plan.batch);
+        assert_eq!(plan.coalesced, 2);
+    }
+
+    #[test]
+    fn deletes_of_unasserted_facts_reject_with_the_oracle_error() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[del("ghost(1)"), ins("ghost(1)"), del("ghost(1)")]);
+        assert_eq!(
+            plan.decisions[0],
+            Decision::Rejected(MaintenanceError::NotAsserted(fact("ghost(1)")))
+        );
+        assert!(plan.decisions[1].is_accepted(), "insert after failed delete");
+        assert!(plan.decisions[2].is_accepted(), "delete after pending insert");
+        assert!(plan.batch.is_empty(), "transient ghost(1) cancels: {:?}", plan.batch);
+    }
+
+    #[test]
+    fn duplicate_insert_of_existing_fact_is_accepted_noop() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[ins("submitted(1)")]);
+        assert_eq!(plan.decisions, vec![Decision::Accepted]);
+        assert!(plan.batch.is_empty());
+        assert_eq!(plan.coalesced, 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejects_like_the_oracle() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[ins("submitted(1, 2)")]);
+        let Decision::Rejected(MaintenanceError::Datalog(DatalogError::ArityMismatch {
+            expected,
+            found,
+            ..
+        })) = &plan.decisions[0]
+        else {
+            panic!("expected arity rejection, got {:?}", plan.decisions[0]);
+        };
+        assert_eq!((*expected, *found), (1, 2));
+        assert!(plan.batch.is_empty());
+    }
+
+    #[test]
+    fn arities_are_sticky_across_groups_even_for_coalesced_facts() {
+        // +p(1) -p(1) coalesces to nothing, so the engine never learns p/1;
+        // the overlay must still reject a later p(1,2) like the oracle.
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[ins("p(1)"), del("p(1)")]);
+        assert!(plan.batch.is_empty());
+        let plan = c.plan_group(&program, &[ins("p(1, 2)")]);
+        assert!(
+            matches!(&plan.decisions[0], Decision::Rejected(MaintenanceError::Datalog(_))),
+            "{:?}",
+            plan.decisions[0]
+        );
+        assert_eq!(c.recorded_relations(), 1);
+    }
+
+    #[test]
+    fn rule_precheck_records_prefix_arities_on_failure() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        // h and p are new; submitted/2 contradicts submitted/1.
+        let rule = Rule::parse("h(X) :- p(X), submitted(X, X), q(X).").unwrap();
+        let err = c.precheck_rule(&program, &rule).unwrap_err();
+        assert!(matches!(err, MaintenanceError::Datalog(DatalogError::ArityMismatch { .. })));
+        // h/1 and p/1 were recorded before the failure, q was not — the
+        // oracle's program would keep exactly that prefix.
+        let plan = c.plan_group(&program, &[ins("h(1, 2)"), ins("q(1, 2)")]);
+        assert!(matches!(&plan.decisions[0], Decision::Rejected(_)), "h/1 is sticky");
+        assert!(plan.decisions[1].is_accepted(), "q was never recorded");
+    }
+
+    #[test]
+    fn fact_clause_rule_updates_are_normalized_to_facts() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let rule = Rule::parse("submitted(9).").unwrap();
+        let plan = c.plan_group(&program, &[Update::InsertRule(rule)]);
+        assert_eq!(plan.decisions, vec![Decision::Accepted]);
+        assert_eq!(plan.batch, vec![ins("submitted(9)")]);
+    }
+
+    #[test]
+    fn forget_relations_unwinds_failed_group_recordings() {
+        let program = pods();
+        let mut c = Coalescer::new();
+        let plan = c.plan_group(&program, &[ins("p(1)"), ins("q(2)")]);
+        assert_eq!(plan.new_relations.len(), 2);
+        c.forget_relations(&plan.new_relations);
+        assert_eq!(c.recorded_relations(), 0);
+        // After unwinding (the group's commit failed, its history never
+        // happened), a different arity is acceptable again — as it would
+        // be to the oracle, which never saw the rejected requests.
+        let plan = c.plan_group(&program, &[ins("p(1, 2)")]);
+        assert!(plan.decisions[0].is_accepted(), "{:?}", plan.decisions[0]);
+        // Pre-existing relations are never listed as new.
+        let plan = c.plan_group(&program, &[ins("submitted(9)")]);
+        assert!(plan.new_relations.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "group barriers")]
+    fn rule_updates_panic_in_plan_group() {
+        let mut c = Coalescer::new();
+        let rule = Rule::parse("a(X) :- b(X).").unwrap();
+        c.plan_group(&pods(), &[Update::InsertRule(rule)]);
+    }
+}

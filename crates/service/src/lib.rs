@@ -1,0 +1,123 @@
+//! # strata-service
+//!
+//! The concurrent ingest layer: many clients stream belief-revision
+//! requests at one maintained stratified database, and the service turns
+//! that stream into a small number of engine transactions.
+//!
+//! The paper's maintenance problem is inherently transactional — each
+//! update is a revision the database may accept or reject — and the
+//! engines already expose the batch seam
+//! ([`strata_core::MaintenanceEngine::apply_all`]): one batch is one
+//! atomic transaction, and the cascade engine walks the strata once for a
+//! whole batch. This crate supplies what was missing between "many
+//! clients" and that seam:
+//!
+//! * [`coalesce::Coalescer`] — the pure decision layer. Given the engine's
+//!   program and a group of fact updates, it predicts each request's
+//!   accept/reject decision exactly as the per-update oracle would
+//!   (duplicate inserts accepted as no-ops, deletes of unasserted facts
+//!   rejected, arity mismatches rejected — with the same error values),
+//!   and emits the **net batch**: opposing insert/delete of the same fact
+//!   cancel, repeats dedup.
+//! * [`queue::IngestQueue`] — the multi-producer queue. Producers block
+//!   only on backpressure ([`IngestConfig::max_pending`]); the worker cuts
+//!   groups at a count watermark ([`IngestConfig::max_group`]) or a
+//!   latency watermark ([`IngestConfig::max_delay`]), whichever trips
+//!   first. Rule updates and flushes are **barriers**: they cut the group
+//!   and travel alone.
+//! * [`service::Service`] — the single worker that owns a registry-built
+//!   engine (any strategy, in-memory or durable). It drains the queue,
+//!   commits each group via one `apply_all` — for a durable engine that is
+//!   one WAL transaction and **one fsync per group** (group commit) — and
+//!   routes per-request decisions back through completion handles
+//!   ([`queue::SubmitHandle`]).
+//! * [`net`] — a `std::net` TCP front-end speaking the line protocol of
+//!   [`protocol`] (`submit` / `query` / `flush` / `stats` / `quit`) over
+//!   the existing `Display`/parse round-trip, plus the matching blocking
+//!   [`net::Client`].
+//!
+//! ## The differential guarantee
+//!
+//! For any interleaved multi-client stream, the service reports exactly
+//! the per-request accept/reject decisions (error values included) of the
+//! per-update oracle — the same stream applied one update at a time in
+//! queue order — and lands on the same final program and model. The
+//! belief state agrees in **canonical form**: support dumps coincide
+//! after canonicalization (the store's checkpoint normal form — what a
+//! fresh engine believes from the final program). Raw dump *content* is a
+//! sound approximation whose exact shape is update-path-dependent for the
+//! support-bearing engines (the cascade attaches a rule pointer only when
+//! a firing first derives a fact; §4.2 keeps one arbitrary valid witness
+//! pair), so two paths to the same belief state may legitimately hold
+//! different, equally sound dumps. Durability is exact, not canonical: a
+//! kill-and-reopen replays the service's own transactions and reproduces
+//! its live model *and* support dump byte for byte. All of this is
+//! verified by `tests/service_coalescing.rs` (proptest over engines ×
+//! streams × group sizes, durable included) and `tests/service_ingest.rs`
+//! (multi-client integration with kill-and-reopen).
+//!
+//! ```
+//! use strata_core::registry::EngineRegistry;
+//! use strata_core::Update;
+//! use strata_datalog::{Fact, Program};
+//! use strata_service::{IngestConfig, Service};
+//!
+//! let program = Program::parse(
+//!     "submitted(1). rejected(X) :- submitted(X), !accepted(X).",
+//! ).unwrap();
+//! let engine = EngineRegistry::standard().build("cascade", program).unwrap();
+//! let service = Service::start(engine, IngestConfig::default());
+//! let h = service.submit(Update::InsertFact(Fact::parse("accepted(1)").unwrap()));
+//! assert!(h.wait().is_accepted());
+//! service.flush();
+//! assert!(service.with_engine(|e| !e.model().contains_parsed("rejected(1)")));
+//! let engine = service.shutdown();
+//! ```
+
+pub mod coalesce;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+
+use std::time::Duration;
+
+pub use coalesce::{Coalescer, Decision, GroupPlan};
+pub use net::{Client, ServerHandle};
+pub use queue::{IngestQueue, Outcome, SubmitHandle};
+pub use service::{Service, ServiceStats};
+
+/// Group-cutting and backpressure knobs for the ingest queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Count watermark: a group is cut as soon as this many requests are
+    /// pending. Larger groups amortize the per-transaction fsync further
+    /// but raise the latency of the first request in the group.
+    pub max_group: usize,
+    /// Latency watermark: a partial group is cut once its oldest request
+    /// has waited this long, so a trickle of traffic is never starved
+    /// waiting for a full group.
+    pub max_delay: Duration,
+    /// Backpressure bound: `submit` blocks while this many requests are
+    /// pending, so producers cannot outrun the worker without bound.
+    pub max_pending: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig { max_group: 64, max_delay: Duration::from_millis(2), max_pending: 8192 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = IngestConfig::default();
+        assert!(c.max_group >= 2, "grouping must be able to group");
+        assert!(c.max_pending >= c.max_group, "backpressure must admit a full group");
+        assert!(c.max_delay > Duration::ZERO);
+    }
+}

@@ -1,0 +1,316 @@
+//! The `std::net` TCP front-end and its blocking client.
+//!
+//! [`serve`] binds a listener and spawns one acceptor thread plus one
+//! thread per connection; every connection speaks the [`crate::protocol`]
+//! line protocol against a shared [`Service`]. Group commit happens across
+//! connections: ten clients submitting concurrently land in the same
+//! coalescing queue and share fsyncs.
+//!
+//! [`Client`] is the matching blocking client: one request line out, read
+//! lines until the `ok`/`err` terminator.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use strata_core::Update;
+use strata_datalog::query::render_row;
+
+use crate::protocol::{self, Request};
+use crate::service::Service;
+
+/// A running TCP front-end. Dropping (or [`ServerHandle::stop`]) unbinds
+/// the listener; connections already accepted finish their current
+/// request-response exchange on their own threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    pub fn stop(mut self) {
+        self.shutdown_acceptor();
+    }
+
+    fn shutdown_acceptor(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `accept` with a throwaway connection. A
+        // wildcard bind (0.0.0.0 / ::) is not a connectable destination
+        // everywhere, so aim the poke at loopback on the bound port.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect(target);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_acceptor();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral one)
+/// and serves `service` until the handle is stopped or dropped.
+pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new().name("strata-accept".into()).spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let _ = std::thread::Builder::new()
+                    .name("strata-conn".into())
+                    .spawn(move || serve_connection(stream, &service));
+            }
+        })?
+    };
+    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor) })
+}
+
+/// One connection's request loop: read a line, answer with `row*` lines
+/// and exactly one `ok`/`err` terminator. Returns on `quit`, EOF, or any
+/// I/O error.
+fn serve_connection(stream: TcpStream, service: &Service) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF: client hung up
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match protocol::parse_request(&line) {
+            Err(e) => writeln!(writer, "err {e}")?,
+            Ok(Request::Quit) => {
+                writeln!(writer, "ok bye")?;
+                return Ok(());
+            }
+            Ok(Request::Submit(update)) => {
+                // Wait for the group decision before answering: `ok` means
+                // durably committed (for a durable engine). Concurrency
+                // comes from many connections sharing the queue, not from
+                // pipelining within one.
+                let outcome = service.apply(update);
+                writeln!(writer, "{}", protocol::render_outcome(&outcome))?;
+            }
+            Ok(Request::Flush) => {
+                service.flush();
+                writeln!(writer, "ok flushed")?;
+            }
+            Ok(Request::Stats) => {
+                writeln!(writer, "{}", protocol::render_stats(&service.stats()))?;
+            }
+            Ok(Request::Query(q)) => {
+                if q.is_boolean() {
+                    let holds = service.with_engine(|e| q.holds(e.model()));
+                    writeln!(writer, "ok {holds}")?;
+                } else {
+                    let rows = service.with_engine(|e| q.eval(e.model()));
+                    for row in &rows {
+                        writeln!(writer, "row {}", render_row(&q, row))?;
+                    }
+                    writeln!(writer, "ok {}", rows.len())?;
+                }
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// What a query returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryReply {
+    /// A boolean query's truth value.
+    Boolean(bool),
+    /// A binding query's rendered rows.
+    Rows(Vec<String>),
+}
+
+/// The blocking client for the line protocol.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// Sends one request line, collecting `row` lines until the
+    /// terminator. Returns `(rows, terminator-without-prefix)`; an `err`
+    /// terminator becomes `Err(reason)` in the outer protocol result.
+    fn roundtrip(&mut self, line: &str) -> io::Result<Result<(Vec<String>, String), String>> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut rows = Vec::new();
+        loop {
+            let mut reply = String::new();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            let reply = reply.trim_end();
+            if let Some(rest) = reply.strip_prefix("row ") {
+                rows.push(rest.to_string());
+            } else if let Some(rest) = reply.strip_prefix("ok") {
+                return Ok(Ok((rows, rest.trim().to_string())));
+            } else if let Some(rest) = reply.strip_prefix("err") {
+                return Ok(Err(rest.trim().to_string()));
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed response line: {reply}"),
+                ));
+            }
+        }
+    }
+
+    /// Submits one update; `Ok(group)` on acceptance, `Err(reason)` on
+    /// rejection.
+    pub fn submit(&mut self, update: &Update) -> io::Result<Result<u64, String>> {
+        self.submit_text(&protocol::render_update(update))
+    }
+
+    /// Submits raw update text (`+ p(1)`).
+    pub fn submit_text(&mut self, update: &str) -> io::Result<Result<u64, String>> {
+        Ok(self
+            .roundtrip(&format!("submit {update}"))?
+            .map(|(_, tail)| tail.strip_prefix("group=").and_then(|g| g.parse().ok()).unwrap_or(0)))
+    }
+
+    /// Evaluates a query.
+    pub fn query(&mut self, body: &str) -> io::Result<Result<QueryReply, String>> {
+        Ok(self.roundtrip(&format!("query {body}"))?.map(|(rows, tail)| match tail.as_str() {
+            "true" => QueryReply::Boolean(true),
+            "false" => QueryReply::Boolean(false),
+            _ => QueryReply::Rows(rows),
+        }))
+    }
+
+    /// Blocks until everything submitted before (on any connection) is
+    /// decided.
+    pub fn flush(&mut self) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip("flush")?.map(|_| ()))
+    }
+
+    /// The server's stats line (`key=value` pairs).
+    pub fn stats(&mut self) -> io::Result<Result<String, String>> {
+        Ok(self.roundtrip("stats")?.map(|(_, tail)| tail))
+    }
+
+    /// One stats field, parsed.
+    pub fn stats_field(&mut self, key: &str) -> io::Result<Option<u64>> {
+        let line = match self.stats()? {
+            Ok(line) => line,
+            Err(_) => return Ok(None),
+        };
+        Ok(line.split_whitespace().find_map(|kv| {
+            kv.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix('='))
+                .and_then(|v| v.parse().ok())
+        }))
+    }
+
+    /// Says goodbye and closes the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.roundtrip("quit")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IngestConfig;
+    use strata_core::registry::EngineRegistry;
+    use strata_datalog::{Fact, Program};
+
+    fn pods_server() -> (Arc<Service>, ServerHandle) {
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        let engine = EngineRegistry::standard().build("cascade", program).unwrap();
+        let service = Arc::new(Service::start(engine, IngestConfig::default()));
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        (service, handle)
+    }
+
+    #[test]
+    fn submit_query_flush_stats_roundtrip() {
+        let (_service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        let group = client
+            .submit(&Update::InsertFact(Fact::parse("accepted(1)").unwrap()))
+            .unwrap()
+            .unwrap();
+        assert!(group >= 1);
+        assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(false));
+        let reply = client.query("rejected(X)").unwrap().unwrap();
+        assert_eq!(reply, QueryReply::Rows(vec![]), "everyone is accepted or rejected(2)? no");
+        client.flush().unwrap().unwrap();
+        assert_eq!(client.stats_field("accepted").unwrap(), Some(1));
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn rejections_travel_as_err_lines() {
+        let (_service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let err = client.submit_text("- ghost(1)").unwrap().unwrap_err();
+        assert!(err.contains("not an asserted fact"), "{err}");
+        let err = client.submit_text("nonsense").unwrap().unwrap_err();
+        assert!(err.contains("+"), "{err}");
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn two_clients_share_one_database() {
+        let (_service, handle) = pods_server();
+        let addr = handle.addr().to_string();
+        let mut a = Client::connect(&addr).unwrap();
+        let mut b = Client::connect(&addr).unwrap();
+        a.submit_text("+ submitted(9)").unwrap().unwrap();
+        assert_eq!(b.query("rejected(9)").unwrap().unwrap(), QueryReply::Boolean(true));
+        b.submit_text("+ accepted(9)").unwrap().unwrap();
+        assert_eq!(a.query("rejected(9)").unwrap().unwrap(), QueryReply::Boolean(false));
+        handle.stop();
+    }
+}

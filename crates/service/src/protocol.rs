@@ -1,0 +1,210 @@
+//! The line-oriented text protocol of the TCP front-end.
+//!
+//! Requests and responses are single lines of UTF-8, newline-terminated;
+//! fact, rule, and query text rides the crate's existing `Display`/parse
+//! round-trip (symbols are quoted on write, so arbitrary names survive
+//! the wire).
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request  ::= "submit" SP update
+//!            | "query" SP body
+//!            | "flush" | "stats" | "quit"
+//! update   ::= ("+" | "-") SP? clause        -- insert | delete
+//! clause   ::= fact | rule                    -- `p(1)` or `p(X) :- q(X).`
+//! body     ::= literal ("," literal)*         -- `rejected(X), !late(X)`
+//! ```
+//!
+//! ## Responses
+//!
+//! Every request ends with exactly one terminator line starting `ok` or
+//! `err`; a `query` may stream `row <bindings>` lines before it.
+//!
+//! ```text
+//! submit → "ok group=<n>"            accepted (durable once delivered)
+//!        | "err <reason>"            rejected, database unchanged
+//! query  → ("row <bindings>")* then "ok <count>"   -- binding queries
+//!        | "ok true" | "ok false"                  -- boolean queries
+//! flush  → "ok flushed"
+//! stats  → "ok <key>=<value> ..."
+//! quit   → "ok bye"
+//! ```
+
+use strata_core::Update;
+use strata_datalog::{Fact, Query, Rule};
+
+use crate::queue::Outcome;
+use crate::service::ServiceStats;
+
+/// A parsed client request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Enqueue one update.
+    Submit(Update),
+    /// Evaluate a query against the current model.
+    Query(Query),
+    /// Wait until everything submitted before this point is decided.
+    Flush,
+    /// A stats snapshot.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses `("+" | "-") clause` into an update — the same surface grammar
+/// as the `strata` shell.
+pub fn parse_update(line: &str) -> Result<Update, String> {
+    let line = line.trim();
+    let (insert, rest) = if let Some(rest) = line.strip_prefix('+') {
+        (true, rest)
+    } else if let Some(rest) = line.strip_prefix('-') {
+        (false, rest)
+    } else {
+        return Err("update must start with `+` (insert) or `-` (delete)".into());
+    };
+    let src = rest.trim().trim_end_matches('.');
+    if let Ok(f) = Fact::parse(src) {
+        return Ok(if insert { Update::InsertFact(f) } else { Update::DeleteFact(f) });
+    }
+    match Rule::parse(&format!("{src}.")) {
+        Ok(r) => Ok(if insert { Update::InsertRule(r) } else { Update::DeleteRule(r) }),
+        Err(e) => Err(format!("cannot parse `{src}` as fact or rule: {e}")),
+    }
+}
+
+/// Renders an update back into the `submit` surface form.
+pub fn render_update(update: &Update) -> String {
+    match update {
+        Update::InsertFact(f) => format!("+ {f}"),
+        Update::DeleteFact(f) => format!("- {f}"),
+        Update::InsertRule(r) => format!("+ {r}"),
+        Update::DeleteRule(r) => format!("- {r}"),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "submit" => parse_update(rest).map(Request::Submit),
+        "query" => Query::parse(rest.trim_end_matches('.'))
+            .map(Request::Query)
+            .map_err(|e| format!("cannot parse query: {e}")),
+        "flush" if rest.is_empty() => Ok(Request::Flush),
+        "stats" if rest.is_empty() => Ok(Request::Stats),
+        "quit" if rest.is_empty() => Ok(Request::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown verb `{other}` (submit | query | flush | stats | quit)")),
+    }
+}
+
+/// Renders a submit decision as its terminator line.
+pub fn render_outcome(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Accepted { group } => format!("ok group={group}"),
+        Outcome::Rejected(e) => format!("err {e}"),
+    }
+}
+
+/// Renders the stats snapshot as its terminator line.
+pub fn render_stats(s: &ServiceStats) -> String {
+    let mut line = format!(
+        "ok submitted={} accepted={} rejected={} groups={} commits={} committed_updates={} \
+         coalesced={} flushes={} pending={} model_facts={}",
+        s.submitted,
+        s.accepted,
+        s.rejected,
+        s.groups,
+        s.commits,
+        s.committed_updates,
+        s.coalesced,
+        s.flushes,
+        s.pending,
+        s.model_facts,
+    );
+    if let Some(d) = &s.durability {
+        line.push_str(&format!(
+            " wal_txns={} wal_bytes={} recovered_txns={} recovered_updates={} recovered_torn_tail={}",
+            d.wal_txns, d.wal_bytes, d.recovered_txns, d.recovered_updates, d.recovered_torn_tail
+        ));
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strata_core::MaintenanceError;
+
+    #[test]
+    fn parses_submit_updates() {
+        let Request::Submit(Update::InsertFact(f)) = parse_request("submit + p(1)").unwrap() else {
+            panic!("expected fact insert")
+        };
+        assert_eq!(f, Fact::parse("p(1)").unwrap());
+        let Request::Submit(Update::DeleteFact(_)) = parse_request("submit - p(1).").unwrap()
+        else {
+            panic!("expected fact delete")
+        };
+        let Request::Submit(Update::InsertRule(r)) =
+            parse_request("submit + a(X) :- b(X), !c(X).").unwrap()
+        else {
+            panic!("expected rule insert")
+        };
+        assert_eq!(r.to_string(), "a(X) :- b(X), !c(X).");
+    }
+
+    #[test]
+    fn parses_meta_verbs_strictly() {
+        assert!(matches!(parse_request("flush").unwrap(), Request::Flush));
+        assert!(matches!(parse_request("stats").unwrap(), Request::Stats));
+        assert!(matches!(parse_request("quit").unwrap(), Request::Quit));
+        assert!(matches!(parse_request("query rejected(X)").unwrap(), Request::Query(_)));
+        assert!(parse_request("flush now").is_err());
+        assert!(parse_request("submit p(1)").is_err(), "missing +/-");
+        assert!(parse_request("frobnicate").is_err());
+        assert!(parse_request("").is_err());
+        assert!(parse_request("query !unsafe(X)").is_err());
+    }
+
+    #[test]
+    fn update_round_trips_through_render() {
+        for line in ["+ p(1)", "- p(1)", "+ a(X) :- b(X).", "- a(X) :- b(X)."] {
+            let u = parse_update(line).unwrap();
+            assert_eq!(parse_update(&render_update(&u)).unwrap(), u, "{line}");
+        }
+        // Hostile symbols survive via quote-on-write.
+        let u = parse_update("+ p(\"tricky. name\")").unwrap();
+        assert_eq!(parse_update(&render_update(&u)).unwrap(), u);
+    }
+
+    #[test]
+    fn outcome_lines() {
+        assert_eq!(render_outcome(&Outcome::Accepted { group: 7 }), "ok group=7");
+        let e = MaintenanceError::NotAsserted(Fact::parse("p(1)").unwrap());
+        assert_eq!(
+            render_outcome(&Outcome::Rejected(e)),
+            "err cannot delete `p(1)`: not an asserted fact"
+        );
+    }
+
+    #[test]
+    fn stats_line_includes_durability_only_when_present() {
+        let mut s = ServiceStats { submitted: 3, accepted: 2, rejected: 1, ..Default::default() };
+        let line = render_stats(&s);
+        assert!(line.starts_with("ok submitted=3 accepted=2 rejected=1"), "{line}");
+        assert!(!line.contains("wal_txns"), "{line}");
+        s.durability = Some(strata_core::DurabilityStats {
+            recovered_txns: 4,
+            wal_txns: 2,
+            ..Default::default()
+        });
+        let line = render_stats(&s);
+        assert!(line.contains("wal_txns=2") && line.contains("recovered_txns=4"), "{line}");
+    }
+}

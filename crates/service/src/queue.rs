@@ -1,0 +1,409 @@
+//! The multi-producer ingest queue with completion handles.
+//!
+//! Producers [`submit`] tagged updates from any thread; the single service
+//! worker [`next_group`]s them back out in arrival order, cut into groups
+//! at the [`IngestConfig`] watermarks:
+//!
+//! * **count** — a group is cut as soon as `max_group` requests are
+//!   pending;
+//! * **latency** — a partial group is cut once its oldest request has
+//!   waited `max_delay`;
+//! * **barrier** — a rule update or a flush cuts the group early and is
+//!   handed over alone (rule updates need the engine's stratification
+//!   judgment; flushes mark a point whose predecessors must all be
+//!   decided).
+//!
+//! Backpressure: `submit` blocks while `max_pending` requests are queued,
+//! so producers can never outrun the worker without bound.
+//!
+//! Every request carries a [`SubmitHandle`] the producer can block on;
+//! the worker fulfills it with the request's [`Outcome`] once its group
+//! is committed (or it is rejected).
+//!
+//! [`submit`]: IngestQueue::submit
+//! [`next_group`]: IngestQueue::next_group
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use strata_core::{MaintenanceError, Update};
+
+use crate::IngestConfig;
+
+/// The service's verdict on one submitted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Accepted and applied (or coalesced away as a no-op) with the given
+    /// group — the drain ordinal, 1-based. For a durable engine the
+    /// request is on disk when this outcome is delivered.
+    Accepted {
+        /// Drain ordinal of the group that carried the request.
+        group: u64,
+    },
+    /// Rejected; the database is unchanged by this request. Carries the
+    /// same error the per-update oracle would have raised.
+    Rejected(MaintenanceError),
+}
+
+impl Outcome {
+    /// Whether this is [`Outcome::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Outcome::Accepted { .. })
+    }
+}
+
+/// One-shot decision slot shared between a producer and the worker.
+#[derive(Debug, Default)]
+struct Completion {
+    slot: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+/// A producer's handle on one submitted request.
+#[derive(Clone, Debug)]
+pub struct SubmitHandle(Arc<Completion>);
+
+impl SubmitHandle {
+    fn new() -> SubmitHandle {
+        SubmitHandle(Arc::new(Completion::default()))
+    }
+
+    /// Blocks until the service has decided this request.
+    pub fn wait(&self) -> Outcome {
+        let mut slot = self.0.slot.lock().expect("completion poisoned");
+        while slot.is_none() {
+            slot = self.0.ready.wait(slot).expect("completion poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+
+    /// The decision, if already made.
+    pub fn try_get(&self) -> Option<Outcome> {
+        self.0.slot.lock().expect("completion poisoned").clone()
+    }
+
+    /// Worker side: delivers the decision and wakes the producer.
+    pub(crate) fn fulfill(&self, outcome: Outcome) {
+        let mut slot = self.0.slot.lock().expect("completion poisoned");
+        debug_assert!(slot.is_none(), "a request is decided exactly once");
+        *slot = Some(outcome);
+        self.0.ready.notify_all();
+    }
+
+    /// Delivers `outcome` only if no decision was made yet (the
+    /// worker-death path; poison-tolerant so an unwinding thread can
+    /// still release its waiters).
+    fn fulfill_if_undecided(&self, outcome: Outcome) {
+        let mut slot = match self.0.slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+/// What a pending entry asks for.
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    /// Apply this update.
+    Update(Update),
+    /// Decide everything before this point, then acknowledge.
+    Flush,
+}
+
+/// One queued request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub(crate) op: Op,
+    pub(crate) handle: SubmitHandle,
+    at: Instant,
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        // A request dropped without a decision — the worker unwound
+        // mid-group, or a dying worker drained the queue — must not leave
+        // its producer blocked on the handle forever.
+        self.handle.fulfill_if_undecided(Outcome::Rejected(MaintenanceError::Storage(
+            "ingest worker terminated before deciding this request".into(),
+        )));
+    }
+}
+
+/// What one drain handed the worker.
+#[derive(Debug)]
+pub(crate) enum Group {
+    /// A fact-update group, in arrival order, ready for the coalescer.
+    Facts(Vec<Request>),
+    /// A barrier: a rule update or a flush, traveling alone.
+    Barrier(Request),
+}
+
+#[derive(Debug, Default)]
+struct State {
+    pending: VecDeque<Request>,
+    closed: bool,
+}
+
+/// The shared multi-producer / single-consumer coalescing queue.
+#[derive(Debug)]
+pub struct IngestQueue {
+    cfg: IngestConfig,
+    state: Mutex<State>,
+    /// Producers wait here for backpressure headroom.
+    space: Condvar,
+    /// The worker waits here for requests (or a watermark deadline).
+    work: Condvar,
+}
+
+/// Whether the update is a barrier (a genuine rule update; fact-clause
+/// rules normalize to fact updates and group normally). Allocation-free —
+/// this runs on every queue-scan step of the hot ingest path, so it
+/// classifies without materializing the normalized clone.
+fn is_barrier(update: &Update) -> bool {
+    match update {
+        Update::InsertRule(r) | Update::DeleteRule(r) => !r.is_fact_clause(),
+        Update::InsertFact(_) | Update::DeleteFact(_) => false,
+    }
+}
+
+impl IngestQueue {
+    /// An empty queue with the given watermarks.
+    pub fn new(cfg: IngestConfig) -> IngestQueue {
+        IngestQueue {
+            cfg,
+            state: Mutex::new(State::default()),
+            space: Condvar::new(),
+            work: Condvar::new(),
+        }
+    }
+
+    /// The configured watermarks.
+    pub fn config(&self) -> &IngestConfig {
+        &self.cfg
+    }
+
+    /// Requests currently pending (not yet drained).
+    pub fn pending(&self) -> usize {
+        self.state.lock().expect("queue poisoned").pending.len()
+    }
+
+    /// Enqueues one update, blocking while the queue is at its
+    /// backpressure bound. Returns the completion handle. Submitting to a
+    /// closed queue resolves the handle immediately with a storage
+    /// rejection.
+    pub fn submit(&self, update: Update) -> SubmitHandle {
+        self.push(Op::Update(update))
+    }
+
+    /// Enqueues a flush barrier: its handle resolves once every earlier
+    /// request has been decided.
+    pub fn submit_flush(&self) -> SubmitHandle {
+        self.push(Op::Flush)
+    }
+
+    fn push(&self, op: Op) -> SubmitHandle {
+        let handle = SubmitHandle::new();
+        let mut state = self.state.lock().expect("queue poisoned");
+        while !state.closed && state.pending.len() >= self.cfg.max_pending {
+            state = self.space.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            drop(state);
+            handle.fulfill(Outcome::Rejected(MaintenanceError::Storage(
+                "ingest service is shut down".into(),
+            )));
+            return handle;
+        }
+        state.pending.push_back(Request { op, handle: handle.clone(), at: Instant::now() });
+        self.work.notify_one();
+        handle
+    }
+
+    /// Closes the queue: future submits reject immediately; requests
+    /// already pending will still be drained and decided.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Worker bail-out: takes every pending request without blocking, so
+    /// a dying worker can reject them instead of leaving their producers
+    /// blocked on completion handles forever.
+    pub(crate) fn drain_all(&self) -> Vec<Request> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let drained: Vec<Request> = state.pending.drain(..).collect();
+        self.space.notify_all();
+        drained
+    }
+
+    /// Worker side: blocks until a group is due (count watermark, latency
+    /// watermark, barrier, or queue closure) and drains it. Returns `None`
+    /// once the queue is closed **and** empty — the worker's exit signal.
+    pub(crate) fn next_group(&self) -> Option<Group> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.pending.is_empty() {
+                if state.closed {
+                    return None;
+                }
+                state = self.work.wait(state).expect("queue poisoned");
+                continue;
+            }
+            let front_is_barrier = match &state.pending.front().expect("checked non-empty").op {
+                Op::Flush => true,
+                Op::Update(u) => is_barrier(u),
+            };
+            if front_is_barrier {
+                let req = state.pending.pop_front().expect("checked non-empty");
+                self.space.notify_all();
+                return Some(Group::Barrier(req));
+            }
+            // Contiguous fact-update prefix, capped at the count watermark.
+            let cap = self.cfg.max_group.max(1);
+            let prefix = state
+                .pending
+                .iter()
+                .take(cap)
+                .take_while(|r| matches!(&r.op, Op::Update(u) if !is_barrier(u)))
+                .count();
+            let full = prefix >= cap;
+            // A barrier (rule/flush) waiting right behind the prefix cuts
+            // the group now: the barrier needs everything before it
+            // decided, and delaying the prefix would only delay both.
+            let barrier_behind = prefix < state.pending.len();
+            let oldest = state.pending.front().expect("checked non-empty").at;
+            let age = oldest.elapsed();
+            if full || barrier_behind || state.closed || age >= self.cfg.max_delay {
+                let group: Vec<Request> = state.pending.drain(..prefix).collect();
+                self.space.notify_all();
+                return Some(Group::Facts(group));
+            }
+            // Partial group with time left: sleep until the latency
+            // watermark (or a new submit) and re-examine.
+            let wait = self.cfg.max_delay - age;
+            let (s, _timeout) = self.work.wait_timeout(state, wait).expect("queue poisoned");
+            state = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use strata_datalog::{Fact, Rule};
+
+    fn ins(s: &str) -> Update {
+        Update::InsertFact(Fact::parse(s).unwrap())
+    }
+
+    fn cfg(max_group: usize, delay_ms: u64, max_pending: usize) -> IngestConfig {
+        IngestConfig { max_group, max_delay: Duration::from_millis(delay_ms), max_pending }
+    }
+
+    #[test]
+    fn count_watermark_cuts_full_groups() {
+        let q = IngestQueue::new(cfg(3, 10_000, 100));
+        for i in 0..7 {
+            q.submit(ins(&format!("p({i})")));
+        }
+        let Some(Group::Facts(g1)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g1.len(), 3);
+        let Some(Group::Facts(g2)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g2.len(), 3);
+        assert_eq!(q.pending(), 1);
+        // The last partial group waits for the latency watermark — closing
+        // releases it immediately instead.
+        q.close();
+        let Some(Group::Facts(g3)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g3.len(), 1);
+        assert!(q.next_group().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn latency_watermark_releases_partial_groups() {
+        let q = IngestQueue::new(cfg(1000, 15, 100));
+        q.submit(ins("p(1)"));
+        let t0 = Instant::now();
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g.len(), 1);
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(10), "cut early: {waited:?}");
+    }
+
+    #[test]
+    fn rule_updates_are_barriers() {
+        let q = IngestQueue::new(cfg(100, 10_000, 100));
+        q.submit(ins("p(1)"));
+        q.submit(Update::InsertRule(Rule::parse("a(X) :- p(X).").unwrap()));
+        q.submit(ins("p(2)"));
+        q.close();
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g.len(), 1, "group cut before the rule barrier");
+        let Some(Group::Barrier(r)) = q.next_group() else { panic!("expected barrier") };
+        assert!(matches!(r.op, Op::Update(Update::InsertRule(_))));
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g.len(), 1);
+        assert!(q.next_group().is_none());
+    }
+
+    #[test]
+    fn fact_clause_rules_group_like_facts() {
+        let q = IngestQueue::new(cfg(100, 10_000, 100));
+        q.submit(ins("p(1)"));
+        q.submit(Update::InsertRule(Rule::parse("p(2).").unwrap()));
+        q.close();
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g.len(), 2, "a fact-clause rule is not a barrier");
+    }
+
+    #[test]
+    fn flush_is_a_barrier_and_handles_resolve() {
+        let q = IngestQueue::new(cfg(100, 10_000, 100));
+        let h1 = q.submit(ins("p(1)"));
+        let hf = q.submit_flush();
+        assert!(h1.try_get().is_none() && hf.try_get().is_none());
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        for r in &g {
+            r.handle.fulfill(Outcome::Accepted { group: 1 });
+        }
+        let Some(Group::Barrier(r)) = q.next_group() else { panic!("expected barrier") };
+        assert!(matches!(r.op, Op::Flush));
+        r.handle.fulfill(Outcome::Accepted { group: 1 });
+        assert!(h1.wait().is_accepted());
+        assert!(hf.wait().is_accepted());
+    }
+
+    #[test]
+    fn submit_after_close_rejects_immediately() {
+        let q = IngestQueue::new(cfg(10, 10, 10));
+        q.close();
+        let h = q.submit(ins("p(1)"));
+        assert!(matches!(h.wait(), Outcome::Rejected(MaintenanceError::Storage(_))));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let q = Arc::new(IngestQueue::new(cfg(2, 10_000, 2)));
+        q.submit(ins("p(1)"));
+        q.submit(ins("p(2)"));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            q2.submit(ins("p(3)")); // blocks until the worker drains
+            "submitted"
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!producer.is_finished(), "submit must block at max_pending");
+        let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
+        assert_eq!(g.len(), 2);
+        assert_eq!(producer.join().unwrap(), "submitted");
+        assert_eq!(q.pending(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! The ingest service: one worker thread owning the engine, many clients.
+//!
+//! [`Service::start`] moves a registry-built engine (any strategy, durable
+//! or in-memory) behind a shared mutex and spawns the worker. The worker
+//! drains the [`IngestQueue`] group by group:
+//!
+//! * a **fact group** goes through the [`Coalescer`]: per-request oracle
+//!   decisions plus a net batch, committed via one
+//!   [`MaintenanceEngine::apply_all`] — for a durable engine that is one
+//!   WAL transaction and one fsync for the whole group (**group commit**);
+//! * a **rule barrier** is pre-checked against stream arities and then
+//!   applied directly through the engine (stratification is the engine's
+//!   judgment);
+//! * a **flush barrier** simply acknowledges once everything before it has
+//!   been decided.
+//!
+//! Readers ([`Service::with_engine`], the TCP front-end's `query`/`stats`)
+//! lock the same mutex briefly between group commits; the worker is the
+//! only writer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use strata_core::engine::normalize;
+use strata_core::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
+
+use crate::coalesce::{Coalescer, Decision};
+use crate::queue::{Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
+use crate::IngestConfig;
+
+/// Monotonic counters the worker maintains; snapshot via [`Service::stats`].
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    /// Groups drained (fact groups and barriers alike) — the `group`
+    /// ordinal delivered in [`Outcome::Accepted`].
+    groups: AtomicU64,
+    /// `apply_all` transactions actually issued (fact groups whose net
+    /// batch was non-empty, plus rule barriers).
+    commits: AtomicU64,
+    /// Net updates carried by those transactions.
+    committed_updates: AtomicU64,
+    /// Accepted updates that coalesced away before reaching the engine.
+    coalesced: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// A point-in-time view of the service, for dashboards and the `stats`
+/// protocol verb.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests submitted (updates only; flushes are counted separately).
+    pub submitted: u64,
+    /// Requests accepted (applied or coalesced away).
+    pub accepted: u64,
+    /// Requests rejected.
+    pub rejected: u64,
+    /// Groups drained from the queue.
+    pub groups: u64,
+    /// Engine transactions issued (`apply_all` calls + rule applies).
+    pub commits: u64,
+    /// Net updates those transactions carried.
+    pub committed_updates: u64,
+    /// Accepted updates that never reached the engine (coalesced).
+    pub coalesced: u64,
+    /// Flush barriers acknowledged.
+    pub flushes: u64,
+    /// Requests pending in the queue right now.
+    pub pending: usize,
+    /// Facts in the maintained model right now.
+    pub model_facts: usize,
+    /// Durability counters, when the engine is storage-backed. Under group
+    /// commit `durability.wal_txns` grows with `commits`, not `accepted` —
+    /// the whole point.
+    pub durability: Option<DurabilityStats>,
+}
+
+/// The concurrent ingest service around one maintained database.
+pub struct Service {
+    queue: Arc<IngestQueue>,
+    engine: Arc<Mutex<EngineBox>>,
+    counters: Arc<Counters>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the service over `engine` and spawns the worker thread.
+    pub fn start(engine: EngineBox, cfg: IngestConfig) -> Service {
+        let queue = Arc::new(IngestQueue::new(cfg));
+        let engine = Arc::new(Mutex::new(engine));
+        let counters = Arc::new(Counters::default());
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let engine = Arc::clone(&engine);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("strata-ingest".into())
+                .spawn(move || worker_loop(&queue, &engine, &counters))
+                .expect("spawn ingest worker")
+        };
+        Service { queue, engine, counters, worker: Some(worker) }
+    }
+
+    /// Submits one update; returns immediately (blocking only on
+    /// backpressure) with the completion handle.
+    pub fn submit(&self, update: Update) -> SubmitHandle {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue.submit(update)
+    }
+
+    /// Submits and waits for the decision — the synchronous convenience.
+    pub fn apply(&self, update: Update) -> Outcome {
+        self.submit(update).wait()
+    }
+
+    /// Blocks until every request submitted before this call has been
+    /// decided (and, for a durable engine, fsynced).
+    pub fn flush(&self) {
+        self.queue.submit_flush().wait();
+    }
+
+    /// Runs `f` against the engine between group commits. Readers see a
+    /// committed state; writers must go through [`Service::submit`].
+    pub fn with_engine<R>(&self, f: impl FnOnce(&dyn MaintenanceEngine) -> R) -> R {
+        let engine = self.engine.lock().expect("engine poisoned");
+        f(engine.as_ref())
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let (model_facts, durability) = self.with_engine(|e| (e.model().len(), e.durability()));
+        ServiceStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            groups: self.counters.groups.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            committed_updates: self.counters.committed_updates.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+            pending: self.queue.pending(),
+            model_facts,
+            durability,
+        }
+    }
+
+    /// The queue's configured watermarks.
+    pub fn config(&self) -> IngestConfig {
+        *self.queue.config()
+    }
+
+    /// Drains outstanding requests, stops the worker, and hands the engine
+    /// back (e.g. to close a durable store cleanly).
+    pub fn shutdown(mut self) -> EngineBox {
+        self.queue.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        let engine = Arc::try_unwrap(std::mem::replace(
+            &mut self.engine,
+            Arc::new(Mutex::new(null_engine())),
+        ))
+        .unwrap_or_else(|_| panic!("engine still shared after worker join"));
+        engine.into_inner().expect("engine poisoned")
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.queue.close();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Placeholder swapped into a [`Service`] being shut down so the real
+/// engine can be moved out. Never runs: `shutdown` consumes the service.
+fn null_engine() -> EngineBox {
+    struct Null(strata_datalog::Program, strata_datalog::Database);
+    impl MaintenanceEngine for Null {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn program(&self) -> &strata_datalog::Program {
+            &self.0
+        }
+        fn model(&self) -> &strata_datalog::Database {
+            &self.1
+        }
+        fn support_bytes(&self) -> usize {
+            0
+        }
+        fn apply(&mut self, _: &Update) -> Result<strata_core::UpdateStats, MaintenanceError> {
+            Err(MaintenanceError::Storage("service is shut down".into()))
+        }
+    }
+    Box::new(Null(strata_datalog::Program::new(), strata_datalog::Database::new()))
+}
+
+/// The worker: drain, decide, group-commit, fulfill. Exits when the queue
+/// is closed and empty.
+fn worker_loop(queue: &IngestQueue, engine: &Mutex<EngineBox>, counters: &Counters) {
+    // If the worker dies early — a poisoned engine mutex is the realistic
+    // case — producers must not hang forever on their completion handles:
+    // close the queue and drop everything still pending on the way out
+    // (dropping an undecided request rejects its handle, and the
+    // in-flight group's requests unwind the same way). On a normal exit
+    // the queue is already closed and drained, so the guard is a no-op.
+    struct Bailout<'a>(&'a IngestQueue);
+    impl Drop for Bailout<'_> {
+        fn drop(&mut self) {
+            self.0.close();
+            drop(self.0.drain_all());
+        }
+    }
+    let _bailout = Bailout(queue);
+    let mut coalescer = Coalescer::new();
+    while let Some(group) = queue.next_group() {
+        let ordinal = counters.groups.fetch_add(1, Ordering::Relaxed) + 1;
+        match group {
+            Group::Facts(requests) => {
+                commit_fact_group(&requests, ordinal, engine, &mut coalescer, counters);
+            }
+            Group::Barrier(request) => match &request.op {
+                Op::Flush => {
+                    counters.flushes.fetch_add(1, Ordering::Relaxed);
+                    request.handle.fulfill(Outcome::Accepted { group: ordinal });
+                }
+                Op::Update(update) => {
+                    commit_rule_barrier(
+                        &request,
+                        update,
+                        ordinal,
+                        engine,
+                        &mut coalescer,
+                        counters,
+                    );
+                }
+            },
+        }
+    }
+}
+
+fn commit_fact_group(
+    requests: &[Request],
+    ordinal: u64,
+    engine: &Mutex<EngineBox>,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+) {
+    let updates = requests.iter().map(|r| match &r.op {
+        Op::Update(u) => u,
+        Op::Flush => unreachable!("flushes are barriers, never grouped"),
+    });
+    let mut engine = engine.lock().expect("engine poisoned");
+    let plan = coalescer.plan_group(engine.program(), updates);
+    let result =
+        if plan.batch.is_empty() { Ok(()) } else { engine.apply_all(&plan.batch).map(|_| ()) };
+    drop(engine); // decisions are delivered outside the engine lock
+    match result {
+        Ok(()) => {
+            if !plan.batch.is_empty() {
+                counters.commits.fetch_add(1, Ordering::Relaxed);
+                counters.committed_updates.fetch_add(plan.batch.len() as u64, Ordering::Relaxed);
+            }
+            counters.coalesced.fetch_add(plan.coalesced as u64, Ordering::Relaxed);
+            for (request, decision) in requests.iter().zip(&plan.decisions) {
+                match decision {
+                    Decision::Accepted => {
+                        counters.accepted.fetch_add(1, Ordering::Relaxed);
+                        request.handle.fulfill(Outcome::Accepted { group: ordinal });
+                    }
+                    Decision::Rejected(e) => {
+                        counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        request.handle.fulfill(Outcome::Rejected(e.clone()));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            // The coalescer guarantees the net batch is valid, so this is
+            // a storage-level failure: the engine rolled the group back,
+            // and every request in it — including the ones the oracle
+            // would have accepted — is reported rejected with the cause.
+            // The oracle history this group would have created never
+            // happened, so its first-time arity recordings unwind too.
+            coalescer.forget_relations(&plan.new_relations);
+            counters.rejected.fetch_add(requests.len() as u64, Ordering::Relaxed);
+            for request in requests {
+                request.handle.fulfill(Outcome::Rejected(MaintenanceError::Storage(format!(
+                    "group commit failed, group rolled back: {e}"
+                ))));
+            }
+        }
+    }
+}
+
+fn commit_rule_barrier(
+    request: &Request,
+    update: &Update,
+    ordinal: u64,
+    engine: &Mutex<EngineBox>,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+) {
+    let mut engine = engine.lock().expect("engine poisoned");
+    // Pre-check insertions against stream-recorded arities the engine may
+    // not know (facts that coalesced away); deletions have no arity
+    // effects and go straight through.
+    let precheck = match normalize(update) {
+        Update::InsertRule(rule) => coalescer.precheck_rule(engine.program(), &rule),
+        _ => Ok(()),
+    };
+    let outcome = match precheck.and_then(|()| engine.apply(update).map(|_| ())) {
+        Ok(()) => {
+            counters.accepted.fetch_add(1, Ordering::Relaxed);
+            counters.commits.fetch_add(1, Ordering::Relaxed);
+            counters.committed_updates.fetch_add(1, Ordering::Relaxed);
+            Outcome::Accepted { group: ordinal }
+        }
+        Err(e) => {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Outcome::Rejected(e)
+        }
+    };
+    drop(engine);
+    request.handle.fulfill(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use strata_core::registry::EngineRegistry;
+    use strata_datalog::{Fact, Program, Rule};
+
+    fn ins(s: &str) -> Update {
+        Update::InsertFact(Fact::parse(s).unwrap())
+    }
+
+    fn del(s: &str) -> Update {
+        Update::DeleteFact(Fact::parse(s).unwrap())
+    }
+
+    fn pods_service(cfg: IngestConfig) -> Service {
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        let engine = EngineRegistry::standard().build("cascade", program).unwrap();
+        Service::start(engine, cfg)
+    }
+
+    #[test]
+    fn accepts_and_rejects_like_the_oracle() {
+        let service = pods_service(IngestConfig::default());
+        assert!(service.apply(ins("accepted(1)")).is_accepted());
+        let Outcome::Rejected(e) = service.apply(del("ghost(1)")) else {
+            panic!("unasserted delete must reject")
+        };
+        assert!(matches!(e, MaintenanceError::NotAsserted(_)));
+        service.flush();
+        assert!(service.with_engine(|e| !e.model().contains_parsed("rejected(1)")));
+        let stats = service.stats();
+        assert_eq!((stats.accepted, stats.rejected), (1, 1));
+        assert_eq!(stats.flushes, 1);
+    }
+
+    #[test]
+    fn rule_updates_apply_through_the_engine() {
+        let service = pods_service(IngestConfig::default());
+        let rule = Rule::parse("flagged(X) :- rejected(X).").unwrap();
+        assert!(service.apply(Update::InsertRule(rule)).is_accepted());
+        assert!(service.with_engine(|e| e.model().contains_parsed("flagged(1)")));
+        // Recursion through negation is the engine's rejection.
+        let bad = Rule::parse("accepted(X) :- submitted(X), !rejected(X).").unwrap();
+        let Outcome::Rejected(e) = service.apply(Update::InsertRule(bad)) else {
+            panic!("unstratifiable rule must reject")
+        };
+        assert!(matches!(e, MaintenanceError::WouldUnstratify(_)), "{e}");
+    }
+
+    #[test]
+    fn a_full_group_commits_as_one_transaction() {
+        let service = pods_service(IngestConfig {
+            max_group: 8,
+            max_delay: Duration::from_millis(500),
+            max_pending: 64,
+        });
+        let handles: Vec<_> =
+            (10..18).map(|i| service.submit(ins(&format!("submitted({i})")))).collect();
+        for h in &handles {
+            assert!(h.wait().is_accepted());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.commits, 1, "8 inserts, one watermark-cut group, one apply_all");
+        assert_eq!(stats.committed_updates, 8);
+        let engine = service.shutdown();
+        assert!(engine.model().contains_parsed("rejected(17)"));
+    }
+
+    #[test]
+    fn coalescing_is_visible_in_stats() {
+        let service = pods_service(IngestConfig {
+            max_group: 4,
+            max_delay: Duration::from_millis(500),
+            max_pending: 64,
+        });
+        let hs = [
+            service.submit(ins("accepted(1)")),
+            service.submit(del("accepted(1)")),
+            service.submit(ins("submitted(2)")), // duplicate of a seed fact
+            service.submit(ins("submitted(9)")),
+        ];
+        for h in &hs {
+            assert!(h.wait().is_accepted());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.coalesced, 3, "insert/delete pair + duplicate");
+        assert_eq!(stats.committed_updates, 1, "only submitted(9) reached the engine");
+    }
+
+    #[test]
+    fn worker_death_rejects_pending_instead_of_hanging() {
+        let service = pods_service(IngestConfig::default());
+        // Poison the shared engine mutex: the realistic worker-death cause.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service.with_engine(|_| panic!("deliberate engine poisoning"));
+        }));
+        assert!(poison.is_err());
+        // The worker dies on its next group; every handle must resolve
+        // with a rejection rather than blocking its producer forever.
+        let h = service.submit(ins("submitted(9)"));
+        assert!(matches!(h.wait(), Outcome::Rejected(MaintenanceError::Storage(_))));
+        // The bailout closed the queue: later submits reject immediately.
+        assert!(matches!(
+            service.apply(ins("submitted(10)")),
+            Outcome::Rejected(MaintenanceError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn shutdown_returns_the_engine_and_later_submits_reject() {
+        let service = pods_service(IngestConfig::default());
+        service.apply(ins("submitted(5)"));
+        let stats_before = service.stats();
+        assert_eq!(stats_before.model_facts, 4 + 2 /* rejected(1), rejected(5) */);
+        let engine = service.shutdown();
+        assert_eq!(engine.name(), "cascade");
+        assert!(engine.model().contains_parsed("rejected(5)"));
+    }
+}

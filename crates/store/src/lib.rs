@@ -291,6 +291,14 @@ impl Store {
         self.wal.len_bytes()
     }
 
+    /// Terminated transactions currently in the WAL (committed + aborted,
+    /// replayed ones included). The group-commit observable: one
+    /// `begin`/`commit` covering a whole coalesced group counts once, no
+    /// matter how many updates the group carried.
+    pub fn wal_txns(&self) -> u64 {
+        self.wal.txn_count()
+    }
+
     /// The sequence number the snapshot covers (0 = no snapshot yet).
     pub fn snapshot_seq(&self) -> u64 {
         self.snapshot_seq
@@ -324,14 +332,17 @@ mod tests {
         let dir = tmpdir("reopen");
         {
             let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            assert_eq!(store.wal_txns(), 0);
             let seq = store.begin(&[b"u1".to_vec(), b"u2".to_vec()], 0);
             store.commit(seq).unwrap();
             let seq = store.begin(&[b"rejected".to_vec()], 0);
             store.abort(seq).unwrap();
+            assert_eq!(store.wal_txns(), 2, "one txn per terminator, not per record");
         }
-        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
         assert_eq!(rec.committed.len(), 1, "aborted txn not replayed");
         assert_eq!(rec.committed[0].records, vec![b"u1".to_vec(), b"u2".to_vec()]);
+        assert_eq!(store.wal_txns(), 2, "replayed terminated txns are counted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -83,6 +83,11 @@ pub struct Wal {
     /// Bytes appended since the last terminator, so an abandoned
     /// transaction (e.g. an I/O error mid-append) never counts as length.
     pending: Vec<u8>,
+    /// Terminated transactions currently in the file (replayed ones plus
+    /// those committed/aborted since open; reset by [`Wal::truncate_all`]).
+    /// The group-commit observable: a service that coalesces `k` updates
+    /// into one transaction grows this by 1, not `k`.
+    txns: u64,
     /// Set when a flush failed partway: the file may hold a partial frame
     /// at an unknown offset, so any further append could interleave with
     /// the garbage and corrupt *later* transactions. A poisoned log only
@@ -117,6 +122,7 @@ impl Wal {
             len: replay.valid_len,
             durability,
             pending: Vec::new(),
+            txns: replay.txns.len() as u64,
             poisoned: false,
         };
         Ok((wal, replay))
@@ -217,13 +223,17 @@ impl Wal {
     /// (per the [`Durability`] policy) when this returns.
     pub fn commit(&mut self, seq: u64) -> std::io::Result<()> {
         self.push_record(TAG_COMMIT, &seq.to_le_bytes());
-        self.flush_pending()
+        self.flush_pending()?;
+        self.txns += 1;
+        Ok(())
     }
 
     /// Terminates the open transaction as rejected.
     pub fn abort(&mut self, seq: u64) -> std::io::Result<()> {
         self.push_record(TAG_ABORT, &seq.to_le_bytes());
-        self.flush_pending()
+        self.flush_pending()?;
+        self.txns += 1;
+        Ok(())
     }
 
     fn flush_pending(&mut self) -> std::io::Result<()> {
@@ -275,6 +285,7 @@ impl Wal {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.len = 0;
+        self.txns = 0;
         // Emptying the file discards any partial garbage a failed flush
         // left behind, so the log is clean again.
         self.poisoned = false;
@@ -284,6 +295,11 @@ impl Wal {
     /// Bytes of terminated transactions currently in the file.
     pub fn len_bytes(&self) -> u64 {
         self.len
+    }
+
+    /// Terminated transactions currently in the file.
+    pub fn txn_count(&self) -> u64 {
+        self.txns
     }
 
     /// The log file path.

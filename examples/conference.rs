@@ -8,11 +8,11 @@
 use stratamaint::core::strategy::{
     CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, StaticEngine,
 };
-use stratamaint::core::{MaintenanceEngine, Update};
+use stratamaint::core::{EngineBox, MaintenanceEngine, Update};
 use stratamaint::datalog::Fact;
 use stratamaint::workload::paper;
 
-fn engines_for(program: &stratamaint::datalog::Program) -> Vec<Box<dyn MaintenanceEngine>> {
+fn engines_for(program: &stratamaint::datalog::Program) -> Vec<EngineBox> {
     vec![
         Box::new(StaticEngine::new(program.clone()).unwrap()),
         Box::new(DynamicSingleEngine::new(program.clone()).unwrap()),

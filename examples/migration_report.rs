@@ -6,7 +6,7 @@
 //! ```
 
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{MaintenanceEngine, UpdateStats};
+use stratamaint::core::{EngineBox, MaintenanceEngine, UpdateStats};
 use stratamaint::datalog::Program;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth;
@@ -37,7 +37,7 @@ fn main() {
         // Fact-level supports are excluded as in E7 (their bookkeeping
         // dominates the table); everything else comes from the registry.
         let registry = EngineRegistry::standard();
-        let mut engines: Vec<Box<dyn MaintenanceEngine>> = registry
+        let mut engines: Vec<EngineBox> = registry
             .entries()
             .filter(|e| e.name != "fact-level")
             .map(|e| registry.build(e.name, program.clone()).unwrap())

@@ -27,17 +27,26 @@
 //!                     (recovers the stored state if the path already holds one)
 //! :save <path>        export the current program as text
 //! :compact            snapshot the durable store and empty its WAL
+//! :serve <addr>       start a TCP ingest server over the current program
+//! :connect <addr>     turn the shell into a client of a running server
+//! :disconnect         leave remote mode
+//! :flush              wait until everything submitted so far is decided
 //! :help               this text
 //! :quit               exit
 //! ```
 
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
 use stratamaint::core::constraints::{Constraint, GuardedEngine};
 use stratamaint::core::explain::Explainer;
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{MaintenanceEngine, Parallelism, StorageConfig, Update, UpdateStats};
+use stratamaint::core::{
+    EngineBox, MaintenanceEngine, Parallelism, StorageConfig, Update, UpdateStats,
+};
 use stratamaint::datalog::{Fact, Program, Query, Rule};
+use stratamaint::service::net::{Client, QueryReply, ServerHandle};
+use stratamaint::service::{net, IngestConfig, Service};
 
 /// A parsed REPL command.
 #[derive(Clone, Debug)]
@@ -57,6 +66,10 @@ enum Command {
     Open(String),
     Save(String),
     Compact,
+    Serve(String),
+    Connect(String),
+    Disconnect,
+    Flush,
     Help,
     Quit,
     Nothing,
@@ -118,6 +131,24 @@ fn parse_command(line: &str) -> Result<Command, String> {
             }
         }
         ":compact" => Ok(Command::Compact),
+        ":serve" => {
+            let addr = line[6..].trim();
+            if addr.is_empty() {
+                Err("usage: :serve <addr>  (e.g. :serve 127.0.0.1:7171)".into())
+            } else {
+                Ok(Command::Serve(addr.to_string()))
+            }
+        }
+        ":connect" => {
+            let addr = line[8..].trim();
+            if addr.is_empty() {
+                Err("usage: :connect <addr>".into())
+            } else {
+                Ok(Command::Connect(addr.to_string()))
+            }
+        }
+        ":disconnect" => Ok(Command::Disconnect),
+        ":flush" => Ok(Command::Flush),
         ":help" => Ok(Command::Help),
         ":quit" | ":q" | ":exit" => Ok(Command::Quit),
         other if other.starts_with(':') => Err(format!("unknown command `{other}` (try :help)")),
@@ -145,7 +176,7 @@ struct Repl {
     /// The one name → constructor mapping; `:strategy` and `:open` go
     /// through here.
     registry: EngineRegistry,
-    engine: GuardedEngine<Box<dyn MaintenanceEngine>>,
+    engine: GuardedEngine<EngineBox>,
     /// Directory of the durable store, once `:open` has been issued.
     /// `:strategy` reopens the store under the new engine when set.
     durable_path: Option<String>,
@@ -153,6 +184,11 @@ struct Repl {
     /// engine switch so the session setting is sticky.
     threads: Option<Parallelism>,
     last_stats: Option<UpdateStats>,
+    /// Ingest servers started with `:serve`, kept alive for the session.
+    servers: Vec<(Arc<Service>, ServerHandle)>,
+    /// When `Some`, the shell is a client of a remote server: updates,
+    /// queries, `:stats`, and `:flush` travel over the wire.
+    remote: Option<Client>,
 }
 
 impl Repl {
@@ -165,16 +201,14 @@ impl Repl {
             durable_path: None,
             threads: None,
             last_stats: None,
+            servers: Vec::new(),
+            remote: None,
         })
     }
 
     /// Builds the current (or a new) strategy over `program` under the
     /// session's storage config: durable when a store is open.
-    fn build_engine(
-        &self,
-        name: &str,
-        program: Program,
-    ) -> Result<Box<dyn MaintenanceEngine>, String> {
+    fn build_engine(&self, name: &str, program: Program) -> Result<EngineBox, String> {
         let storage = match &self.durable_path {
             Some(path) => StorageConfig::Wal(path.into()),
             None => StorageConfig::Mem,
@@ -185,6 +219,9 @@ impl Repl {
     /// Executes one command, writing human-readable output. Returns `false`
     /// when the session should end.
     fn execute(&mut self, cmd: Command, out: &mut impl Write) -> io::Result<bool> {
+        if self.remote.is_some() {
+            return self.execute_remote(cmd, out);
+        }
         match cmd {
             Command::Nothing => {}
             Command::Quit => return Ok(false),
@@ -207,6 +244,21 @@ impl Repl {
                 )?
                     }
                     None => writeln!(out, "  no update applied yet")?,
+                }
+                // A durable session's history does not start at :open —
+                // surface what recovery replayed so restart metrics are
+                // honest.
+                if let Some(d) = self.engine.inner().durability() {
+                    writeln!(
+                        out,
+                        "  durable: recovered {} txns ({} updates{}) at open, \
+                         wal now {} txns / {} bytes",
+                        d.recovered_txns,
+                        d.recovered_updates,
+                        if d.recovered_torn_tail { ", torn tail truncated" } else { "" },
+                        d.wal_txns,
+                        d.wal_bytes
+                    )?;
                 }
             }
             Command::Query(q) => {
@@ -283,10 +335,19 @@ impl Repl {
                         }
                         self.engine.replace_inner(engine);
                         self.durable_path = Some(path.clone());
+                        let recovered = self
+                            .engine
+                            .inner()
+                            .durability()
+                            .map(|d| (d.recovered_txns, d.recovered_updates))
+                            .unwrap_or_default();
                         writeln!(
                             out,
-                            "  durable at {path} ({} facts in model)",
-                            self.engine.model().len()
+                            "  durable at {path} ({} facts in model, recovered {} txns / {} \
+                             updates from the WAL)",
+                            self.engine.model().len(),
+                            recovered.0,
+                            recovered.1
                         )?;
                     }
                     Err(e) => writeln!(out, "  error: {e}")?,
@@ -306,6 +367,48 @@ impl Repl {
                 Ok(false) => writeln!(out, "  not a durable session (use :open <path> first)")?,
                 Err(e) => writeln!(out, "  error: {e}")?,
             },
+            Command::Serve(addr) => {
+                // An independent in-memory copy of the current program
+                // under the current strategy: the server owns its engine
+                // (drive it with :connect or the strata-serve client).
+                let name = self.engine.inner().name();
+                match self.registry.build(name, self.engine.program().clone()) {
+                    Ok(mut engine) => {
+                        if let Some(par) = self.threads {
+                            engine.set_parallelism(par);
+                        }
+                        let service = Arc::new(Service::start(engine, IngestConfig::default()));
+                        match net::serve(Arc::clone(&service), &addr) {
+                            Ok(handle) => {
+                                writeln!(
+                                    out,
+                                    "  serving {name} on {} (a detached in-memory copy of the \
+                                     current program; :connect {0} to drive it)",
+                                    handle.addr()
+                                )?;
+                                self.servers.push((service, handle));
+                            }
+                            Err(e) => writeln!(out, "  error: cannot bind {addr}: {e}")?,
+                        }
+                    }
+                    Err(e) => writeln!(out, "  error: {e}")?,
+                }
+            }
+            Command::Connect(addr) => match Client::connect(&addr) {
+                Ok(client) => {
+                    self.remote = Some(client);
+                    writeln!(
+                        out,
+                        "  connected to {addr} — updates, queries, :stats and :flush now go \
+                         to the server (:disconnect to return to the local engine)"
+                    )?;
+                }
+                Err(e) => writeln!(out, "  error: cannot connect to {addr}: {e}")?,
+            },
+            Command::Disconnect => writeln!(out, "  not connected")?,
+            Command::Flush => {
+                writeln!(out, "  local updates apply synchronously (use :flush after :connect)")?
+            }
             Command::Insert(u) | Command::Delete(u) => match self.engine.apply(&u) {
                 Ok(stats) => {
                     writeln!(
@@ -320,6 +423,63 @@ impl Repl {
         }
         Ok(true)
     }
+
+    /// Remote mode: the shell is a protocol client. Updates, queries,
+    /// `:stats`, and `:flush` travel over the wire; engine-local commands
+    /// ask for `:disconnect` first. A transport error drops back to local
+    /// mode.
+    fn execute_remote(&mut self, cmd: Command, out: &mut impl Write) -> io::Result<bool> {
+        let client = self.remote.as_mut().expect("remote mode");
+        match cmd {
+            Command::Nothing => {}
+            Command::Quit => return Ok(false),
+            Command::Help => writeln!(out, "{HELP}")?,
+            Command::Disconnect => {
+                self.remote = None;
+                writeln!(out, "  disconnected (back to the local engine)")?;
+            }
+            Command::Insert(u) | Command::Delete(u) => match client.submit(&u) {
+                Ok(Ok(group)) => writeln!(out, "  ok: committed with group {group}")?,
+                Ok(Err(reason)) => writeln!(out, "  rejected: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Query(q) => match client.query(&q.to_string()) {
+                Ok(Ok(QueryReply::Boolean(b))) => writeln!(out, "  {b}")?,
+                Ok(Ok(QueryReply::Rows(rows))) => {
+                    for row in &rows {
+                        writeln!(out, "  {row}")?;
+                    }
+                    writeln!(out, "  ({} answers)", rows.len())?;
+                }
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Stats => match client.stats() {
+                Ok(Ok(line)) => writeln!(out, "  {line}")?,
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Flush => match client.flush() {
+                Ok(Ok(())) => writeln!(out, "  flushed")?,
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Connect(addr) => match Client::connect(&addr) {
+                Ok(client) => {
+                    self.remote = Some(client);
+                    writeln!(out, "  reconnected to {addr}")?;
+                }
+                Err(e) => writeln!(out, "  error: cannot connect to {addr}: {e}")?,
+            },
+            _ => writeln!(out, "  not available while connected (:disconnect first)")?,
+        }
+        Ok(true)
+    }
+
+    fn drop_connection(&mut self, e: io::Error, out: &mut impl Write) -> io::Result<()> {
+        self.remote = None;
+        writeln!(out, "  connection lost: {e} (back to the local engine)")
+    }
 }
 
 const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
@@ -329,6 +489,9 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   :strategies       list engines  :threads <n>    parallel saturation workers
   :open <path>      durable (WAL) :save <path>    text export
   :compact          snapshot + empty WAL
+  :serve <addr>     TCP ingest server over the current program
+  :connect <addr>   become a client of a server   :disconnect  leave
+  :flush            wait for all submitted updates (remote mode)
   :help  :quit";
 
 fn main() -> io::Result<()> {
@@ -619,6 +782,68 @@ mod tests {
         let reloaded = Program::parse(&text).unwrap();
         assert_eq!(reloaded.num_facts(), repl.engine.program().num_facts());
         assert_eq!(reloaded.num_rules(), repl.engine.program().num_rules());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_service_commands() {
+        assert!(
+            matches!(parse_command(":serve 127.0.0.1:0").unwrap(), Command::Serve(a) if a == "127.0.0.1:0")
+        );
+        assert!(
+            matches!(parse_command(":connect 127.0.0.1:7171").unwrap(), Command::Connect(a) if a == "127.0.0.1:7171")
+        );
+        assert!(matches!(parse_command(":disconnect").unwrap(), Command::Disconnect));
+        assert!(matches!(parse_command(":flush").unwrap(), Command::Flush));
+        assert!(parse_command(":serve").is_err());
+        assert!(parse_command(":connect").is_err());
+    }
+
+    #[test]
+    fn session_serve_connect_roundtrip() {
+        let mut repl = pods_repl();
+        let out = run(&mut repl, ":serve 127.0.0.1:0");
+        assert!(out.contains("serving cascade on"), "{out}");
+        let addr = repl.servers[0].1.addr().to_string();
+        let out = run(&mut repl, &format!(":connect {addr}"));
+        assert!(out.contains("connected"), "{out}");
+        // Remote updates and queries hit the server's copy.
+        assert!(run(&mut repl, "? rejected(1)").contains("true"));
+        let out = run(&mut repl, "+ accepted(1)");
+        assert!(out.contains("ok: committed with group"), "{out}");
+        assert!(run(&mut repl, "? rejected(1)").contains("false"));
+        let out = run(&mut repl, "- ghost(1)");
+        assert!(out.contains("rejected:"), "{out}");
+        assert!(run(&mut repl, ":flush").contains("flushed"));
+        let out = run(&mut repl, ":stats");
+        assert!(out.contains("accepted=1") && out.contains("rejected=1"), "{out}");
+        // Engine-local commands are guarded while connected.
+        assert!(run(&mut repl, ":model").contains(":disconnect"));
+        let out = run(&mut repl, ":disconnect");
+        assert!(out.contains("disconnected"), "{out}");
+        // The local engine never saw the remote update.
+        assert!(run(&mut repl, "? rejected(1)").contains("true"));
+    }
+
+    #[test]
+    fn session_stats_surfaces_recovered_wal_txns() {
+        let dir = scratch("stats_recovered");
+        let store = dir.join("db");
+        {
+            let mut repl = pods_repl();
+            run(&mut repl, &format!(":open {}", store.display()));
+            run(&mut repl, "+ accepted(1)");
+            run(&mut repl, "+ submitted(9)");
+        } // simulated exit: two committed txns in the WAL
+        let mut repl = Repl::new(Program::new()).unwrap();
+        let out = run(&mut repl, &format!(":open {}", store.display()));
+        assert!(out.contains("recovered 2 txns / 2 updates"), "{out}");
+        let out = run(&mut repl, ":stats");
+        assert!(out.contains("no update applied yet"), "{out}");
+        assert!(out.contains("recovered 2 txns (2 updates)"), "restart metrics: {out}");
+        run(&mut repl, "+ submitted(11)");
+        let out = run(&mut repl, ":stats");
+        assert!(out.contains("recovered 2 txns") && out.contains("wal now 3 txns"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

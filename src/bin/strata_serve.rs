@@ -1,0 +1,203 @@
+//! `strata-serve` — the standalone ingest server.
+//!
+//! Binds a TCP listener and serves the line protocol of
+//! `strata_service::protocol` (submit / query / flush / stats / quit)
+//! against one maintained stratified database. Many clients share one
+//! coalescing queue, so concurrent submissions group-commit: one engine
+//! transaction — and, with `--store`, one WAL fsync — per group.
+//!
+//! ```text
+//! strata-serve 127.0.0.1:7171 --strategy cascade --store ./db \
+//!              --program seed.strata --group 64 --delay-ms 2 --threads 4
+//! ```
+//!
+//! * `--strategy <name>`   any registered strategy (default `cascade`)
+//! * `--store <dir>`       durable WAL + snapshots (default in-memory)
+//! * `--program <file>`    seed program for a fresh database (an existing
+//!   store's recovered state wins, as with `:open`)
+//! * `--group <n>`         group-size watermark (default 64)
+//! * `--delay-ms <n>`      latency watermark in milliseconds (default 2)
+//! * `--max-pending <n>`   backpressure bound (default 8192)
+//! * `--threads <n>`       worker threads for parallel saturation
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::{MaintenanceEngine, Parallelism, StorageConfig};
+use stratamaint::datalog::Program;
+use stratamaint::service::{net, IngestConfig, Service};
+
+struct Args {
+    addr: String,
+    strategy: String,
+    store: Option<String>,
+    program: Option<String>,
+    cfg: IngestConfig,
+    threads: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        addr: String::new(),
+        strategy: "cascade".into(),
+        store: None,
+        program: None,
+        cfg: IngestConfig::default(),
+        threads: None,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--strategy" => out.strategy = value("--strategy")?,
+            "--store" => out.store = Some(value("--store")?),
+            "--program" => out.program = Some(value("--program")?),
+            "--group" => {
+                out.cfg.max_group =
+                    value("--group")?.parse().map_err(|e| format!("--group: {e}"))?;
+            }
+            "--delay-ms" => {
+                let ms: u64 =
+                    value("--delay-ms")?.parse().map_err(|e| format!("--delay-ms: {e}"))?;
+                out.cfg.max_delay = Duration::from_millis(ms);
+            }
+            "--max-pending" => {
+                out.cfg.max_pending =
+                    value("--max-pending")?.parse().map_err(|e| format!("--max-pending: {e}"))?;
+            }
+            "--threads" => {
+                out.threads =
+                    Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [addr] => out.addr = addr.clone(),
+        _ => {
+            return Err("usage: strata-serve <addr> [--strategy NAME] [--store DIR] \
+                        [--program FILE] [--group N] [--delay-ms N] [--max-pending N] \
+                        [--threads N]"
+                .into())
+        }
+    }
+    if out.cfg.max_group == 0 || out.cfg.max_pending < out.cfg.max_group {
+        return Err("--group must be >= 1 and --max-pending >= --group".into());
+    }
+    Ok(out)
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let program = match &args.program {
+        Some(path) => {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Program::parse(&src).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        None => Program::new(),
+    };
+    let storage = match &args.store {
+        Some(dir) => StorageConfig::Wal(dir.into()),
+        None => StorageConfig::Mem,
+    };
+    let registry = EngineRegistry::standard();
+    let mut engine = registry
+        .build_with_storage(&args.strategy, program, &storage)
+        .map_err(|e| e.to_string())?;
+    if let Some(n) = args.threads {
+        engine.set_parallelism(Parallelism::new(n));
+    }
+    if let Some(d) = engine.durability() {
+        eprintln!(
+            "recovered {} transactions ({} updates) from {}",
+            d.recovered_txns,
+            d.recovered_updates,
+            args.store.as_deref().unwrap_or("?"),
+        );
+    }
+    eprintln!(
+        "serving {} ({} facts) — group <= {}, delay {:?}, storage {}",
+        args.strategy,
+        engine.model().len(),
+        args.cfg.max_group,
+        args.cfg.max_delay,
+        args.store.as_deref().unwrap_or("mem"),
+    );
+    let service = Arc::new(Service::start(engine, args.cfg));
+    let handle = net::serve(Arc::clone(&service), &args.addr).map_err(|e| e.to_string())?;
+    eprintln!("listening on {} (submit | query | flush | stats | quit)", handle.addr());
+    // Serve until killed: the acceptor owns the listener, connections own
+    // their threads, and the park below never returns in normal operation.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(args) => {
+            if let Err(e) = run(args) {
+                eprintln!("strata-serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("strata-serve: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, String> {
+        parse_args(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_the_full_flag_set() {
+        let a = args(&[
+            "127.0.0.1:7171",
+            "--strategy",
+            "cascade-parallel",
+            "--store",
+            "/tmp/db",
+            "--group",
+            "128",
+            "--delay-ms",
+            "5",
+            "--max-pending",
+            "256",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(a.addr, "127.0.0.1:7171");
+        assert_eq!(a.strategy, "cascade-parallel");
+        assert_eq!(a.store.as_deref(), Some("/tmp/db"));
+        assert_eq!(a.cfg.max_group, 128);
+        assert_eq!(a.cfg.max_delay, Duration::from_millis(5));
+        assert_eq!(a.cfg.max_pending, 256);
+        assert_eq!(a.threads, Some(4));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = args(&["0.0.0.0:0"]).unwrap();
+        assert_eq!(a.strategy, "cascade");
+        assert!(a.store.is_none() && a.program.is_none() && a.threads.is_none());
+        assert!(args(&[]).is_err(), "address is required");
+        assert!(args(&["a", "b"]).is_err(), "one address only");
+        assert!(args(&["x", "--group"]).is_err(), "flag needs a value");
+        assert!(args(&["x", "--frob"]).is_err(), "unknown flag");
+        assert!(args(&["x", "--group", "0"]).is_err(), "zero group");
+        assert!(args(&["x", "--group", "10", "--max-pending", "5"]).is_err());
+    }
+}

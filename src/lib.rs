@@ -15,6 +15,9 @@
 //! * [`store`] — the durability substrate: checksummed record frames, the
 //!   append-only write-ahead log, atomic snapshots, and the recovering
 //!   [`store::Store`] that `core`'s `DurableEngine` builds on.
+//! * [`service`] — the concurrent ingest layer: the coalescing update
+//!   queue, the group-commit worker around any registry-built engine, and
+//!   the TCP front-end (`strata-serve`) with its blocking client.
 //! * [`tms`] — the belief revision substrate: Doyle's JTMS, de Kleer's ATMS,
 //!   and their bridges to stratified databases.
 //! * [`workload`] — the paper's worked examples and scalable synthetic
@@ -23,6 +26,7 @@
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 pub use strata_core as core;
 pub use strata_datalog as datalog;
+pub use strata_service as service;
 pub use strata_store as store;
 pub use strata_tms as tms;
 pub use strata_workload as workload;

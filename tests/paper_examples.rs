@@ -8,11 +8,11 @@
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::strategy::{CascadeEngine, DynamicMultiEngine};
 use stratamaint::core::verify::assert_matches_ground_truth;
-use stratamaint::core::{MaintenanceEngine, Update};
+use stratamaint::core::{EngineBox, MaintenanceEngine, Update};
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::workload::paper;
 
-fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+fn engines(program: &Program) -> Vec<EngineBox> {
     EngineRegistry::standard().build_all(program)
 }
 

@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::strategy::{CascadeEngine, RecomputeEngine};
-use stratamaint::core::{MaintenanceEngine, Parallelism, StorageConfig, SupportDump, Update};
+use stratamaint::core::{
+    EngineBox, MaintenanceEngine, Parallelism, StorageConfig, SupportDump, Update,
+};
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::workload::paper;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
@@ -36,11 +38,7 @@ fn script_with_rejections(program: &Program, seed: u64, len: usize) -> Vec<Updat
 }
 
 /// Builds the (sequential, parallel) pair for one strategy family.
-fn pair(
-    family: &str,
-    program: &Program,
-    threads: usize,
-) -> (Box<dyn MaintenanceEngine>, Box<dyn MaintenanceEngine>) {
+fn pair(family: &str, program: &Program, threads: usize) -> (EngineBox, EngineBox) {
     let par = Parallelism::new(threads);
     match family {
         "cascade" => (

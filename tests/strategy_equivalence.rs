@@ -5,14 +5,14 @@
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::strategy::{CascadeConfig, CascadeEngine, FactLevelEngine};
 use stratamaint::core::verify::check_against_ground_truth;
-use stratamaint::core::MaintenanceEngine;
+use stratamaint::core::{EngineBox, MaintenanceEngine};
 use stratamaint::workload::paper;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth::{self, RandomConfig};
 
 /// The six standard strategies plus two configured variants, all built
 /// through the registry (the variants exercise its extension seam).
-fn engines(program: &stratamaint::datalog::Program) -> Vec<Box<dyn MaintenanceEngine>> {
+fn engines(program: &stratamaint::datalog::Program) -> Vec<EngineBox> {
     let mut registry = EngineRegistry::standard();
     registry.register(
         "cascade-literal",

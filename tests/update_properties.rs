@@ -5,13 +5,13 @@
 use proptest::prelude::*;
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::verify::assert_matches_ground_truth;
-use stratamaint::core::{MaintenanceEngine, MaintenanceError, Update};
+use stratamaint::core::{EngineBox, MaintenanceEngine, MaintenanceError, Update};
 use stratamaint::datalog::{Fact, Program, Rule};
 use stratamaint::workload::paper;
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
 use stratamaint::workload::synth::{random_stratified, RandomConfig};
 
-fn engines(program: &Program) -> Vec<Box<dyn MaintenanceEngine>> {
+fn engines(program: &Program) -> Vec<EngineBox> {
     EngineRegistry::standard().build_all(program)
 }
 
