@@ -92,6 +92,40 @@ fn parallel_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
         .collect()
 }
 
+/// `read`: the MVCC read-path headlines — snapshot-over-mutex reads per
+/// second at the largest commit batch, and snapshot flatness (largest
+/// batch over smallest; ~1.0 when snapshot reads are independent of the
+/// in-flight commit size).
+fn read_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let rows = doc.get("read").ok_or("missing `read`")?.items();
+    let cell = |mode: &str, batch: f64| -> Result<f64, String> {
+        rows.iter()
+            .find(|r| {
+                r.get("mode").and_then(Json::as_str) == Some(mode)
+                    && r.get("batch").and_then(Json::as_f64) == Some(batch)
+            })
+            .and_then(|r| r.get("reads_per_sec").and_then(Json::as_f64))
+            .ok_or_else(|| format!("missing reads_per_sec for {mode} at batch {batch}"))
+    };
+    let batches: Vec<f64> =
+        rows.iter().filter_map(|r| r.get("batch").and_then(Json::as_f64)).collect();
+    let largest = batches.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let smallest = batches.iter().copied().fold(f64::INFINITY, f64::min);
+    if !largest.is_finite() || !smallest.is_finite() {
+        return Err("no read rows".into());
+    }
+    Ok(vec![
+        Metric {
+            label: "snapshot/mutex reads at largest batch".into(),
+            value: cell("snapshot", largest)? / cell("mutex", largest)?,
+        },
+        Metric {
+            label: "snapshot flatness largest/smallest batch".into(),
+            value: cell("snapshot", largest)? / cell("snapshot", smallest)?,
+        },
+    ])
+}
+
 /// `service`: coalesced group-commit over per-request ingest throughput.
 fn service_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
     let ingest = doc.get("ingest").ok_or("missing `ingest`")?.items();
@@ -112,7 +146,8 @@ fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
         "store" => store_metrics(doc),
         "parallel" => parallel_metrics(doc),
         "service" => service_metrics(doc),
-        other => Err(format!("unknown kind `{other}` (plan | store | parallel | service)")),
+        "read" => read_metrics(doc),
+        other => Err(format!("unknown kind `{other}` (plan | store | parallel | service | read)")),
     }
 }
 
@@ -142,7 +177,9 @@ fn check(kind: &str, baseline_path: &str, fresh_path: &str) -> Result<bool, Stri
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, baseline, fresh] = args.as_slice() else {
-        eprintln!("usage: bench_check <plan|store|parallel|service> <baseline.json> <fresh.json>");
+        eprintln!(
+            "usage: bench_check <plan|store|parallel|service|read> <baseline.json> <fresh.json>"
+        );
         return ExitCode::from(2);
     };
     match check(kind, baseline, fresh) {
@@ -204,6 +241,22 @@ mod tests {
         assert!((m[0].value - 12.0).abs() < 1e-9);
         assert!(service_metrics(&doc(r#"{"ingest": []}"#)).is_err());
         assert!(service_metrics(&doc(r#"{}"#)).is_err());
+    }
+
+    #[test]
+    fn read_metrics_are_the_snapshot_ratios() {
+        let base = doc(r#"{"read": [
+                {"mode": "mutex", "batch": 4, "reads_per_sec": 30000},
+                {"mode": "snapshot", "batch": 4, "reads_per_sec": 54000},
+                {"mode": "mutex", "batch": 64, "reads_per_sec": 6000},
+                {"mode": "snapshot", "batch": 64, "reads_per_sec": 27000}
+            ]}"#);
+        let m = read_metrics(&base).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!((m[0].value - 4.5).abs() < 1e-9, "snapshot/mutex at batch 64");
+        assert!((m[1].value - 0.5).abs() < 1e-9, "snapshot flatness 4 -> 64");
+        assert!(read_metrics(&doc(r#"{"read": []}"#)).is_err());
+        assert!(read_metrics(&doc(r#"{}"#)).is_err());
     }
 
     #[test]

@@ -80,7 +80,12 @@ fn bench_service(
     let engine = durable_cascade(&dir, program.clone());
     let service = Arc::new(Service::start(
         engine,
-        IngestConfig { max_group: 64, max_delay: Duration::from_millis(2), max_pending: 8192 },
+        IngestConfig {
+            max_group: 64,
+            max_delay: Duration::from_millis(2),
+            max_pending: 8192,
+            ..IngestConfig::default()
+        },
     ));
     let chunk = script.len().div_ceil(clients);
     let t0 = Instant::now();

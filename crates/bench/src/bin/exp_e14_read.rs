@@ -1,0 +1,218 @@
+//! E14 — what the MVCC read path buys: snapshot reads vs mutex reads
+//! under write pressure.
+//!
+//! One writer saturates the ingest service with real transactions — a
+//! sliding window of chain edges under transitive closure, so every
+//! insert derives (and every delete retracts) a window's worth of `reach`
+//! facts and each group commit holds the engine lock for a real stretch
+//! of maintenance work. Meanwhile a reader clocks a cheap query through
+//! the two read paths:
+//!
+//! * **mutex** — `Service::with_engine`, the pre-MVCC path: every read
+//!   acquires the engine mutex and queues behind whatever group commit is
+//!   in flight, so read latency grows with the commit batch size.
+//! * **snapshot** — `Service::snapshot`, the MVCC path: one `Arc` clone
+//!   of the latest published model; it never touches the engine mutex, so
+//!   read latency is independent of the in-flight commit size.
+//!
+//! The headline is the *shape*: as the group-commit watermark grows, the
+//! mutex path degrades and the snapshot path stays flat.
+//!
+//! Results go to `BENCH_read.json`. Usage:
+//! `exp_e14_read [--smoke] [--out PATH]`; `--smoke` runs tiny sizes
+//! (the CI bit-rot guard) and skips the file unless `--out` is given.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strata_bench::banner;
+use strata_core::registry::EngineRegistry;
+use strata_core::{EngineBox, StorageConfig, Update};
+use strata_datalog::{Fact, Program, Query};
+use strata_service::{IngestConfig, Service};
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_e14_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The production configuration: durable cascade, fsync on commit.
+/// Transitive closure makes each edge update do a window's worth of
+/// derivation work inside the lock.
+fn durable_cascade(dir: &std::path::Path) -> EngineBox {
+    let program = Program::parse(
+        "reach(X, Y) :- edge(X, Y).
+         reach(X, Z) :- edge(X, Y), reach(Y, Z).",
+    )
+    .unwrap();
+    EngineRegistry::standard()
+        .build_with_storage("cascade", program, &StorageConfig::Wal(dir.to_path_buf()))
+        .expect("open durable cascade")
+}
+
+fn edge(i: usize) -> Fact {
+    Fact::parse(&format!("edge({i}, {})", i + 1)).unwrap()
+}
+
+struct ReadRow {
+    mode: &'static str,
+    batch: usize,
+    reads: usize,
+    reads_per_sec: f64,
+    mean_us: f64,
+    p95_us: f64,
+}
+
+/// Measures one (read path, group-commit watermark) cell: a writer keeps
+/// the service saturated while the reader clocks queries for `measure`.
+fn bench_reads(mode: &'static str, batch: usize, window: usize, measure: Duration) -> ReadRow {
+    // The window must span more than a group (2 updates per iteration), or
+    // an edge's insert and delete could meet in one group and coalesce
+    // away instead of doing engine work.
+    assert!(2 * window > batch, "window too small for batch {batch}");
+    let dir = scratch(&format!("{mode}_{batch}"));
+    let service = Arc::new(Service::start(
+        durable_cascade(&dir),
+        IngestConfig {
+            max_group: batch,
+            max_delay: Duration::from_millis(2),
+            // Enough backlog to always cut full groups, small enough that
+            // the teardown drain stays a couple of groups deep.
+            max_pending: (2 * batch).max(32),
+            ..IngestConfig::default()
+        },
+    ));
+    // Pre-fill the sliding window so the maintained closure is at steady
+    // state from the first read.
+    for i in 0..window {
+        drop(service.submit(Update::InsertFact(edge(i))));
+    }
+    service.flush();
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Backpressure (`max_pending`) bounds the backlog; never
+            // waiting on individual handles keeps the queue non-empty, so
+            // the worker commits back to back and the engine lock is held
+            // for real, saturating stretches.
+            let mut i = window;
+            while !stop.load(Ordering::Relaxed) {
+                drop(service.submit(Update::InsertFact(edge(i))));
+                drop(service.submit(Update::DeleteFact(edge(i - window))));
+                i += 1;
+            }
+        })
+    };
+    // Let the writer saturate, then clock reads. The query itself is cheap
+    // — a scan of the `edge` window — so read latency is dominated by the
+    // path, not the evaluation.
+    std::thread::sleep(Duration::from_millis(50));
+    let query = Query::parse("edge(X, Y)").unwrap();
+    let mut latencies_us = Vec::new();
+    let t0 = Instant::now();
+    while t0.elapsed() < measure {
+        let t = Instant::now();
+        let n = match mode {
+            "mutex" => service.with_engine(|e| query.count(e.model())),
+            "snapshot" => query.count(&service.snapshot().model),
+            _ => unreachable!(),
+        };
+        latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        assert!(n > 0, "the window must stay populated");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    service.flush();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+    let reads = latencies_us.len();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let mean_us = latencies_us.iter().sum::<f64>() / reads as f64;
+    let p95_us = latencies_us[((reads * 95) / 100).min(reads - 1)];
+    ReadRow { mode, batch, reads, reads_per_sec: reads as f64 / elapsed, mean_us, p95_us }
+}
+
+fn write_json(path: &str, rows: &[ReadRow]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e14_read\",\n");
+    out.push_str(
+        "  \"description\": \"reader latency vs group-commit size: engine-mutex reads queue \
+         behind in-flight commits, MVCC snapshot reads stay flat (durable cascade, one \
+         saturating writer, sliding-window transitive closure)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"read\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"batch\": {}, \"reads\": {}, \"reads_per_sec\": {:.0}, \
+             \"mean_us\": {:.1}, \"p95_us\": {:.1}}}{}\n",
+            r.mode,
+            r.batch,
+            r.reads,
+            r.reads_per_sec,
+            r.mean_us,
+            r.p95_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E14", "read path under write pressure: engine mutex vs MVCC snapshot");
+    let (window, measure, batches): (usize, Duration, Vec<usize>) = if smoke {
+        (100, Duration::from_millis(300), vec![4, 64])
+    } else {
+        (200, Duration::from_millis(1500), vec![1, 16, 64, 256])
+    };
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>6} {:>8} {:>12} {:>10} {:>10}",
+        "mode", "batch", "reads", "reads/sec", "mean us", "p95 us"
+    );
+    for &batch in &batches {
+        for mode in ["mutex", "snapshot"] {
+            let r = bench_reads(mode, batch, window, measure);
+            println!(
+                "{:<10} {:>6} {:>8} {:>12.0} {:>10.1} {:>10.1}",
+                r.mode, r.batch, r.reads, r.reads_per_sec, r.mean_us, r.p95_us
+            );
+            rows.push(r);
+        }
+    }
+    let rps = |mode: &str, batch: usize| {
+        rows.iter().find(|r| r.mode == mode && r.batch == batch).map_or(0.0, |r| r.reads_per_sec)
+    };
+    let largest = *batches.last().unwrap();
+    let smallest = batches[0];
+    println!(
+        "\nat batch {largest}: snapshot reads are {:.1}x mutex reads",
+        rps("snapshot", largest) / rps("mutex", largest)
+    );
+    println!(
+        "snapshot flatness across batch {smallest} -> {largest}: {:.2}x",
+        rps("snapshot", largest) / rps("snapshot", smallest)
+    );
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &rows),
+        (false, None) => write_json("BENCH_read.json", &rows),
+        (true, None) => println!("\n--smoke: skipping BENCH_read.json"),
+    }
+}

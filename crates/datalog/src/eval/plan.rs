@@ -29,7 +29,7 @@
 use crate::atom::{Atom, Fact};
 use crate::program::RuleId;
 use crate::rule::Rule;
-use crate::storage::{Database, Relation};
+use crate::storage::{RelSource, Relation};
 use crate::symbol::Symbol;
 use crate::term::{Term, Value};
 
@@ -317,14 +317,19 @@ impl CompiledPlan {
     /// compiled with one). `seed` pre-binds variables (unknown variables are
     /// inert, as in the interpreted matcher). Return `false` from `f` to
     /// stop early.
-    pub fn for_each_head<F>(
+    ///
+    /// Generic over [`RelSource`] so the same plan runs against the live
+    /// [`crate::storage::Database`] and against an immutable
+    /// [`crate::storage::ModelSnapshot`] (the MVCC read path).
+    pub fn for_each_head<S, F>(
         &self,
-        db: &Database,
+        db: &S,
         delta: Option<&Relation>,
         seed: &[(Symbol, Value)],
         scratch: &mut MatchScratch,
         mut f: F,
     ) where
+        S: RelSource + ?Sized,
         F: FnMut(Fact) -> bool,
     {
         self.run(db, delta, seed, scratch, false, &mut |head, _, _| f(head));
@@ -334,28 +339,30 @@ impl CompiledPlan {
     /// ground positive body in evaluation order and the ground negative
     /// body in body order — the contract of
     /// [`super::matcher::for_each_match_seeded`].
-    pub fn for_each_derivation<F>(
+    pub fn for_each_derivation<S, F>(
         &self,
-        db: &Database,
+        db: &S,
         delta: Option<&Relation>,
         seed: &[(Symbol, Value)],
         scratch: &mut MatchScratch,
         mut f: F,
     ) where
+        S: RelSource + ?Sized,
         F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
     {
         self.run(db, delta, seed, scratch, true, &mut f);
     }
 
-    fn run<F>(
+    fn run<S, F>(
         &self,
-        db: &Database,
+        db: &S,
         delta: Option<&Relation>,
         seed: &[(Symbol, Value)],
         scratch: &mut MatchScratch,
         collect_bodies: bool,
         f: &mut F,
     ) where
+        S: RelSource + ?Sized,
         F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
     {
         debug_assert_eq!(
@@ -378,9 +385,9 @@ impl CompiledPlan {
     /// Executes ops from `oi` on; `depth` counts scans entered so far.
     /// Returns `false` when the callback requested an early stop.
     #[allow(clippy::too_many_arguments)]
-    fn step<F>(
+    fn step<S, F>(
         &self,
-        db: &Database,
+        db: &S,
         delta: Option<&Relation>,
         oi: usize,
         depth: usize,
@@ -389,6 +396,7 @@ impl CompiledPlan {
         f: &mut F,
     ) -> bool
     where
+        S: RelSource + ?Sized,
         F: FnMut(Fact, &[Fact], &[Fact]) -> bool,
     {
         let Some(op) = self.ops.get(oi) else {
@@ -648,7 +656,7 @@ pub fn compile_rules(rules: impl IntoIterator<Item = (RuleId, Rule)>) -> Vec<Com
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::storage::parse_facts;
+    use crate::storage::{parse_facts, Database};
 
     fn db(src: &str) -> Database {
         Database::from_facts(parse_facts(src))

@@ -63,6 +63,6 @@ pub use program::{Program, RuleId};
 pub use query::Query;
 pub use relset::RelSet;
 pub use rule::Rule;
-pub use storage::{Database, Relation, TupleStore};
+pub use storage::{Database, ModelSnapshot, RelSource, RelStamp, Relation, TupleStore};
 pub use symbol::Symbol;
 pub use term::{Term, Value};

@@ -18,7 +18,7 @@ use crate::error::{DatalogError, SafetyError};
 use crate::eval::plan::{CompiledPlan, MatchScratch};
 use crate::literal::Literal;
 use crate::rule::Rule;
-use crate::storage::Database;
+use crate::storage::RelSource;
 use crate::symbol::Symbol;
 use crate::term::{Term, Value};
 
@@ -76,16 +76,21 @@ impl Query {
 
     /// Evaluates over `db`, invoking `f` per answer; return `false` from
     /// `f` to stop early.
-    pub fn for_each(&self, db: &Database, f: impl FnMut(&[Value]) -> bool) {
+    ///
+    /// Generic over [`RelSource`]: `db` may be the live
+    /// [`crate::storage::Database`] or an
+    /// immutable [`crate::storage::ModelSnapshot`] — the MVCC read path
+    /// evaluates queries against published snapshots with no engine access.
+    pub fn for_each<S: RelSource + ?Sized>(&self, db: &S, f: impl FnMut(&[Value]) -> bool) {
         self.for_each_with(db, &mut MatchScratch::new(), f);
     }
 
     /// [`Query::for_each`] with caller-owned scratch buffers — repeated
     /// evaluation of the same (or any) query through one `scratch` keeps
     /// the inner loop allocation-free, as the engine APIs do.
-    pub fn for_each_with(
+    pub fn for_each_with<S: RelSource + ?Sized>(
         &self,
-        db: &Database,
+        db: &S,
         scratch: &mut MatchScratch,
         mut f: impl FnMut(&[Value]) -> bool,
     ) {
@@ -93,7 +98,7 @@ impl Query {
     }
 
     /// All answers, sorted and deduplicated.
-    pub fn eval(&self, db: &Database) -> Vec<Row> {
+    pub fn eval<S: RelSource + ?Sized>(&self, db: &S) -> Vec<Row> {
         let mut rows: Vec<Row> = Vec::new();
         self.for_each(db, |vals| {
             rows.push(vals.into());
@@ -105,7 +110,7 @@ impl Query {
     }
 
     /// Whether any answer exists.
-    pub fn holds(&self, db: &Database) -> bool {
+    pub fn holds<S: RelSource + ?Sized>(&self, db: &S) -> bool {
         let mut any = false;
         self.for_each(db, |_| {
             any = true;
@@ -115,7 +120,7 @@ impl Query {
     }
 
     /// Number of distinct answers.
-    pub fn count(&self, db: &Database) -> usize {
+    pub fn count<S: RelSource + ?Sized>(&self, db: &S) -> usize {
         self.eval(db).len()
     }
 }
@@ -147,7 +152,7 @@ pub fn render_row(query: &Query, row: &[Value]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::storage::parse_facts;
+    use crate::storage::{parse_facts, Database};
 
     fn db(src: &str) -> Database {
         Database::from_facts(parse_facts(src))

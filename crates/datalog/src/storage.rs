@@ -8,6 +8,8 @@
 //! up to date.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -73,6 +75,48 @@ impl TupleStore for Database {
     }
 }
 
+/// Read-only relation lookup — the facet of fact storage that rule-body
+/// matching and queries need. Implemented by [`Database`] (the live,
+/// mutable store) and [`ModelSnapshot`] (an immutable published copy), so
+/// a compiled plan runs identically against either: the MVCC read path
+/// evaluates queries on a snapshot with no access to the engine at all.
+pub trait RelSource {
+    /// The extension of `rel`, if any fact of it was ever inserted.
+    fn relation(&self, rel: Symbol) -> Option<&Relation>;
+}
+
+impl RelSource for Database {
+    fn relation(&self, rel: Symbol) -> Option<&Relation> {
+        Database::relation(self, rel)
+    }
+}
+
+impl RelSource for ModelSnapshot {
+    fn relation(&self, rel: Symbol) -> Option<&Relation> {
+        ModelSnapshot::relation(self, rel)
+    }
+}
+
+/// Process-unique relation identities for [`RelStamp`].
+static NEXT_REL_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_rel_id() -> u64 {
+    NEXT_REL_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A cheap content-identity stamp for a [`Relation`]: a process-unique
+/// object id plus a mutation counter. Two equal stamps observed at
+/// different times are a guarantee of identical content — the id pins the
+/// observations to one relation object (clones get fresh ids), and the
+/// counter advances on every successful insert or remove. This is what
+/// makes copy-on-publish snapshots O(changed relations): an unchanged
+/// relation's `Arc` is reused instead of re-cloned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelStamp {
+    id: u64,
+    muts: u64,
+}
+
 /// Compaction triggers when tombstones exceed this fraction of the arena
 /// (denominator: `tombstones > rows / COMPACT_DIVISOR`). At 2, the arena —
 /// and with it the stale ids lingering in the per-column posting lists —
@@ -84,7 +128,6 @@ const COMPACT_DIVISOR: usize = 2;
 const COMPACT_MIN_ROWS: usize = 64;
 
 /// The extension of a single relation.
-#[derive(Clone, Default)]
 pub struct Relation {
     arity: usize,
     /// Row arena; `None` marks a tombstone left by a deletion.
@@ -95,6 +138,32 @@ pub struct Relation {
     /// ids pointing at tombstones; readers re-validate).
     cols: Vec<FxHashMap<Value, Vec<u32>>>,
     tombstones: usize,
+    /// Process-unique object identity (fresh per construction and clone).
+    id: u64,
+    /// Successful mutations applied to *this* object.
+    muts: u64,
+}
+
+impl Default for Relation {
+    fn default() -> Relation {
+        Relation::new(0)
+    }
+}
+
+impl Clone for Relation {
+    /// A clone carries the same content under a **fresh identity**: stamp
+    /// comparisons never conflate two objects that may diverge.
+    fn clone(&self) -> Relation {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.clone(),
+            by_tuple: self.by_tuple.clone(),
+            cols: self.cols.clone(),
+            tombstones: self.tombstones,
+            id: fresh_rel_id(),
+            muts: 0,
+        }
+    }
 }
 
 impl Relation {
@@ -106,7 +175,14 @@ impl Relation {
             by_tuple: FxHashMap::default(),
             cols: vec![FxHashMap::default(); arity],
             tombstones: 0,
+            id: fresh_rel_id(),
+            muts: 0,
         }
+    }
+
+    /// The content-identity stamp (see [`RelStamp`]).
+    pub fn stamp(&self) -> RelStamp {
+        RelStamp { id: self.id, muts: self.muts }
     }
 
     /// The arity.
@@ -144,6 +220,7 @@ impl Relation {
         }
         self.by_tuple.insert(tuple.clone(), id);
         self.rows.push(Some(tuple));
+        self.muts += 1;
         true
     }
 
@@ -160,6 +237,7 @@ impl Relation {
         };
         self.rows[id as usize] = None;
         self.tombstones += 1;
+        self.muts += 1;
         if self.tombstones > self.rows.len() / COMPACT_DIVISOR && self.rows.len() > COMPACT_MIN_ROWS
         {
             self.compact();
@@ -333,6 +411,105 @@ impl Database {
         let mut v: Vec<Fact> = self.iter_facts().collect();
         v.sort();
         v
+    }
+
+    /// Freezes the current contents into an immutable, `Arc`-shared
+    /// [`ModelSnapshot`] — the publish step of the MVCC read path.
+    ///
+    /// Copy-on-publish: a relation whose [`RelStamp`] matches the one
+    /// recorded in `prev` is **shared** (its `Arc` is cloned, not its
+    /// tuples), so the cost of a publish is O(relations) stamp checks plus
+    /// a deep copy of only the relations the last commit actually touched.
+    pub fn snapshot(&self, prev: Option<&ModelSnapshot>) -> ModelSnapshot {
+        let rels = self
+            .rels
+            .iter()
+            .map(|(&sym, rel)| {
+                let stamp = rel.stamp();
+                let reused = prev
+                    .and_then(|p| p.rels.get(&sym))
+                    .filter(|(s, _)| *s == stamp)
+                    .map(|(_, arc)| Arc::clone(arc));
+                (sym, (stamp, reused.unwrap_or_else(|| Arc::new(rel.clone()))))
+            })
+            .collect();
+        ModelSnapshot { rels, len: self.len }
+    }
+}
+
+/// An immutable point-in-time copy of a [`Database`], sharing unchanged
+/// [`Relation`]s with its predecessor snapshot by `Arc`.
+///
+/// Snapshots are the read side of MVCC: queries evaluate against one with
+/// no lock and no engine access, while the writer keeps mutating the live
+/// database it was frozen from. Build with [`Database::snapshot`].
+#[derive(Clone, Default)]
+pub struct ModelSnapshot {
+    rels: FxHashMap<Symbol, (RelStamp, Arc<Relation>)>,
+    len: usize,
+}
+
+impl ModelSnapshot {
+    /// The extension of `rel`, if the snapshot holds one.
+    pub fn relation(&self, rel: Symbol) -> Option<&Relation> {
+        self.rels.get(&rel).map(|(_, r)| &**r)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshot holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relation(fact.rel).is_some_and(|r| r.contains(&fact.args))
+    }
+
+    /// Membership test from source text (testing convenience).
+    ///
+    /// # Panics
+    /// If `src` does not parse as a ground fact.
+    pub fn contains_parsed(&self, src: &str) -> bool {
+        self.contains(&Fact::parse(src).expect("invalid fact literal"))
+    }
+
+    /// Number of live tuples of `rel`.
+    pub fn count(&self, rel: Symbol) -> usize {
+        self.relation(rel).map_or(0, Relation::len)
+    }
+
+    /// Iterates over all facts (relation order unspecified).
+    pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.rels
+            .iter()
+            .flat_map(|(&rel, (_, r))| r.iter().map(move |t| Fact { rel, args: t.into() }))
+    }
+
+    /// All facts, sorted — handy for assertions and display.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.iter_facts().collect();
+        v.sort();
+        v
+    }
+
+    /// How many of the snapshot's relations share their `Arc` with `prev`
+    /// (testing / observability: the copy-on-publish effectiveness).
+    pub fn shared_with(&self, prev: &ModelSnapshot) -> usize {
+        self.rels
+            .iter()
+            .filter(|(sym, (_, r))| prev.rels.get(*sym).is_some_and(|(_, p)| Arc::ptr_eq(p, r)))
+            .count()
+    }
+}
+
+impl fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ModelSnapshot({} facts, {} relations)", self.len, self.rels.len())
     }
 }
 
@@ -566,6 +743,80 @@ mod tests {
         let facts = parse_facts("p(\"a.b\"). q(\"x. y. z\").");
         assert_eq!(facts.len(), 2);
         assert!(facts.contains(&Fact::new("p", vec![Value::sym("a.b")])));
+    }
+
+    #[test]
+    fn stamps_change_on_mutation_only() {
+        let mut db = Database::from_facts(parse_facts("e(1). f(1)."));
+        let before = db.relation(Symbol::new("e")).unwrap().stamp();
+        // A no-op insert (duplicate) must not move the stamp.
+        assert!(!db.insert(Fact::parse("e(1)").unwrap()));
+        assert_eq!(db.relation(Symbol::new("e")).unwrap().stamp(), before);
+        // A rejected remove must not move the stamp.
+        assert!(!db.remove(&Fact::parse("e(9)").unwrap()));
+        assert_eq!(db.relation(Symbol::new("e")).unwrap().stamp(), before);
+        // A real insert must.
+        assert!(db.insert(Fact::parse("e(2)").unwrap()));
+        assert_ne!(db.relation(Symbol::new("e")).unwrap().stamp(), before);
+        // A real remove must, again.
+        let mid = db.relation(Symbol::new("e")).unwrap().stamp();
+        assert!(db.remove(&Fact::parse("e(2)").unwrap()));
+        assert_ne!(db.relation(Symbol::new("e")).unwrap().stamp(), mid);
+    }
+
+    #[test]
+    fn cloned_relations_never_share_stamps() {
+        // A clone has identical content but a fresh identity: two databases
+        // rebuilt from the same facts (or cloned) must never alias stamps,
+        // or snapshot reuse could serve stale tuples.
+        let db = Database::from_facts(parse_facts("e(1)."));
+        let copy = db.clone();
+        assert_ne!(
+            db.relation(Symbol::new("e")).unwrap().stamp(),
+            copy.relation(Symbol::new("e")).unwrap().stamp(),
+        );
+    }
+
+    #[test]
+    fn snapshot_is_a_faithful_frozen_copy() {
+        let mut db = Database::from_facts(parse_facts("e(1, 2). e(2, 3). s(1)."));
+        let snap = db.snapshot(None);
+        assert_eq!(snap.len(), 3);
+        assert!(snap.contains_parsed("e(1, 2)"));
+        assert_eq!(snap.count(Symbol::new("e")), 2);
+        assert_eq!(snap.sorted_facts(), db.sorted_facts());
+        // Mutating the live database does not disturb the snapshot.
+        db.insert(Fact::parse("e(3, 4)").unwrap());
+        db.remove(&Fact::parse("s(1)").unwrap());
+        assert_eq!(snap.len(), 3);
+        assert!(snap.contains_parsed("s(1)"));
+        assert!(!snap.contains_parsed("e(3, 4)"));
+    }
+
+    #[test]
+    fn snapshot_reuses_unchanged_relations() {
+        let mut db = Database::from_facts(parse_facts("e(1). f(1). g(1)."));
+        let first = db.snapshot(None);
+        // Touch only `e`: the republish must share `f` and `g` with the
+        // previous snapshot and deep-copy `e` alone.
+        db.insert(Fact::parse("e(2)").unwrap());
+        let second = db.snapshot(Some(&first));
+        assert_eq!(second.shared_with(&first), 2);
+        assert!(second.contains_parsed("e(2)"));
+        assert!(!first.contains_parsed("e(2)"));
+        // An untouched republish shares everything.
+        let third = db.snapshot(Some(&second));
+        assert_eq!(third.shared_with(&second), 3);
+    }
+
+    #[test]
+    fn snapshot_answers_queries_like_the_database() {
+        let db = Database::from_facts(parse_facts("e(1, 2). e(2, 3). a(3)."));
+        let snap = db.snapshot(None);
+        let q = crate::query::Query::parse("e(X, Y), !a(Y)").unwrap();
+        assert_eq!(q.eval(&snap), q.eval(&db));
+        assert!(q.holds(&snap));
+        assert_eq!(q.count(&snap), 1);
     }
 
     #[test]

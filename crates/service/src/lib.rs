@@ -33,8 +33,30 @@
 //!   ([`queue::SubmitHandle`]).
 //! * [`net`] — a `std::net` TCP front-end speaking the line protocol of
 //!   [`protocol`] (`submit` / `query` / `flush` / `stats` / `quit`) over
-//!   the existing `Display`/parse round-trip, plus the matching blocking
-//!   [`net::Client`].
+//!   the existing `Display`/parse round-trip — with optional request tags
+//!   for pipelined, out-of-order responses on one connection — plus the
+//!   matching blocking [`net::Client`].
+//!
+//! ## The snapshot consistency guarantee (MVCC reads)
+//!
+//! The worker publishes an immutable [`service::VersionedSnapshot`] of the
+//! committed model after every engine transaction — **before** any of that
+//! group's outcomes are delivered — and queries and stats evaluate against
+//! the published snapshot with no engine access at all:
+//!
+//! * **Reads never block behind writes.** A query costs one `Arc` clone of
+//!   the latest snapshot; it proceeds at full speed while the worker holds
+//!   the engine mutex saturating an arbitrarily large group commit.
+//! * **Reads see a committed model.** Every answer is computed against the
+//!   model as of some commit version — never a half-applied revision. A
+//!   plain `query` sees the latest published version, which may trail the
+//!   commit a concurrent writer is acknowledging by a moment.
+//! * **`@version` gives read-your-writes.** Every acknowledgment carries
+//!   its commit version; `query @<version>` (or
+//!   [`service::Service::snapshot_at`]) blocks — bounded by
+//!   [`IngestConfig::read_wait`] — until the published snapshot reaches
+//!   that version, so a client that pins the version from its own ack is
+//!   guaranteed to observe its own write, on any connection.
 //!
 //! ## The differential guarantee
 //!
@@ -83,9 +105,9 @@ pub mod service;
 use std::time::Duration;
 
 pub use coalesce::{Coalescer, Decision, GroupPlan};
-pub use net::{Client, ServerHandle};
+pub use net::{Ack, Client, QueryReply, ServerHandle};
 pub use queue::{IngestQueue, Outcome, SubmitHandle};
-pub use service::{Service, ServiceStats};
+pub use service::{Service, ServiceStats, VersionedSnapshot};
 
 /// Group-cutting and backpressure knobs for the ingest queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,11 +123,22 @@ pub struct IngestConfig {
     /// Backpressure bound: `submit` blocks while this many requests are
     /// pending, so producers cannot outrun the worker without bound.
     pub max_pending: usize,
+    /// Upper bound on how long a versioned read
+    /// ([`Service::snapshot_at`], the protocol's `query @<version>`) waits
+    /// for the published snapshot to reach the requested version before
+    /// erroring, so a read for a version that never commits cannot wedge a
+    /// reader forever.
+    pub read_wait: Duration,
 }
 
 impl Default for IngestConfig {
     fn default() -> IngestConfig {
-        IngestConfig { max_group: 64, max_delay: Duration::from_millis(2), max_pending: 8192 }
+        IngestConfig {
+            max_group: 64,
+            max_delay: Duration::from_millis(2),
+            max_pending: 8192,
+            read_wait: Duration::from_secs(5),
+        }
     }
 }
 

@@ -1,24 +1,49 @@
 //! The `std::net` TCP front-end and its blocking client.
 //!
-//! [`serve`] binds a listener and spawns one acceptor thread plus one
-//! thread per connection; every connection speaks the [`crate::protocol`]
-//! line protocol against a shared [`Service`]. Group commit happens across
+//! [`serve`] binds a listener and spawns one acceptor thread plus threads
+//! per connection; every connection speaks the [`crate::protocol`] line
+//! protocol against a shared [`Service`]. Group commit happens across
 //! connections: ten clients submitting concurrently land in the same
 //! coalescing queue and share fsyncs.
 //!
+//! ## Pipelining
+//!
+//! A connection is served by three threads — reader, completion, writer —
+//! so the reader never blocks on an in-flight group commit:
+//!
+//! * **queries and stats** are answered from the published snapshot the
+//!   moment they are read (no engine access at all);
+//! * **submits and flushes** enqueue into the service and park their
+//!   completion handles on the completion thread, which delivers each ack
+//!   (with its commit version) as the worker decides it.
+//!
+//! Ordering: **untagged** requests keep the classic strict
+//! request-response order — their responses are threaded through the
+//! completion queue behind any earlier acks. **Tagged** requests
+//! (`#<tag> verb`) opt into out-of-order responses: a tagged query's
+//! answer may overtake the ack of an earlier in-flight submit, which is
+//! the whole point — readers are not serialized behind writers even on
+//! one connection.
+//!
 //! [`Client`] is the matching blocking client: one request line out, read
-//! lines until the `ok`/`err` terminator.
+//! lines until the `ok`/`err` terminator. Connect/read timeouts
+//! ([`Client::connect_timeout`], [`Client::set_read_timeout`]) keep a hung
+//! server from wedging a reader forever; [`Client::send_raw`] /
+//! [`Client::recv_raw`] expose the tagged wire for pipelined use.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use strata_core::Update;
 use strata_datalog::query::render_row;
 
 use crate::protocol::{self, Request};
+use crate::queue::{Outcome, SubmitHandle};
 use crate::service::Service;
 
 /// A running TCP front-end. Dropping (or [`ServerHandle::stop`]) unbinds
@@ -90,57 +115,161 @@ pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
     Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor) })
 }
 
-/// One connection's request loop: read a line, answer with `row*` lines
-/// and exactly one `ok`/`err` terminator. Returns on `quit`, EOF, or any
-/// I/O error.
+/// One unit of response work, in request-arrival order.
+enum Job {
+    /// Park on a submit/flush handle; render and emit its ack when the
+    /// worker decides it. `flush` switches the ack's surface form.
+    Wait { tag: Option<String>, handle: SubmitHandle, flush: bool },
+    /// An already-rendered response (untagged query/stats/parse errors):
+    /// emitted here to stay behind earlier untagged acks.
+    Lines(Vec<String>),
+    /// Emit the goodbye line and stop.
+    Quit(String),
+}
+
+/// Renders a submit/flush decision, tag applied.
+fn render_ack(tag: Option<&str>, outcome: &Outcome, flush: bool) -> String {
+    let line = match (flush, outcome) {
+        (true, Outcome::Accepted { version, .. }) => format!("ok flushed version={version}"),
+        _ => protocol::render_outcome(outcome),
+    };
+    protocol::render_tagged(tag, &line)
+}
+
+/// Evaluates a query against the published snapshot and renders its full
+/// response (rows + terminator), tag applied to every line.
+fn render_query(
+    service: &Service,
+    tag: Option<&str>,
+    query: &strata_datalog::Query,
+    at: Option<u64>,
+) -> Vec<String> {
+    let snap = match at {
+        None => service.snapshot(),
+        Some(version) => match service.snapshot_at(version) {
+            Ok(snap) => snap,
+            Err(published) => {
+                return vec![protocol::render_tagged(
+                    tag,
+                    &format!(
+                        "err version {version} not published within the read wait \
+                         (published: {published})"
+                    ),
+                )];
+            }
+        },
+    };
+    if query.is_boolean() {
+        vec![protocol::render_tagged(tag, &format!("ok {}", query.holds(&snap.model)))]
+    } else {
+        let rows = query.eval(&snap.model);
+        let mut out = Vec::with_capacity(rows.len() + 1);
+        for row in &rows {
+            out.push(protocol::render_tagged(tag, &format!("row {}", render_row(query, row))));
+        }
+        out.push(protocol::render_tagged(tag, &format!("ok {}", rows.len())));
+        out
+    }
+}
+
+/// One connection's request loop — the reader of the three-thread pipeline
+/// described in the module docs. Returns on `quit`, EOF, or any I/O error.
 fn serve_connection(stream: TcpStream, service: &Service) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    let (write_tx, write_rx) = mpsc::channel::<Vec<String>>();
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+
+    // Writer: the single owner of the outbound stream.
+    let writer_thread = {
+        let mut writer = stream;
+        std::thread::Builder::new().name("strata-conn-write".into()).spawn(move || {
+            while let Ok(lines) = write_rx.recv() {
+                for line in &lines {
+                    if writeln!(writer, "{line}").is_err() {
+                        return;
+                    }
+                }
+                if writer.flush().is_err() {
+                    return;
+                }
+            }
+        })?
+    };
+
+    // Completion: drains jobs in request order, parking on handles.
+    let completion_thread = {
+        let write_tx = write_tx.clone();
+        std::thread::Builder::new().name("strata-conn-ack".into()).spawn(move || {
+            while let Ok(job) = job_rx.recv() {
+                let done = matches!(job, Job::Quit(_));
+                let lines = match job {
+                    Job::Wait { tag, handle, flush } => {
+                        vec![render_ack(tag.as_deref(), &handle.wait(), flush)]
+                    }
+                    Job::Lines(lines) => lines,
+                    Job::Quit(line) => vec![line],
+                };
+                if write_tx.send(lines).is_err() || done {
+                    return;
+                }
+            }
+        })?
+    };
+
     let mut line = String::new();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF: client hung up
+            break; // EOF: client hung up
         }
         if line.trim().is_empty() {
             continue;
         }
-        match protocol::parse_request(&line) {
-            Err(e) => writeln!(writer, "err {e}")?,
+        let (tag, rest) = protocol::split_tag(line.trim());
+        let tag = tag.map(str::to_string);
+        // Tagged responses may overtake pending acks (direct to writer);
+        // untagged ones queue behind them to keep the classic ordering.
+        let respond = |lines: Vec<String>| -> Result<(), ()> {
+            if tag.is_some() {
+                write_tx.send(lines).map_err(|_| ())
+            } else {
+                job_tx.send(Job::Lines(lines)).map_err(|_| ())
+            }
+        };
+        let sent = match protocol::parse_request(rest) {
+            Err(e) => respond(vec![protocol::render_tagged(tag.as_deref(), &format!("err {e}"))]),
             Ok(Request::Quit) => {
-                writeln!(writer, "ok bye")?;
-                return Ok(());
+                let bye = protocol::render_tagged(tag.as_deref(), "ok bye");
+                let _ = job_tx.send(Job::Quit(bye));
+                break;
             }
             Ok(Request::Submit(update)) => {
-                // Wait for the group decision before answering: `ok` means
-                // durably committed (for a durable engine). Concurrency
-                // comes from many connections sharing the queue, not from
-                // pipelining within one.
-                let outcome = service.apply(update);
-                writeln!(writer, "{}", protocol::render_outcome(&outcome))?;
+                // Blocks only on queue backpressure; the ack is delivered
+                // by the completion thread once the group commits.
+                let handle = service.submit(update);
+                job_tx.send(Job::Wait { tag: tag.clone(), handle, flush: false }).map_err(|_| ())
             }
             Ok(Request::Flush) => {
-                service.flush();
-                writeln!(writer, "ok flushed")?;
+                let handle = service.submit_flush();
+                job_tx.send(Job::Wait { tag: tag.clone(), handle, flush: true }).map_err(|_| ())
             }
             Ok(Request::Stats) => {
-                writeln!(writer, "{}", protocol::render_stats(&service.stats()))?;
+                let line = protocol::render_stats(&service.stats());
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
             }
-            Ok(Request::Query(q)) => {
-                if q.is_boolean() {
-                    let holds = service.with_engine(|e| q.holds(e.model()));
-                    writeln!(writer, "ok {holds}")?;
-                } else {
-                    let rows = service.with_engine(|e| q.eval(e.model()));
-                    for row in &rows {
-                        writeln!(writer, "row {}", render_row(&q, row))?;
-                    }
-                    writeln!(writer, "ok {}", rows.len())?;
-                }
+            Ok(Request::Query { query, at }) => {
+                respond(render_query(service, tag.as_deref(), &query, at))
             }
+        };
+        if sent.is_err() {
+            break; // a downstream thread died (broken pipe): stop reading
         }
-        writer.flush()?;
     }
+    drop(job_tx);
+    let _ = completion_thread.join();
+    drop(write_tx);
+    let _ = writer_thread.join();
+    Ok(())
 }
 
 /// What a query returned.
@@ -150,6 +279,29 @@ pub enum QueryReply {
     Boolean(bool),
     /// A binding query's rendered rows.
     Rows(Vec<String>),
+}
+
+/// An accepted submit's acknowledgment: the group that carried it and the
+/// commit version whose published snapshot includes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// Drain ordinal of the group.
+    pub group: u64,
+    /// Commit version — pin it with [`Client::query_at`] for
+    /// read-your-writes on any connection.
+    pub version: u64,
+}
+
+fn parse_ack(tail: &str) -> Ack {
+    let mut ack = Ack { group: 0, version: 0 };
+    for kv in tail.split_whitespace() {
+        if let Some(v) = kv.strip_prefix("group=") {
+            ack.group = v.parse().unwrap_or(0);
+        } else if let Some(v) = kv.strip_prefix("version=") {
+            ack.version = v.parse().unwrap_or(0);
+        }
+    }
+    ack
 }
 
 /// The blocking client for the line protocol.
@@ -163,26 +315,63 @@ impl Client {
     /// Connects to a server.
     pub fn connect(addr: &str) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a bound on both the connection attempt and every
+    /// subsequent read ([`Client::set_read_timeout`] with the same
+    /// duration), so a hung or unreachable server surfaces as a timed-out
+    /// `Err` instead of wedging the caller forever.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> io::Result<Client> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("cannot resolve `{addr}`"))
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        let client = Client::from_stream(stream)?;
+        client.set_read_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true)?;
         Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// Bounds every subsequent read; `None` restores blocking reads. A
+    /// read that times out surfaces as an `Err` of kind `WouldBlock` or
+    /// `TimedOut` (platform-dependent).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one raw request line (the pipelined path: prefix a `#tag`
+    /// yourself and pair responses by tag via [`Client::recv_raw`]).
+    pub fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Receives one response line, split into `(tag, payload)`.
+    pub fn recv_raw(&mut self) -> io::Result<(Option<String>, String)> {
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let (tag, rest) = protocol::split_tag(reply.trim_end());
+        Ok((tag.map(str::to_string), rest.to_string()))
     }
 
     /// Sends one request line, collecting `row` lines until the
     /// terminator. Returns `(rows, terminator-without-prefix)`; an `err`
     /// terminator becomes `Err(reason)` in the outer protocol result.
     fn roundtrip(&mut self, line: &str) -> io::Result<Result<(Vec<String>, String), String>> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
+        self.send_raw(line)?;
         let mut rows = Vec::new();
         loop {
-            let mut reply = String::new();
-            if self.reader.read_line(&mut reply)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-response",
-                ));
-            }
-            let reply = reply.trim_end();
+            let (_tag, reply) = self.recv_raw()?;
             if let Some(rest) = reply.strip_prefix("row ") {
                 rows.push(rest.to_string());
             } else if let Some(rest) = reply.strip_prefix("ok") {
@@ -198,22 +387,32 @@ impl Client {
         }
     }
 
-    /// Submits one update; `Ok(group)` on acceptance, `Err(reason)` on
+    /// Submits one update; `Ok(ack)` on acceptance, `Err(reason)` on
     /// rejection.
-    pub fn submit(&mut self, update: &Update) -> io::Result<Result<u64, String>> {
+    pub fn submit(&mut self, update: &Update) -> io::Result<Result<Ack, String>> {
         self.submit_text(&protocol::render_update(update))
     }
 
     /// Submits raw update text (`+ p(1)`).
-    pub fn submit_text(&mut self, update: &str) -> io::Result<Result<u64, String>> {
-        Ok(self
-            .roundtrip(&format!("submit {update}"))?
-            .map(|(_, tail)| tail.strip_prefix("group=").and_then(|g| g.parse().ok()).unwrap_or(0)))
+    pub fn submit_text(&mut self, update: &str) -> io::Result<Result<Ack, String>> {
+        Ok(self.roundtrip(&format!("submit {update}"))?.map(|(_, tail)| parse_ack(&tail)))
     }
 
-    /// Evaluates a query.
+    /// Evaluates a query against the server's latest published snapshot.
     pub fn query(&mut self, body: &str) -> io::Result<Result<QueryReply, String>> {
-        Ok(self.roundtrip(&format!("query {body}"))?.map(|(rows, tail)| match tail.as_str() {
+        self.query_line(&format!("query {body}"))
+    }
+
+    /// Evaluates a query pinned at a commit version: the server waits
+    /// (bounded) until its published snapshot reaches `version`, so a
+    /// client passing its own [`Ack::version`] observes its own write —
+    /// on this or any other connection.
+    pub fn query_at(&mut self, version: u64, body: &str) -> io::Result<Result<QueryReply, String>> {
+        self.query_line(&format!("query @{version} {body}"))
+    }
+
+    fn query_line(&mut self, line: &str) -> io::Result<Result<QueryReply, String>> {
+        Ok(self.roundtrip(line)?.map(|(rows, tail)| match tail.as_str() {
             "true" => QueryReply::Boolean(true),
             "false" => QueryReply::Boolean(false),
             _ => QueryReply::Rows(rows),
@@ -221,9 +420,9 @@ impl Client {
     }
 
     /// Blocks until everything submitted before (on any connection) is
-    /// decided.
-    pub fn flush(&mut self) -> io::Result<Result<(), String>> {
-        Ok(self.roundtrip("flush")?.map(|_| ()))
+    /// decided; returns the commit version current at the flush point.
+    pub fn flush(&mut self) -> io::Result<Result<u64, String>> {
+        Ok(self.roundtrip("flush")?.map(|(_, tail)| parse_ack(&tail).version))
     }
 
     /// The server's stats line (`key=value` pairs).
@@ -275,16 +474,19 @@ mod tests {
         let (_service, handle) = pods_server();
         let mut client = Client::connect(&handle.addr().to_string()).unwrap();
         assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(true));
-        let group = client
+        let ack = client
             .submit(&Update::InsertFact(Fact::parse("accepted(1)").unwrap()))
             .unwrap()
             .unwrap();
-        assert!(group >= 1);
+        assert!(ack.group >= 1);
+        assert!(ack.version >= 1, "a committing submit must carry its version");
         assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(false));
         let reply = client.query("rejected(X)").unwrap().unwrap();
         assert_eq!(reply, QueryReply::Rows(vec![]), "everyone is accepted or rejected(2)? no");
-        client.flush().unwrap().unwrap();
+        let flushed_at = client.flush().unwrap().unwrap();
+        assert!(flushed_at >= ack.version);
         assert_eq!(client.stats_field("accepted").unwrap(), Some(1));
+        assert_eq!(client.stats_field("snapshot_version").unwrap(), Some(flushed_at));
         client.quit().unwrap();
         handle.stop();
     }
@@ -311,6 +513,85 @@ mod tests {
         assert_eq!(b.query("rejected(9)").unwrap().unwrap(), QueryReply::Boolean(true));
         b.submit_text("+ accepted(9)").unwrap().unwrap();
         assert_eq!(a.query("rejected(9)").unwrap().unwrap(), QueryReply::Boolean(false));
+        handle.stop();
+    }
+
+    #[test]
+    fn read_your_writes_across_connections() {
+        let (_service, handle) = pods_server();
+        let addr = handle.addr().to_string();
+        let mut writer = Client::connect(&addr).unwrap();
+        let mut reader = Client::connect(&addr).unwrap();
+        let ack = writer.submit_text("+ accepted(1)").unwrap().unwrap();
+        // The other connection pins the writer's version: guaranteed view.
+        assert_eq!(
+            reader.query_at(ack.version, "rejected(1)").unwrap().unwrap(),
+            QueryReply::Boolean(false),
+        );
+        handle.stop();
+    }
+
+    #[test]
+    fn versioned_query_for_future_version_errors() {
+        let program = Program::parse("p(1).").unwrap();
+        let engine = EngineRegistry::standard().build("cascade", program).unwrap();
+        let cfg = IngestConfig { read_wait: Duration::from_millis(30), ..IngestConfig::default() };
+        let service = Arc::new(Service::start(engine, cfg));
+        let handle = serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let err = client.query_at(1_000_000, "p(X)").unwrap().unwrap_err();
+        assert!(err.contains("not published"), "{err}");
+        // The connection stays usable after the versioned-read timeout.
+        assert_eq!(client.query("p(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        handle.stop();
+    }
+
+    #[test]
+    fn tagged_requests_interleave_on_one_connection() {
+        let (_service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        // Fire three tagged requests back to back without reading.
+        client.send_raw("#a submit + submitted(70)").unwrap();
+        client.send_raw("#b query rejected(2)").unwrap();
+        client.send_raw("#c stats").unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..3 {
+            let (tag, line) = client.recv_raw().unwrap();
+            seen.insert(tag.expect("tagged responses"), line);
+        }
+        assert!(seen["a"].starts_with("ok group="), "{:?}", seen["a"]);
+        assert!(seen["a"].contains("version="), "{:?}", seen["a"]);
+        assert_eq!(seen["b"], "ok false");
+        assert!(seen["c"].contains("snapshot_version="), "{:?}", seen["c"]);
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn read_timeout_unwedges_a_hung_server() {
+        // A listener that accepts and then never answers: the classic hung
+        // server. A bounded client must surface a timed-out read instead
+        // of blocking forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let t0 = std::time::Instant::now();
+        let mut client = Client::connect_timeout(&addr.to_string(), Duration::from_millis(50))
+            .expect("connect succeeds; it is the reads that hang");
+        let err = client.query("p(X)").expect_err("read must time out");
+        assert!(matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut), "{err}");
+        assert!(t0.elapsed() < Duration::from_millis(450), "must not wait out the server");
+        hold.join().unwrap();
+        // Against a live server the timeout client works normally.
+        let (_service, handle) = pods_server();
+        let mut client =
+            Client::connect_timeout(&handle.addr().to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        client.quit().unwrap();
         handle.stop();
     }
 }

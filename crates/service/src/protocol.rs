@@ -8,9 +8,12 @@
 //! ## Grammar
 //!
 //! ```text
-//! request  ::= "submit" SP update
-//!            | "query" SP body
+//! request  ::= tag? verb
+//! tag      ::= "#" token SP                   -- client-chosen request id
+//! verb     ::= "submit" SP update
+//!            | "query" SP at? body
 //!            | "flush" | "stats" | "quit"
+//! at       ::= "@" version SP                 -- read-your-writes pin
 //! update   ::= ("+" | "-") SP? clause        -- insert | delete
 //! clause   ::= fact | rule                    -- `p(1)` or `p(X) :- q(X).`
 //! body     ::= literal ("," literal)*         -- `rejected(X), !late(X)`
@@ -19,17 +22,29 @@
 //! ## Responses
 //!
 //! Every request ends with exactly one terminator line starting `ok` or
-//! `err`; a `query` may stream `row <bindings>` lines before it.
+//! `err`; a `query` may stream `row <bindings>` lines before it. When the
+//! request carried a tag, **every** line of its response is prefixed with
+//! the same `#tag ` — and responses to differently-tagged requests may
+//! interleave in any order (pipelining). Untagged requests are answered in
+//! order, untagged.
 //!
 //! ```text
-//! submit → "ok group=<n>"            accepted (durable once delivered)
-//!        | "err <reason>"            rejected, database unchanged
+//! submit → "ok group=<n> version=<v>"  accepted (durable once delivered;
+//!        |                             the published snapshot already
+//!        |                             carries version <v>)
+//!        | "err <reason>"              rejected, database unchanged
 //! query  → ("row <bindings>")* then "ok <count>"   -- binding queries
 //!        | "ok true" | "ok false"                  -- boolean queries
-//! flush  → "ok flushed"
+//! flush  → "ok flushed version=<v>"
 //! stats  → "ok <key>=<value> ..."
 //! quit   → "ok bye"
 //! ```
+//!
+//! Queries and stats are answered from the published snapshot — they never
+//! wait on an in-flight commit. `query @<version> body` first waits
+//! (bounded by [`crate::IngestConfig::read_wait`]) until the published
+//! snapshot reaches `version`; pinning the version from one's own `submit`
+//! ack is read-your-writes on any connection.
 
 use strata_core::Update;
 use strata_datalog::{Fact, Query, Rule};
@@ -42,14 +57,45 @@ use crate::service::ServiceStats;
 pub enum Request {
     /// Enqueue one update.
     Submit(Update),
-    /// Evaluate a query against the current model.
-    Query(Query),
+    /// Evaluate a query against the published snapshot; `at` pins a
+    /// minimum commit version (read-your-writes).
+    Query {
+        /// The compiled query body.
+        query: Query,
+        /// Wait until the published snapshot reaches this version first.
+        at: Option<u64>,
+    },
     /// Wait until everything submitted before this point is decided.
     Flush,
     /// A stats snapshot.
     Stats,
     /// Close the connection.
     Quit,
+}
+
+/// Splits an optional `#tag ` prefix off a request or response line.
+/// A tag is `#` followed by one non-empty whitespace-free token; the rest
+/// of the line follows after whitespace. A lone `#token` with no payload
+/// yields an empty rest (an error for requests, caught downstream).
+pub fn split_tag(line: &str) -> (Option<&str>, &str) {
+    let trimmed = line.trim_start();
+    let Some(after_hash) = trimmed.strip_prefix('#') else {
+        return (None, line);
+    };
+    let end = after_hash.find(char::is_whitespace).unwrap_or(after_hash.len());
+    if end == 0 {
+        return (None, line); // `# ...`: empty tag is no tag
+    }
+    (Some(&after_hash[..end]), after_hash[end..].trim_start())
+}
+
+/// Prefixes `line` with `#tag ` when a tag is present (the response-side
+/// inverse of [`split_tag`]).
+pub fn render_tagged(tag: Option<&str>, line: &str) -> String {
+    match tag {
+        Some(t) => format!("#{t} {line}"),
+        None => line.to_string(),
+    }
 }
 
 /// Parses `("+" | "-") clause` into an update — the same surface grammar
@@ -92,9 +138,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match verb {
         "submit" => parse_update(rest).map(Request::Submit),
-        "query" => Query::parse(rest.trim_end_matches('.'))
-            .map(Request::Query)
-            .map_err(|e| format!("cannot parse query: {e}")),
+        "query" => {
+            let (at, body) = match rest.strip_prefix('@') {
+                Some(after) => {
+                    let end = after.find(char::is_whitespace).unwrap_or(after.len());
+                    let version: u64 = after[..end]
+                        .parse()
+                        .map_err(|_| format!("bad version `@{}`", &after[..end]))?;
+                    (Some(version), after[end..].trim_start())
+                }
+                None => (None, rest),
+            };
+            Query::parse(body.trim_end_matches('.'))
+                .map(|query| Request::Query { query, at })
+                .map_err(|e| format!("cannot parse query: {e}"))
+        }
         "flush" if rest.is_empty() => Ok(Request::Flush),
         "stats" if rest.is_empty() => Ok(Request::Stats),
         "quit" if rest.is_empty() => Ok(Request::Quit),
@@ -106,7 +164,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 /// Renders a submit decision as its terminator line.
 pub fn render_outcome(outcome: &Outcome) -> String {
     match outcome {
-        Outcome::Accepted { group } => format!("ok group={group}"),
+        Outcome::Accepted { group, version } => format!("ok group={group} version={version}"),
         Outcome::Rejected(e) => format!("err {e}"),
     }
 }
@@ -115,7 +173,8 @@ pub fn render_outcome(outcome: &Outcome) -> String {
 pub fn render_stats(s: &ServiceStats) -> String {
     let mut line = format!(
         "ok submitted={} accepted={} rejected={} groups={} commits={} committed_updates={} \
-         coalesced={} flushes={} pending={} model_facts={}",
+         coalesced={} flushes={} pending={} blocked={} snapshot_version={} snapshot_reads={} \
+         model_facts={}",
         s.submitted,
         s.accepted,
         s.rejected,
@@ -125,6 +184,9 @@ pub fn render_stats(s: &ServiceStats) -> String {
         s.coalesced,
         s.flushes,
         s.pending,
+        s.blocked,
+        s.snapshot_version,
+        s.snapshot_reads,
         s.model_facts,
     );
     if let Some(d) = &s.durability {
@@ -164,12 +226,40 @@ mod tests {
         assert!(matches!(parse_request("flush").unwrap(), Request::Flush));
         assert!(matches!(parse_request("stats").unwrap(), Request::Stats));
         assert!(matches!(parse_request("quit").unwrap(), Request::Quit));
-        assert!(matches!(parse_request("query rejected(X)").unwrap(), Request::Query(_)));
+        assert!(matches!(
+            parse_request("query rejected(X)").unwrap(),
+            Request::Query { at: None, .. }
+        ));
         assert!(parse_request("flush now").is_err());
         assert!(parse_request("submit p(1)").is_err(), "missing +/-");
         assert!(parse_request("frobnicate").is_err());
         assert!(parse_request("").is_err());
         assert!(parse_request("query !unsafe(X)").is_err());
+    }
+
+    #[test]
+    fn parses_versioned_queries() {
+        let Request::Query { query, at } = parse_request("query @42 rejected(X)").unwrap() else {
+            panic!("expected query")
+        };
+        assert_eq!(at, Some(42));
+        assert_eq!(query.to_string(), "rejected(X)");
+        assert!(parse_request("query @x p(X)").is_err(), "non-numeric version");
+        assert!(parse_request("query @42").is_err(), "version with no body");
+    }
+
+    #[test]
+    fn tags_split_and_render() {
+        assert_eq!(split_tag("#7 query p(X)"), (Some("7"), "query p(X)"));
+        assert_eq!(split_tag("#req-1 flush"), (Some("req-1"), "flush"));
+        assert_eq!(split_tag("query p(X)"), (None, "query p(X)"));
+        // `#` alone is not a tag; neither is `# ` (empty token).
+        assert_eq!(split_tag("# query p(X)"), (None, "# query p(X)"));
+        assert_eq!(render_tagged(Some("7"), "ok group=1 version=1"), "#7 ok group=1 version=1");
+        assert_eq!(render_tagged(None, "ok bye"), "ok bye");
+        // Round-trip: a rendered tagged line splits back.
+        let line = render_tagged(Some("a-b_c"), "row X = 1");
+        assert_eq!(split_tag(&line), (Some("a-b_c"), "row X = 1"));
     }
 
     #[test]
@@ -185,7 +275,10 @@ mod tests {
 
     #[test]
     fn outcome_lines() {
-        assert_eq!(render_outcome(&Outcome::Accepted { group: 7 }), "ok group=7");
+        assert_eq!(
+            render_outcome(&Outcome::Accepted { group: 7, version: 3 }),
+            "ok group=7 version=3"
+        );
         let e = MaintenanceError::NotAsserted(Fact::parse("p(1)").unwrap());
         assert_eq!(
             render_outcome(&Outcome::Rejected(e)),

@@ -24,6 +24,7 @@
 //! [`next_group`]: IngestQueue::next_group
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -40,6 +41,13 @@ pub enum Outcome {
     Accepted {
         /// Drain ordinal of the group that carried the request.
         group: u64,
+        /// Commit version whose published snapshot includes this request's
+        /// effect. Snapshots are published **before** outcomes are
+        /// delivered, so `query @version` against this token always
+        /// observes the write (read-your-writes). A request that coalesced
+        /// to a no-op carries the current version — its (absent) effect is
+        /// equally visible there.
+        version: u64,
     },
     /// Rejected; the database is unchanged by this request. Carries the
     /// same error the per-update oracle would have raised.
@@ -158,6 +166,10 @@ pub struct IngestQueue {
     space: Condvar,
     /// The worker waits here for requests (or a watermark deadline).
     work: Condvar,
+    /// Submits that hit the `max_pending` backpressure bound and had to
+    /// block (cumulative — the observability signal for an undersized
+    /// worker or oversized producers).
+    blocked: AtomicU64,
 }
 
 /// Whether the update is a barrier (a genuine rule update; fact-clause
@@ -179,6 +191,7 @@ impl IngestQueue {
             state: Mutex::new(State::default()),
             space: Condvar::new(),
             work: Condvar::new(),
+            blocked: AtomicU64::new(0),
         }
     }
 
@@ -190,6 +203,12 @@ impl IngestQueue {
     /// Requests currently pending (not yet drained).
     pub fn pending(&self) -> usize {
         self.state.lock().expect("queue poisoned").pending.len()
+    }
+
+    /// How many submits have blocked on the `max_pending` backpressure
+    /// bound so far (cumulative).
+    pub fn blocked(&self) -> u64 {
+        self.blocked.load(Ordering::Relaxed)
     }
 
     /// Enqueues one update, blocking while the queue is at its
@@ -209,6 +228,9 @@ impl IngestQueue {
     fn push(&self, op: Op) -> SubmitHandle {
         let handle = SubmitHandle::new();
         let mut state = self.state.lock().expect("queue poisoned");
+        if !state.closed && state.pending.len() >= self.cfg.max_pending {
+            self.blocked.fetch_add(1, Ordering::Relaxed);
+        }
         while !state.closed && state.pending.len() >= self.cfg.max_pending {
             state = self.space.wait(state).expect("queue poisoned");
         }
@@ -305,7 +327,12 @@ mod tests {
     }
 
     fn cfg(max_group: usize, delay_ms: u64, max_pending: usize) -> IngestConfig {
-        IngestConfig { max_group, max_delay: Duration::from_millis(delay_ms), max_pending }
+        IngestConfig {
+            max_group,
+            max_delay: Duration::from_millis(delay_ms),
+            max_pending,
+            ..IngestConfig::default()
+        }
     }
 
     #[test]
@@ -372,11 +399,11 @@ mod tests {
         assert!(h1.try_get().is_none() && hf.try_get().is_none());
         let Some(Group::Facts(g)) = q.next_group() else { panic!("expected facts") };
         for r in &g {
-            r.handle.fulfill(Outcome::Accepted { group: 1 });
+            r.handle.fulfill(Outcome::Accepted { group: 1, version: 1 });
         }
         let Some(Group::Barrier(r)) = q.next_group() else { panic!("expected barrier") };
         assert!(matches!(r.op, Op::Flush));
-        r.handle.fulfill(Outcome::Accepted { group: 1 });
+        r.handle.fulfill(Outcome::Accepted { group: 1, version: 1 });
         assert!(h1.wait().is_accepted());
         assert!(hf.wait().is_accepted());
     }
@@ -405,5 +432,6 @@ mod tests {
         assert_eq!(g.len(), 2);
         assert_eq!(producer.join().unwrap(), "submitted");
         assert_eq!(q.pending(), 1);
+        assert_eq!(q.blocked(), 1, "one producer hit the backpressure bound");
     }
 }

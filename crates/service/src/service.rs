@@ -14,16 +14,26 @@
 //! * a **flush barrier** simply acknowledges once everything before it has
 //!   been decided.
 //!
-//! Readers ([`Service::with_engine`], the TCP front-end's `query`/`stats`)
-//! lock the same mutex briefly between group commits; the worker is the
-//! only writer.
+//! ## The read path: published snapshots, not the engine mutex
+//!
+//! After every engine transaction — and **before** delivering any of that
+//! group's outcomes — the worker freezes the committed model into a
+//! [`VersionedSnapshot`] (copy-on-publish: unchanged relations are
+//! `Arc`-shared with the previous snapshot) and publishes it atomically.
+//! Readers ([`Service::snapshot`], [`Service::snapshot_at`], the TCP
+//! front-end's `query`/`stats`) take one `Arc` clone and never touch the
+//! engine mutex, so a reader is never blocked behind an in-flight group
+//! commit. [`Service::with_engine`] remains for administrative access that
+//! genuinely needs the live engine; it locks the mutex as before.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use strata_core::engine::normalize;
 use strata_core::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
+use strata_datalog::ModelSnapshot;
 
 use crate::coalesce::{Coalescer, Decision};
 use crate::queue::{Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
@@ -46,6 +56,72 @@ struct Counters {
     /// Accepted updates that coalesced away before reaching the engine.
     coalesced: AtomicU64,
     flushes: AtomicU64,
+    /// Snapshot reads served ([`Service::snapshot`] / [`Service::snapshot_at`]).
+    snapshot_reads: AtomicU64,
+}
+
+/// One published commit: the committed model frozen at a version.
+///
+/// Obtained from [`Service::snapshot`] (latest) or [`Service::snapshot_at`]
+/// (read-your-writes); queries evaluate against [`Self::model`] with no
+/// engine access. Version 0 is the state at service start (for a durable
+/// engine, the recovered state); every subsequent engine transaction bumps
+/// it by one.
+#[derive(Debug)]
+pub struct VersionedSnapshot {
+    /// Commit version this snapshot reflects.
+    pub version: u64,
+    /// The committed model, frozen. Unchanged relations are shared with the
+    /// predecessor snapshot, so holding several versions is cheap.
+    pub model: ModelSnapshot,
+    /// Durability counters as of this commit (storage-backed engines).
+    pub durability: Option<DurabilityStats>,
+}
+
+/// The atomic publish cell: the worker swaps in each new snapshot; readers
+/// clone the `Arc` out. The `Condvar` wakes `@version` waiters.
+#[derive(Debug)]
+struct SnapshotCell {
+    latest: Mutex<Arc<VersionedSnapshot>>,
+    advanced: Condvar,
+}
+
+impl SnapshotCell {
+    fn new(initial: VersionedSnapshot) -> SnapshotCell {
+        SnapshotCell { latest: Mutex::new(Arc::new(initial)), advanced: Condvar::new() }
+    }
+
+    /// Reader side: the latest published snapshot (one lock + `Arc` clone;
+    /// the lock is never held across a commit).
+    fn latest(&self) -> Arc<VersionedSnapshot> {
+        Arc::clone(&self.latest.lock().expect("snapshot cell poisoned"))
+    }
+
+    /// Worker side: publishes `snap` as the new latest and wakes waiters.
+    fn publish(&self, snap: VersionedSnapshot) {
+        let mut latest = self.latest.lock().expect("snapshot cell poisoned");
+        debug_assert!(snap.version >= latest.version, "versions advance monotonically");
+        *latest = Arc::new(snap);
+        self.advanced.notify_all();
+        drop(latest);
+    }
+
+    /// Blocks until the published version reaches `version`, bounded by
+    /// `wait`. `Err` carries the version that was published at timeout.
+    fn wait_for(&self, version: u64, wait: Duration) -> Result<Arc<VersionedSnapshot>, u64> {
+        let deadline = Instant::now() + wait;
+        let mut latest = self.latest.lock().expect("snapshot cell poisoned");
+        while latest.version < version {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(latest.version);
+            }
+            let (guard, _timeout) =
+                self.advanced.wait_timeout(latest, left).expect("snapshot cell poisoned");
+            latest = guard;
+        }
+        Ok(Arc::clone(&latest))
+    }
 }
 
 /// A point-in-time view of the service, for dashboards and the `stats`
@@ -70,11 +146,18 @@ pub struct ServiceStats {
     pub flushes: u64,
     /// Requests pending in the queue right now.
     pub pending: usize,
-    /// Facts in the maintained model right now.
+    /// Submits that blocked on the `max_pending` backpressure bound
+    /// (cumulative).
+    pub blocked: u64,
+    /// Commit version of the currently published snapshot.
+    pub snapshot_version: u64,
+    /// Snapshot reads served off the published snapshot (no engine lock).
+    pub snapshot_reads: u64,
+    /// Facts in the published committed model.
     pub model_facts: usize,
-    /// Durability counters, when the engine is storage-backed. Under group
-    /// commit `durability.wal_txns` grows with `commits`, not `accepted` —
-    /// the whole point.
+    /// Durability counters as of the published snapshot, when the engine is
+    /// storage-backed. Under group commit `durability.wal_txns` grows with
+    /// `commits`, not `accepted` — the whole point.
     pub durability: Option<DurabilityStats>,
 }
 
@@ -83,6 +166,7 @@ pub struct Service {
     queue: Arc<IngestQueue>,
     engine: Arc<Mutex<EngineBox>>,
     counters: Arc<Counters>,
+    snapshots: Arc<SnapshotCell>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -90,18 +174,28 @@ impl Service {
     /// Starts the service over `engine` and spawns the worker thread.
     pub fn start(engine: EngineBox, cfg: IngestConfig) -> Service {
         let queue = Arc::new(IngestQueue::new(cfg));
+        // Version 0 is published before the worker exists, so readers have
+        // a committed model from the first instant — for a durable engine,
+        // the recovered state.
+        let initial = VersionedSnapshot {
+            version: 0,
+            model: engine.model().snapshot(None),
+            durability: engine.durability(),
+        };
+        let snapshots = Arc::new(SnapshotCell::new(initial));
         let engine = Arc::new(Mutex::new(engine));
         let counters = Arc::new(Counters::default());
         let worker = {
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
             let counters = Arc::clone(&counters);
+            let snapshots = Arc::clone(&snapshots);
             std::thread::Builder::new()
                 .name("strata-ingest".into())
-                .spawn(move || worker_loop(&queue, &engine, &counters))
+                .spawn(move || worker_loop(&queue, &engine, &counters, &snapshots))
                 .expect("spawn ingest worker")
         };
-        Service { queue, engine, counters, worker: Some(worker) }
+        Service { queue, engine, counters, snapshots, worker: Some(worker) }
     }
 
     /// Submits one update; returns immediately (blocking only on
@@ -122,16 +216,46 @@ impl Service {
         self.queue.submit_flush().wait();
     }
 
+    /// Submits a flush barrier without waiting; the returned handle
+    /// resolves — with the current commit version — once every earlier
+    /// request has been decided. The pipelined front-end uses this to keep
+    /// flushes in flight alongside other requests.
+    pub fn submit_flush(&self) -> SubmitHandle {
+        self.queue.submit_flush()
+    }
+
     /// Runs `f` against the engine between group commits. Readers see a
     /// committed state; writers must go through [`Service::submit`].
+    ///
+    /// This **blocks behind in-flight group commits** — it is the
+    /// administrative path (checkpointing, shutdown, diagnostics). Queries
+    /// and stats should read a published snapshot instead
+    /// ([`Service::snapshot`]), which never touches the engine mutex.
     pub fn with_engine<R>(&self, f: impl FnOnce(&dyn MaintenanceEngine) -> R) -> R {
         let engine = self.engine.lock().expect("engine poisoned");
         f(engine.as_ref())
     }
 
-    /// A point-in-time stats snapshot.
+    /// The latest published snapshot: one `Arc` clone, no engine access.
+    /// Reads here are never blocked by an in-flight commit.
+    pub fn snapshot(&self) -> Arc<VersionedSnapshot> {
+        self.counters.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.snapshots.latest()
+    }
+
+    /// Read-your-writes: blocks until the published snapshot reaches
+    /// `version` (the token delivered in [`Outcome::Accepted`]), bounded by
+    /// [`IngestConfig::read_wait`]. `Err` carries the version that was
+    /// published when the wait gave up.
+    pub fn snapshot_at(&self, version: u64) -> Result<Arc<VersionedSnapshot>, u64> {
+        self.counters.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.snapshots.wait_for(version, self.queue.config().read_wait)
+    }
+
+    /// A point-in-time stats snapshot — served entirely off the published
+    /// snapshot and the counters; never touches the engine mutex.
     pub fn stats(&self) -> ServiceStats {
-        let (model_facts, durability) = self.with_engine(|e| (e.model().len(), e.durability()));
+        let snap = self.snapshots.latest();
         ServiceStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             accepted: self.counters.accepted.load(Ordering::Relaxed),
@@ -142,8 +266,11 @@ impl Service {
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             flushes: self.counters.flushes.load(Ordering::Relaxed),
             pending: self.queue.pending(),
-            model_facts,
-            durability,
+            blocked: self.queue.blocked(),
+            snapshot_version: snap.version,
+            snapshot_reads: self.counters.snapshot_reads.load(Ordering::Relaxed),
+            model_facts: snap.model.len(),
+            durability: snap.durability,
         }
     }
 
@@ -201,9 +328,18 @@ fn null_engine() -> EngineBox {
     Box::new(Null(strata_datalog::Program::new(), strata_datalog::Database::new()))
 }
 
-/// The worker: drain, decide, group-commit, fulfill. Exits when the queue
-/// is closed and empty.
-fn worker_loop(queue: &IngestQueue, engine: &Mutex<EngineBox>, counters: &Counters) {
+/// The worker: drain, decide, group-commit, **publish**, fulfill. Exits
+/// when the queue is closed and empty.
+///
+/// The publish-before-fulfill order is the read-your-writes linchpin: by
+/// the time any producer observes its [`Outcome::Accepted`], the snapshot
+/// carrying that version is already visible to every reader.
+fn worker_loop(
+    queue: &IngestQueue,
+    engine: &Mutex<EngineBox>,
+    counters: &Counters,
+    snapshots: &SnapshotCell,
+) {
     // If the worker dies early — a poisoned engine mutex is the realistic
     // case — producers must not hang forever on their completion handles:
     // close the queue and drop everything still pending on the way out
@@ -219,25 +355,41 @@ fn worker_loop(queue: &IngestQueue, engine: &Mutex<EngineBox>, counters: &Counte
     }
     let _bailout = Bailout(queue);
     let mut coalescer = Coalescer::new();
+    // Commit version: advanced only when an engine transaction actually
+    // happens, so the version sequence is dense over *commits* and a
+    // coalesced-to-nothing group does not force a republish.
+    let mut version = snapshots.latest().version;
     while let Some(group) = queue.next_group() {
         let ordinal = counters.groups.fetch_add(1, Ordering::Relaxed) + 1;
         match group {
             Group::Facts(requests) => {
-                commit_fact_group(&requests, ordinal, engine, &mut coalescer, counters);
+                commit_fact_group(
+                    &requests,
+                    ordinal,
+                    &mut version,
+                    engine,
+                    &mut coalescer,
+                    counters,
+                    snapshots,
+                );
             }
             Group::Barrier(request) => match &request.op {
                 Op::Flush => {
+                    // A flush commits nothing: the published snapshot is
+                    // already current, so the ack just carries its version.
                     counters.flushes.fetch_add(1, Ordering::Relaxed);
-                    request.handle.fulfill(Outcome::Accepted { group: ordinal });
+                    request.handle.fulfill(Outcome::Accepted { group: ordinal, version });
                 }
                 Op::Update(update) => {
                     commit_rule_barrier(
                         &request,
                         update,
                         ordinal,
+                        &mut version,
                         engine,
                         &mut coalescer,
                         counters,
+                        snapshots,
                     );
                 }
             },
@@ -245,12 +397,27 @@ fn worker_loop(queue: &IngestQueue, engine: &Mutex<EngineBox>, counters: &Counte
     }
 }
 
+/// Freezes the engine's model at `version` and publishes it. Called with
+/// the engine lock held — the worker is the only mutator, and publishing
+/// before the lock drops means no later commit can race ahead of this one.
+fn publish(snapshots: &SnapshotCell, engine: &EngineBox, version: u64) {
+    let prev = snapshots.latest();
+    snapshots.publish(VersionedSnapshot {
+        version,
+        model: engine.model().snapshot(Some(&prev.model)),
+        durability: engine.durability(),
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
 fn commit_fact_group(
     requests: &[Request],
     ordinal: u64,
+    version: &mut u64,
     engine: &Mutex<EngineBox>,
     coalescer: &mut Coalescer,
     counters: &Counters,
+    snapshots: &SnapshotCell,
 ) {
     let updates = requests.iter().map(|r| match &r.op {
         Op::Update(u) => u,
@@ -260,6 +427,12 @@ fn commit_fact_group(
     let plan = coalescer.plan_group(engine.program(), updates);
     let result =
         if plan.batch.is_empty() { Ok(()) } else { engine.apply_all(&plan.batch).map(|_| ()) };
+    if result.is_ok() && !plan.batch.is_empty() {
+        // Publish before the lock drops and before any outcome is
+        // delivered: an acknowledged write is always already readable.
+        *version += 1;
+        publish(snapshots, &engine, *version);
+    }
     drop(engine); // decisions are delivered outside the engine lock
     match result {
         Ok(()) => {
@@ -272,7 +445,9 @@ fn commit_fact_group(
                 match decision {
                     Decision::Accepted => {
                         counters.accepted.fetch_add(1, Ordering::Relaxed);
-                        request.handle.fulfill(Outcome::Accepted { group: ordinal });
+                        request
+                            .handle
+                            .fulfill(Outcome::Accepted { group: ordinal, version: *version });
                     }
                     Decision::Rejected(e) => {
                         counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -299,13 +474,16 @@ fn commit_fact_group(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn commit_rule_barrier(
     request: &Request,
     update: &Update,
     ordinal: u64,
+    version: &mut u64,
     engine: &Mutex<EngineBox>,
     coalescer: &mut Coalescer,
     counters: &Counters,
+    snapshots: &SnapshotCell,
 ) {
     let mut engine = engine.lock().expect("engine poisoned");
     // Pre-check insertions against stream-recorded arities the engine may
@@ -320,7 +498,9 @@ fn commit_rule_barrier(
             counters.accepted.fetch_add(1, Ordering::Relaxed);
             counters.commits.fetch_add(1, Ordering::Relaxed);
             counters.committed_updates.fetch_add(1, Ordering::Relaxed);
-            Outcome::Accepted { group: ordinal }
+            *version += 1;
+            publish(snapshots, &engine, *version);
+            Outcome::Accepted { group: ordinal, version: *version }
         }
         Err(e) => {
             counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -391,6 +571,7 @@ mod tests {
             max_group: 8,
             max_delay: Duration::from_millis(500),
             max_pending: 64,
+            ..IngestConfig::default()
         });
         let handles: Vec<_> =
             (10..18).map(|i| service.submit(ins(&format!("submitted({i})")))).collect();
@@ -410,6 +591,7 @@ mod tests {
             max_group: 4,
             max_delay: Duration::from_millis(500),
             max_pending: 64,
+            ..IngestConfig::default()
         });
         let hs = [
             service.submit(ins("accepted(1)")),
@@ -442,6 +624,93 @@ mod tests {
             service.apply(ins("submitted(10)")),
             Outcome::Rejected(MaintenanceError::Storage(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_version_zero_is_published_at_start() {
+        let service = pods_service(IngestConfig::default());
+        let snap = service.snapshot();
+        assert_eq!(snap.version, 0);
+        assert!(snap.model.contains_parsed("rejected(1)"), "seed model is published");
+        assert_eq!(service.stats().snapshot_version, 0);
+    }
+
+    #[test]
+    fn acked_writes_are_already_readable() {
+        let service = pods_service(IngestConfig::default());
+        let Outcome::Accepted { version, .. } = service.apply(ins("accepted(1)")) else {
+            panic!("insert must accept")
+        };
+        assert!(version > 0);
+        // Publish-before-ack: the *latest* snapshot must already carry the
+        // write — no flush, no wait.
+        let snap = service.snapshot();
+        assert!(snap.version >= version);
+        assert!(!snap.model.contains_parsed("rejected(1)"));
+        // And the pinned read resolves immediately.
+        let pinned = service.snapshot_at(version).expect("version already published");
+        assert!(pinned.model.contains_parsed("accepted(1)"));
+    }
+
+    #[test]
+    fn coalesced_noops_carry_the_current_version() {
+        let service = pods_service(IngestConfig::default());
+        let Outcome::Accepted { version: v1, .. } = service.apply(ins("accepted(1)")) else {
+            panic!("insert must accept")
+        };
+        // A duplicate insert coalesces away: no commit, same version.
+        let Outcome::Accepted { version: v2, .. } = service.apply(ins("accepted(1)")) else {
+            panic!("duplicate insert must accept as a no-op")
+        };
+        assert_eq!(v2, v1, "a no-op group must not bump the commit version");
+    }
+
+    #[test]
+    fn snapshot_at_future_version_times_out() {
+        let service = pods_service(IngestConfig {
+            read_wait: Duration::from_millis(30),
+            ..IngestConfig::default()
+        });
+        let published = service.snapshot().version;
+        match service.snapshot_at(published + 10) {
+            Err(at) => assert_eq!(at, published),
+            Ok(_) => panic!("a never-committed version must time out"),
+        }
+    }
+
+    #[test]
+    fn rule_barriers_publish_too() {
+        let service = pods_service(IngestConfig::default());
+        let rule = Rule::parse("flagged(X) :- rejected(X).").unwrap();
+        let Outcome::Accepted { version, .. } = service.apply(Update::InsertRule(rule)) else {
+            panic!("rule insert must accept")
+        };
+        let snap = service.snapshot_at(version).expect("published before ack");
+        assert!(snap.model.contains_parsed("flagged(1)"));
+    }
+
+    #[test]
+    fn stats_and_snapshots_never_touch_the_engine_mutex() {
+        let service = pods_service(IngestConfig::default());
+        service.apply(ins("accepted(1)"));
+        // Hold the engine mutex hostage on another thread; reads must still
+        // complete. (with_engine would deadlock here — that is the point.)
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            let svc = &service;
+            s.spawn(move || {
+                svc.with_engine(|_| {
+                    rx.recv().expect("release signal");
+                });
+            });
+            std::thread::sleep(Duration::from_millis(20)); // let the holder in
+            let snap = service.snapshot();
+            assert!(snap.model.contains_parsed("accepted(1)"));
+            let stats = service.stats();
+            assert_eq!(stats.snapshot_version, snap.version);
+            assert!(stats.snapshot_reads >= 1);
+            tx.send(()).expect("holder alive");
+        });
     }
 
     #[test]

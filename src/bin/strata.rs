@@ -28,7 +28,9 @@
 //! :save <path>        export the current program as text
 //! :compact            snapshot the durable store and empty its WAL
 //! :serve <addr>       start a TCP ingest server over the current program
-//! :connect <addr>     turn the shell into a client of a running server
+//! :connect <addr> [--timeout-ms <n>]
+//!                     turn the shell into a client of a running server
+//!                     (with an optional connect/read timeout)
 //! :disconnect         leave remote mode
 //! :flush              wait until everything submitted so far is decided
 //! :help               this text
@@ -67,7 +69,7 @@ enum Command {
     Save(String),
     Compact,
     Serve(String),
-    Connect(String),
+    Connect { addr: String, timeout_ms: Option<u64> },
     Disconnect,
     Flush,
     Help,
@@ -140,11 +142,24 @@ fn parse_command(line: &str) -> Result<Command, String> {
             }
         }
         ":connect" => {
-            let addr = line[8..].trim();
-            if addr.is_empty() {
-                Err("usage: :connect <addr>".into())
-            } else {
-                Ok(Command::Connect(addr.to_string()))
+            let mut addr = None;
+            let mut timeout_ms = None;
+            let mut words = line[8..].split_whitespace();
+            while let Some(word) = words.next() {
+                if word == "--timeout-ms" {
+                    timeout_ms = match words.next().map(str::parse) {
+                        Some(Ok(ms)) => Some(ms),
+                        _ => return Err("usage: :connect <addr> [--timeout-ms <n>]".into()),
+                    };
+                } else if addr.is_none() {
+                    addr = Some(word.to_string());
+                } else {
+                    return Err("usage: :connect <addr> [--timeout-ms <n>]".into());
+                }
+            }
+            match addr {
+                Some(addr) => Ok(Command::Connect { addr, timeout_ms }),
+                None => Err("usage: :connect <addr> [--timeout-ms <n>]".into()),
             }
         }
         ":disconnect" => Ok(Command::Disconnect),
@@ -394,7 +409,7 @@ impl Repl {
                     Err(e) => writeln!(out, "  error: {e}")?,
                 }
             }
-            Command::Connect(addr) => match Client::connect(&addr) {
+            Command::Connect { addr, timeout_ms } => match connect(&addr, timeout_ms) {
                 Ok(client) => {
                     self.remote = Some(client);
                     writeln!(
@@ -439,7 +454,11 @@ impl Repl {
                 writeln!(out, "  disconnected (back to the local engine)")?;
             }
             Command::Insert(u) | Command::Delete(u) => match client.submit(&u) {
-                Ok(Ok(group)) => writeln!(out, "  ok: committed with group {group}")?,
+                Ok(Ok(ack)) => writeln!(
+                    out,
+                    "  ok: committed with group {} at version {}",
+                    ack.group, ack.version
+                )?,
                 Ok(Err(reason)) => writeln!(out, "  rejected: {reason}")?,
                 Err(e) => self.drop_connection(e, out)?,
             },
@@ -460,11 +479,11 @@ impl Repl {
                 Err(e) => self.drop_connection(e, out)?,
             },
             Command::Flush => match client.flush() {
-                Ok(Ok(())) => writeln!(out, "  flushed")?,
+                Ok(Ok(version)) => writeln!(out, "  flushed at version {version}")?,
                 Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
                 Err(e) => self.drop_connection(e, out)?,
             },
-            Command::Connect(addr) => match Client::connect(&addr) {
+            Command::Connect { addr, timeout_ms } => match connect(&addr, timeout_ms) {
                 Ok(client) => {
                     self.remote = Some(client);
                     writeln!(out, "  reconnected to {addr}")?;
@@ -482,6 +501,16 @@ impl Repl {
     }
 }
 
+/// Opens a protocol client, bounded when `--timeout-ms` was given — the
+/// bound covers the connection attempt and every later read, so a hung
+/// server cannot wedge the shell.
+fn connect(addr: &str, timeout_ms: Option<u64>) -> io::Result<Client> {
+    match timeout_ms {
+        Some(ms) => Client::connect_timeout(addr, std::time::Duration::from_millis(ms)),
+        None => Client::connect(addr),
+    }
+}
+
 const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   ? <query>         query         :why <fact>     proof tree
   :constrain <body> add denial    :constraints    list denials
@@ -490,7 +519,8 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   :open <path>      durable (WAL) :save <path>    text export
   :compact          snapshot + empty WAL
   :serve <addr>     TCP ingest server over the current program
-  :connect <addr>   become a client of a server   :disconnect  leave
+  :connect <addr> [--timeout-ms <n>]   become a client of a server
+  :disconnect       leave remote mode
   :flush            wait for all submitted updates (remote mode)
   :help  :quit";
 
@@ -790,13 +820,21 @@ mod tests {
         assert!(
             matches!(parse_command(":serve 127.0.0.1:0").unwrap(), Command::Serve(a) if a == "127.0.0.1:0")
         );
-        assert!(
-            matches!(parse_command(":connect 127.0.0.1:7171").unwrap(), Command::Connect(a) if a == "127.0.0.1:7171")
-        );
+        assert!(matches!(
+            parse_command(":connect 127.0.0.1:7171").unwrap(),
+            Command::Connect { addr, timeout_ms: None } if addr == "127.0.0.1:7171"
+        ));
+        assert!(matches!(
+            parse_command(":connect 127.0.0.1:7171 --timeout-ms 250").unwrap(),
+            Command::Connect { addr, timeout_ms: Some(250) } if addr == "127.0.0.1:7171"
+        ));
         assert!(matches!(parse_command(":disconnect").unwrap(), Command::Disconnect));
         assert!(matches!(parse_command(":flush").unwrap(), Command::Flush));
         assert!(parse_command(":serve").is_err());
         assert!(parse_command(":connect").is_err());
+        assert!(parse_command(":connect 127.0.0.1:1 --timeout-ms").is_err());
+        assert!(parse_command(":connect 127.0.0.1:1 --timeout-ms x").is_err());
+        assert!(parse_command(":connect a b").is_err());
     }
 
     #[test]

@@ -104,7 +104,12 @@ fn n_clients_m_updates_durable_group_commit_and_reopen() {
         let engine = registry.build_with_storage("cascade", program(), &storage).unwrap();
         let service = Arc::new(Service::start(
             engine,
-            IngestConfig { max_group: 32, max_delay: Duration::from_millis(5), max_pending: 4096 },
+            IngestConfig {
+                max_group: 32,
+                max_delay: Duration::from_millis(5),
+                max_pending: 4096,
+                ..IngestConfig::default()
+            },
         ));
         // Fire-and-forget from CLIENTS producer threads, decisions
         // collected per client at the end: the backlog keeps groups fat.
@@ -169,7 +174,12 @@ fn tcp_clients_against_one_server_match_the_oracle() {
     let engine = EngineRegistry::standard().build("cascade", program()).unwrap();
     let service = Arc::new(Service::start(
         engine,
-        IngestConfig { max_group: 16, max_delay: Duration::from_millis(2), max_pending: 1024 },
+        IngestConfig {
+            max_group: 16,
+            max_delay: Duration::from_millis(2),
+            max_pending: 1024,
+            ..IngestConfig::default()
+        },
     ));
     let server = net::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
     let addr = server.addr().to_string();
@@ -250,7 +260,12 @@ fn backpressure_bounds_pending_under_load() {
     let engine = EngineRegistry::standard().build("cascade", program()).unwrap();
     let service = Arc::new(Service::start(
         engine,
-        IngestConfig { max_group: 8, max_delay: Duration::from_millis(1), max_pending: 64 },
+        IngestConfig {
+            max_group: 8,
+            max_delay: Duration::from_millis(1),
+            max_pending: 64,
+            ..IngestConfig::default()
+        },
     ));
     let producers: Vec<_> = (0..4)
         .map(|c| {
@@ -280,8 +295,10 @@ fn outcome_reports_rejection_reasons() {
         panic!("unasserted delete must reject")
     };
     assert!(e.to_string().contains("not an asserted fact"), "{e}");
-    let Outcome::Accepted { group } = service.apply(Update::InsertFact(fact("seeded(1)"))) else {
+    let Outcome::Accepted { group, version } = service.apply(Update::InsertFact(fact("seeded(1)")))
+    else {
         panic!("insert must be accepted")
     };
     assert!(group >= 1);
+    assert!(version >= 1, "a committing insert carries its commit version");
 }
