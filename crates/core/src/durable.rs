@@ -42,7 +42,7 @@ use std::path::{Path, PathBuf};
 
 use strata_datalog::wire::{self, Reader, WireError};
 use strata_datalog::{Database, Fact, Program, Rule};
-use strata_store::{Durability, Store};
+use strata_store::{Durability, FaultInjector, Store};
 
 use crate::engine::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
 use crate::stats::UpdateStats;
@@ -353,6 +353,7 @@ pub struct DurableEngine {
     recovered_txns: u64,
     recovered_updates: u64,
     recovered_torn_tail: bool,
+    recovered_quarantined: bool,
 }
 
 impl DurableEngine {
@@ -374,7 +375,22 @@ impl DurableEngine {
         initial: Program,
         durability: Durability,
     ) -> Result<DurableEngine, MaintenanceError> {
-        let (store, recovered) = Store::open(path.as_ref(), durability).map_err(storage_err)?;
+        Self::open_with(path, strategy, ctor, initial, durability, None)
+    }
+
+    /// [`DurableEngine::open`] with an optional armed fault injector
+    /// threaded into the store's WAL and snapshot I/O
+    /// (see [`strata_store::faults`]).
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        strategy: &str,
+        ctor: EngineCtor,
+        initial: Program,
+        durability: Durability,
+        faults: Option<std::sync::Arc<FaultInjector>>,
+    ) -> Result<DurableEngine, MaintenanceError> {
+        let (store, recovered) =
+            Store::open_with(path.as_ref(), durability, faults).map_err(storage_err)?;
         let fresh = recovered.snapshot.is_none();
         let base = match recovered.snapshot {
             Some(snap) => {
@@ -418,6 +434,7 @@ impl DurableEngine {
             recovered_txns: recovered.committed.len() as u64,
             recovered_updates,
             recovered_torn_tail: recovered.torn_tail,
+            recovered_quarantined: recovered.quarantined.is_some(),
         };
         if fresh {
             engine.write_snapshot()?;
@@ -570,6 +587,7 @@ impl MaintenanceEngine for DurableEngine {
             recovered_torn_tail: self.recovered_torn_tail,
             wal_txns: self.store.wal_txns(),
             wal_bytes: self.store.wal_bytes(),
+            recovered_quarantined: self.recovered_quarantined,
         })
     }
 

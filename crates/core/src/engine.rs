@@ -52,6 +52,16 @@ pub enum MaintenanceError {
     /// The durable backing store failed (I/O error, corrupt file). Only
     /// raised by storage-backed engines ([`crate::durable::DurableEngine`]).
     Storage(String),
+    /// The service worker applying this update panicked; the update's
+    /// outcome is unknown (it may or may not have committed) and the
+    /// request is safe to retry idempotently.
+    Panicked(String),
+    /// The service has degraded to read-only mode after persistent storage
+    /// failures: snapshot reads and stats keep serving, updates are
+    /// rejected until a write probe succeeds. Retryable.
+    ReadOnly,
+    /// The service was shut down before deciding this request.
+    Shutdown,
 }
 
 impl fmt::Display for MaintenanceError {
@@ -68,7 +78,51 @@ impl fmt::Display for MaintenanceError {
             }
             MaintenanceError::Datalog(e) => write!(f, "{e}"),
             MaintenanceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            MaintenanceError::Panicked(msg) => {
+                write!(f, "worker panicked while applying this request: {msg}")
+            }
+            MaintenanceError::ReadOnly => {
+                write!(f, "service is in read-only mode (storage is failing); retry later")
+            }
+            MaintenanceError::Shutdown => {
+                write!(f, "service shut down before deciding this request")
+            }
         }
+    }
+}
+
+impl MaintenanceError {
+    /// A short, stable, machine-readable code for each failure class — the
+    /// wire currency (`err code=<code> …`) clients branch on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            MaintenanceError::NotAsserted(_) => "not-asserted",
+            MaintenanceError::UnknownRule(_) => "unknown-rule",
+            MaintenanceError::WouldUnstratify(_) => "unstratified",
+            MaintenanceError::Datalog(_) => "datalog",
+            MaintenanceError::Storage(_) => "storage",
+            MaintenanceError::Panicked(_) => "panicked",
+            MaintenanceError::ReadOnly => "read-only",
+            MaintenanceError::Shutdown => "shutdown",
+        }
+    }
+
+    /// Whether a client may retry the identical request and hope for a
+    /// different outcome. Semantic rejections (the paper's update-language
+    /// errors) are deterministic — retrying them is pointless — while
+    /// infrastructure failures are transient by design: the service heals
+    /// workers, re-probes read-only mode, and another process may replace a
+    /// shut-down one. Paired with the dedup window (`client`/`seq`), a
+    /// retry of an *ambiguous* failure is also safe: an already-committed
+    /// first attempt is replayed, never re-applied.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MaintenanceError::Storage(_)
+                | MaintenanceError::Panicked(_)
+                | MaintenanceError::ReadOnly
+                | MaintenanceError::Shutdown
+        )
     }
 }
 
@@ -105,6 +159,12 @@ pub struct DurabilityStats {
     pub wal_txns: u64,
     /// Bytes of terminated transactions currently in the WAL.
     pub wal_bytes: u64,
+    /// Whether open found mid-file WAL corruption (damage *before* the
+    /// committed suffix — not a torn tail) and quarantined the damaged
+    /// image as `wal.corrupt-<seq>` beside the log. Committed transactions
+    /// after the damage were lost; the quarantine file preserves them for
+    /// manual recovery.
+    pub recovered_quarantined: bool,
 }
 
 /// A maintenance strategy: an explicit representation of `M(P)` kept

@@ -74,6 +74,10 @@ pub mod verify;
 pub use durable::{DurableEngine, StorageConfig};
 pub use engine::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
 pub use registry::{EngineRegistry, RegistryError};
+// Fault injection is defined next to the I/O it fails (`strata_store`);
+// re-exported here so service-layer crates arm plans without a direct
+// store dependency.
 pub use stats::UpdateStats;
 pub use strata_datalog::Parallelism;
+pub use strata_store::{faults, FaultInjector, FaultPlan, FaultPoint};
 pub use support::SupportDump;

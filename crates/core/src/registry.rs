@@ -251,7 +251,7 @@ impl EngineRegistry {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
         })?;
-        self.build_entry(entry, program, &entry.storage)
+        self.build_entry(entry, program, &entry.storage, None)
     }
 
     /// Builds the named engine with an explicit storage config, overriding
@@ -264,10 +264,26 @@ impl EngineRegistry {
         program: Program,
         storage: &StorageConfig,
     ) -> Result<EngineBox, RegistryError> {
+        self.build_with_storage_faults(name, program, storage, None)
+    }
+
+    /// [`build_with_storage`] with an armed fault injector threaded into
+    /// the durable engine's WAL and snapshot I/O (ignored for `Mem`
+    /// builds, which have no I/O to fail). The chaos harness and
+    /// `strata-serve --fault-plan` build through this.
+    ///
+    /// [`build_with_storage`]: EngineRegistry::build_with_storage
+    pub fn build_with_storage_faults(
+        &self,
+        name: &str,
+        program: Program,
+        storage: &StorageConfig,
+        faults: Option<Arc<strata_store::FaultInjector>>,
+    ) -> Result<EngineBox, RegistryError> {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
         })?;
-        self.build_entry(entry, program, storage)
+        self.build_entry(entry, program, storage, faults)
     }
 
     fn build_entry(
@@ -275,15 +291,17 @@ impl EngineRegistry {
         entry: &StrategyEntry,
         program: Program,
         storage: &StorageConfig,
+        faults: Option<Arc<strata_store::FaultInjector>>,
     ) -> Result<EngineBox, RegistryError> {
         let mut engine: EngineBox = match storage {
             StorageConfig::Mem => (entry.ctor)(program)?,
-            StorageConfig::Wal(path) => Box::new(DurableEngine::open(
+            StorageConfig::Wal(path) => Box::new(DurableEngine::open_with(
                 path,
                 entry.name,
                 Arc::clone(&entry.ctor),
                 program,
                 strata_store::Durability::Fsync,
+                faults,
             )?),
         };
         if let Some(par) = entry.parallelism {

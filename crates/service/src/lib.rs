@@ -78,6 +78,52 @@
 //! streams × group sizes, durable included) and `tests/service_ingest.rs`
 //! (multi-client integration with kill-and-reopen).
 //!
+//! ## Failure guarantees (the supervised service)
+//!
+//! Started via [`service::Service::start_supervised`], the worker is a
+//! supervision loop, and the service makes these promises under faults
+//! (worker panics, WAL write/fsync failures, storage corruption):
+//!
+//! * **A failure costs exactly the in-flight group.** Each group commits
+//!   under `catch_unwind`; a panic or storage error rejects every
+//!   *undecided* request of that group with a typed, retryable error
+//!   ([`strata_core::MaintenanceError::Panicked`] /
+//!   [`strata_core::MaintenanceError::Storage`] — `err code=panicked` /
+//!   `err code=storage` on the wire). Requests already acked keep their
+//!   acks; requests in other groups are untouched.
+//! * **Acked implies committed.** Outcomes are delivered only after the
+//!   group's transaction commits (durable engines: after the fsync) and
+//!   the snapshot publishes, so no acknowledged update can be lost by a
+//!   subsequent crash, restart, or degradation. The converse is *not*
+//!   promised: a fault between commit and delivery may reject requests
+//!   whose group did commit — the ambiguous window idempotent retries
+//!   exist for.
+//! * **Self-healing is bounded and verified.** After a failure the
+//!   supervisor rebuilds the engine through its
+//!   [`service::EngineRebuild`] (for a durable engine: reopen and replay
+//!   the WAL), proves the store writable with an empty probing
+//!   transaction, swaps the fresh engine in, and re-publishes a bumped
+//!   snapshot version — at most [`service::SupervisorConfig::max_restarts`]
+//!   times per failure, with doubling backoff.
+//! * **Degradation is read-only, never dead.** When healing is exhausted
+//!   (or impossible — no rebuild source), the service enters read-only
+//!   mode: snapshot queries, versioned reads, stats, and flush barriers
+//!   keep serving from the last committed snapshot; submits reject with
+//!   `err code=read-only` (retryable); a periodic probe re-arms writes
+//!   the moment the store recovers. Reads never block on the failure.
+//! * **Retries are exactly-once.** A client that declares an id (`client
+//!   <id>`) and sequences its submits (`submit seq=<n>`) may retry any
+//!   ambiguous failure verbatim: the per-client dedup window
+//!   ([`IngestConfig::dedup_window`]) replays decided outcomes instead of
+//!   re-applying updates, and re-executes only decided *retryable*
+//!   rejections. [`net::RetryClient`] packages this loop (reconnect,
+//!   exponential backoff, jitter).
+//!
+//! All of this is exercised by `tests/service_chaos.rs` (seed ×
+//! fault-point matrix over the real WAL with kill-and-reopen oracles) and
+//! `tests/service_retry.rs` (a lossy TCP proxy that kills connections
+//! before and after commit).
+//!
 //! ```
 //! use strata_core::registry::EngineRegistry;
 //! use strata_core::Update;
@@ -105,9 +151,9 @@ pub mod service;
 use std::time::Duration;
 
 pub use coalesce::{Coalescer, Decision, GroupPlan};
-pub use net::{Ack, Client, QueryReply, ServerHandle};
+pub use net::{Ack, Client, QueryReply, RetryClient, ServerHandle, ShutdownFlag};
 pub use queue::{IngestQueue, Outcome, SubmitHandle};
-pub use service::{Service, ServiceStats, VersionedSnapshot};
+pub use service::{EngineRebuild, Service, ServiceStats, SupervisorConfig, VersionedSnapshot};
 
 /// Group-cutting and backpressure knobs for the ingest queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +175,12 @@ pub struct IngestConfig {
     /// erroring, so a read for a version that never commits cannot wedge a
     /// reader forever.
     pub read_wait: Duration,
+    /// Per-client idempotency window: how many recent `(client, seq)`
+    /// submissions the service remembers for duplicate detection
+    /// ([`Service::submit_dedup`], the protocol's `client` / `submit
+    /// seq=<n>` forms). A retry whose first attempt was already decided
+    /// replays the recorded outcome instead of re-applying the update.
+    pub dedup_window: usize,
 }
 
 impl Default for IngestConfig {
@@ -138,6 +190,7 @@ impl Default for IngestConfig {
             max_delay: Duration::from_millis(2),
             max_pending: 8192,
             read_wait: Duration::from_secs(5),
+            dedup_window: 1024,
         }
     }
 }

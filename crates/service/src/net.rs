@@ -30,15 +30,24 @@
 //! ([`Client::connect_timeout`], [`Client::set_read_timeout`]) keep a hung
 //! server from wedging a reader forever; [`Client::send_raw`] /
 //! [`Client::recv_raw`] expose the tagged wire for pipelined use.
+//!
+//! [`RetryClient`] layers idempotent at-most-once submission on top:
+//! it declares a client id (`client <id>`), stamps every submit with a
+//! sequence number, and retries ambiguous failures — dropped connections,
+//! `code=panicked`, `code=read-only` — with exponential backoff and
+//! jitter. The server's dedup window makes the retry safe: an update
+//! acked by a lost response is *replayed*, never applied twice.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use strata_core::Update;
 use strata_datalog::query::render_row;
 
@@ -46,12 +55,49 @@ use crate::protocol::{self, Request};
 use crate::queue::{Outcome, SubmitHandle};
 use crate::service::Service;
 
+/// A latched one-way signal: any connection's `shutdown` verb (or the
+/// process's signal handler) raises it; the server's owner blocks on
+/// [`ShutdownFlag::wait_timeout`] and runs the graceful teardown.
+#[derive(Debug, Default)]
+pub struct ShutdownFlag {
+    raised: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShutdownFlag {
+    /// Raises the flag and wakes every waiter. Idempotent.
+    pub fn request(&self) {
+        let mut raised = self.raised.lock().unwrap_or_else(|p| p.into_inner());
+        *raised = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn requested(&self) -> bool {
+        *self.raised.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Blocks until the flag is raised, up to `wait`; returns whether it
+    /// was raised. A bounded wait lets the caller interleave polls of
+    /// signal-handler state (which cannot safely notify a condvar).
+    pub fn wait_timeout(&self, wait: Duration) -> bool {
+        let mut raised = self.raised.lock().unwrap_or_else(|p| p.into_inner());
+        if !*raised {
+            let (guard, _timeout) =
+                self.cv.wait_timeout(raised, wait).unwrap_or_else(|p| p.into_inner());
+            raised = guard;
+        }
+        *raised
+    }
+}
+
 /// A running TCP front-end. Dropping (or [`ServerHandle::stop`]) unbinds
 /// the listener; connections already accepted finish their current
 /// request-response exchange on their own threads.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    shutdown_requests: Arc<ShutdownFlag>,
     acceptor: Option<JoinHandle<()>>,
 }
 
@@ -59,6 +105,13 @@ impl ServerHandle {
     /// The bound address (useful with a `:0` bind).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The flag a client's `shutdown` verb raises — the server's owner
+    /// waits on it to run its graceful teardown (stop accepting, flush the
+    /// queue, checkpoint, exit).
+    pub fn shutdown_requests(&self) -> Arc<ShutdownFlag> {
+        Arc::clone(&self.shutdown_requests)
     }
 
     /// Stops accepting connections and joins the acceptor thread.
@@ -97,8 +150,10 @@ pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let shutdown_requests = Arc::new(ShutdownFlag::default());
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
+        let shutdown_requests = Arc::clone(&shutdown_requests);
         std::thread::Builder::new().name("strata-accept".into()).spawn(move || {
             for stream in listener.incoming() {
                 if shutdown.load(Ordering::SeqCst) {
@@ -106,13 +161,14 @@ pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
                 }
                 let Ok(stream) = stream else { continue };
                 let service = Arc::clone(&service);
+                let shutdown_requests = Arc::clone(&shutdown_requests);
                 let _ = std::thread::Builder::new()
                     .name("strata-conn".into())
-                    .spawn(move || serve_connection(stream, &service));
+                    .spawn(move || serve_connection(stream, &service, &shutdown_requests));
             }
         })?
     };
-    Ok(ServerHandle { addr, shutdown, acceptor: Some(acceptor) })
+    Ok(ServerHandle { addr, shutdown, shutdown_requests, acceptor: Some(acceptor) })
 }
 
 /// One unit of response work, in request-arrival order.
@@ -174,7 +230,11 @@ fn render_query(
 
 /// One connection's request loop — the reader of the three-thread pipeline
 /// described in the module docs. Returns on `quit`, EOF, or any I/O error.
-fn serve_connection(stream: TcpStream, service: &Service) -> io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    shutdown_requests: &ShutdownFlag,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let (write_tx, write_rx) = mpsc::channel::<Vec<String>>();
     let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -216,6 +276,10 @@ fn serve_connection(stream: TcpStream, service: &Service) -> io::Result<()> {
         })?
     };
 
+    // The client id declared by this connection's `client` verb, if any.
+    // Sequenced submits (`submit seq=<n>`) route through the service's
+    // idempotency window keyed on it.
+    let mut client_id: Option<String> = None;
     let mut line = String::new();
     loop {
         line.clear();
@@ -243,11 +307,36 @@ fn serve_connection(stream: TcpStream, service: &Service) -> io::Result<()> {
                 let _ = job_tx.send(Job::Quit(bye));
                 break;
             }
-            Ok(Request::Submit(update)) => {
+            Ok(Request::Submit { update, seq }) => {
                 // Blocks only on queue backpressure; the ack is delivered
                 // by the completion thread once the group commits.
-                let handle = service.submit(update);
-                job_tx.send(Job::Wait { tag: tag.clone(), handle, flush: false }).map_err(|_| ())
+                match (seq, client_id.as_deref()) {
+                    (None, _) => {
+                        let handle = service.submit(update);
+                        job_tx
+                            .send(Job::Wait { tag: tag.clone(), handle, flush: false })
+                            .map_err(|_| ())
+                    }
+                    (Some(seq), Some(client)) => {
+                        let handle = service.submit_dedup(client, seq, update);
+                        job_tx
+                            .send(Job::Wait { tag: tag.clone(), handle, flush: false })
+                            .map_err(|_| ())
+                    }
+                    (Some(_), None) => respond(vec![protocol::render_tagged(
+                        tag.as_deref(),
+                        "err seq= requires a client id: send `client <id>` first",
+                    )]),
+                }
+            }
+            Ok(Request::Hello { client }) => {
+                let line = format!("ok client={client}");
+                client_id = Some(client);
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
+            }
+            Ok(Request::Shutdown) => {
+                shutdown_requests.request();
+                respond(vec![protocol::render_tagged(tag.as_deref(), "ok shutting down")])
             }
             Ok(Request::Flush) => {
                 let handle = service.submit_flush();
@@ -443,10 +532,182 @@ impl Client {
         }))
     }
 
+    /// Declares this connection's client id, enabling sequenced
+    /// (`seq=<n>`) idempotent submits.
+    pub fn hello(&mut self, id: &str) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip(&format!("client {id}"))?.map(|_| ()))
+    }
+
+    /// Asks the server's owner to shut down gracefully: raises the
+    /// server's [`ShutdownFlag`]. The server acknowledges before its
+    /// owner begins the drain, so the ack always arrives.
+    pub fn request_shutdown(&mut self) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip("shutdown")?.map(|_| ()))
+    }
+
     /// Says goodbye and closes the connection.
     pub fn quit(mut self) -> io::Result<()> {
         let _ = self.roundtrip("quit")?;
         Ok(())
+    }
+}
+
+/// Whether a wire rejection is worth retrying: the server marks its
+/// transient failure surface with `code=` prefixes whose
+/// [`strata_core::MaintenanceError::is_retryable`] is true.
+fn is_retryable_rejection(reason: &str) -> bool {
+    let Some(code) = reason.split_whitespace().next().and_then(|t| t.strip_prefix("code=")) else {
+        return false;
+    };
+    matches!(code, "storage" | "panicked" | "read-only" | "shutdown")
+}
+
+/// An idempotent, self-reconnecting client for at-most-once submission.
+///
+/// Every submit carries a fresh sequence number under the client's
+/// declared id. On an ambiguous failure — the connection died before the
+/// ack arrived, or the server rejected with a retryable `code=` (worker
+/// panicked mid-group, read-only degradation, storage fault) — the client
+/// reconnects and **resends the same sequence number** after an
+/// exponentially backed-off, jittered pause. The server's dedup window
+/// guarantees the retry is safe: if the first attempt was in fact decided,
+/// the recorded outcome is replayed verbatim; the update is never applied
+/// twice.
+#[derive(Debug)]
+pub struct RetryClient {
+    addr: String,
+    id: String,
+    seq: u64,
+    attempts: u32,
+    base_backoff: Duration,
+    client: Option<Client>,
+    rng: SmallRng,
+}
+
+impl RetryClient {
+    /// A retrying client with the default policy: 8 attempts, 5 ms base
+    /// backoff (doubling, jittered). The id must be stable across the
+    /// client's lifetime — it keys the server's dedup window.
+    pub fn new(addr: &str, id: &str) -> RetryClient {
+        RetryClient::with_policy(addr, id, 8, Duration::from_millis(5))
+    }
+
+    /// A retrying client with an explicit attempt budget and base backoff.
+    pub fn with_policy(addr: &str, id: &str, attempts: u32, base_backoff: Duration) -> RetryClient {
+        // Seed the jitter from the id so two clients with distinct ids
+        // desynchronize their retry storms deterministically.
+        let seed =
+            id.bytes().fold(0xcafe_f00d_u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        RetryClient {
+            addr: addr.to_string(),
+            id: id.to_string(),
+            seq: 0,
+            attempts: attempts.max(1),
+            base_backoff,
+            client: None,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The highest sequence number issued so far.
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The live connection, (re)established and handshaken on demand.
+    fn connected(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            let mut client = Client::connect(&self.addr)?;
+            match client.roundtrip(&format!("client {}", self.id))? {
+                Ok(_) => {}
+                Err(reason) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("client handshake rejected: {reason}"),
+                    ));
+                }
+            }
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// Sleeps `base * 2^(attempt-1)` plus uniform jitter of up to one base
+    /// interval, so concurrent retriers spread out instead of stampeding.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.base_backoff.as_millis() as u64;
+        let pause = base.saturating_mul(1_u64 << (attempt - 1).min(10));
+        let jitter = if base > 0 { self.rng.gen_range(0..=base) } else { 0 };
+        std::thread::sleep(Duration::from_millis(pause + jitter));
+    }
+
+    /// Submits one update idempotently; retries ambiguous failures.
+    pub fn submit(&mut self, update: &Update) -> io::Result<Result<Ack, String>> {
+        self.submit_text(&protocol::render_update(update))
+    }
+
+    /// Submits raw update text (`+ p(1)`) idempotently under a fresh
+    /// sequence number. `Ok(ack)` on acceptance; `Err(reason)` only for
+    /// *deterministic* rejections (semantic errors the engine would repeat
+    /// on any retry). Transient failures are retried until the attempt
+    /// budget runs out, then surface as an `io::Error`.
+    pub fn submit_text(&mut self, update: &str) -> io::Result<Result<Ack, String>> {
+        self.seq += 1;
+        let line = format!("submit seq={} {update}", self.seq);
+        self.retry_roundtrip(&line).map(|r| r.map(|(_, tail)| parse_ack(&tail)))
+    }
+
+    /// Evaluates a query, reconnecting and retrying on connection loss
+    /// (reads are naturally idempotent).
+    pub fn query(&mut self, body: &str) -> io::Result<Result<QueryReply, String>> {
+        self.retry_roundtrip(&format!("query {body}")).map(|r| {
+            r.map(|(rows, tail)| match tail.as_str() {
+                "true" => QueryReply::Boolean(true),
+                "false" => QueryReply::Boolean(false),
+                _ => QueryReply::Rows(rows),
+            })
+        })
+    }
+
+    /// Flushes (idempotent barrier), reconnecting and retrying on
+    /// connection loss; returns the commit version at the flush point.
+    pub fn flush(&mut self) -> io::Result<Result<u64, String>> {
+        self.retry_roundtrip("flush").map(|r| r.map(|(_, tail)| parse_ack(&tail).version))
+    }
+
+    /// The shared retry loop: resend `line` verbatim until it yields a
+    /// terminal answer or the attempt budget is exhausted.
+    fn retry_roundtrip(&mut self, line: &str) -> io::Result<Result<(Vec<String>, String), String>> {
+        let mut last = String::from("no attempts made");
+        for attempt in 0..self.attempts {
+            if attempt > 0 {
+                self.backoff(attempt);
+            }
+            let outcome = match self.connected() {
+                Ok(client) => client.roundtrip(line),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Err(e) => {
+                    // Connection-level failure: ambiguous (the request may
+                    // have committed). Reconnect and resend the same seq.
+                    self.client = None;
+                    last = format!("i/o: {e}");
+                }
+                Ok(Ok(done)) => return Ok(Ok(done)),
+                Ok(Err(reason)) => {
+                    if is_retryable_rejection(&reason) {
+                        last = reason;
+                    } else {
+                        return Ok(Err(reason));
+                    }
+                }
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("retries exhausted after {} attempts; last failure: {last}", self.attempts),
+        ))
     }
 }
 
@@ -565,6 +826,85 @@ mod tests {
         assert!(seen["c"].contains("snapshot_version="), "{:?}", seen["c"]);
         client.quit().unwrap();
         handle.stop();
+    }
+
+    #[test]
+    fn sequenced_submits_replay_instead_of_reapplying() {
+        let (service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        client.hello("alice").unwrap().unwrap();
+        let first = client.roundtrip("submit seq=1 + submitted(41)").unwrap().unwrap();
+        // A retry of the same sequence number replays the recorded ack —
+        // same group, same version — rather than re-running the update.
+        let retry = client.roundtrip("submit seq=1 + submitted(41)").unwrap().unwrap();
+        assert_eq!(first, retry, "replayed ack must be byte-identical");
+        assert_eq!(client.stats_field("deduped").unwrap(), Some(1));
+        // A deterministic rejection replays too, as the same error.
+        let e1 = client.roundtrip("submit seq=2 - ghost(1)").unwrap().unwrap_err();
+        let e2 = client.roundtrip("submit seq=2 - ghost(1)").unwrap().unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(e1.starts_with("code=not-asserted"), "{e1}");
+        let _ = service.stats();
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn sequenced_submit_without_client_id_is_refused() {
+        let (_service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let err = client.roundtrip("submit seq=1 + submitted(50)").unwrap().unwrap_err();
+        assert!(err.contains("client"), "{err}");
+        // Unsequenced submits still work without a client id.
+        client.submit_text("+ submitted(50)").unwrap().unwrap();
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn shutdown_verb_raises_the_server_flag() {
+        let (_service, handle) = pods_server();
+        let flag = handle.shutdown_requests();
+        assert!(!flag.requested());
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        client.request_shutdown().unwrap().unwrap();
+        assert!(flag.wait_timeout(Duration::from_secs(5)), "verb must raise the flag");
+        // The connection stays live until the owner actually tears down.
+        assert_eq!(client.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        handle.stop();
+    }
+
+    #[test]
+    fn retry_client_reconnects_across_a_server_restart() {
+        let (service, handle) = pods_server();
+        let addr = handle.addr().to_string();
+        let mut rc = RetryClient::new(&addr, "riley");
+        let ack = rc.submit_text("+ submitted(77)").unwrap().unwrap();
+        assert!(ack.version >= 1);
+        assert_eq!(rc.query("rejected(77)").unwrap().unwrap(), QueryReply::Boolean(true));
+        // Kill the listener out from under the client; rebind on the same
+        // port and make sure the client re-handshakes and keeps its seq.
+        handle.stop();
+        let handle = serve(Arc::clone(&service), &addr).expect("rebind same port");
+        let ack2 = rc.submit_text("+ accepted(77)").unwrap().unwrap();
+        assert!(ack2.version > ack.version);
+        assert_eq!(rc.last_seq(), 2, "each submit takes exactly one sequence number");
+        assert_eq!(rc.query("rejected(77)").unwrap().unwrap(), QueryReply::Boolean(false));
+        // Deterministic rejections surface immediately, not as retries.
+        let reason = rc.submit_text("- ghost(9)").unwrap().unwrap_err();
+        assert!(reason.starts_with("code=not-asserted"), "{reason}");
+        handle.stop();
+    }
+
+    #[test]
+    fn retryable_code_classification() {
+        assert!(is_retryable_rejection("code=read-only service degraded"));
+        assert!(is_retryable_rejection("code=panicked worker lost"));
+        assert!(is_retryable_rejection("code=storage fsync failed"));
+        assert!(is_retryable_rejection("code=shutdown closing"));
+        assert!(!is_retryable_rejection("code=not-asserted cannot delete"));
+        assert!(!is_retryable_rejection("code=unstratified rule"));
+        assert!(!is_retryable_rejection("plain parse error"));
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! ```text
 //! request  ::= tag? verb
 //! tag      ::= "#" token SP                   -- client-chosen request id
-//! verb     ::= "submit" SP update
+//! verb     ::= "submit" SP seq? update
 //!            | "query" SP at? body
-//!            | "flush" | "stats" | "quit"
+//!            | "client" SP token              -- declare a client id
+//!            | "flush" | "stats" | "quit" | "shutdown"
+//! seq      ::= "seq=" n SP                    -- idempotency token
 //! at       ::= "@" version SP                 -- read-your-writes pin
 //! update   ::= ("+" | "-") SP? clause        -- insert | delete
 //! clause   ::= fact | rule                    -- `p(1)` or `p(X) :- q(X).`
@@ -32,13 +34,35 @@
 //! submit → "ok group=<n> version=<v>"  accepted (durable once delivered;
 //!        |                             the published snapshot already
 //!        |                             carries version <v>)
-//!        | "err <reason>"              rejected, database unchanged
+//!        | "err code=<code> <reason>"  rejected, database unchanged
 //! query  → ("row <bindings>")* then "ok <count>"   -- binding queries
 //!        | "ok true" | "ok false"                  -- boolean queries
+//! client → "ok client=<id>"
 //! flush  → "ok flushed version=<v>"
 //! stats  → "ok <key>=<value> ..."
 //! quit   → "ok bye"
+//! shutdown → "ok shutting down"
 //! ```
+//!
+//! ## Failure surface
+//!
+//! A rejected submit's `err` line leads with a stable machine-readable
+//! `code=<code>` token ([`strata_core::MaintenanceError::code`]). Semantic
+//! codes (`not-asserted`, `unknown-rule`, `unstratified`, `datalog`) are
+//! deterministic — retrying is pointless. Infrastructure codes (`storage`,
+//! `panicked`, `read-only`, `shutdown`) are **retryable**
+//! ([`strata_core::MaintenanceError::is_retryable`]); paired with
+//! `client <id>` + `submit seq=<n>` the retry is also **idempotent**: the
+//! server's dedup window replays an already-decided `(client, seq)` rather
+//! than re-applying it.
+//!
+//! ## Idempotent submission
+//!
+//! `client <id>` declares the connection's client identity; after it,
+//! `submit seq=<n> <update>` routes through the service's dedup window
+//! keyed by `(id, n)`. Retries of the same `seq` — after a dropped
+//! connection, a worker panic, a read-only window — are safe: an
+//! already-acked update is never applied twice.
 //!
 //! Queries and stats are answered from the published snapshot — they never
 //! wait on an in-flight commit. `query @<version> body` first waits
@@ -55,8 +79,14 @@ use crate::service::ServiceStats;
 /// A parsed client request.
 #[derive(Clone, Debug)]
 pub enum Request {
-    /// Enqueue one update.
-    Submit(Update),
+    /// Enqueue one update; `seq` (with a declared client id) routes it
+    /// through the idempotent dedup window.
+    Submit {
+        /// The update to enqueue.
+        update: Update,
+        /// Idempotency token (`submit seq=<n> …`).
+        seq: Option<u64>,
+    },
     /// Evaluate a query against the published snapshot; `at` pins a
     /// minimum commit version (read-your-writes).
     Query {
@@ -65,12 +95,20 @@ pub enum Request {
         /// Wait until the published snapshot reaches this version first.
         at: Option<u64>,
     },
+    /// Declare this connection's client identity for idempotent submits.
+    Hello {
+        /// The client-chosen id (`client <id>`).
+        client: String,
+    },
     /// Wait until everything submitted before this point is decided.
     Flush,
     /// A stats snapshot.
     Stats,
     /// Close the connection.
     Quit,
+    /// Ask the server to shut down gracefully (stop accepting, drain the
+    /// queue, checkpoint, exit).
+    Shutdown,
 }
 
 /// Splits an optional `#tag ` prefix off a request or response line.
@@ -137,7 +175,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None => (line, ""),
     };
     match verb {
-        "submit" => parse_update(rest).map(Request::Submit),
+        "submit" => {
+            let (seq, rest) = match rest.strip_prefix("seq=") {
+                Some(after) => {
+                    let end = after.find(char::is_whitespace).unwrap_or(after.len());
+                    let seq: u64 = after[..end]
+                        .parse()
+                        .map_err(|_| format!("bad sequence `seq={}`", &after[..end]))?;
+                    (Some(seq), after[end..].trim_start())
+                }
+                None => (None, rest),
+            };
+            parse_update(rest).map(|update| Request::Submit { update, seq })
+        }
+        "client" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                Err("client needs one whitespace-free id (`client <id>`)".into())
+            } else {
+                Ok(Request::Hello { client: rest.to_string() })
+            }
+        }
         "query" => {
             let (at, body) = match rest.strip_prefix('@') {
                 Some(after) => {
@@ -156,16 +213,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "flush" if rest.is_empty() => Ok(Request::Flush),
         "stats" if rest.is_empty() => Ok(Request::Stats),
         "quit" if rest.is_empty() => Ok(Request::Quit),
+        "shutdown" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
-        other => Err(format!("unknown verb `{other}` (submit | query | flush | stats | quit)")),
+        other => Err(format!(
+            "unknown verb `{other}` (submit | query | client | flush | stats | quit | shutdown)"
+        )),
     }
 }
 
-/// Renders a submit decision as its terminator line.
+/// Renders a submit decision as its terminator line. Rejections lead with
+/// the stable machine-readable `code=` token so clients can classify
+/// (retryable vs deterministic) without parsing prose.
 pub fn render_outcome(outcome: &Outcome) -> String {
     match outcome {
         Outcome::Accepted { group, version } => format!("ok group={group} version={version}"),
-        Outcome::Rejected(e) => format!("err {e}"),
+        Outcome::Rejected(e) => format!("err code={} {e}", e.code()),
     }
 }
 
@@ -174,7 +236,7 @@ pub fn render_stats(s: &ServiceStats) -> String {
     let mut line = format!(
         "ok submitted={} accepted={} rejected={} groups={} commits={} committed_updates={} \
          coalesced={} flushes={} pending={} blocked={} snapshot_version={} snapshot_reads={} \
-         model_facts={}",
+         model_facts={} worker_restarts={} deduped={} read_only={}",
         s.submitted,
         s.accepted,
         s.rejected,
@@ -188,11 +250,20 @@ pub fn render_stats(s: &ServiceStats) -> String {
         s.snapshot_version,
         s.snapshot_reads,
         s.model_facts,
+        s.worker_restarts,
+        s.deduped,
+        u8::from(s.read_only),
     );
     if let Some(d) = &s.durability {
         line.push_str(&format!(
-            " wal_txns={} wal_bytes={} recovered_txns={} recovered_updates={} recovered_torn_tail={}",
-            d.wal_txns, d.wal_bytes, d.recovered_txns, d.recovered_updates, d.recovered_torn_tail
+            " wal_txns={} wal_bytes={} recovered_txns={} recovered_updates={} \
+             recovered_torn_tail={} recovered_quarantined={}",
+            d.wal_txns,
+            d.wal_bytes,
+            d.recovered_txns,
+            d.recovered_updates,
+            d.recovered_torn_tail,
+            u8::from(d.recovered_quarantined),
         ));
     }
     line
@@ -205,20 +276,42 @@ mod tests {
 
     #[test]
     fn parses_submit_updates() {
-        let Request::Submit(Update::InsertFact(f)) = parse_request("submit + p(1)").unwrap() else {
+        let Request::Submit { update: Update::InsertFact(f), seq: None } =
+            parse_request("submit + p(1)").unwrap()
+        else {
             panic!("expected fact insert")
         };
         assert_eq!(f, Fact::parse("p(1)").unwrap());
-        let Request::Submit(Update::DeleteFact(_)) = parse_request("submit - p(1).").unwrap()
+        let Request::Submit { update: Update::DeleteFact(_), seq: None } =
+            parse_request("submit - p(1).").unwrap()
         else {
             panic!("expected fact delete")
         };
-        let Request::Submit(Update::InsertRule(r)) =
+        let Request::Submit { update: Update::InsertRule(r), .. } =
             parse_request("submit + a(X) :- b(X), !c(X).").unwrap()
         else {
             panic!("expected rule insert")
         };
         assert_eq!(r.to_string(), "a(X) :- b(X), !c(X).");
+    }
+
+    #[test]
+    fn parses_sequenced_submits_and_client_ids() {
+        let Request::Submit { update: Update::InsertFact(f), seq: Some(42) } =
+            parse_request("submit seq=42 + p(1)").unwrap()
+        else {
+            panic!("expected sequenced insert")
+        };
+        assert_eq!(f, Fact::parse("p(1)").unwrap());
+        assert!(parse_request("submit seq=x + p(1)").is_err(), "non-numeric seq");
+        let Request::Hello { client } = parse_request("client alice-7").unwrap() else {
+            panic!("expected hello")
+        };
+        assert_eq!(client, "alice-7");
+        assert!(parse_request("client").is_err(), "id required");
+        assert!(parse_request("client two words").is_err(), "one token only");
+        assert!(matches!(parse_request("shutdown").unwrap(), Request::Shutdown));
+        assert!(parse_request("shutdown now").is_err());
     }
 
     #[test]
@@ -282,8 +375,15 @@ mod tests {
         let e = MaintenanceError::NotAsserted(Fact::parse("p(1)").unwrap());
         assert_eq!(
             render_outcome(&Outcome::Rejected(e)),
-            "err cannot delete `p(1)`: not an asserted fact"
+            "err code=not-asserted cannot delete `p(1)`: not an asserted fact"
         );
+        // Infrastructure rejections surface their retryable codes.
+        assert!(render_outcome(&Outcome::Rejected(MaintenanceError::ReadOnly))
+            .starts_with("err code=read-only "));
+        assert!(render_outcome(&Outcome::Rejected(MaintenanceError::Shutdown))
+            .starts_with("err code=shutdown "));
+        assert!(render_outcome(&Outcome::Rejected(MaintenanceError::Panicked("boom".into())))
+            .starts_with("err code=panicked "));
     }
 
     #[test]

@@ -79,34 +79,32 @@ impl SubmitHandle {
 
     /// Blocks until the service has decided this request.
     pub fn wait(&self) -> Outcome {
-        let mut slot = self.0.slot.lock().expect("completion poisoned");
+        let mut slot = self.0.slot.lock().unwrap_or_else(|p| p.into_inner());
         while slot.is_none() {
-            slot = self.0.ready.wait(slot).expect("completion poisoned");
+            slot = self.0.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
         }
         slot.clone().expect("checked above")
     }
 
     /// The decision, if already made.
     pub fn try_get(&self) -> Option<Outcome> {
-        self.0.slot.lock().expect("completion poisoned").clone()
+        self.0.slot.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Worker side: delivers the decision and wakes the producer.
     pub(crate) fn fulfill(&self, outcome: Outcome) {
-        let mut slot = self.0.slot.lock().expect("completion poisoned");
+        let mut slot = self.0.slot.lock().unwrap_or_else(|p| p.into_inner());
         debug_assert!(slot.is_none(), "a request is decided exactly once");
         *slot = Some(outcome);
         self.0.ready.notify_all();
     }
 
     /// Delivers `outcome` only if no decision was made yet (the
-    /// worker-death path; poison-tolerant so an unwinding thread can
-    /// still release its waiters).
-    fn fulfill_if_undecided(&self, outcome: Outcome) {
-        let mut slot = match self.0.slot.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+    /// supervisor's panic-recovery path and the worker-death path;
+    /// poison-tolerant so an unwinding thread can still release its
+    /// waiters).
+    pub(crate) fn fulfill_if_undecided(&self, outcome: Outcome) {
+        let mut slot = self.0.slot.lock().unwrap_or_else(|p| p.into_inner());
         if slot.is_none() {
             *slot = Some(outcome);
             self.0.ready.notify_all();
@@ -136,9 +134,7 @@ impl Drop for Request {
         // A request dropped without a decision — the worker unwound
         // mid-group, or a dying worker drained the queue — must not leave
         // its producer blocked on the handle forever.
-        self.handle.fulfill_if_undecided(Outcome::Rejected(MaintenanceError::Storage(
-            "ingest worker terminated before deciding this request".into(),
-        )));
+        self.handle.fulfill_if_undecided(Outcome::Rejected(MaintenanceError::Shutdown));
     }
 }
 
@@ -149,6 +145,20 @@ pub(crate) enum Group {
     Facts(Vec<Request>),
     /// A barrier: a rule update or a flush, traveling alone.
     Barrier(Request),
+}
+
+/// Result of a bounded drain ([`IngestQueue::next_group_timeout`]) — the
+/// read-only worker's loop shape: hand requests over promptly (to reject
+/// or to ack flushes), or wake at the probe interval with nothing.
+#[derive(Debug)]
+pub(crate) enum Drained {
+    /// Requests arrived; same grouping as [`IngestQueue::next_group`] but
+    /// cut immediately (no watermark wait — the caller is not committing).
+    Group(Group),
+    /// Closed and empty: the worker's exit signal.
+    Closed,
+    /// Nothing arrived within the bound.
+    TimedOut,
 }
 
 #[derive(Debug, Default)]
@@ -236,9 +246,7 @@ impl IngestQueue {
         }
         if state.closed {
             drop(state);
-            handle.fulfill(Outcome::Rejected(MaintenanceError::Storage(
-                "ingest service is shut down".into(),
-            )));
+            handle.fulfill(Outcome::Rejected(MaintenanceError::Shutdown));
             return handle;
         }
         state.pending.push_back(Request { op, handle: handle.clone(), at: Instant::now() });
@@ -311,6 +319,46 @@ impl IngestQueue {
             // watermark (or a new submit) and re-examine.
             let wait = self.cfg.max_delay - age;
             let (s, _timeout) = self.work.wait_timeout(state, wait).expect("queue poisoned");
+            state = s;
+        }
+    }
+
+    /// Bounded drain for the read-only worker: hands over whatever is
+    /// pending immediately (front barrier alone, else the contiguous fact
+    /// prefix) without waiting for the group watermarks — the caller is
+    /// rejecting or acking, not amortizing an fsync — and otherwise wakes
+    /// at the deadline so the caller can probe storage.
+    pub(crate) fn next_group_timeout(&self, wait: std::time::Duration) -> Drained {
+        let deadline = Instant::now() + wait;
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(front) = state.pending.front() {
+                let front_is_barrier = match &front.op {
+                    Op::Flush => true,
+                    Op::Update(u) => is_barrier(u),
+                };
+                if front_is_barrier {
+                    let req = state.pending.pop_front().expect("checked non-empty");
+                    self.space.notify_all();
+                    return Drained::Group(Group::Barrier(req));
+                }
+                let prefix = state
+                    .pending
+                    .iter()
+                    .take_while(|r| matches!(&r.op, Op::Update(u) if !is_barrier(u)))
+                    .count();
+                let group: Vec<Request> = state.pending.drain(..prefix).collect();
+                self.space.notify_all();
+                return Drained::Group(Group::Facts(group));
+            }
+            if state.closed {
+                return Drained::Closed;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Drained::TimedOut;
+            }
+            let (s, _timeout) = self.work.wait_timeout(state, left).expect("queue poisoned");
             state = s;
         }
     }
@@ -413,7 +461,29 @@ mod tests {
         let q = IngestQueue::new(cfg(10, 10, 10));
         q.close();
         let h = q.submit(ins("p(1)"));
-        assert!(matches!(h.wait(), Outcome::Rejected(MaintenanceError::Storage(_))));
+        assert!(matches!(h.wait(), Outcome::Rejected(MaintenanceError::Shutdown)));
+    }
+
+    #[test]
+    fn timeout_drain_cuts_immediately_or_times_out() {
+        let q = IngestQueue::new(cfg(1000, 10_000, 100));
+        // Nothing pending: the bounded drain wakes empty-handed at the
+        // deadline instead of sleeping out the (huge) latency watermark.
+        let t0 = Instant::now();
+        assert!(matches!(q.next_group_timeout(Duration::from_millis(10)), Drained::TimedOut));
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        // Pending requests come back immediately — no watermark wait.
+        q.submit(ins("p(1)"));
+        q.submit(ins("p(2)"));
+        let Drained::Group(Group::Facts(g)) = q.next_group_timeout(Duration::from_secs(5)) else {
+            panic!("expected an immediate fact group")
+        };
+        assert_eq!(g.len(), 2);
+        for r in &g {
+            r.handle.fulfill(Outcome::Rejected(MaintenanceError::ReadOnly));
+        }
+        q.close();
+        assert!(matches!(q.next_group_timeout(Duration::from_millis(1)), Drained::Closed));
     }
 
     #[test]

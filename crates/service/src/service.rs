@@ -25,18 +25,51 @@
 //! engine mutex, so a reader is never blocked behind an in-flight group
 //! commit. [`Service::with_engine`] remains for administrative access that
 //! genuinely needs the live engine; it locks the mutex as before.
+//!
+//! ## Supervision: the worker heals instead of dying
+//!
+//! The worker processes every group under `catch_unwind`. A panic or a
+//! storage-level commit failure fails **only the in-flight group** — each
+//! of its requests resolves with a typed, retryable rejection
+//! ([`MaintenanceError::Panicked`] / [`MaintenanceError::Storage`]) — and
+//! then the supervisor *heals*: it rebuilds the engine from durable state
+//! via the [`EngineRebuild`] closure (bounded attempts with exponential
+//! backoff, each verified by an end-to-end **write probe** — an empty WAL
+//! transaction that exercises the fsync path), swaps it in, and publishes
+//! a fresh snapshot version. If every attempt fails, the service degrades
+//! to **read-only mode**: snapshot reads and stats keep serving, flushes
+//! still ack, updates are rejected with [`MaintenanceError::ReadOnly`],
+//! and the supervisor re-probes storage every
+//! [`SupervisorConfig::probe_interval`] — a probe that succeeds re-arms
+//! writes. Without a rebuild closure ([`Service::start`]) a failure goes
+//! straight to read-only.
+//!
+//! ## Idempotent retries: the dedup window
+//!
+//! [`Service::submit_dedup`] keys a submission by `(client, seq)` and
+//! remembers the last [`IngestConfig::dedup_window`] handles per client: a
+//! retry of an already-decided request **replays** the recorded outcome
+//! (never re-applying an acked update), a retry of an in-flight request
+//! shares its handle, and only a request the service itself rejected with
+//! a retryable error is re-executed.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rustc_hash::FxHashMap;
 use strata_core::engine::normalize;
-use strata_core::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
+use strata_core::{
+    DurabilityStats, EngineBox, FaultInjector, FaultPoint, MaintenanceEngine, MaintenanceError,
+    Update,
+};
 use strata_datalog::ModelSnapshot;
 
 use crate::coalesce::{Coalescer, Decision};
-use crate::queue::{Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
+use crate::queue::{Drained, Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
 use crate::IngestConfig;
 
 /// Monotonic counters the worker maintains; snapshot via [`Service::stats`].
@@ -58,6 +91,14 @@ struct Counters {
     flushes: AtomicU64,
     /// Snapshot reads served ([`Service::snapshot`] / [`Service::snapshot_at`]).
     snapshot_reads: AtomicU64,
+    /// Successful heals: engine rebuilds the supervisor swapped in after a
+    /// worker panic or storage failure (including read-only re-arms).
+    worker_restarts: AtomicU64,
+    /// Duplicate `(client, seq)` submissions answered from the dedup
+    /// window instead of re-executing.
+    deduped: AtomicU64,
+    /// Whether the service is currently degraded to read-only mode.
+    read_only: AtomicBool,
 }
 
 /// One published commit: the committed model frozen at a version.
@@ -155,10 +196,110 @@ pub struct ServiceStats {
     pub snapshot_reads: u64,
     /// Facts in the published committed model.
     pub model_facts: usize,
+    /// Successful supervisor heals (engine rebuilds swapped in after a
+    /// panic or storage failure, including read-only re-arms).
+    pub worker_restarts: u64,
+    /// Duplicate `(client, seq)` submissions replayed from the dedup
+    /// window instead of re-executed.
+    pub deduped: u64,
+    /// Whether the service is currently in read-only degradation: submits
+    /// reject with [`MaintenanceError::ReadOnly`] while snapshot reads,
+    /// stats, and flush acks keep serving.
+    pub read_only: bool,
     /// Durability counters as of the published snapshot, when the engine is
     /// storage-backed. Under group commit `durability.wal_txns` grows with
     /// `commits`, not `accepted` — the whole point.
     pub durability: Option<DurabilityStats>,
+}
+
+/// Restart policy of the self-healing worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Consecutive rebuild attempts after one failure before the service
+    /// degrades to read-only mode.
+    pub max_restarts: u32,
+    /// Sleep before the second rebuild attempt; doubles on each further
+    /// attempt (exponential backoff).
+    pub backoff: Duration,
+    /// How often read-only mode re-probes storage; a successful probe
+    /// swaps a rebuilt engine in and re-arms writes.
+    pub probe_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: 3,
+            backoff: Duration::from_millis(10),
+            probe_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Rebuilds a fresh engine from durable state after a worker failure —
+/// typically a closure re-opening the same store through the registry, so
+/// recovery replays the WAL. Every committed (acked) update is in the WAL,
+/// so the rebuilt engine is exactly the acked history.
+pub type EngineRebuild = Arc<dyn Fn() -> Result<EngineBox, MaintenanceError> + Send + Sync>;
+
+/// Maximum clients tracked in the dedup table; the oldest client's window
+/// is evicted FIFO beyond this, bounding memory against client-id churn.
+const MAX_DEDUP_CLIENTS: usize = 1024;
+
+/// One client's recent `(seq → handle)` submissions, FIFO-bounded at
+/// [`IngestConfig::dedup_window`].
+#[derive(Debug, Default)]
+struct ClientWindow {
+    seqs: FxHashMap<u64, SubmitHandle>,
+    order: VecDeque<u64>,
+}
+
+/// The idempotency table behind [`Service::submit_dedup`].
+#[derive(Debug, Default)]
+struct DedupTable {
+    clients: FxHashMap<String, ClientWindow>,
+    /// Client arrival order, for FIFO eviction at [`MAX_DEDUP_CLIENTS`].
+    order: VecDeque<String>,
+}
+
+impl DedupTable {
+    fn lookup(&self, client: &str, seq: u64) -> Option<SubmitHandle> {
+        self.clients.get(client).and_then(|w| w.seqs.get(&seq)).cloned()
+    }
+
+    fn record(&mut self, client: &str, seq: u64, handle: SubmitHandle, window: usize) {
+        if !self.clients.contains_key(client) {
+            while self.clients.len() >= MAX_DEDUP_CLIENTS {
+                match self.order.pop_front() {
+                    Some(evict) => {
+                        self.clients.remove(&evict);
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(client.to_string());
+        }
+        let w = self.clients.entry(client.to_string()).or_default();
+        if w.seqs.insert(seq, handle).is_none() {
+            w.order.push_back(seq);
+            while w.order.len() > window {
+                match w.order.pop_front() {
+                    Some(old) => {
+                        w.seqs.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+/// Locks the engine mutex, recovering from poisoning: the worker may have
+/// panicked (and been caught by the supervisor) while holding it, and
+/// every panic window leaves the engine either untouched or about to be
+/// replaced by a rebuild — waiters must not cascade the panic.
+fn lock_engine(engine: &Mutex<EngineBox>) -> MutexGuard<'_, EngineBox> {
+    engine.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// The concurrent ingest service around one maintained database.
@@ -167,12 +308,33 @@ pub struct Service {
     engine: Arc<Mutex<EngineBox>>,
     counters: Arc<Counters>,
     snapshots: Arc<SnapshotCell>,
+    dedup: Mutex<DedupTable>,
     worker: Option<JoinHandle<()>>,
 }
 
 impl Service {
     /// Starts the service over `engine` and spawns the worker thread.
+    ///
+    /// No rebuild source: a worker panic or storage failure degrades the
+    /// service straight to read-only mode (reads and flush acks keep
+    /// serving; submits reject with [`MaintenanceError::ReadOnly`]). Use
+    /// [`Service::start_supervised`] to make failures heal instead.
     pub fn start(engine: EngineBox, cfg: IngestConfig) -> Service {
+        Service::start_supervised(engine, cfg, SupervisorConfig::default(), None, None)
+    }
+
+    /// Starts the service with a self-healing worker: after a panic or a
+    /// storage-level failure the supervisor rebuilds the engine through
+    /// `rebuild` (bounded attempts, exponential backoff, write-probed),
+    /// swaps it in, and publishes a fresh snapshot version. `faults` arms
+    /// the worker's injectable panic points (tests, `--fault-plan`).
+    pub fn start_supervised(
+        engine: EngineBox,
+        cfg: IngestConfig,
+        supervisor: SupervisorConfig,
+        rebuild: Option<EngineRebuild>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Service {
         let queue = Arc::new(IngestQueue::new(cfg));
         // Version 0 is published before the worker exists, so readers have
         // a committed model from the first instant — for a durable engine,
@@ -192,10 +354,27 @@ impl Service {
             let snapshots = Arc::clone(&snapshots);
             std::thread::Builder::new()
                 .name("strata-ingest".into())
-                .spawn(move || worker_loop(&queue, &engine, &counters, &snapshots))
+                .spawn(move || {
+                    worker_loop(
+                        &queue,
+                        &engine,
+                        &counters,
+                        &snapshots,
+                        supervisor,
+                        rebuild.as_ref(),
+                        faults.as_ref(),
+                    )
+                })
                 .expect("spawn ingest worker")
         };
-        Service { queue, engine, counters, snapshots, worker: Some(worker) }
+        Service {
+            queue,
+            engine,
+            counters,
+            snapshots,
+            dedup: Mutex::new(DedupTable::default()),
+            worker: Some(worker),
+        }
     }
 
     /// Submits one update; returns immediately (blocking only on
@@ -203,6 +382,46 @@ impl Service {
     pub fn submit(&self, update: Update) -> SubmitHandle {
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.queue.submit(update)
+    }
+
+    /// Idempotent submit: keyed by `(client, seq)` against the dedup
+    /// window, so a client may safely retry an ambiguous failure (I/O
+    /// error, [`MaintenanceError::Panicked`], …) without ever
+    /// double-applying an acked update.
+    ///
+    /// * first sighting — executed normally, handle recorded;
+    /// * retry of an **in-flight** request — shares the original handle;
+    /// * retry of a **decided** request — replays the recorded outcome,
+    ///   except that a decision the service itself marked retryable
+    ///   ([`MaintenanceError::is_retryable`]) is re-executed: that is what
+    ///   the client was told to do.
+    ///
+    /// The window holds the last [`IngestConfig::dedup_window`] sequence
+    /// numbers per client; a retry older than that re-executes (for fact
+    /// updates this stays safe — inserts and deletes are idempotent on the
+    /// belief state).
+    pub fn submit_dedup(&self, client: &str, seq: u64, update: Update) -> SubmitHandle {
+        let window = self.queue.config().dedup_window.max(1);
+        let mut table = self.dedup.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(handle) = table.lookup(client, seq) {
+            match handle.try_get() {
+                // The service told the client to retry this one: re-execute
+                // and replace the recorded handle below.
+                Some(Outcome::Rejected(e)) if e.is_retryable() => {}
+                // In-flight or decided: never re-apply.
+                _ => {
+                    self.counters.deduped.fetch_add(1, Ordering::Relaxed);
+                    return handle;
+                }
+            }
+        }
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        // The table lock is held across the (possibly backpressured)
+        // submit so a concurrent retry of the same (client, seq) cannot
+        // slip past the window and double-apply.
+        let handle = self.queue.submit(update);
+        table.record(client, seq, handle.clone(), window);
+        handle
     }
 
     /// Submits and waits for the decision — the synchronous convenience.
@@ -232,8 +451,17 @@ impl Service {
     /// and stats should read a published snapshot instead
     /// ([`Service::snapshot`]), which never touches the engine mutex.
     pub fn with_engine<R>(&self, f: impl FnOnce(&dyn MaintenanceEngine) -> R) -> R {
-        let engine = self.engine.lock().expect("engine poisoned");
+        let engine = lock_engine(&self.engine);
         f(engine.as_ref())
+    }
+
+    /// [`Service::with_engine`] with mutable access — for administrative
+    /// operations like [`MaintenanceEngine::checkpoint`] at graceful
+    /// shutdown. The engine mutex serializes this against the worker, so
+    /// it can never observe (or create) a half-applied group.
+    pub fn with_engine_mut<R>(&self, f: impl FnOnce(&mut dyn MaintenanceEngine) -> R) -> R {
+        let mut engine = lock_engine(&self.engine);
+        f(engine.as_mut())
     }
 
     /// The latest published snapshot: one `Arc` clone, no engine access.
@@ -270,6 +498,9 @@ impl Service {
             snapshot_version: snap.version,
             snapshot_reads: self.counters.snapshot_reads.load(Ordering::Relaxed),
             model_facts: snap.model.len(),
+            worker_restarts: self.counters.worker_restarts.load(Ordering::Relaxed),
+            deduped: self.counters.deduped.load(Ordering::Relaxed),
+            read_only: self.counters.read_only.load(Ordering::SeqCst),
             durability: snap.durability,
         }
     }
@@ -291,7 +522,7 @@ impl Service {
             Arc::new(Mutex::new(null_engine())),
         ))
         .unwrap_or_else(|_| panic!("engine still shared after worker join"));
-        engine.into_inner().expect("engine poisoned")
+        engine.into_inner().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -322,14 +553,16 @@ fn null_engine() -> EngineBox {
             0
         }
         fn apply(&mut self, _: &Update) -> Result<strata_core::UpdateStats, MaintenanceError> {
-            Err(MaintenanceError::Storage("service is shut down".into()))
+            Err(MaintenanceError::Shutdown)
         }
     }
     Box::new(Null(strata_datalog::Program::new(), strata_datalog::Database::new()))
 }
 
-/// The worker: drain, decide, group-commit, **publish**, fulfill. Exits
-/// when the queue is closed and empty.
+/// The worker: drain, decide, group-commit, **publish**, fulfill — under
+/// supervision: every group runs inside `catch_unwind`, and a panic or
+/// storage failure fails only that group before the supervisor heals (or
+/// degrades to read-only). Exits when the queue is closed and empty.
 ///
 /// The publish-before-fulfill order is the read-your-writes linchpin: by
 /// the time any producer observes its [`Outcome::Accepted`], the snapshot
@@ -339,13 +572,17 @@ fn worker_loop(
     engine: &Mutex<EngineBox>,
     counters: &Counters,
     snapshots: &SnapshotCell,
+    sup: SupervisorConfig,
+    rebuild: Option<&EngineRebuild>,
+    faults: Option<&Arc<FaultInjector>>,
 ) {
-    // If the worker dies early — a poisoned engine mutex is the realistic
-    // case — producers must not hang forever on their completion handles:
-    // close the queue and drop everything still pending on the way out
-    // (dropping an undecided request rejects its handle, and the
-    // in-flight group's requests unwind the same way). On a normal exit
-    // the queue is already closed and drained, so the guard is a no-op.
+    // If the worker dies — only a panic outside the supervised group
+    // window can cause that now — producers must not hang forever on
+    // their completion handles: close the queue and drop everything still
+    // pending on the way out (dropping an undecided request rejects its
+    // handle with `Shutdown`, and the in-flight group's requests unwind
+    // the same way). On a normal exit the queue is already closed and
+    // drained, so the guard is a no-op.
     struct Bailout<'a>(&'a IngestQueue);
     impl Drop for Bailout<'_> {
         fn drop(&mut self) {
@@ -361,38 +598,237 @@ fn worker_loop(
     let mut version = snapshots.latest().version;
     while let Some(group) = queue.next_group() {
         let ordinal = counters.groups.fetch_add(1, Ordering::Relaxed) + 1;
-        match group {
-            Group::Facts(requests) => {
-                commit_fact_group(
-                    &requests,
-                    ordinal,
-                    &mut version,
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            process_group(
+                &group,
+                ordinal,
+                &mut version,
+                engine,
+                &mut coalescer,
+                counters,
+                snapshots,
+                faults,
+            )
+        }));
+        let failure = match result {
+            Ok(Ok(())) => None,
+            // Storage-level commit failure: the in-flight group was
+            // already rejected (typed `Storage`) by the commit path.
+            Ok(Err(e)) => Some(e),
+            Err(payload) => {
+                // The worker panicked mid-group. Requests are *borrowed*
+                // by the supervised window, so the undecided ones are
+                // still ours to fail — with the panic message, typed and
+                // retryable. Anything already acked stays acked (and the
+                // publish behind it stays published).
+                let msg = panic_message(payload.as_ref());
+                reject_undecided(&group, &MaintenanceError::Panicked(msg.clone()), counters);
+                Some(MaintenanceError::Panicked(msg))
+            }
+        };
+        drop(group);
+        if failure.is_some() {
+            // Heal: bounded rebuild attempts with backoff; on success the
+            // rebuilt engine (recovered from the WAL — exactly the acked
+            // history) is swapped in and a fresh version published. The
+            // coalescer restarts too: its stream-arity memory must match
+            // the recovered program, not the failed in-memory one.
+            if !heal(engine, snapshots, &mut version, &mut coalescer, counters, sup, rebuild) {
+                // Persistent failure: serve what we can. Returns when a
+                // probe re-arms writes; `false` means the queue closed.
+                if !read_only_loop(
+                    queue,
                     engine,
+                    snapshots,
+                    &mut version,
                     &mut coalescer,
                     counters,
-                    snapshots,
-                );
+                    sup,
+                    rebuild,
+                ) {
+                    return;
+                }
             }
-            Group::Barrier(request) => match &request.op {
-                Op::Flush => {
-                    // A flush commits nothing: the published snapshot is
-                    // already current, so the ack just carries its version.
-                    counters.flushes.fetch_add(1, Ordering::Relaxed);
-                    request.handle.fulfill(Outcome::Accepted { group: ordinal, version });
+        }
+    }
+}
+
+/// Best-effort panic payload rendering for the typed `Panicked` error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Fails every still-undecided request of `group` with `error` (the
+/// supervisor's panic path — acked requests keep their acks).
+fn reject_undecided(group: &Group, error: &MaintenanceError, counters: &Counters) {
+    let requests: &[Request] = match group {
+        Group::Facts(requests) => requests,
+        Group::Barrier(request) => std::slice::from_ref(request),
+    };
+    for request in requests {
+        if request.handle.try_get().is_none() {
+            counters.rejected.fetch_add(1, Ordering::Relaxed);
+            request.handle.fulfill_if_undecided(Outcome::Rejected(error.clone()));
+        }
+    }
+}
+
+/// Panics at an armed worker fault point (the injectable crash surface).
+fn fire_panic(faults: Option<&Arc<FaultInjector>>, point: FaultPoint) {
+    if let Some(injector) = faults {
+        if injector.fires(point).is_some() {
+            panic!("injected fault: worker panic at {point}");
+        }
+    }
+}
+
+/// Dispatches one drained group. `Err` means an infrastructure failure the
+/// supervisor must heal from (the group itself has already been rejected);
+/// semantic rejections are normal decisions and return `Ok`.
+#[allow(clippy::too_many_arguments)]
+fn process_group(
+    group: &Group,
+    ordinal: u64,
+    version: &mut u64,
+    engine: &Mutex<EngineBox>,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+    snapshots: &SnapshotCell,
+    faults: Option<&Arc<FaultInjector>>,
+) -> Result<(), MaintenanceError> {
+    match group {
+        Group::Facts(requests) => commit_fact_group(
+            requests, ordinal, version, engine, coalescer, counters, snapshots, faults,
+        ),
+        Group::Barrier(request) => match &request.op {
+            Op::Flush => {
+                // A flush commits nothing: the published snapshot is
+                // already current, so the ack just carries its version.
+                counters.flushes.fetch_add(1, Ordering::Relaxed);
+                request.handle.fulfill(Outcome::Accepted { group: ordinal, version: *version });
+                Ok(())
+            }
+            Op::Update(update) => commit_rule_barrier(
+                request, update, ordinal, version, engine, coalescer, counters, snapshots,
+            ),
+        },
+    }
+}
+
+/// Bounded-backoff rebuild loop; `true` once a probed engine is live.
+fn heal(
+    engine: &Mutex<EngineBox>,
+    snapshots: &SnapshotCell,
+    version: &mut u64,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+    sup: SupervisorConfig,
+    rebuild: Option<&EngineRebuild>,
+) -> bool {
+    let Some(rebuild) = rebuild else { return false };
+    let mut backoff = sup.backoff;
+    for attempt in 0..sup.max_restarts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        if try_heal_once(engine, snapshots, version, coalescer, counters, rebuild) {
+            return true;
+        }
+    }
+    false
+}
+
+/// One rebuild attempt: reconstruct the engine from durable state, verify
+/// writability end to end, swap it in, publish a fresh snapshot version.
+///
+/// The **write probe** is the important half: `apply_all(&[])` is an empty
+/// batch, but a durable engine still logs and fsyncs one WAL transaction
+/// for it — so a storage fault that only strikes at sync time (the sticky
+/// fsync-failure case) is caught *here*, instead of re-arming writes and
+/// failing the next real group in an endless flap.
+fn try_heal_once(
+    engine: &Mutex<EngineBox>,
+    snapshots: &SnapshotCell,
+    version: &mut u64,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+    rebuild: &EngineRebuild,
+) -> bool {
+    let Ok(mut fresh) = rebuild() else { return false };
+    if fresh.apply_all(&[]).is_err() {
+        return false;
+    }
+    {
+        let mut guard = lock_engine(engine);
+        *guard = fresh;
+        *version += 1;
+        publish(snapshots, &guard, *version);
+    }
+    counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    *coalescer = Coalescer::new();
+    true
+}
+
+/// Read-only degradation: snapshot reads and stats never come through the
+/// worker and keep serving untouched; this loop keeps the *queue* live —
+/// updates reject with the typed [`MaintenanceError::ReadOnly`], flushes
+/// still ack (everything before them is decided by construction) — and
+/// re-probes storage every [`SupervisorConfig::probe_interval`]. Returns
+/// `true` when a probe heals the engine (writes re-arm), `false` when the
+/// queue closed (worker exit).
+#[allow(clippy::too_many_arguments)]
+fn read_only_loop(
+    queue: &IngestQueue,
+    engine: &Mutex<EngineBox>,
+    snapshots: &SnapshotCell,
+    version: &mut u64,
+    coalescer: &mut Coalescer,
+    counters: &Counters,
+    sup: SupervisorConfig,
+    rebuild: Option<&EngineRebuild>,
+) -> bool {
+    counters.read_only.store(true, Ordering::SeqCst);
+    loop {
+        match queue.next_group_timeout(sup.probe_interval) {
+            Drained::Closed => return false,
+            Drained::TimedOut => {
+                if let Some(rebuild) = rebuild {
+                    if try_heal_once(engine, snapshots, version, coalescer, counters, rebuild) {
+                        counters.read_only.store(false, Ordering::SeqCst);
+                        return true;
+                    }
                 }
-                Op::Update(update) => {
-                    commit_rule_barrier(
-                        &request,
-                        update,
-                        ordinal,
-                        &mut version,
-                        engine,
-                        &mut coalescer,
-                        counters,
-                        snapshots,
-                    );
+            }
+            Drained::Group(group) => {
+                let ordinal = counters.groups.fetch_add(1, Ordering::Relaxed) + 1;
+                match group {
+                    Group::Facts(requests) => {
+                        counters.rejected.fetch_add(requests.len() as u64, Ordering::Relaxed);
+                        for request in &requests {
+                            request.handle.fulfill(Outcome::Rejected(MaintenanceError::ReadOnly));
+                        }
+                    }
+                    Group::Barrier(request) => match &request.op {
+                        Op::Flush => {
+                            counters.flushes.fetch_add(1, Ordering::Relaxed);
+                            request
+                                .handle
+                                .fulfill(Outcome::Accepted { group: ordinal, version: *version });
+                        }
+                        Op::Update(_) => {
+                            counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            request.handle.fulfill(Outcome::Rejected(MaintenanceError::ReadOnly));
+                        }
+                    },
                 }
-            },
+            }
         }
     }
 }
@@ -418,13 +854,17 @@ fn commit_fact_group(
     coalescer: &mut Coalescer,
     counters: &Counters,
     snapshots: &SnapshotCell,
-) {
+    faults: Option<&Arc<FaultInjector>>,
+) -> Result<(), MaintenanceError> {
     let updates = requests.iter().map(|r| match &r.op {
         Op::Update(u) => u,
         Op::Flush => unreachable!("flushes are barriers, never grouped"),
     });
-    let mut engine = engine.lock().expect("engine poisoned");
+    let mut engine = lock_engine(engine);
     let plan = coalescer.plan_group(engine.program(), updates);
+    // Injected crash before the engine sees the group: nothing applied,
+    // nothing published — every request must resolve `Panicked`.
+    fire_panic(faults, FaultPoint::WorkerPreApply);
     let result =
         if plan.batch.is_empty() { Ok(()) } else { engine.apply_all(&plan.batch).map(|_| ()) };
     if result.is_ok() && !plan.batch.is_empty() {
@@ -433,6 +873,11 @@ fn commit_fact_group(
         *version += 1;
         publish(snapshots, &engine, *version);
     }
+    // Injected crash in the ambiguous window: committed (durable, even
+    // published) but nothing acked — the case idempotent retries exist
+    // for. The panic unwinds with the engine lock held, poisoning it; the
+    // supervisor's poison-tolerant locking absorbs that.
+    fire_panic(faults, FaultPoint::WorkerPostApply);
     drop(engine); // decisions are delivered outside the engine lock
     match result {
         Ok(()) => {
@@ -441,7 +886,12 @@ fn commit_fact_group(
                 counters.committed_updates.fetch_add(plan.batch.len() as u64, Ordering::Relaxed);
             }
             counters.coalesced.fetch_add(plan.coalesced as u64, Ordering::Relaxed);
-            for (request, decision) in requests.iter().zip(&plan.decisions) {
+            for (i, (request, decision)) in requests.iter().zip(&plan.decisions).enumerate() {
+                // Injected crash halfway through delivery: some acked,
+                // the rest resolve `Panicked` via the supervisor.
+                if i == requests.len() / 2 {
+                    fire_panic(faults, FaultPoint::WorkerMidGroup);
+                }
                 match decision {
                     Decision::Accepted => {
                         counters.accepted.fetch_add(1, Ordering::Relaxed);
@@ -455,6 +905,7 @@ fn commit_fact_group(
                     }
                 }
             }
+            Ok(())
         }
         Err(e) => {
             // The coalescer guarantees the net batch is valid, so this is
@@ -463,13 +914,15 @@ fn commit_fact_group(
             // would have accepted — is reported rejected with the cause.
             // The oracle history this group would have created never
             // happened, so its first-time arity recordings unwind too.
+            // The returned error sends the supervisor into its heal path.
             coalescer.forget_relations(&plan.new_relations);
             counters.rejected.fetch_add(requests.len() as u64, Ordering::Relaxed);
+            let cause =
+                MaintenanceError::Storage(format!("group commit failed, group rolled back: {e}"));
             for request in requests {
-                request.handle.fulfill(Outcome::Rejected(MaintenanceError::Storage(format!(
-                    "group commit failed, group rolled back: {e}"
-                ))));
+                request.handle.fulfill(Outcome::Rejected(cause.clone()));
             }
+            Err(cause)
         }
     }
 }
@@ -484,8 +937,8 @@ fn commit_rule_barrier(
     coalescer: &mut Coalescer,
     counters: &Counters,
     snapshots: &SnapshotCell,
-) {
-    let mut engine = engine.lock().expect("engine poisoned");
+) -> Result<(), MaintenanceError> {
+    let mut engine = lock_engine(engine);
     // Pre-check insertions against stream-recorded arities the engine may
     // not know (facts that coalesced away); deletions have no arity
     // effects and go straight through.
@@ -493,22 +946,29 @@ fn commit_rule_barrier(
         Update::InsertRule(rule) => coalescer.precheck_rule(engine.program(), &rule),
         _ => Ok(()),
     };
-    let outcome = match precheck.and_then(|()| engine.apply(update).map(|_| ())) {
+    let (outcome, failure) = match precheck.and_then(|()| engine.apply(update).map(|_| ())) {
         Ok(()) => {
             counters.accepted.fetch_add(1, Ordering::Relaxed);
             counters.commits.fetch_add(1, Ordering::Relaxed);
             counters.committed_updates.fetch_add(1, Ordering::Relaxed);
             *version += 1;
             publish(snapshots, &engine, *version);
-            Outcome::Accepted { group: ordinal, version: *version }
+            (Outcome::Accepted { group: ordinal, version: *version }, Ok(()))
         }
         Err(e) => {
             counters.rejected.fetch_add(1, Ordering::Relaxed);
-            Outcome::Rejected(e)
+            // A semantic rejection (unstratifiable, arity, …) is a normal
+            // decision; only a storage-level failure needs the supervisor.
+            let failure = match &e {
+                MaintenanceError::Storage(_) => Err(e.clone()),
+                _ => Ok(()),
+            };
+            (Outcome::Rejected(e), failure)
         }
     };
     drop(engine);
     request.handle.fulfill(outcome);
+    failure
 }
 
 #[cfg(test)]
@@ -608,22 +1068,193 @@ mod tests {
     }
 
     #[test]
-    fn worker_death_rejects_pending_instead_of_hanging() {
+    fn engine_mutex_poisoning_does_not_kill_the_worker() {
         let service = pods_service(IngestConfig::default());
-        // Poison the shared engine mutex: the realistic worker-death cause.
-        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // Poison the shared engine mutex — the historical worker-death
+        // cause. The engine state itself is intact (the panic was in a
+        // read-only closure), and poison-tolerant locking means the worker
+        // keeps serving instead of dying.
+        let poison = catch_unwind(AssertUnwindSafe(|| {
             service.with_engine(|_| panic!("deliberate engine poisoning"));
         }));
         assert!(poison.is_err());
-        // The worker dies on its next group; every handle must resolve
-        // with a rejection rather than blocking its producer forever.
-        let h = service.submit(ins("submitted(9)"));
-        assert!(matches!(h.wait(), Outcome::Rejected(MaintenanceError::Storage(_))));
-        // The bailout closed the queue: later submits reject immediately.
-        assert!(matches!(
-            service.apply(ins("submitted(10)")),
-            Outcome::Rejected(MaintenanceError::Storage(_))
-        ));
+        assert!(service.apply(ins("submitted(9)")).is_accepted());
+        assert!(service.with_engine(|e| e.model().contains_parsed("rejected(9)")));
+    }
+
+    /// A rebuild closure for in-memory engines: a fresh engine from the
+    /// seed program (durable engines rebuild from the WAL instead — the
+    /// chaos suite covers that).
+    fn mem_rebuild(src: &str) -> crate::service::EngineRebuild {
+        let src = src.to_string();
+        Arc::new(move || {
+            let program = Program::parse(&src).expect("seed parses");
+            EngineRegistry::standard()
+                .build("cascade", program)
+                .map_err(|e| MaintenanceError::Storage(e.to_string()))
+        })
+    }
+
+    const PODS_SEED: &str = "submitted(1). submitted(2). accepted(2).
+                             rejected(X) :- submitted(X), !accepted(X).";
+
+    fn supervised_service(
+        rebuild: Option<crate::service::EngineRebuild>,
+        faults: Option<Arc<FaultInjector>>,
+        sup: SupervisorConfig,
+    ) -> Service {
+        let program = Program::parse(PODS_SEED).unwrap();
+        let engine = EngineRegistry::standard().build("cascade", program).unwrap();
+        Service::start_supervised(engine, IngestConfig::default(), sup, rebuild, faults)
+    }
+
+    #[test]
+    fn injected_panic_fails_only_the_group_and_heals() {
+        let plan = strata_core::FaultPlan::once(strata_core::FaultPoint::WorkerPreApply, 1);
+        let faults = Arc::new(plan.arm());
+        let service = supervised_service(
+            Some(mem_rebuild(PODS_SEED)),
+            Some(Arc::clone(&faults)),
+            SupervisorConfig { backoff: Duration::from_millis(1), ..Default::default() },
+        );
+        // First group hits the armed pre-apply panic: typed, retryable.
+        let Outcome::Rejected(e) = service.apply(ins("accepted(1)")) else {
+            panic!("the faulted group must reject")
+        };
+        assert!(matches!(e, MaintenanceError::Panicked(_)), "{e}");
+        assert!(e.is_retryable());
+        // The supervisor healed: the very next submit commits normally.
+        assert!(service.apply(ins("accepted(1)")).is_accepted());
+        let stats = service.stats();
+        assert_eq!(stats.worker_restarts, 1);
+        assert!(!stats.read_only);
+        assert!(service.snapshot().model.contains_parsed("accepted(1)"));
+    }
+
+    #[test]
+    fn sticky_panic_flaps_heal_but_submits_always_resolve() {
+        // Sticky panic point *with* a working rebuild: every group panics,
+        // every heal succeeds, and the service flaps — the guarantee under
+        // that worst case is liveness of the control surface: every submit
+        // resolves with a typed retryable error, nothing ever hangs, and
+        // disarming the fault restores normal service.
+        let plan = strata_core::FaultPlan::sticky(strata_core::FaultPoint::WorkerPreApply, 1);
+        let faults = Arc::new(plan.arm());
+        let sup = SupervisorConfig {
+            max_restarts: 2,
+            backoff: Duration::from_millis(1),
+            probe_interval: Duration::from_millis(10),
+        };
+        let service =
+            supervised_service(Some(mem_rebuild(PODS_SEED)), Some(Arc::clone(&faults)), sup);
+        let Outcome::Rejected(e) = service.apply(ins("accepted(1)")) else {
+            panic!("the faulted group must reject")
+        };
+        assert!(matches!(e, MaintenanceError::Panicked(_)), "{e}");
+        for _ in 0..3 {
+            let Outcome::Rejected(e) = service.apply(ins("accepted(1)")) else {
+                panic!("faulted groups keep rejecting while the fault is armed")
+            };
+            assert!(e.is_retryable(), "{e}");
+        }
+        // Disarm and retry: the service is live again (healed or probed
+        // back out of read-only within the interval).
+        faults.clear();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match service.apply(ins("accepted(1)")) {
+                Outcome::Accepted { .. } => break,
+                Outcome::Rejected(e) if e.is_retryable() && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Outcome::Rejected(e) => panic!("service never recovered: {e}"),
+            }
+        }
+        assert!(service.stats().worker_restarts >= 1);
+        assert!(service.snapshot().model.contains_parsed("accepted(1)"));
+    }
+
+    #[test]
+    fn no_rebuild_failure_goes_read_only_but_reads_survive() {
+        // No rebuild closure: a worker panic cannot heal, so the service
+        // degrades to read-only mode permanently.
+        let plan = strata_core::FaultPlan::once(strata_core::FaultPoint::WorkerMidGroup, 1);
+        let faults = Arc::new(plan.arm());
+        let sup = SupervisorConfig {
+            max_restarts: 1,
+            backoff: Duration::from_millis(1),
+            probe_interval: Duration::from_millis(10),
+        };
+        let service = supervised_service(None, Some(faults), sup);
+        let pre = service.snapshot();
+        let Outcome::Rejected(e) = service.apply(ins("accepted(1)")) else {
+            panic!("the faulted group must reject")
+        };
+        assert!(matches!(e, MaintenanceError::Panicked(_)), "{e}");
+        // Read-only: submits reject with the typed marker...
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match service.apply(ins("accepted(1)")) {
+                Outcome::Rejected(MaintenanceError::ReadOnly) => break,
+                Outcome::Rejected(e) if Instant::now() < deadline => {
+                    assert!(e.is_retryable(), "{e}");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => panic!("expected read-only rejection, got {other:?}"),
+            }
+        }
+        assert!(service.stats().read_only);
+        // ...while snapshot reads and flush acks keep serving. The
+        // mid-group panic struck *after* the commit and publish, so the
+        // published snapshot already carries the group's effect (the
+        // unacked-but-committed window retries exist for).
+        assert!(service.snapshot().model.contains_parsed("accepted(1)"));
+        assert!(!service.snapshot().model.contains_parsed("rejected(1)"));
+        assert!(service.snapshot().version >= pre.version);
+        service.flush();
+        assert!(service.stats().flushes >= 1);
+    }
+
+    #[test]
+    fn dedup_replays_acked_outcomes_instead_of_reapplying() {
+        let service = pods_service(IngestConfig::default());
+        let first = service.submit_dedup("alice", 1, ins("submitted(9)")).wait();
+        let Outcome::Accepted { version, .. } = first else { panic!("insert must accept") };
+        // Identical retry: replayed, not re-executed — same outcome object,
+        // no new commit.
+        let commits_before = service.stats().commits;
+        let retry = service.submit_dedup("alice", 1, ins("submitted(9)")).wait();
+        assert_eq!(retry, first);
+        assert_eq!(service.stats().commits, commits_before, "a replay must not commit");
+        assert_eq!(service.stats().deduped, 1);
+        // A different seq from the same client executes normally.
+        let next = service.submit_dedup("alice", 2, ins("submitted(10)")).wait();
+        let Outcome::Accepted { version: v2, .. } = next else { panic!("insert must accept") };
+        assert!(v2 >= version);
+        // A different client with the same seq is independent.
+        assert!(service.submit_dedup("bob", 1, ins("submitted(11)")).wait().is_accepted());
+        assert_eq!(service.stats().deduped, 1);
+    }
+
+    #[test]
+    fn dedup_replays_semantic_rejections_and_window_evicts() {
+        let cfg = IngestConfig { dedup_window: 2, ..IngestConfig::default() };
+        let service = pods_service(cfg);
+        // A semantic (non-retryable) rejection is replayed on retry, not
+        // re-executed: the decision is deterministic.
+        let r1 = service.submit_dedup("c", 1, del("ghost(1)")).wait();
+        assert!(matches!(r1, Outcome::Rejected(MaintenanceError::NotAsserted(_))));
+        let r2 = service.submit_dedup("c", 1, del("ghost(1)")).wait();
+        assert_eq!(r2, r1);
+        assert_eq!(service.stats().deduped, 1);
+        // Window of 2: seqs 2 and 3 evict seq 1; its retry re-executes
+        // (visible as a fresh decision, not a dedup hit).
+        service.submit_dedup("c", 2, ins("submitted(20)")).wait();
+        service.submit_dedup("c", 3, ins("submitted(21)")).wait();
+        let deduped_before = service.stats().deduped;
+        let again = service.submit_dedup("c", 1, del("ghost(1)")).wait();
+        assert!(matches!(again, Outcome::Rejected(MaintenanceError::NotAsserted(_))));
+        assert_eq!(service.stats().deduped, deduped_before, "evicted seq re-executes");
     }
 
     #[test]

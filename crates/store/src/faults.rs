@@ -1,0 +1,387 @@
+//! Deterministic fault injection for the storage and service layers.
+//!
+//! A [`FaultPlan`] is a pure, parseable description of *which* failure to
+//! inject and *when* — "fail the 3rd WAL fsync", "tear the 1st flush after
+//! 16 bytes", "panic the worker before every apply from the 2nd on". Arming
+//! a plan yields a [`FaultInjector`]: a thread-safe trigger the hook sites
+//! poll ([`FaultInjector::fires`]) each time execution passes a
+//! [`FaultPoint`]. Because firing is keyed on deterministic hit counts —
+//! never wall clocks or randomness — a failing chaos run replays exactly
+//! from its plan string and seed.
+//!
+//! ## Plan syntax
+//!
+//! ```text
+//! plan  ::= spec ("," spec)*
+//! spec  ::= point "@" nth ["+"] [":" arg]
+//! point ::= wal-fsync | wal-write | wal-open-corrupt | snap-fsync
+//!         | panic-pre-apply | panic-post-apply | panic-mid-group
+//! ```
+//!
+//! `nth` is the 1-based hit at which the fault fires; a trailing `+` makes
+//! it **sticky** (fires on every hit from `nth` onward — the persistent
+//! failure that drives read-only degradation). `arg` is an optional
+//! point-specific parameter: for `wal-write` the number of bytes that reach
+//! the file before the torn write fails; for `wal-open-corrupt` the byte
+//! offset (mod file length) whose bits are flipped.
+//!
+//! ```
+//! use strata_store::faults::{FaultPlan, FaultPoint};
+//!
+//! let plan: FaultPlan = "wal-fsync@2,panic-pre-apply@1+".parse().unwrap();
+//! let inj = plan.arm();
+//! assert!(inj.fires(FaultPoint::WalFsync).is_none()); // 1st hit: pass
+//! assert!(inj.fires(FaultPoint::WalFsync).is_some()); // 2nd hit: fail
+//! assert!(inj.fires(FaultPoint::WalFsync).is_none()); // one-shot
+//! assert!(inj.fires(FaultPoint::WorkerPreApply).is_some()); // sticky
+//! assert!(inj.fires(FaultPoint::WorkerPreApply).is_some());
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A place in the storage or service code where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// The fsync at a WAL commit/abort terminator fails; nothing from the
+    /// pending transaction reaches the file (the caller must treat the
+    /// transaction as not durable) and the log poisons itself.
+    WalFsync,
+    /// A WAL flush tears: only a prefix of the pending bytes (the spec's
+    /// `arg`, clamped below the terminator) reaches the file before the
+    /// write errors and the log poisons itself.
+    WalWrite,
+    /// One byte of the WAL image is flipped while reading it back at open
+    /// (`arg` picks the offset, mod file length) — the read-time CRC
+    /// corruption case.
+    WalOpenCorrupt,
+    /// Writing a snapshot fails before anything lands on disk.
+    SnapshotFsync,
+    /// The service worker panics after taking a group but before applying
+    /// it to the engine.
+    WorkerPreApply,
+    /// The service worker panics after the engine commit and snapshot
+    /// publish but before any outcome is delivered — the ambiguous
+    /// "committed but unacked" window retries must cover.
+    WorkerPostApply,
+    /// The service worker panics halfway through delivering a group's
+    /// outcomes — some requests acked, the rest left undecided.
+    WorkerMidGroup,
+}
+
+/// All points, in a fixed order that gives each a stable counter slot.
+const POINTS: [FaultPoint; 7] = [
+    FaultPoint::WalFsync,
+    FaultPoint::WalWrite,
+    FaultPoint::WalOpenCorrupt,
+    FaultPoint::SnapshotFsync,
+    FaultPoint::WorkerPreApply,
+    FaultPoint::WorkerPostApply,
+    FaultPoint::WorkerMidGroup,
+];
+
+impl FaultPoint {
+    fn slot(self) -> usize {
+        POINTS.iter().position(|&p| p == self).unwrap()
+    }
+
+    /// The name used in plan strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::WalFsync => "wal-fsync",
+            FaultPoint::WalWrite => "wal-write",
+            FaultPoint::WalOpenCorrupt => "wal-open-corrupt",
+            FaultPoint::SnapshotFsync => "snap-fsync",
+            FaultPoint::WorkerPreApply => "panic-pre-apply",
+            FaultPoint::WorkerPostApply => "panic-post-apply",
+            FaultPoint::WorkerMidGroup => "panic-mid-group",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FaultPoint> {
+        POINTS.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected fault: fire at the `nth` (1-based) hit of `point`, once or
+/// (if `sticky`) on every hit from then on, passing `arg` to the hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Where to fire.
+    pub point: FaultPoint,
+    /// 1-based hit count at which to fire.
+    pub nth: u64,
+    /// Fire on every hit from `nth` onward instead of exactly once.
+    pub sticky: bool,
+    /// Point-specific parameter (byte count, offset, …); 0 if unused.
+    pub arg: u64,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.point, self.nth)?;
+        if self.sticky {
+            f.write_str("+")?;
+        }
+        if self.arg != 0 {
+            write!(f, ":{}", self.arg)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parse failure for a fault-plan string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanParseError(String);
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultPlanParseError {}
+
+/// A deterministic set of faults to inject — pure data, cheap to clone,
+/// round-trips through its string form (`FromStr`/`Display`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A one-fault plan firing at the `nth` hit of `point`.
+    pub fn once(point: FaultPoint, nth: u64) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { point, nth, sticky: false, arg: 0 }] }
+    }
+
+    /// A one-fault plan firing on every hit of `point` from the `nth` on.
+    pub fn sticky(point: FaultPoint, nth: u64) -> FaultPlan {
+        FaultPlan { specs: vec![FaultSpec { point, nth, sticky: true, arg: 0 }] }
+    }
+
+    /// Adds a spec (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the `arg` of the most recently added spec (builder style).
+    pub fn arg(mut self, arg: u64) -> FaultPlan {
+        if let Some(last) = self.specs.last_mut() {
+            last.arg = arg;
+        }
+        self
+    }
+
+    /// The specs, in plan order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Arms the plan: the returned injector counts hits and fires faults.
+    pub fn arm(&self) -> FaultInjector {
+        FaultInjector { specs: Mutex::new(self.specs.clone()), hits: Default::default() }
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultPlanParseError;
+
+    fn from_str(s: &str) -> Result<FaultPlan, FaultPlanParseError> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FaultPlan::none());
+        }
+        let mut specs = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (name, rest) = part
+                .split_once('@')
+                .ok_or_else(|| FaultPlanParseError(format!("`{part}`: expected point@nth")))?;
+            let point = FaultPoint::parse(name)
+                .ok_or_else(|| FaultPlanParseError(format!("`{name}`: unknown fault point")))?;
+            let (when, arg) = match rest.split_once(':') {
+                Some((w, a)) => {
+                    let arg = a.parse::<u64>().map_err(|_| {
+                        FaultPlanParseError(format!("`{a}`: arg must be an integer"))
+                    })?;
+                    (w, arg)
+                }
+                None => (rest, 0),
+            };
+            let (nth_str, sticky) = match when.strip_suffix('+') {
+                Some(n) => (n, true),
+                None => (when, false),
+            };
+            let nth = nth_str
+                .parse::<u64>()
+                .map_err(|_| FaultPlanParseError(format!("`{nth_str}`: nth must be an integer")))?;
+            if nth == 0 {
+                return Err(FaultPlanParseError("nth is 1-based; 0 never fires".into()));
+            }
+            specs.push(FaultSpec { point, nth, sticky, arg });
+        }
+        Ok(FaultPlan { specs })
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.specs.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An armed [`FaultPlan`]: shared (`Arc`) between the hook sites, counts
+/// hits per [`FaultPoint`], and reports when a fault fires. [`clear`]
+/// disarms every remaining fault — the "disk came back" event chaos tests
+/// use to exercise read-only recovery.
+///
+/// [`clear`]: FaultInjector::clear
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    specs: Mutex<Vec<FaultSpec>>,
+    hits: [AtomicU64; POINTS.len()],
+}
+
+impl FaultInjector {
+    /// Records one hit of `point`; returns `Some(arg)` if a fault fires at
+    /// this hit, `None` to proceed normally. One-shot specs are consumed by
+    /// firing; sticky specs keep firing until [`FaultInjector::clear`].
+    pub fn fires(&self, point: FaultPoint) -> Option<u64> {
+        let hit = self.hits[point.slot()].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut specs = self.specs.lock().unwrap_or_else(|p| p.into_inner());
+        let at = specs
+            .iter()
+            .position(|s| s.point == point && (hit == s.nth || (s.sticky && hit > s.nth)))?;
+        let spec = specs[at];
+        if !spec.sticky {
+            specs.remove(at);
+        }
+        Some(spec.arg)
+    }
+
+    /// Disarms every remaining fault (hit counters keep counting). Models
+    /// the underlying failure clearing — e.g. the disk coming back — so a
+    /// degraded service's write probe can succeed.
+    pub fn clear(&self) {
+        self.specs.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+
+    /// Replaces the armed specs with `plan`'s (hit counters are *not*
+    /// reset, keeping "the 3rd fsync overall" deterministic across re-arms).
+    pub fn rearm(&self, plan: &FaultPlan) {
+        *self.specs.lock().unwrap_or_else(|p| p.into_inner()) = plan.specs.clone();
+    }
+
+    /// How many times `point` has been hit (fired or not) — lets tests
+    /// assert a hook site is actually exercised.
+    pub fn hits(&self, point: FaultPoint) -> u64 {
+        self.hits[point.slot()].load(Ordering::Relaxed)
+    }
+
+    /// Whether any fault is still armed.
+    pub fn is_armed(&self) -> bool {
+        !self.specs.lock().unwrap_or_else(|p| p.into_inner()).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parse_display_round_trip() {
+        for s in [
+            "none",
+            "wal-fsync@1",
+            "wal-write@2:16",
+            "wal-open-corrupt@1:97",
+            "snap-fsync@3",
+            "panic-pre-apply@2+",
+            "panic-post-apply@1",
+            "panic-mid-group@4+:7",
+            "wal-fsync@2,panic-pre-apply@1+,wal-write@3:8",
+        ] {
+            let plan: FaultPlan = s.parse().unwrap();
+            assert_eq!(plan.to_string(), s, "round trip of `{s}`");
+            let again: FaultPlan = plan.to_string().parse().unwrap();
+            assert_eq!(again, plan);
+        }
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn plan_parse_rejects_malformed() {
+        for s in ["wal-fsync", "bogus@1", "wal-fsync@x", "wal-fsync@0", "wal-fsync@1:z"] {
+            assert!(s.parse::<FaultPlan>().is_err(), "`{s}` should not parse");
+        }
+    }
+
+    #[test]
+    fn one_shot_fires_exactly_once_at_nth() {
+        let inj = FaultPlan::once(FaultPoint::WalFsync, 3).arm();
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+        assert_eq!(inj.fires(FaultPoint::WalFsync), Some(0));
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+        assert_eq!(inj.hits(FaultPoint::WalFsync), 4);
+        // Other points are unaffected.
+        assert_eq!(inj.fires(FaultPoint::SnapshotFsync), None);
+    }
+
+    #[test]
+    fn sticky_fires_until_cleared() {
+        let inj = FaultPlan::sticky(FaultPoint::WalFsync, 2).arm();
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+        assert_eq!(inj.fires(FaultPoint::WalFsync), Some(0));
+        assert_eq!(inj.fires(FaultPoint::WalFsync), Some(0));
+        assert!(inj.is_armed());
+        inj.clear();
+        assert!(!inj.is_armed());
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+    }
+
+    #[test]
+    fn arg_is_carried_to_the_hook() {
+        let plan: FaultPlan = "wal-write@1:16".parse().unwrap();
+        let inj = plan.arm();
+        assert_eq!(inj.fires(FaultPoint::WalWrite), Some(16));
+    }
+
+    #[test]
+    fn rearm_keeps_hit_counters() {
+        let inj = FaultPlan::none().arm();
+        assert_eq!(inj.fires(FaultPoint::WalFsync), None);
+        inj.rearm(&FaultPlan::once(FaultPoint::WalFsync, 2));
+        // The pre-rearm hit already consumed nth=1's slot in the count.
+        assert_eq!(inj.fires(FaultPoint::WalFsync), Some(0));
+    }
+}

@@ -28,13 +28,16 @@
 //! A crash between "snapshot renamed" and "WAL truncated" is benign: the
 //! stale WAL prefix is skipped by sequence number.
 
+pub mod faults;
 pub mod frame;
 pub mod snapshot;
 pub mod wal;
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+pub use faults::{FaultInjector, FaultPlan, FaultPoint, FaultSpec};
 pub use frame::crc32;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use wal::{Durability, Wal, WalReplay, WalTxn};
@@ -100,6 +103,9 @@ pub struct Recovered {
     pub committed: Vec<WalTxn>,
     /// Whether a torn WAL tail (crash evidence) was truncated away.
     pub torn_tail: bool,
+    /// Where a mid-file-corrupt WAL image was quarantined, if corruption
+    /// (damage *before* the committed suffix, not a torn tail) was found.
+    pub quarantined: Option<PathBuf>,
 }
 
 /// An open durable store: one snapshot plus the WAL of transactions since.
@@ -114,6 +120,8 @@ pub struct Store {
     /// it still holds it (same-process re-entry hands the lock to the
     /// newest opener).
     lock_token: String,
+    /// Armed fault injector shared with the WAL, if any.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// Distinguishes multiple stores opened by one process in the lock file.
@@ -195,6 +203,16 @@ impl Store {
         dir: impl Into<PathBuf>,
         durability: Durability,
     ) -> Result<(Store, Recovered), StoreError> {
+        Self::open_with(dir, durability, None)
+    }
+
+    /// [`Store::open`] with an optional armed fault injector threaded into
+    /// the WAL and snapshot I/O (see [`faults`]).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Result<(Store, Recovered), StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         // Persist the directory entries themselves: a fresh store whose
@@ -211,7 +229,7 @@ impl Store {
         let recover = || -> Result<(Store, Recovered), StoreError> {
             let snapshot = Snapshot::read(&dir.join(SNAPSHOT_FILE))?;
             let snapshot_seq = snapshot.as_ref().map_or(0, |s| s.seq);
-            let (wal, replay) = Wal::open(dir.join(WAL_FILE), durability)?;
+            let (wal, replay) = Wal::open_with(dir.join(WAL_FILE), durability, faults.clone())?;
             let mut last_seq = snapshot_seq;
             let mut committed = Vec::new();
             for txn in replay.txns {
@@ -226,8 +244,17 @@ impl Store {
                 next_seq: last_seq + 1,
                 snapshot_seq,
                 lock_token: lock_token.clone(),
+                faults: faults.clone(),
             };
-            Ok((store, Recovered { snapshot, committed, torn_tail: replay.torn_tail }))
+            Ok((
+                store,
+                Recovered {
+                    snapshot,
+                    committed,
+                    torn_tail: replay.torn_tail,
+                    quarantined: replay.quarantined,
+                },
+            ))
         };
         let result = recover();
         if result.is_err() {
@@ -273,6 +300,16 @@ impl Store {
     /// first, so a crash before the truncate only leaves WAL entries that
     /// recovery skips by sequence number.
     pub fn write_snapshot(&mut self, meta: &str, payload: Vec<u8>) -> Result<(), StoreError> {
+        if let Some(f) = &self.faults {
+            if f.fires(FaultPoint::SnapshotFsync).is_some() {
+                // Snapshot write failure, before anything lands on disk:
+                // the previous snapshot and the WAL are untouched, so the
+                // store remains fully recoverable.
+                return Err(StoreError::Io(std::io::Error::other(
+                    "injected fault: snapshot fsync failure",
+                )));
+            }
+        }
         let seq = self.next_seq - 1;
         let snap = Snapshot { seq, meta: meta.to_string(), payload };
         snap.write_atomic(&self.dir.join(SNAPSHOT_FILE))?;

@@ -29,7 +29,9 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use crate::faults::{FaultInjector, FaultPoint};
 use crate::frame::{read_frame, write_frame, FrameRead};
 
 /// Whether terminator records are fsynced.
@@ -66,6 +68,15 @@ pub struct WalReplay {
     pub valid_len: u64,
     /// Whether a torn tail (crash evidence) was found and dropped.
     pub torn_tail: bool,
+    /// Whether the damage sits *inside* the log rather than at its end:
+    /// an intact, well-tagged frame exists after the first torn record, so
+    /// this is corruption (bit rot, interleaved writers), not the partial
+    /// final append a crash leaves. [`Wal::open`] quarantines such a file
+    /// instead of silently truncating it.
+    pub corrupt_mid_file: bool,
+    /// Where the corrupt file image was quarantined (`<wal>.corrupt-<seq>`
+    /// next to the log), if `corrupt_mid_file` was detected on open.
+    pub quarantined: Option<PathBuf>,
 }
 
 const TAG_BEGIN: u8 = 1;
@@ -93,6 +104,8 @@ pub struct Wal {
     /// the garbage and corrupt *later* transactions. A poisoned log only
     /// errors; reopening (which truncates the torn region) clears it.
     poisoned: bool,
+    /// Armed fault injector, if any (see [`crate::faults`]).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Wal {
@@ -103,12 +116,55 @@ impl Wal {
         path: impl Into<PathBuf>,
         durability: Durability,
     ) -> std::io::Result<(Wal, WalReplay)> {
+        Self::open_with(path, durability, None)
+    }
+
+    /// [`Wal::open`] with an optional armed fault injector threaded through
+    /// every subsequent I/O (and through the open itself:
+    /// [`FaultPoint::WalOpenCorrupt`] flips one byte of the image as it is
+    /// read back, modelling read-time CRC corruption).
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        durability: Durability,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> std::io::Result<(Wal, WalReplay)> {
         let path = path.into();
         let mut file =
             OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let replay = Self::replay(&bytes);
+        if let Some(f) = &faults {
+            if let Some(arg) = f.fires(FaultPoint::WalOpenCorrupt) {
+                if !bytes.is_empty() {
+                    let at = (arg as usize) % bytes.len();
+                    bytes[at] ^= 0xFF;
+                    // Make the injected corruption real on disk, so the
+                    // recovery path under test sees exactly what a reopen
+                    // after bit rot would.
+                    file.seek(SeekFrom::Start(at as u64))?;
+                    file.write_all(&[bytes[at]])?;
+                    file.sync_data()?;
+                }
+            }
+        }
+        let mut replay = Self::replay(&bytes);
+        if replay.corrupt_mid_file {
+            // Damage inside the log, not a torn tail: preserve the full
+            // corrupt image for forensics before truncating to the intact
+            // prefix. Copy-then-truncate keeps `path` present and intact
+            // throughout — a crash at any point either re-runs the
+            // quarantine or finds the already-truncated log.
+            let last_seq = replay.txns.last().map_or(0, |t| t.seq);
+            let qname = match path.file_name().and_then(|n| n.to_str()) {
+                Some(name) => format!("{}.corrupt-{last_seq}", name.split('.').next().unwrap()),
+                None => format!("wal.corrupt-{last_seq}"),
+            };
+            let qpath = path.with_file_name(qname);
+            let mut qfile = File::create(&qpath)?;
+            qfile.write_all(&bytes)?;
+            qfile.sync_data()?;
+            replay.quarantined = Some(qpath);
+        }
         if replay.valid_len < bytes.len() as u64 {
             file.set_len(replay.valid_len)?;
             file.sync_data()?;
@@ -124,6 +180,7 @@ impl Wal {
             pending: Vec::new(),
             txns: replay.txns.len() as u64,
             poisoned: false,
+            faults,
         };
         Ok((wal, replay))
     }
@@ -134,6 +191,9 @@ impl Wal {
     pub fn replay(bytes: &[u8]) -> WalReplay {
         let mut out = WalReplay::default();
         let mut at = 0usize;
+        // Offset of the first torn/malformed record, if any — the anchor
+        // for the mid-file corruption probe below.
+        let mut torn_at: Option<usize> = None;
         // The currently open (BEGIN seen, not yet terminated) transaction.
         let mut open: Option<(u64, u8, Vec<Vec<u8>>)> = None;
         loop {
@@ -141,11 +201,13 @@ impl Wal {
                 FrameRead::End => break,
                 FrameRead::Torn => {
                     out.torn_tail = true;
+                    torn_at = Some(at);
                     break;
                 }
                 FrameRead::Ok { payload, next } => {
                     let Some((&tag, body)) = payload.split_first() else {
                         out.torn_tail = true;
+                        torn_at = Some(at);
                         break;
                     };
                     match tag {
@@ -178,7 +240,8 @@ impl Wal {
                             // Unknown tag or malformed body: treat like a
                             // torn record.
                             out.torn_tail = true;
-                            return out;
+                            torn_at = Some(at);
+                            break;
                         }
                     }
                     at = next;
@@ -187,6 +250,22 @@ impl Wal {
         }
         if open.is_some() {
             out.torn_tail = true;
+        }
+        // Distinguish mid-file corruption from a torn tail: a crash tears
+        // only the *final* append, so nothing parseable can follow the torn
+        // record. An intact, well-tagged, CRC-valid frame at any later
+        // offset proves the damage sits inside previously committed bytes.
+        if let Some(start) = torn_at {
+            let mut probe = start + 1;
+            while probe < bytes.len() {
+                if let FrameRead::Ok { payload, .. } = read_frame(bytes, probe) {
+                    if matches!(payload.first(), Some(&t) if (TAG_BEGIN..=TAG_ABORT).contains(&t)) {
+                        out.corrupt_mid_file = true;
+                        break;
+                    }
+                }
+                probe += 1;
+            }
         }
         out
     }
@@ -244,6 +323,30 @@ impl Wal {
             return Err(std::io::Error::other(
                 "WAL poisoned by an earlier write failure or oversized record",
             ));
+        }
+        if let Some(f) = &self.faults {
+            if let Some(keep) = f.fires(FaultPoint::WalWrite) {
+                // Torn write: a strict prefix of the pending bytes reaches
+                // the file (never the whole — the terminator frame must not
+                // land, or the transaction would be durable while we report
+                // failure), then the device "fails". Sync the prefix so a
+                // reopen sees exactly what a real torn write leaves.
+                let keep = (keep as usize).min(self.pending.len().saturating_sub(1));
+                let _ = self.file.write_all(&self.pending[..keep]);
+                let _ = self.file.sync_data();
+                self.pending.clear();
+                self.poisoned = true;
+                return Err(std::io::Error::other("injected fault: torn WAL write"));
+            }
+            if f.fires(FaultPoint::WalFsync).is_some() {
+                // Fsync failure modelled as "nothing from this flush became
+                // durable": the pending bytes never reach the file, so the
+                // caller's rollback contract (replay lands on the
+                // pre-transaction state) holds under in-process reopens.
+                self.pending.clear();
+                self.poisoned = true;
+                return Err(std::io::Error::other("injected fault: WAL fsync failure"));
+            }
         }
         let result = self.file.write_all(&self.pending).and_then(|()| {
             if self.durability == Durability::Fsync {
@@ -398,6 +501,140 @@ mod tests {
                 assert_eq!(t.seq, i as u64 + 1);
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_quarantined_not_silently_truncated() {
+        let dir = tmpdir("quarantine");
+        let path = dir.join("wal.log");
+        let full_len;
+        {
+            let (mut wal, _) = Wal::open(&path, Durability::Fsync).unwrap();
+            for seq in 1..=3u64 {
+                wal.begin(seq, 0);
+                wal.data(format!("payload-{seq}").as_bytes());
+                wal.commit(seq).unwrap();
+            }
+            full_len = wal.len_bytes();
+        }
+        // Flip a byte inside the *second* transaction's frames: damage
+        // before the committed suffix, with intact frames (txn 3) after it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = (bytes.len() / 3) + 4;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert!(replay.corrupt_mid_file, "intact frames after the tear = corruption");
+        assert!(replay.torn_tail, "corruption also reports the tear");
+        let qpath = replay.quarantined.expect("corrupt image quarantined");
+        assert!(qpath.file_name().unwrap().to_str().unwrap().starts_with("wal.corrupt-"));
+        assert_eq!(std::fs::read(&qpath).unwrap(), bytes, "full corrupt image preserved");
+        // The live log keeps only the intact prefix (txn 1 here).
+        assert_eq!(replay.txns.len(), 1);
+        assert!(wal.len_bytes() < full_len);
+        // Reopening the now-clean log does not re-quarantine.
+        drop(wal);
+        let (_, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert!(!replay.corrupt_mid_file);
+        assert!(replay.quarantined.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_torn_tail_is_not_classified_as_corruption() {
+        let dir = tmpdir("torn_not_corrupt");
+        let path = dir.join("wal.log");
+        {
+            let (mut wal, _) = Wal::open(&path, Durability::Fsync).unwrap();
+            wal.begin(1, 0);
+            wal.data(b"ok");
+            wal.commit(1).unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x77; 9]).unwrap();
+        drop(f);
+        let (_, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert!(replay.torn_tail);
+        assert!(!replay.corrupt_mid_file, "garbage at EOF is a torn tail, not corruption");
+        assert!(replay.quarantined.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_failure_poisons_and_preserves_pre_txn_state() {
+        use crate::faults::{FaultPlan, FaultPoint};
+        let dir = tmpdir("fault_fsync");
+        let path = dir.join("wal.log");
+        let inj = Arc::new(FaultPlan::once(FaultPoint::WalFsync, 2).arm());
+        let (mut wal, _) = Wal::open_with(&path, Durability::Fsync, Some(inj.clone())).unwrap();
+        wal.begin(1, 0);
+        wal.data(b"good");
+        wal.commit(1).unwrap();
+        let durable_len = wal.len_bytes();
+        wal.begin(2, 0);
+        wal.data(b"doomed");
+        let err = wal.commit(2).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // Poisoned: further transactions fail fast.
+        wal.begin(3, 0);
+        assert!(wal.commit(3).is_err());
+        drop(wal);
+        // Reopen (no faults): only txn 1 survives, no torn tail — the
+        // failed flush never reached the file.
+        let (wal, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert_eq!(replay.txns.len(), 1);
+        assert!(!replay.torn_tail);
+        assert_eq!(wal.len_bytes(), durable_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_a_truncatable_tail() {
+        use crate::faults::{FaultPlan, FaultPoint};
+        let dir = tmpdir("fault_torn");
+        let path = dir.join("wal.log");
+        let inj = Arc::new(FaultPlan::once(FaultPoint::WalWrite, 2).arg(16).arm());
+        let (mut wal, _) = Wal::open_with(&path, Durability::Fsync, Some(inj)).unwrap();
+        wal.begin(1, 0);
+        wal.data(b"good");
+        wal.commit(1).unwrap();
+        let durable_len = wal.len_bytes();
+        wal.begin(2, 0);
+        wal.data(b"torn-away");
+        assert!(wal.commit(2).is_err());
+        drop(wal);
+        // The torn prefix is on disk past the committed region…
+        assert!(std::fs::metadata(&path).unwrap().len() > durable_len);
+        // …and a clean reopen truncates it as a torn tail.
+        let (wal, replay) = Wal::open(&path, Durability::Fsync).unwrap();
+        assert_eq!(replay.txns.len(), 1);
+        assert!(replay.torn_tail);
+        assert!(!replay.corrupt_mid_file);
+        assert_eq!(wal.len_bytes(), durable_len);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_open_corruption_feeds_the_quarantine_path() {
+        use crate::faults::{FaultPlan, FaultPoint};
+        let dir = tmpdir("fault_open");
+        let path = dir.join("wal.log");
+        {
+            let (mut wal, _) = Wal::open(&path, Durability::Fsync).unwrap();
+            for seq in 1..=3u64 {
+                wal.begin(seq, 0);
+                wal.data(format!("payload-{seq}").as_bytes());
+                wal.commit(seq).unwrap();
+            }
+        }
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        // Flip a byte one third in: inside txn 1/2, before intact frames.
+        let inj = Arc::new(FaultPlan::once(FaultPoint::WalOpenCorrupt, 1).arg(file_len / 3).arm());
+        let (_, replay) = Wal::open_with(&path, Durability::Fsync, Some(inj)).unwrap();
+        assert!(replay.corrupt_mid_file);
+        assert!(replay.quarantined.is_some());
+        assert!(replay.txns.len() < 3, "the corrupted suffix is dropped");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,14 +19,35 @@
 //! * `--delay-ms <n>`      latency watermark in milliseconds (default 2)
 //! * `--max-pending <n>`   backpressure bound (default 8192)
 //! * `--threads <n>`       worker threads for parallel saturation
+//! * `--fault-plan <spec>` deterministic fault injection for chaos drills
+//!   (e.g. `wal-fsync@3`, `panic-pre-apply@1+`; see
+//!   `strata_store::faults`)
+//!
+//! ## Supervision and shutdown
+//!
+//! With `--store`, the worker runs supervised: a panic or storage fault
+//! fails only the in-flight group (typed, retryable errors on the wire),
+//! then the supervisor rebuilds the engine from the WAL and re-publishes
+//! a fresh snapshot. If restarts are exhausted the service degrades to
+//! read-only — queries and stats keep serving — and periodically probes
+//! the store to re-arm writes. In-memory engines get no rebuild (a replay
+//! source is required to reconstruct state), so persistent failure goes
+//! straight to read-only.
+//!
+//! Ctrl-C (SIGINT/SIGTERM) or the wire's `shutdown` verb triggers a
+//! graceful exit: stop accepting, drain and decide every queued request,
+//! checkpoint a durable store, then exit 0.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{MaintenanceEngine, Parallelism, StorageConfig};
+use stratamaint::core::{
+    FaultPlan, MaintenanceEngine, MaintenanceError, Parallelism, StorageConfig,
+};
 use stratamaint::datalog::Program;
-use stratamaint::service::{net, IngestConfig, Service};
+use stratamaint::service::{net, EngineRebuild, IngestConfig, Service, SupervisorConfig};
 
 struct Args {
     addr: String,
@@ -35,6 +56,7 @@ struct Args {
     program: Option<String>,
     cfg: IngestConfig,
     threads: Option<usize>,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -45,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         program: None,
         cfg: IngestConfig::default(),
         threads: None,
+        fault_plan: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -72,6 +95,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 out.threads =
                     Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
             }
+            "--fault-plan" => {
+                out.fault_plan =
+                    Some(value("--fault-plan")?.parse().map_err(|e| format!("--fault-plan: {e}"))?);
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -81,7 +108,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         _ => {
             return Err("usage: strata-serve <addr> [--strategy NAME] [--store DIR] \
                         [--program FILE] [--group N] [--delay-ms N] [--max-pending N] \
-                        [--threads N]"
+                        [--threads N] [--fault-plan SPEC]"
                 .into())
         }
     }
@@ -90,6 +117,32 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     Ok(out)
 }
+
+/// The SIGINT/SIGTERM latch. A signal handler may only do async-signal-safe
+/// work, so it sets this flag; the main loop polls it between bounded waits
+/// on the wire-initiated [`net::ShutdownFlag`].
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        // libc's classic `signal(2)`: always linked with std on unix, so no
+        // extra dependency is needed for a store-a-flag handler.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn run(args: Args) -> Result<(), String> {
     let program = match &args.program {
@@ -104,9 +157,14 @@ fn run(args: Args) -> Result<(), String> {
         Some(dir) => StorageConfig::Wal(dir.into()),
         None => StorageConfig::Mem,
     };
+    let faults =
+        args.fault_plan.as_ref().filter(|plan| !plan.is_empty()).map(|plan| Arc::new(plan.arm()));
+    if let Some(plan) = args.fault_plan.as_ref().filter(|plan| !plan.is_empty()) {
+        eprintln!("fault injection armed: {plan}");
+    }
     let registry = EngineRegistry::standard();
     let mut engine = registry
-        .build_with_storage(&args.strategy, program, &storage)
+        .build_with_storage_faults(&args.strategy, program.clone(), &storage, faults.clone())
         .map_err(|e| e.to_string())?;
     if let Some(n) = args.threads {
         engine.set_parallelism(Parallelism::new(n));
@@ -127,14 +185,70 @@ fn run(args: Args) -> Result<(), String> {
         args.cfg.max_delay,
         args.store.as_deref().unwrap_or("mem"),
     );
-    let service = Arc::new(Service::start(engine, args.cfg));
+    // A durable store is its own replay source: the supervisor can heal a
+    // crashed worker by rebuilding from the WAL. In-memory engines have
+    // nothing to rebuild from — a fresh build would silently drop every
+    // committed update — so they get no rebuild and degrade to read-only
+    // on persistent failure instead.
+    let rebuild: Option<EngineRebuild> = match &storage {
+        StorageConfig::Mem => None,
+        StorageConfig::Wal(_) => {
+            let strategy = args.strategy.clone();
+            let program = program.clone();
+            let storage = storage.clone();
+            let faults = faults.clone();
+            let threads = args.threads;
+            Some(Arc::new(move || {
+                let mut engine = EngineRegistry::standard()
+                    .build_with_storage_faults(&strategy, program.clone(), &storage, faults.clone())
+                    .map_err(|e| MaintenanceError::Storage(format!("rebuild failed: {e}")))?;
+                if let Some(n) = threads {
+                    engine.set_parallelism(Parallelism::new(n));
+                }
+                Ok(engine)
+            }))
+        }
+    };
+    let service = Arc::new(Service::start_supervised(
+        engine,
+        args.cfg,
+        SupervisorConfig::default(),
+        rebuild,
+        faults,
+    ));
     let handle = net::serve(Arc::clone(&service), &args.addr).map_err(|e| e.to_string())?;
-    eprintln!("listening on {} (submit | query | flush | stats | quit)", handle.addr());
-    // Serve until killed: the acceptor owns the listener, connections own
-    // their threads, and the park below never returns in normal operation.
+    eprintln!(
+        "listening on {} (client | submit | query | flush | stats | shutdown | quit)",
+        handle.addr()
+    );
+    install_signal_handlers();
+    // Serve until asked to stop: either a connection's `shutdown` verb
+    // raises the server flag, or SIGINT/SIGTERM sets the latch. The
+    // bounded wait interleaves the two — a signal handler cannot safely
+    // notify a condvar, so it must be polled.
+    let requests = handle.shutdown_requests();
     loop {
-        std::thread::park();
+        if requests.wait_timeout(Duration::from_millis(200)) {
+            eprintln!("shutdown requested over the wire");
+            break;
+        }
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("signal received");
+            break;
+        }
     }
+    // Graceful teardown: stop accepting, decide everything already queued
+    // (every ack implies durability for a WAL store), checkpoint, exit.
+    // Connections still open die with the process — their clients have
+    // their acks.
+    handle.stop();
+    service.flush();
+    match service.with_engine_mut(|e| e.checkpoint()) {
+        Ok(true) => eprintln!("checkpointed store; bye"),
+        Ok(false) => eprintln!("bye"),
+        Err(e) => eprintln!("checkpoint failed (WAL remains authoritative): {e}"),
+    }
+    Ok(())
 }
 
 fn main() {
@@ -186,6 +300,15 @@ mod tests {
         assert_eq!(a.cfg.max_delay, Duration::from_millis(5));
         assert_eq!(a.cfg.max_pending, 256);
         assert_eq!(a.threads, Some(4));
+    }
+
+    #[test]
+    fn parses_fault_plans() {
+        let a = args(&["127.0.0.1:0", "--fault-plan", "wal-fsync@2,panic-pre-apply@1+"]).unwrap();
+        let plan = a.fault_plan.expect("plan parsed");
+        assert_eq!(plan.specs().len(), 2);
+        assert!(args(&["127.0.0.1:0", "--fault-plan", "not-a-point@1"]).is_err());
+        assert!(args(&["127.0.0.1:0", "--fault-plan"]).is_err(), "flag needs a value");
     }
 
     #[test]

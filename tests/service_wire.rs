@@ -73,11 +73,12 @@ proptest! {
         let line = render_tagged(Some(&tag), &format!("submit {}", render_update(&update)));
         let (got_tag, rest) = split_tag(&line);
         prop_assert_eq!(got_tag, Some(tag.as_str()));
-        let Request::Submit(round) = parse_request(rest)
+        let Request::Submit { update: round, seq } = parse_request(rest)
             .unwrap_or_else(|e| panic!("`{line}` failed to re-parse: {e}")) else {
             panic!("`{line}` did not parse as a submit")
         };
         prop_assert_eq!(round, update);
+        prop_assert_eq!(seq, None);
     }
 
     /// Version-pinned queries round-trip their tag, their version, and
