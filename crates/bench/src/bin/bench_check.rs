@@ -18,11 +18,17 @@
 //!   which is why CI runs this as a separate, non-required job.)
 //! * `service`  — coalesced group-commit vs per-request ingest throughput
 //!   (the `strata-service` headline ratio).
+//! * `service-obs` — the observability overhead guard: the same e13 headline
+//!   ratio, but framed as "instrumented service vs committed baseline". The
+//!   `strata_obs` registry and trace ring are compiled in and always on, so a
+//!   fresh `exp_e13_ingest --smoke` run *is* the instrumented measurement;
+//!   if metrics + tracing cost more than [`TOLERANCE`]× of the committed
+//!   smoke ratio, this kind fails.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_check <plan|store|parallel|service> <baseline.json> <fresh.json>
+//! bench_check <plan|store|parallel|service|service-obs|read> <baseline.json> <fresh.json>
 //! ```
 
 use std::process::ExitCode;
@@ -140,14 +146,30 @@ fn service_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
     Ok(vec![Metric { label: "coalesced/per-request ingest throughput".into(), value: ratio }])
 }
 
+/// `service-obs`: the observability overhead guard. Same extraction as
+/// `service` — the fresh run carries the always-on `strata_obs`
+/// instrumentation, so "fresh ratio ≥ baseline ratio / TOLERANCE" bounds the
+/// throughput cost of metrics + tracing — but labeled distinctly so a CI
+/// failure reads as an instrumentation-overhead regression, not a
+/// coalescing regression.
+fn service_obs_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    Ok(service_metrics(doc)?
+        .into_iter()
+        .map(|m| Metric { label: format!("instrumented {}", m.label), value: m.value })
+        .collect())
+}
+
 fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
     match kind {
         "plan" => plan_metrics(doc),
         "store" => store_metrics(doc),
         "parallel" => parallel_metrics(doc),
         "service" => service_metrics(doc),
+        "service-obs" => service_obs_metrics(doc),
         "read" => read_metrics(doc),
-        other => Err(format!("unknown kind `{other}` (plan | store | parallel | service | read)")),
+        other => Err(format!(
+            "unknown kind `{other}` (plan | store | parallel | service | service-obs | read)"
+        )),
     }
 }
 
@@ -178,7 +200,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, baseline, fresh] = args.as_slice() else {
         eprintln!(
-            "usage: bench_check <plan|store|parallel|service|read> <baseline.json> <fresh.json>"
+            "usage: bench_check <plan|store|parallel|service|service-obs|read> \
+             <baseline.json> <fresh.json>"
         );
         return ExitCode::from(2);
     };
@@ -241,6 +264,21 @@ mod tests {
         assert!((m[0].value - 12.0).abs() < 1e-9);
         assert!(service_metrics(&doc(r#"{"ingest": []}"#)).is_err());
         assert!(service_metrics(&doc(r#"{}"#)).is_err());
+    }
+
+    #[test]
+    fn service_obs_metric_relabels_the_same_ratio() {
+        let base = doc(r#"{"ingest": [
+                {"mode": "per_update_fsync", "updates_per_sec": 900},
+                {"mode": "service_coalesced", "updates_per_sec": 10800}
+            ]}"#);
+        let m = service_obs_metrics(&base).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].label, "instrumented coalesced/per-request ingest throughput");
+        assert!((m[0].value - 12.0).abs() < 1e-9);
+        // The kind is routed through the dispatcher too.
+        assert_eq!(metrics("service-obs", &base).unwrap()[0].label, m[0].label);
+        assert!(service_obs_metrics(&doc(r#"{}"#)).is_err());
     }
 
     #[test]

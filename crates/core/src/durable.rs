@@ -389,6 +389,7 @@ impl DurableEngine {
         durability: Durability,
         faults: Option<std::sync::Arc<FaultInjector>>,
     ) -> Result<DurableEngine, MaintenanceError> {
+        let recovery_start = std::time::Instant::now();
         let (store, recovered) =
             Store::open_with(path.as_ref(), durability, faults).map_err(storage_err)?;
         let fresh = recovered.snapshot.is_none();
@@ -439,6 +440,21 @@ impl DurableEngine {
         if fresh {
             engine.write_snapshot()?;
         }
+        let recovery_us = recovery_start.elapsed().as_micros() as u64;
+        let obs = strata_obs::global();
+        obs.histogram("strata_recovery_us").record(recovery_us);
+        obs.counter("strata_recovered_txns_total").add(engine.recovered_txns);
+        obs.counter("strata_recovered_updates_total").add(engine.recovered_updates);
+        strata_obs::trace::event(
+            strata_obs::EventKind::Recovery,
+            format!(
+                "us={recovery_us} txns={} updates={} torn_tail={} quarantined={}",
+                engine.recovered_txns,
+                engine.recovered_updates,
+                engine.recovered_torn_tail,
+                engine.recovered_quarantined,
+            ),
+        );
         Ok(engine)
     }
 
@@ -518,6 +534,8 @@ impl DurableEngine {
         let seq = self.store.begin(&records, kind);
         match apply(&mut self.inner, updates) {
             Ok(out) => {
+                // In-memory apply done; the WAL commit below stamps fsync.
+                strata_obs::trace::stage(strata_obs::Stage::Apply);
                 // The commit point: the batch is durable once this returns.
                 if let Err(e) = self.store.commit(seq) {
                     // Applied in memory but not durable: unwind so memory

@@ -1,0 +1,62 @@
+//! # strata-obs
+//!
+//! Zero-dependency observability for the stratamaint workspace: a
+//! process-wide [`metrics`] registry (counters, gauges, log-linear latency
+//! histograms) and a [`trace`] recorder that follows each ingest group
+//! through the pipeline (queue → coalesce → apply → WAL fsync → snapshot
+//! publish) and logs typed supervisor events.
+//!
+//! ## Why no dependencies
+//!
+//! The build environment has no crates.io access, so the usual `metrics` /
+//! `tracing` / `prometheus` crates are unavailable. Everything here is built
+//! on `std` alone: atomics for the record path, one `Mutex` per registry map
+//! or ring buffer for the (cold) registration and readout paths.
+//!
+//! ## Overhead bounds
+//!
+//! The record path is lock-free and allocation-free:
+//!
+//! * [`metrics::Counter::add`] / [`metrics::Gauge::set`] — one
+//!   `Ordering::Relaxed` atomic RMW / store.
+//! * [`metrics::Histogram::record`] — a bucket-index computation (a couple
+//!   of shifts off the leading-zero count) plus **four** `Relaxed` atomic
+//!   RMWs (bucket, count, sum, max). No locks, no allocation, ~10–20 ns on
+//!   current hardware.
+//!
+//! Handle registration ([`metrics::Registry::counter`] and friends) takes
+//! the registry mutex and allocates; callers are expected to register once
+//! (e.g. in a `OnceLock`) and clone the returned `Arc` handles onto their
+//! hot paths. Trace spans take one mutex acquisition per *group* (not per
+//! update) when the completed span is pushed into the ring; per-stage
+//! stamping is thread-local. Ring memory is bounded: the span ring keeps
+//! the last [`trace::SPAN_RING`] group spans (overwrite-oldest), the event
+//! ring the last [`trace::EVENT_RING`] events.
+//!
+//! ## Histograms
+//!
+//! Histograms use log-linear buckets: values below 8 get exact unit
+//! buckets, then each power-of-two octave is split into 4 linear
+//! sub-buckets (≤ 25 % relative width) up to 2³² − 1, with one overflow
+//! bucket above. Quantile readout interpolates inside the bucket holding
+//! the requested rank, so a reported quantile is always within one bucket
+//! width of the exact order statistic; the maximum is tracked exactly.
+//!
+//! ## Exposition
+//!
+//! [`render`] produces Prometheus-style text exposition, sorted by metric
+//! name so output is diff-stable: `# TYPE` lines, `name{label="v"} value`
+//! samples, histograms as cumulative `_bucket{le="..."}` lines (empty
+//! buckets elided, `+Inf` always present) plus `_sum` and `_count`.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{Event, EventKind, GroupKind, GroupSpan, Stage, TraceId};
+
+/// Renders the process-wide registry as Prometheus-style text exposition,
+/// sorted by metric name.
+pub fn render() -> String {
+    global().render()
+}

@@ -1,0 +1,540 @@
+//! The metrics registry: counters, gauges, and log-linear histograms.
+//!
+//! Handles are registered by name (plus an optional fixed label set) and
+//! returned as `Arc`s; the same name always yields the same underlying
+//! metric, so every layer of the process can cheaply share one registry.
+//! Recording is lock-free (`Ordering::Relaxed` atomics); registration and
+//! [`Registry::render`] take the registry mutex.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can be set to arbitrary levels.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge { value: AtomicU64::new(0) }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 8 exact unit buckets, 4 sub-buckets per
+/// octave for exponents 3..=31, and one overflow bucket.
+pub const BUCKETS: usize = 8 + 29 * 4 + 1;
+
+/// Values below this get exact unit buckets.
+const LINEAR_CUTOFF: u64 = 8;
+/// log2 of the sub-buckets per octave (4).
+const SUB_BITS: u32 = 2;
+/// Largest exponent with its own octave; values ≥ 2^(MAX_EXP+1) overflow.
+const MAX_EXP: u32 = 31;
+
+/// Maps a value to its bucket index.
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros();
+    if e > MAX_EXP {
+        return BUCKETS - 1;
+    }
+    let sub = ((v >> (e - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    LINEAR_CUTOFF as usize + ((e - 3) as usize) * (1 << SUB_BITS) + sub
+}
+
+/// The half-open `[lo, hi)` range of values landing in bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i < LINEAR_CUTOFF as usize {
+        return (i as u64, i as u64 + 1);
+    }
+    if i == BUCKETS - 1 {
+        return (1 << (MAX_EXP + 1), u64::MAX);
+    }
+    let k = i - LINEAR_CUTOFF as usize;
+    let e = 3 + (k / 4) as u32;
+    let sub = (k % 4) as u64;
+    let width = 1u64 << (e - SUB_BITS);
+    let lo = (1u64 << e) + sub * width;
+    (lo, lo + width)
+}
+
+/// A log-linear latency histogram with lock-free recording.
+///
+/// Values below 8 get exact unit buckets; each power-of-two octave above
+/// is split into 4 linear sub-buckets (≤ 25 % relative width); values at
+/// or above 2³² share one overflow bucket. `count`, `sum`, and an exact
+/// `max` are tracked alongside the buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Four `Relaxed` atomic RMWs, no locks.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with quantile readout.
+#[derive(Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`, interpolated inside the
+    /// bucket holding the rank-`⌈q·count⌉` observation and clamped to the
+    /// exact maximum. Returns 0 for an empty histogram; `quantile(1.0)`
+    /// returns the exact max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                if i == BUCKETS - 1 {
+                    // Overflow bucket: no meaningful upper bound, report max.
+                    return self.max;
+                }
+                let before = cum - n;
+                let frac = (rank - before) as f64 / n as f64;
+                let v = lo as f64 + (hi - lo) as f64 * frac;
+                return (v as u64).min(hi - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: `(p50, p90, p99, max)`.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.90), self.quantile(0.99), self.max)
+    }
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics. Most callers want the process-wide
+/// [`global`] registry so that every layer (WAL, engine, service) reports
+/// into one exposition.
+pub struct Registry {
+    // Keyed by (name, rendered label pairs); BTreeMap keeps render output
+    // sorted by metric name without a separate sort pass.
+    slots: Mutex<BTreeMap<(String, String), Slot>>,
+}
+
+fn format_labels(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry { slots: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn slot(&self, name: &str, labels: &[(&str, &str)], make: fn() -> Slot) -> Slot {
+        let key = (name.to_string(), format_labels(labels));
+        let mut slots = self.slots.lock().unwrap();
+        let slot = slots.entry(key).or_insert_with(make);
+        match slot {
+            Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+            Slot::Gauge(g) => Slot::Gauge(Arc::clone(g)),
+            Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Registers (or fetches) a counter. Panics if `name` was registered
+    /// with a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// A counter with a fixed label set.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.slot(name, labels, || Slot::Counter(Arc::new(Counter::new()))) {
+            Slot::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.slot(name, &[], || Slot::Gauge(Arc::new(Gauge::new()))) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or fetches) a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.slot(name, &[], || Slot::Histogram(Arc::new(Histogram::new()))) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The current value of a counter or gauge named `name` with no labels,
+    /// if registered. Used by the REPL to cross-check the legacy stats line
+    /// against the registry.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        let slots = self.slots.lock().unwrap();
+        match slots.get(&(name.to_string(), String::new()))? {
+            Slot::Counter(c) => Some(c.get()),
+            Slot::Gauge(g) => Some(g.get()),
+            Slot::Histogram(_) => None,
+        }
+    }
+
+    /// Prometheus-style text exposition, sorted by metric name.
+    ///
+    /// Counters and gauges render as `name{labels} value`; histograms as
+    /// cumulative `name_bucket{le="..."}` lines (empty buckets elided, the
+    /// `+Inf` bucket always present) followed by `name_sum` and
+    /// `name_count`. `le` bounds are inclusive integer upper bounds.
+    pub fn render(&self) -> String {
+        let slots = self.slots.lock().unwrap();
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), slot) in slots.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", slot.kind());
+                last_name = Some(name.as_str());
+            }
+            let bare = labels.is_empty();
+            match slot {
+                Slot::Counter(c) => {
+                    if bare {
+                        let _ = writeln!(out, "{name} {}", c.get());
+                    } else {
+                        let _ = writeln!(out, "{name}{{{labels}}} {}", c.get());
+                    }
+                }
+                Slot::Gauge(g) => {
+                    if bare {
+                        let _ = writeln!(out, "{name} {}", g.get());
+                    } else {
+                        let _ = writeln!(out, "{name}{{{labels}}} {}", g.get());
+                    }
+                }
+                Slot::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let prefix = if bare { String::new() } else { format!("{labels},") };
+                    let mut cum = 0u64;
+                    for (i, &n) in snap.buckets.iter().enumerate() {
+                        if n == 0 || i == BUCKETS - 1 {
+                            cum += n;
+                            continue;
+                        }
+                        cum += n;
+                        let (_, hi) = bucket_bounds(i);
+                        let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"{}\"}} {cum}", hi - 1);
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{{prefix}le=\"+Inf\"}} {}", snap.count);
+                    if bare {
+                        let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                        let _ = writeln!(out, "{name}_count {}", snap.count);
+                    } else {
+                        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", snap.sum);
+                        let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+/// The process-wide registry every strata crate reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Every bucket's bounds are contiguous with its neighbour and contain
+    /// exactly the values that map back to it.
+    #[test]
+    fn bucket_boundaries_are_contiguous_and_self_consistent() {
+        let mut expected_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} does not start where {} ended", i.max(1) - 1);
+            assert!(hi > lo, "bucket {i} is empty");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i} maps elsewhere");
+            assert_eq!(bucket_index(hi - 1), i, "upper bound of bucket {i} maps elsewhere");
+            expected_lo = hi;
+        }
+        // The last bucket swallows everything up to u64::MAX.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    /// Small values get exact unit buckets; octaves split into quarters.
+    #[test]
+    fn bucket_layout_examples() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_bounds(bucket_index(v)), (v, v + 1));
+        }
+        assert_eq!(bucket_bounds(bucket_index(8)), (8, 10));
+        assert_eq!(bucket_bounds(bucket_index(10)), (10, 12));
+        assert_eq!(bucket_bounds(bucket_index(1024)), (1024, 1280));
+        // Relative width stays within 25%.
+        for i in 8..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!((hi - lo) * 4 <= lo, "bucket {i} wider than 25% of {lo}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+        assert_eq!(snap.summary(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(1234);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 1234);
+        assert_eq!(snap.max, 1234);
+        let (lo, hi) = bucket_bounds(bucket_index(1234));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let got = snap.quantile(q);
+            assert!(got >= lo && got < hi, "q{q} = {got} outside [{lo},{hi})");
+        }
+        // max clamps the top quantile exactly.
+        assert_eq!(snap.quantile(1.0), 1234);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_interpolate_within_it() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1025); // bucket [1024, 1280)
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.5, 0.9, 1.0] {
+            let got = snap.quantile(q);
+            assert!((1024..1280).contains(&got), "q{q} = {got}");
+            assert!(got <= snap.max, "quantile above exact max");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_exact_max() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(u64::MAX - 3);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[BUCKETS - 1], 1);
+        assert_eq!(snap.quantile(1.0), u64::MAX - 3);
+        assert_eq!(snap.max, u64::MAX - 3);
+        // The low sample still anchors the low quantiles.
+        assert_eq!(snap.quantile(0.25), 5);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x_total");
+        let b = r.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.value("x_total"), Some(3));
+        let g = r.gauge("depth");
+        g.set(7);
+        assert_eq!(r.value("depth"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        let _ = r.counter("x_total");
+        let _ = r.gauge("x_total");
+    }
+
+    /// Exposition is sorted by metric name, carries `# TYPE` headers, and
+    /// renders histograms as cumulative buckets plus sum/count.
+    #[test]
+    fn render_is_sorted_and_prometheus_shaped() {
+        let r = Registry::new();
+        r.counter("zeta_total").add(4);
+        r.gauge("alpha_depth").set(2);
+        let h = r.histogram("mid_latency_us");
+        h.record(3);
+        h.record(9);
+        r.counter_with("events_total", &[("kind", "heal")]).inc();
+        let text = r.render();
+        let names: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "exposition not sorted:\n{text}");
+        assert!(text.contains("# TYPE alpha_depth gauge"));
+        assert!(text.contains("alpha_depth 2"));
+        assert!(text.contains("events_total{kind=\"heal\"} 1"));
+        assert!(text.contains("# TYPE mid_latency_us histogram"));
+        assert!(text.contains("mid_latency_us_bucket{le=\"3\"} 1"));
+        assert!(text.contains("mid_latency_us_bucket{le=\"9\"} 2"));
+        assert!(text.contains("mid_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mid_latency_us_sum 12"));
+        assert!(text.contains("mid_latency_us_count 2"));
+        // Rendering twice is byte-identical (diff-stable).
+        assert_eq!(text, r.render());
+    }
+
+    proptest! {
+        /// Recorded quantiles stay within one bucket width of the exact
+        /// sorted-sample order statistic.
+        #[test]
+        fn quantiles_track_exact_order_statistics(
+            values in proptest::collection::vec(0u64..2_000_000, 1..200),
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let snap = h.snapshot();
+            for q in [0.0f64, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let got = snap.quantile(q);
+                let (lo, hi) = bucket_bounds(bucket_index(exact));
+                let width = hi - lo;
+                let diff = got.abs_diff(exact);
+                prop_assert!(
+                    diff <= width,
+                    "q{q}: got {got}, exact {exact}, bucket width {width}"
+                );
+            }
+        }
+    }
+}

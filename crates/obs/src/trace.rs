@@ -1,0 +1,471 @@
+//! Pipeline traces and typed events.
+//!
+//! Every submit accepted by the ingest queue is assigned a process-unique
+//! [`TraceId`]. When the worker drains a group it opens an *active span* on
+//! its own thread ([`begin_group`]), lower layers stamp stages into it as
+//! they happen ([`stage`] — the durable engine stamps [`Stage::Apply`], the
+//! WAL stamps [`Stage::Fsync`]), and [`finish_group`] seals the span into a
+//! fixed-size overwrite-oldest ring buffer. Stage stamps are
+//! first-write-wins, so the deepest layer that observed a stage defines its
+//! timestamp and outer layers only fill gaps (e.g. a memory engine has no
+//! WAL, so the service's post-apply stamp stands in for both apply and
+//! fsync). Sealed spans always satisfy
+//! `enqueue ≤ cut ≤ coalesce ≤ apply ≤ fsync ≤ publish`.
+//!
+//! Supervisor actions (panic caught, heal attempts, read-only entry/exit,
+//! WAL quarantine, recovery) are recorded as typed [`Event`]s in their own
+//! ring and mirrored as `strata_events_total{kind="..."}` counters.
+//!
+//! All timestamps are microseconds since a process-local epoch (the first
+//! use of the recorder), so spans from different threads are directly
+//! comparable.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::global;
+
+/// Completed group spans kept in the ring (overwrite-oldest).
+pub const SPAN_RING: usize = 1024;
+/// Typed events kept in the ring (overwrite-oldest).
+pub const EVENT_RING: usize = 256;
+
+/// A process-unique id assigned to each accepted submit.
+pub type TraceId = u64;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since the recorder's process-local epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Converts an [`Instant`] (e.g. a request's enqueue time) to microseconds
+/// since the recorder epoch. Instants predating the epoch clamp to 0.
+pub fn instant_us(at: Instant) -> u64 {
+    at.saturating_duration_since(epoch()).as_micros() as u64
+}
+
+/// Allocates the next trace id (starting at 1).
+pub fn next_trace_id() -> TraceId {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocates a process-unique worker ordinal, so spans from concurrently
+/// running services (e.g. several test servers in one process) can be told
+/// apart even though each service numbers its groups from 1.
+pub fn next_worker_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What kind of group a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupKind {
+    /// A coalesced batch of fact updates.
+    Facts,
+    /// A rule-update barrier.
+    Rules,
+}
+
+impl GroupKind {
+    /// Stable lowercase name, as rendered on the wire.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GroupKind::Facts => "facts",
+            GroupKind::Rules => "rules",
+        }
+    }
+}
+
+/// Pipeline stages stamped into the active span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Coalescing plan computed.
+    Coalesce,
+    /// In-memory apply finished (stamped by the durable engine before the
+    /// WAL commit, or by the service after `apply_all` for memory engines).
+    Apply,
+    /// WAL fsync completed.
+    Fsync,
+    /// New snapshot published.
+    Publish,
+}
+
+/// A completed per-group span: stage timestamps in microseconds since the
+/// recorder epoch, satisfying
+/// `enqueue_us ≤ cut_us ≤ coalesce_us ≤ apply_us ≤ fsync_us ≤ publish_us`.
+#[derive(Clone, Debug)]
+pub struct GroupSpan {
+    /// The worker ordinal (one per service instance).
+    pub worker: u64,
+    /// The group ordinal within its service.
+    pub group: u64,
+    /// Kind of group.
+    pub kind: GroupKind,
+    /// Snapshot version the group published, if it committed.
+    pub version: Option<u64>,
+    /// Whether the group committed (vs. rejected/rolled back).
+    pub committed: bool,
+    /// Requests in the group.
+    pub size: usize,
+    /// Trace ids of every request in the group.
+    pub traces: Vec<TraceId>,
+    /// Earliest enqueue among the group's requests.
+    pub enqueue_us: u64,
+    /// When the worker cut (drained) the group.
+    pub cut_us: u64,
+    /// Coalescing plan done.
+    pub coalesce_us: u64,
+    /// In-memory apply done.
+    pub apply_us: u64,
+    /// WAL fsync done (equals `apply_us` when nothing was synced).
+    pub fsync_us: u64,
+    /// Snapshot published (equals `fsync_us` for uncommitted groups).
+    pub publish_us: u64,
+}
+
+impl GroupSpan {
+    /// Queue wait: enqueue of the oldest request to group cut.
+    pub fn wait_us(&self) -> u64 {
+        self.cut_us.saturating_sub(self.enqueue_us)
+    }
+
+    /// Commit time: group cut to snapshot publish.
+    pub fn commit_us(&self) -> u64 {
+        self.publish_us.saturating_sub(self.cut_us)
+    }
+
+    /// One-line `key=value` rendering, used by the `trace` verb, the REPL,
+    /// and the slow-group log.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "worker={} group={} kind={} committed={} size={}",
+            self.worker,
+            self.group,
+            self.kind.as_str(),
+            self.committed,
+            self.size,
+        );
+        match self.version {
+            Some(v) => {
+                let _ = write!(out, " version={v}");
+            }
+            None => out.push_str(" version=none"),
+        }
+        let _ = write!(
+            out,
+            " enqueue_us={} cut_us={} coalesce_us={} apply_us={} fsync_us={} publish_us={} \
+             wait_us={} commit_us={} traces={}",
+            self.enqueue_us,
+            self.cut_us,
+            self.coalesce_us,
+            self.apply_us,
+            self.fsync_us,
+            self.publish_us,
+            self.wait_us(),
+            self.commit_us(),
+            self.traces.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(","),
+        );
+        out
+    }
+}
+
+/// Typed supervisor / storage events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The worker caught a panic while processing a group.
+    PanicCaught,
+    /// The worker hit a storage failure while processing a group.
+    StorageFault,
+    /// The supervisor attempted a heal (rebuild + probe).
+    HealAttempt,
+    /// A heal succeeded and the worker restarted.
+    Healed,
+    /// The service entered read-only degradation.
+    ReadOnlyEnter,
+    /// The service left read-only degradation.
+    ReadOnlyExit,
+    /// The WAL quarantined a corrupt segment during recovery.
+    WalQuarantine,
+    /// A durable engine finished recovery.
+    Recovery,
+}
+
+impl EventKind {
+    /// Stable snake_case name, used as the `kind` label on
+    /// `strata_events_total` and in event renderings.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::PanicCaught => "panic_caught",
+            EventKind::StorageFault => "storage_fault",
+            EventKind::HealAttempt => "heal_attempt",
+            EventKind::Healed => "healed",
+            EventKind::ReadOnlyEnter => "read_only_enter",
+            EventKind::ReadOnlyExit => "read_only_exit",
+            EventKind::WalQuarantine => "wal_quarantine",
+            EventKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// A recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Microseconds since the recorder epoch.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Free-form context (error text, attempt number, path, ...).
+    pub detail: String,
+}
+
+impl Event {
+    /// One-line rendering.
+    pub fn render(&self) -> String {
+        if self.detail.is_empty() {
+            format!("at_us={} kind={}", self.at_us, self.kind.as_str())
+        } else {
+            format!("at_us={} kind={} detail={}", self.at_us, self.kind.as_str(), self.detail)
+        }
+    }
+}
+
+struct ActiveSpan {
+    worker: u64,
+    group: u64,
+    kind: GroupKind,
+    size: usize,
+    traces: Vec<TraceId>,
+    enqueue_us: u64,
+    cut_us: u64,
+    coalesce_us: Option<u64>,
+    apply_us: Option<u64>,
+    fsync_us: Option<u64>,
+    publish_us: Option<u64>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveSpan>> = const { RefCell::new(None) };
+}
+
+fn span_ring() -> &'static Mutex<VecDeque<GroupSpan>> {
+    static RING: OnceLock<Mutex<VecDeque<GroupSpan>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(SPAN_RING)))
+}
+
+fn event_ring() -> &'static Mutex<VecDeque<Event>> {
+    static RING: OnceLock<Mutex<VecDeque<Event>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(EVENT_RING)))
+}
+
+static SLOW_GROUP_US: AtomicU64 = AtomicU64::new(0);
+
+/// Arms slow-group logging: any sealed span whose commit time
+/// ([`GroupSpan::commit_us`]) reaches `us` microseconds is printed to
+/// stderr with its full breakdown. `0` disables (the default).
+pub fn set_slow_group_us(us: u64) {
+    SLOW_GROUP_US.store(us, Ordering::Relaxed);
+}
+
+/// Opens the active span for a group on the current (worker) thread. Any
+/// previous unfinished span on this thread (e.g. abandoned by a caught
+/// panic) is discarded.
+pub fn begin_group(
+    worker: u64,
+    group: u64,
+    kind: GroupKind,
+    traces: Vec<TraceId>,
+    enqueue_us: u64,
+) {
+    let span = ActiveSpan {
+        worker,
+        group,
+        kind,
+        size: traces.len(),
+        traces,
+        enqueue_us,
+        cut_us: now_us(),
+        coalesce_us: None,
+        apply_us: None,
+        fsync_us: None,
+        publish_us: None,
+    };
+    ACTIVE.with(|a| *a.borrow_mut() = Some(span));
+}
+
+/// Stamps `stage` on the current thread's active span with the current
+/// time. First write wins: the deepest layer that observes a stage defines
+/// it. No-op when no span is active (e.g. fsyncs outside group commit).
+pub fn stage(stage: Stage) {
+    let t = now_us();
+    ACTIVE.with(|a| {
+        if let Some(span) = a.borrow_mut().as_mut() {
+            let slot = match stage {
+                Stage::Coalesce => &mut span.coalesce_us,
+                Stage::Apply => &mut span.apply_us,
+                Stage::Fsync => &mut span.fsync_us,
+                Stage::Publish => &mut span.publish_us,
+            };
+            if slot.is_none() {
+                *slot = Some(t);
+            }
+        }
+    });
+}
+
+/// Seals the current thread's active span, pushes it into the span ring,
+/// and returns a copy (so the caller can feed latency histograms from the
+/// same stamps). Missing stages inherit their predecessor's timestamp, and
+/// stamps are monotonized, so sealed spans always satisfy
+/// `enqueue ≤ cut ≤ coalesce ≤ apply ≤ fsync ≤ publish`. Returns `None`
+/// (no-op) when no span is active.
+pub fn finish_group(version: Option<u64>, committed: bool) -> Option<GroupSpan> {
+    let active = ACTIVE.with(|a| a.borrow_mut().take())?;
+    let cut = active.cut_us.max(active.enqueue_us);
+    let coalesce = active.coalesce_us.unwrap_or(cut).max(cut);
+    let apply = active.apply_us.unwrap_or(coalesce).max(coalesce);
+    let fsync = active.fsync_us.unwrap_or(apply).max(apply);
+    let publish = active.publish_us.unwrap_or(fsync).max(fsync);
+    let span = GroupSpan {
+        worker: active.worker,
+        group: active.group,
+        kind: active.kind,
+        version,
+        committed,
+        size: active.size,
+        traces: active.traces,
+        enqueue_us: active.enqueue_us,
+        cut_us: cut,
+        coalesce_us: coalesce,
+        apply_us: apply,
+        fsync_us: fsync,
+        publish_us: publish,
+    };
+    let slow = SLOW_GROUP_US.load(Ordering::Relaxed);
+    if slow > 0 && span.commit_us() >= slow {
+        eprintln!("[strata-obs] slow group: {}", span.render());
+    }
+    let mut ring = span_ring().lock().unwrap();
+    if ring.len() == SPAN_RING {
+        ring.pop_front();
+    }
+    ring.push_back(span.clone());
+    drop(ring);
+    Some(span)
+}
+
+/// The last `n` sealed spans, oldest first.
+pub fn recent_spans(n: usize) -> Vec<GroupSpan> {
+    let ring = span_ring().lock().unwrap();
+    let skip = ring.len().saturating_sub(n);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+/// Records a typed event into the event ring and bumps the
+/// `strata_events_total{kind="..."}` counter in the global registry.
+pub fn event(kind: EventKind, detail: impl Into<String>) {
+    let ev = Event { at_us: now_us(), kind, detail: detail.into() };
+    global().counter_with("strata_events_total", &[("kind", kind.as_str())]).inc();
+    let mut ring = event_ring().lock().unwrap();
+    if ring.len() == EVENT_RING {
+        ring.pop_front();
+    }
+    ring.push_back(ev);
+}
+
+/// The last `n` events, oldest first.
+pub fn recent_events(n: usize) -> Vec<Event> {
+    let ring = event_ring().lock().unwrap();
+    let skip = ring.len().saturating_sub(n);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sealed spans fill missing stages and stay monotonic, whatever
+    /// subset of stages was stamped.
+    #[test]
+    fn sealed_spans_are_monotonic() {
+        let worker = next_worker_id();
+        begin_group(worker, 1, GroupKind::Facts, vec![next_trace_id()], now_us());
+        stage(Stage::Coalesce);
+        stage(Stage::Apply);
+        // No fsync (memory engine), straight to publish.
+        stage(Stage::Publish);
+        finish_group(Some(7), true);
+        let span = recent_spans(usize::MAX)
+            .into_iter()
+            .rev()
+            .find(|s| s.worker == worker)
+            .expect("span sealed");
+        assert_eq!(span.group, 1);
+        assert_eq!(span.kind, GroupKind::Facts);
+        assert_eq!(span.version, Some(7));
+        assert!(span.committed);
+        assert_eq!(span.size, 1);
+        assert!(span.enqueue_us <= span.cut_us);
+        assert!(span.cut_us <= span.coalesce_us);
+        assert!(span.coalesce_us <= span.apply_us);
+        assert!(span.apply_us <= span.fsync_us, "fsync backfilled from apply");
+        assert!(span.fsync_us <= span.publish_us);
+        let line = span.render();
+        assert!(line.contains("kind=facts"));
+        assert!(line.contains("version=7"));
+    }
+
+    /// First write wins: a deeper layer's stamp is not overwritten by an
+    /// outer layer stamping the same stage later.
+    #[test]
+    fn stage_stamps_are_first_write_wins() {
+        let worker = next_worker_id();
+        begin_group(worker, 2, GroupKind::Facts, vec![], 0);
+        stage(Stage::Apply);
+        let deep = ACTIVE.with(|a| a.borrow().as_ref().unwrap().apply_us.unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        stage(Stage::Apply);
+        let after = ACTIVE.with(|a| a.borrow().as_ref().unwrap().apply_us.unwrap());
+        assert_eq!(deep, after);
+        finish_group(None, false);
+    }
+
+    /// Stage stamps land on the worker's own span, not on other threads.
+    #[test]
+    fn stages_are_thread_local() {
+        let worker = next_worker_id();
+        begin_group(worker, 3, GroupKind::Rules, vec![], 0);
+        std::thread::spawn(|| stage(Stage::Fsync)).join().unwrap();
+        let fsync = ACTIVE.with(|a| a.borrow().as_ref().unwrap().fsync_us);
+        assert_eq!(fsync, None, "other thread's stamp leaked in");
+        finish_group(None, false);
+    }
+
+    #[test]
+    fn events_are_ring_buffered_and_counted() {
+        event(EventKind::HealAttempt, "attempt 1/3");
+        let evs = recent_events(usize::MAX);
+        let ev = evs.iter().rev().find(|e| e.kind == EventKind::HealAttempt).unwrap();
+        assert!(ev.render().contains("kind=heal_attempt"));
+        assert!(ev.render().contains("attempt 1/3"));
+        let text = global().render();
+        assert!(text.contains("strata_events_total{kind=\"heal_attempt\"}"));
+    }
+
+    #[test]
+    fn trace_ids_are_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert!(b > a);
+    }
+}

@@ -124,6 +124,26 @@
 //! `tests/service_retry.rs` (a lossy TCP proxy that kills connections
 //! before and after commit).
 //!
+//! ## Observability
+//!
+//! The whole pipeline is instrumented through [`strata_obs`] (zero
+//! dependencies, lock-free record path): every submit gets a trace id at
+//! enqueue, carried through queue → coalesce → apply → WAL fsync →
+//! snapshot publish, and each drained group seals one
+//! [`strata_obs::GroupSpan`] — **before** its outcomes are delivered, so
+//! an observed ack implies the span is already in the trace ring. The
+//! group pipeline feeds latency histograms (`strata_group_commit_us`,
+//! `strata_group_coalesce_us`, `strata_group_apply_us`,
+//! `strata_snapshot_publish_us`, `strata_queue_wait_us`,
+//! `strata_group_size`), the queue keeps a depth gauge
+//! (`strata_queue_depth`) and backpressure counter
+//! (`strata_queue_blocked_total`), and the supervisor emits typed events
+//! (panic caught, heal attempt, healed, read-only enter/exit) plus
+//! restart/backoff metrics. The wire surface is the `metrics` verb
+//! (Prometheus text exposition) and the `trace <n>` verb (recent sealed
+//! spans); [`service::Service::fill_registry`] syncs the service-level
+//! gauges so `metrics` and `stats` always agree.
+//!
 //! ```
 //! use strata_core::registry::EngineRegistry;
 //! use strata_core::Update;

@@ -346,6 +346,28 @@ fn serve_connection(
                 let line = protocol::render_stats(&service.stats());
                 respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
             }
+            Ok(Request::Metrics) => {
+                // Sync the service-level gauges into the registry first so
+                // the exposition always agrees with the `stats` line.
+                service.fill_registry();
+                let text = strata_obs::render();
+                let mut lines: Vec<String> =
+                    text.lines().map(|l| protocol::render_tagged(tag.as_deref(), l)).collect();
+                let count = lines.len();
+                lines.push(protocol::render_tagged(tag.as_deref(), &format!("ok {count}")));
+                respond(lines)
+            }
+            Ok(Request::Trace { n }) => {
+                let spans = strata_obs::trace::recent_spans(n);
+                let mut lines: Vec<String> = spans
+                    .iter()
+                    .map(|s| {
+                        protocol::render_tagged(tag.as_deref(), &format!("span {}", s.render()))
+                    })
+                    .collect();
+                lines.push(protocol::render_tagged(tag.as_deref(), &format!("ok {}", spans.len())));
+                respond(lines)
+            }
             Ok(Request::Query { query, at }) => {
                 respond(render_query(service, tag.as_deref(), &query, at))
             }
@@ -517,6 +539,53 @@ impl Client {
     /// The server's stats line (`key=value` pairs).
     pub fn stats(&mut self) -> io::Result<Result<String, String>> {
         Ok(self.roundtrip("stats")?.map(|(_, tail)| tail))
+    }
+
+    /// Sends a request whose response streams arbitrary payload lines
+    /// (`metrics`, `trace`) before the `ok <count>` terminator — unlike
+    /// [`Client::roundtrip`], which only accepts `row ` lines.
+    fn roundtrip_lines(&mut self, line: &str) -> io::Result<Result<Vec<String>, String>> {
+        self.send_raw(line)?;
+        let mut lines = Vec::new();
+        loop {
+            let (_tag, reply) = self.recv_raw()?;
+            if reply.strip_prefix("ok").is_some_and(|r| r.is_empty() || r.starts_with(' ')) {
+                return Ok(Ok(lines));
+            }
+            if let Some(rest) = reply.strip_prefix("err") {
+                return Ok(Err(rest.trim().to_string()));
+            }
+            lines.push(reply);
+        }
+    }
+
+    /// The server's metrics registry in Prometheus text exposition format
+    /// (`# TYPE` comments and `name{label} value` samples, sorted by
+    /// metric name), rejoined with newlines.
+    pub fn metrics(&mut self) -> io::Result<Result<String, String>> {
+        Ok(self.roundtrip_lines("metrics")?.map(|lines| lines.join("\n")))
+    }
+
+    /// One metric's value from the exposition — counters and gauges only
+    /// (histograms expose `_bucket`/`_sum`/`_count` series instead).
+    pub fn metrics_value(&mut self, name: &str) -> io::Result<Option<u64>> {
+        let text = match self.metrics()? {
+            Ok(text) => text,
+            Err(_) => return Ok(None),
+        };
+        Ok(text.lines().find_map(|line| {
+            let rest = line.strip_prefix(name)?;
+            let value = rest.strip_prefix(' ')?;
+            value.parse().ok()
+        }))
+    }
+
+    /// The server's last `n` sealed group spans, oldest first, one
+    /// rendered span per element (without the `span ` prefix).
+    pub fn trace(&mut self, n: usize) -> io::Result<Result<Vec<String>, String>> {
+        Ok(self.roundtrip_lines(&format!("trace {n}"))?.map(|lines| {
+            lines.into_iter().filter_map(|l| l.strip_prefix("span ").map(str::to_string)).collect()
+        }))
     }
 
     /// One stats field, parsed.

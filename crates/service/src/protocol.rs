@@ -13,7 +13,8 @@
 //! verb     ::= "submit" SP seq? update
 //!            | "query" SP at? body
 //!            | "client" SP token              -- declare a client id
-//!            | "flush" | "stats" | "quit" | "shutdown"
+//!            | "trace" (SP n)?                -- last n group spans (16)
+//!            | "flush" | "stats" | "metrics" | "quit" | "shutdown"
 //! seq      ::= "seq=" n SP                    -- idempotency token
 //! at       ::= "@" version SP                 -- read-your-writes pin
 //! update   ::= ("+" | "-") SP? clause        -- insert | delete
@@ -40,9 +41,19 @@
 //! client → "ok client=<id>"
 //! flush  → "ok flushed version=<v>"
 //! stats  → "ok <key>=<value> ..."
+//! metrics → (exposition line)* then "ok <count>"   -- Prometheus text
+//! trace  → ("span <fields>")* then "ok <count>"    -- recent group spans
 //! quit   → "ok bye"
 //! shutdown → "ok shutting down"
 //! ```
+//!
+//! `metrics` streams the global registry in Prometheus text exposition
+//! format (`# TYPE` comments and `name{label} value` samples, sorted by
+//! metric name — see [`strata_obs`]); `# TYPE` lines never collide with
+//! response tags because a tag is `#token` with **no** space after the
+//! hash. `trace <n>` streams the last `n` (default 16) sealed group
+//! spans, oldest first, one `span ` line each
+//! ([`strata_obs::GroupSpan::render`]).
 //!
 //! ## Failure surface
 //!
@@ -104,6 +115,13 @@ pub enum Request {
     Flush,
     /// A stats snapshot.
     Stats,
+    /// The global metrics registry in Prometheus text exposition format.
+    Metrics,
+    /// The last `n` sealed group spans from the trace ring.
+    Trace {
+        /// How many spans to return (`trace <n>`, default 16).
+        n: usize,
+    },
     /// Close the connection.
     Quit,
     /// Ask the server to shut down gracefully (stop accepting, drain the
@@ -212,11 +230,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "flush" if rest.is_empty() => Ok(Request::Flush),
         "stats" if rest.is_empty() => Ok(Request::Stats),
+        "metrics" if rest.is_empty() => Ok(Request::Metrics),
+        "trace" => {
+            if rest.is_empty() {
+                Ok(Request::Trace { n: 16 })
+            } else {
+                rest.parse()
+                    .map(|n| Request::Trace { n })
+                    .map_err(|_| format!("bad span count `trace {rest}`"))
+            }
+        }
         "quit" if rest.is_empty() => Ok(Request::Quit),
         "shutdown" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb `{other}` (submit | query | client | flush | stats | quit | shutdown)"
+            "unknown verb `{other}` (submit | query | client | flush | stats | metrics | trace | \
+             quit | shutdown)"
         )),
     }
 }
@@ -232,6 +261,24 @@ pub fn render_outcome(outcome: &Outcome) -> String {
 }
 
 /// Renders the stats snapshot as its terminator line.
+///
+/// The key order is **fixed** — part of the wire contract, so scripted
+/// consumers (and diffs of captured output) stay stable across releases:
+///
+/// ```text
+/// submitted accepted rejected groups commits committed_updates coalesced
+/// flushes pending blocked snapshot_version snapshot_reads model_facts
+/// worker_restarts deduped read_only
+/// ```
+///
+/// followed, for storage-backed engines only, by
+///
+/// ```text
+/// wal_txns wal_bytes recovered_txns recovered_updates recovered_torn_tail
+/// recovered_quarantined
+/// ```
+///
+/// New keys are only ever appended, never inserted or reordered.
 pub fn render_stats(s: &ServiceStats) -> String {
     let mut line = format!(
         "ok submitted={} accepted={} rejected={} groups={} commits={} committed_updates={} \
@@ -384,6 +431,56 @@ mod tests {
             .starts_with("err code=shutdown "));
         assert!(render_outcome(&Outcome::Rejected(MaintenanceError::Panicked("boom".into())))
             .starts_with("err code=panicked "));
+    }
+
+    #[test]
+    fn parses_metrics_and_trace_verbs() {
+        assert!(matches!(parse_request("metrics").unwrap(), Request::Metrics));
+        assert!(parse_request("metrics all").is_err(), "metrics takes no argument");
+        assert!(matches!(parse_request("trace").unwrap(), Request::Trace { n: 16 }));
+        assert!(matches!(parse_request("trace 3").unwrap(), Request::Trace { n: 3 }));
+        assert!(parse_request("trace many").is_err(), "span count must be numeric");
+    }
+
+    #[test]
+    fn stats_key_order_is_fixed() {
+        let s = ServiceStats {
+            durability: Some(strata_core::DurabilityStats::default()),
+            ..Default::default()
+        };
+        let line = render_stats(&s);
+        let keys: Vec<&str> = line
+            .trim_start_matches("ok ")
+            .split(' ')
+            .map(|kv| kv.split('=').next().unwrap())
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "submitted",
+                "accepted",
+                "rejected",
+                "groups",
+                "commits",
+                "committed_updates",
+                "coalesced",
+                "flushes",
+                "pending",
+                "blocked",
+                "snapshot_version",
+                "snapshot_reads",
+                "model_facts",
+                "worker_restarts",
+                "deduped",
+                "read_only",
+                "wal_txns",
+                "wal_bytes",
+                "recovered_txns",
+                "recovered_updates",
+                "recovered_torn_tail",
+                "recovered_quarantined",
+            ]
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ pub(crate) enum Op {
 pub(crate) struct Request {
     pub(crate) op: Op,
     pub(crate) handle: SubmitHandle,
-    at: Instant,
+    /// Enqueue time — the start of the request's pipeline trace.
+    pub(crate) at: Instant,
+    /// Process-unique trace id, assigned at enqueue and carried into the
+    /// group span the worker seals for this request's group.
+    pub(crate) trace: strata_obs::TraceId,
 }
 
 impl Drop for Request {
@@ -180,6 +184,10 @@ pub struct IngestQueue {
     /// block (cumulative — the observability signal for an undersized
     /// worker or oversized producers).
     blocked: AtomicU64,
+    /// Registry handles mirroring the queue state into `strata_obs`
+    /// (`strata_queue_depth`, `strata_queue_blocked_total`).
+    obs_depth: Arc<strata_obs::Gauge>,
+    obs_blocked: Arc<strata_obs::Counter>,
 }
 
 /// Whether the update is a barrier (a genuine rule update; fact-clause
@@ -196,12 +204,15 @@ fn is_barrier(update: &Update) -> bool {
 impl IngestQueue {
     /// An empty queue with the given watermarks.
     pub fn new(cfg: IngestConfig) -> IngestQueue {
+        let registry = strata_obs::global();
         IngestQueue {
             cfg,
             state: Mutex::new(State::default()),
             space: Condvar::new(),
             work: Condvar::new(),
             blocked: AtomicU64::new(0),
+            obs_depth: registry.gauge("strata_queue_depth"),
+            obs_blocked: registry.counter("strata_queue_blocked_total"),
         }
     }
 
@@ -240,6 +251,7 @@ impl IngestQueue {
         let mut state = self.state.lock().expect("queue poisoned");
         if !state.closed && state.pending.len() >= self.cfg.max_pending {
             self.blocked.fetch_add(1, Ordering::Relaxed);
+            self.obs_blocked.inc();
         }
         while !state.closed && state.pending.len() >= self.cfg.max_pending {
             state = self.space.wait(state).expect("queue poisoned");
@@ -249,7 +261,13 @@ impl IngestQueue {
             handle.fulfill(Outcome::Rejected(MaintenanceError::Shutdown));
             return handle;
         }
-        state.pending.push_back(Request { op, handle: handle.clone(), at: Instant::now() });
+        state.pending.push_back(Request {
+            op,
+            handle: handle.clone(),
+            at: Instant::now(),
+            trace: strata_obs::trace::next_trace_id(),
+        });
+        self.obs_depth.set(state.pending.len() as u64);
         self.work.notify_one();
         handle
     }
@@ -269,6 +287,7 @@ impl IngestQueue {
     pub(crate) fn drain_all(&self) -> Vec<Request> {
         let mut state = self.state.lock().expect("queue poisoned");
         let drained: Vec<Request> = state.pending.drain(..).collect();
+        self.obs_depth.set(0);
         self.space.notify_all();
         drained
     }
@@ -292,6 +311,7 @@ impl IngestQueue {
             };
             if front_is_barrier {
                 let req = state.pending.pop_front().expect("checked non-empty");
+                self.obs_depth.set(state.pending.len() as u64);
                 self.space.notify_all();
                 return Some(Group::Barrier(req));
             }
@@ -312,6 +332,7 @@ impl IngestQueue {
             let age = oldest.elapsed();
             if full || barrier_behind || state.closed || age >= self.cfg.max_delay {
                 let group: Vec<Request> = state.pending.drain(..prefix).collect();
+                self.obs_depth.set(state.pending.len() as u64);
                 self.space.notify_all();
                 return Some(Group::Facts(group));
             }
@@ -339,6 +360,7 @@ impl IngestQueue {
                 };
                 if front_is_barrier {
                     let req = state.pending.pop_front().expect("checked non-empty");
+                    self.obs_depth.set(state.pending.len() as u64);
                     self.space.notify_all();
                     return Drained::Group(Group::Barrier(req));
                 }
@@ -348,6 +370,7 @@ impl IngestQueue {
                     .take_while(|r| matches!(&r.op, Op::Update(u) if !is_barrier(u)))
                     .count();
                 let group: Vec<Request> = state.pending.drain(..prefix).collect();
+                self.obs_depth.set(state.pending.len() as u64);
                 self.space.notify_all();
                 return Drained::Group(Group::Facts(group));
             }

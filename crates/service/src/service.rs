@@ -72,6 +72,64 @@ use crate::coalesce::{Coalescer, Decision};
 use crate::queue::{Drained, Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
 use crate::IngestConfig;
 
+/// Registry handles for the worker's group pipeline and the supervisor,
+/// registered once and shared by every service in the process.
+struct WorkerObs {
+    commit_us: Arc<strata_obs::Histogram>,
+    coalesce_us: Arc<strata_obs::Histogram>,
+    apply_us: Arc<strata_obs::Histogram>,
+    publish_us: Arc<strata_obs::Histogram>,
+    wait_us: Arc<strata_obs::Histogram>,
+    group_size: Arc<strata_obs::Histogram>,
+    restarts: Arc<strata_obs::Counter>,
+    heal_attempts: Arc<strata_obs::Counter>,
+    backoff_us: Arc<strata_obs::Histogram>,
+}
+
+fn worker_obs() -> &'static WorkerObs {
+    static OBS: std::sync::OnceLock<WorkerObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = strata_obs::global();
+        WorkerObs {
+            commit_us: r.histogram("strata_group_commit_us"),
+            coalesce_us: r.histogram("strata_group_coalesce_us"),
+            apply_us: r.histogram("strata_group_apply_us"),
+            publish_us: r.histogram("strata_snapshot_publish_us"),
+            wait_us: r.histogram("strata_queue_wait_us"),
+            group_size: r.histogram("strata_group_size"),
+            restarts: r.counter("strata_supervisor_restarts_total"),
+            heal_attempts: r.counter("strata_supervisor_heal_attempts_total"),
+            backoff_us: r.histogram("strata_supervisor_backoff_us"),
+        }
+    })
+}
+
+/// Opens the trace span for a drained group and records its queue-side
+/// histograms (per-request enqueue→cut wait, group size).
+fn begin_group_span(worker: u64, ordinal: u64, kind: strata_obs::GroupKind, requests: &[Request]) {
+    let obs = worker_obs();
+    let mut traces = Vec::with_capacity(requests.len());
+    let mut enqueue_us = u64::MAX;
+    for r in requests {
+        traces.push(r.trace);
+        enqueue_us = enqueue_us.min(strata_obs::trace::instant_us(r.at));
+        obs.wait_us.record(r.at.elapsed().as_micros() as u64);
+    }
+    obs.group_size.record(requests.len() as u64);
+    strata_obs::trace::begin_group(worker, ordinal, kind, traces, enqueue_us.min(u64::MAX - 1));
+}
+
+/// Seals the active span and feeds the per-stage latency histograms.
+fn finish_group_span(version: Option<u64>, committed: bool) {
+    if let Some(span) = strata_obs::trace::finish_group(version, committed) {
+        let obs = worker_obs();
+        obs.commit_us.record(span.commit_us());
+        obs.coalesce_us.record(span.coalesce_us - span.cut_us);
+        obs.apply_us.record(span.apply_us - span.coalesce_us);
+        obs.publish_us.record(span.publish_us - span.fsync_us);
+    }
+}
+
 /// Monotonic counters the worker maintains; snapshot via [`Service::stats`].
 #[derive(Debug, Default)]
 struct Counters {
@@ -310,6 +368,10 @@ pub struct Service {
     snapshots: Arc<SnapshotCell>,
     dedup: Mutex<DedupTable>,
     worker: Option<JoinHandle<()>>,
+    /// Process-unique worker id stamped on every trace span this service
+    /// seals — group ordinals restart at 1 per service, so concurrent
+    /// services (tests, embedded uses) need this to tell spans apart.
+    worker_id: u64,
 }
 
 impl Service {
@@ -347,6 +409,7 @@ impl Service {
         let snapshots = Arc::new(SnapshotCell::new(initial));
         let engine = Arc::new(Mutex::new(engine));
         let counters = Arc::new(Counters::default());
+        let worker_id = strata_obs::trace::next_worker_id();
         let worker = {
             let queue = Arc::clone(&queue);
             let engine = Arc::clone(&engine);
@@ -363,6 +426,7 @@ impl Service {
                         supervisor,
                         rebuild.as_ref(),
                         faults.as_ref(),
+                        worker_id,
                     )
                 })
                 .expect("spawn ingest worker")
@@ -374,7 +438,29 @@ impl Service {
             snapshots,
             dedup: Mutex::new(DedupTable::default()),
             worker: Some(worker),
+            worker_id,
         }
+    }
+
+    /// The process-unique id stamped as `worker=` on this service's trace
+    /// spans ([`strata_obs::GroupSpan::worker`]) — filter on it when more
+    /// than one service runs in the process.
+    pub fn worker_ordinal(&self) -> u64 {
+        self.worker_id
+    }
+
+    /// Pushes the service-level gauges into the global metrics registry so
+    /// a `metrics` render agrees with [`Service::stats`] by construction.
+    /// Called by the wire front-end and the REPL just before rendering;
+    /// the authoritative values stay in [`ServiceStats`].
+    pub fn fill_registry(&self) {
+        let stats = self.stats();
+        let r = strata_obs::global();
+        r.gauge("strata_service_worker_restarts").set(stats.worker_restarts);
+        r.gauge("strata_service_read_only").set(u64::from(stats.read_only));
+        r.gauge("strata_service_blocked").set(stats.blocked);
+        r.gauge("strata_service_snapshot_reads").set(stats.snapshot_reads);
+        r.gauge("strata_queue_depth").set(stats.pending as u64);
     }
 
     /// Submits one update; returns immediately (blocking only on
@@ -567,6 +653,7 @@ fn null_engine() -> EngineBox {
 /// The publish-before-fulfill order is the read-your-writes linchpin: by
 /// the time any producer observes its [`Outcome::Accepted`], the snapshot
 /// carrying that version is already visible to every reader.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     queue: &IngestQueue,
     engine: &Mutex<EngineBox>,
@@ -575,6 +662,7 @@ fn worker_loop(
     sup: SupervisorConfig,
     rebuild: Option<&EngineRebuild>,
     faults: Option<&Arc<FaultInjector>>,
+    worker_id: u64,
 ) {
     // If the worker dies — only a panic outside the supervised group
     // window can cause that now — producers must not hang forever on
@@ -608,13 +696,20 @@ fn worker_loop(
                 counters,
                 snapshots,
                 faults,
+                worker_id,
             )
         }));
         let failure = match result {
             Ok(Ok(())) => None,
             // Storage-level commit failure: the in-flight group was
             // already rejected (typed `Storage`) by the commit path.
-            Ok(Err(e)) => Some(e),
+            Ok(Err(e)) => {
+                strata_obs::trace::event(
+                    strata_obs::EventKind::StorageFault,
+                    format!("worker={worker_id} {e}"),
+                );
+                Some(e)
+            }
             Err(payload) => {
                 // The worker panicked mid-group. Requests are *borrowed*
                 // by the supervised window, so the undecided ones are
@@ -622,6 +717,13 @@ fn worker_loop(
                 // retryable. Anything already acked stays acked (and the
                 // publish behind it stays published).
                 let msg = panic_message(payload.as_ref());
+                // A panic may unwind with an open span; seal it failed so
+                // the ring never carries a stale half-group forward.
+                finish_group_span(None, false);
+                strata_obs::trace::event(
+                    strata_obs::EventKind::PanicCaught,
+                    format!("worker={worker_id} {msg}"),
+                );
                 reject_undecided(&group, &MaintenanceError::Panicked(msg.clone()), counters);
                 Some(MaintenanceError::Panicked(msg))
             }
@@ -701,21 +803,23 @@ fn process_group(
     counters: &Counters,
     snapshots: &SnapshotCell,
     faults: Option<&Arc<FaultInjector>>,
+    worker_id: u64,
 ) -> Result<(), MaintenanceError> {
     match group {
         Group::Facts(requests) => commit_fact_group(
-            requests, ordinal, version, engine, coalescer, counters, snapshots, faults,
+            requests, ordinal, version, engine, coalescer, counters, snapshots, faults, worker_id,
         ),
         Group::Barrier(request) => match &request.op {
             Op::Flush => {
-                // A flush commits nothing: the published snapshot is
-                // already current, so the ack just carries its version.
+                // A flush commits nothing (no span): the published snapshot
+                // is already current, so the ack just carries its version.
                 counters.flushes.fetch_add(1, Ordering::Relaxed);
                 request.handle.fulfill(Outcome::Accepted { group: ordinal, version: *version });
                 Ok(())
             }
             Op::Update(update) => commit_rule_barrier(
                 request, update, ordinal, version, engine, coalescer, counters, snapshots,
+                worker_id,
             ),
         },
     }
@@ -735,9 +839,15 @@ fn heal(
     let mut backoff = sup.backoff;
     for attempt in 0..sup.max_restarts {
         if attempt > 0 {
+            worker_obs().backoff_us.record(backoff.as_micros() as u64);
             std::thread::sleep(backoff);
             backoff = backoff.saturating_mul(2);
         }
+        worker_obs().heal_attempts.inc();
+        strata_obs::trace::event(
+            strata_obs::EventKind::HealAttempt,
+            format!("attempt={} of {}", attempt + 1, sup.max_restarts),
+        );
         if try_heal_once(engine, snapshots, version, coalescer, counters, rebuild) {
             return true;
         }
@@ -772,6 +882,8 @@ fn try_heal_once(
         publish(snapshots, &guard, *version);
     }
     counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+    worker_obs().restarts.inc();
+    strata_obs::trace::event(strata_obs::EventKind::Healed, format!("version={}", *version));
     *coalescer = Coalescer::new();
     true
 }
@@ -795,13 +907,23 @@ fn read_only_loop(
     rebuild: Option<&EngineRebuild>,
 ) -> bool {
     counters.read_only.store(true, Ordering::SeqCst);
+    strata_obs::trace::event(strata_obs::EventKind::ReadOnlyEnter, String::new());
     loop {
         match queue.next_group_timeout(sup.probe_interval) {
             Drained::Closed => return false,
             Drained::TimedOut => {
                 if let Some(rebuild) = rebuild {
+                    worker_obs().heal_attempts.inc();
+                    strata_obs::trace::event(
+                        strata_obs::EventKind::HealAttempt,
+                        "probe after read-only wait".to_string(),
+                    );
                     if try_heal_once(engine, snapshots, version, coalescer, counters, rebuild) {
                         counters.read_only.store(false, Ordering::SeqCst);
+                        strata_obs::trace::event(
+                            strata_obs::EventKind::ReadOnlyExit,
+                            format!("version={}", *version),
+                        );
                         return true;
                     }
                 }
@@ -855,30 +977,46 @@ fn commit_fact_group(
     counters: &Counters,
     snapshots: &SnapshotCell,
     faults: Option<&Arc<FaultInjector>>,
+    worker_id: u64,
 ) -> Result<(), MaintenanceError> {
+    begin_group_span(worker_id, ordinal, strata_obs::GroupKind::Facts, requests);
     let updates = requests.iter().map(|r| match &r.op {
         Op::Update(u) => u,
         Op::Flush => unreachable!("flushes are barriers, never grouped"),
     });
     let mut engine = lock_engine(engine);
     let plan = coalescer.plan_group(engine.program(), updates);
+    strata_obs::trace::stage(strata_obs::Stage::Coalesce);
     // Injected crash before the engine sees the group: nothing applied,
     // nothing published — every request must resolve `Panicked`.
     fire_panic(faults, FaultPoint::WorkerPreApply);
     let result =
         if plan.batch.is_empty() { Ok(()) } else { engine.apply_all(&plan.batch).map(|_| ()) };
+    // First-write-wins: a durable engine already stamped Apply (pre-WAL)
+    // and Fsync from inside `apply_all`; this stamp only lands for
+    // in-memory engines, where apply and "fsync" coincide.
+    strata_obs::trace::stage(strata_obs::Stage::Apply);
     if result.is_ok() && !plan.batch.is_empty() {
         // Publish before the lock drops and before any outcome is
         // delivered: an acknowledged write is always already readable.
         *version += 1;
         publish(snapshots, &engine, *version);
     }
+    strata_obs::trace::stage(strata_obs::Stage::Publish);
     // Injected crash in the ambiguous window: committed (durable, even
     // published) but nothing acked — the case idempotent retries exist
     // for. The panic unwinds with the engine lock held, poisoning it; the
     // supervisor's poison-tolerant locking absorbs that.
     fire_panic(faults, FaultPoint::WorkerPostApply);
     drop(engine); // decisions are delivered outside the engine lock
+                  // Seal before delivering outcomes: anyone who observes an ack can
+                  // already find the group's span in the trace ring. `committed` means
+                  // the group decided normally — a fully-coalesced (empty-batch) group
+                  // counts, its version just repeats the one already published.
+    match &result {
+        Ok(()) => finish_group_span(Some(*version), true),
+        Err(_) => finish_group_span(None, false),
+    }
     match result {
         Ok(()) => {
             if !plan.batch.is_empty() {
@@ -937,7 +1075,14 @@ fn commit_rule_barrier(
     coalescer: &mut Coalescer,
     counters: &Counters,
     snapshots: &SnapshotCell,
+    worker_id: u64,
 ) -> Result<(), MaintenanceError> {
+    begin_group_span(
+        worker_id,
+        ordinal,
+        strata_obs::GroupKind::Rules,
+        std::slice::from_ref(request),
+    );
     let mut engine = lock_engine(engine);
     // Pre-check insertions against stream-recorded arities the engine may
     // not know (facts that coalesced away); deletions have no arity
@@ -946,13 +1091,16 @@ fn commit_rule_barrier(
         Update::InsertRule(rule) => coalescer.precheck_rule(engine.program(), &rule),
         _ => Ok(()),
     };
+    strata_obs::trace::stage(strata_obs::Stage::Coalesce);
     let (outcome, failure) = match precheck.and_then(|()| engine.apply(update).map(|_| ())) {
         Ok(()) => {
+            strata_obs::trace::stage(strata_obs::Stage::Apply);
             counters.accepted.fetch_add(1, Ordering::Relaxed);
             counters.commits.fetch_add(1, Ordering::Relaxed);
             counters.committed_updates.fetch_add(1, Ordering::Relaxed);
             *version += 1;
             publish(snapshots, &engine, *version);
+            strata_obs::trace::stage(strata_obs::Stage::Publish);
             (Outcome::Accepted { group: ordinal, version: *version }, Ok(()))
         }
         Err(e) => {
@@ -967,6 +1115,12 @@ fn commit_rule_barrier(
         }
     };
     drop(engine);
+    // A semantic rejection is still a completed group — the request was
+    // decided; only a storage failure marks the span uncommitted.
+    match &failure {
+        Ok(()) => finish_group_span(Some(*version), outcome.is_accepted()),
+        Err(_) => finish_group_span(None, false),
+    }
     request.handle.fulfill(outcome);
     failure
 }

@@ -27,6 +27,15 @@
 //! `seq > snapshot.seq` — exactly the suffix the snapshot does not cover.
 //! A crash between "snapshot renamed" and "WAL truncated" is benign: the
 //! stale WAL prefix is skipped by sequence number.
+//!
+//! ## Observability
+//!
+//! The WAL reports into the process-wide `strata_obs` registry: fsync
+//! count and latency (`strata_wal_fsync_total` / `strata_wal_fsync_us`),
+//! bytes written (`strata_wal_bytes_written_total`), and a
+//! `wal_quarantine` event whenever recovery quarantines a corrupt
+//! segment. Syncs performed inside a service group commit also stamp the
+//! fsync stage of the active pipeline trace span.
 
 pub mod faults;
 pub mod frame;

@@ -29,10 +29,31 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use crate::faults::{FaultInjector, FaultPoint};
 use crate::frame::{read_frame, write_frame, FrameRead};
+
+/// Registry handles for the WAL, registered once and shared by every log
+/// in the process (the record path is lock-free, see `strata_obs`).
+struct WalObs {
+    fsync_total: Arc<strata_obs::Counter>,
+    fsync_us: Arc<strata_obs::Histogram>,
+    bytes_total: Arc<strata_obs::Counter>,
+}
+
+fn wal_obs() -> &'static WalObs {
+    static OBS: OnceLock<WalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = strata_obs::global();
+        WalObs {
+            fsync_total: r.counter("strata_wal_fsync_total"),
+            fsync_us: r.histogram("strata_wal_fsync_us"),
+            bytes_total: r.counter("strata_wal_bytes_written_total"),
+        }
+    })
+}
 
 /// Whether terminator records are fsynced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -163,6 +184,10 @@ impl Wal {
             let mut qfile = File::create(&qpath)?;
             qfile.write_all(&bytes)?;
             qfile.sync_data()?;
+            strata_obs::trace::event(
+                strata_obs::EventKind::WalQuarantine,
+                qpath.display().to_string(),
+            );
             replay.quarantined = Some(qpath);
         }
         if replay.valid_len < bytes.len() as u64 {
@@ -350,12 +375,20 @@ impl Wal {
         }
         let result = self.file.write_all(&self.pending).and_then(|()| {
             if self.durability == Durability::Fsync {
+                let start = Instant::now();
                 self.file.sync_data()?;
+                let obs = wal_obs();
+                obs.fsync_total.inc();
+                obs.fsync_us.record(start.elapsed().as_micros() as u64);
+                // If a group-commit span is active on this thread, this
+                // sync is its fsync stage.
+                strata_obs::trace::stage(strata_obs::Stage::Fsync);
             }
             Ok(())
         });
         match result {
             Ok(()) => {
+                wal_obs().bytes_total.add(self.pending.len() as u64);
                 self.len += self.pending.len() as u64;
                 self.pending.clear();
                 Ok(())

@@ -33,6 +33,9 @@
 //!                     (with an optional connect/read timeout)
 //! :disconnect         leave remote mode
 //! :flush              wait until everything submitted so far is decided
+//! :metrics            metrics registry (Prometheus text exposition);
+//!                     remote mode asks the server
+//! :trace [n]          last n sealed group spans (default 16), per-stage
 //! :help               this text
 //! :quit               exit
 //! ```
@@ -72,6 +75,8 @@ enum Command {
     Connect { addr: String, timeout_ms: Option<u64> },
     Disconnect,
     Flush,
+    Metrics,
+    Trace(usize),
     Help,
     Quit,
     Nothing,
@@ -164,6 +169,15 @@ fn parse_command(line: &str) -> Result<Command, String> {
         }
         ":disconnect" => Ok(Command::Disconnect),
         ":flush" => Ok(Command::Flush),
+        ":metrics" => Ok(Command::Metrics),
+        ":trace" => {
+            let rest = line[6..].trim();
+            if rest.is_empty() {
+                Ok(Command::Trace(16))
+            } else {
+                rest.parse().map(Command::Trace).map_err(|_| "usage: :trace [n]".to_string())
+            }
+        }
         ":help" => Ok(Command::Help),
         ":quit" | ":q" | ":exit" => Ok(Command::Quit),
         other if other.starts_with(':') => Err(format!("unknown command `{other}` (try :help)")),
@@ -424,6 +438,27 @@ impl Repl {
             Command::Flush => {
                 writeln!(out, "  local updates apply synchronously (use :flush after :connect)")?
             }
+            Command::Metrics => {
+                // Sync each local server's service gauges first, so the
+                // exposition agrees with what their `stats` verbs report.
+                for (service, _) in &self.servers {
+                    service.fill_registry();
+                }
+                let text = stratamaint::obs::render();
+                if text.is_empty() {
+                    writeln!(out, "  (no metrics recorded yet)")?;
+                }
+                for line in text.lines() {
+                    writeln!(out, "  {line}")?;
+                }
+            }
+            Command::Trace(n) => {
+                let spans = stratamaint::obs::trace::recent_spans(n);
+                for span in &spans {
+                    writeln!(out, "  {}", span.render())?;
+                }
+                writeln!(out, "  ({} spans)", spans.len())?;
+            }
             Command::Insert(u) | Command::Delete(u) => match self.engine.apply(&u) {
                 Ok(stats) => {
                     writeln!(
@@ -474,7 +509,35 @@ impl Repl {
                 Err(e) => self.drop_connection(e, out)?,
             },
             Command::Stats => match client.stats() {
-                Ok(Ok(line)) => writeln!(out, "  {line}")?,
+                Ok(Ok(line)) => {
+                    writeln!(out, "  {line}")?;
+                    // The legacy stats line and the metrics registry carry
+                    // the same service-level values; surface any drift.
+                    if let Ok(Ok(metrics)) = client.metrics() {
+                        for drift in stats_registry_divergence(&line, &metrics) {
+                            writeln!(out, "  warning: stats/registry divergence: {drift}")?;
+                        }
+                    }
+                }
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Metrics => match client.metrics() {
+                Ok(Ok(text)) => {
+                    for line in text.lines() {
+                        writeln!(out, "  {line}")?;
+                    }
+                }
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Trace(n) => match client.trace(n) {
+                Ok(Ok(spans)) => {
+                    for span in &spans {
+                        writeln!(out, "  {span}")?;
+                    }
+                    writeln!(out, "  ({} spans)", spans.len())?;
+                }
                 Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
                 Err(e) => self.drop_connection(e, out)?,
             },
@@ -501,6 +564,39 @@ impl Repl {
     }
 }
 
+/// Compares the service-level fields of a `stats` line against the same
+/// values in a metrics exposition (the `strata_service_*` gauges the
+/// server syncs via `Service::fill_registry` before rendering). Returns
+/// one description per disagreement — empty means the legacy line and the
+/// registry agree.
+fn stats_registry_divergence(stats_line: &str, metrics_text: &str) -> Vec<String> {
+    const PAIRS: [(&str, &str); 4] = [
+        ("worker_restarts", "strata_service_worker_restarts"),
+        ("read_only", "strata_service_read_only"),
+        ("blocked", "strata_service_blocked"),
+        ("snapshot_reads", "strata_service_snapshot_reads"),
+    ];
+    let stat = |key: &str| -> Option<u64> {
+        stats_line
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+    };
+    let metric = |name: &str| -> Option<u64> {
+        metrics_text
+            .lines()
+            .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.trim().parse().ok())
+    };
+    let mut drift = Vec::new();
+    for (skey, mname) in PAIRS {
+        if let (Some(s), Some(m)) = (stat(skey), metric(mname)) {
+            if s != m {
+                drift.push(format!("{skey}={s} but {mname}={m}"));
+            }
+        }
+    }
+    drift
+}
+
 /// Opens a protocol client, bounded when `--timeout-ms` was given — the
 /// bound covers the connection attempt and every later read, so a hung
 /// server cannot wedge the shell.
@@ -522,6 +618,8 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   :connect <addr> [--timeout-ms <n>]   become a client of a server
   :disconnect       leave remote mode
   :flush            wait for all submitted updates (remote mode)
+  :metrics          metrics registry (Prometheus text; remote asks the server)
+  :trace [n]        last n sealed group spans (default 16)
   :help  :quit";
 
 fn main() -> io::Result<()> {
@@ -861,6 +959,56 @@ mod tests {
         assert!(out.contains("disconnected"), "{out}");
         // The local engine never saw the remote update.
         assert!(run(&mut repl, "? rejected(1)").contains("true"));
+    }
+
+    #[test]
+    fn parses_observability_commands() {
+        assert!(matches!(parse_command(":metrics").unwrap(), Command::Metrics));
+        assert!(matches!(parse_command(":trace").unwrap(), Command::Trace(16)));
+        assert!(matches!(parse_command(":trace 5").unwrap(), Command::Trace(5)));
+        assert!(parse_command(":trace lots").is_err());
+    }
+
+    #[test]
+    fn stats_registry_divergence_flags_disagreements() {
+        let stats = "submitted=9 blocked=2 snapshot_reads=5 worker_restarts=1 read_only=0";
+        let metrics = "strata_service_blocked 2\nstrata_service_read_only 0\n\
+                       strata_service_snapshot_reads 5\nstrata_service_worker_restarts 1\n";
+        assert!(stats_registry_divergence(stats, metrics).is_empty());
+        let skewed = metrics.replace("strata_service_blocked 2", "strata_service_blocked 7");
+        let drift = stats_registry_divergence(stats, &skewed);
+        assert_eq!(drift, ["blocked=2 but strata_service_blocked=7"]);
+        // A metric missing from the exposition is not a divergence (the
+        // server may predate the registry).
+        assert!(stats_registry_divergence(stats, "").is_empty());
+    }
+
+    #[test]
+    fn session_observability_roundtrip() {
+        let mut repl = pods_repl();
+        run(&mut repl, ":serve 127.0.0.1:0");
+        let addr = repl.servers[0].1.addr().to_string();
+        run(&mut repl, &format!(":connect {addr}"));
+        let out = run(&mut repl, "+ accepted(1)");
+        assert!(out.contains("ok: committed"), "{out}");
+        // The legacy stats line and the registry agree — no drift warning.
+        let out = run(&mut repl, ":stats");
+        assert!(out.contains("accepted=1"), "{out}");
+        assert!(!out.contains("divergence"), "{out}");
+        // The exposition carries the group pipeline histograms and the
+        // service gauges.
+        let out = run(&mut repl, ":metrics");
+        assert!(out.contains("# TYPE strata_group_commit_us histogram"), "{out}");
+        assert!(out.contains("strata_service_worker_restarts 0"), "{out}");
+        // The trace ring holds the committed group's span.
+        let out = run(&mut repl, ":trace 8");
+        assert!(out.contains("kind=facts committed=true"), "{out}");
+        run(&mut repl, ":disconnect");
+        // Local mode renders the same registry without a server.
+        let out = run(&mut repl, ":metrics");
+        assert!(out.contains("strata_group_commit_us_count"), "{out}");
+        let out = run(&mut repl, ":trace 1");
+        assert!(out.contains("(1 spans)"), "{out}");
     }
 
     #[test]

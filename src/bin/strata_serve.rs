@@ -19,6 +19,8 @@
 //! * `--delay-ms <n>`      latency watermark in milliseconds (default 2)
 //! * `--max-pending <n>`   backpressure bound (default 8192)
 //! * `--threads <n>`       worker threads for parallel saturation
+//! * `--slow-group-ms <n>` log any group whose cut-to-publish time exceeds
+//!   `n` milliseconds to stderr, with its full per-stage span breakdown
 //! * `--fault-plan <spec>` deterministic fault injection for chaos drills
 //!   (e.g. `wal-fsync@3`, `panic-pre-apply@1+`; see
 //!   `strata_store::faults`)
@@ -56,6 +58,7 @@ struct Args {
     program: Option<String>,
     cfg: IngestConfig,
     threads: Option<usize>,
+    slow_group_ms: Option<u64>,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -67,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         program: None,
         cfg: IngestConfig::default(),
         threads: None,
+        slow_group_ms: None,
         fault_plan: None,
     };
     let mut it = args.iter();
@@ -95,6 +99,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 out.threads =
                     Some(value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?);
             }
+            "--slow-group-ms" => {
+                out.slow_group_ms = Some(
+                    value("--slow-group-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-group-ms: {e}"))?,
+                );
+            }
             "--fault-plan" => {
                 out.fault_plan =
                     Some(value("--fault-plan")?.parse().map_err(|e| format!("--fault-plan: {e}"))?);
@@ -108,7 +119,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         _ => {
             return Err("usage: strata-serve <addr> [--strategy NAME] [--store DIR] \
                         [--program FILE] [--group N] [--delay-ms N] [--max-pending N] \
-                        [--threads N] [--fault-plan SPEC]"
+                        [--threads N] [--slow-group-ms N] [--fault-plan SPEC]"
                 .into())
         }
     }
@@ -157,6 +168,12 @@ fn run(args: Args) -> Result<(), String> {
         Some(dir) => StorageConfig::Wal(dir.into()),
         None => StorageConfig::Mem,
     };
+    if let Some(ms) = args.slow_group_ms {
+        // 0 in the registry means "disabled"; clamp to 1us so passing the
+        // flag always arms logging (`--slow-group-ms 0` = log every group).
+        stratamaint::obs::trace::set_slow_group_us(ms.saturating_mul(1000).max(1));
+        eprintln!("slow-group logging armed: >= {ms} ms cut-to-publish");
+    }
     let faults =
         args.fault_plan.as_ref().filter(|plan| !plan.is_empty()).map(|plan| Arc::new(plan.arm()));
     if let Some(plan) = args.fault_plan.as_ref().filter(|plan| !plan.is_empty()) {
@@ -218,7 +235,8 @@ fn run(args: Args) -> Result<(), String> {
     ));
     let handle = net::serve(Arc::clone(&service), &args.addr).map_err(|e| e.to_string())?;
     eprintln!(
-        "listening on {} (client | submit | query | flush | stats | shutdown | quit)",
+        "listening on {} (client | submit | query | flush | stats | metrics | trace | shutdown | \
+         quit)",
         handle.addr()
     );
     install_signal_handlers();
@@ -291,6 +309,8 @@ mod tests {
             "256",
             "--threads",
             "4",
+            "--slow-group-ms",
+            "25",
         ])
         .unwrap();
         assert_eq!(a.addr, "127.0.0.1:7171");
@@ -300,6 +320,7 @@ mod tests {
         assert_eq!(a.cfg.max_delay, Duration::from_millis(5));
         assert_eq!(a.cfg.max_pending, 256);
         assert_eq!(a.threads, Some(4));
+        assert_eq!(a.slow_group_ms, Some(25));
     }
 
     #[test]
@@ -316,11 +337,13 @@ mod tests {
         let a = args(&["0.0.0.0:0"]).unwrap();
         assert_eq!(a.strategy, "cascade");
         assert!(a.store.is_none() && a.program.is_none() && a.threads.is_none());
+        assert!(a.slow_group_ms.is_none());
         assert!(args(&[]).is_err(), "address is required");
         assert!(args(&["a", "b"]).is_err(), "one address only");
         assert!(args(&["x", "--group"]).is_err(), "flag needs a value");
         assert!(args(&["x", "--frob"]).is_err(), "unknown flag");
         assert!(args(&["x", "--group", "0"]).is_err(), "zero group");
         assert!(args(&["x", "--group", "10", "--max-pending", "5"]).is_err());
+        assert!(args(&["x", "--slow-group-ms", "soon"]).is_err(), "numeric only");
     }
 }

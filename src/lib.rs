@@ -18,6 +18,10 @@
 //! * [`service`] — the concurrent ingest layer: the coalescing update
 //!   queue, the group-commit worker around any registry-built engine, and
 //!   the TCP front-end (`strata-serve`) with its blocking client.
+//! * [`obs`] — the zero-dependency observability substrate: the global
+//!   metrics registry (counters, gauges, log-linear latency histograms),
+//!   the pipeline trace ring, and the Prometheus text renderer behind the
+//!   `metrics` / `trace` wire verbs.
 //! * [`tms`] — the belief revision substrate: Doyle's JTMS, de Kleer's ATMS,
 //!   and their bridges to stratified databases.
 //! * [`workload`] — the paper's worked examples and scalable synthetic
@@ -26,6 +30,7 @@
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 pub use strata_core as core;
 pub use strata_datalog as datalog;
+pub use strata_obs as obs;
 pub use strata_service as service;
 pub use strata_store as store;
 pub use strata_tms as tms;
