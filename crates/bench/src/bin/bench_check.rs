@@ -132,6 +132,22 @@ fn read_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
     ])
 }
 
+/// `recovery`: the per-row bulk-over-engine replay speedup (e15). Ratios
+/// of two wall times on the same machine, so cross-machine comparable.
+fn recovery_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let rows = doc.get("recovery").ok_or("missing `recovery`")?.items();
+    if rows.is_empty() {
+        return Err("no recovery rows".into());
+    }
+    rows.iter()
+        .map(|r| {
+            let txns = r.get("wal_txns").and_then(Json::as_f64).ok_or("missing wal_txns")?;
+            let speedup = r.get("speedup").and_then(Json::as_f64).ok_or("missing speedup")?;
+            Ok(Metric { label: format!("bulk/engine replay[{txns} txns]"), value: speedup })
+        })
+        .collect()
+}
+
 /// `service`: coalesced group-commit over per-request ingest throughput.
 fn service_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
     let ingest = doc.get("ingest").ok_or("missing `ingest`")?.items();
@@ -167,8 +183,10 @@ fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
         "service" => service_metrics(doc),
         "service-obs" => service_obs_metrics(doc),
         "read" => read_metrics(doc),
+        "recovery" => recovery_metrics(doc),
         other => Err(format!(
-            "unknown kind `{other}` (plan | store | parallel | service | service-obs | read)"
+            "unknown kind `{other}` (plan | store | parallel | service | service-obs | read | \
+             recovery)"
         )),
     }
 }
@@ -306,6 +324,23 @@ mod tests {
         let m = parallel_metrics(&base).unwrap();
         assert_eq!(m.len(), 1);
         assert!((m[0].value - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_metrics_are_the_per_row_speedups() {
+        let base = doc(r#"{"recovery": [
+                {"wal_txns": 30, "engine_ms": 50.0, "bulk_ms": 2.0, "speedup": 25.0},
+                {"wal_txns": 90, "engine_ms": 200.0, "bulk_ms": 4.0, "speedup": 50.0}
+            ]}"#);
+        let m = recovery_metrics(&base).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].label, "bulk/engine replay[30 txns]");
+        assert!((m[0].value - 25.0).abs() < 1e-9);
+        assert!((m[1].value - 50.0).abs() < 1e-9);
+        assert!(recovery_metrics(&doc(r#"{"recovery": []}"#)).is_err());
+        assert!(recovery_metrics(&doc(r#"{}"#)).is_err());
+        // Routed through the dispatcher too.
+        assert_eq!(metrics("recovery", &base).unwrap().len(), 2);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use strata_bench::banner;
 use strata_core::registry::EngineRegistry;
-use strata_core::{EngineBox, MaintenanceEngine, StorageConfig, Update};
+use strata_core::{EngineBox, MaintenanceEngine, StorageSpec, Update};
 use strata_service::{IngestConfig, Service};
 use strata_workload::script::{random_fact_script, ScriptConfig};
 use strata_workload::synth;
@@ -36,7 +36,7 @@ fn scratch(label: &str) -> PathBuf {
 
 fn durable_cascade(dir: &std::path::Path, program: strata_datalog::Program) -> EngineBox {
     EngineRegistry::standard()
-        .build_with_storage("cascade", program, &StorageConfig::Wal(dir.to_path_buf()))
+        .build_with_storage("cascade", program, &StorageSpec::wal(dir.to_path_buf()))
         .expect("open durable cascade")
 }
 

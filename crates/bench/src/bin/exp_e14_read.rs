@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use strata_bench::banner;
 use strata_core::registry::EngineRegistry;
-use strata_core::{EngineBox, StorageConfig, Update};
+use strata_core::{EngineBox, StorageSpec, Update};
 use strata_datalog::{Fact, Program, Query};
 use strata_service::{IngestConfig, Service};
 
@@ -49,7 +49,7 @@ fn durable_cascade(dir: &std::path::Path) -> EngineBox {
     )
     .unwrap();
     EngineRegistry::standard()
-        .build_with_storage("cascade", program, &StorageConfig::Wal(dir.to_path_buf()))
+        .build_with_storage("cascade", program, &StorageSpec::wal(dir.to_path_buf()))
         .expect("open durable cascade")
 }
 

@@ -1,0 +1,153 @@
+//! E15 — what bulk replay buys at recovery time.
+//!
+//! The same store (cascade inner engine, conference workload, per-update
+//! transactions committed with buffered durability) is opened twice per
+//! WAL length:
+//!
+//! * **engine replay** ([`ReplayMode::Engine`]) — every committed
+//!   transaction re-runs through the maintenance engine's own entry
+//!   points, one incremental belief-revision round per transaction;
+//! * **bulk replay** ([`ReplayMode::Bulk`]) — the committed suffix folds
+//!   into the program as pure data and the engine is built once, computing
+//!   the model in a single saturation.
+//!
+//! Both recoveries must agree on the model (asserted here); the headline
+//! is the per-row `speedup` = engine ms / bulk ms. Results go to
+//! `BENCH_recovery.json`. Usage: `exp_e15_recovery [--smoke] [--out PATH]`;
+//! `--smoke` runs tiny sizes (the CI bit-rot guard) and skips the file
+//! unless `--out` is given.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use strata_bench::banner;
+use strata_core::durable::{DurableEngine, ReplayMode, WalSpec};
+use strata_core::registry::EngineRegistry;
+use strata_core::{MaintenanceEngine, Update};
+use strata_datalog::{Fact, Program};
+use strata_store::Durability;
+use strata_workload::script::{random_fact_script, ScriptConfig};
+use strata_workload::synth;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_e15_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(dir: &std::path::Path, replay: ReplayMode) -> WalSpec {
+    let mut spec = WalSpec::new(dir);
+    spec.fsync = Durability::Buffered;
+    spec.replay = replay;
+    spec
+}
+
+fn open(dir: &std::path::Path, replay: ReplayMode, program: Program) -> DurableEngine {
+    let registry = EngineRegistry::standard();
+    DurableEngine::open_spec(
+        &spec(dir, replay),
+        "cascade",
+        registry.ctor("cascade").unwrap(),
+        program,
+        None,
+    )
+    .expect("open durable engine")
+}
+
+struct Row {
+    wal_txns: usize,
+    wal_kib: f64,
+    engine_ms: f64,
+    bulk_ms: f64,
+    speedup: f64,
+    model_facts: usize,
+}
+
+fn bench_one(wal_txns: usize, script: &[Update], program: &Program) -> Row {
+    let dir = scratch(&format!("rec_{wal_txns}"));
+    {
+        let mut engine = open(&dir, ReplayMode::Engine, program.clone());
+        for u in script.iter().take(wal_txns) {
+            engine.apply(u).expect("script update applies");
+        }
+    } // dropped: every open below performs real recovery
+    let wal_kib =
+        std::fs::metadata(dir.join(strata_store::WAL_FILE)).map_or(0, |m| m.len()) as f64 / 1024.0;
+
+    let t0 = Instant::now();
+    let via_engine = open(&dir, ReplayMode::Engine, Program::new());
+    let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let expected: Vec<Fact> = via_engine.model().sorted_facts();
+    drop(via_engine);
+
+    let t0 = Instant::now();
+    let via_bulk = open(&dir, ReplayMode::Bulk, Program::new());
+    let bulk_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(via_bulk.model().sorted_facts(), expected, "replay modes must agree on the model");
+    let model_facts = expected.len();
+    drop(via_bulk);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Row { wal_txns, wal_kib, engine_ms, bulk_ms, speedup: engine_ms / bulk_ms, model_facts }
+}
+
+fn write_json(path: &str, rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e15_recovery\",\n");
+    out.push_str(
+        "  \"description\": \"recovery: engine replay (one belief-revision round per committed \
+         transaction) vs bulk replay (fold the WAL, build the engine once)\",\n",
+    );
+    out.push_str("  \"recovery\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"wal_txns\": {}, \"wal_kib\": {:.1}, \"engine_ms\": {:.3}, \
+             \"bulk_ms\": {:.3}, \"speedup\": {:.2}, \"model_facts\": {}}}{}\n",
+            r.wal_txns,
+            r.wal_kib,
+            r.engine_ms,
+            r.bulk_ms,
+            r.speedup,
+            r.model_facts,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E15", "recovery: bulk WAL fold vs per-transaction engine replay");
+    let (papers, pc, wal_lengths): (usize, usize, Vec<usize>) =
+        if smoke { (40, 6, vec![30, 90]) } else { (250, 25, vec![250, 1000, 4000]) };
+    let program = synth::conference(papers, pc, 42);
+    let script = random_fact_script(
+        &program,
+        &ScriptConfig { len: wal_lengths.iter().copied().max().unwrap_or(0), insert_prob: 0.6 },
+        7,
+    );
+
+    let rows: Vec<Row> =
+        wal_lengths.iter().map(|&n| bench_one(n.min(script.len()), &script, &program)).collect();
+    println!(
+        "{:>9} {:>9} {:>11} {:>9} {:>9} {:>12}",
+        "wal txns", "wal KiB", "engine ms", "bulk ms", "speedup", "model facts"
+    );
+    for r in &rows {
+        println!(
+            "{:>9} {:>9.1} {:>11.2} {:>9.2} {:>8.1}x {:>12}",
+            r.wal_txns, r.wal_kib, r.engine_ms, r.bulk_ms, r.speedup, r.model_facts
+        );
+    }
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &rows),
+        (false, None) => write_json("BENCH_recovery.json", &rows),
+        (true, None) => println!("\n--smoke: skipping BENCH_recovery.json"),
+    }
+}

@@ -37,7 +37,7 @@ pub fn engines_by_name(program: &Program, names: &[&str]) -> Vec<EngineBox> {
 pub fn engine_with_storage(
     program: &Program,
     name: &str,
-    storage: &strata_core::StorageConfig,
+    storage: &strata_core::StorageSpec,
 ) -> EngineBox {
     EngineRegistry::standard()
         .build_with_storage(name, program.clone(), storage)
@@ -205,7 +205,7 @@ mod tests {
     fn engine_with_storage_replays_into_a_durable_store() {
         let dir = std::env::temp_dir().join(format!("strata_bench_wal_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let storage = strata_core::StorageConfig::Wal(dir.clone());
+        let storage = strata_core::StorageSpec::wal(dir.clone());
         let program = strata_workload::paper::pods(2, 6);
         {
             let mut e = engine_with_storage(&program, "cascade", &storage);

@@ -165,6 +165,16 @@ pub struct DurabilityStats {
     /// after the damage were lost; the quarantine file preserves them for
     /// manual recovery.
     pub recovered_quarantined: bool,
+    /// Wall-clock milliseconds the last open spent recovering (snapshot
+    /// chain rebuild + WAL replay + integrity checks).
+    pub recovery_ms: u64,
+    /// Incremental snapshots currently chained on the base snapshot; 0
+    /// right after a full checkpoint or under full-snapshot mode.
+    pub snapshot_chain_len: u64,
+    /// Transaction sequence the snapshot chain covers through.
+    pub snapshot_seq: u64,
+    /// How the last open consumed the WAL suffix (engine-exact or bulk).
+    pub replay_mode: crate::durable::ReplayMode,
 }
 
 /// A maintenance strategy: an explicit representation of `M(P)` kept
@@ -197,6 +207,17 @@ pub trait MaintenanceEngine {
     /// `Ok(true)`. The default — a purely in-memory engine — does nothing
     /// and returns `Ok(false)`.
     fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
+        Ok(false)
+    }
+
+    /// Policy-gated durability hook: checkpoint only if the engine's
+    /// auto-compaction policy says one is due (WAL size, transaction
+    /// count, or estimated recovery time over threshold), returning
+    /// whether a checkpoint ran. The default — in-memory engines and
+    /// durable engines with compaction off — does nothing and returns
+    /// `Ok(false)`. The ingest service calls this after every
+    /// successfully processed group.
+    fn auto_checkpoint(&mut self) -> Result<bool, MaintenanceError> {
         Ok(false)
     }
 
@@ -344,6 +365,10 @@ impl<E: MaintenanceEngine + ?Sized> MaintenanceEngine for Box<E> {
 
     fn checkpoint(&mut self) -> Result<bool, MaintenanceError> {
         self.as_mut().checkpoint()
+    }
+
+    fn auto_checkpoint(&mut self) -> Result<bool, MaintenanceError> {
+        self.as_mut().auto_checkpoint()
     }
 
     fn durability(&self) -> Option<DurabilityStats> {

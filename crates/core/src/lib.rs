@@ -71,7 +71,7 @@ pub mod strategy;
 pub mod support;
 pub mod verify;
 
-pub use durable::{DurableEngine, StorageConfig};
+pub use durable::{DurableEngine, ReplayMode, SnapshotMode, StorageSpec, WalSpec};
 pub use engine::{DurabilityStats, EngineBox, MaintenanceEngine, MaintenanceError, Update};
 pub use registry::{EngineRegistry, RegistryError};
 // Fault injection is defined next to the I/O it fails (`strata_store`);

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use strata_datalog::{Parallelism, Program};
 
-use crate::durable::{DurableEngine, StorageConfig};
+use crate::durable::{DurableEngine, StorageSpec};
 use crate::engine::{EngineBox, MaintenanceError};
 use crate::strategy::{
     CascadeEngine, DynamicMultiEngine, DynamicSingleEngine, FactLevelEngine, RecomputeEngine,
@@ -92,9 +92,9 @@ pub struct StrategyEntry {
     /// for the recompute-from-scratch baseline).
     pub incremental: bool,
     /// Where engines built from this entry keep their state. Defaults to
-    /// [`StorageConfig::Mem`]; set via [`EngineRegistry::set_storage`] to
+    /// [`StorageSpec::Mem`]; set via [`EngineRegistry::set_storage`] to
     /// make every [`EngineRegistry::build`] of this strategy durable.
-    pub storage: StorageConfig,
+    pub storage: StorageSpec,
     /// Worker-count override applied (via
     /// [`crate::engine::MaintenanceEngine::set_parallelism`]) to every
     /// engine built from this entry. `None` leaves the constructor's own
@@ -183,7 +183,7 @@ impl EngineRegistry {
             name,
             summary,
             incremental,
-            storage: StorageConfig::Mem,
+            storage: StorageSpec::Mem,
             parallelism: None,
             ctor: Arc::new(ctor),
         };
@@ -193,11 +193,11 @@ impl EngineRegistry {
         }
     }
 
-    /// Sets the storage config of a registered strategy (subsequent
+    /// Sets the storage spec of a registered strategy (subsequent
     /// [`build`]s honor it). Returns `false` if the name is unknown.
     ///
     /// [`build`]: EngineRegistry::build
-    pub fn set_storage(&mut self, name: &str, storage: StorageConfig) -> bool {
+    pub fn set_storage(&mut self, name: &str, storage: StorageSpec) -> bool {
         match self.entries.iter_mut().find(|e| e.name == name) {
             Some(entry) => {
                 entry.storage = storage;
@@ -246,7 +246,7 @@ impl EngineRegistry {
     }
 
     /// Builds the named engine over `program`, honoring the entry's
-    /// [`StorageConfig`] (in-memory by default; durable if configured).
+    /// [`StorageSpec`] (in-memory by default; durable if configured).
     pub fn build(&self, name: &str, program: Program) -> Result<EngineBox, RegistryError> {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
             RegistryError::UnknownStrategy { name: name.to_string(), known: self.names() }
@@ -254,15 +254,16 @@ impl EngineRegistry {
         self.build_entry(entry, program, &entry.storage, None)
     }
 
-    /// Builds the named engine with an explicit storage config, overriding
-    /// the entry's own. `Mem` yields the plain engine; `Wal(path)` opens
-    /// (or recovers) a [`DurableEngine`] at that directory, seeded with
+    /// Builds the named engine with an explicit storage spec, overriding
+    /// the entry's own. `Mem` yields the plain engine; `Wal(spec)` opens
+    /// (or recovers) a [`DurableEngine`] per the spec — directory, fsync
+    /// policy, checkpoint mode, replay mode, auto-compaction — seeded with
     /// `program` if the store is fresh.
     pub fn build_with_storage(
         &self,
         name: &str,
         program: Program,
-        storage: &StorageConfig,
+        storage: &StorageSpec,
     ) -> Result<EngineBox, RegistryError> {
         self.build_with_storage_faults(name, program, storage, None)
     }
@@ -277,7 +278,7 @@ impl EngineRegistry {
         &self,
         name: &str,
         program: Program,
-        storage: &StorageConfig,
+        storage: &StorageSpec,
         faults: Option<Arc<strata_store::FaultInjector>>,
     ) -> Result<EngineBox, RegistryError> {
         let entry = self.entries.iter().find(|e| e.name == name).ok_or_else(|| {
@@ -290,17 +291,16 @@ impl EngineRegistry {
         &self,
         entry: &StrategyEntry,
         program: Program,
-        storage: &StorageConfig,
+        storage: &StorageSpec,
         faults: Option<Arc<strata_store::FaultInjector>>,
     ) -> Result<EngineBox, RegistryError> {
         let mut engine: EngineBox = match storage {
-            StorageConfig::Mem => (entry.ctor)(program)?,
-            StorageConfig::Wal(path) => Box::new(DurableEngine::open_with(
-                path,
+            StorageSpec::Mem => (entry.ctor)(program)?,
+            StorageSpec::Wal(spec) => Box::new(DurableEngine::open_spec(
+                spec,
                 entry.name,
                 Arc::clone(&entry.ctor),
                 program,
-                strata_store::Durability::Fsync,
                 faults,
             )?),
         };
@@ -417,14 +417,15 @@ mod tests {
     }
 
     #[test]
-    fn storage_config_defaults_to_mem_and_is_settable() {
+    fn storage_spec_defaults_to_mem_and_is_settable() {
+        use crate::durable::StorageSpec;
         let mut r = EngineRegistry::standard();
-        assert!(r.entries().all(|e| e.storage == crate::durable::StorageConfig::Mem));
+        assert!(r.entries().all(|e| e.storage == StorageSpec::Mem));
         let dir =
             std::env::temp_dir().join(format!("strata_registry_storage_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        assert!(r.set_storage("cascade", crate::durable::StorageConfig::Wal(dir.clone())));
-        assert!(!r.set_storage("nonsense", crate::durable::StorageConfig::Mem));
+        assert!(r.set_storage("cascade", StorageSpec::wal(&dir)));
+        assert!(!r.set_storage("nonsense", StorageSpec::mem()));
         // A build now goes durable: state survives a rebuild from scratch.
         {
             let mut e = r.build("cascade", pods()).unwrap();
@@ -433,9 +434,8 @@ mod tests {
         }
         let e = r.build("cascade", Program::new()).unwrap();
         assert!(e.model().contains_parsed("accepted(1)"), "recovered via registry");
-        // Explicit override back to memory ignores the entry config.
-        let mut e =
-            r.build_with_storage("cascade", pods(), &crate::durable::StorageConfig::Mem).unwrap();
+        // Explicit override back to memory ignores the entry spec.
+        let mut e = r.build_with_storage("cascade", pods(), &StorageSpec::mem()).unwrap();
         assert!(!e.checkpoint().unwrap(), "in-memory engine has nothing to checkpoint");
         let _ = std::fs::remove_dir_all(&dir);
     }

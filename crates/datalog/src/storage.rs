@@ -381,6 +381,15 @@ impl Database {
         self.rels.get(&rel)
     }
 
+    /// Iterates over every relation ever touched, with its [`Relation`]
+    /// (order unspecified; empty relations whose last tuple was removed
+    /// are included). The change-detection entry point of incremental
+    /// snapshots: callers diff the per-relation [`RelStamp`]s against a
+    /// recorded baseline to find what moved.
+    pub fn relations(&self) -> impl Iterator<Item = (Symbol, &Relation)> + '_ {
+        self.rels.iter().map(|(&sym, rel)| (sym, rel))
+    }
+
     /// Number of live tuples of `rel`.
     pub fn count(&self, rel: Symbol) -> usize {
         self.rels.get(&rel).map_or(0, Relation::len)

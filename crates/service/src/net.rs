@@ -342,6 +342,14 @@ fn serve_connection(
                 let handle = service.submit_flush();
                 job_tx.send(Job::Wait { tag: tag.clone(), handle, flush: true }).map_err(|_| ())
             }
+            Ok(Request::Compact) => {
+                let line = match service.compact() {
+                    Ok(Some(seq)) => format!("ok compacted seq={seq}"),
+                    Ok(None) => "err nothing to compact: engine is in-memory".to_string(),
+                    Err(e) => format!("err code={} {e}", e.code()),
+                };
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
+            }
             Ok(Request::Stats) => {
                 let line = protocol::render_stats(&service.stats());
                 respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
@@ -539,6 +547,19 @@ impl Client {
     /// The server's stats line (`key=value` pairs).
     pub fn stats(&mut self) -> io::Result<Result<String, String>> {
         Ok(self.roundtrip("stats")?.map(|(_, tail)| tail))
+    }
+
+    /// Checkpoints the server's durable store now (snapshot + empty the
+    /// WAL). `Ok(seq)` is the transaction sequence the snapshot chain
+    /// covers through; `Err(reason)` for an in-memory server or a failed
+    /// checkpoint.
+    pub fn compact(&mut self) -> io::Result<Result<u64, String>> {
+        Ok(self.roundtrip("compact")?.map(|(_, tail)| {
+            tail.split_whitespace()
+                .find_map(|kv| kv.strip_prefix("seq="))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        }))
     }
 
     /// Sends a request whose response streams arbitrary payload lines

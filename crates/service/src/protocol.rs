@@ -14,7 +14,7 @@
 //!            | "query" SP at? body
 //!            | "client" SP token              -- declare a client id
 //!            | "trace" (SP n)?                -- last n group spans (16)
-//!            | "flush" | "stats" | "metrics" | "quit" | "shutdown"
+//!            | "flush" | "compact" | "stats" | "metrics" | "quit" | "shutdown"
 //! seq      ::= "seq=" n SP                    -- idempotency token
 //! at       ::= "@" version SP                 -- read-your-writes pin
 //! update   ::= ("+" | "-") SP? clause        -- insert | delete
@@ -40,6 +40,8 @@
 //!        | "ok true" | "ok false"                  -- boolean queries
 //! client → "ok client=<id>"
 //! flush  → "ok flushed version=<v>"
+//! compact → "ok compacted seq=<n>"     -- checkpoint the durable store
+//!         | "err <reason>"             -- in-memory engine: nothing to compact
 //! stats  → "ok <key>=<value> ..."
 //! metrics → (exposition line)* then "ok <count>"   -- Prometheus text
 //! trace  → ("span <fields>")* then "ok <count>"    -- recent group spans
@@ -113,6 +115,9 @@ pub enum Request {
     },
     /// Wait until everything submitted before this point is decided.
     Flush,
+    /// Checkpoint the durable store (snapshot + empty the WAL), honoring
+    /// the engine's configured snapshot mode.
+    Compact,
     /// A stats snapshot.
     Stats,
     /// The global metrics registry in Prometheus text exposition format.
@@ -229,6 +234,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map_err(|e| format!("cannot parse query: {e}"))
         }
         "flush" if rest.is_empty() => Ok(Request::Flush),
+        "compact" if rest.is_empty() => Ok(Request::Compact),
         "stats" if rest.is_empty() => Ok(Request::Stats),
         "metrics" if rest.is_empty() => Ok(Request::Metrics),
         "trace" => {
@@ -244,8 +250,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "shutdown" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb `{other}` (submit | query | client | flush | stats | metrics | trace | \
-             quit | shutdown)"
+            "unknown verb `{other}` (submit | query | client | flush | compact | stats | \
+             metrics | trace | quit | shutdown)"
         )),
     }
 }
@@ -275,7 +281,8 @@ pub fn render_outcome(outcome: &Outcome) -> String {
 ///
 /// ```text
 /// wal_txns wal_bytes recovered_txns recovered_updates recovered_torn_tail
-/// recovered_quarantined
+/// recovered_quarantined recovery_ms snapshot_chain_len snapshot_seq
+/// replay_mode
 /// ```
 ///
 /// New keys are only ever appended, never inserted or reordered.
@@ -311,6 +318,13 @@ pub fn render_stats(s: &ServiceStats) -> String {
             d.recovered_updates,
             d.recovered_torn_tail,
             u8::from(d.recovered_quarantined),
+        ));
+        line.push_str(&format!(
+            " recovery_ms={} snapshot_chain_len={} snapshot_seq={} replay_mode={}",
+            d.recovery_ms,
+            d.snapshot_chain_len,
+            d.snapshot_seq,
+            d.replay_mode.name(),
         ));
     }
     line
@@ -364,6 +378,8 @@ mod tests {
     #[test]
     fn parses_meta_verbs_strictly() {
         assert!(matches!(parse_request("flush").unwrap(), Request::Flush));
+        assert!(matches!(parse_request("compact").unwrap(), Request::Compact));
+        assert!(parse_request("compact now").is_err());
         assert!(matches!(parse_request("stats").unwrap(), Request::Stats));
         assert!(matches!(parse_request("quit").unwrap(), Request::Quit));
         assert!(matches!(
@@ -479,6 +495,10 @@ mod tests {
                 "recovered_updates",
                 "recovered_torn_tail",
                 "recovered_quarantined",
+                "recovery_ms",
+                "snapshot_chain_len",
+                "snapshot_seq",
+                "replay_mode",
             ]
         );
     }

@@ -205,6 +205,19 @@ impl SnapshotCell {
         drop(latest);
     }
 
+    /// Re-publishes the latest snapshot with refreshed durability counters
+    /// — same model, same version. Used after an administrative checkpoint,
+    /// which changes the durable surface without committing anything, so
+    /// no waiter is woken.
+    fn refresh_durability(&self, durability: Option<DurabilityStats>) {
+        let mut latest = self.latest.lock().expect("snapshot cell poisoned");
+        *latest = Arc::new(VersionedSnapshot {
+            version: latest.version,
+            model: latest.model.clone(),
+            durability,
+        });
+    }
+
     /// Blocks until the published version reaches `version`, bounded by
     /// `wait`. `Err` carries the version that was published at timeout.
     fn wait_for(&self, version: u64, wait: Duration) -> Result<Arc<VersionedSnapshot>, u64> {
@@ -461,6 +474,12 @@ impl Service {
         r.gauge("strata_service_blocked").set(stats.blocked);
         r.gauge("strata_service_snapshot_reads").set(stats.snapshot_reads);
         r.gauge("strata_queue_depth").set(stats.pending as u64);
+        if let Some(d) = &stats.durability {
+            r.gauge("strata_recovery_ms").set(d.recovery_ms);
+            r.gauge("strata_snapshot_chain_len").set(d.snapshot_chain_len);
+            r.gauge("strata_replay_bulk")
+                .set(u64::from(d.replay_mode == strata_core::ReplayMode::Bulk));
+        }
     }
 
     /// Submits one update; returns immediately (blocking only on
@@ -548,6 +567,29 @@ impl Service {
     pub fn with_engine_mut<R>(&self, f: impl FnOnce(&mut dyn MaintenanceEngine) -> R) -> R {
         let mut engine = lock_engine(&self.engine);
         f(engine.as_mut())
+    }
+
+    /// Checkpoints the durable store now (snapshot + empty the WAL),
+    /// honoring the engine's configured snapshot mode — the `compact`
+    /// verb's implementation. Serializes behind in-flight group commits
+    /// via the engine mutex. `Ok(Some(seq))` is the transaction sequence
+    /// the snapshot chain now covers through; `Ok(None)` means the engine
+    /// is in-memory and had nothing to checkpoint.
+    pub fn compact(&self) -> Result<Option<u64>, MaintenanceError> {
+        self.with_engine_mut(|e| {
+            if !e.checkpoint()? {
+                return Ok(None);
+            }
+            let durability = e.durability();
+            let seq = durability.as_ref().map(|d| d.snapshot_seq).unwrap_or(0);
+            // Still under the engine lock (the same lock order the worker
+            // uses), re-publish the latest snapshot — same model, same
+            // version — with the post-checkpoint durability counters, so
+            // `stats` reflects the compaction without waiting for the next
+            // commit to publish.
+            self.snapshots.refresh_durability(durability);
+            Ok(Some(seq))
+        })
     }
 
     /// The latest published snapshot: one `Arc` clone, no engine access.
@@ -700,7 +742,20 @@ fn worker_loop(
             )
         }));
         let failure = match result {
-            Ok(Ok(())) => None,
+            Ok(Ok(())) => {
+                // The group is committed and its outcomes delivered; give
+                // the engine's auto-compaction policy a chance to fold the
+                // WAL into a checkpoint. Failure here is non-fatal — the
+                // WAL is intact and the next attempt may succeed — so it
+                // is logged, never healed.
+                if let Err(e) = lock_engine(engine).auto_checkpoint() {
+                    strata_obs::trace::event(
+                        strata_obs::EventKind::StorageFault,
+                        format!("worker={worker_id} auto-checkpoint failed: {e}"),
+                    );
+                }
+                None
+            }
             // Storage-level commit failure: the in-flight group was
             // already rejected (typed `Storage`) by the commit path.
             Ok(Err(e)) => {

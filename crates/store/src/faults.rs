@@ -15,7 +15,8 @@
 //! plan  ::= spec ("," spec)*
 //! spec  ::= point "@" nth ["+"] [":" arg]
 //! point ::= wal-fsync | wal-write | wal-open-corrupt | snap-fsync
-//!         | panic-pre-apply | panic-post-apply | panic-mid-group
+//!         | snap-delta | panic-pre-apply | panic-post-apply
+//!         | panic-mid-group
 //! ```
 //!
 //! `nth` is the 1-based hit at which the fault fires; a trailing `+` makes
@@ -59,6 +60,12 @@ pub enum FaultPoint {
     WalOpenCorrupt,
     /// Writing a snapshot fails before anything lands on disk.
     SnapshotFsync,
+    /// An incremental checkpoint fails *after* the delta file has been
+    /// renamed into the chain but *before* the WAL is truncated — the
+    /// mid-incremental-snapshot crash window recovery must tolerate (the
+    /// orphaned delta covers a WAL prefix that replay then skips by
+    /// sequence number).
+    SnapshotDelta,
     /// The service worker panics after taking a group but before applying
     /// it to the engine.
     WorkerPreApply,
@@ -72,11 +79,12 @@ pub enum FaultPoint {
 }
 
 /// All points, in a fixed order that gives each a stable counter slot.
-const POINTS: [FaultPoint; 7] = [
+const POINTS: [FaultPoint; 8] = [
     FaultPoint::WalFsync,
     FaultPoint::WalWrite,
     FaultPoint::WalOpenCorrupt,
     FaultPoint::SnapshotFsync,
+    FaultPoint::SnapshotDelta,
     FaultPoint::WorkerPreApply,
     FaultPoint::WorkerPostApply,
     FaultPoint::WorkerMidGroup,
@@ -94,6 +102,7 @@ impl FaultPoint {
             FaultPoint::WalWrite => "wal-write",
             FaultPoint::WalOpenCorrupt => "wal-open-corrupt",
             FaultPoint::SnapshotFsync => "snap-fsync",
+            FaultPoint::SnapshotDelta => "snap-delta",
             FaultPoint::WorkerPreApply => "panic-pre-apply",
             FaultPoint::WorkerPostApply => "panic-post-apply",
             FaultPoint::WorkerMidGroup => "panic-mid-group",
@@ -325,6 +334,8 @@ mod tests {
             "wal-write@2:16",
             "wal-open-corrupt@1:97",
             "snap-fsync@3",
+            "snap-delta@1",
+            "snap-delta@2+",
             "panic-pre-apply@2+",
             "panic-post-apply@1",
             "panic-mid-group@4+:7",

@@ -16,17 +16,40 @@
 //! A store is a directory:
 //!
 //! ```text
-//! <dir>/snapshot.snap   the belief state at WAL position `seq`
-//! <dir>/wal.log         BEGIN/DATA/COMMIT|ABORT transactions after it
+//! <dir>/snapshot.snap      the full belief state at WAL position `seq`
+//! <dir>/snapshot.delta-<k> incremental snapshots chained on the base, k = 1..
+//! <dir>/wal.log            BEGIN/DATA/COMMIT|ABORT transactions after it
 //! ```
+//!
+//! ## The snapshot chain
+//!
+//! A **full** snapshot covers everything up to its `seq`. An
+//! **incremental** checkpoint ([`Store::write_delta_snapshot`]) appends a
+//! [`DeltaSnapshot`] file instead: `snapshot.delta-1` extends the base,
+//! `snapshot.delta-2` extends `delta-1`, and so on; each link records the
+//! `seq` of the link it extends (`prev_seq`). The chain's **tip** `seq` is
+//! what the WAL is truncated against. A later full snapshot resets the
+//! chain: base renamed first, then the delta files deleted, then the WAL
+//! truncated.
 //!
 //! ## Recovery
 //!
-//! [`Store::open`] = read the snapshot (if any), replay the WAL, truncate
-//! any torn tail, and hand back the committed transactions with
-//! `seq > snapshot.seq` — exactly the suffix the snapshot does not cover.
-//! A crash between "snapshot renamed" and "WAL truncated" is benign: the
-//! stale WAL prefix is skipped by sequence number.
+//! [`Store::open`] = read the base snapshot, then follow the delta chain
+//! link by link (`delta-1`, `delta-2`, …) as long as each file's
+//! `prev_seq` equals the running tip; replay the WAL; truncate any torn
+//! tail; hand back the committed transactions with `seq >` the chain tip —
+//! exactly the suffix the chain does not cover. Crash windows are benign
+//! by ordering:
+//!
+//! * between "snapshot (full or delta) renamed" and "WAL truncated": the
+//!   stale WAL prefix is skipped by sequence number;
+//! * between "full snapshot renamed" and "delta files deleted": the
+//!   leftover deltas predate the new base (`seq ≤ base.seq`), are detected
+//!   by the `prev_seq` mismatch, ignored, and removed.
+//!
+//! A `prev_seq` mismatch where the delta claims coverage *beyond* the base
+//! (`seq > base.seq`) cannot arise from any crash ordering and is reported
+//! as corruption.
 //!
 //! ## Observability
 //!
@@ -39,6 +62,7 @@
 
 pub mod faults;
 pub mod frame;
+pub mod policy;
 pub mod snapshot;
 pub mod wal;
 
@@ -48,11 +72,30 @@ use std::sync::Arc;
 
 pub use faults::{FaultInjector, FaultPlan, FaultPoint, FaultSpec};
 pub use frame::crc32;
-pub use snapshot::{Snapshot, SnapshotError};
+pub use policy::{CompactionPolicy, PolicyParseError};
+pub use snapshot::{DeltaSnapshot, Snapshot, SnapshotError};
 pub use wal::{Durability, Wal, WalReplay, WalTxn};
 
 /// File name of the snapshot inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+
+/// File-name prefix of incremental snapshots: the chain is
+/// `snapshot.delta-1`, `snapshot.delta-2`, … in link order.
+pub const DELTA_FILE_PREFIX: &str = "snapshot.delta-";
+
+/// The path of chain link `k` (1-based) inside `dir`.
+fn delta_path(dir: &Path, k: u64) -> PathBuf {
+    dir.join(format!("{DELTA_FILE_PREFIX}{k}"))
+}
+
+/// Best-effort removal of chain links from `from` (1-based) upward,
+/// stopping at the first missing file.
+fn remove_deltas_from(dir: &Path, from: u64) {
+    let mut k = from;
+    while std::fs::remove_file(delta_path(dir, k)).is_ok() {
+        k += 1;
+    }
+}
 
 /// File name of the write-ahead log inside a store directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -106,9 +149,13 @@ impl From<SnapshotError> for StoreError {
 /// What [`Store::open`] recovered.
 #[derive(Debug)]
 pub struct Recovered {
-    /// The snapshot, if one was ever written.
+    /// The base snapshot, if one was ever written.
     pub snapshot: Option<Snapshot>,
-    /// Committed transactions not covered by the snapshot, in log order.
+    /// The delta chain on top of the base, in link order (empty if the
+    /// last checkpoint was full, or none was ever taken).
+    pub deltas: Vec<DeltaSnapshot>,
+    /// Committed transactions not covered by the snapshot chain, in log
+    /// order.
     pub committed: Vec<WalTxn>,
     /// Whether a torn WAL tail (crash evidence) was truncated away.
     pub torn_tail: bool,
@@ -123,8 +170,10 @@ pub struct Store {
     dir: PathBuf,
     wal: Wal,
     next_seq: u64,
-    /// Sequence number the current snapshot covers (0 = none).
+    /// Sequence number the snapshot chain's tip covers (0 = none).
     snapshot_seq: u64,
+    /// Number of delta links currently in the snapshot chain.
+    chain_len: u64,
     /// This store's lock-file content; Drop releases the lock only while
     /// it still holds it (same-process re-entry hands the lock to the
     /// newest opener).
@@ -237,7 +286,33 @@ impl Store {
         let lock_token = acquire_lock(&dir)?;
         let recover = || -> Result<(Store, Recovered), StoreError> {
             let snapshot = Snapshot::read(&dir.join(SNAPSHOT_FILE))?;
-            let snapshot_seq = snapshot.as_ref().map_or(0, |s| s.seq);
+            let base_seq = snapshot.as_ref().map_or(0, |s| s.seq);
+            // Follow the delta chain while each link joins the running
+            // tip. A mismatched link that claims no coverage beyond the
+            // base is a leftover from the full-snapshot crash window
+            // (base renamed, deltas not yet deleted): drop it and the
+            // rest of the chain. A mismatched link *beyond* the base has
+            // no benign explanation.
+            let mut deltas = Vec::new();
+            let mut snapshot_seq = base_seq;
+            let mut k = 1;
+            while let Some(delta) = DeltaSnapshot::read(&delta_path(&dir, k))? {
+                if delta.prev_seq == snapshot_seq && delta.seq > snapshot_seq {
+                    snapshot_seq = delta.seq;
+                    deltas.push(delta);
+                    k += 1;
+                } else if delta.seq <= base_seq {
+                    remove_deltas_from(&dir, k);
+                    break;
+                } else {
+                    return Err(StoreError::Corrupt(format!(
+                        "snapshot chain broken at delta-{k}: link covers seq {} on prev {} \
+                         but the chain tip is {snapshot_seq}",
+                        delta.seq, delta.prev_seq
+                    )));
+                }
+            }
+            let chain_len = deltas.len() as u64;
             let (wal, replay) = Wal::open_with(dir.join(WAL_FILE), durability, faults.clone())?;
             let mut last_seq = snapshot_seq;
             let mut committed = Vec::new();
@@ -252,6 +327,7 @@ impl Store {
                 wal,
                 next_seq: last_seq + 1,
                 snapshot_seq,
+                chain_len,
                 lock_token: lock_token.clone(),
                 faults: faults.clone(),
             };
@@ -259,6 +335,7 @@ impl Store {
                 store,
                 Recovered {
                     snapshot,
+                    deltas,
                     committed,
                     torn_tail: replay.torn_tail,
                     quarantined: replay.quarantined,
@@ -304,16 +381,18 @@ impl Store {
         self.wal.discard_open();
     }
 
-    /// Writes a snapshot covering everything committed so far, then empties
-    /// the WAL — compaction. Crash-ordering: the snapshot rename lands
-    /// first, so a crash before the truncate only leaves WAL entries that
-    /// recovery skips by sequence number.
+    /// Writes a full snapshot covering everything committed so far, resets
+    /// the delta chain, then empties the WAL — compaction. Crash-ordering:
+    /// the snapshot rename lands first, then the chain's delta files are
+    /// deleted, then the WAL is truncated; recovery tolerates a crash
+    /// anywhere in that sequence (stale deltas and stale WAL entries are
+    /// both skipped).
     pub fn write_snapshot(&mut self, meta: &str, payload: Vec<u8>) -> Result<(), StoreError> {
         if let Some(f) = &self.faults {
             if f.fires(FaultPoint::SnapshotFsync).is_some() {
                 // Snapshot write failure, before anything lands on disk:
-                // the previous snapshot and the WAL are untouched, so the
-                // store remains fully recoverable.
+                // the previous snapshot chain and the WAL are untouched,
+                // so the store remains fully recoverable.
                 return Err(StoreError::Io(std::io::Error::other(
                     "injected fault: snapshot fsync failure",
                 )));
@@ -322,7 +401,42 @@ impl Store {
         let seq = self.next_seq - 1;
         let snap = Snapshot { seq, meta: meta.to_string(), payload };
         snap.write_atomic(&self.dir.join(SNAPSHOT_FILE))?;
+        remove_deltas_from(&self.dir, 1);
         self.snapshot_seq = seq;
+        self.chain_len = 0;
+        self.wal.truncate_all()?;
+        Ok(())
+    }
+
+    /// Appends an incremental snapshot to the chain: `payload` must encode
+    /// the state *changes* since the current chain tip
+    /// ([`Store::snapshot_seq`]). The delta file lands atomically, then
+    /// the WAL is emptied — the same crash-ordering guarantee as
+    /// [`Store::write_snapshot`]. A no-op (`Ok`) if nothing has been
+    /// committed past the tip, so empty links never enter the chain.
+    pub fn write_delta_snapshot(&mut self, meta: &str, payload: Vec<u8>) -> Result<(), StoreError> {
+        let seq = self.next_seq - 1;
+        if seq == self.snapshot_seq {
+            return Ok(());
+        }
+        let delta =
+            DeltaSnapshot { seq, prev_seq: self.snapshot_seq, meta: meta.to_string(), payload };
+        delta.write_atomic(&delta_path(&self.dir, self.chain_len + 1))?;
+        if let Some(f) = &self.faults {
+            if f.fires(FaultPoint::SnapshotDelta).is_some() {
+                // The delta is already on disk but the WAL still holds the
+                // transactions it covers — the mid-incremental-checkpoint
+                // crash window. Recovery reads the delta and skips the
+                // covered WAL prefix by sequence number; this process
+                // keeps its pre-checkpoint accounting (the checkpoint
+                // *failed* from its point of view).
+                return Err(StoreError::Io(std::io::Error::other(
+                    "injected fault: delta snapshot failure after rename",
+                )));
+            }
+        }
+        self.snapshot_seq = seq;
+        self.chain_len += 1;
         self.wal.truncate_all()?;
         Ok(())
     }
@@ -345,9 +459,16 @@ impl Store {
         self.wal.txn_count()
     }
 
-    /// The sequence number the snapshot covers (0 = no snapshot yet).
+    /// The sequence number the snapshot chain's tip covers (0 = no
+    /// snapshot yet).
     pub fn snapshot_seq(&self) -> u64 {
         self.snapshot_seq
+    }
+
+    /// Number of delta links currently in the snapshot chain (0 right
+    /// after a full snapshot, or when none was ever taken).
+    pub fn chain_len(&self) -> u64 {
+        self.chain_len
     }
 }
 
@@ -434,6 +555,120 @@ mod tests {
         store.commit(seq).unwrap();
         let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
         assert_eq!(rec.committed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_chain_survives_reopen_and_resets_on_full_snapshot() {
+        let dir = tmpdir("chain");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"a".to_vec()], 0);
+            store.commit(seq).unwrap();
+            store.write_snapshot("m", b"base".to_vec()).unwrap();
+            let seq = store.begin(&[b"b".to_vec()], 0);
+            store.commit(seq).unwrap();
+            store.write_delta_snapshot("m", b"d1".to_vec()).unwrap();
+            assert_eq!(store.chain_len(), 1);
+            assert_eq!(store.wal_bytes(), 0, "delta checkpoint empties the WAL");
+            // An empty-coverage delta is skipped, not written.
+            store.write_delta_snapshot("m", b"nothing".to_vec()).unwrap();
+            assert_eq!(store.chain_len(), 1);
+            let seq = store.begin(&[b"c".to_vec()], 0);
+            store.commit(seq).unwrap();
+            store.write_delta_snapshot("m", b"d2".to_vec()).unwrap();
+            assert_eq!(store.chain_len(), 2);
+            let seq = store.begin(&[b"tail".to_vec()], 0);
+            store.commit(seq).unwrap();
+        }
+        {
+            let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+            assert_eq!(rec.snapshot.as_ref().unwrap().payload, b"base");
+            let payloads: Vec<&[u8]> = rec.deltas.iter().map(|d| d.payload.as_slice()).collect();
+            assert_eq!(payloads, vec![b"d1".as_slice(), b"d2".as_slice()]);
+            assert_eq!(store.chain_len(), 2);
+            assert_eq!(rec.committed.len(), 1, "only the post-chain tail replays");
+            assert_eq!(rec.committed[0].records, vec![b"tail".to_vec()]);
+        }
+        // A full snapshot deletes the chain.
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            store.write_snapshot("m", b"base2".to_vec()).unwrap();
+            assert_eq!(store.chain_len(), 0);
+        }
+        assert!(!delta_path(&dir, 1).exists() && !delta_path(&dir, 2).exists());
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.deltas.is_empty());
+        assert_eq!(rec.snapshot.unwrap().payload, b"base2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_deltas_after_full_snapshot_crash_are_ignored_and_removed() {
+        // Crash between "full snapshot renamed" and "delta files deleted":
+        // simulate by writing the base directly over a live chain.
+        let dir = tmpdir("chain_stale");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"a".to_vec()], 0);
+            store.commit(seq).unwrap();
+            store.write_delta_snapshot("m", b"d1".to_vec()).unwrap();
+        }
+        Snapshot { seq: 5, meta: "m".into(), payload: b"newbase".to_vec() }
+            .write_atomic(&dir.join(SNAPSHOT_FILE))
+            .unwrap();
+        let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.deltas.is_empty(), "stale delta not replayed");
+        assert_eq!(store.snapshot_seq(), 5);
+        assert_eq!(store.chain_len(), 0);
+        assert!(!delta_path(&dir, 1).exists(), "stale delta cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn broken_chain_link_is_corrupt() {
+        let dir = tmpdir("chain_broken");
+        {
+            let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+            let seq = store.begin(&[b"a".to_vec()], 0);
+            store.commit(seq).unwrap();
+        }
+        // A delta claiming coverage beyond the (absent) base on a prev it
+        // never had: no crash ordering produces this.
+        DeltaSnapshot { seq: 9, prev_seq: 7, meta: "m".into(), payload: vec![] }
+            .write_atomic(&delta_path(&dir, 1))
+            .unwrap();
+        match Store::open(&dir, Durability::Fsync) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("chain broken"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The failed open released the lock.
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_fault_leaves_recoverable_mid_checkpoint_state() {
+        // The snap-delta fault: delta renamed, WAL not truncated. The
+        // writer sees an error; a reopen recovers through the delta and
+        // skips the covered WAL prefix.
+        let dir = tmpdir("chain_fault");
+        let inj = Arc::new(FaultPlan::once(FaultPoint::SnapshotDelta, 1).arm());
+        {
+            let (mut store, _) =
+                Store::open_with(&dir, Durability::Fsync, Some(inj.clone())).unwrap();
+            let seq = store.begin(&[b"a".to_vec()], 0);
+            store.commit(seq).unwrap();
+            let err = store.write_delta_snapshot("m", b"d1".to_vec()).unwrap_err();
+            assert!(err.to_string().contains("injected fault"), "{err}");
+            assert_eq!(store.chain_len(), 0, "failed checkpoint not counted");
+            assert!(store.wal_bytes() > 0, "WAL untouched by the failed checkpoint");
+        }
+        let (store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(rec.deltas.len(), 1, "orphaned delta recovered as the chain tip");
+        assert_eq!(rec.deltas[0].payload, b"d1");
+        assert!(rec.committed.is_empty(), "covered WAL prefix skipped by seq");
+        assert_eq!(store.chain_len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

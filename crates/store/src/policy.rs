@@ -1,0 +1,251 @@
+//! Auto-compaction policy: *when* should a store checkpoint and truncate
+//! its WAL?
+//!
+//! The policy is pure data — thresholds on observable store state — so the
+//! decision is deterministic and testable without I/O. The maintenance
+//! layer evaluates [`CompactionPolicy::due`] after commits (the service
+//! worker does so once per applied group) and triggers a checkpoint when it
+//! returns `true`.
+//!
+//! Two thresholds, either of which makes compaction due:
+//!
+//! * `max_wal_bytes` — the WAL has grown past a byte budget;
+//! * `max_recovery_ms` — replaying the WAL at the observed replay rate
+//!   would exceed a restart-time budget (the ROADMAP's "restarts measured
+//!   in hours" failure mode, bounded directly).
+//!
+//! `min_wal_txns` guards both: a store with fewer terminated transactions
+//! than this is never compacted, so tiny write bursts don't thrash the
+//! snapshot writer.
+//!
+//! ## String form
+//!
+//! ```text
+//! policy ::= "off" | "auto" | part ("," part)*
+//! part   ::= "wal=" bytes | "ms=" millis | "txns=" count
+//! bytes  ::= integer ["k" | "m" | "g"]     (KiB / MiB / GiB)
+//! ```
+//!
+//! `off` disables compaction (the default); `auto` is the production
+//! preset ([`CompactionPolicy::default_auto`]). Parsing the displayed form
+//! reproduces the policy exactly.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Thresholds that decide when a store should auto-compact. The default is
+/// [`disabled`](CompactionPolicy::disabled): no automatic checkpoints, the
+/// pre-policy behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once the WAL holds at least this many bytes of terminated
+    /// transactions. `None` = no byte threshold.
+    pub max_wal_bytes: Option<u64>,
+    /// Compact once the estimated replay time of the WAL exceeds this many
+    /// milliseconds. `None` = no recovery-time threshold.
+    pub max_recovery_ms: Option<u64>,
+    /// Never compact while the WAL holds fewer terminated transactions
+    /// than this (anti-thrash guard; 0 = no guard).
+    pub min_wal_txns: u64,
+}
+
+/// The `auto` preset's WAL byte budget (16 MiB).
+const AUTO_MAX_WAL_BYTES: u64 = 16 * 1024 * 1024;
+/// The `auto` preset's recovery-time budget (1 s).
+const AUTO_MAX_RECOVERY_MS: u64 = 1_000;
+/// The `auto` preset's anti-thrash floor.
+const AUTO_MIN_WAL_TXNS: u64 = 64;
+
+impl CompactionPolicy {
+    /// No automatic compaction (the default).
+    pub fn disabled() -> CompactionPolicy {
+        CompactionPolicy::default()
+    }
+
+    /// The production preset: compact at 16 MiB of WAL or an estimated
+    /// 1 s of replay, but never under 64 transactions.
+    pub fn default_auto() -> CompactionPolicy {
+        CompactionPolicy {
+            max_wal_bytes: Some(AUTO_MAX_WAL_BYTES),
+            max_recovery_ms: Some(AUTO_MAX_RECOVERY_MS),
+            min_wal_txns: AUTO_MIN_WAL_TXNS,
+        }
+    }
+
+    /// Whether any threshold is set at all.
+    pub fn is_enabled(&self) -> bool {
+        self.max_wal_bytes.is_some() || self.max_recovery_ms.is_some()
+    }
+
+    /// Whether a compaction is due given the store's current WAL size,
+    /// terminated-transaction count, and estimated replay time.
+    pub fn due(&self, wal_bytes: u64, wal_txns: u64, est_recovery_ms: u64) -> bool {
+        if wal_txns < self.min_wal_txns {
+            return false;
+        }
+        self.max_wal_bytes.is_some_and(|cap| wal_bytes >= cap)
+            || self.max_recovery_ms.is_some_and(|cap| est_recovery_ms >= cap)
+    }
+}
+
+/// A parse failure for a compaction-policy string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PolicyParseError(pub(crate) String);
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad compaction policy: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// Parses an integer with an optional `k`/`m`/`g` binary-unit suffix.
+fn parse_bytes(s: &str) -> Result<u64, PolicyParseError> {
+    let (digits, shift) = match s.as_bytes().last() {
+        Some(b'k') | Some(b'K') => (&s[..s.len() - 1], 10),
+        Some(b'm') | Some(b'M') => (&s[..s.len() - 1], 20),
+        Some(b'g') | Some(b'G') => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n = digits
+        .parse::<u64>()
+        .map_err(|_| PolicyParseError(format!("`{s}`: expected an integer byte count")))?;
+    n.checked_shl(shift)
+        .filter(|v| shift == 0 || *v >> shift == n)
+        .ok_or_else(|| PolicyParseError(format!("`{s}`: byte count overflows")))
+}
+
+impl FromStr for CompactionPolicy {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<CompactionPolicy, PolicyParseError> {
+        let s = s.trim();
+        match s {
+            "" | "off" => return Ok(CompactionPolicy::disabled()),
+            "auto" => return Ok(CompactionPolicy::default_auto()),
+            _ => {}
+        }
+        let mut policy = CompactionPolicy::disabled();
+        for part in s.split(',') {
+            let (key, value) = part
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| PolicyParseError(format!("`{part}`: expected key=value")))?;
+            match key {
+                "wal" => policy.max_wal_bytes = Some(parse_bytes(value)?),
+                "ms" => {
+                    policy.max_recovery_ms = Some(value.parse::<u64>().map_err(|_| {
+                        PolicyParseError(format!("`{value}`: ms must be an integer"))
+                    })?)
+                }
+                "txns" => {
+                    policy.min_wal_txns = value.parse::<u64>().map_err(|_| {
+                        PolicyParseError(format!("`{value}`: txns must be an integer"))
+                    })?
+                }
+                other => {
+                    return Err(PolicyParseError(format!(
+                        "`{other}`: unknown key (wal | ms | txns)"
+                    )))
+                }
+            }
+        }
+        if !policy.is_enabled() {
+            return Err(PolicyParseError(
+                "a policy needs at least one of wal=<bytes> or ms=<millis>".into(),
+            ));
+        }
+        Ok(policy)
+    }
+}
+
+impl fmt::Display for CompactionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_enabled() {
+            return f.write_str("off");
+        }
+        let mut sep = "";
+        if let Some(b) = self.max_wal_bytes {
+            write!(f, "wal={b}")?;
+            sep = ",";
+        }
+        if let Some(ms) = self.max_recovery_ms {
+            write!(f, "{sep}ms={ms}")?;
+            sep = ",";
+        }
+        if self.min_wal_txns != 0 {
+            write!(f, "{sep}txns={}", self.min_wal_txns)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_never_due() {
+        let p = CompactionPolicy::disabled();
+        assert!(!p.is_enabled());
+        assert!(!p.due(u64::MAX, u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn byte_threshold_fires_at_cap() {
+        let p = CompactionPolicy { max_wal_bytes: Some(100), ..CompactionPolicy::disabled() };
+        assert!(!p.due(99, 1000, 0));
+        assert!(p.due(100, 1000, 0));
+    }
+
+    #[test]
+    fn recovery_threshold_fires_at_cap() {
+        let p = CompactionPolicy { max_recovery_ms: Some(50), ..CompactionPolicy::disabled() };
+        assert!(!p.due(u64::MAX, 1000, 49));
+        assert!(p.due(0, 1000, 50));
+    }
+
+    #[test]
+    fn txn_floor_guards_both_thresholds() {
+        let p =
+            CompactionPolicy { max_wal_bytes: Some(1), max_recovery_ms: Some(1), min_wal_txns: 10 };
+        assert!(!p.due(u64::MAX, 9, u64::MAX), "under the txn floor nothing fires");
+        assert!(p.due(1, 10, 0));
+    }
+
+    #[test]
+    fn parse_presets_and_parts() {
+        assert_eq!("off".parse::<CompactionPolicy>().unwrap(), CompactionPolicy::disabled());
+        assert_eq!("".parse::<CompactionPolicy>().unwrap(), CompactionPolicy::disabled());
+        assert_eq!("auto".parse::<CompactionPolicy>().unwrap(), CompactionPolicy::default_auto());
+        let p: CompactionPolicy = "wal=64m,ms=500,txns=8".parse().unwrap();
+        assert_eq!(
+            p,
+            CompactionPolicy {
+                max_wal_bytes: Some(64 * 1024 * 1024),
+                max_recovery_ms: Some(500),
+                min_wal_txns: 8,
+            }
+        );
+        let p: CompactionPolicy = "wal=4096".parse().unwrap();
+        assert_eq!(p.max_wal_bytes, Some(4096));
+        assert_eq!(p.max_recovery_ms, None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in ["wal", "wal=x", "bogus=1", "txns=5", "ms=", "wal=999999999999g"] {
+            assert!(s.parse::<CompactionPolicy>().is_err(), "`{s}` should not parse");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for s in ["off", "auto", "wal=64m,ms=500,txns=8", "wal=4096", "ms=250"] {
+            let p: CompactionPolicy = s.parse().unwrap();
+            let again: CompactionPolicy = p.to_string().parse().unwrap();
+            assert_eq!(again, p, "round trip of `{s}` (displayed `{p}`)");
+        }
+    }
+}

@@ -1,11 +1,25 @@
-//! Snapshot files: the full belief state at one WAL position, written
+//! Snapshot files: the belief state at one WAL position, written
 //! atomically.
 //!
-//! File layout:
+//! Two containers share the format machinery:
 //!
-//! ```text
-//! magic:"SSNP" version:u32 seq:u64 frame(meta) frame(payload)
-//! ```
+//! * [`Snapshot`] — a **full** snapshot, the complete belief state:
+//!
+//!   ```text
+//!   magic:"SSNP" version:u32 seq:u64 frame(meta) frame(payload)
+//!   ```
+//!
+//! * [`DeltaSnapshot`] — an **incremental** snapshot, the changes since a
+//!   previous chain link, linked by sequence number:
+//!
+//!   ```text
+//!   magic:"SSND" version:u32 seq:u64 prev_seq:u64 frame(meta) frame(payload)
+//!   ```
+//!
+//!   `prev_seq` names the link this delta extends: the base snapshot's
+//!   `seq` for the first delta, the previous delta's `seq` after that. A
+//!   chain whose links don't join is detected at read time — see
+//!   [`crate::Store`] for the chain-recovery rules.
 //!
 //! `meta` is a short UTF-8 string (the engine strategy that wrote the
 //! snapshot); `payload` is opaque to the store — the maintenance layer
@@ -19,11 +33,12 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::frame::{read_frame, write_frame, FrameRead};
 
 const MAGIC: &[u8; 4] = b"SSNP";
+const DELTA_MAGIC: &[u8; 4] = b"SSND";
 const VERSION: u32 = 1;
 
 /// A decoded snapshot.
@@ -108,34 +123,126 @@ impl Snapshot {
     /// exceeds the 64 MiB single-frame cap — the current format's size
     /// limit for one belief state.
     pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
-        if self.payload.len() > crate::frame::MAX_FRAME_LEN
-            || self.meta.len() > crate::frame::MAX_FRAME_LEN
-        {
-            return Err(SnapshotError::Corrupt("snapshot payload exceeds the 64 MiB frame cap"));
-        }
-        let dir = path.parent().ok_or(SnapshotError::Corrupt("snapshot path has no parent"))?;
-        let tmp = path.with_extension("snap.tmp");
-        {
-            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
-            f.write_all(&self.encode())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
-        // Persist the rename itself.
-        File::open(dir)?.sync_all()?;
-        Ok(())
+        check_frame_caps(&self.meta, &self.payload)?;
+        write_atomic_bytes(path, &self.encode())
     }
 
     /// Reads the snapshot at `path`; `Ok(None)` if the file does not exist.
     pub fn read(path: &Path) -> Result<Option<Snapshot>, SnapshotError> {
-        let mut bytes = Vec::new();
-        match File::open(path) {
-            Ok(mut f) => f.read_to_end(&mut bytes)?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-        Self::decode(&bytes).map(Some)
+        match read_all(path)? {
+            Some(bytes) => Self::decode(&bytes).map(Some),
+            None => Ok(None),
+        }
     }
+}
+
+/// A decoded incremental snapshot: one link of a delta chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaSnapshot {
+    /// The WAL sequence number this link extends coverage to.
+    pub seq: u64,
+    /// The `seq` of the chain link this delta builds on (the base
+    /// snapshot, or the previous delta).
+    pub prev_seq: u64,
+    /// Writer metadata (the strategy name).
+    pub meta: String,
+    /// The encoded state delta (opaque to the store).
+    pub payload: Vec<u8>,
+}
+
+impl DeltaSnapshot {
+    /// Encodes the delta to its file representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + self.meta.len() + 40);
+        out.extend_from_slice(DELTA_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.prev_seq.to_le_bytes());
+        write_frame(&mut out, self.meta.as_bytes());
+        write_frame(&mut out, &self.payload);
+        out
+    }
+
+    /// Decodes a delta from file bytes.
+    pub fn decode(bytes: &[u8]) -> Result<DeltaSnapshot, SnapshotError> {
+        if bytes.len() < 24 || &bytes[..4] != DELTA_MAGIC {
+            return Err(SnapshotError::Corrupt("bad delta magic"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::Corrupt("unsupported delta version"));
+        }
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let prev_seq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let FrameRead::Ok { payload: meta, next } = read_frame(bytes, 24) else {
+            return Err(SnapshotError::Corrupt("torn delta meta frame"));
+        };
+        let meta = std::str::from_utf8(meta)
+            .map_err(|_| SnapshotError::Corrupt("delta meta is not UTF-8"))?
+            .to_string();
+        let FrameRead::Ok { payload, next } = read_frame(bytes, next) else {
+            return Err(SnapshotError::Corrupt("torn delta payload frame"));
+        };
+        if next != bytes.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes after delta"));
+        }
+        Ok(DeltaSnapshot { seq, prev_seq, meta, payload: payload.to_vec() })
+    }
+
+    /// Writes the delta to `path` atomically (same temp/fsync/rename dance
+    /// as [`Snapshot::write_atomic`]).
+    pub fn write_atomic(&self, path: &Path) -> Result<(), SnapshotError> {
+        check_frame_caps(&self.meta, &self.payload)?;
+        write_atomic_bytes(path, &self.encode())
+    }
+
+    /// Reads the delta at `path`; `Ok(None)` if the file does not exist.
+    pub fn read(path: &Path) -> Result<Option<DeltaSnapshot>, SnapshotError> {
+        match read_all(path)? {
+            Some(bytes) => Self::decode(&bytes).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Errors (rather than panicking in `write_frame`) if a section exceeds
+/// the 64 MiB single-frame cap — the format's size limit per section.
+fn check_frame_caps(meta: &str, payload: &[u8]) -> Result<(), SnapshotError> {
+    if payload.len() > crate::frame::MAX_FRAME_LEN || meta.len() > crate::frame::MAX_FRAME_LEN {
+        return Err(SnapshotError::Corrupt("snapshot payload exceeds the 64 MiB frame cap"));
+    }
+    Ok(())
+}
+
+/// Temp-write, fsync, rename over `path`, fsync the directory. The temp
+/// name is derived from the target file name, so concurrent writes of the
+/// base snapshot and a delta never collide on one temp file.
+fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let dir = path.parent().ok_or(SnapshotError::Corrupt("snapshot path has no parent"))?;
+    let name = path.file_name().ok_or(SnapshotError::Corrupt("snapshot path has no file name"))?;
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp: PathBuf = path.with_file_name(tmp_name);
+    {
+        let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself.
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// Reads a whole file; `Ok(None)` if it does not exist.
+fn read_all(path: &Path) -> Result<Option<Vec<u8>>, SnapshotError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    Ok(Some(bytes))
 }
 
 #[cfg(test)]
@@ -173,6 +280,35 @@ mod tests {
         for cut in 0..bytes.len() {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             assert!(Snapshot::read(&path).is_err(), "cut {cut}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_encode_decode_round_trip() {
+        let d =
+            DeltaSnapshot { seq: 99, prev_seq: 42, meta: "cascade".into(), payload: vec![9, 8, 7] };
+        assert_eq!(DeltaSnapshot::decode(&d.encode()).unwrap(), d);
+        // The two containers never decode as each other.
+        assert!(Snapshot::decode(&d.encode()).is_err());
+        let s = Snapshot { seq: 42, meta: "cascade".into(), payload: vec![1] };
+        assert!(DeltaSnapshot::decode(&s.encode()).is_err());
+    }
+
+    #[test]
+    fn delta_write_read_and_truncation_rejected() {
+        let dir = tmpdir("delta_rw");
+        let path = dir.join("snapshot.delta-1");
+        assert!(DeltaSnapshot::read(&path).unwrap().is_none());
+        let d =
+            DeltaSnapshot { seq: 5, prev_seq: 3, meta: "static".into(), payload: b"d".to_vec() };
+        d.write_atomic(&path).unwrap();
+        assert_eq!(DeltaSnapshot::read(&path).unwrap(), Some(d.clone()));
+        assert!(!dir.join("snapshot.delta-1.tmp").exists(), "temp file never lingers");
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(DeltaSnapshot::read(&path).is_err(), "cut {cut}");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

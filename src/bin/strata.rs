@@ -47,7 +47,7 @@ use stratamaint::core::constraints::{Constraint, GuardedEngine};
 use stratamaint::core::explain::Explainer;
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::{
-    EngineBox, MaintenanceEngine, Parallelism, StorageConfig, Update, UpdateStats,
+    EngineBox, MaintenanceEngine, Parallelism, StorageSpec, Update, UpdateStats,
 };
 use stratamaint::datalog::{Fact, Program, Query, Rule};
 use stratamaint::service::net::{Client, QueryReply, ServerHandle};
@@ -236,11 +236,11 @@ impl Repl {
     }
 
     /// Builds the current (or a new) strategy over `program` under the
-    /// session's storage config: durable when a store is open.
+    /// session's storage spec: durable when a store is open.
     fn build_engine(&self, name: &str, program: Program) -> Result<EngineBox, String> {
         let storage = match &self.durable_path {
-            Some(path) => StorageConfig::Wal(path.into()),
-            None => StorageConfig::Mem,
+            Some(path) => StorageSpec::wal(path),
+            None => StorageSpec::Mem,
         };
         self.registry.build_with_storage(name, program, &storage).map_err(|e| e.to_string())
     }
@@ -356,7 +356,7 @@ impl Repl {
             Command::Open(path) => {
                 let name = self.engine.inner().name().to_string();
                 let program = self.engine.program().clone();
-                let storage = StorageConfig::Wal(path.clone().into());
+                let storage = StorageSpec::wal(&path);
                 match self.registry.build_with_storage(&name, program, &storage) {
                     Ok(mut engine) => {
                         if let Some(par) = self.threads {
@@ -543,6 +543,13 @@ impl Repl {
             },
             Command::Flush => match client.flush() {
                 Ok(Ok(version)) => writeln!(out, "  flushed at version {version}")?,
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Compact => match client.compact() {
+                Ok(Ok(seq)) => {
+                    writeln!(out, "  compacted (server snapshot chain covers seq {seq})")?
+                }
                 Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
                 Err(e) => self.drop_connection(e, out)?,
             },

@@ -12,7 +12,16 @@
 //! ```
 //!
 //! * `--strategy <name>`   any registered strategy (default `cascade`)
-//! * `--store <dir>`       durable WAL + snapshots (default in-memory)
+//! * `--store <dir>`       durable WAL + snapshot chain (default in-memory).
+//!   A durable server gets the production storage profile unless
+//!   overridden: auto-compaction (`compact=auto`), incremental
+//!   checkpoints (`snapshot=delta:8`), and bulk replay (`replay=bulk`)
+//! * `--compact <policy>`  auto-compaction policy: `off`, `auto`, or
+//!   `[wal=<bytes>][,ms=<n>][,txns=<n>]` (see
+//!   `strata_store::CompactionPolicy`)
+//! * `--snapshot <mode>`   checkpoint mode: `full` or `delta[:<max>]`
+//! * `--replay <mode>`     recovery replay: `bulk` (fast, canonical
+//!   supports) or `engine` (exact per-transaction replay)
 //! * `--program <file>`    seed program for a fresh database (an existing
 //!   store's recovered state wins, as with `:open`)
 //! * `--group <n>`         group-size watermark (default 64)
@@ -44,17 +53,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use stratamaint::core::durable::DEFAULT_MAX_CHAIN;
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::{
-    FaultPlan, MaintenanceEngine, MaintenanceError, Parallelism, StorageConfig,
+    FaultPlan, MaintenanceEngine, MaintenanceError, Parallelism, ReplayMode, SnapshotMode,
+    StorageSpec, WalSpec,
 };
 use stratamaint::datalog::Program;
 use stratamaint::service::{net, EngineRebuild, IngestConfig, Service, SupervisorConfig};
+use stratamaint::store::CompactionPolicy;
 
 struct Args {
     addr: String,
     strategy: String,
     store: Option<String>,
+    compact: Option<CompactionPolicy>,
+    snapshot: Option<SnapshotMode>,
+    replay: Option<ReplayMode>,
     program: Option<String>,
     cfg: IngestConfig,
     threads: Option<usize>,
@@ -62,11 +77,34 @@ struct Args {
     fault_plan: Option<FaultPlan>,
 }
 
+impl Args {
+    /// The resolved storage spec: in-memory without `--store`; with it,
+    /// the production profile (auto-compaction, incremental checkpoints,
+    /// bulk replay) with each knob individually overridable.
+    fn storage(&self) -> StorageSpec {
+        match &self.store {
+            None => StorageSpec::Mem,
+            Some(dir) => {
+                let mut spec = WalSpec::new(dir);
+                spec.compaction = self.compact.unwrap_or_else(CompactionPolicy::default_auto);
+                spec.snapshot = self
+                    .snapshot
+                    .unwrap_or(SnapshotMode::Incremental { max_chain: DEFAULT_MAX_CHAIN });
+                spec.replay = self.replay.unwrap_or(ReplayMode::Bulk);
+                StorageSpec::Wal(spec)
+            }
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut out = Args {
         addr: String::new(),
         strategy: "cascade".into(),
         store: None,
+        compact: None,
+        snapshot: None,
+        replay: None,
         program: None,
         cfg: IngestConfig::default(),
         threads: None,
@@ -81,6 +119,19 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--strategy" => out.strategy = value("--strategy")?,
             "--store" => out.store = Some(value("--store")?),
+            "--compact" => {
+                out.compact = Some(value("--compact")?.parse().map_err(
+                    |e: stratamaint::store::PolicyParseError| format!("--compact: {e}"),
+                )?);
+            }
+            "--snapshot" => {
+                out.snapshot =
+                    Some(value("--snapshot")?.parse().map_err(|e| format!("--snapshot: {e}"))?);
+            }
+            "--replay" => {
+                out.replay =
+                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?);
+            }
             "--program" => out.program = Some(value("--program")?),
             "--group" => {
                 out.cfg.max_group =
@@ -118,6 +169,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         [addr] => out.addr = addr.clone(),
         _ => {
             return Err("usage: strata-serve <addr> [--strategy NAME] [--store DIR] \
+                        [--compact POLICY] [--snapshot MODE] [--replay MODE] \
                         [--program FILE] [--group N] [--delay-ms N] [--max-pending N] \
                         [--threads N] [--slow-group-ms N] [--fault-plan SPEC]"
                 .into())
@@ -125,6 +177,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     }
     if out.cfg.max_group == 0 || out.cfg.max_pending < out.cfg.max_group {
         return Err("--group must be >= 1 and --max-pending >= --group".into());
+    }
+    if out.store.is_none()
+        && (out.compact.is_some() || out.snapshot.is_some() || out.replay.is_some())
+    {
+        return Err("--compact/--snapshot/--replay require --store".into());
     }
     Ok(out)
 }
@@ -164,10 +221,7 @@ fn run(args: Args) -> Result<(), String> {
         }
         None => Program::new(),
     };
-    let storage = match &args.store {
-        Some(dir) => StorageConfig::Wal(dir.into()),
-        None => StorageConfig::Mem,
-    };
+    let storage = args.storage();
     if let Some(ms) = args.slow_group_ms {
         // 0 in the registry means "disabled"; clamp to 1us so passing the
         // flag always arms logging (`--slow-group-ms 0` = log every group).
@@ -188,9 +242,12 @@ fn run(args: Args) -> Result<(), String> {
     }
     if let Some(d) = engine.durability() {
         eprintln!(
-            "recovered {} transactions ({} updates) from {}",
+            "recovered {} transactions ({} updates) in {} ms ({} replay, chain {}) from {}",
             d.recovered_txns,
             d.recovered_updates,
+            d.recovery_ms,
+            d.replay_mode,
+            d.snapshot_chain_len,
             args.store.as_deref().unwrap_or("?"),
         );
     }
@@ -200,7 +257,7 @@ fn run(args: Args) -> Result<(), String> {
         engine.model().len(),
         args.cfg.max_group,
         args.cfg.max_delay,
-        args.store.as_deref().unwrap_or("mem"),
+        storage,
     );
     // A durable store is its own replay source: the supervisor can heal a
     // crashed worker by rebuilding from the WAL. In-memory engines have
@@ -208,8 +265,8 @@ fn run(args: Args) -> Result<(), String> {
     // committed update — so they get no rebuild and degrade to read-only
     // on persistent failure instead.
     let rebuild: Option<EngineRebuild> = match &storage {
-        StorageConfig::Mem => None,
-        StorageConfig::Wal(_) => {
+        StorageSpec::Mem => None,
+        StorageSpec::Wal(_) => {
             let strategy = args.strategy.clone();
             let program = program.clone();
             let storage = storage.clone();
@@ -235,8 +292,8 @@ fn run(args: Args) -> Result<(), String> {
     ));
     let handle = net::serve(Arc::clone(&service), &args.addr).map_err(|e| e.to_string())?;
     eprintln!(
-        "listening on {} (client | submit | query | flush | stats | metrics | trace | shutdown | \
-         quit)",
+        "listening on {} (client | submit | query | flush | compact | stats | metrics | trace | \
+         shutdown | quit)",
         handle.addr()
     );
     install_signal_handlers();
@@ -330,6 +387,60 @@ mod tests {
         assert_eq!(plan.specs().len(), 2);
         assert!(args(&["127.0.0.1:0", "--fault-plan", "not-a-point@1"]).is_err());
         assert!(args(&["127.0.0.1:0", "--fault-plan"]).is_err(), "flag needs a value");
+    }
+
+    #[test]
+    fn storage_flags_resolve_the_production_profile() {
+        // Without --store: in-memory, and the storage knobs are refused.
+        assert_eq!(args(&["x:0"]).unwrap().storage(), StorageSpec::Mem);
+        for flag in [
+            ["x:0", "--compact", "auto"],
+            ["x:0", "--snapshot", "full"],
+            ["x:0", "--replay", "bulk"],
+        ] {
+            let Err(err) = args(&flag) else { panic!("{flag:?} must require --store") };
+            assert!(err.contains("require --store"), "{err}");
+        }
+
+        // With --store alone: the production profile.
+        let StorageSpec::Wal(spec) = args(&["x:0", "--store", "/tmp/db"]).unwrap().storage() else {
+            panic!("--store must resolve durable")
+        };
+        assert_eq!(spec.compaction, CompactionPolicy::default_auto());
+        assert_eq!(spec.snapshot, SnapshotMode::Incremental { max_chain: DEFAULT_MAX_CHAIN });
+        assert_eq!(spec.replay, ReplayMode::Bulk);
+
+        // Each knob is individually overridable, typed at parse time.
+        let a = args(&[
+            "x:0",
+            "--store",
+            "/tmp/db",
+            "--compact",
+            "wal=4k,txns=16",
+            "--snapshot",
+            "delta:3",
+            "--replay",
+            "engine",
+        ])
+        .unwrap();
+        let StorageSpec::Wal(spec) = a.storage() else { panic!("durable") };
+        assert_eq!(spec.compaction, "wal=4k,txns=16".parse().unwrap());
+        assert_eq!(spec.snapshot, SnapshotMode::Incremental { max_chain: 3 });
+        assert_eq!(spec.replay, ReplayMode::Engine);
+        let a =
+            args(&["x:0", "--store", "/tmp/db", "--compact", "off", "--snapshot", "full"]).unwrap();
+        let StorageSpec::Wal(spec) = a.storage() else { panic!("durable") };
+        assert_eq!(spec.compaction, CompactionPolicy::disabled());
+        assert_eq!(spec.snapshot, SnapshotMode::Full);
+
+        // Bad values are parse errors that name the flag.
+        for (flag, v) in [("--compact", "wal="), ("--snapshot", "delta:0"), ("--replay", "psychic")]
+        {
+            let Err(err) = args(&["x:0", "--store", "/tmp/db", flag, v]) else {
+                panic!("{flag} {v} must be rejected")
+            };
+            assert!(err.contains(flag), "{err}");
+        }
     }
 
     #[test]

@@ -5,10 +5,11 @@
 
 use std::path::PathBuf;
 
+use proptest::prelude::*;
 use stratamaint::core::constraints::{Constraint, GuardedEngine};
 use stratamaint::core::durable::DurableEngine;
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{MaintenanceEngine, StorageConfig, Update};
+use stratamaint::core::{MaintenanceEngine, StorageSpec, Update};
 use stratamaint::datalog::{Fact, Program, Rule};
 use stratamaint::store::{Durability, SNAPSHOT_FILE};
 use stratamaint::workload::paper;
@@ -56,7 +57,7 @@ fn differential_on(program: &Program, label: &str, seed: u64, len: usize) {
     let script = script_with_rejections(program, seed, len);
     for name in registry.names() {
         let dir = scratch(&format!("{label}_{name}"));
-        let storage = StorageConfig::Wal(dir.clone());
+        let storage = StorageSpec::wal(dir.clone());
         let mut plain = registry.build(name, program.clone()).unwrap();
         let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
         assert_eq!(state(plain.as_ref()), state(durable.as_ref()), "[{name}] initial");
@@ -129,7 +130,7 @@ fn durable_batches_equal_inmemory_batches() {
     let script = random_fact_script(&program, &ScriptConfig { len: 24, insert_prob: 0.5 }, 9);
     for name in registry.names() {
         let dir = scratch(&format!("batch_{name}"));
-        let storage = StorageConfig::Wal(dir.clone());
+        let storage = StorageSpec::wal(dir.clone());
         let mut plain = registry.build(name, program.clone()).unwrap();
         let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
         for chunk in script.chunks(6) {
@@ -161,7 +162,7 @@ fn rule_updates_differential() {
     ];
     for name in registry.names() {
         let dir = scratch(&format!("rules_{name}"));
-        let storage = StorageConfig::Wal(dir.clone());
+        let storage = StorageSpec::wal(dir.clone());
         let mut plain = registry.build(name, program.clone()).unwrap();
         let mut durable = registry.build_with_storage(name, program.clone(), &storage).unwrap();
         for (i, u) in updates.iter().enumerate() {
@@ -173,6 +174,112 @@ fn rule_updates_differential() {
         drop(durable);
         let reopened = registry.build_with_storage(name, Program::new(), &storage).unwrap();
         assert_eq!(state(reopened.as_ref()), state(plain.as_ref()), "[{name}] reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Chain-replay equivalence for **every registered strategy**: a workload
+/// checkpointed through an incremental snapshot chain, then killed and
+/// reopened, must land the exact model of the live engine — and the
+/// canonical support dump (the store's normal form: what a fresh engine
+/// built from the recovered program holds). Both replay modes are checked.
+#[test]
+fn chain_recovery_is_exact_for_every_strategy() {
+    use stratamaint::core::durable::{ReplayMode, SnapshotMode};
+
+    let program = synth::conference(10, 3, 5);
+    let registry = EngineRegistry::standard();
+    let script = script_with_rejections(&program, 21, 18);
+    for name in registry.names() {
+        let dir = scratch(&format!("chain_{name}"));
+        let storage =
+            StorageSpec::wal(dir.clone()).snapshot_mode(SnapshotMode::Incremental { max_chain: 8 });
+        let mut live = registry.build_with_storage(name, program.clone(), &storage).unwrap();
+        for chunk in script.chunks(4) {
+            for u in chunk {
+                let _ = live.apply(u); // rejections are part of the workload
+            }
+            live.checkpoint().unwrap(); // grows the delta chain
+        }
+        let expected_model = live.model().sorted_facts();
+        let canonical = registry.build(name, live.program().clone()).unwrap().support_dump();
+        drop(live);
+        for replay in [ReplayMode::Engine, ReplayMode::Bulk] {
+            let reopened = registry
+                .build_with_storage(name, Program::new(), &storage.clone().replay(replay))
+                .unwrap();
+            assert_eq!(
+                reopened.model().sorted_facts(),
+                expected_model,
+                "[{name}/{replay}] chain recovery: model"
+            );
+            assert_eq!(
+                reopened.support_dump(),
+                canonical,
+                "[{name}/{replay}] chain recovery: canonical supports"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Bulk replay ≡ engine replay on random workloads: both modes must
+    /// recover the byte-identical model. Engine replay additionally
+    /// reproduces the live engine's support dump exactly; bulk recovery
+    /// holds the canonical dump of the recovered program (the same normal
+    /// form `compact` writes).
+    #[test]
+    fn bulk_replay_equals_engine_replay(seed in 0u64..500) {
+        use stratamaint::core::durable::ReplayMode;
+
+        let cfg = synth::RandomConfig {
+            edb_rels: 3,
+            idb_rels: 4,
+            rules_per_rel: 2,
+            facts_per_rel: 8,
+            domain: 6,
+            neg_prob: 0.35,
+        };
+        let program = synth::random_stratified(&cfg, seed);
+        let script = script_with_rejections(&program, seed ^ 0xb01d, 16);
+        let registry = EngineRegistry::standard();
+        let names = registry.names();
+        let name = names[(seed % names.len() as u64) as usize];
+        let dir = scratch(&format!("bulk_{name}_{seed}"));
+        let storage = StorageSpec::wal(dir.clone());
+        let mut live = registry.build_with_storage(name, program.clone(), &storage).unwrap();
+        for u in &script {
+            let _ = live.apply(u);
+        }
+        let live_state = state(live.as_ref());
+        let canonical =
+            registry.build(name, live.program().clone()).unwrap().support_dump();
+        drop(live);
+
+        let engine_replayed = registry
+            .build_with_storage(name, Program::new(), &storage.clone().replay(ReplayMode::Engine))
+            .unwrap();
+        prop_assert_eq!(
+            state(engine_replayed.as_ref()),
+            live_state.clone(),
+            "[{}] engine replay must be byte-exact", name
+        );
+        let bulk_replayed = registry
+            .build_with_storage(name, Program::new(), &storage.clone().replay(ReplayMode::Bulk))
+            .unwrap();
+        prop_assert_eq!(
+            bulk_replayed.model().sorted_facts(),
+            live_state.0,
+            "[{}] bulk replay: model", name
+        );
+        prop_assert_eq!(
+            bulk_replayed.support_dump(),
+            canonical,
+            "[{}] bulk replay: canonical supports", name
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::strategy::{CascadeEngine, RecomputeEngine};
 use stratamaint::core::{
-    EngineBox, MaintenanceEngine, Parallelism, StorageConfig, SupportDump, Update,
+    EngineBox, MaintenanceEngine, Parallelism, StorageSpec, SupportDump, Update,
 };
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::workload::paper;
@@ -121,7 +121,7 @@ fn durable_parallel_engine_recovers_identically() {
     let registry = EngineRegistry::standard();
     let program = synth::conference(12, 3, 9);
     let script = script_with_rejections(&program, 21, 18);
-    let storage = StorageConfig::Wal(dir.clone());
+    let storage = StorageSpec::wal(dir.clone());
 
     let mut plain = CascadeEngine::new(program.clone()).unwrap();
     {

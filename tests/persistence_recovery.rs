@@ -160,6 +160,125 @@ fn kill_between_snapshot_rename_and_wal_truncate() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A kill at every byte across an **incremental (delta) snapshot write**.
+///
+/// The crash window of a delta checkpoint is: write `…tmp` → atomic rename
+/// into the chain → truncate the WAL. Three phases are simulated:
+///
+/// 1. before the rename — a partial temp file beside an intact WAL: the
+///    temp file must be ignored and engine replay must land the exact
+///    pre-checkpoint state (live supports included);
+/// 2. after the rename, before the truncate — the delta plus **every byte
+///    prefix** of the stale WAL: every covered transaction is skipped by
+///    sequence and recovery lands the checkpoint state;
+/// 3. the same window around the *second* chain link, so mid-chain crashes
+///    are covered too.
+#[test]
+fn every_wal_byte_across_a_delta_snapshot_write_recovers_exactly() {
+    use stratamaint::core::durable::{SnapshotMode, WalSpec};
+    use stratamaint::store::DELTA_FILE_PREFIX;
+
+    let strategy = "cascade";
+    let program = synth::conference(8, 3, 5);
+    let script = random_fact_script(&program, &ScriptConfig { len: 12, insert_prob: 0.5 }, 17);
+    let dir = scratch("delta_crash");
+    let mut spec = WalSpec::new(&dir);
+    spec.fsync = Durability::Buffered;
+    spec.snapshot = SnapshotMode::Incremental { max_chain: 8 };
+    let open_spec = |seed: Program| {
+        DurableEngine::open_spec(&spec, strategy, ctor_for(strategy), seed, None).unwrap()
+    };
+    // What recovery through a chain lands: the canonical support form.
+    let canonical =
+        |e: &DurableEngine| ctor_for(strategy)(e.program().clone()).unwrap().support_dump();
+
+    let mut engine = open_spec(program.clone());
+    for chunk in script[..6].chunks(3) {
+        engine.apply_all(chunk).unwrap();
+    }
+    let stale_wal_1 = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    let live_dump_1 = engine.support_dump();
+    engine.checkpoint().unwrap(); // writes snapshot.delta-1
+    let model_1 = engine.model().sorted_facts();
+    let canonical_1 = canonical(&engine);
+    let delta_1 = std::fs::read(dir.join(format!("{DELTA_FILE_PREFIX}1"))).unwrap();
+    // Round two: more updates on top of the chain, then a second link.
+    for chunk in script[6..].chunks(3) {
+        engine.apply_all(chunk).unwrap();
+    }
+    let stale_wal_2 = std::fs::read(dir.join(WAL_FILE)).unwrap();
+    engine.checkpoint().unwrap(); // writes snapshot.delta-2
+    let model_2 = engine.model().sorted_facts();
+    let canonical_2 = canonical(&engine);
+    let delta_2 = std::fs::read(dir.join(format!("{DELTA_FILE_PREFIX}2"))).unwrap();
+    drop(engine);
+
+    // Builds a killed copy: base snapshot + the given chain files + a WAL
+    // prefix (+ optionally a torn temp file, which recovery must ignore).
+    let killed = |label: &str, deltas: &[&[u8]], wal: &[u8], tmp: Option<&[u8]>| -> PathBuf {
+        let dst = scratch(label);
+        std::fs::create_dir_all(&dst).unwrap();
+        std::fs::copy(dir.join(SNAPSHOT_FILE), dst.join(SNAPSHOT_FILE)).unwrap();
+        for (i, bytes) in deltas.iter().enumerate() {
+            std::fs::write(dst.join(format!("{DELTA_FILE_PREFIX}{}", i + 1)), bytes).unwrap();
+        }
+        std::fs::write(dst.join(WAL_FILE), wal).unwrap();
+        if let Some(bytes) = tmp {
+            let k = deltas.len() + 1;
+            std::fs::write(dst.join(format!("{DELTA_FILE_PREFIX}{k}.tmp")), bytes).unwrap();
+        }
+        dst
+    };
+
+    // Phase 1: killed mid-temp-write — partial temp at several cuts.
+    for cut in [0, delta_1.len() / 2, delta_1.len()] {
+        let dst = killed("delta_tmp", &[], &stale_wal_1, Some(&delta_1[..cut]));
+        let mut copy_spec = spec.clone();
+        copy_spec.dir = dst.clone();
+        let recovered = DurableEngine::open_spec(
+            &copy_spec,
+            strategy,
+            ctor_for(strategy),
+            Program::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(recovered.model().sorted_facts(), model_1, "tmp cut {cut}: model");
+        assert_eq!(recovered.support_dump(), live_dump_1, "tmp cut {cut}: engine-replay supports");
+        let _ = std::fs::remove_dir_all(&dst);
+    }
+
+    // Phases 2 and 3: delta renamed in, WAL cut at every byte.
+    for (label, deltas, stale_wal, model, dump) in [
+        ("delta1_wal", vec![delta_1.as_slice()], &stale_wal_1, &model_1, &canonical_1),
+        (
+            "delta2_wal",
+            vec![delta_1.as_slice(), delta_2.as_slice()],
+            &stale_wal_2,
+            &model_2,
+            &canonical_2,
+        ),
+    ] {
+        for cut in 0..=stale_wal.len() {
+            let dst = killed(label, &deltas, &stale_wal[..cut], None);
+            let mut copy_spec = spec.clone();
+            copy_spec.dir = dst.clone();
+            let recovered = DurableEngine::open_spec(
+                &copy_spec,
+                strategy,
+                ctor_for(strategy),
+                Program::new(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(recovered.model().sorted_facts(), *model, "[{label}] cut {cut}: model");
+            assert_eq!(recovered.support_dump(), *dump, "[{label}] cut {cut}: supports");
+            let _ = std::fs::remove_dir_all(&dst);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use stratamaint::core::registry::EngineRegistry;
 use stratamaint::core::{
     EngineBox, FaultInjector, FaultPlan, FaultPoint, MaintenanceEngine, MaintenanceError,
-    StorageConfig, Update,
+    StorageSpec, Update,
 };
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::service::{EngineRebuild, IngestConfig, Outcome, Service, SupervisorConfig};
@@ -58,7 +58,7 @@ fn tight_cfg() -> IngestConfig {
 /// store's I/O and the worker's panic points, healing by rebuilding from
 /// the WAL through the same injector.
 fn supervised(dir: &Path, faults: &Arc<FaultInjector>, rebuild: bool) -> Service {
-    let storage = StorageConfig::Wal(dir.to_path_buf());
+    let storage = StorageSpec::wal(dir.to_path_buf());
     let engine = EngineRegistry::standard()
         .build_with_storage_faults("cascade", program(), &storage, Some(Arc::clone(faults)))
         .expect("open store");
@@ -170,7 +170,7 @@ fn chaos_run(name: &str, seed: u64, point: FaultPoint, arg: Option<u64>, pre_com
     let live_dump = engine.support_dump();
     drop(engine);
     let reopened = EngineRegistry::standard()
-        .build_with_storage("cascade", Program::new(), &StorageConfig::Wal(dir.clone()))
+        .build_with_storage("cascade", Program::new(), &StorageSpec::wal(dir.clone()))
         .expect("clean reopen");
     assert_eq!(final_state(reopened.as_ref()), live, "{name}: reopen reproduces the model");
     assert_eq!(reopened.support_dump(), live_dump, "{name}: reopen reproduces the support dump");
@@ -212,6 +212,79 @@ fn worker_mid_group_panic_matrix() {
     for seed in [13, 47] {
         chaos_run("midgroup", seed, FaultPoint::WorkerMidGroup, None, false);
     }
+}
+
+/// A fault striking inside the **delta-snapshot crash window** (after the
+/// chain link renames in, before the WAL truncates) while the service
+/// auto-compacts mid-traffic. A failed checkpoint is non-fatal by design —
+/// writes keep flowing, later checkpoints succeed — and the chain it left
+/// behind (renamed link beside a stale WAL) must recover to the oracle
+/// state with canonical supports.
+#[test]
+fn delta_snapshot_fault_mid_auto_compaction_is_non_fatal_and_recoverable() {
+    use stratamaint::core::durable::SnapshotMode;
+    use stratamaint::store::CompactionPolicy;
+
+    let dir = scratch("snapdelta");
+    let faults = Arc::new(FaultPlan::none().arm());
+    // Checkpoint after virtually every committed group, delta-chained.
+    let storage = StorageSpec::wal(dir.clone())
+        .snapshot_mode(SnapshotMode::Incremental { max_chain: 4 })
+        .compaction(CompactionPolicy {
+            max_wal_bytes: Some(1),
+            max_recovery_ms: None,
+            min_wal_txns: 1,
+        });
+    let engine = EngineRegistry::standard()
+        .build_with_storage_faults("cascade", program(), &storage, Some(Arc::clone(&faults)))
+        .expect("open store");
+    let supervisor = SupervisorConfig {
+        max_restarts: 3,
+        backoff: Duration::from_millis(1),
+        probe_interval: Duration::from_millis(5),
+    };
+    let service =
+        Service::start_supervised(engine, tight_cfg(), supervisor, None, Some(Arc::clone(&faults)));
+
+    let script = random_fact_script(&program(), &ScriptConfig { len: 48, insert_prob: 0.6 }, 29);
+    let armed_at = script.len() / 3;
+    for (i, update) in script.iter().enumerate() {
+        if i == armed_at {
+            let hits = faults.hits(FaultPoint::SnapshotDelta);
+            faults.rearm(&FaultPlan::once(FaultPoint::SnapshotDelta, hits + 1));
+        }
+        submit_until_decided(&service, i as u64, update, false);
+    }
+    service.flush();
+
+    assert!(faults.hits(FaultPoint::SnapshotDelta) >= 1, "the delta fault must strike");
+    let stats = service.stats();
+    assert!(!stats.read_only, "a failed delta checkpoint must not degrade the service");
+    let durability = stats.durability.expect("storage-backed service reports durability");
+    assert!(
+        durability.snapshot_seq > 0,
+        "auto-compaction must keep checkpointing after the fault: {durability:?}"
+    );
+
+    let mut oracle = EngineRegistry::standard().build("cascade", program()).unwrap();
+    for u in &script {
+        let _ = oracle.apply(u);
+    }
+    let live = service.with_engine(final_state);
+    assert_eq!(live, final_state(oracle.as_ref()), "final model vs oracle");
+
+    // Kill and reopen through the chain: exact model, canonical supports.
+    drop(service.shutdown());
+    let reopened = EngineRegistry::standard()
+        .build_with_storage("cascade", Program::new(), &storage)
+        .expect("reopen through the chain");
+    assert_eq!(final_state(reopened.as_ref()), live, "reopen reproduces the model");
+    let canonical = EngineRegistry::standard()
+        .build("cascade", reopened.program().clone())
+        .unwrap()
+        .support_dump();
+    assert_eq!(reopened.support_dump(), canonical, "chain recovery lands canonical supports");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -274,7 +347,7 @@ fn sticky_outage_degrades_to_read_only_then_heals_when_cleared() {
     let live = service.with_engine(final_state);
     drop(service.shutdown());
     let reopened = EngineRegistry::standard()
-        .build_with_storage("cascade", Program::new(), &StorageConfig::Wal(dir.clone()))
+        .build_with_storage("cascade", Program::new(), &StorageSpec::wal(dir.clone()))
         .expect("clean reopen");
     assert_eq!(final_state(reopened.as_ref()), live, "post-outage state is durable");
     let _ = std::fs::remove_dir_all(&dir);
@@ -347,7 +420,7 @@ fn concurrent_clients_with_faults_converge_exactly_once() {
     let service = Arc::try_unwrap(service).ok().expect("workers joined");
     drop(service.shutdown());
     let reopened = EngineRegistry::standard()
-        .build_with_storage("cascade", Program::new(), &StorageConfig::Wal(dir.clone()))
+        .build_with_storage("cascade", Program::new(), &StorageSpec::wal(dir.clone()))
         .expect("clean reopen");
     assert_eq!(final_state(reopened.as_ref()), live, "acked state survives reopen");
     let _ = std::fs::remove_dir_all(&dir);

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{EngineBox, MaintenanceEngine, StorageConfig, SupportDump, Update};
+use stratamaint::core::{EngineBox, MaintenanceEngine, StorageSpec, SupportDump, Update};
 use stratamaint::datalog::{Fact, Program, Rule};
 use stratamaint::service::{Coalescer, Decision};
 use stratamaint::workload::script::{random_fact_script, ScriptConfig};
@@ -117,7 +117,7 @@ fn differential(
     program: &Program,
     stream: &[Update],
     group: usize,
-    storage: &StorageConfig,
+    storage: &StorageSpec,
 ) {
     let registry = EngineRegistry::standard();
     let mut oracle = registry.build(name, program.clone()).unwrap();
@@ -152,7 +152,7 @@ fn differential(
         );
         state(grouped.as_ref())
     }; // durable: dropped = simulated process kill after the last commit
-    if let StorageConfig::Wal(dir) = storage {
+    if let Some(dir) = storage.wal_dir() {
         let reopened = registry.build_with_storage(name, Program::new(), storage).unwrap();
         // Recovery replays the grouped transactions through the same entry
         // points, so it must land on the grouped engine's exact pre-kill
@@ -174,13 +174,13 @@ fn differential(
 fn every_engine(program: &Program, stream: &[Update], group: usize) {
     let registry = EngineRegistry::standard();
     for name in registry.names() {
-        differential(name, program, stream, group, &StorageConfig::Mem);
+        differential(name, program, stream, group, &StorageSpec::Mem);
     }
     // The durable leg: cascade (batch-override path) and dynamic-single
     // (sequential batch default) cover both apply_all code shapes.
     for name in ["cascade", "dynamic-single"] {
         let dir = scratch(&format!("{name}_{group}"));
-        differential(name, program, stream, group, &StorageConfig::Wal(dir));
+        differential(name, program, stream, group, &StorageSpec::wal(dir));
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{EngineBox, MaintenanceEngine, StorageConfig, SupportDump, Update};
+use stratamaint::core::{EngineBox, MaintenanceEngine, StorageSpec, SupportDump, Update};
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::service::net::{self, Client, QueryReply};
 use stratamaint::service::{IngestConfig, Outcome, Service};
@@ -98,7 +98,7 @@ fn n_clients_m_updates_durable_group_commit_and_reopen() {
     const CLIENTS: usize = 4;
     const M: usize = 150;
     let dir = scratch("nm");
-    let storage = StorageConfig::Wal(dir.clone());
+    let storage = StorageSpec::wal(dir.clone());
     let registry = EngineRegistry::standard();
     let (service_state, commits, wal_txns, accepted_total) = {
         let engine = registry.build_with_storage("cascade", program(), &storage).unwrap();

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use stratamaint::core::registry::EngineRegistry;
-use stratamaint::core::{EngineBox, FaultPlan, MaintenanceError, StorageConfig, Update};
+use stratamaint::core::{EngineBox, FaultPlan, MaintenanceError, StorageSpec, Update};
 use stratamaint::datalog::{Fact, Program};
 use stratamaint::obs::{self, EventKind};
 use stratamaint::service::net::{self, Client};
@@ -50,7 +50,7 @@ fn program() -> Program {
 
 /// A durable supervised service over `dir`, healing by WAL replay.
 fn durable_service(dir: &Path, plan: Option<&FaultPlan>) -> Service {
-    let storage = StorageConfig::Wal(dir.to_path_buf());
+    let storage = StorageSpec::wal(dir.to_path_buf());
     let faults = plan.map(|p| Arc::new(p.arm()));
     let engine = EngineRegistry::standard()
         .build_with_storage_faults("cascade", program(), &storage, faults.clone())
@@ -191,6 +191,61 @@ fn metrics_exposition_over_a_live_saturated_server() {
 /// A counter/gauge sample's value from the exposition text.
 fn metric_value(text: &str, name: &str) -> Option<u64> {
     text.lines().find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.trim().parse().ok())
+}
+
+/// The `compact` verb and the recovery-facing surface over a live
+/// connection: the stats line carries the new durability keys, the
+/// recovery gauges ride the exposition, `compact` acks with the covered
+/// sequence and bumps `strata_store_compactions_total` — and an
+/// in-memory server refuses the verb with a typed reason.
+#[test]
+fn compact_verb_and_recovery_surface_over_the_wire() {
+    let dir = scratch("compact_wire");
+    let service = Arc::new(durable_service(&dir, None));
+    let handle = net::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    for j in 0..6 {
+        let update = Update::InsertFact(Fact::parse(&format!("submitted(1, {j})")).unwrap());
+        client.submit(&update).expect("io").expect("accepted");
+    }
+
+    let stats = client.stats().expect("io").expect("stats ok");
+    for key in ["recovery_ms=", "snapshot_chain_len=", "snapshot_seq=", "replay_mode="] {
+        assert!(stats.contains(key), "stats line missing {key}: {stats}");
+    }
+    assert!(stats.contains("replay_mode=engine"), "default replay mode on the wire: {stats}");
+
+    let seq = client.compact().expect("io").expect("compact acks with a sequence");
+    assert!(seq > 0, "the snapshot must cover the committed transactions");
+    assert_eq!(client.stats_field("snapshot_seq").unwrap(), Some(seq));
+    assert_eq!(client.stats_field("wal_txns").unwrap(), Some(0), "compaction empties the WAL");
+    assert_eq!(client.stats_field("snapshot_chain_len").unwrap(), Some(0));
+    // Idempotent: nothing new to cover, the sequence stands still.
+    assert_eq!(client.compact().expect("io").expect("recompact"), seq);
+
+    let text = client.metrics().expect("io").expect("metrics ok");
+    for gauge in ["strata_recovery_ms", "strata_snapshot_chain_len", "strata_replay_bulk"] {
+        assert!(
+            metric_value(&text, gauge).is_some(),
+            "{gauge} missing from the exposition:\n{text}"
+        );
+    }
+    let compactions = metric_value(&text, "strata_store_compactions_total").unwrap_or(0);
+    assert!(compactions >= 2, "both compacts must count: {compactions}");
+
+    handle.stop();
+    drop(client);
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The in-memory counterpart refuses the verb with a reason.
+    let service = Arc::new(mem_service());
+    let handle = net::serve(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    let err = client.compact().expect("io").expect_err("mem engine cannot compact");
+    assert!(err.contains("in-memory"), "{err}");
+    handle.stop();
+    drop(client);
 }
 
 #[test]
