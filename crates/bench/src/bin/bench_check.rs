@@ -18,6 +18,9 @@
 //!   which is why CI runs this as a separate, non-required job.)
 //! * `service`  — coalesced group-commit vs per-request ingest throughput
 //!   (the `strata-service` headline ratio).
+//! * `shard`    — sharded vs single-worker ingest throughput (the e16
+//!   stratum-partitioned parallel-commit ratio). Near 1.0 on one core —
+//!   there it bounds router/fan-out overhead rather than parallel wins.
 //! * `service-obs` — the observability overhead guard: the same e13 headline
 //!   ratio, but framed as "instrumented service vs committed baseline". The
 //!   `strata_obs` registry and trace ring are compiled in and always on, so a
@@ -28,7 +31,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_check <plan|store|parallel|service|service-obs|read> <baseline.json> <fresh.json>
+//! bench_check <plan|store|parallel|service|service-obs|shard|read> <baseline.json> <fresh.json>
 //! ```
 
 use std::process::ExitCode;
@@ -175,6 +178,22 @@ fn service_obs_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
         .collect())
 }
 
+/// `shard`: sharded over single-worker ingest throughput (e16). A ratio
+/// of two wall times on the same machine, so cross-machine comparable;
+/// on a single-core host it sits near 1.0 and guards the router +
+/// barrier overhead rather than a parallelism win.
+fn shard_metrics(doc: &Json) -> Result<Vec<Metric>, String> {
+    let rows = doc.get("shard").ok_or("missing `shard`")?.items();
+    let rate = |mode: &str| -> Result<f64, String> {
+        rows.iter()
+            .find(|r| r.get("mode").and_then(Json::as_str) == Some(mode))
+            .and_then(|r| r.get("updates_per_sec").and_then(Json::as_f64))
+            .ok_or_else(|| format!("missing updates_per_sec for mode {mode}"))
+    };
+    let ratio = rate("sharded")? / rate("single_worker")?;
+    Ok(vec![Metric { label: "sharded/single-worker ingest throughput".into(), value: ratio }])
+}
+
 fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
     match kind {
         "plan" => plan_metrics(doc),
@@ -182,11 +201,12 @@ fn metrics(kind: &str, doc: &Json) -> Result<Vec<Metric>, String> {
         "parallel" => parallel_metrics(doc),
         "service" => service_metrics(doc),
         "service-obs" => service_obs_metrics(doc),
+        "shard" => shard_metrics(doc),
         "read" => read_metrics(doc),
         "recovery" => recovery_metrics(doc),
         other => Err(format!(
-            "unknown kind `{other}` (plan | store | parallel | service | service-obs | read | \
-             recovery)"
+            "unknown kind `{other}` (plan | store | parallel | service | service-obs | shard | \
+             read | recovery)"
         )),
     }
 }
@@ -218,7 +238,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [kind, baseline, fresh] = args.as_slice() else {
         eprintln!(
-            "usage: bench_check <plan|store|parallel|service|service-obs|read> \
+            "usage: bench_check <plan|store|parallel|service|service-obs|shard|read> \
              <baseline.json> <fresh.json>"
         );
         return ExitCode::from(2);
@@ -297,6 +317,21 @@ mod tests {
         // The kind is routed through the dispatcher too.
         assert_eq!(metrics("service-obs", &base).unwrap()[0].label, m[0].label);
         assert!(service_obs_metrics(&doc(r#"{}"#)).is_err());
+    }
+
+    #[test]
+    fn shard_metric_is_the_parallel_commit_ratio() {
+        let base = doc(r#"{"shard": [
+                {"mode": "single_worker", "shards": 1, "updates_per_sec": 4000},
+                {"mode": "sharded", "shards": 4, "updates_per_sec": 10000}
+            ]}"#);
+        let m = shard_metrics(&base).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!((m[0].value - 2.5).abs() < 1e-9);
+        assert!(shard_metrics(&doc(r#"{"shard": []}"#)).is_err());
+        assert!(shard_metrics(&doc(r#"{}"#)).is_err());
+        // The kind is routed through the dispatcher too.
+        assert_eq!(metrics("shard", &base).unwrap()[0].label, m[0].label);
     }
 
     #[test]

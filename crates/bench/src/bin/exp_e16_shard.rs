@@ -1,0 +1,172 @@
+//! E16 — stratum-partitioned parallel commit: what sharding buys.
+//!
+//! The same insert stream over `C` disjoint stratum components is driven
+//! by `C` concurrent producers through two builds of the serving layer,
+//! both durable (each worker fsyncs its own WAL on group commit):
+//!
+//! * **single worker** — `shards = 1`, the flat legacy layout: one
+//!   worker, one WAL, every component serialized through one group
+//!   commit.
+//! * **sharded** — `shards = C`: the dependency graph's connected
+//!   components are spread over `C` workers, each with its own WAL
+//!   segment and group commit, so components commit in parallel.
+//!
+//! The headline is the throughput ratio sharded / single-worker. On a
+//! multi-core host it should exceed 1; on a single-core host it hovers
+//! near 1 and the number bounds the router + fan-out overhead instead.
+//! Either way the ratio is honest for the machine that measured it
+//! (`host_cpus` is recorded alongside).
+//!
+//! Results go to `BENCH_shard.json`. Usage:
+//! `exp_e16_shard [--smoke] [--out PATH]`; `--smoke` runs tiny sizes
+//! (the CI bit-rot guard) and skips the file unless `--out` is given.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strata_bench::banner;
+use strata_core::{StorageSpec, Update};
+use strata_datalog::{Fact, Program};
+use strata_service::{DbOptions, IngestConfig, ShardedDb};
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_e16_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `c` disjoint stratified components: each has its own EDB relations and
+/// one negation rule, so the dependency graph splits into exactly `c`
+/// islands and a shard target of `c` gets one component per worker.
+fn components(c: usize) -> Program {
+    let mut src = String::new();
+    for k in 0..c {
+        src.push_str(&format!("seed{k}(0). blk{k}(0).\nlive{k}(X) :- seed{k}(X), !blk{k}(X).\n"));
+    }
+    Program::parse(&src).unwrap()
+}
+
+/// Component `k`'s stream: `n` fresh inserts, every fourth into the
+/// blocking relation so each commit does real maintenance work.
+fn stream(k: usize, n: usize) -> Vec<Update> {
+    (1..=n)
+        .map(|i| {
+            let rel = if i % 4 == 0 { format!("blk{k}") } else { format!("seed{k}") };
+            Update::InsertFact(Fact::parse(&format!("{rel}({i})")).unwrap())
+        })
+        .collect()
+}
+
+struct ShardRow {
+    mode: String,
+    shards: u32,
+    updates: usize,
+    elapsed_ms: f64,
+    per_sec: f64,
+}
+
+/// One producer thread per component, all submitting concurrently; the
+/// run ends when every handle has decided and the final flush returns.
+fn bench_db(mode: &str, target: u32, streams: &[Vec<Update>], program: &Program) -> ShardRow {
+    let dir = scratch(&format!("{mode}_{target}"));
+    let mut opts = DbOptions::new("cascade");
+    opts.shards = target;
+    opts.cfg = IngestConfig {
+        max_group: 64,
+        max_delay: Duration::from_millis(2),
+        max_pending: 8192,
+        ..IngestConfig::default()
+    };
+    let db =
+        Arc::new(ShardedDb::open(program.clone(), &StorageSpec::wal(dir.clone()), &opts).unwrap());
+    let updates: usize = streams.iter().map(Vec::len).sum();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for part in streams {
+            let db = Arc::clone(&db);
+            scope.spawn(move || {
+                let handles: Vec<_> = part.iter().map(|u| db.submit(u.clone())).collect();
+                for h in handles {
+                    h.wait();
+                }
+            });
+        }
+    });
+    db.flush();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let shards = db.shards();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    ShardRow {
+        mode: mode.to_string(),
+        shards,
+        updates,
+        elapsed_ms: elapsed * 1e3,
+        per_sec: updates as f64 / elapsed,
+    }
+}
+
+fn write_json(path: &str, rows: &[ShardRow]) {
+    let mut out = String::from("{\n  \"bench\": \"exp_e16_shard\",\n");
+    out.push_str(
+        "  \"description\": \"stratum-partitioned parallel commit: sharded vs single-worker \
+         ingest throughput (durable cascade, per-shard WAL + group commit)\",\n",
+    );
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    out.push_str("  \"shard\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"updates\": {}, \"elapsed_ms\": {:.3}, \
+             \"updates_per_sec\": {:.0}}}{}\n",
+            r.mode,
+            r.shards,
+            r.updates,
+            r.elapsed_ms,
+            r.per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(String::as_str);
+
+    banner("E16", "sharded serving layer: parallel commit over stratum components");
+    let (comps, per_comp): (usize, usize) = if smoke { (2, 60) } else { (4, 1200) };
+    let program = components(comps);
+    let streams: Vec<Vec<Update>> = (0..comps).map(|k| stream(k, per_comp)).collect();
+
+    let rows = vec![
+        bench_db("single_worker", 1, &streams, &program),
+        bench_db("sharded", comps as u32, &streams, &program),
+    ];
+    println!(
+        "{:<14} {:>7} {:>8} {:>12} {:>14}",
+        "mode", "shards", "updates", "elapsed ms", "updates/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>7} {:>8} {:>12.2} {:>14.0}",
+            r.mode, r.shards, r.updates, r.elapsed_ms, r.per_sec
+        );
+    }
+    let ratio = rows[1].per_sec / rows[0].per_sec;
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("sharded commit is {ratio:.2}x the single-worker baseline on {cpus} cpu(s)");
+
+    match (smoke, out_path) {
+        (_, Some(p)) => write_json(p, &rows),
+        (false, None) => write_json("BENCH_shard.json", &rows),
+        (true, None) => println!("\n--smoke: skipping BENCH_shard.json"),
+    }
+}

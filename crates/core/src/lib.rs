@@ -79,5 +79,5 @@ pub use registry::{EngineRegistry, RegistryError};
 // store dependency.
 pub use stats::UpdateStats;
 pub use strata_datalog::Parallelism;
-pub use strata_store::{faults, FaultInjector, FaultPlan, FaultPoint};
+pub use strata_store::{faults, FaultInjector, FaultPlan, FaultPoint, ShardManifest};
 pub use support::SupportDump;

@@ -236,6 +236,45 @@ impl DepGraph {
         sccs
     }
 
+    /// Connected components of the *undirected* dependency relation: two
+    /// relations land in the same component iff some dependency path (in
+    /// either direction, ignoring signs) links them. Relations in different
+    /// components can never interact through rules, which is what makes them
+    /// a sound partition key for sharded commit.
+    ///
+    /// Members of each component are sorted by relation name, and components
+    /// are ordered by their smallest member's name, so the partition is
+    /// deterministic for a given program regardless of index build order.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_rels();
+        let mut comp_of = vec![u32::MAX; n];
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        for start in 0..n as u32 {
+            if comp_of[start as usize] != u32::MAX {
+                continue;
+            }
+            let ci = comps.len() as u32;
+            let mut members = vec![start];
+            comp_of[start as usize] = ci;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                let neighbors =
+                    self.arcs_from(v).map(|(q, _)| q).chain(self.arcs_into(v).map(|(r, _)| r));
+                for w in neighbors {
+                    if comp_of[w as usize] == u32::MAX {
+                        comp_of[w as usize] = ci;
+                        members.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            members.sort_by_key(|&r| self.index.rel(r).as_str());
+            comps.push(members);
+        }
+        comps.sort_by_key(|c| self.index.rel(c[0]).as_str());
+        comps
+    }
+
     /// Checks stratifiability: no cycle may contain a negative arc.
     ///
     /// Equivalently, no negative arc may connect two relations of the same
@@ -559,6 +598,49 @@ mod tests {
         assert_eq!(i1, i2);
         assert_eq!(ix.len(), 1);
         assert_eq!(ix.rel(i1), Symbol::new("zzz_rel"));
+    }
+
+    #[test]
+    fn components_split_independent_rule_groups() {
+        let p = program(
+            "p(X) :- q(X), !r(X). q(1). r(2). \
+             x(A, B) :- y(A, B). y(1, 2). \
+             lone(3).",
+        );
+        let g = DepGraph::build(&p);
+        let ix = g.rel_index();
+        let comps = g.components();
+        let names: Vec<Vec<&str>> =
+            comps.iter().map(|c| c.iter().map(|&r| ix.rel(r).as_str()).collect()).collect();
+        assert_eq!(names, vec![vec!["lone"], vec!["p", "q", "r"], vec!["x", "y"]]);
+    }
+
+    #[test]
+    fn components_follow_arcs_in_both_directions() {
+        // `a` and `c` only meet through shared dependency `b`: a → b ← c.
+        let p = program("a(X) :- b(X). c(X) :- b(X). d(1).");
+        let g = DepGraph::build(&p);
+        let ix = g.rel_index();
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        let abc = comps.iter().find(|c| c.contains(&ix.of("a".into()))).unwrap();
+        assert!(abc.contains(&ix.of("b".into())));
+        assert!(abc.contains(&ix.of("c".into())));
+        assert!(!abc.contains(&ix.of("d".into())));
+    }
+
+    #[test]
+    fn components_are_deterministic_under_index_order() {
+        let p1 = program("q(1). p(X) :- q(X). z(2). y(X) :- z(X).");
+        let p2 = program("z(2). y(X) :- z(X). q(1). p(X) :- q(X).");
+        let to_names = |p: &Program| -> Vec<Vec<String>> {
+            let g = DepGraph::build(p);
+            g.components()
+                .iter()
+                .map(|c| c.iter().map(|&r| g.rel_index().rel(r).to_string()).collect())
+                .collect()
+        };
+        assert_eq!(to_names(&p1), to_names(&p2));
     }
 
     #[test]

@@ -169,6 +169,21 @@ impl Program {
         self.arities.get(&rel).copied()
     }
 
+    /// Records the arity of `rel` without asserting anything, exactly as a
+    /// first mention would: a fresh relation is recorded, a known relation
+    /// must match. The shard router uses this to seed per-shard programs with
+    /// the arity book of the database they were split from, so first-mention
+    /// semantics stay global across shards.
+    pub fn note_arity(&mut self, rel: Symbol, arity: usize) -> Result<(), DatalogError> {
+        self.check_arity(rel, arity)
+    }
+
+    /// Iterates over every recorded `(relation, arity)` pair, in no
+    /// particular order.
+    pub fn arities(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.arities.iter().map(|(&r, &a)| (r, a))
+    }
+
     /// All relations mentioned anywhere in the program, sorted by name.
     pub fn relations(&self) -> Vec<Symbol> {
         let mut rels: Vec<Symbol> = self.arities.keys().copied().collect();

@@ -230,6 +230,31 @@ fn format_labels(labels: &[(&str, &str)]) -> String {
     out
 }
 
+/// Splits an inline label suffix off a metric name: `name{db="x",shard="0"}`
+/// becomes `("name", db="x",shard="0")`. Names without a well-formed suffix
+/// pass through with no labels. The suffix is what multi-tenant layers use
+/// to register one metric per `(db, shard)` without threading label slices
+/// through every call site.
+fn split_name(name: &str) -> (&str, &str) {
+    if let Some((base, rest)) = name.split_once('{') {
+        if let Some(inner) = rest.strip_suffix('}') {
+            if !base.is_empty() && !inner.contains('{') {
+                return (base, inner);
+            }
+        }
+    }
+    (name, "")
+}
+
+fn merge_labels(inline: &str, labels: &[(&str, &str)]) -> String {
+    let rendered = format_labels(labels);
+    match (inline.is_empty(), rendered.is_empty()) {
+        (true, _) => rendered,
+        (false, true) => inline.to_string(),
+        (false, false) => format!("{inline},{rendered}"),
+    }
+}
+
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
@@ -237,7 +262,8 @@ impl Registry {
     }
 
     fn slot(&self, name: &str, labels: &[(&str, &str)], make: fn() -> Slot) -> Slot {
-        let key = (name.to_string(), format_labels(labels));
+        let (base, inline) = split_name(name);
+        let key = (base.to_string(), merge_labels(inline, labels));
         let mut slots = self.slots.lock().unwrap();
         let slot = slots.entry(key).or_insert_with(make);
         match slot {
@@ -263,7 +289,12 @@ impl Registry {
 
     /// Registers (or fetches) a gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        match self.slot(name, &[], || Slot::Gauge(Arc::new(Gauge::new()))) {
+        self.gauge_with(name, &[])
+    }
+
+    /// A gauge with a fixed label set.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.slot(name, labels, || Slot::Gauge(Arc::new(Gauge::new()))) {
             Slot::Gauge(g) => g,
             other => panic!("metric `{name}` already registered as a {}", other.kind()),
         }
@@ -271,18 +302,25 @@ impl Registry {
 
     /// Registers (or fetches) a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        match self.slot(name, &[], || Slot::Histogram(Arc::new(Histogram::new()))) {
+        self.histogram_with(name, &[])
+    }
+
+    /// A histogram with a fixed label set.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.slot(name, labels, || Slot::Histogram(Arc::new(Histogram::new()))) {
             Slot::Histogram(h) => h,
             other => panic!("metric `{name}` already registered as a {}", other.kind()),
         }
     }
 
-    /// The current value of a counter or gauge named `name` with no labels,
-    /// if registered. Used by the REPL to cross-check the legacy stats line
-    /// against the registry.
+    /// The current value of a counter or gauge, if registered. `name` may
+    /// carry an inline label suffix (`strata_queue_depth{db="orders"}`);
+    /// without one, the unlabeled slot is read. Used by the REPL to
+    /// cross-check the legacy stats line against the registry.
     pub fn value(&self, name: &str) -> Option<u64> {
+        let (base, inline) = split_name(name);
         let slots = self.slots.lock().unwrap();
-        match slots.get(&(name.to_string(), String::new()))? {
+        match slots.get(&(base.to_string(), inline.to_string()))? {
             Slot::Counter(c) => Some(c.get()),
             Slot::Gauge(g) => Some(g.get()),
             Slot::Histogram(_) => None,
@@ -466,6 +504,38 @@ mod tests {
         let g = r.gauge("depth");
         g.set(7);
         assert_eq!(r.value("depth"), Some(7));
+    }
+
+    #[test]
+    fn inline_label_suffix_names_distinct_slots() {
+        let r = Registry::new();
+        r.gauge("strata_queue_depth{db=\"orders\",shard=\"0\"}").set(3);
+        r.gauge("strata_queue_depth{db=\"orders\",shard=\"1\"}").set(5);
+        r.gauge("strata_queue_depth").set(8);
+        // The suffix routes to the same slot as the explicit label slice.
+        assert_eq!(
+            r.gauge_with("strata_queue_depth", &[("db", "orders"), ("shard", "0")]).get(),
+            3
+        );
+        assert_eq!(r.value("strata_queue_depth{db=\"orders\",shard=\"1\"}"), Some(5));
+        assert_eq!(r.value("strata_queue_depth"), Some(8));
+        r.counter("strata_commits_total{db=\"a\"}").add(2);
+        let h = r.histogram("lat_us{db=\"a\"}");
+        h.record(4);
+        let text = r.render();
+        assert!(text.contains("strata_queue_depth{db=\"orders\",shard=\"0\"} 3"), "{text}");
+        assert!(text.contains("strata_queue_depth{db=\"orders\",shard=\"1\"} 5"), "{text}");
+        assert!(text.contains("strata_queue_depth 8"), "{text}");
+        assert!(text.contains("strata_commits_total{db=\"a\"} 2"), "{text}");
+        assert!(text.contains("lat_us_bucket{db=\"a\",le=\"4\"} 1"), "{text}");
+        assert!(text.contains("lat_us_count{db=\"a\"} 1"), "{text}");
+        // One TYPE header per base name even with many label sets.
+        let depth_types =
+            text.lines().filter(|l| l.starts_with("# TYPE strata_queue_depth ")).count();
+        assert_eq!(depth_types, 1, "{text}");
+        // A name without a well-formed suffix passes through untouched.
+        r.counter("odd{name").inc();
+        assert_eq!(r.value("odd{name"), Some(1));
     }
 
     #[test]

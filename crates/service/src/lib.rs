@@ -167,6 +167,8 @@ pub mod net;
 pub mod protocol;
 pub mod queue;
 pub mod service;
+pub mod shard;
+pub mod tenant;
 
 use std::time::Duration;
 
@@ -174,6 +176,8 @@ pub use coalesce::{Coalescer, Decision, GroupPlan};
 pub use net::{Ack, Client, QueryReply, RetryClient, ServerHandle, ShutdownFlag};
 pub use queue::{IngestQueue, Outcome, SubmitHandle};
 pub use service::{EngineRebuild, Service, ServiceStats, SupervisorConfig, VersionedSnapshot};
+pub use shard::{DbOptions, ShardHandle, ShardPlan, ShardedDb, ShardedSnapshot};
+pub use tenant::{Cluster, DbInfo, WorkerBudget, DEFAULT_DB};
 
 /// Group-cutting and backpressure knobs for the ingest queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -6,6 +6,14 @@
 //! connections: ten clients submitting concurrently land in the same
 //! coalescing queue and share fsyncs.
 //!
+//! [`serve_cluster`] is the multi-tenant flavor of the same front-end: it
+//! serves a [`Cluster`] of named databases instead of one [`Service`].
+//! Each connection is bound to one database at a time — [`DEFAULT_DB`]
+//! until it issues `use <db>` — and `db create|list|drop` manage the
+//! registry. Submits route through the bound database's shard router, so
+//! a multi-shard tenant commits disjoint strata in parallel while the
+//! wire surface stays the single-database protocol.
+//!
 //! ## Pipelining
 //!
 //! A connection is served by three threads — reader, completion, writer —
@@ -48,12 +56,15 @@ use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use strata_core::Update;
+use strata_core::{MaintenanceError, Update};
 use strata_datalog::query::render_row;
+use strata_datalog::RelSource;
 
 use crate::protocol::{self, Request};
 use crate::queue::{Outcome, SubmitHandle};
 use crate::service::Service;
+use crate::shard::{ShardHandle, ShardedDb};
+use crate::tenant::{Cluster, DEFAULT_DB};
 
 /// A latched one-way signal: any connection's `shutdown` verb (or the
 /// process's signal handler) raises it; the server's owner blocks on
@@ -144,9 +155,33 @@ impl Drop for ServerHandle {
     }
 }
 
+/// What the listener hands each connection: one database, or the whole
+/// tenant registry.
+#[derive(Clone)]
+enum Backend {
+    /// The classic single-database server.
+    Single(Arc<Service>),
+    /// A multi-tenant server; connections start bound to [`DEFAULT_DB`]
+    /// and rebind with `use <db>`.
+    Cluster(Arc<Cluster>),
+}
+
 /// Binds `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral one)
 /// and serves `service` until the handle is stopped or dropped.
 pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
+    serve_backend(Backend::Single(service), addr)
+}
+
+/// Binds `addr` and serves a whole [`Cluster`]: every connection starts
+/// bound to the `default` database, rebinds with `use <db>`, and manages
+/// tenants with `db create|list|drop`. A connection's binding holds its
+/// database open, so `db drop` refuses a database any connection is still
+/// using.
+pub fn serve_cluster(cluster: Arc<Cluster>, addr: &str) -> io::Result<ServerHandle> {
+    serve_backend(Backend::Cluster(cluster), addr)
+}
+
+fn serve_backend(backend: Backend, addr: &str) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -160,22 +195,43 @@ pub fn serve(service: Arc<Service>, addr: &str) -> io::Result<ServerHandle> {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&service);
+                let backend = backend.clone();
                 let shutdown_requests = Arc::clone(&shutdown_requests);
                 let _ = std::thread::Builder::new()
                     .name("strata-conn".into())
-                    .spawn(move || serve_connection(stream, &service, &shutdown_requests));
+                    .spawn(move || serve_connection(stream, backend, &shutdown_requests));
             }
         })?
     };
     Ok(ServerHandle { addr, shutdown, shutdown_requests, acceptor: Some(acceptor) })
 }
 
+/// A pending submit decision from either front-end flavor.
+enum AnyHandle {
+    /// Straight from a single service's queue.
+    Direct(SubmitHandle),
+    /// Routed through a sharded database (version already re-encoded).
+    Routed(ShardHandle),
+}
+
+impl AnyHandle {
+    fn wait(&self) -> Outcome {
+        match self {
+            AnyHandle::Direct(h) => h.wait(),
+            AnyHandle::Routed(h) => h.wait(),
+        }
+    }
+}
+
 /// One unit of response work, in request-arrival order.
 enum Job {
     /// Park on a submit/flush handle; render and emit its ack when the
     /// worker decides it. `flush` switches the ack's surface form.
-    Wait { tag: Option<String>, handle: SubmitHandle, flush: bool },
+    Wait { tag: Option<String>, handle: AnyHandle, flush: bool },
+    /// Barrier-flush a sharded database (every shard) and ack with the
+    /// composite watermark. Runs on the completion thread so the reader
+    /// keeps pipelining behind it.
+    FlushDb { tag: Option<String>, db: Arc<ShardedDb> },
     /// An already-rendered response (untagged query/stats/parse errors):
     /// emitted here to stay behind earlier untagged acks.
     Lines(Vec<String>),
@@ -192,33 +248,27 @@ fn render_ack(tag: Option<&str>, outcome: &Outcome, flush: bool) -> String {
     protocol::render_tagged(tag, &line)
 }
 
-/// Evaluates a query against the published snapshot and renders its full
-/// response (rows + terminator), tag applied to every line.
-fn render_query(
-    service: &Service,
+/// The `query @<version>` timeout line.
+fn version_unpublished(tag: Option<&str>, version: u64, published: u64) -> Vec<String> {
+    vec![protocol::render_tagged(
+        tag,
+        &format!(
+            "err version {version} not published within the read wait (published: {published})"
+        ),
+    )]
+}
+
+/// Renders a query's full response (rows + terminator) against any fact
+/// source, tag applied to every line.
+fn render_query<S: RelSource + ?Sized>(
+    src: &S,
     tag: Option<&str>,
     query: &strata_datalog::Query,
-    at: Option<u64>,
 ) -> Vec<String> {
-    let snap = match at {
-        None => service.snapshot(),
-        Some(version) => match service.snapshot_at(version) {
-            Ok(snap) => snap,
-            Err(published) => {
-                return vec![protocol::render_tagged(
-                    tag,
-                    &format!(
-                        "err version {version} not published within the read wait \
-                         (published: {published})"
-                    ),
-                )];
-            }
-        },
-    };
     if query.is_boolean() {
-        vec![protocol::render_tagged(tag, &format!("ok {}", query.holds(&snap.model)))]
+        vec![protocol::render_tagged(tag, &format!("ok {}", query.holds(src)))]
     } else {
-        let rows = query.eval(&snap.model);
+        let rows = query.eval(src);
         let mut out = Vec::with_capacity(rows.len() + 1);
         for row in &rows {
             out.push(protocol::render_tagged(tag, &format!("row {}", render_row(query, row))));
@@ -228,13 +278,105 @@ fn render_query(
     }
 }
 
+/// What this connection's requests currently run against: the single
+/// service of a classic server, or the database a cluster connection is
+/// bound to. The held [`Arc<ShardedDb>`] keeps the binding's database
+/// alive — [`Cluster::drop_db`] counts it as "in use".
+enum Bound {
+    Single(Arc<Service>),
+    Db { name: String, db: Arc<ShardedDb> },
+}
+
+impl Bound {
+    fn submit(&self, update: Update) -> AnyHandle {
+        match self {
+            Bound::Single(s) => AnyHandle::Direct(s.submit(update)),
+            Bound::Db { db, .. } => AnyHandle::Routed(db.submit(update)),
+        }
+    }
+
+    fn submit_dedup(&self, client: &str, seq: u64, update: Update) -> AnyHandle {
+        match self {
+            Bound::Single(s) => AnyHandle::Direct(s.submit_dedup(client, seq, update)),
+            Bound::Db { db, .. } => AnyHandle::Routed(db.submit_dedup(client, seq, update)),
+        }
+    }
+
+    fn flush_job(&self, tag: Option<String>) -> Job {
+        match self {
+            Bound::Single(s) => {
+                Job::Wait { tag, handle: AnyHandle::Direct(s.submit_flush()), flush: true }
+            }
+            Bound::Db { db, .. } => Job::FlushDb { tag, db: Arc::clone(db) },
+        }
+    }
+
+    fn compact(&self) -> Result<Option<u64>, MaintenanceError> {
+        match self {
+            Bound::Single(s) => s.compact(),
+            Bound::Db { db, .. } => db.compact(),
+        }
+    }
+
+    fn stats_line(&self) -> String {
+        match self {
+            Bound::Single(s) => protocol::render_stats(&s.stats()),
+            Bound::Db { name, db } => protocol::render_stats_for(&db.stats(), name, db.shards()),
+        }
+    }
+
+    fn query_lines(
+        &self,
+        tag: Option<&str>,
+        query: &strata_datalog::Query,
+        at: Option<u64>,
+    ) -> Vec<String> {
+        match self {
+            Bound::Single(service) => {
+                let snap = match at {
+                    None => service.snapshot(),
+                    Some(version) => match service.snapshot_at(version) {
+                        Ok(snap) => snap,
+                        Err(published) => return version_unpublished(tag, version, published),
+                    },
+                };
+                render_query(&snap.model, tag, query)
+            }
+            Bound::Db { db, .. } => {
+                let snap = match at {
+                    None => db.snapshot(),
+                    Some(version) => match db.snapshot_at(version) {
+                        Ok(snap) => snap,
+                        Err(published) => return version_unpublished(tag, version, published),
+                    },
+                };
+                render_query(&snap, tag, query)
+            }
+        }
+    }
+}
+
+/// The answer every `use`/`db` verb gets on a single-database server.
+const NO_CLUSTER: &str =
+    "err this is a single-database server: `use` and `db` need a cluster front-end";
+
 /// One connection's request loop — the reader of the three-thread pipeline
 /// described in the module docs. Returns on `quit`, EOF, or any I/O error.
 fn serve_connection(
     stream: TcpStream,
-    service: &Service,
+    backend: Backend,
     shutdown_requests: &ShutdownFlag,
 ) -> io::Result<()> {
+    let cluster = match &backend {
+        Backend::Single(_) => None,
+        Backend::Cluster(c) => Some(Arc::clone(c)),
+    };
+    let mut bound = match backend {
+        Backend::Single(service) => Bound::Single(service),
+        Backend::Cluster(cluster) => {
+            Bound::Db { name: DEFAULT_DB.to_string(), db: cluster.default_db() }
+        }
+    };
     let mut reader = BufReader::new(stream.try_clone()?);
     let (write_tx, write_rx) = mpsc::channel::<Vec<String>>();
     let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -265,6 +407,13 @@ fn serve_connection(
                 let lines = match job {
                     Job::Wait { tag, handle, flush } => {
                         vec![render_ack(tag.as_deref(), &handle.wait(), flush)]
+                    }
+                    Job::FlushDb { tag, db } => {
+                        let version = db.flush();
+                        vec![protocol::render_tagged(
+                            tag.as_deref(),
+                            &format!("ok flushed version={version}"),
+                        )]
                     }
                     Job::Lines(lines) => lines,
                     Job::Quit(line) => vec![line],
@@ -312,13 +461,13 @@ fn serve_connection(
                 // by the completion thread once the group commits.
                 match (seq, client_id.as_deref()) {
                     (None, _) => {
-                        let handle = service.submit(update);
+                        let handle = bound.submit(update);
                         job_tx
                             .send(Job::Wait { tag: tag.clone(), handle, flush: false })
                             .map_err(|_| ())
                     }
                     (Some(seq), Some(client)) => {
-                        let handle = service.submit_dedup(client, seq, update);
+                        let handle = bound.submit_dedup(client, seq, update);
                         job_tx
                             .send(Job::Wait { tag: tag.clone(), handle, flush: false })
                             .map_err(|_| ())
@@ -338,12 +487,9 @@ fn serve_connection(
                 shutdown_requests.request();
                 respond(vec![protocol::render_tagged(tag.as_deref(), "ok shutting down")])
             }
-            Ok(Request::Flush) => {
-                let handle = service.submit_flush();
-                job_tx.send(Job::Wait { tag: tag.clone(), handle, flush: true }).map_err(|_| ())
-            }
+            Ok(Request::Flush) => job_tx.send(bound.flush_job(tag.clone())).map_err(|_| ()),
             Ok(Request::Compact) => {
-                let line = match service.compact() {
+                let line = match bound.compact() {
                     Ok(Some(seq)) => format!("ok compacted seq={seq}"),
                     Ok(None) => "err nothing to compact: engine is in-memory".to_string(),
                     Err(e) => format!("err code={} {e}", e.code()),
@@ -351,13 +497,18 @@ fn serve_connection(
                 respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
             }
             Ok(Request::Stats) => {
-                let line = protocol::render_stats(&service.stats());
+                let line = bound.stats_line();
                 respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
             }
             Ok(Request::Metrics) => {
                 // Sync the service-level gauges into the registry first so
-                // the exposition always agrees with the `stats` line.
-                service.fill_registry();
+                // the exposition always agrees with the `stats` line. A
+                // cluster syncs every tenant — the registry is global.
+                match (&cluster, &bound) {
+                    (Some(c), _) => c.fill_registry(),
+                    (None, Bound::Single(s)) => s.fill_registry(),
+                    (None, Bound::Db { .. }) => unreachable!("cluster bindings imply a cluster"),
+                }
                 let text = strata_obs::render();
                 let mut lines: Vec<String> =
                     text.lines().map(|l| protocol::render_tagged(tag.as_deref(), l)).collect();
@@ -377,8 +528,66 @@ fn serve_connection(
                 respond(lines)
             }
             Ok(Request::Query { query, at }) => {
-                respond(render_query(service, tag.as_deref(), &query, at))
+                respond(bound.query_lines(tag.as_deref(), &query, at))
             }
+            Ok(Request::Use { db }) => {
+                let line = match &cluster {
+                    None => NO_CLUSTER.to_string(),
+                    Some(c) => match c.get(&db) {
+                        Some(handle) => {
+                            bound = Bound::Db { name: db.clone(), db: handle };
+                            format!("ok db={db}")
+                        }
+                        None => {
+                            format!("err no database named {db} (create it with `db create {db}`)")
+                        }
+                    },
+                };
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
+            }
+            Ok(Request::DbCreate { db }) => {
+                let line = match &cluster {
+                    None => NO_CLUSTER.to_string(),
+                    Some(c) => match c.create(&db) {
+                        Ok(_) => format!("ok created db={db}"),
+                        Err(e) => format!("err {e}"),
+                    },
+                };
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
+            }
+            Ok(Request::DbDrop { db }) => {
+                let line = match &cluster {
+                    None => NO_CLUSTER.to_string(),
+                    Some(c) => match c.drop_db(&db) {
+                        Ok(()) => format!("ok dropped db={db}"),
+                        Err(e) => format!("err {e}"),
+                    },
+                };
+                respond(vec![protocol::render_tagged(tag.as_deref(), &line)])
+            }
+            Ok(Request::DbList) => match &cluster {
+                None => respond(vec![protocol::render_tagged(tag.as_deref(), NO_CLUSTER)]),
+                Some(c) => {
+                    let infos = c.list();
+                    let mut lines: Vec<String> = infos
+                        .iter()
+                        .map(|i| {
+                            protocol::render_tagged(
+                                tag.as_deref(),
+                                &format!(
+                                    "db {} shards={} facts={}",
+                                    i.name, i.shards, i.model_facts
+                                ),
+                            )
+                        })
+                        .collect();
+                    lines.push(protocol::render_tagged(
+                        tag.as_deref(),
+                        &format!("ok {}", infos.len()),
+                    ));
+                    respond(lines)
+                }
+            },
         };
         if sent.is_err() {
             break; // a downstream thread died (broken pipe): stop reading
@@ -626,6 +835,32 @@ impl Client {
     /// (`seq=<n>`) idempotent submits.
     pub fn hello(&mut self, id: &str) -> io::Result<Result<(), String>> {
         Ok(self.roundtrip(&format!("client {id}"))?.map(|_| ()))
+    }
+
+    /// Binds this connection to a database on a multi-tenant server
+    /// ([`serve_cluster`]); every subsequent submit/query/stats runs
+    /// against it.
+    pub fn use_db(&mut self, name: &str) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip(&format!("use {name}"))?.map(|_| ()))
+    }
+
+    /// Creates a database on a multi-tenant server.
+    pub fn db_create(&mut self, name: &str) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip(&format!("db create {name}"))?.map(|_| ()))
+    }
+
+    /// Drops a database on a multi-tenant server. Fails while any
+    /// connection (including this one) is still bound to it.
+    pub fn db_drop(&mut self, name: &str) -> io::Result<Result<(), String>> {
+        Ok(self.roundtrip(&format!("db drop {name}"))?.map(|_| ()))
+    }
+
+    /// Lists the server's databases, sorted by name: one
+    /// `<name> shards=<n> facts=<m>` entry per database.
+    pub fn db_list(&mut self) -> io::Result<Result<Vec<String>, String>> {
+        Ok(self.roundtrip_lines("db list")?.map(|lines| {
+            lines.into_iter().filter_map(|l| l.strip_prefix("db ").map(str::to_string)).collect()
+        }))
     }
 
     /// Asks the server's owner to shut down gracefully: raises the
@@ -995,6 +1230,99 @@ mod tests {
         assert!(!is_retryable_rejection("code=not-asserted cannot delete"));
         assert!(!is_retryable_rejection("code=unstratified rule"));
         assert!(!is_retryable_rejection("plain parse error"));
+    }
+
+    fn pods_cluster(shards: u32) -> (Arc<crate::tenant::Cluster>, ServerHandle) {
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        let mut opts = crate::shard::DbOptions::new("cascade");
+        opts.shards = shards;
+        let cluster =
+            crate::tenant::Cluster::new(program, strata_core::StorageSpec::Mem, None, opts)
+                .unwrap();
+        let handle = serve_cluster(Arc::clone(&cluster), "127.0.0.1:0").expect("bind");
+        (cluster, handle)
+    }
+
+    #[test]
+    fn cluster_connections_bind_and_isolate_databases() {
+        let (_cluster, handle) = pods_cluster(1);
+        let addr = handle.addr().to_string();
+        let mut a = Client::connect(&addr).unwrap();
+        // Fresh connections serve the default database.
+        assert_eq!(a.query("rejected(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        let stats = a.stats().unwrap().unwrap();
+        assert!(stats.contains("db=default"), "{stats}");
+        // Create and bind a tenant; its writes never touch default.
+        a.db_create("tenant1").unwrap().unwrap();
+        a.use_db("tenant1").unwrap().unwrap();
+        assert!(a.use_db("ghost").unwrap().is_err(), "unknown database");
+        a.submit_text("+ item(1)").unwrap().unwrap();
+        a.flush().unwrap().unwrap();
+        assert_eq!(a.query("item(1)").unwrap().unwrap(), QueryReply::Boolean(true));
+        let stats = a.stats().unwrap().unwrap();
+        assert!(stats.contains("db=tenant1"), "{stats}");
+        let mut b = Client::connect(&addr).unwrap();
+        assert_eq!(b.query("item(1)").unwrap().unwrap(), QueryReply::Boolean(false));
+        let listing = b.db_list().unwrap().unwrap();
+        assert_eq!(listing.len(), 2, "{listing:?}");
+        assert!(listing[0].starts_with("default "), "{listing:?}");
+        assert!(listing[1].starts_with("tenant1 "), "{listing:?}");
+        // Drop: refused while a is bound, fine once it rebinds away.
+        assert!(b.db_drop("tenant1").unwrap().is_err(), "still bound by a");
+        a.use_db("default").unwrap().unwrap();
+        b.db_drop("tenant1").unwrap().unwrap();
+        assert!(b.db_drop("default").unwrap().is_err(), "default is permanent");
+        handle.stop();
+    }
+
+    #[test]
+    fn cluster_serves_sharded_databases_over_the_wire() {
+        let (_cluster, handle) = pods_cluster(2);
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        let stats = client.stats().unwrap().unwrap();
+        assert!(stats.ends_with("db=default shards=2"), "{stats}");
+        // Writes to both components, read-your-writes via the encoded
+        // version token.
+        let ack = client.submit_text("+ accepted(1)").unwrap().unwrap();
+        assert_eq!(
+            client.query_at(ack.version, "rejected(1)").unwrap().unwrap(),
+            QueryReply::Boolean(false)
+        );
+        // Sequenced submits dedup per shard.
+        client.hello("carol").unwrap().unwrap();
+        let first = client.roundtrip("submit seq=1 + submitted(9)").unwrap().unwrap();
+        let retry = client.roundtrip("submit seq=1 + submitted(9)").unwrap().unwrap();
+        assert_eq!(first, retry, "replayed ack must be byte-identical");
+        // A rule update is a global barrier; the database keeps answering.
+        client.submit_text("+ flagged(X) :- rejected(X)").unwrap().unwrap();
+        let v = client.flush().unwrap().unwrap();
+        assert_eq!(client.query_at(v, "flagged(9)").unwrap().unwrap(), QueryReply::Boolean(true));
+        // Deterministic rejections travel with their codes intact.
+        let err = client.submit_text("- ghost(1)").unwrap().unwrap_err();
+        assert!(err.starts_with("code=not-asserted"), "{err}");
+        client.quit().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn single_server_refuses_database_verbs() {
+        let (_service, handle) = pods_server();
+        let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+        for reply in [
+            client.use_db("other").unwrap(),
+            client.db_create("other").unwrap(),
+            client.db_drop("other").unwrap(),
+        ] {
+            let err = reply.unwrap_err();
+            assert!(err.contains("single-database"), "{err}");
+        }
+        assert!(client.db_list().unwrap().is_err());
+        client.quit().unwrap();
+        handle.stop();
     }
 
     #[test]

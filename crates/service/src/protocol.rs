@@ -14,6 +14,8 @@
 //!            | "query" SP at? body
 //!            | "client" SP token              -- declare a client id
 //!            | "trace" (SP n)?                -- last n group spans (16)
+//!            | "use" SP name                  -- bind this connection to a database
+//!            | "db" SP ("create" SP name | "drop" SP name | "list")
 //!            | "flush" | "compact" | "stats" | "metrics" | "quit" | "shutdown"
 //! seq      ::= "seq=" n SP                    -- idempotency token
 //! at       ::= "@" version SP                 -- read-your-writes pin
@@ -45,9 +47,22 @@
 //! stats  → "ok <key>=<value> ..."
 //! metrics → (exposition line)* then "ok <count>"   -- Prometheus text
 //! trace  → ("span <fields>")* then "ok <count>"    -- recent group spans
+//! use    → "ok db=<name>"
+//! db create → "ok created db=<name>"
+//! db drop   → "ok dropped db=<name>"
+//! db list   → ("db <name> shards=<n> facts=<m>")* then "ok <count>"
 //! quit   → "ok bye"
 //! shutdown → "ok shutting down"
 //! ```
+//!
+//! The `use` / `db` verbs exist only on a multi-tenant front-end
+//! ([`crate::net::serve_cluster`]); a single-database server answers them
+//! with an `err` line. Every connection starts bound to the `default`
+//! database; `use <name>` rebinds it, and the binding holds the database
+//! open — `db drop` refuses a database any connection is still bound to.
+//! On a tenant-bound connection `stats` appends ` db=<name> shards=<n>`
+//! after the fixed key sequence (appended, never inserted, so the legacy
+//! prefix keeps its wire contract).
 //!
 //! `metrics` streams the global registry in Prometheus text exposition
 //! format (`# TYPE` comments and `name{label} value` samples, sorted by
@@ -126,6 +141,23 @@ pub enum Request {
     Trace {
         /// How many spans to return (`trace <n>`, default 16).
         n: usize,
+    },
+    /// Bind this connection to a database (`use <name>`).
+    Use {
+        /// The database name.
+        db: String,
+    },
+    /// Create a database (`db create <name>`).
+    DbCreate {
+        /// The database name.
+        db: String,
+    },
+    /// List every database (`db list`).
+    DbList,
+    /// Drop a database (`db drop <name>`).
+    DbDrop {
+        /// The database name.
+        db: String,
     },
     /// Close the connection.
     Quit,
@@ -246,12 +278,38 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .map_err(|_| format!("bad span count `trace {rest}`"))
             }
         }
+        "use" => {
+            if rest.is_empty() || rest.contains(char::is_whitespace) {
+                Err("use needs one database name (`use <db>`)".into())
+            } else {
+                Ok(Request::Use { db: rest.to_string() })
+            }
+        }
+        "db" => {
+            let (sub, name) = match rest.find(char::is_whitespace) {
+                Some(i) => (&rest[..i], rest[i..].trim()),
+                None => (rest, ""),
+            };
+            match sub {
+                "list" if name.is_empty() => Ok(Request::DbList),
+                "create" | "drop" => {
+                    if name.is_empty() || name.contains(char::is_whitespace) {
+                        Err(format!("db {sub} needs one database name (`db {sub} <name>`)"))
+                    } else if sub == "create" {
+                        Ok(Request::DbCreate { db: name.to_string() })
+                    } else {
+                        Ok(Request::DbDrop { db: name.to_string() })
+                    }
+                }
+                other => Err(format!("unknown db subcommand `{other}` (create | list | drop)")),
+            }
+        }
         "quit" if rest.is_empty() => Ok(Request::Quit),
         "shutdown" if rest.is_empty() => Ok(Request::Shutdown),
         "" => Err("empty request".into()),
         other => Err(format!(
-            "unknown verb `{other}` (submit | query | client | flush | compact | stats | \
-             metrics | trace | quit | shutdown)"
+            "unknown verb `{other}` (submit | query | client | use | db | flush | compact | \
+             stats | metrics | trace | quit | shutdown)"
         )),
     }
 }
@@ -327,6 +385,16 @@ pub fn render_stats(s: &ServiceStats) -> String {
             d.replay_mode.name(),
         ));
     }
+    line
+}
+
+/// Renders the stats line for a tenant-bound connection: the fixed
+/// [`render_stats`] sequence with ` db=<name> shards=<n>` **appended** at
+/// the end — the legacy prefix never changes, so scripted consumers that
+/// only know the single-database keys keep working against a cluster.
+pub fn render_stats_for(s: &ServiceStats, db: &str, shards: u32) -> String {
+    let mut line = render_stats(s);
+    line.push_str(&format!(" db={db} shards={shards}"));
     line
 }
 
@@ -501,6 +569,43 @@ mod tests {
                 "replay_mode",
             ]
         );
+    }
+
+    #[test]
+    fn parses_database_verbs() {
+        let Request::Use { db } = parse_request("use tenant1").unwrap() else {
+            panic!("expected use")
+        };
+        assert_eq!(db, "tenant1");
+        assert!(parse_request("use").is_err(), "name required");
+        assert!(parse_request("use two words").is_err(), "one token only");
+        let Request::DbCreate { db } = parse_request("db create t2").unwrap() else {
+            panic!("expected db create")
+        };
+        assert_eq!(db, "t2");
+        let Request::DbDrop { db } = parse_request("db drop t2").unwrap() else {
+            panic!("expected db drop")
+        };
+        assert_eq!(db, "t2");
+        assert!(matches!(parse_request("db list").unwrap(), Request::DbList));
+        assert!(parse_request("db").is_err());
+        assert!(parse_request("db create").is_err());
+        assert!(parse_request("db drop a b").is_err());
+        assert!(parse_request("db list all").is_err());
+        assert!(parse_request("db frobnicate x").is_err());
+    }
+
+    #[test]
+    fn tenant_stats_suffix_is_appended_after_the_fixed_keys() {
+        let s = ServiceStats {
+            durability: Some(strata_core::DurabilityStats::default()),
+            ..Default::default()
+        };
+        let legacy = render_stats(&s);
+        let bound = render_stats_for(&s, "tenant1", 4);
+        // The legacy line is a strict prefix: nothing inserted or reordered.
+        assert!(bound.starts_with(&legacy), "{bound}");
+        assert!(bound.ends_with(" db=tenant1 shards=4"), "{bound}");
     }
 
     #[test]

@@ -70,6 +70,7 @@ use strata_datalog::ModelSnapshot;
 
 use crate::coalesce::{Coalescer, Decision};
 use crate::queue::{Drained, Group, IngestQueue, Op, Outcome, Request, SubmitHandle};
+use crate::tenant::WorkerBudget;
 use crate::IngestConfig;
 
 /// Registry handles for the worker's group pipeline and the supervisor,
@@ -410,6 +411,22 @@ impl Service {
         rebuild: Option<EngineRebuild>,
         faults: Option<Arc<FaultInjector>>,
     ) -> Service {
+        Service::start_budgeted(engine, cfg, supervisor, rebuild, faults, None)
+    }
+
+    /// [`Service::start_supervised`] with a shared [`WorkerBudget`]: the
+    /// worker thread still exists per service, but it only *processes
+    /// groups* while holding a budget permit, so N tenants sharing one
+    /// budget never run more than `budget.limit()` engine commits
+    /// concurrently. Idle workers (blocked in `next_group`) hold no permit.
+    pub fn start_budgeted(
+        engine: EngineBox,
+        cfg: IngestConfig,
+        supervisor: SupervisorConfig,
+        rebuild: Option<EngineRebuild>,
+        faults: Option<Arc<FaultInjector>>,
+        budget: Option<Arc<WorkerBudget>>,
+    ) -> Service {
         let queue = Arc::new(IngestQueue::new(cfg));
         // Version 0 is published before the worker exists, so readers have
         // a committed model from the first instant — for a durable engine,
@@ -439,6 +456,7 @@ impl Service {
                         supervisor,
                         rebuild.as_ref(),
                         faults.as_ref(),
+                        budget.as_ref(),
                         worker_id,
                     )
                 })
@@ -704,6 +722,7 @@ fn worker_loop(
     sup: SupervisorConfig,
     rebuild: Option<&EngineRebuild>,
     faults: Option<&Arc<FaultInjector>>,
+    budget: Option<&Arc<WorkerBudget>>,
     worker_id: u64,
 ) {
     // If the worker dies — only a panic outside the supervised group
@@ -727,6 +746,10 @@ fn worker_loop(
     // coalesced-to-nothing group does not force a republish.
     let mut version = snapshots.latest().version;
     while let Some(group) = queue.next_group() {
+        // The permit is acquired only once there is work (idle workers
+        // consume no budget) and released before any heal/read-only
+        // backoff, so a wedged tenant cannot starve its peers.
+        let permit = budget.map(|b| b.acquire());
         let ordinal = counters.groups.fetch_add(1, Ordering::Relaxed) + 1;
         let result = catch_unwind(AssertUnwindSafe(|| {
             process_group(
@@ -784,6 +807,7 @@ fn worker_loop(
             }
         };
         drop(group);
+        drop(permit);
         if failure.is_some() {
             // Heal: bounded rebuild attempts with backoff; on success the
             // rebuilt engine (recovered from the WAL — exactly the acked

@@ -62,6 +62,7 @@
 
 pub mod faults;
 pub mod frame;
+pub mod manifest;
 pub mod policy;
 pub mod snapshot;
 pub mod wal;
@@ -72,6 +73,7 @@ use std::sync::Arc;
 
 pub use faults::{FaultInjector, FaultPlan, FaultPoint, FaultSpec};
 pub use frame::crc32;
+pub use manifest::ShardManifest;
 pub use policy::{CompactionPolicy, PolicyParseError};
 pub use snapshot::{DeltaSnapshot, Snapshot, SnapshotError};
 pub use wal::{Durability, Wal, WalReplay, WalTxn};

@@ -1,0 +1,181 @@
+//! The shard manifest: which epoch/shard layout a sharded database
+//! directory is currently on.
+//!
+//! A sharded database root looks like:
+//!
+//! ```text
+//! <root>/MANIFEST            `epoch=<e> shards=<n>`
+//! <root>/epoch-<e>/shard-0   a normal store directory (WAL + snapshots)
+//! <root>/epoch-<e>/shard-1
+//! …
+//! ```
+//!
+//! Re-sharding (a rule update changes the dependency components) builds the
+//! **next** epoch's shard stores completely — engines rebuilt, checkpointed —
+//! before atomically rewriting `MANIFEST` to point at it. The manifest flip
+//! is the commit point: a crash before it recovers the old epoch untouched;
+//! a crash after it recovers the new one. Epoch directories other than the
+//! manifest's are orphans from an interrupted re-shard and are removed at
+//! the next open.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::StoreError;
+
+/// File name of the shard manifest inside a sharded database root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Directory-name prefix of an epoch inside the root.
+pub const EPOCH_DIR_PREFIX: &str = "epoch-";
+
+/// The committed shard layout of a database root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Monotone re-shard generation; bumped by every rule barrier that
+    /// changes the partition.
+    pub epoch: u64,
+    /// Number of shard stores in this epoch.
+    pub shards: u32,
+}
+
+impl ShardManifest {
+    /// The directory of `epoch` under `root`.
+    pub fn epoch_dir(root: &Path, epoch: u64) -> PathBuf {
+        root.join(format!("{EPOCH_DIR_PREFIX}{epoch}"))
+    }
+
+    /// The store directory of shard `k` in `epoch` under `root`.
+    pub fn shard_dir(root: &Path, epoch: u64, k: u32) -> PathBuf {
+        Self::epoch_dir(root, epoch).join(format!("shard-{k}"))
+    }
+
+    /// Reads the manifest under `root`. `Ok(None)` if none exists (a fresh
+    /// root); `Corrupt` if the file exists but cannot be parsed.
+    pub fn load(root: &Path) -> Result<Option<ShardManifest>, StoreError> {
+        let path = root.join(MANIFEST_FILE);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        let corrupt =
+            || StoreError::Corrupt(format!("malformed shard manifest {path:?}: {text:?}"));
+        let mut epoch = None;
+        let mut shards = None;
+        for field in text.split_whitespace() {
+            match field.split_once('=') {
+                Some(("epoch", v)) => epoch = v.parse::<u64>().ok(),
+                Some(("shards", v)) => shards = v.parse::<u32>().ok(),
+                _ => return Err(corrupt()),
+            }
+        }
+        match (epoch, shards) {
+            (Some(epoch), Some(shards)) if shards > 0 => Ok(Some(ShardManifest { epoch, shards })),
+            _ => Err(corrupt()),
+        }
+    }
+
+    /// Atomically writes this manifest under `root` (temp file, fsync,
+    /// rename, directory fsync) — the same dance as snapshot renames, so a
+    /// crash leaves either the old manifest or the new one, never a torn
+    /// prefix.
+    pub fn store(&self, root: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(root)?;
+        let path = root.join(MANIFEST_FILE);
+        let tmp = root.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            writeln!(f, "epoch={} shards={}", self.epoch, self.shards)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        File::open(root)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Removes every `epoch-<k>` directory under `root` other than this
+    /// manifest's epoch — leftovers of a re-shard interrupted before (next
+    /// epoch half-built) or after (previous epoch not yet deleted) the
+    /// manifest flip. Best-effort; returns the directories it removed.
+    pub fn remove_orphan_epochs(&self, root: &Path) -> Vec<PathBuf> {
+        let mut removed = Vec::new();
+        let Ok(entries) = std::fs::read_dir(root) else {
+            return removed;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(epoch) =
+                name.to_str().and_then(|n| n.strip_prefix(EPOCH_DIR_PREFIX)?.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if epoch != self.epoch && std::fs::remove_dir_all(entry.path()).is_ok() {
+                removed.push(entry.path());
+            }
+        }
+        removed.sort();
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("strata_manifest_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_and_fresh_root() {
+        let dir = tmpdir("roundtrip");
+        assert!(ShardManifest::load(&dir).unwrap().is_none());
+        let m = ShardManifest { epoch: 3, shards: 4 };
+        m.store(&dir).unwrap();
+        assert_eq!(ShardManifest::load(&dir).unwrap(), Some(m));
+        assert!(!dir.join("MANIFEST.tmp").exists(), "temp file never lingers");
+        // Overwrite flips atomically to the new content.
+        let m2 = ShardManifest { epoch: 4, shards: 2 };
+        m2.store(&dir).unwrap();
+        assert_eq!(ShardManifest::load(&dir).unwrap(), Some(m2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_manifest_is_corrupt() {
+        let dir = tmpdir("malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        for junk in ["", "epoch=1", "shards=2", "epoch=x shards=2", "epoch=1 shards=0", "what"] {
+            std::fs::write(dir.join(MANIFEST_FILE), junk).unwrap();
+            match ShardManifest::load(&dir) {
+                Err(StoreError::Corrupt(msg)) => assert!(msg.contains("manifest"), "{msg}"),
+                other => panic!("junk {junk:?}: expected Corrupt, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_epochs_removed_but_current_kept() {
+        let dir = tmpdir("orphans");
+        let m = ShardManifest { epoch: 2, shards: 1 };
+        m.store(&dir).unwrap();
+        for e in [1u64, 2, 3] {
+            std::fs::create_dir_all(ShardManifest::shard_dir(&dir, e, 0)).unwrap();
+        }
+        std::fs::create_dir_all(dir.join("not-an-epoch")).unwrap();
+        let removed = m.remove_orphan_epochs(&dir);
+        assert_eq!(
+            removed,
+            vec![ShardManifest::epoch_dir(&dir, 1), ShardManifest::epoch_dir(&dir, 3)]
+        );
+        assert!(ShardManifest::epoch_dir(&dir, 2).exists());
+        assert!(dir.join("not-an-epoch").exists(), "unrelated dirs untouched");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

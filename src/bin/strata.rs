@@ -74,6 +74,8 @@ enum Command {
     Serve(String),
     Connect { addr: String, timeout_ms: Option<u64> },
     Disconnect,
+    UseDb(String),
+    Dbs,
     Flush,
     Metrics,
     Trace(usize),
@@ -168,6 +170,15 @@ fn parse_command(line: &str) -> Result<Command, String> {
             }
         }
         ":disconnect" => Ok(Command::Disconnect),
+        ":use" => {
+            let name = line[4..].trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                Err("usage: :use <db>".into())
+            } else {
+                Ok(Command::UseDb(name.to_string()))
+            }
+        }
+        ":dbs" => Ok(Command::Dbs),
         ":flush" => Ok(Command::Flush),
         ":metrics" => Ok(Command::Metrics),
         ":trace" => {
@@ -435,6 +446,9 @@ impl Repl {
                 Err(e) => writeln!(out, "  error: cannot connect to {addr}: {e}")?,
             },
             Command::Disconnect => writeln!(out, "  not connected")?,
+            Command::UseDb(_) | Command::Dbs => {
+                writeln!(out, "  databases live on a server (:connect first)")?
+            }
             Command::Flush => {
                 writeln!(out, "  local updates apply synchronously (use :flush after :connect)")?
             }
@@ -546,6 +560,21 @@ impl Repl {
                 Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
                 Err(e) => self.drop_connection(e, out)?,
             },
+            Command::UseDb(name) => match client.use_db(&name) {
+                Ok(Ok(())) => writeln!(out, "  using {name}")?,
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
+            Command::Dbs => match client.db_list() {
+                Ok(Ok(dbs)) => {
+                    for db in &dbs {
+                        writeln!(out, "  {db}")?;
+                    }
+                    writeln!(out, "  ({} databases)", dbs.len())?;
+                }
+                Ok(Err(reason)) => writeln!(out, "  error: {reason}")?,
+                Err(e) => self.drop_connection(e, out)?,
+            },
             Command::Compact => match client.compact() {
                 Ok(Ok(seq)) => {
                     writeln!(out, "  compacted (server snapshot chain covers seq {seq})")?
@@ -624,6 +653,8 @@ const HELP: &str = "  + <fact|rule>     insert        - <fact|rule>   delete
   :serve <addr>     TCP ingest server over the current program
   :connect <addr> [--timeout-ms <n>]   become a client of a server
   :disconnect       leave remote mode
+  :use <db>         bind to a database on a multi-tenant server (remote mode)
+  :dbs              list the server's databases (remote mode)
   :flush            wait for all submitted updates (remote mode)
   :metrics          metrics registry (Prometheus text; remote asks the server)
   :trace [n]        last n sealed group spans (default 16)
@@ -935,6 +966,12 @@ mod tests {
         ));
         assert!(matches!(parse_command(":disconnect").unwrap(), Command::Disconnect));
         assert!(matches!(parse_command(":flush").unwrap(), Command::Flush));
+        assert!(
+            matches!(parse_command(":use tenant1").unwrap(), Command::UseDb(n) if n == "tenant1")
+        );
+        assert!(matches!(parse_command(":dbs").unwrap(), Command::Dbs));
+        assert!(parse_command(":use").is_err());
+        assert!(parse_command(":use two words").is_err());
         assert!(parse_command(":serve").is_err());
         assert!(parse_command(":connect").is_err());
         assert!(parse_command(":connect 127.0.0.1:1 --timeout-ms").is_err());
@@ -966,6 +1003,41 @@ mod tests {
         assert!(out.contains("disconnected"), "{out}");
         // The local engine never saw the remote update.
         assert!(run(&mut repl, "? rejected(1)").contains("true"));
+    }
+
+    #[test]
+    fn session_multi_tenant_roundtrip() {
+        use stratamaint::service::{net, Cluster, DbOptions};
+        let program = Program::parse(
+            "submitted(1). submitted(2). accepted(2).
+             rejected(X) :- submitted(X), !accepted(X).",
+        )
+        .unwrap();
+        let cluster = Cluster::new(
+            program,
+            stratamaint::core::StorageSpec::Mem,
+            None,
+            DbOptions::new("cascade"),
+        )
+        .unwrap();
+        cluster.create("tenant1").unwrap();
+        let handle = net::serve_cluster(std::sync::Arc::clone(&cluster), "127.0.0.1:0").unwrap();
+        let mut repl = pods_repl();
+        // :use and :dbs are remote-mode commands.
+        assert!(run(&mut repl, ":dbs").contains(":connect"));
+        run(&mut repl, &format!(":connect {}", handle.addr()));
+        let out = run(&mut repl, ":dbs");
+        assert!(out.contains("default ") && out.contains("tenant1 "), "{out}");
+        assert!(out.contains("(2 databases)"), "{out}");
+        let out = run(&mut repl, ":use tenant1");
+        assert!(out.contains("using tenant1"), "{out}");
+        assert!(run(&mut repl, "? rejected(1)").contains("false"), "tenant1 is empty");
+        let out = run(&mut repl, ":use ghost");
+        assert!(out.contains("error: no database named ghost"), "{out}");
+        let out = run(&mut repl, ":stats");
+        assert!(out.contains("db=tenant1"), "{out}");
+        run(&mut repl, ":disconnect");
+        handle.stop();
     }
 
     #[test]

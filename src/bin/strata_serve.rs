@@ -34,6 +34,24 @@
 //!   (e.g. `wal-fsync@3`, `panic-pre-apply@1+`; see
 //!   `strata_store::faults`)
 //!
+//! ## Multi-tenancy and sharding
+//!
+//! Any of the following flags switch the front-end to a cluster serving
+//! named databases (`use <db>`, `db create|list|drop` on the wire). The
+//! default database keeps the legacy layout — a `--store` directory from
+//! a single-database server opens unchanged:
+//!
+//! * `--data-root <dir>`   durable home for named databases
+//!   (`<dir>/<name>`); without `--store`, the default database lives at
+//!   `<dir>/default`
+//! * `--db <name>[,<name>…]` precreate (or reopen) named databases at
+//!   startup; repeatable
+//! * `--shards <n>`        partition every database into up to `n` shard
+//!   workers along its stratum dependency components (rule updates are
+//!   global barriers that re-partition)
+//! * `--worker-budget <n>` bound how many shard workers across all
+//!   databases commit concurrently (threads stay idle without a permit)
+//!
 //! ## Supervision and shutdown
 //!
 //! With `--store`, the worker runs supervised: a panic or storage fault
@@ -60,7 +78,9 @@ use stratamaint::core::{
     StorageSpec, WalSpec,
 };
 use stratamaint::datalog::Program;
-use stratamaint::service::{net, EngineRebuild, IngestConfig, Service, SupervisorConfig};
+use stratamaint::service::{
+    net, Cluster, DbOptions, EngineRebuild, IngestConfig, Service, SupervisorConfig, WorkerBudget,
+};
 use stratamaint::store::CompactionPolicy;
 
 struct Args {
@@ -75,25 +95,48 @@ struct Args {
     threads: Option<usize>,
     slow_group_ms: Option<u64>,
     fault_plan: Option<FaultPlan>,
+    data_root: Option<String>,
+    dbs: Vec<String>,
+    shards: u32,
+    worker_budget: Option<usize>,
 }
 
 impl Args {
-    /// The resolved storage spec: in-memory without `--store`; with it,
-    /// the production profile (auto-compaction, incremental checkpoints,
-    /// bulk replay) with each knob individually overridable.
+    /// The production-profile WAL spec for `dir` (auto-compaction,
+    /// incremental checkpoints, bulk replay), each knob individually
+    /// overridable.
+    fn wal_profile(&self, dir: &str) -> WalSpec {
+        let mut spec = WalSpec::new(dir);
+        spec.compaction = self.compact.unwrap_or_else(CompactionPolicy::default_auto);
+        spec.snapshot =
+            self.snapshot.unwrap_or(SnapshotMode::Incremental { max_chain: DEFAULT_MAX_CHAIN });
+        spec.replay = self.replay.unwrap_or(ReplayMode::Bulk);
+        spec
+    }
+
+    /// The resolved storage spec for the (default) database: in-memory
+    /// without `--store`/`--data-root`; `--store` keeps the legacy flat
+    /// layout byte-compatible, `--data-root` alone puts the default
+    /// database under `<root>/default` like any other tenant.
     fn storage(&self) -> StorageSpec {
-        match &self.store {
-            None => StorageSpec::Mem,
-            Some(dir) => {
-                let mut spec = WalSpec::new(dir);
-                spec.compaction = self.compact.unwrap_or_else(CompactionPolicy::default_auto);
-                spec.snapshot = self
-                    .snapshot
-                    .unwrap_or(SnapshotMode::Incremental { max_chain: DEFAULT_MAX_CHAIN });
-                spec.replay = self.replay.unwrap_or(ReplayMode::Bulk);
-                StorageSpec::Wal(spec)
+        match (&self.store, &self.data_root) {
+            (Some(dir), _) => StorageSpec::Wal(self.wal_profile(dir)),
+            (None, Some(root)) => {
+                let dir = std::path::Path::new(root).join("default");
+                StorageSpec::Wal(self.wal_profile(&dir.to_string_lossy()))
             }
+            (None, None) => StorageSpec::Mem,
         }
+    }
+
+    /// Whether any multi-tenant/sharding flag was given: those are served
+    /// by a [`Cluster`] front-end; without them the classic single-service
+    /// path runs unchanged.
+    fn cluster_mode(&self) -> bool {
+        self.data_root.is_some()
+            || !self.dbs.is_empty()
+            || self.shards > 1
+            || self.worker_budget.is_some()
     }
 }
 
@@ -110,6 +153,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         threads: None,
         slow_group_ms: None,
         fault_plan: None,
+        data_root: None,
+        dbs: Vec::new(),
+        shards: 1,
+        worker_budget: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -161,6 +208,22 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 out.fault_plan =
                     Some(value("--fault-plan")?.parse().map_err(|e| format!("--fault-plan: {e}"))?);
             }
+            "--data-root" => out.data_root = Some(value("--data-root")?),
+            "--db" => {
+                for name in value("--db")?.split(',').filter(|n| !n.is_empty()) {
+                    out.dbs.push(name.to_string());
+                }
+            }
+            "--shards" => {
+                out.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--worker-budget" => {
+                out.worker_budget = Some(
+                    value("--worker-budget")?
+                        .parse()
+                        .map_err(|e| format!("--worker-budget: {e}"))?,
+                );
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
@@ -171,7 +234,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             return Err("usage: strata-serve <addr> [--strategy NAME] [--store DIR] \
                         [--compact POLICY] [--snapshot MODE] [--replay MODE] \
                         [--program FILE] [--group N] [--delay-ms N] [--max-pending N] \
-                        [--threads N] [--slow-group-ms N] [--fault-plan SPEC]"
+                        [--threads N] [--slow-group-ms N] [--fault-plan SPEC] \
+                        [--data-root DIR] [--db NAME[,NAME...]] [--shards N] \
+                        [--worker-budget N]"
                 .into())
         }
     }
@@ -179,9 +244,24 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         return Err("--group must be >= 1 and --max-pending >= --group".into());
     }
     if out.store.is_none()
+        && out.data_root.is_none()
         && (out.compact.is_some() || out.snapshot.is_some() || out.replay.is_some())
     {
-        return Err("--compact/--snapshot/--replay require --store".into());
+        return Err("--compact/--snapshot/--replay require --store or --data-root".into());
+    }
+    if out.shards == 0 {
+        return Err("--shards must be >= 1".into());
+    }
+    if out.worker_budget == Some(0) {
+        return Err("--worker-budget must be >= 1".into());
+    }
+    if !out.dbs.is_empty() && out.data_root.is_none() {
+        eprintln!("note: --db without --data-root keeps the named databases in memory");
+    }
+    if out.threads.is_some() && out.cluster_mode() {
+        return Err("--threads applies to the single-database server; \
+                    use --shards/--worker-budget for cluster parallelism"
+            .into());
     }
     Ok(out)
 }
@@ -232,6 +312,9 @@ fn run(args: Args) -> Result<(), String> {
         args.fault_plan.as_ref().filter(|plan| !plan.is_empty()).map(|plan| Arc::new(plan.arm()));
     if let Some(plan) = args.fault_plan.as_ref().filter(|plan| !plan.is_empty()) {
         eprintln!("fault injection armed: {plan}");
+    }
+    if args.cluster_mode() {
+        return run_cluster(&args, program, faults);
     }
     let registry = EngineRegistry::standard();
     let mut engine = registry
@@ -323,6 +406,77 @@ fn run(args: Args) -> Result<(), String> {
         Ok(false) => eprintln!("bye"),
         Err(e) => eprintln!("checkpoint failed (WAL remains authoritative): {e}"),
     }
+    Ok(())
+}
+
+/// The multi-tenant/sharded server path: a [`Cluster`] front-end whose
+/// default database keeps the legacy storage layout, with named tenants
+/// precreated from `--db` under `--data-root`, each database sharded to
+/// `--shards` and every shard worker drawing from one `--worker-budget`.
+fn run_cluster(
+    args: &Args,
+    program: Program,
+    faults: Option<Arc<stratamaint::core::FaultInjector>>,
+) -> Result<(), String> {
+    let storage = args.storage();
+    let mut opts = DbOptions::new(&args.strategy);
+    opts.shards = args.shards;
+    opts.cfg = args.cfg;
+    opts.sup = SupervisorConfig::default();
+    opts.faults = faults;
+    opts.budget = args.worker_budget.map(WorkerBudget::new);
+    let data_root = args.data_root.as_ref().map(std::path::PathBuf::from);
+    let cluster = Cluster::new(program, storage.clone(), data_root, opts)
+        .map_err(|e| format!("cannot open the default database: {e}"))?;
+    for name in &args.dbs {
+        cluster.create(name).map_err(|e| format!("--db {name}: {e}"))?;
+    }
+    eprintln!(
+        "serving {} ({} databases, {} shards each) — group <= {}, delay {:?}, storage {}",
+        args.strategy,
+        cluster.list().len(),
+        args.shards,
+        args.cfg.max_group,
+        args.cfg.max_delay,
+        storage,
+    );
+    if let Some(budget) = args.worker_budget {
+        eprintln!("worker budget: {budget} concurrently active shard workers");
+    }
+    let handle = net::serve_cluster(Arc::clone(&cluster), &args.addr).map_err(|e| e.to_string())?;
+    eprintln!(
+        "listening on {} (client | submit | query | use | db | flush | compact | stats | \
+         metrics | trace | shutdown | quit)",
+        handle.addr()
+    );
+    install_signal_handlers();
+    let requests = handle.shutdown_requests();
+    loop {
+        if requests.wait_timeout(Duration::from_millis(200)) {
+            eprintln!("shutdown requested over the wire");
+            break;
+        }
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("signal received");
+            break;
+        }
+    }
+    // Graceful teardown mirrors the single-database path, tenant by
+    // tenant: decide everything queued, then checkpoint each durable
+    // store so the next open recovers from snapshots instead of the WAL.
+    handle.stop();
+    for info in cluster.list() {
+        let Some(db) = cluster.get(&info.name) else { continue };
+        db.flush();
+        match db.compact() {
+            Ok(Some(seq)) => eprintln!("checkpointed {} through seq {seq}", info.name),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("checkpoint of {} failed (WAL remains authoritative): {e}", info.name)
+            }
+        }
+    }
+    eprintln!("bye");
     Ok(())
 }
 
@@ -441,6 +595,46 @@ mod tests {
             };
             assert!(err.contains(flag), "{err}");
         }
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let a = args(&[
+            "127.0.0.1:0",
+            "--data-root",
+            "/tmp/cluster",
+            "--db",
+            "alpha,beta",
+            "--db",
+            "gamma",
+            "--shards",
+            "4",
+            "--worker-budget",
+            "2",
+        ])
+        .unwrap();
+        assert!(a.cluster_mode());
+        assert_eq!(a.data_root.as_deref(), Some("/tmp/cluster"));
+        assert_eq!(a.dbs, ["alpha", "beta", "gamma"]);
+        assert_eq!(a.shards, 4);
+        assert_eq!(a.worker_budget, Some(2));
+        // Without --store the default database lives under the data root.
+        let StorageSpec::Wal(spec) = a.storage() else { panic!("data root is durable") };
+        assert_eq!(spec.dir, std::path::Path::new("/tmp/cluster/default"));
+        assert_eq!(spec.replay, ReplayMode::Bulk, "production profile applies");
+        // --store wins for the default database (legacy flat layout).
+        let a = args(&["x:0", "--store", "/tmp/db", "--data-root", "/tmp/cluster"]).unwrap();
+        let StorageSpec::Wal(spec) = a.storage() else { panic!("durable") };
+        assert_eq!(spec.dir, std::path::Path::new("/tmp/db"));
+        // The storage knobs work with --data-root alone.
+        let a = args(&["x:0", "--data-root", "/tmp/c", "--replay", "engine"]).unwrap();
+        let StorageSpec::Wal(spec) = a.storage() else { panic!("durable") };
+        assert_eq!(spec.replay, ReplayMode::Engine);
+        // Validation.
+        assert!(!args(&["x:0"]).unwrap().cluster_mode());
+        assert!(args(&["x:0", "--shards", "0"]).is_err());
+        assert!(args(&["x:0", "--worker-budget", "0"]).is_err());
+        assert!(args(&["x:0", "--shards", "2", "--threads", "4"]).is_err());
     }
 
     #[test]

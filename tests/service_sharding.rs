@@ -1,0 +1,251 @@
+//! The sharded serving layer must be observationally identical to a
+//! single-worker oracle: same accept/reject decisions, same model, same
+//! support dump — for every registered strategy, live and after killing
+//! and reopening every per-shard WAL. Sharding is a *router*, never a
+//! participant in maintenance semantics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stratamaint::core::registry::EngineRegistry;
+use stratamaint::core::{StorageSpec, Update};
+use stratamaint::datalog::{Fact, Program, Rule};
+use stratamaint::service::{DbOptions, Outcome, ShardedDb};
+use stratamaint::workload::script::{random_fact_script, ScriptConfig};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("strata_shard_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Three disjoint stratum components, so a shard target of 3 actually
+/// spreads the database across three independent workers.
+fn three_components() -> Program {
+    Program::parse(
+        "submitted(1). submitted(2). accepted(2).
+         rejected(X) :- submitted(X), !accepted(X).
+         emp(1). emp(2). mgr(2).
+         worker(X) :- emp(X), !mgr(X).
+         item(1). item(2). sold(1).
+         stock(X) :- item(X), !sold(X).",
+    )
+    .unwrap()
+}
+
+/// A fact script with engine-rejected deletes spliced in, so the
+/// differential covers the error path across shards too.
+fn script_with_rejections(program: &Program, seed: u64, len: usize) -> Vec<Update> {
+    let mut script = random_fact_script(program, &ScriptConfig { len, insert_prob: 0.5 }, seed);
+    let ghost = Update::DeleteFact(Fact::parse("absolutely_not_asserted(999)").unwrap());
+    let step = (script.len() / 3).max(1);
+    let mut at = step;
+    while at <= script.len() {
+        script.insert(at, ghost.clone());
+        at += step + 1;
+    }
+    script
+}
+
+/// Applies one update to both sides and checks the decisions agree.
+fn lockstep(
+    db: &ShardedDb,
+    oracle: &mut dyn stratamaint::core::MaintenanceEngine,
+    u: &Update,
+    ctx: &str,
+) {
+    let outcome = db.submit(u.clone()).wait();
+    let expected = oracle.apply(u);
+    match (&outcome, &expected) {
+        (Outcome::Accepted { .. }, Ok(_)) => {}
+        (Outcome::Rejected(e), Err(oe)) => {
+            assert_eq!(e.to_string(), oe.to_string(), "{ctx}: errors must match");
+        }
+        _ => panic!("{ctx}: decisions diverged ({outcome:?} vs {expected:?})"),
+    }
+}
+
+/// Model + support-dump parity after a barrier flush.
+fn assert_state_parity(
+    db: &ShardedDb,
+    oracle: &dyn stratamaint::core::MaintenanceEngine,
+    ctx: &str,
+) {
+    db.flush();
+    assert_eq!(
+        db.snapshot().sorted_facts(),
+        oracle.model().sorted_facts(),
+        "{ctx}: union of shard models must equal the oracle model"
+    );
+    assert_eq!(db.support_dump(), oracle.support_dump(), "{ctx}: support dumps must match");
+}
+
+/// The core differential: every strategy, serial lockstep script, then a
+/// hard kill (drop, no shutdown) and reopen of every per-shard WAL.
+#[test]
+fn sharded_matches_oracle_live_and_after_kill_for_every_strategy() {
+    let registry = EngineRegistry::standard();
+    let program = three_components();
+    let script = script_with_rejections(&program, 7, 30);
+    for name in registry.names() {
+        let dir = scratch(&format!("diff_{name}"));
+        let storage = StorageSpec::wal(dir.clone());
+        let mut oracle = registry.build(name, program.clone()).unwrap();
+        let mut opts = DbOptions::new(name);
+        opts.shards = 3;
+        let db = ShardedDb::open(program.clone(), &storage, &opts).unwrap();
+        assert_eq!(db.shards(), 3, "[{name}] three components spread over three shards");
+        for (i, u) in script.iter().enumerate() {
+            lockstep(&db, oracle.as_mut(), u, &format!("[{name}] step {i}"));
+        }
+        assert_state_parity(&db, oracle.as_ref(), &format!("[{name}] live"));
+        // Hard kill: drop without shutdown. Every shard recovers from its
+        // own WAL segment on reopen.
+        drop(db);
+        let reopened = ShardedDb::open(Program::new(), &storage, &opts).unwrap();
+        assert_eq!(reopened.shards(), 3, "[{name}] manifest pins the shard count");
+        assert_state_parity(&reopened, oracle.as_ref(), &format!("[{name}] kill-and-reopen"));
+        // The reopened database keeps deciding like the oracle.
+        let follow_on =
+            random_fact_script(&program, &ScriptConfig { len: 8, insert_prob: 0.5 }, 11);
+        for (i, u) in follow_on.iter().enumerate() {
+            lockstep(&reopened, oracle.as_mut(), u, &format!("[{name}] post-reopen step {i}"));
+        }
+        assert_state_parity(&reopened, oracle.as_ref(), &format!("[{name}] post-reopen"));
+        drop(reopened.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A rule touching two components is a global barrier: the database
+/// re-partitions (epoch bump), stays oracle-identical, and the new plan
+/// survives a kill-and-reopen via the durable manifest.
+#[test]
+fn rule_barrier_reshards_durably_for_every_strategy() {
+    let registry = EngineRegistry::standard();
+    let program = Program::parse(
+        "emp(1). emp(2). mgr(2).
+         worker(X) :- emp(X), !mgr(X).
+         item(1). sold(1).
+         stock(X) :- item(X), !sold(X).",
+    )
+    .unwrap();
+    for name in registry.names() {
+        let dir = scratch(&format!("barrier_{name}"));
+        let storage = StorageSpec::wal(dir.clone());
+        let mut oracle = registry.build(name, program.clone()).unwrap();
+        let mut opts = DbOptions::new(name);
+        opts.shards = 2;
+        let db = ShardedDb::open(program.clone(), &storage, &opts).unwrap();
+        assert_eq!(db.shards(), 2, "[{name}] two components, two shards");
+        let epoch_before = db.epoch();
+        // The joining rule reads both components: barrier + re-partition.
+        let joining = Update::InsertRule(Rule::parse("audit(X) :- worker(X), stock(X).").unwrap());
+        lockstep(&db, oracle.as_mut(), &joining, &format!("[{name}] joining rule"));
+        assert!(db.epoch() > epoch_before, "[{name}] a cross-shard rule must bump the epoch");
+        assert_state_parity(&db, oracle.as_ref(), &format!("[{name}] after barrier"));
+        // An unstratifiable rule is rejected identically (scratch decides,
+        // nothing is torn down).
+        let bad = Update::InsertRule(Rule::parse("worker(X) :- emp(X), !worker(X).").unwrap());
+        lockstep(&db, oracle.as_mut(), &bad, &format!("[{name}] unstratifiable rule"));
+        // Keep writing through the re-partitioned epoch.
+        for (i, u) in random_fact_script(&program, &ScriptConfig { len: 12, insert_prob: 0.6 }, 13)
+            .iter()
+            .enumerate()
+        {
+            lockstep(&db, oracle.as_mut(), u, &format!("[{name}] post-barrier step {i}"));
+        }
+        assert_state_parity(&db, oracle.as_ref(), &format!("[{name}] post-barrier"));
+        let epoch = db.epoch();
+        drop(db);
+        let reopened = ShardedDb::open(Program::new(), &storage, &opts).unwrap();
+        assert_eq!(reopened.epoch(), epoch, "[{name}] the manifest pins the epoch");
+        assert_state_parity(&reopened, oracle.as_ref(), &format!("[{name}] reopened epoch"));
+        drop(reopened.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A flat single-worker store (the legacy layout) migrates in place to a
+/// sharded layout on reopen with a higher shard target, byte-identical in
+/// its observable state.
+#[test]
+fn flat_store_migrates_to_sharded_layout() {
+    let registry = EngineRegistry::standard();
+    let program = three_components();
+    for name in ["cascade", "fact-level"] {
+        let dir = scratch(&format!("migrate_{name}"));
+        let storage = StorageSpec::wal(dir.clone());
+        let mut oracle = registry.build(name, program.clone()).unwrap();
+        // Phase 1: flat layout, exactly a plain service.
+        let flat = ShardedDb::open(program.clone(), &storage, &DbOptions::new(name)).unwrap();
+        assert_eq!(flat.shards(), 1);
+        for u in random_fact_script(&program, &ScriptConfig { len: 10, insert_prob: 0.6 }, 17) {
+            lockstep(&flat, oracle.as_mut(), &u, &format!("[{name}] flat phase"));
+        }
+        assert_state_parity(&flat, oracle.as_ref(), &format!("[{name}] flat"));
+        drop(flat.shutdown());
+        // Phase 2: reopen the same directory sharded.
+        let mut opts = DbOptions::new(name);
+        opts.shards = 3;
+        let sharded = ShardedDb::open(Program::new(), &storage, &opts).unwrap();
+        assert_eq!(sharded.shards(), 3, "[{name}] migration re-partitions");
+        assert_state_parity(&sharded, oracle.as_ref(), &format!("[{name}] migrated"));
+        for u in random_fact_script(&program, &ScriptConfig { len: 10, insert_prob: 0.5 }, 19) {
+            lockstep(&sharded, oracle.as_mut(), &u, &format!("[{name}] sharded phase"));
+        }
+        assert_state_parity(&sharded, oracle.as_ref(), &format!("[{name}] sharded"));
+        drop(sharded.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Concurrent cross-shard insert batches: inserts of distinct facts
+/// commute, so however the shard workers interleave, the final model must
+/// equal the oracle applying the union.
+#[test]
+fn concurrent_cross_shard_batches_converge_to_the_oracle_model() {
+    let program = three_components();
+    let mut opts = DbOptions::new("cascade");
+    opts.shards = 3;
+    let db = Arc::new(ShardedDb::open(program.clone(), &StorageSpec::Mem, &opts).unwrap());
+    let mut oracle = EngineRegistry::standard().build("cascade", program).unwrap();
+    const PER_THREAD: u64 = 40;
+    let rels = ["submitted", "emp", "item"];
+    let workers: Vec<_> = rels
+        .iter()
+        .map(|rel| {
+            let db = Arc::clone(&db);
+            let rel = rel.to_string();
+            std::thread::spawn(move || {
+                let handles: Vec<_> = (100..100 + PER_THREAD)
+                    .map(|i| {
+                        db.submit(Update::InsertFact(Fact::parse(&format!("{rel}({i})")).unwrap()))
+                    })
+                    .collect();
+                for h in handles {
+                    assert!(
+                        matches!(h.wait(), Outcome::Accepted { .. }),
+                        "concurrent inserts of fresh facts must commit"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    for rel in rels {
+        for i in 100..100 + PER_THREAD {
+            oracle
+                .apply(&Update::InsertFact(Fact::parse(&format!("{rel}({i})")).unwrap()))
+                .unwrap();
+        }
+    }
+    db.flush();
+    assert_eq!(db.snapshot().sorted_facts(), oracle.model().sorted_facts());
+    assert_eq!(db.support_dump(), oracle.support_dump());
+    let stats = db.stats();
+    assert_eq!(stats.accepted, 3 * PER_THREAD, "{stats:?}");
+    assert_eq!(stats.rejected, 0, "{stats:?}");
+}
